@@ -1,0 +1,1 @@
+//! placeholder during bottom-up build

@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the noise mechanisms (Appendix E sampler and the
+//! Gaussian mechanism) across dimensions — the per-update cost that makes
+//! SCS13/BST14 slow and that output perturbation pays exactly once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bolton_privacy::mechanisms::{sample_unit_sphere, GaussianMechanism, LaplaceBallMechanism};
+use bolton_rng::dist::Gamma;
+use bolton_rng::{seeded, Rng};
+
+fn bench_laplace_ball(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplace_ball_sample");
+    for dim in [5usize, 50, 500] {
+        let mech = LaplaceBallMechanism::new(dim, 0.01, 0.1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            let mut rng = seeded(1);
+            bench.iter(|| black_box(mech.sample_noise(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gaussian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_sample");
+    for dim in [5usize, 50, 500] {
+        let mech = GaussianMechanism::new(0.01, 0.1, 1e-8).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, &d| {
+            let mut rng = seeded(2);
+            bench.iter(|| black_box(mech.sample_noise(&mut rng, d)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    c.bench_function("gamma_draw_shape_50", |b| {
+        let gamma = Gamma::new(50.0, 0.1);
+        let mut rng = seeded(3);
+        b.iter(|| black_box(gamma.sample(&mut rng)));
+    });
+    c.bench_function("unit_sphere_d50", |b| {
+        let mut rng = seeded(4);
+        b.iter(|| black_box(sample_unit_sphere(&mut rng, 50)));
+    });
+    c.bench_function("xoshiro_u64", |b| {
+        let mut rng = seeded(5);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+}
+
+criterion_group!(benches, bench_laplace_ball, bench_gaussian, bench_primitives);
+criterion_main!(benches);

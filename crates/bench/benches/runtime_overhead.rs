@@ -1,0 +1,37 @@
+//! Criterion version of Figure 5: per-epoch runtime of the four algorithms
+//! inside Bismarck at small batch sizes, where the white-box baselines pay
+//! their per-update sampling cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bolton_bench::{run_bismarck_sc, table_from_dataset, BisAlg};
+use bolton_bismarck::Backing;
+use bolton_data::{generate_scaled, DatasetSpec};
+
+fn bench_epoch_runtime(c: &mut Criterion) {
+    let bench_data = generate_scaled(DatasetSpec::Covtype, 61, 0.004);
+    for batch in [1usize, 10] {
+        let mut group = c.benchmark_group(format!("epoch_runtime_b{batch}"));
+        group.sample_size(10);
+        for alg in BisAlg::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(alg.label()),
+                &alg,
+                |bencher, &alg| {
+                    bencher.iter_batched(
+                        || table_from_dataset(&bench_data.train, "t", Backing::Memory, 512),
+                        |mut table| {
+                            black_box(run_bismarck_sc(&mut table, alg, 1e-4, 0.1, 1, batch, 62))
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_epoch_runtime);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion version of Figure 2: linear scaling of per-epoch runtime in
+//! the number of examples, in memory and through a starved buffer pool
+//! (the disk path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bolton_bench::{run_bismarck_sc, BisAlg};
+use bolton_bismarck::{synthesize, Backing, SynthSpec};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_rows");
+    group.sample_size(10);
+    for rows in [2_000usize, 4_000, 8_000] {
+        group.throughput(Throughput::Elements(rows as u64));
+        for (mode, backing, pool) in
+            [("mem", Backing::Memory, 1024usize), ("disk", Backing::TempFile, 4)]
+        {
+            group.bench_with_input(BenchmarkId::new(mode, rows), &rows, |bencher, &rows| {
+                bencher.iter_batched(
+                    || {
+                        let mut rng = bolton_rng::seeded(63);
+                        synthesize(
+                            "s",
+                            &SynthSpec::scalability(rows),
+                            backing.clone(),
+                            pool,
+                            &mut rng,
+                        )
+                        .expect("synthesize")
+                    },
+                    |mut table| {
+                        black_box(run_bismarck_sc(&mut table, BisAlg::Ours, 1e-4, 0.1, 1, 1, 64))
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_buffer_pool_scan(c: &mut Criterion) {
+    // Pure storage-layer throughput: scan a disk table through pools of
+    // different sizes.
+    let mut group = c.benchmark_group("buffer_pool_scan");
+    for pool in [4usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(pool), &pool, |bencher, &pool| {
+            let mut rng = bolton_rng::seeded(65);
+            let table = synthesize(
+                "scan",
+                &SynthSpec::scalability(1000),
+                Backing::TempFile,
+                pool,
+                &mut rng,
+            )
+            .expect("synthesize");
+            bencher.iter(|| {
+                let mut acc = 0.0f64;
+                table.scan_rows(&mut |_, x, y| acc += x[0] + y).expect("scan");
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_buffer_pool_scan);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: model averaging (Lemma 10) — final iterate vs uniform average
+//! vs last-log-T average, under the 1-pass convex setting the convergence
+//! theorems analyze (they bound the risk of the *averaged* iterate).
+//!
+//! Output: TSV rows `averaging, eps, accuracy` (+ a noiseless row per mode).
+
+use bolton::output_perturbation::{train_private, BoltOnConfig};
+use bolton::{metrics, Budget};
+use bolton_bench::{header, row};
+use bolton_data::{generate_scaled, DatasetSpec};
+use bolton_sgd::engine::Averaging;
+use bolton_sgd::loss::Logistic;
+
+fn main() {
+    header(&["averaging", "eps", "accuracy"]);
+    let bench = generate_scaled(DatasetSpec::Protein, 0xAB4, 0.5);
+    let loss = Logistic::plain();
+    let trials = bolton_bench::default_trials();
+    for (name, mode) in [
+        ("final-iterate", Averaging::FinalIterate),
+        ("uniform", Averaging::Uniform),
+        ("last-log", Averaging::LastLog),
+    ] {
+        for eps in [0.02, 0.1, 0.5] {
+            let mut total = 0.0;
+            for t in 0..trials {
+                let config = BoltOnConfig::new(Budget::pure(eps).expect("budget"))
+                    .with_passes(1)
+                    .with_batch_size(10)
+                    .with_averaging(mode);
+                let out = train_private(
+                    &bench.train,
+                    &loss,
+                    &config,
+                    &mut bolton_rng::seeded(0xAB5 + t),
+                )
+                .expect("train");
+                total += metrics::accuracy(&out.model, &bench.test);
+            }
+            row(&[name.into(), format!("{eps}"), format!("{:.4}", total / trials as f64)]);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation: random-projection dimension sweep for the MNIST-like
+//! benchmark — the accuracy/noise trade-off behind the paper's 784 → 50
+//! choice. Lower d' means less ε-DP noise (∝ d·ln d) but more structural
+//! distortion.
+//!
+//! Output: TSV rows `proj_dim, algorithm, eps, accuracy`.
+
+use bolton::api::{AlgorithmKind, LossKind};
+use bolton::Budget;
+use bolton_bench::{header, multiclass_cell, row};
+use bolton_data::generator::gaussian_mixture;
+use bolton_data::projection::project_dataset;
+use bolton_linalg::RandomProjection;
+use bolton_sgd::TrainSet;
+
+fn main() {
+    header(&["proj_dim", "algorithm", "eps", "accuracy"]);
+    let mut rng = bolton_rng::seeded(0xAB9);
+    let total_rows = 14_000;
+    let raw = gaussian_mixture(&mut rng, total_rows, 784, 10, 0.75);
+    let train_idx: Vec<usize> = (0..12_000).collect();
+    let test_idx: Vec<usize> = (12_000..total_rows).collect();
+    let loss = LossKind::Logistic { lambda: 1e-2 };
+    let trials = bolton_bench::default_trials();
+
+    for proj_dim in [10usize, 25, 50, 100, 200] {
+        let projection = RandomProjection::gaussian(&mut rng, 784, proj_dim);
+        let projected = project_dataset(&raw, &projection);
+        let train = projected.subset(&train_idx);
+        let test = projected.subset(&test_idx);
+        for (alg, budget) in [
+            (AlgorithmKind::Noiseless, None),
+            (AlgorithmKind::BoltOn, Some(Budget::pure(1.0).expect("budget"))),
+        ] {
+            let mut total = 0.0;
+            for t in 0..trials {
+                let model = multiclass_cell(
+                    &train,
+                    10,
+                    loss,
+                    alg,
+                    budget,
+                    5,
+                    50,
+                    &mut bolton_rng::seeded(0xABA + t),
+                );
+                total += model.accuracy(&test);
+            }
+            row(&[
+                proj_dim.to_string(),
+                alg.label().into(),
+                budget.map_or("-".into(), |b| format!("{}", b.eps())),
+                format!("{:.4}", total / trials as f64),
+            ]);
+        }
+        let _ = train.len();
+    }
+}

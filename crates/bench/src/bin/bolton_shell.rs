@@ -1,0 +1,196 @@
+//! An interactive private-analytics shell: the Bismarck SQL surface plus
+//! `TRAIN` and `EVAL` statements wired to the private training algorithms —
+//! the "in-RDBMS private ML" experience the paper argues for, end to end.
+//!
+//! ```text
+//! $ cargo run --release -p bolton-bench --bin bolton_shell
+//! bolton> CREATE TABLE t (DIM 10) DISK
+//! bolton> SYNTH t ROWS 20000 SEED 7 NOISE 0.05
+//! bolton> TRAIN m ON t ALGO boltOn EPS 0.1 LAMBDA 0.01 PASSES 10 BATCH 50
+//! trained model 'm': train accuracy 0.9472
+//! bolton> EVAL m ON t
+//! accuracy 0.9472, AUC 0.9866
+//! bolton> \q
+//! ```
+//!
+//! `ALGO` ∈ {noiseless, bolton, scs13, bst14, objpert}; `DELTA` switches the
+//! DP flavor ((ε, δ) instead of pure ε).
+
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::{metrics, Budget};
+use bolton_bismarck::sql::{run as run_sql, QueryResult};
+use bolton_bismarck::Catalog;
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+struct Shell {
+    catalog: Catalog,
+    models: BTreeMap<String, Vec<f64>>,
+    seed: u64,
+}
+
+fn parse_algo(token: &str) -> Option<AlgorithmKind> {
+    match token.to_ascii_lowercase().as_str() {
+        "noiseless" => Some(AlgorithmKind::Noiseless),
+        "bolton" | "ours" => Some(AlgorithmKind::BoltOn),
+        "scs13" => Some(AlgorithmKind::Scs13),
+        "bst14" => Some(AlgorithmKind::Bst14),
+        "objpert" => Some(AlgorithmKind::ObjectivePerturbation),
+        _ => None,
+    }
+}
+
+impl Shell {
+    fn new() -> Self {
+        Self { catalog: Catalog::new(), models: BTreeMap::new(), seed: 42 }
+    }
+
+    /// `TRAIN model ON table ALGO a [EPS e] [DELTA d] [LAMBDA l] [PASSES k]
+    /// [BATCH b] [SEED s]`
+    fn train(&mut self, tokens: &[&str]) -> Result<String, String> {
+        let mut it = tokens.iter();
+        let model_name = it.next().ok_or("TRAIN needs a model name")?.to_string();
+        if !it.next().is_some_and(|t| t.eq_ignore_ascii_case("ON")) {
+            return Err("expected ON <table>".into());
+        }
+        let table_name = it.next().ok_or("expected a table name")?.to_string();
+        let mut algo = AlgorithmKind::BoltOn;
+        let mut eps: Option<f64> = None;
+        let mut delta: Option<f64> = None;
+        let mut lambda = 0.0f64;
+        let mut passes = 10usize;
+        let mut batch = 50usize;
+        let mut seed = self.seed;
+        let mut rest: Vec<&str> = it.copied().collect();
+        rest.reverse();
+        while let Some(key) = rest.pop() {
+            let value = rest.pop().ok_or_else(|| format!("{key} needs a value"))?;
+            match key.to_ascii_uppercase().as_str() {
+                "ALGO" => algo = parse_algo(value).ok_or_else(|| format!("unknown ALGO '{value}'"))?,
+                "EPS" => eps = Some(value.parse().map_err(|e| format!("bad EPS: {e}"))?),
+                "DELTA" => delta = Some(value.parse().map_err(|e| format!("bad DELTA: {e}"))?),
+                "LAMBDA" => lambda = value.parse().map_err(|e| format!("bad LAMBDA: {e}"))?,
+                "PASSES" => passes = value.parse().map_err(|e| format!("bad PASSES: {e}"))?,
+                "BATCH" => batch = value.parse().map_err(|e| format!("bad BATCH: {e}"))?,
+                "SEED" => seed = value.parse().map_err(|e| format!("bad SEED: {e}"))?,
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        let budget = match (algo, eps) {
+            (AlgorithmKind::Noiseless, _) => None,
+            (_, Some(e)) => Some(match delta {
+                Some(d) => Budget::approx(e, d).map_err(|err| err.to_string())?,
+                None => Budget::pure(e).map_err(|err| err.to_string())?,
+            }),
+            (_, None) => return Err("private algorithms need EPS".into()),
+        };
+        let table = self.catalog.get(&table_name).map_err(|e| e.to_string())?;
+        let plan = TrainPlan::new(LossKind::Logistic { lambda }, algo, budget)
+            .with_passes(passes)
+            .with_batch_size(batch);
+        let model = plan
+            .train(table, &mut bolton_rng::seeded(seed))
+            .map_err(|e| e.to_string())?;
+        let acc = metrics::accuracy(&model, table);
+        self.models.insert(model_name.clone(), model);
+        self.seed = self.seed.wrapping_add(1);
+        Ok(format!("trained model '{model_name}': train accuracy {acc:.4}"))
+    }
+
+    /// `EVAL model ON table`
+    fn eval(&mut self, tokens: &[&str]) -> Result<String, String> {
+        let [model_name, on, table_name] = tokens else {
+            return Err("usage: EVAL <model> ON <table>".into());
+        };
+        if !on.eq_ignore_ascii_case("ON") {
+            return Err("usage: EVAL <model> ON <table>".into());
+        }
+        let model = self
+            .models
+            .get(*model_name)
+            .ok_or_else(|| format!("no model named '{model_name}'"))?;
+        let table = self.catalog.get(table_name).map_err(|e| e.to_string())?;
+        let acc = metrics::accuracy(model, table);
+        let auc = metrics::auc(model, table);
+        Ok(format!("accuracy {acc:.4}, AUC {auc:.4}"))
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<String, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.first().map(|t| t.to_ascii_uppercase()) {
+            Some(head) if head == "TRAIN" => self.train(&tokens[1..]),
+            Some(head) if head == "EVAL" => self.eval(&tokens[1..]),
+            Some(head) if head == "MODELS" => {
+                Ok(if self.models.is_empty() {
+                    "(no models)".to_string()
+                } else {
+                    self.models.keys().cloned().collect::<Vec<_>>().join("\n")
+                })
+            }
+            _ => match run_sql(&mut self.catalog, line) {
+                Ok(QueryResult::Ok) => Ok("ok".into()),
+                Ok(QueryResult::Count(n)) => Ok(n.to_string()),
+                Ok(QueryResult::Scalar(Some(v))) => Ok(v.to_string()),
+                Ok(QueryResult::Scalar(None)) => Ok("NULL".into()),
+                Ok(QueryResult::Names(names)) => Ok(if names.is_empty() {
+                    "(no tables)".into()
+                } else {
+                    names.join("\n")
+                }),
+                Ok(QueryResult::Histogram(bins)) => Ok(bins
+                    .iter()
+                    .map(|(label, count)| format!("{label}\t{count}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")),
+                Ok(QueryResult::Stats(columns)) => Ok(columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let name = if i + 1 == columns.len() {
+                            "label".to_string()
+                        } else {
+                            format!("f{i}")
+                        };
+                        format!(
+                            "{name}\tmin {:.4}\tmax {:.4}\tmean {:.4}\tstd {:.4}",
+                            c.min, c.max, c.mean, c.std_dev
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n")),
+                Err(e) => Err(e.to_string()),
+            },
+        }
+    }
+}
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    println!("bolton private-analytics shell — SQL + TRAIN/EVAL/MODELS; \\q quits");
+    loop {
+        print!("bolton> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "\\q" || trimmed.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        match shell.dispatch(trimmed) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+}

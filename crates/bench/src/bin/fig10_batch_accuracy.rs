@@ -1,0 +1,39 @@
+//! Figure 10 (Appendix D) — mini-batch size vs accuracy on MNIST-like,
+//! strongly convex (ε, δ)-DP (Test 4), b ∈ {50, 100, 150, 200}, all four
+//! algorithms.
+//!
+//! Output: TSV rows `batch, eps, algorithm, accuracy`.
+
+use bolton_bench::{
+    budget_for, header, mean_accuracy, row, Scenario, DEFAULT_LAMBDA, DEFAULT_PASSES,
+};
+use bolton_data::{generate, DatasetSpec};
+use bolton_sgd::TrainSet;
+
+fn main() {
+    header(&["batch", "eps", "algorithm", "accuracy"]);
+    let bench = generate(DatasetSpec::Mnist, 0xF16A);
+    let m = bench.train.len();
+    let scenario = Scenario::StronglyConvexApprox;
+    for &b in &[50usize, 100, 150, 200] {
+        for &eps in DatasetSpec::Mnist.epsilon_grid() {
+            for &alg in scenario.algorithms() {
+                let acc = mean_accuracy(
+                    &bench,
+                    scenario.logistic(DEFAULT_LAMBDA),
+                    alg,
+                    budget_for(scenario, alg, eps, m),
+                    DEFAULT_PASSES,
+                    b,
+                    4000,
+                );
+                row(&[
+                    b.to_string(),
+                    format!("{eps}"),
+                    alg.label().to_string(),
+                    format!("{acc:.4}"),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 2 — scalability: per-epoch runtime vs dataset size for the four
+//! algorithms inside Bismarck, (a) in memory and (b) larger than memory.
+//!
+//! Paper parameters: synthesizer data with d = 50 features, mini-batch
+//! size 1, ε = 0.1, λ = 1e-4, strongly convex (ε, δ)-DP. The paper sweeps
+//! to 50M (memory) / 1.2B (disk) examples on a 48-core Xeon; default sizes
+//! here are laptop-scale (override with `BOLTON_FIG2_SIZES`, a
+//! comma-separated list of row counts). The claims under test are *shape*:
+//! all four scale linearly; SCS13/BST14 pay a per-example noise cost in
+//! memory; I/O dominates (and equalizes everyone) on disk.
+//!
+//! Output: TSV rows `mode, rows, algorithm, seconds_per_epoch`.
+
+use bolton_bench::{header, row, BisAlg};
+use bolton_bismarck::{synthesize, Backing, SynthSpec};
+
+fn sizes() -> Vec<usize> {
+    if let Ok(spec) = std::env::var("BOLTON_FIG2_SIZES") {
+        return spec.split(',').filter_map(|tok| tok.trim().parse().ok()).collect();
+    }
+    vec![10_000, 20_000, 40_000]
+}
+
+fn main() {
+    header(&["mode", "rows", "algorithm", "seconds_per_epoch"]);
+    let epochs = 1usize;
+    for rows in sizes() {
+        // (a) In memory: generous pool, memory heap.
+        // (b) Disk: temp-file heap with a pool far smaller than the table
+        //     (dim=50 ⇒ 20 rows/page), forcing eviction traffic.
+        let pages_needed = rows / 20 + 1;
+        for (mode, backing, pool) in [
+            ("memory", Backing::Memory, pages_needed + 8),
+            ("disk", Backing::TempFile, (pages_needed / 50).max(4)),
+        ] {
+            for alg in BisAlg::ALL {
+                let mut rng = bolton_rng::seeded(0xF162 ^ rows as u64);
+                let spec = SynthSpec::scalability(rows);
+                let mut table =
+                    synthesize("scale", &spec, backing.clone(), pool, &mut rng)
+                        .expect("synthesize");
+                let (_, elapsed) = bolton_bench::run_bismarck_sc(
+                    &mut table, alg, 1e-4, 0.1, epochs, 1, 99,
+                );
+                row(&[
+                    mode.to_string(),
+                    rows.to_string(),
+                    alg.label().to_string(),
+                    format!("{:.4}", elapsed.as_secs_f64() / epochs as f64),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 7 (Appendix B) — Huber SVM accuracy with private tuning, three
+//! main datasets × four test scenarios, h = 0.1, b = 50.
+//!
+//! Output: TSV rows `dataset, scenario, eps, algorithm, accuracy`.
+
+use bolton::api::{AlgorithmKind, TrainPlan};
+use bolton::tuning::{grid, Candidate};
+use bolton::{metrics, InMemoryDataset, TrainSet};
+use bolton_bench::{
+    budget_for, header, multiclass_cell, multiclass_errors, row, Scenario, DEFAULT_BATCH,
+    DEFAULT_LAMBDA, DEFAULT_PASSES, MAIN_DATASETS,
+};
+use bolton_data::{generate, Benchmark};
+use bolton_rng::Rng;
+
+fn candidates(scenario: Scenario) -> Vec<Candidate> {
+    if scenario.strongly_convex() {
+        grid(&[5, 10], &[DEFAULT_BATCH], &[1e-4, 1e-3, 1e-2])
+    } else {
+        grid(&[5, 10], &[DEFAULT_BATCH], &[0.0])
+    }
+}
+
+fn tuned_accuracy(
+    bench: &Benchmark,
+    scenario: Scenario,
+    alg: AlgorithmKind,
+    eps: f64,
+    seed: u64,
+) -> f64 {
+    let m = bench.train.len();
+    let classes = bench.spec.classes();
+    let cands = candidates(scenario);
+    let budget = scenario.budget(eps, m);
+    let mut rng = bolton_rng::seeded(seed);
+    if classes == 2 {
+        let mut train = |portion: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| {
+            let plan = TrainPlan::new(scenario.huber(c.lambda), alg, Some(budget))
+                .with_passes(c.passes)
+                .with_batch_size(c.batch_size);
+            plan.train(portion, r).expect("candidate must train")
+        };
+        let tuned =
+            bolton::tuning::private_tune(&bench.train, &cands, budget, &mut train, &mut rng)
+                .expect("tuning must succeed");
+        metrics::accuracy(&tuned.model, &bench.test)
+    } else {
+        let mut train = |portion: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| {
+            multiclass_cell(
+                portion,
+                classes,
+                scenario.huber(c.lambda),
+                alg,
+                Some(budget),
+                c.passes,
+                c.batch_size,
+                r,
+            )
+        };
+        let tuned = bolton::tuning::private_tune_models(
+            &bench.train,
+            &cands,
+            budget,
+            &mut train,
+            &|model, holdout| multiclass_errors(model, holdout),
+            &mut rng,
+        )
+        .expect("tuning must succeed");
+        tuned.model.accuracy(&bench.test)
+    }
+}
+
+fn main() {
+    header(&["dataset", "scenario", "eps", "algorithm", "accuracy"]);
+    let trials = bolton_bench::default_trials();
+    for spec in MAIN_DATASETS {
+        let bench = generate(spec, 0xF167);
+        let m = bench.train.len();
+        for scenario in Scenario::ALL {
+            for &eps in spec.epsilon_grid() {
+                for &alg in scenario.algorithms() {
+                    let acc = if alg == AlgorithmKind::Noiseless {
+                        bolton_bench::mean_accuracy(
+                            &bench,
+                            scenario.huber(DEFAULT_LAMBDA),
+                            alg,
+                            budget_for(scenario, alg, eps, m),
+                            DEFAULT_PASSES,
+                            DEFAULT_BATCH,
+                            5000,
+                        )
+                    } else {
+                        let mut total = 0.0;
+                        for t in 0..trials {
+                            total += tuned_accuracy(&bench, scenario, alg, eps, 5000 + t);
+                        }
+                        total / trials as f64
+                    };
+                    row(&[
+                        spec.name().to_string(),
+                        scenario.label().to_string(),
+                        format!("{eps}"),
+                        alg.label().to_string(),
+                        format!("{acc:.4}"),
+                    ]);
+                }
+            }
+        }
+    }
+}

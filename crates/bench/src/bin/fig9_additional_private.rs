@@ -1,0 +1,84 @@
+//! Figure 9 (Appendix C) — HIGGS-like and KDDCup-99-like accuracy with the
+//! private tuning Algorithm 3 (grid k ∈ {5, 10}, λ ∈ {1e-4, 1e-3, 1e-2}
+//! where applicable, b = 50).
+//!
+//! Output: TSV rows `dataset, scenario, eps, algorithm, accuracy`.
+
+use bolton::api::{AlgorithmKind, TrainPlan};
+use bolton::tuning::{grid, private_tune, Candidate};
+use bolton::{metrics, InMemoryDataset, TrainSet};
+use bolton_bench::{
+    budget_for, header, row, Scenario, DEFAULT_BATCH, DEFAULT_LAMBDA, DEFAULT_PASSES,
+    EXTRA_DATASETS,
+};
+use bolton_data::{generate, Benchmark};
+use bolton_rng::Rng;
+
+fn candidates(scenario: Scenario) -> Vec<Candidate> {
+    if scenario.strongly_convex() {
+        grid(&[5, 10], &[DEFAULT_BATCH], &[1e-4, 1e-3, 1e-2])
+    } else {
+        grid(&[5, 10], &[DEFAULT_BATCH], &[0.0])
+    }
+}
+
+fn tuned_accuracy(
+    bench: &Benchmark,
+    scenario: Scenario,
+    alg: AlgorithmKind,
+    eps: f64,
+    seed: u64,
+) -> f64 {
+    let m = bench.train.len();
+    let budget = scenario.budget(eps, m);
+    let cands = candidates(scenario);
+    let mut rng = bolton_rng::seeded(seed);
+    let mut train = |portion: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| {
+        let plan = TrainPlan::new(scenario.logistic(c.lambda), alg, Some(budget))
+            .with_passes(c.passes)
+            .with_batch_size(c.batch_size);
+        plan.train(portion, r).expect("candidate must train")
+    };
+    let tuned = private_tune(&bench.train, &cands, budget, &mut train, &mut rng)
+        .expect("tuning must succeed");
+    metrics::accuracy(&tuned.model, &bench.test)
+}
+
+fn main() {
+    header(&["dataset", "scenario", "eps", "algorithm", "accuracy"]);
+    let trials = bolton_bench::default_trials();
+    for spec in EXTRA_DATASETS {
+        let bench = generate(spec, 0xF169);
+        let m = bench.train.len();
+        for scenario in Scenario::ALL {
+            for &eps in spec.epsilon_grid() {
+                for &alg in scenario.algorithms() {
+                    let acc = if alg == AlgorithmKind::Noiseless {
+                        bolton_bench::mean_accuracy(
+                            &bench,
+                            scenario.logistic(DEFAULT_LAMBDA),
+                            alg,
+                            budget_for(scenario, alg, eps, m),
+                            DEFAULT_PASSES,
+                            DEFAULT_BATCH,
+                            7000,
+                        )
+                    } else {
+                        let mut total = 0.0;
+                        for t in 0..trials {
+                            total += tuned_accuracy(&bench, scenario, alg, eps, 7000 + t);
+                        }
+                        total / trials as f64
+                    };
+                    row(&[
+                        spec.name().to_string(),
+                        scenario.label().to_string(),
+                        format!("{eps}"),
+                        alg.label().to_string(),
+                        format!("{acc:.4}"),
+                    ]);
+                }
+            }
+        }
+    }
+}

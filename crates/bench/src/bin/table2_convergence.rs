@@ -1,0 +1,101 @@
+//! Table 2 — convergence for (ε, δ)-DP at a constant number of passes:
+//! ours O(√d/√m) (convex) / O(√d·log m/m) (strongly convex) vs BST14's
+//! extra log factors.
+//!
+//! We measure the *excess empirical risk* `L_S(w̃) − L_S(w*)` (w* ≈ a long
+//! noiseless run) for 1-pass training while doubling m, and report the
+//! empirical decay exponent α in excess ≈ C·m^(−α). The paper's table
+//! predicts α ≈ 0.5 for ours-convex and α ≈ 1 for ours-strongly-convex,
+//! with BST14 matching up to log factors (so slightly smaller measured α).
+//!
+//! Output: TSV rows `setting, algorithm, m, excess_risk` followed by
+//! fitted exponents.
+
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::{metrics, Budget};
+use bolton_bench::{header, row};
+use bolton_data::generator::linear_binary;
+use bolton_sgd::engine::{run_psgd, Averaging, SgdConfig};
+use bolton_sgd::schedule::StepSize;
+
+fn excess_risk(
+    loss_kind: LossKind,
+    alg: AlgorithmKind,
+    m: usize,
+    d: usize,
+    trials: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for t in 0..trials {
+        let mut rng = bolton_rng::seeded(0x7AB2 + t * 977 + m as u64);
+        let data = linear_binary(&mut rng, m, d, 0.1);
+        // Reference optimum: long noiseless run with averaging.
+        let (loss, radius) = loss_kind.build();
+        let ref_step = if loss.is_strongly_convex() {
+            StepSize::StronglyConvex { beta: loss.smoothness(), gamma: loss.strong_convexity() }
+        } else {
+            StepSize::InvSqrtM { m }
+        };
+        let mut ref_config = SgdConfig::new(ref_step)
+            .with_passes(30)
+            .with_averaging(Averaging::Uniform);
+        if let Some(r) = radius {
+            ref_config = ref_config.with_projection(r);
+        }
+        let reference = run_psgd(&data, loss.as_ref(), &ref_config, &mut rng);
+        let optimum = metrics::empirical_risk(loss.as_ref(), &reference.model, &data);
+
+        let budget = Budget::approx(1.0, 1.0 / (m as f64 * m as f64)).expect("budget");
+        let plan = TrainPlan::new(loss_kind, alg, Some(budget))
+            .with_passes(1)
+            .with_batch_size(1);
+        let model = plan.train(&data, &mut rng).expect("train");
+        let risk = metrics::empirical_risk(loss.as_ref(), &model, &data);
+        total += (risk - optimum).max(0.0);
+    }
+    total / trials as f64
+}
+
+/// Least-squares slope of log(excess) on log(m): excess ≈ C·m^(−α).
+fn fitted_exponent(points: &[(usize, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let xs: Vec<f64> = points.iter().map(|(m, _)| (*m as f64).ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|(_, e)| e.max(1e-12).ln()).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    -(cov / var)
+}
+
+fn main() {
+    header(&["setting", "algorithm", "m", "excess_risk"]);
+    let d = 10;
+    let ms = [2_000usize, 4_000, 8_000, 16_000, 32_000];
+    let trials = bolton_bench::default_trials();
+    let mut exponents = Vec::new();
+    for (setting, loss_kind) in [
+        ("convex", LossKind::Logistic { lambda: 0.0 }),
+        ("strongly-convex", LossKind::Logistic { lambda: 1e-3 }),
+    ] {
+        for alg in [AlgorithmKind::BoltOn, AlgorithmKind::Bst14] {
+            let mut points = Vec::new();
+            for &m in &ms {
+                let excess = excess_risk(loss_kind, alg, m, d, trials);
+                points.push((m, excess));
+                row(&[
+                    setting.to_string(),
+                    alg.label().to_string(),
+                    m.to_string(),
+                    format!("{excess:.6}"),
+                ]);
+            }
+            exponents.push((setting, alg.label(), fitted_exponent(&points)));
+        }
+    }
+    println!();
+    header(&["setting", "algorithm", "fitted_decay_exponent_alpha"]);
+    for (setting, alg, alpha) in exponents {
+        row(&[setting.to_string(), alg.to_string(), format!("{alpha:.3}")]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 4 — the step-size rules per setting and algorithm, evaluated at a
+//! few `t` so the schedule implementations are auditable at a glance.
+//!
+//! Output: TSV rows `setting, algorithm, rule, eta_t1, eta_t100, eta_t10000`.
+
+use bolton_bench::{header, row};
+use bolton_sgd::schedule::StepSize;
+
+fn main() {
+    header(&["setting", "algorithm", "rule", "eta_t1", "eta_t100", "eta_t10000"]);
+    let m = 10_000usize;
+    let lambda = 1e-4;
+    let beta_c = 1.0; // plain logistic
+    let beta_sc = 1.0 + lambda;
+    let gamma = lambda;
+    // BST14 convex scale, representative calibration (d=50, sigma²=1e4, b=50).
+    let g = (50.0f64 * 1.0e4 + (50.0f64 * 1.0).powi(2)).sqrt();
+    let radius = 1.0 / lambda;
+
+    let cells: Vec<(&str, &str, &str, StepSize)> = vec![
+        ("convex", "Noiseless", "1/sqrt(m)", StepSize::InvSqrtM { m }),
+        ("convex", "Ours", "1/sqrt(m)", StepSize::InvSqrtM { m }),
+        ("convex", "SCS13", "1/sqrt(t)", StepSize::InvSqrtT),
+        ("convex", "BST14", "2R/(G*sqrt(t))", StepSize::BstConvex { radius, g }),
+        ("strongly-convex", "Noiseless", "1/(gamma*t)", StepSize::InvGammaT { gamma }),
+        (
+            "strongly-convex",
+            "Ours",
+            "min(1/beta, 1/(gamma*t))",
+            StepSize::StronglyConvex { beta: beta_sc, gamma },
+        ),
+        ("strongly-convex", "SCS13", "1/sqrt(t)", StepSize::InvSqrtT),
+        ("strongly-convex", "BST14", "1/(gamma*t)", StepSize::InvGammaT { gamma }),
+        // The corollaries' analytical schedules (Section 3.2.1).
+        (
+            "convex-analysis",
+            "Corollary2",
+            "2/(beta*(t+m^c))",
+            StepSize::Decreasing { beta: beta_c, m, c: 0.5 },
+        ),
+        (
+            "convex-analysis",
+            "Corollary3",
+            "2/(beta*(sqrt(t)+m^c))",
+            StepSize::SqrtDecay { beta: beta_c, m, c: 0.5 },
+        ),
+    ];
+
+    for (setting, alg, rule, schedule) in cells {
+        row(&[
+            setting.to_string(),
+            alg.to_string(),
+            rule.to_string(),
+            format!("{:.6}", schedule.eta(1)),
+            format!("{:.6}", schedule.eta(100)),
+            format!("{:.6}", schedule.eta(10_000)),
+        ]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Experiment-cell runners shared by every figure binary.
+
+use crate::scenarios::Scenario;
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::multiclass::{train_one_vs_all, MulticlassModel};
+use bolton::{metrics, Budget, InMemoryDataset, TrainSet};
+use bolton_data::Benchmark;
+use bolton_rng::Rng;
+use std::time::{Duration, Instant};
+
+/// Prints a `#`-prefixed TSV header row.
+pub fn header(cols: &[&str]) {
+    println!("#{}", cols.join("\t"));
+}
+
+/// Prints one TSV data row.
+pub fn row(fields: &[String]) {
+    println!("{}", fields.join("\t"));
+}
+
+/// Times a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Number of seeds each accuracy cell is averaged over (paper plots single
+/// runs; we average a few seeds for stable, reproducible tables).
+pub fn default_trials() -> u64 {
+    std::env::var("BOLTON_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Trains one plan and returns test accuracy, handling the binary and
+/// (for MNIST-like) the one-vs-all multiclass pipelines.
+pub fn accuracy_cell(
+    bench: &Benchmark,
+    loss: LossKind,
+    algorithm: AlgorithmKind,
+    budget: Option<Budget>,
+    passes: usize,
+    batch: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = bolton_rng::seeded(seed);
+    let classes = bench.spec.classes();
+    if classes == 2 {
+        let plan = TrainPlan::new(loss, algorithm, budget)
+            .with_passes(passes)
+            .with_batch_size(batch);
+        let model = plan.train(&bench.train, &mut rng).expect("cell must train");
+        metrics::accuracy(&model, &bench.test)
+    } else {
+        let model =
+            multiclass_cell(&bench.train, classes, loss, algorithm, budget, passes, batch, &mut rng);
+        model.accuracy(&bench.test)
+    }
+}
+
+/// Trains a one-vs-all bundle, splitting the budget evenly across classes
+/// (basic composition — the paper's MNIST treatment).
+#[allow(clippy::too_many_arguments)]
+pub fn multiclass_cell<D, R>(
+    train: &D,
+    classes: usize,
+    loss: LossKind,
+    algorithm: AlgorithmKind,
+    budget: Option<Budget>,
+    passes: usize,
+    batch: usize,
+    rng: &mut R,
+) -> MulticlassModel
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    match budget {
+        Some(total) => train_one_vs_all(
+            train,
+            classes,
+            total,
+            |view, per_class, r| {
+                let plan = TrainPlan::new(loss, algorithm, Some(per_class))
+                    .with_passes(passes)
+                    .with_batch_size(batch);
+                plan.train(view, r)
+            },
+            rng,
+        )
+        .expect("multiclass training must succeed"),
+        None => {
+            // Noiseless: no budget to split; train each class directly.
+            let mut models = Vec::with_capacity(classes);
+            for class in 0..classes {
+                let view = bolton::multiclass::OneVsRestView::new(train, class);
+                let plan = TrainPlan::new(loss, algorithm, None)
+                    .with_passes(passes)
+                    .with_batch_size(batch);
+                models.push(plan.train(&view, rng).expect("noiseless training must succeed"));
+            }
+            MulticlassModel { models }
+        }
+    }
+}
+
+/// Accuracy averaged over [`default_trials`] seeds.
+#[allow(clippy::too_many_arguments)]
+pub fn mean_accuracy(
+    bench: &Benchmark,
+    loss: LossKind,
+    algorithm: AlgorithmKind,
+    budget: Option<Budget>,
+    passes: usize,
+    batch: usize,
+    base_seed: u64,
+) -> f64 {
+    let trials = default_trials();
+    let mut total = 0.0;
+    for t in 0..trials {
+        total += accuracy_cell(bench, loss, algorithm, budget, passes, batch, base_seed + t);
+    }
+    total / trials as f64
+}
+
+/// Multiclass error counter for the generic private tuner.
+pub fn multiclass_errors(model: &MulticlassModel, holdout: &InMemoryDataset) -> usize {
+    let mut errs = 0usize;
+    holdout.scan(&mut |_, x, y| {
+        if model.predict(x) != y as usize {
+            errs += 1;
+        }
+    });
+    errs
+}
+
+/// The scenario-appropriate budget, or `None` for the noiseless baseline.
+pub fn budget_for(
+    scenario: Scenario,
+    algorithm: AlgorithmKind,
+    eps: f64,
+    m: usize,
+) -> Option<Budget> {
+    if algorithm == AlgorithmKind::Noiseless {
+        None
+    } else {
+        Some(scenario.budget(eps, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::Scenario;
+    use bolton_data::{generate_scaled, DatasetSpec};
+
+    #[test]
+    fn binary_cell_runs() {
+        let bench = generate_scaled(DatasetSpec::Protein, 42, 0.005);
+        let acc = accuracy_cell(
+            &bench,
+            LossKind::Logistic { lambda: 0.0 },
+            AlgorithmKind::Noiseless,
+            None,
+            2,
+            10,
+            1,
+        );
+        assert!(acc > 0.8, "protein noiseless {acc}");
+    }
+
+    #[test]
+    fn multiclass_cell_runs() {
+        let bench = generate_scaled(DatasetSpec::Mnist, 43, 0.003);
+        let acc = accuracy_cell(
+            &bench,
+            LossKind::Logistic { lambda: 0.0 },
+            AlgorithmKind::BoltOn,
+            Some(Budget::pure(100.0).unwrap()),
+            2,
+            10,
+            2,
+        );
+        assert!(acc > 0.5, "mnist near-noiseless {acc}");
+    }
+
+    #[test]
+    fn budget_for_noiseless_is_none() {
+        assert!(budget_for(Scenario::ConvexPure, AlgorithmKind::Noiseless, 0.1, 100).is_none());
+        assert!(budget_for(Scenario::ConvexPure, AlgorithmKind::BoltOn, 0.1, 100).is_some());
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared harness for the figure/table-regenerating binaries.
+//!
+//! Every binary in `src/bin/` prints the same rows/series its paper
+//! counterpart reports, using tab-separated columns with a `#`-prefixed
+//! header so output pastes into a spreadsheet or gnuplot. Workloads default
+//! to scaled-down sizes (see `bolton_data::datasets`); set
+//! `BOLTON_PAPER_SCALE=1` to run the paper's full Table 3 sizes.
+
+pub mod bismarck_support;
+pub mod harness;
+pub mod scenarios;
+
+pub use bismarck_support::*;
+pub use harness::*;
+pub use scenarios::*;

@@ -1,0 +1,127 @@
+//! The four test scenarios of Section 4.3 and their parameter conventions.
+
+use bolton::api::{AlgorithmKind, LossKind};
+use bolton::Budget;
+use bolton_data::DatasetSpec;
+
+/// The paper's four accuracy test scenarios (Section 4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Test 1: convex (λ = 0), ε-DP.
+    ConvexPure,
+    /// Test 2: convex (λ = 0), (ε, δ)-DP.
+    ConvexApprox,
+    /// Test 3: strongly convex (λ > 0), ε-DP.
+    StronglyConvexPure,
+    /// Test 4: strongly convex (λ > 0), (ε, δ)-DP.
+    StronglyConvexApprox,
+}
+
+impl Scenario {
+    /// All four, in paper order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::ConvexPure,
+        Scenario::ConvexApprox,
+        Scenario::StronglyConvexPure,
+        Scenario::StronglyConvexApprox,
+    ];
+
+    /// The paper's label ("Test 1" … "Test 4").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::ConvexPure => "Test1-Convex-eps",
+            Scenario::ConvexApprox => "Test2-Convex-eps-delta",
+            Scenario::StronglyConvexPure => "Test3-StronglyConvex-eps",
+            Scenario::StronglyConvexApprox => "Test4-StronglyConvex-eps-delta",
+        }
+    }
+
+    /// Whether the scenario uses a strongly convex (regularized) loss.
+    pub fn strongly_convex(&self) -> bool {
+        matches!(self, Scenario::StronglyConvexPure | Scenario::StronglyConvexApprox)
+    }
+
+    /// Whether the scenario grants δ > 0.
+    pub fn approx(&self) -> bool {
+        matches!(self, Scenario::ConvexApprox | Scenario::StronglyConvexApprox)
+    }
+
+    /// Logistic-loss kind for this scenario at regularization `lambda`.
+    pub fn logistic(&self, lambda: f64) -> LossKind {
+        LossKind::Logistic { lambda: if self.strongly_convex() { lambda } else { 0.0 } }
+    }
+
+    /// Huber-SVM kind for this scenario (h = 0.1, Appendix B).
+    pub fn huber(&self, lambda: f64) -> LossKind {
+        LossKind::HuberSvm { h: 0.1, lambda: if self.strongly_convex() { lambda } else { 0.0 } }
+    }
+
+    /// Budget for a sweep point ε on a dataset of `m` training rows
+    /// (δ = 1/m², Section 4.3).
+    pub fn budget(&self, eps: f64, m: usize) -> Budget {
+        if self.approx() {
+            let delta = 1.0 / (m as f64 * m as f64);
+            Budget::approx(eps, delta).expect("valid sweep budget")
+        } else {
+            Budget::pure(eps).expect("valid sweep budget")
+        }
+    }
+
+    /// Algorithms compared in this scenario: BST14 appears only in the
+    /// (ε, δ) tests (Figures 3/6 caption).
+    pub fn algorithms(&self) -> &'static [AlgorithmKind] {
+        if self.approx() {
+            &[
+                AlgorithmKind::Noiseless,
+                AlgorithmKind::BoltOn,
+                AlgorithmKind::Scs13,
+                AlgorithmKind::Bst14,
+            ]
+        } else {
+            &[AlgorithmKind::Noiseless, AlgorithmKind::BoltOn, AlgorithmKind::Scs13]
+        }
+    }
+}
+
+/// The paper's default regularization for the figures (λ = 1e-4).
+pub const DEFAULT_LAMBDA: f64 = 1e-4;
+
+/// The figures' mini-batch size (b = 50).
+pub const DEFAULT_BATCH: usize = 50;
+
+/// The figures' pass count (k = 10).
+pub const DEFAULT_PASSES: usize = 10;
+
+/// The three main-paper datasets of Figures 3/5/6/7.
+pub const MAIN_DATASETS: [DatasetSpec; 3] =
+    [DatasetSpec::Mnist, DatasetSpec::Protein, DatasetSpec::Covtype];
+
+/// The appendix datasets of Figures 8/9.
+pub const EXTRA_DATASETS: [DatasetSpec; 2] = [DatasetSpec::Higgs, DatasetSpec::Kddcup99];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_conventions() {
+        assert!(!Scenario::ConvexPure.approx());
+        assert!(Scenario::StronglyConvexApprox.strongly_convex());
+        assert_eq!(Scenario::ConvexPure.algorithms().len(), 3);
+        assert_eq!(Scenario::ConvexApprox.algorithms().len(), 4);
+        // Convex scenarios zero out lambda.
+        assert_eq!(Scenario::ConvexPure.logistic(0.01), LossKind::Logistic { lambda: 0.0 });
+        assert_eq!(
+            Scenario::StronglyConvexPure.logistic(0.01),
+            LossKind::Logistic { lambda: 0.01 }
+        );
+    }
+
+    #[test]
+    fn budget_delta_convention() {
+        let b = Scenario::ConvexApprox.budget(0.1, 1000);
+        assert_eq!(b.delta(), 1e-6);
+        let p = Scenario::ConvexPure.budget(0.1, 1000);
+        assert!(p.is_pure());
+    }
+}

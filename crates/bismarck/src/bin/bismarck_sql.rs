@@ -1,0 +1,88 @@
+//! A tiny interactive shell over the Bismarck-style engine.
+//!
+//! ```text
+//! $ cargo run -p bolton-bismarck --bin bismarck_sql
+//! bolton> CREATE TABLE t (DIM 4) DISK
+//! ok
+//! bolton> SYNTH t ROWS 1000 SEED 7 NOISE 0.1
+//! ok
+//! bolton> SELECT COUNT(*) FROM t
+//! 1000
+//! bolton> SELECT AVG(2) FROM t
+//! 0.0005413...
+//! bolton> SHUFFLE t SEED 3
+//! ok
+//! bolton> \q
+//! ```
+//!
+//! Statements come from stdin (one per line), so the shell also works in
+//! pipelines: `echo "SHOW TABLES" | bismarck_sql`.
+
+use bolton_bismarck::sql::{run, QueryResult};
+use bolton_bismarck::Catalog;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let stdin = std::io::stdin();
+    let interactive = true; // stdin may be a pipe; prompts are harmless either way
+    let mut out = std::io::stdout();
+
+    if interactive {
+        println!("bolton mini-SQL shell — CREATE/SYNTH/INSERT/SELECT/SHUFFLE/DROP/SHOW; \\q quits");
+    }
+    loop {
+        if interactive {
+            print!("bolton> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "\\q" || trimmed.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        match run(&mut catalog, trimmed) {
+            Ok(QueryResult::Ok) => println!("ok"),
+            Ok(QueryResult::Count(n)) => println!("{n}"),
+            Ok(QueryResult::Scalar(Some(v))) => println!("{v}"),
+            Ok(QueryResult::Scalar(None)) => println!("NULL"),
+            Ok(QueryResult::Names(names)) => {
+                if names.is_empty() {
+                    println!("(no tables)");
+                } else {
+                    for name in names {
+                        println!("{name}");
+                    }
+                }
+            }
+            Ok(QueryResult::Histogram(bins)) => {
+                for (label, count) in bins {
+                    println!("{label}\t{count}");
+                }
+            }
+            Ok(QueryResult::Stats(columns)) => {
+                println!("#column\tmin\tmax\tmean\tstd");
+                for (i, c) in columns.iter().enumerate() {
+                    let name = if i + 1 == columns.len() {
+                        "label".to_string()
+                    } else {
+                        format!("f{i}")
+                    };
+                    println!("{name}\t{:.4}\t{:.4}\t{:.4}\t{:.4}", c.min, c.max, c.mean, c.std_dev);
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! A clock-eviction buffer pool.
+//!
+//! The pool owns the heap storage and caches up to `capacity` pages in
+//! frames. Access is closure-scoped (`with_page` / `with_page_mut`), which
+//! pins the frame for exactly the duration of the closure without any guard
+//! lifetimes — the pattern the storage scan needs. Dirty frames are written
+//! back on eviction and on [`BufferPool::flush`].
+//!
+//! Capping `capacity` far below the table size is how the scalability
+//! experiments (paper Figure 2b) force the disk-resident code path.
+
+use crate::error::{DbError, DbResult};
+use crate::heap::HeapStorage;
+use crate::page::Page;
+use std::collections::HashMap;
+
+/// Cache statistics, for the scalability harness and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from a frame.
+    pub hits: u64,
+    /// Page requests that had to read storage.
+    pub misses: u64,
+    /// Frames written back because they were dirty at eviction.
+    pub dirty_evictions: u64,
+    /// Total evictions.
+    pub evictions: u64,
+}
+
+struct Frame {
+    pid: Option<usize>,
+    page: Page,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// A buffer pool over a heap file.
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    /// pid → frame index for resident pages.
+    resident: HashMap<usize, usize>,
+    hand: usize,
+    storage: Box<dyn HeapStorage>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Wraps `storage` with a pool of `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(storage: Box<dyn HeapStorage>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame { pid: None, page: Page::new(), dirty: false, referenced: false })
+            .collect();
+        Self { frames, resident: HashMap::new(), hand: 0, storage, stats: PoolStats::default() }
+    }
+
+    /// Number of pages in the underlying heap.
+    pub fn page_count(&self) -> usize {
+        self.storage.page_count()
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Resets cache statistics (between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Description of the underlying storage.
+    pub fn describe(&self) -> String {
+        format!("{} via {}-frame pool", self.storage.describe(), self.frames.len())
+    }
+
+    /// Runs `f` against page `pid` (read-only).
+    pub fn with_page<T>(&mut self, pid: usize, f: impl FnOnce(&Page) -> T) -> DbResult<T> {
+        let frame = self.fetch(pid)?;
+        Ok(f(&self.frames[frame].page))
+    }
+
+    /// Runs `f` against page `pid` mutably, marking the frame dirty.
+    pub fn with_page_mut<T>(&mut self, pid: usize, f: impl FnOnce(&mut Page) -> T) -> DbResult<T> {
+        let frame = self.fetch(pid)?;
+        self.frames[frame].dirty = true;
+        Ok(f(&mut self.frames[frame].page))
+    }
+
+    /// Appends a fresh page to the heap, returning its id. The page is also
+    /// cached so an immediately following `with_page_mut` hits.
+    pub fn append_page(&mut self, page: &Page) -> DbResult<usize> {
+        let pid = self.storage.append_page(page)?;
+        // Warm the cache with the new tail page: inserts hammer it.
+        let frame = self.take_frame()?;
+        self.frames[frame].page.bytes_mut().copy_from_slice(page.bytes());
+        self.install(frame, pid, false);
+        Ok(pid)
+    }
+
+    /// Writes every dirty frame back to storage.
+    pub fn flush(&mut self) -> DbResult<()> {
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                let pid = self.frames[i].pid.expect("dirty frame must hold a page");
+                self.storage.write_page(pid, &self.frames[i].page)?;
+                self.frames[i].dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn fetch(&mut self, pid: usize) -> DbResult<usize> {
+        if let Some(&frame) = self.resident.get(&pid) {
+            self.stats.hits += 1;
+            self.frames[frame].referenced = true;
+            return Ok(frame);
+        }
+        self.stats.misses += 1;
+        if pid >= self.storage.page_count() {
+            return Err(DbError::PageOutOfBounds { pid, pages: self.storage.page_count() });
+        }
+        let frame = self.take_frame()?;
+        // Disjoint field borrows: read storage directly into the frame's
+        // page buffer, avoiding a per-miss allocation.
+        self.storage.read_page(pid, &mut self.frames[frame].page)?;
+        self.install(frame, pid, false);
+        Ok(frame)
+    }
+
+    fn install(&mut self, frame: usize, pid: usize, dirty: bool) {
+        let f = &mut self.frames[frame];
+        f.pid = Some(pid);
+        f.dirty = dirty;
+        f.referenced = true;
+        self.resident.insert(pid, frame);
+    }
+
+    /// Finds a victim frame via the clock algorithm, writing it back if
+    /// dirty and detaching it from the resident map.
+    fn take_frame(&mut self) -> DbResult<usize> {
+        // First pass: any empty frame.
+        if let Some(i) = self.frames.iter().position(|f| f.pid.is_none()) {
+            return Ok(i);
+        }
+        // Clock: skip recently referenced frames once, clearing their bit.
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            if self.frames[i].referenced {
+                self.frames[i].referenced = false;
+                continue;
+            }
+            let pid = self.frames[i].pid.expect("occupied frame");
+            if self.frames[i].dirty {
+                self.storage.write_page(pid, &self.frames[i].page)?;
+                self.stats.dirty_evictions += 1;
+            }
+            self.stats.evictions += 1;
+            self.resident.remove(&pid);
+            self.frames[i].pid = None;
+            self.frames[i].dirty = false;
+            return Ok(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::MemHeap;
+
+    fn page_with(value: f64) -> Page {
+        let mut p = Page::new();
+        p.push_row(&[value], 1.0).unwrap();
+        p
+    }
+
+    fn read_value(page: &Page) -> f64 {
+        let mut buf = [0.0];
+        page.read_row(0, &mut buf).unwrap();
+        buf[0]
+    }
+
+    #[test]
+    fn append_then_read_hits_cache() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 4);
+        let pid = pool.append_page(&page_with(5.0)).unwrap();
+        let v = pool.with_page(pid, read_value).unwrap();
+        assert_eq!(v, 5.0);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 0);
+    }
+
+    #[test]
+    fn eviction_under_pressure_preserves_data() {
+        let capacity = 3;
+        let n_pages = 20;
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), capacity);
+        for i in 0..n_pages {
+            pool.append_page(&page_with(i as f64)).unwrap();
+        }
+        // Read every page twice in a pattern that thrashes a 3-frame pool.
+        for round in 0..2 {
+            for i in 0..n_pages {
+                let v = pool.with_page(i, read_value).unwrap();
+                assert_eq!(v, i as f64, "round {round}, page {i}");
+            }
+        }
+        assert!(pool.stats().evictions > 0);
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 2);
+        for i in 0..5 {
+            pool.append_page(&page_with(i as f64)).unwrap();
+        }
+        // Mutate page 0, then touch enough pages to evict it.
+        pool.with_page_mut(0, |p| {
+            p.clear();
+            p.push_row(&[42.0], 1.0).unwrap();
+        })
+        .unwrap();
+        for i in 1..5 {
+            pool.with_page(i, read_value).unwrap();
+        }
+        let v = pool.with_page(0, read_value).unwrap();
+        assert_eq!(v, 42.0);
+        assert!(pool.stats().dirty_evictions >= 1);
+    }
+
+    #[test]
+    fn flush_writes_back_without_eviction() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 8);
+        pool.append_page(&page_with(1.0)).unwrap();
+        pool.with_page_mut(0, |p| {
+            p.clear();
+            p.push_row(&[2.0], 1.0).unwrap();
+        })
+        .unwrap();
+        pool.flush().unwrap();
+        // Flushing twice is a no-op (frame no longer dirty).
+        pool.flush().unwrap();
+        assert_eq!(pool.with_page(0, read_value).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn sequential_scan_with_tiny_pool_mostly_misses() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 1);
+        for i in 0..10 {
+            pool.append_page(&page_with(i as f64)).unwrap();
+        }
+        pool.reset_stats();
+        for i in 0..10 {
+            pool.with_page(i, read_value).unwrap();
+        }
+        // With a single frame and 10 distinct pages only the last append
+        // could hit; after reset, all 10 reads miss except possibly page 9.
+        assert!(pool.stats().misses >= 9, "stats {:?}", pool.stats());
+    }
+
+    #[test]
+    fn out_of_bounds_page_errors() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 2);
+        assert!(matches!(
+            pool.with_page(0, |_| ()),
+            Err(DbError::PageOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        BufferPool::new(Box::new(MemHeap::new()), 0);
+    }
+
+    #[test]
+    fn repeated_access_is_a_hit_stream() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 2);
+        pool.append_page(&page_with(3.0)).unwrap();
+        pool.reset_stats();
+        for _ in 0..100 {
+            pool.with_page(0, read_value).unwrap();
+        }
+        assert_eq!(pool.stats().hits, 100);
+        assert_eq!(pool.stats().misses, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::heap::MemHeap;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under an arbitrary access pattern, a tiny pool returns exactly
+        /// what a huge pool returns — eviction is invisible to readers.
+        #[test]
+        fn tiny_pool_equals_big_pool(
+            accesses in proptest::collection::vec(0usize..20, 1..200),
+            writes in proptest::collection::vec((0usize..20, -100.0f64..100.0), 0..40),
+        ) {
+            let make_pool = |capacity: usize| {
+                let mut pool = BufferPool::new(Box::new(MemHeap::new()), capacity);
+                for i in 0..20usize {
+                    let mut page = Page::new();
+                    page.push_row(&[i as f64], 1.0).unwrap();
+                    pool.append_page(&page).unwrap();
+                }
+                pool
+            };
+            let mut tiny = make_pool(2);
+            let mut big = make_pool(32);
+            // Interleave writes into both pools identically.
+            for (pid, value) in &writes {
+                for pool in [&mut tiny, &mut big] {
+                    pool.with_page_mut(*pid, |p| {
+                        p.clear();
+                        p.push_row(&[*value], 1.0).unwrap();
+                    })
+                    .unwrap();
+                }
+            }
+            for pid in &accesses {
+                let read = |pool: &mut BufferPool| {
+                    pool.with_page(*pid, |p| {
+                        let mut buf = [0.0];
+                        p.read_row(0, &mut buf).unwrap();
+                        buf[0]
+                    })
+                    .unwrap()
+                };
+                prop_assert_eq!(read(&mut tiny), read(&mut big), "page {}", pid);
+            }
+        }
+    }
+}

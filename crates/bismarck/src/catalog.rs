@@ -1,0 +1,130 @@
+//! The catalog: named tables, like a (single-schema) system catalog.
+
+use crate::error::{DbError, DbResult};
+use crate::heap::Backing;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A collection of named tables.
+#[derive(Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    /// [`DbError::TableExists`] on a name collision.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        dim: usize,
+        backing: Backing,
+        pool_pages: usize,
+    ) -> DbResult<&mut Table> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        let table = Table::create(name, dim, backing, pool_pages)?;
+        Ok(self.tables.entry(name.to_string()).or_insert(table))
+    }
+
+    /// Registers an already-built table (e.g. from the synthesizer).
+    ///
+    /// # Errors
+    /// [`DbError::TableExists`] on a name collision.
+    pub fn register(&mut self, table: Table) -> DbResult<&mut Table> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        Ok(self.tables.entry(name).or_insert(table))
+    }
+
+    /// Immutable lookup.
+    ///
+    /// # Errors
+    /// [`DbError::TableNotFound`] when absent.
+    pub fn get(&self, name: &str) -> DbResult<&Table> {
+        self.tables.get(name).ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    /// [`DbError::TableNotFound`] when absent.
+    pub fn get_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables.get_mut(name).ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    /// [`DbError::TableNotFound`] when absent.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<Table> {
+        self.tables.remove(name).ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_drop_cycle() {
+        let mut cat = Catalog::new();
+        cat.create_table("a", 3, Backing::Memory, 8).unwrap();
+        assert_eq!(cat.get("a").unwrap().dim(), 3);
+        assert!(matches!(cat.get("b"), Err(DbError::TableNotFound(_))));
+        let dropped = cat.drop_table("a").unwrap();
+        assert_eq!(dropped.name(), "a");
+        assert!(cat.get("a").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut cat = Catalog::new();
+        cat.create_table("a", 2, Backing::Memory, 8).unwrap();
+        assert!(matches!(
+            cat.create_table("a", 2, Backing::Memory, 8),
+            Err(DbError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn register_prebuilt_table() {
+        let mut cat = Catalog::new();
+        let mut t = Table::in_memory("synthetic", 2);
+        t.insert(&[1.0, 2.0], 1.0).unwrap();
+        cat.register(t).unwrap();
+        assert_eq!(cat.get("synthetic").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut cat = Catalog::new();
+        for n in ["zeta", "alpha", "mid"] {
+            cat.create_table(n, 1, Backing::Memory, 4).unwrap();
+        }
+        assert_eq!(cat.table_names(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn mutate_through_catalog() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", 2, Backing::Memory, 8).unwrap();
+        cat.get_mut("t").unwrap().insert(&[1.0, 2.0], -1.0).unwrap();
+        assert_eq!(cat.get("t").unwrap().row_count(), 1);
+    }
+}

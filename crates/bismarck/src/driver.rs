@@ -1,0 +1,256 @@
+//! The epoch driver — Bismarck's "front-end Python controller" (Figure 1).
+//!
+//! The driver shuffles the table, then invokes the SGD UDA once per epoch,
+//! optionally testing convergence between epochs. The three integration
+//! points of Figure 1 map to:
+//!
+//! * **(A) regular Bismarck** — [`DriverConfig`] with no noise at all.
+//! * **(B) ours** — pass an `output_noise` closure: it runs *once*, after
+//!   all epochs, on the final model. No engine code changes.
+//! * **(C) SCS13 / BST14** — pass a `batch_noise` closure: it runs inside
+//!   every mini-batch transition, which is why those baselines required
+//!   modifying the UDA internals (and pay the runtime cost).
+
+use crate::error::DbResult;
+use crate::table::Table;
+use crate::uda::{run_aggregate, BatchNoiseFn, SgdEpochAggregate};
+
+/// The controller-level output-noise callback (Figure 1 (B)).
+pub type OutputNoiseFn<'a> = dyn FnMut(&mut [f64]) + 'a;
+use bolton_rng::Rng;
+use bolton_sgd::loss::Loss;
+use bolton_sgd::schedule::StepSize;
+
+/// Configuration for an in-RDBMS SGD training run.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Number of epochs (passes) `k`.
+    pub epochs: usize,
+    /// Mini-batch size `b`.
+    pub batch_size: usize,
+    /// Step-size schedule.
+    pub step: StepSize,
+    /// Optional projection radius `R`.
+    pub projection_radius: Option<f64>,
+    /// Shuffle the table before the first epoch (`ORDER BY RANDOM()`).
+    pub shuffle_before_training: bool,
+    /// Re-shuffle before every epoch (fresh permutation per pass).
+    pub shuffle_each_epoch: bool,
+    /// Optional convergence tolerance µ on the relative decrease of the
+    /// epoch-to-epoch model movement ‖w_new − w_old‖/‖w_old‖.
+    pub tolerance: Option<f64>,
+}
+
+impl DriverConfig {
+    /// A sensible default: `k` epochs, batch 1, given schedule, shuffle once.
+    pub fn new(epochs: usize, step: StepSize) -> Self {
+        Self {
+            epochs,
+            batch_size: 1,
+            step,
+            projection_radius: None,
+            shuffle_before_training: true,
+            shuffle_each_epoch: false,
+            tolerance: None,
+        }
+    }
+
+    /// Sets the mini-batch size.
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b;
+        self
+    }
+
+    /// Enables projected SGD.
+    pub fn with_projection(mut self, radius: f64) -> Self {
+        self.projection_radius = Some(radius);
+        self
+    }
+
+    /// Enables per-epoch reshuffling.
+    pub fn with_fresh_shuffles(mut self) -> Self {
+        self.shuffle_each_epoch = true;
+        self
+    }
+
+    /// Enables the convergence test.
+    pub fn with_tolerance(mut self, mu: f64) -> Self {
+        self.tolerance = Some(mu);
+        self
+    }
+}
+
+/// The outcome of a driver run.
+#[derive(Clone, Debug)]
+pub struct TrainedModel {
+    /// The final model (after any output noise).
+    pub model: Vec<f64>,
+    /// Epochs actually run (< configured if the tolerance fired).
+    pub epochs_run: usize,
+    /// Total mini-batch updates performed.
+    pub updates: u64,
+}
+
+/// Trains a model over `table` per `config`.
+///
+/// `batch_noise` (Figure 1 (C)) is applied to every mean batch gradient;
+/// `output_noise` (Figure 1 (B)) is applied once to the final model.
+///
+/// # Errors
+/// Propagates storage errors.
+pub fn train<R: Rng + ?Sized>(
+    table: &mut Table,
+    loss: &dyn Loss,
+    config: &DriverConfig,
+    rng: &mut R,
+    mut batch_noise: Option<&mut BatchNoiseFn<'_>>,
+    output_noise: Option<&mut OutputNoiseFn<'_>>,
+) -> DbResult<TrainedModel> {
+    assert!(config.epochs >= 1, "at least one epoch");
+    if config.shuffle_before_training {
+        table.shuffle(rng)?;
+    }
+    let dim = table.dim();
+    let mut model = vec![0.0; dim];
+    let mut t: u64 = 0;
+    let mut epochs_run = 0usize;
+
+    for epoch in 0..config.epochs {
+        if config.shuffle_each_epoch && epoch > 0 {
+            table.shuffle(rng)?;
+        }
+        let previous = model.clone();
+        let out = {
+            let mut agg = SgdEpochAggregate::new(
+                loss,
+                config.step,
+                config.batch_size,
+                config.projection_radius,
+                model,
+                t,
+                table.row_count(),
+            );
+            if let Some(hook) = batch_noise.as_deref_mut() {
+                agg = agg.with_batch_noise(hook);
+            }
+            run_aggregate(table, &mut agg)?
+        };
+        model = out.model;
+        t = out.t;
+        epochs_run += 1;
+
+        if let Some(mu) = config.tolerance {
+            let moved = bolton_linalg::vector::distance(&model, &previous);
+            let scale = bolton_linalg::vector::norm(&previous).max(1e-12);
+            if moved / scale < mu {
+                break;
+            }
+        }
+    }
+
+    if let Some(noise) = output_noise {
+        noise(&mut model);
+    }
+    Ok(TrainedModel { model, epochs_run, updates: t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::loss::Logistic;
+    use bolton_sgd::metrics;
+
+    fn separable_table(m: usize, seed: u64) -> Table {
+        let mut rng = seeded(seed);
+        let mut t = Table::in_memory("train", 2);
+        for _ in 0..m {
+            let x0 = rng.next_range(-1.0, 1.0);
+            t.insert(&[0.7 * x0, rng.next_range(-0.1, 0.1)], if x0 >= 0.0 { 1.0 } else { -1.0 })
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn driver_trains_accurate_model() {
+        let mut table = separable_table(400, 111);
+        let loss = Logistic::plain();
+        let config = DriverConfig::new(5, StepSize::Constant(0.5));
+        let mut rng = seeded(112);
+        let out = train(&mut table, &loss, &config, &mut rng, None, None).unwrap();
+        assert_eq!(out.epochs_run, 5);
+        assert_eq!(out.updates, 2000);
+        let acc = metrics::accuracy(&out.model, &table);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn output_noise_fires_once_after_all_epochs() {
+        let mut table = separable_table(100, 113);
+        let loss = Logistic::plain();
+        let config = DriverConfig::new(3, StepSize::Constant(0.1));
+        let mut rng = seeded(114);
+        let mut calls = 0;
+        let mut noise = |w: &mut [f64]| {
+            calls += 1;
+            w[0] += 100.0;
+        };
+        let out = train(&mut table, &loss, &config, &mut rng, None, Some(&mut noise)).unwrap();
+        assert_eq!(calls, 1);
+        assert!(out.model[0] > 50.0, "noise applied to output");
+    }
+
+    #[test]
+    fn batch_noise_fires_every_update() {
+        let mut table = separable_table(90, 115);
+        let loss = Logistic::plain();
+        let config = DriverConfig::new(2, StepSize::Constant(0.1)).with_batch_size(10);
+        let mut rng = seeded(116);
+        let mut calls = 0u64;
+        let mut hook = |_t: u64, _g: &mut [f64]| calls += 1;
+        let out =
+            train(&mut table, &loss, &config, &mut rng, Some(&mut hook), None).unwrap();
+        assert_eq!(calls, out.updates);
+        assert_eq!(out.updates, 18); // 9 batches × 2 epochs
+    }
+
+    #[test]
+    fn tolerance_short_circuits() {
+        let mut table = separable_table(200, 117);
+        let loss = Logistic::regularized(0.1, 10.0);
+        let config = DriverConfig::new(100, StepSize::StronglyConvex { beta: 1.1, gamma: 0.1 })
+            .with_tolerance(0.02);
+        let mut rng = seeded(118);
+        let out = train(&mut table, &loss, &config, &mut rng, None, None).unwrap();
+        assert!(out.epochs_run < 100, "ran {}", out.epochs_run);
+    }
+
+    #[test]
+    fn seeded_driver_is_reproducible() {
+        let loss = Logistic::plain();
+        let config = DriverConfig::new(2, StepSize::InvSqrtT);
+        let run = |seed: u64| {
+            let mut table = separable_table(80, 119);
+            let mut rng = seeded(seed);
+            train(&mut table, &loss, &config, &mut rng, None, None).unwrap().model
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn fresh_shuffles_change_result() {
+        let loss = Logistic::plain();
+        let run = |fresh: bool| {
+            let mut table = separable_table(80, 120);
+            let mut config = DriverConfig::new(3, StepSize::Constant(0.4));
+            if fresh {
+                config = config.with_fresh_shuffles();
+            }
+            let mut rng = seeded(121);
+            train(&mut table, &loss, &config, &mut rng, None, None).unwrap().model
+        };
+        assert_ne!(run(false), run(true));
+    }
+}

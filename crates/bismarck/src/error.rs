@@ -1,0 +1,97 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the Bismarck-style storage and query layer.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A row did not fit into a fresh page (feature vector too wide).
+    RowTooLarge {
+        /// Feature dimensionality of the offending row.
+        dim: usize,
+    },
+    /// A page was asked for more rows than it holds.
+    SlotOutOfBounds {
+        /// Requested slot.
+        slot: usize,
+        /// Rows present.
+        rows: usize,
+    },
+    /// A page id beyond the end of the heap file.
+    PageOutOfBounds {
+        /// Requested page id.
+        pid: usize,
+        /// Pages present.
+        pages: usize,
+    },
+    /// A row id beyond the end of the table.
+    RowOutOfBounds {
+        /// Requested row id.
+        rid: usize,
+        /// Rows present.
+        rows: usize,
+    },
+    /// Catalog lookup failed.
+    TableNotFound(String),
+    /// Catalog name collision.
+    TableExists(String),
+    /// Tuple arity did not match the table schema.
+    SchemaMismatch {
+        /// Expected feature dimensionality.
+        expected: usize,
+        /// Provided feature dimensionality.
+        got: usize,
+    },
+    /// SQL front-end could not parse a statement.
+    Parse(String),
+    /// On-disk bytes failed validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "i/o error: {e}"),
+            DbError::RowTooLarge { dim } => {
+                write!(f, "row with {dim} features does not fit in one page")
+            }
+            DbError::SlotOutOfBounds { slot, rows } => {
+                write!(f, "slot {slot} out of bounds (page holds {rows} rows)")
+            }
+            DbError::PageOutOfBounds { pid, pages } => {
+                write!(f, "page {pid} out of bounds (heap has {pages} pages)")
+            }
+            DbError::RowOutOfBounds { rid, rows } => {
+                write!(f, "row {rid} out of bounds (table has {rows} rows)")
+            }
+            DbError::TableNotFound(name) => write!(f, "table '{name}' not found"),
+            DbError::TableExists(name) => write!(f, "table '{name}' already exists"),
+            DbError::SchemaMismatch { expected, got } => {
+                write!(f, "schema mismatch: expected {expected} features, got {got}")
+            }
+            DbError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DbError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+/// Result alias for the storage layer.
+pub type DbResult<T> = Result<T, DbError>;

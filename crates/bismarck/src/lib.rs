@@ -1,0 +1,44 @@
+//! A miniature in-RDBMS analytics engine modeled on Bismarck (Feng, Kumar,
+//! Recht, Ré — SIGMOD 2012), the substrate the paper integrates private SGD
+//! into (Section 4.2, Figure 1).
+//!
+//! The engine reproduces the architectural elements the paper's experiments
+//! exercise:
+//!
+//! * [`page`] / [`heap`] — 8 KiB pages in memory or on disk (temp-file heaps
+//!   for the larger-than-memory scalability runs).
+//! * [`buffer`] — a clock-eviction buffer pool; capping its capacity forces
+//!   the disk-resident code path of Figure 2(b).
+//! * [`table`] — fixed-width rows of `(features, label)`; implements
+//!   [`bolton_sgd::TrainSet`] so every training algorithm runs against
+//!   tables unchanged.
+//! * [`uda`] — the `initialize/transition/terminate` aggregate API; the SGD
+//!   epoch is an aggregate exactly like `AVG`.
+//! * [`driver`] — the front-end controller: shuffle, epoch loop, convergence
+//!   test, and the two noise-injection points of Figure 1 ((B) output noise
+//!   for the bolt-on approach, (C) per-batch noise for SCS13/BST14).
+//! * [`synth`] — the binary-classification data synthesizer used by the
+//!   scalability experiments.
+//! * [`sql`] — a small SQL front end (CREATE/INSERT/SYNTH/COUNT/AVG/SHUFFLE)
+//!   over the [`catalog`].
+
+pub mod buffer;
+pub mod catalog;
+pub mod driver;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod sql;
+pub mod synth;
+pub mod table;
+pub mod uda;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use catalog::Catalog;
+pub use driver::{train, DriverConfig, TrainedModel};
+pub use error::{DbError, DbResult};
+pub use heap::Backing;
+pub use page::{Page, PAGE_SIZE};
+pub use synth::{synthesize, SynthSpec};
+pub use table::Table;
+pub use uda::{run_aggregate, Aggregate, AvgAggregate, SgdEpochAggregate};

@@ -1,0 +1,868 @@
+//! A miniature SQL-ish front end over the catalog.
+//!
+//! Enough surface to reproduce the paper's workflow from a console:
+//!
+//! ```sql
+//! CREATE TABLE train (DIM 50) DISK;
+//! SYNTH train ROWS 100000 SEED 42 NOISE 0.05;
+//! SELECT COUNT(*) FROM train;
+//! SELECT AVG(3) FROM train;          -- mean of feature column 3
+//! SHUFFLE train SEED 7;              -- ORDER BY RANDOM()
+//! DROP TABLE train;
+//! ```
+//!
+//! Statements are case-insensitive on keywords; a trailing semicolon is
+//! optional.
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::heap::Backing;
+use crate::synth::{synthesize, SynthSpec};
+use crate::table::DEFAULT_POOL_PAGES;
+use crate::uda::{run_aggregate, AvgAggregate};
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (DIM d) [MEMORY|DISK]`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Feature dimensionality.
+        dim: usize,
+        /// Disk-backed (temp file) vs in-memory.
+        disk: bool,
+    },
+    /// `SYNTH name ROWS m [SEED s] [NOISE p]` — fill via the synthesizer.
+    Synth {
+        /// Target table (must exist and be empty).
+        name: String,
+        /// Rows to generate.
+        rows: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Label-flip probability.
+        noise: f64,
+    },
+    /// `INSERT INTO name VALUES (f1, ..., fd, label)`
+    Insert {
+        /// Target table.
+        name: String,
+        /// Feature values followed by the label.
+        values: Vec<f64>,
+    },
+    /// `SELECT COUNT(*) FROM name`
+    Count {
+        /// Source table.
+        name: String,
+    },
+    /// `SELECT AVG(col) FROM name`
+    Avg {
+        /// Source table.
+        name: String,
+        /// Feature column index.
+        column: usize,
+    },
+    /// `SELECT PRIVATE COUNT(*) FROM name EPS e [SEED s]` — ε-DP row count
+    /// via the two-sided geometric mechanism.
+    PrivateCount {
+        /// Source table.
+        name: String,
+        /// Privacy budget ε.
+        eps: f64,
+        /// RNG seed for the noise draw.
+        seed: u64,
+    },
+    /// `SELECT PRIVATE HISTOGRAM(LABEL) FROM name EPS e [SEED s]` — ε-DP
+    /// per-label counts (parallel composition across bins).
+    PrivateHistogram {
+        /// Source table.
+        name: String,
+        /// Privacy budget ε.
+        eps: f64,
+        /// RNG seed for the noise draws.
+        seed: u64,
+    },
+    /// `SHUFFLE name [SEED s]` — the ORDER BY RANDOM() rewrite.
+    Shuffle {
+        /// Target table.
+        name: String,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Target table.
+        name: String,
+    },
+    /// `COPY name FROM 'path.csv'` — bulk CSV load (`f1,…,fd,label` rows).
+    CopyFrom {
+        /// Target table.
+        name: String,
+        /// Source file path.
+        path: String,
+    },
+    /// `COPY name TO 'path.csv'` — bulk CSV dump.
+    CopyTo {
+        /// Source table.
+        name: String,
+        /// Destination file path.
+        path: String,
+    },
+    /// `ANALYZE name` — per-column min/max/mean/std via one scan.
+    Analyze {
+        /// Target table.
+        name: String,
+    },
+    /// `SHOW TABLES`
+    ShowTables,
+}
+
+/// The result of executing a statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// Statement completed without a value.
+    Ok,
+    /// A row count.
+    Count(usize),
+    /// A scalar aggregate.
+    Scalar(Option<f64>),
+    /// A list of names.
+    Names(Vec<String>),
+    /// Labeled counts (from PRIVATE HISTOGRAM).
+    Histogram(Vec<(i64, u64)>),
+    /// Per-column summaries (from ANALYZE); the last entry is the label.
+    Stats(Vec<crate::uda::ColumnSummary>),
+}
+
+fn parse_err(msg: impl Into<String>) -> DbError {
+    DbError::Parse(msg.into())
+}
+
+/// Tokenizes on whitespace, commas and parens (which become tokens).
+/// Single-quoted strings become one token with the quotes retained.
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut chars = input.chars().peekable();
+    while let Some(ch) = chars.next() {
+        if ch == '\'' {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            let mut quoted = String::from("'");
+            for qc in chars.by_ref() {
+                quoted.push(qc);
+                if qc == '\'' {
+                    break;
+                }
+            }
+            tokens.push(quoted);
+            continue;
+        }
+        match ch {
+            '(' | ')' | ',' | ';' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                if ch != ';' {
+                    tokens.push(ch.to_string());
+                }
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Strips the quotes off a `'…'` token.
+fn unquote(token: &str) -> Option<String> {
+    let inner = token.strip_prefix('\'')?.strip_suffix('\'')?;
+    Some(inner.to_string())
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> DbResult<&str> {
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| parse_err("unexpected end of statement"))?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        let tok = self.next()?;
+        if tok.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(parse_err(format!("expected '{kw}', found '{tok}'")))
+        }
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        let tok = self.next()?;
+        if tok.chars().all(|c| c.is_alphanumeric() || c == '_') && !tok.is_empty() {
+            Ok(tok.to_string())
+        } else {
+            Err(parse_err(format!("invalid identifier '{tok}'")))
+        }
+    }
+
+    fn number_usize(&mut self) -> DbResult<usize> {
+        let tok = self.next()?;
+        tok.parse().map_err(|_| parse_err(format!("expected an integer, found '{tok}'")))
+    }
+
+    fn number_u64(&mut self) -> DbResult<u64> {
+        let tok = self.next()?;
+        tok.parse().map_err(|_| parse_err(format!("expected an integer, found '{tok}'")))
+    }
+
+    fn number_f64(&mut self) -> DbResult<f64> {
+        let tok = self.next()?;
+        tok.parse().map_err(|_| parse_err(format!("expected a number, found '{tok}'")))
+    }
+
+    fn done(&self) -> DbResult<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(parse_err(format!("trailing tokens starting at '{}'", self.tokens[self.pos])))
+        }
+    }
+}
+
+/// Parses one statement.
+///
+/// # Errors
+/// [`DbError::Parse`] with a description of the first problem found.
+pub fn parse(input: &str) -> DbResult<Statement> {
+    let mut p = Parser { tokens: tokenize(input), pos: 0 };
+    let head = p.next()?.to_ascii_uppercase();
+    let stmt = match head.as_str() {
+        "CREATE" => {
+            p.expect_kw("TABLE")?;
+            let name = p.ident()?;
+            p.expect_kw("(")?;
+            p.expect_kw("DIM")?;
+            let dim = p.number_usize()?;
+            p.expect_kw(")")?;
+            let disk = if p.accept_kw("DISK") {
+                true
+            } else {
+                p.accept_kw("MEMORY");
+                false
+            };
+            Statement::CreateTable { name, dim, disk }
+        }
+        "SYNTH" => {
+            let name = p.ident()?;
+            p.expect_kw("ROWS")?;
+            let rows = p.number_usize()?;
+            let mut seed = 0u64;
+            let mut noise = 0.0f64;
+            loop {
+                if p.accept_kw("SEED") {
+                    seed = p.number_u64()?;
+                } else if p.accept_kw("NOISE") {
+                    noise = p.number_f64()?;
+                } else {
+                    break;
+                }
+            }
+            Statement::Synth { name, rows, seed, noise }
+        }
+        "INSERT" => {
+            p.expect_kw("INTO")?;
+            let name = p.ident()?;
+            p.expect_kw("VALUES")?;
+            p.expect_kw("(")?;
+            let mut values = Vec::new();
+            loop {
+                values.push(p.number_f64()?);
+                match p.next()? {
+                    "," => continue,
+                    ")" => break,
+                    other => return Err(parse_err(format!("expected ',' or ')', found '{other}'"))),
+                }
+            }
+            Statement::Insert { name, values }
+        }
+        "SELECT" => {
+            if p.accept_kw("PRIVATE") {
+                let func = p.next()?.to_ascii_uppercase();
+                let stmt = match func.as_str() {
+                    "COUNT" => {
+                        p.expect_kw("(")?;
+                        p.expect_kw("*")?;
+                        p.expect_kw(")")?;
+                        p.expect_kw("FROM")?;
+                        let name = p.ident()?;
+                        p.expect_kw("EPS")?;
+                        let eps = p.number_f64()?;
+                        let seed = if p.accept_kw("SEED") { p.number_u64()? } else { 0 };
+                        Statement::PrivateCount { name, eps, seed }
+                    }
+                    "HISTOGRAM" => {
+                        p.expect_kw("(")?;
+                        p.expect_kw("LABEL")?;
+                        p.expect_kw(")")?;
+                        p.expect_kw("FROM")?;
+                        let name = p.ident()?;
+                        p.expect_kw("EPS")?;
+                        let eps = p.number_f64()?;
+                        let seed = if p.accept_kw("SEED") { p.number_u64()? } else { 0 };
+                        Statement::PrivateHistogram { name, eps, seed }
+                    }
+                    other => {
+                        return Err(parse_err(format!("unsupported private aggregate '{other}'")))
+                    }
+                };
+                p.done()?;
+                return Ok(stmt);
+            }
+            let func = p.next()?.to_ascii_uppercase();
+            match func.as_str() {
+                "COUNT" => {
+                    p.expect_kw("(")?;
+                    p.expect_kw("*")?;
+                    p.expect_kw(")")?;
+                    p.expect_kw("FROM")?;
+                    let name = p.ident()?;
+                    Statement::Count { name }
+                }
+                "AVG" => {
+                    p.expect_kw("(")?;
+                    let column = p.number_usize()?;
+                    p.expect_kw(")")?;
+                    p.expect_kw("FROM")?;
+                    let name = p.ident()?;
+                    Statement::Avg { name, column }
+                }
+                other => return Err(parse_err(format!("unsupported aggregate '{other}'"))),
+            }
+        }
+        "SHUFFLE" => {
+            let name = p.ident()?;
+            let seed = if p.accept_kw("SEED") { p.number_u64()? } else { 0 };
+            Statement::Shuffle { name, seed }
+        }
+        "DROP" => {
+            p.expect_kw("TABLE")?;
+            let name = p.ident()?;
+            Statement::DropTable { name }
+        }
+        "COPY" => {
+            let name = p.ident()?;
+            let direction = p.next()?.to_ascii_uppercase();
+            let path_tok = p.next()?.to_string();
+            let path = unquote(&path_tok)
+                .ok_or_else(|| parse_err(format!("expected a quoted path, found '{path_tok}'")))?;
+            match direction.as_str() {
+                "FROM" => Statement::CopyFrom { name, path },
+                "TO" => Statement::CopyTo { name, path },
+                other => return Err(parse_err(format!("expected FROM or TO, found '{other}'"))),
+            }
+        }
+        "ANALYZE" => {
+            let name = p.ident()?;
+            Statement::Analyze { name }
+        }
+        "SHOW" => {
+            p.expect_kw("TABLES")?;
+            Statement::ShowTables
+        }
+        other => return Err(parse_err(format!("unknown statement '{other}'"))),
+    };
+    p.done()?;
+    Ok(stmt)
+}
+
+/// Executes one parsed statement against a catalog.
+///
+/// # Errors
+/// Propagates catalog/storage errors.
+pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult> {
+    match stmt {
+        Statement::CreateTable { name, dim, disk } => {
+            let backing = if *disk { Backing::TempFile } else { Backing::Memory };
+            catalog.create_table(name, *dim, backing, DEFAULT_POOL_PAGES)?;
+            Ok(QueryResult::Ok)
+        }
+        Statement::Synth { name, rows, seed, noise } => {
+            let (dim, backing) = {
+                let t = catalog.get(name)?;
+                if t.row_count() != 0 {
+                    return Err(parse_err(format!("SYNTH target '{name}' is not empty")));
+                }
+                (t.dim(), t.backing().clone())
+            };
+            catalog.drop_table(name)?;
+            let spec = SynthSpec { rows: *rows, dim, label_noise: *noise, feature_scale: 1.0 };
+            let mut rng = bolton_rng::seeded(*seed);
+            let table = synthesize(name, &spec, backing, DEFAULT_POOL_PAGES, &mut rng)?;
+            catalog.register(table)?;
+            Ok(QueryResult::Ok)
+        }
+        Statement::Insert { name, values } => {
+            let table = catalog.get_mut(name)?;
+            if values.len() != table.dim() + 1 {
+                return Err(DbError::SchemaMismatch {
+                    expected: table.dim() + 1,
+                    got: values.len(),
+                });
+            }
+            let (features, label) = values.split_at(values.len() - 1);
+            table.insert(features, label[0])?;
+            Ok(QueryResult::Ok)
+        }
+        Statement::Count { name } => Ok(QueryResult::Count(catalog.get(name)?.row_count())),
+        Statement::PrivateCount { name, eps, seed } => {
+            let count = catalog.get(name)?.row_count() as u64;
+            let mech = bolton_privacy::GeometricMechanism::new(*eps, 1)
+                .map_err(|e| parse_err(e.to_string()))?;
+            let mut rng = bolton_rng::seeded(*seed);
+            Ok(QueryResult::Count(mech.privatize_count(&mut rng, count) as usize))
+        }
+        Statement::PrivateHistogram { name, eps, seed } => {
+            let table = catalog.get(name)?;
+            // Exact per-label counts (labels are small integers in this
+            // engine: ±1 binary or class indices).
+            let mut counts: std::collections::BTreeMap<i64, u64> =
+                std::collections::BTreeMap::new();
+            table.scan_rows(&mut |_, _, y| {
+                *counts.entry(y as i64).or_insert(0) += 1;
+            })?;
+            let mech = bolton_privacy::GeometricMechanism::new(*eps, 1)
+                .map_err(|e| parse_err(e.to_string()))?;
+            let mut rng = bolton_rng::seeded(*seed);
+            let released: Vec<(i64, u64)> = counts
+                .into_iter()
+                .map(|(label, count)| (label, mech.privatize_count(&mut rng, count)))
+                .collect();
+            Ok(QueryResult::Histogram(released))
+        }
+        Statement::Avg { name, column } => {
+            let table = catalog.get(name)?;
+            if *column >= table.dim() {
+                return Err(parse_err(format!(
+                    "column {column} out of range (table has {} features)",
+                    table.dim()
+                )));
+            }
+            let mut agg = AvgAggregate::over_column(*column);
+            Ok(QueryResult::Scalar(run_aggregate(table, &mut agg)?))
+        }
+        Statement::Shuffle { name, seed } => {
+            let mut rng = bolton_rng::seeded(*seed);
+            catalog.get_mut(name)?.shuffle(&mut rng)?;
+            Ok(QueryResult::Ok)
+        }
+        Statement::DropTable { name } => {
+            catalog.drop_table(name)?;
+            Ok(QueryResult::Ok)
+        }
+        Statement::CopyFrom { name, path } => {
+            use std::io::BufRead;
+            let table = catalog.get_mut(name)?;
+            let dim = table.dim();
+            let file = std::fs::File::open(path)?;
+            let reader = std::io::BufReader::new(file);
+            let mut loaded = 0usize;
+            for (idx, line) in reader.lines().enumerate() {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                let values: Result<Vec<f64>, _> =
+                    trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
+                let values = values.map_err(|e| {
+                    parse_err(format!("COPY line {}: bad number: {e}", idx + 1))
+                })?;
+                if values.len() != dim + 1 {
+                    return Err(DbError::SchemaMismatch {
+                        expected: dim + 1,
+                        got: values.len(),
+                    });
+                }
+                let (features, label) = values.split_at(dim);
+                table.insert(features, label[0])?;
+                loaded += 1;
+            }
+            table.flush()?;
+            Ok(QueryResult::Count(loaded))
+        }
+        Statement::CopyTo { name, path } => {
+            use std::io::Write;
+            let table = catalog.get(name)?;
+            let file = std::fs::File::create(path)?;
+            let mut out = std::io::BufWriter::new(file);
+            let mut error: Option<std::io::Error> = None;
+            table.scan_rows(&mut |_, x, y| {
+                if error.is_some() {
+                    return;
+                }
+                let mut line = String::with_capacity(x.len() * 12);
+                for v in x {
+                    line.push_str(&format!("{v},"));
+                }
+                line.push_str(&format!("{y}\n"));
+                if let Err(e) = out.write_all(line.as_bytes()) {
+                    error = Some(e);
+                }
+            })?;
+            if let Some(e) = error {
+                return Err(DbError::Io(e));
+            }
+            out.flush()?;
+            Ok(QueryResult::Count(table.row_count()))
+        }
+        Statement::Analyze { name } => {
+            let table = catalog.get(name)?;
+            let mut agg = crate::uda::ColumnStatsAggregate::new(table.dim());
+            Ok(QueryResult::Stats(run_aggregate(table, &mut agg)?))
+        }
+        Statement::ShowTables => Ok(QueryResult::Names(
+            catalog.table_names().into_iter().map(String::from).collect(),
+        )),
+    }
+}
+
+/// Parses and executes in one call.
+///
+/// # Errors
+/// Parse or execution errors.
+pub fn run(catalog: &mut Catalog, sql: &str) -> DbResult<QueryResult> {
+    let stmt = parse(sql)?;
+    execute(catalog, &stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create() {
+        assert_eq!(
+            parse("CREATE TABLE t (DIM 5) DISK").unwrap(),
+            Statement::CreateTable { name: "t".into(), dim: 5, disk: true }
+        );
+        assert_eq!(
+            parse("create table t2 ( dim 3 );").unwrap(),
+            Statement::CreateTable { name: "t2".into(), dim: 3, disk: false }
+        );
+    }
+
+    #[test]
+    fn parse_synth_with_options() {
+        assert_eq!(
+            parse("SYNTH t ROWS 100 SEED 42 NOISE 0.1").unwrap(),
+            Statement::Synth { name: "t".into(), rows: 100, seed: 42, noise: 0.1 }
+        );
+        assert_eq!(
+            parse("SYNTH t ROWS 7").unwrap(),
+            Statement::Synth { name: "t".into(), rows: 7, seed: 0, noise: 0.0 }
+        );
+    }
+
+    #[test]
+    fn parse_insert() {
+        assert_eq!(
+            parse("INSERT INTO t VALUES (0.5, -0.25, 1)").unwrap(),
+            Statement::Insert { name: "t".into(), values: vec![0.5, -0.25, 1.0] }
+        );
+    }
+
+    #[test]
+    fn parse_select_variants() {
+        assert_eq!(parse("SELECT COUNT(*) FROM t").unwrap(), Statement::Count { name: "t".into() });
+        assert_eq!(
+            parse("SELECT AVG(2) FROM t").unwrap(),
+            Statement::Avg { name: "t".into(), column: 2 }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(matches!(parse("SELEC COUNT(*) FROM t"), Err(DbError::Parse(_))));
+        assert!(matches!(parse("CREATE TABLE t"), Err(DbError::Parse(_))));
+        assert!(matches!(parse("SELECT COUNT(*) FROM t extra"), Err(DbError::Parse(_))));
+        assert!(matches!(parse(""), Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn end_to_end_session() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE train (DIM 2)").unwrap();
+        run(&mut cat, "INSERT INTO train VALUES (0.5, 0.5, 1)").unwrap();
+        run(&mut cat, "INSERT INTO train VALUES (-0.5, 0.1, -1)").unwrap();
+        assert_eq!(run(&mut cat, "SELECT COUNT(*) FROM train").unwrap(), QueryResult::Count(2));
+        assert_eq!(
+            run(&mut cat, "SELECT AVG(0) FROM train").unwrap(),
+            QueryResult::Scalar(Some(0.0))
+        );
+        assert_eq!(
+            run(&mut cat, "SHOW TABLES").unwrap(),
+            QueryResult::Names(vec!["train".into()])
+        );
+        run(&mut cat, "SHUFFLE train SEED 3").unwrap();
+        assert_eq!(run(&mut cat, "SELECT COUNT(*) FROM train").unwrap(), QueryResult::Count(2));
+        run(&mut cat, "DROP TABLE train").unwrap();
+        assert!(run(&mut cat, "SELECT COUNT(*) FROM train").is_err());
+    }
+
+    #[test]
+    fn synth_statement_fills_table() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE s (DIM 4)").unwrap();
+        run(&mut cat, "SYNTH s ROWS 50 SEED 9").unwrap();
+        assert_eq!(run(&mut cat, "SELECT COUNT(*) FROM s").unwrap(), QueryResult::Count(50));
+        // Synthesizing into a non-empty table is refused.
+        assert!(run(&mut cat, "SYNTH s ROWS 10").is_err());
+    }
+
+    #[test]
+    fn insert_arity_checked() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE t (DIM 2)").unwrap();
+        assert!(matches!(
+            run(&mut cat, "INSERT INTO t VALUES (1.0, 2.0)"),
+            Err(DbError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn avg_column_bounds_checked() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE t (DIM 2)").unwrap();
+        assert!(run(&mut cat, "SELECT AVG(5) FROM t").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser must never panic, whatever bytes arrive.
+        #[test]
+        fn parser_never_panics(input in "\\PC{0,120}") {
+            let _ = parse(&input);
+        }
+
+        /// Statements with random identifiers/values either parse to the
+        /// expected shape or error cleanly.
+        #[test]
+        fn create_roundtrip(name in "[a-z][a-z0-9_]{0,10}", dim in 1usize..100) {
+            let sql = format!("CREATE TABLE {name} (DIM {dim})");
+            let stmt = parse(&sql).expect("well-formed CREATE must parse");
+            prop_assert_eq!(stmt, Statement::CreateTable { name, dim, disk: false });
+        }
+
+        /// Insert arity mismatches are reported as schema errors, never
+        /// panics, for any arity pair.
+        #[test]
+        fn insert_arity_always_checked(dim in 1usize..8, arity in 1usize..12) {
+            let mut cat = Catalog::new();
+            run(&mut cat, &format!("CREATE TABLE t (DIM {dim})")).unwrap();
+            let values: Vec<String> = (0..arity).map(|i| format!("{i}.5")).collect();
+            let sql = format!("INSERT INTO t VALUES ({})", values.join(", "));
+            let result = run(&mut cat, &sql);
+            if arity == dim + 1 {
+                prop_assert!(result.is_ok());
+            } else {
+                let is_schema_err = matches!(result, Err(DbError::SchemaMismatch { .. }));
+                prop_assert!(is_schema_err, "expected schema mismatch");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod copy_tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bolton-copy-{tag}-{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn copy_roundtrip_through_csv() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE a (DIM 2)").unwrap();
+        run(&mut cat, "INSERT INTO a VALUES (0.5, -0.25, 1)").unwrap();
+        run(&mut cat, "INSERT INTO a VALUES (-0.125, 0.75, -1)").unwrap();
+        let path = temp_path("roundtrip");
+        let sql_to = format!("COPY a TO '{}'", path.display());
+        assert_eq!(run(&mut cat, &sql_to).unwrap(), QueryResult::Count(2));
+
+        run(&mut cat, "CREATE TABLE b (DIM 2)").unwrap();
+        let sql_from = format!("COPY b FROM '{}'", path.display());
+        assert_eq!(run(&mut cat, &sql_from).unwrap(), QueryResult::Count(2));
+        let a = cat.get("a").unwrap();
+        let b = cat.get("b").unwrap();
+        let mut rows_a = Vec::new();
+        let mut rows_b = Vec::new();
+        a.scan_rows(&mut |_, x, y| rows_a.push((x.to_vec(), y))).unwrap();
+        b.scan_rows(&mut |_, x, y| rows_b.push((x.to_vec(), y))).unwrap();
+        assert_eq!(rows_a, rows_b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn copy_from_validates_arity() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE t (DIM 3)").unwrap();
+        let path = temp_path("arity");
+        std::fs::write(&path, "1,2,1\n").unwrap(); // 2 features + label, dim 3 expected
+        let sql = format!("COPY t FROM '{}'", path.display());
+        assert!(matches!(run(&mut cat, &sql), Err(DbError::SchemaMismatch { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn copy_parse_requires_quoted_path() {
+        assert!(matches!(parse("COPY t FROM unquoted.csv"), Err(DbError::Parse(_))));
+        assert_eq!(
+            parse("COPY t FROM '/tmp/x.csv'").unwrap(),
+            Statement::CopyFrom { name: "t".into(), path: "/tmp/x.csv".into() }
+        );
+        assert_eq!(
+            parse("COPY t TO '/tmp/y.csv'").unwrap(),
+            Statement::CopyTo { name: "t".into(), path: "/tmp/y.csv".into() }
+        );
+    }
+
+    #[test]
+    fn copy_from_missing_file_is_io_error() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE t (DIM 2)").unwrap();
+        assert!(matches!(
+            run(&mut cat, "COPY t FROM '/nonexistent/nowhere.csv'"),
+            Err(DbError::Io(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod private_query_tests {
+    use super::*;
+
+    fn populated() -> Catalog {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE t (DIM 3)").unwrap();
+        run(&mut cat, "SYNTH t ROWS 5000 SEED 9 NOISE 0.2").unwrap();
+        cat
+    }
+
+    #[test]
+    fn private_count_is_near_truth_and_noisy() {
+        let mut cat = populated();
+        let QueryResult::Count(released) =
+            run(&mut cat, "SELECT PRIVATE COUNT(*) FROM t EPS 0.5 SEED 1").unwrap()
+        else {
+            panic!("expected a count");
+        };
+        // ε = 0.5 ⇒ noise sd ≈ 3.5; released stays within a wide band.
+        assert!((released as i64 - 5000).unsigned_abs() < 100, "released {released}");
+        // Different seeds disperse; at least one of several must differ
+        // from the truth.
+        let mut saw_noise = false;
+        for seed in 2..12 {
+            let sql = format!("SELECT PRIVATE COUNT(*) FROM t EPS 0.5 SEED {seed}");
+            if run(&mut cat, &sql).unwrap() != QueryResult::Count(5000) {
+                saw_noise = true;
+            }
+        }
+        assert!(saw_noise, "ten draws at ε=0.5 should not all be exact");
+    }
+
+    #[test]
+    fn private_histogram_covers_both_labels() {
+        let mut cat = populated();
+        let QueryResult::Histogram(bins) =
+            run(&mut cat, "SELECT PRIVATE HISTOGRAM(LABEL) FROM t EPS 1 SEED 3").unwrap()
+        else {
+            panic!("expected a histogram");
+        };
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].0, -1);
+        assert_eq!(bins[1].0, 1);
+        let total: u64 = bins.iter().map(|(_, c)| *c).sum();
+        assert!((total as i64 - 5000).unsigned_abs() < 50, "total {total}");
+    }
+
+    #[test]
+    fn private_count_requires_eps() {
+        let mut cat = populated();
+        assert!(matches!(
+            run(&mut cat, "SELECT PRIVATE COUNT(*) FROM t"),
+            Err(DbError::Parse(_))
+        ));
+        assert!(matches!(
+            run(&mut cat, "SELECT PRIVATE COUNT(*) FROM t EPS 0"),
+            Err(DbError::Parse(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod analyze_tests {
+    use super::*;
+
+    #[test]
+    fn analyze_reports_column_stats() {
+        let mut cat = Catalog::new();
+        run(&mut cat, "CREATE TABLE t (DIM 2)").unwrap();
+        run(&mut cat, "INSERT INTO t VALUES (1.0, 10.0, 1)").unwrap();
+        run(&mut cat, "INSERT INTO t VALUES (3.0, 10.0, -1)").unwrap();
+        run(&mut cat, "INSERT INTO t VALUES (5.0, 10.0, 1)").unwrap();
+        let QueryResult::Stats(cols) = run(&mut cat, "ANALYZE t").unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(cols.len(), 3); // f0, f1, label
+        assert_eq!(cols[0].min, 1.0);
+        assert_eq!(cols[0].max, 5.0);
+        assert!((cols[0].mean - 3.0).abs() < 1e-12);
+        assert!((cols[0].std_dev - 2.0).abs() < 1e-12);
+        // Constant column.
+        assert_eq!(cols[1].std_dev, 0.0);
+        // Label column mean = 1/3.
+        assert!((cols[2].mean - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analyze_missing_table_errors() {
+        let mut cat = Catalog::new();
+        assert!(matches!(run(&mut cat, "ANALYZE nope"), Err(DbError::TableNotFound(_))));
+    }
+}

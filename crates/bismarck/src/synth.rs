@@ -1,0 +1,138 @@
+//! The data synthesizer used by the scalability experiments (Figure 2).
+//!
+//! Mirrors "the data synthesizer available in Bismarck for binary
+//! classification": a hidden unit-norm hyperplane `w*` labels points
+//! `y = sign(⟨w*, x⟩)`, with optional label-flip noise; features are drawn
+//! in the unit ball so the paper's `‖x‖ ≤ 1` normalization holds by
+//! construction. Rows stream straight into a table, so datasets larger than
+//! memory are generated without ever materializing them in RAM.
+
+use crate::error::DbResult;
+use crate::heap::Backing;
+use crate::table::Table;
+use bolton_linalg::random::sample_unit_sphere;
+use bolton_rng::Rng;
+
+/// Parameters for synthetic binary-classification data.
+#[derive(Clone, Debug)]
+pub struct SynthSpec {
+    /// Number of rows `m`.
+    pub rows: usize,
+    /// Feature dimensionality `d` (the paper's scalability runs use 50).
+    pub dim: usize,
+    /// Probability of flipping each label (0 ⇒ perfectly separable).
+    pub label_noise: f64,
+    /// Margin scale: features are drawn at norm ≤ 1 and rescaled by this.
+    pub feature_scale: f64,
+}
+
+impl SynthSpec {
+    /// The Figure-2 workload shape: `d = 50`, clean labels.
+    pub fn scalability(rows: usize) -> Self {
+        Self { rows, dim: 50, label_noise: 0.0, feature_scale: 1.0 }
+    }
+}
+
+/// Generates data per `spec` into a fresh table.
+///
+/// # Errors
+/// Propagates storage errors.
+pub fn synthesize<R: Rng + ?Sized>(
+    name: &str,
+    spec: &SynthSpec,
+    backing: Backing,
+    pool_pages: usize,
+    rng: &mut R,
+) -> DbResult<Table> {
+    assert!(spec.dim > 0, "dimension must be positive");
+    assert!((0.0..=0.5).contains(&spec.label_noise), "label noise must be in [0, 0.5]");
+    let mut table = Table::create(name, spec.dim, backing, pool_pages)?;
+    let truth = sample_unit_sphere(rng, spec.dim);
+    let mut x = vec![0.0; spec.dim];
+    for _ in 0..spec.rows {
+        // Uniform direction, random radius in (0, 1]: stays in the unit ball.
+        let dir = sample_unit_sphere(rng, spec.dim);
+        let radius = rng.next_f64_open().sqrt() * spec.feature_scale;
+        for (xi, di) in x.iter_mut().zip(dir.iter()) {
+            *xi = di * radius;
+        }
+        let clean = if bolton_linalg::vector::dot(&truth, &x) >= 0.0 { 1.0 } else { -1.0 };
+        let label = if rng.next_bool(spec.label_noise) { -clean } else { clean };
+        table.insert(&x, label)?;
+    }
+    table.flush()?;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::{metrics, SgdConfig, StepSize};
+
+    #[test]
+    fn synthesizer_produces_requested_shape() {
+        let mut rng = seeded(131);
+        let spec = SynthSpec { rows: 120, dim: 7, label_noise: 0.0, feature_scale: 1.0 };
+        let t = synthesize("s", &spec, Backing::Memory, 16, &mut rng).unwrap();
+        assert_eq!(t.row_count(), 120);
+        assert_eq!(t.dim(), 7);
+    }
+
+    #[test]
+    fn features_stay_in_unit_ball() {
+        let mut rng = seeded(132);
+        let spec = SynthSpec { rows: 200, dim: 5, label_noise: 0.1, feature_scale: 1.0 };
+        let t = synthesize("s", &spec, Backing::Memory, 16, &mut rng).unwrap();
+        t.scan_rows(&mut |_, x, y| {
+            assert!(bolton_linalg::vector::norm(x) <= 1.0 + 1e-9);
+            assert!(y == 1.0 || y == -1.0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn clean_synthetic_data_is_learnable() {
+        let mut rng = seeded(133);
+        let spec = SynthSpec { rows: 600, dim: 10, label_noise: 0.0, feature_scale: 1.0 };
+        let t = synthesize("s", &spec, Backing::Memory, 64, &mut rng).unwrap();
+        let loss = bolton_sgd::Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(1.0)).with_passes(10);
+        let out = bolton_sgd::run_psgd(&t, &loss, &config, &mut rng);
+        let acc = metrics::accuracy(&out.model, &t);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn label_noise_flips_roughly_expected_fraction() {
+        // Same seed with and without noise: compare label disagreement.
+        let spec_clean = SynthSpec { rows: 4000, dim: 4, label_noise: 0.0, feature_scale: 1.0 };
+        let spec_noisy =
+            SynthSpec { rows: 4000, dim: 4, label_noise: 0.25, feature_scale: 1.0 };
+        // Different streams (noise consumes extra draws), so measure against
+        // the hidden truth instead: accuracy of a model trained on clean
+        // data should drop on noisy data. Simpler proxy: count labels that
+        // disagree with a freshly trained high-accuracy model.
+        let mut rng = seeded(134);
+        let clean = synthesize("c", &spec_clean, Backing::Memory, 32, &mut rng).unwrap();
+        let mut rng2 = seeded(134);
+        let noisy = synthesize("n", &spec_noisy, Backing::Memory, 32, &mut rng2).unwrap();
+        let loss = bolton_sgd::Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(1.0)).with_passes(8);
+        let model = bolton_sgd::run_psgd(&clean, &loss, &config, &mut seeded(135)).model;
+        let acc_clean = metrics::accuracy(&model, &clean);
+        let acc_noisy = metrics::accuracy(&model, &noisy);
+        assert!(acc_clean - acc_noisy > 0.1, "clean {acc_clean} noisy {acc_noisy}");
+    }
+
+    #[test]
+    fn disk_backed_synthesis_works() {
+        let mut rng = seeded(136);
+        let spec = SynthSpec { rows: 300, dim: 50, label_noise: 0.0, feature_scale: 1.0 };
+        let t = synthesize("disk", &spec, Backing::TempFile, 4, &mut rng).unwrap();
+        assert_eq!(t.row_count(), 300);
+        let mut n = 0;
+        t.scan_rows(&mut |_, _, _| n += 1).unwrap();
+        assert_eq!(n, 300);
+    }
+}

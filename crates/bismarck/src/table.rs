@@ -1,0 +1,367 @@
+//! Tables: a schema (feature dimensionality) over a paged heap, with the
+//! `ORDER BY RANDOM()` shuffle the Bismarck architecture performs before
+//! training (Figure 1).
+//!
+//! A table implements [`bolton_sgd::TrainSet`], so the SGD engine and every
+//! private algorithm run against it unchanged — that interchangeability *is*
+//! the bolt-on integration story.
+
+use crate::buffer::{BufferPool, PoolStats};
+use crate::error::{DbError, DbResult};
+use crate::heap::Backing;
+use crate::page::Page;
+use bolton_rng::Rng;
+use bolton_sgd::TrainSet;
+use std::cell::RefCell;
+
+/// Default number of buffer-pool frames for new tables (256 × 8 KiB = 2 MiB).
+pub const DEFAULT_POOL_PAGES: usize = 256;
+
+/// A table of `(features[dim], label)` rows.
+pub struct Table {
+    name: String,
+    dim: usize,
+    rows: usize,
+    backing: Backing,
+    // RefCell so that read paths (scans) work through &Table: the pool
+    // mutates internally on every fetch. Single-threaded by design, like a
+    // Bismarck UDA invocation; a reentrant scan panics loudly.
+    pool: RefCell<BufferPool>,
+    tail_pid: Option<usize>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Errors
+    /// Propagates storage-open failures.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or a row would not fit in one page.
+    pub fn create(
+        name: impl Into<String>,
+        dim: usize,
+        backing: Backing,
+        pool_pages: usize,
+    ) -> DbResult<Self> {
+        assert!(dim > 0, "tables need at least one feature column");
+        assert!(Page::rows_per_page(dim) > 0, "row of dim {dim} does not fit in a page");
+        let storage = backing.open()?;
+        Ok(Self {
+            name: name.into(),
+            dim,
+            rows: 0,
+            backing,
+            pool: RefCell::new(BufferPool::new(storage, pool_pages)),
+            tail_pid: None,
+        })
+    }
+
+    /// Convenience: an in-memory table with the default pool size.
+    pub fn in_memory(name: impl Into<String>, dim: usize) -> Self {
+        Self::create(name, dim, Backing::Memory, DEFAULT_POOL_PAGES)
+            .expect("in-memory table creation cannot fail")
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The backing kind this table was created with.
+    pub fn backing(&self) -> &Backing {
+        &self.backing
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Buffer-pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.borrow().stats()
+    }
+
+    /// Resets buffer-pool statistics.
+    pub fn reset_pool_stats(&self) {
+        self.pool.borrow_mut().reset_stats();
+    }
+
+    /// Storage description (backing + pool).
+    pub fn describe(&self) -> String {
+        format!("table '{}' dim={} rows={} [{}]", self.name, self.dim, self.rows, self.pool.borrow().describe())
+    }
+
+    /// Inserts one row.
+    ///
+    /// # Errors
+    /// [`DbError::SchemaMismatch`] if `features.len() != dim`.
+    pub fn insert(&mut self, features: &[f64], label: f64) -> DbResult<()> {
+        if features.len() != self.dim {
+            return Err(DbError::SchemaMismatch { expected: self.dim, got: features.len() });
+        }
+        let mut pool = self.pool.borrow_mut();
+        let need_new_page = match self.tail_pid {
+            None => true,
+            Some(pid) => !pool.with_page(pid, |p| p.has_room(self.dim))?,
+        };
+        if need_new_page {
+            let pid = pool.append_page(&Page::new())?;
+            self.tail_pid = Some(pid);
+        }
+        let pid = self.tail_pid.expect("tail page exists");
+        pool.with_page_mut(pid, |p| p.push_row(features, label))??;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Bulk insert from an iterator of `(features, label)` rows.
+    pub fn insert_all<'a>(
+        &mut self,
+        rows: impl IntoIterator<Item = (&'a [f64], f64)>,
+    ) -> DbResult<()> {
+        for (x, y) in rows {
+            self.insert(x, y)?;
+        }
+        Ok(())
+    }
+
+    fn locate(&self, rid: usize) -> DbResult<(usize, usize)> {
+        if rid >= self.rows {
+            return Err(DbError::RowOutOfBounds { rid, rows: self.rows });
+        }
+        let rpp = Page::rows_per_page(self.dim);
+        Ok((rid / rpp, rid % rpp))
+    }
+
+    /// Reads row `rid` into `features_out`, returning the label.
+    ///
+    /// # Errors
+    /// [`DbError::RowOutOfBounds`] for a bad row id.
+    ///
+    /// # Panics
+    /// Panics if `features_out.len() != dim`.
+    pub fn read_row(&self, rid: usize, features_out: &mut [f64]) -> DbResult<f64> {
+        assert_eq!(features_out.len(), self.dim, "output buffer dimension mismatch");
+        let (pid, slot) = self.locate(rid)?;
+        self.pool.borrow_mut().with_page(pid, |p| p.read_row(slot, features_out))?
+    }
+
+    /// Sequential full scan: `visit(rid, features, label)` per row.
+    ///
+    /// This is the access path of one Bismarck epoch: pages stream through
+    /// the pool in order, so a pool far smaller than the table still scans
+    /// at full speed.
+    pub fn scan_rows(&self, visit: &mut dyn FnMut(usize, &[f64], f64)) -> DbResult<()> {
+        let rpp = Page::rows_per_page(self.dim);
+        let mut buf = vec![0.0; self.dim];
+        let mut pool = self.pool.borrow_mut();
+        let pages = pool.page_count();
+        let mut rid = 0usize;
+        for pid in 0..pages {
+            let rows_here = pool.with_page(pid, |p| p.row_count())?;
+            for slot in 0..rows_here {
+                let label = pool.with_page(pid, |p| p.read_row(slot, &mut buf))??;
+                visit(rid, &buf, label);
+                rid += 1;
+            }
+        }
+        debug_assert_eq!(rid, self.rows, "scan visited {rid} of {} rows", self.rows);
+        let _ = rpp;
+        Ok(())
+    }
+
+    /// Rewrites the table in a uniformly random order — the engine-level
+    /// equivalent of `SELECT * ... ORDER BY RANDOM()` that Bismarck issues
+    /// before SGD. Returns the number of rows moved.
+    ///
+    /// The shuffled copy uses the same backing kind (a fresh temp file for
+    /// disk tables) and replaces this table's heap atomically on success.
+    pub fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> DbResult<usize> {
+        let order = bolton_rng::random_permutation(rng, self.rows);
+        let backing = match &self.backing {
+            Backing::Memory => Backing::Memory,
+            // Named files shuffle into a temp file too: the original path
+            // keeps the pre-shuffle data (mirrors CREATE TABLE AS SELECT).
+            Backing::TempFile | Backing::File(_) => Backing::TempFile,
+        };
+        let pool_pages = self.pool.borrow().capacity();
+        let mut shuffled = Table::create(self.name.clone(), self.dim, backing, pool_pages)?;
+        let mut buf = vec![0.0; self.dim];
+        for &rid in &order {
+            let label = self.read_row(rid, &mut buf)?;
+            shuffled.insert(&buf, label)?;
+        }
+        shuffled.pool.borrow_mut().flush()?;
+        let moved = shuffled.rows;
+        *self = shuffled;
+        Ok(moved)
+    }
+
+    /// Flushes dirty pages to storage.
+    pub fn flush(&self) -> DbResult<()> {
+        self.pool.borrow_mut().flush()
+    }
+}
+
+impl TrainSet for Table {
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        let mut buf = vec![0.0; self.dim];
+        for (pos, &rid) in order.iter().enumerate() {
+            let label = self
+                .read_row(rid, &mut buf)
+                .unwrap_or_else(|e| panic!("scan_order: row {rid}: {e}"));
+            visit(pos, &buf, label);
+        }
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        self.scan_rows(visit).unwrap_or_else(|e| panic!("scan: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(backing: Backing, pool_pages: usize, rows: usize, dim: usize) -> Table {
+        let mut t = Table::create("t", dim, backing, pool_pages).unwrap();
+        for i in 0..rows {
+            let x: Vec<f64> = (0..dim).map(|j| (i * dim + j) as f64).collect();
+            t.insert(&x, if i % 2 == 0 { 1.0 } else { -1.0 }).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_read_roundtrip() {
+        let t = filled(Backing::Memory, 8, 100, 3);
+        assert_eq!(t.row_count(), 100);
+        let mut buf = vec![0.0; 3];
+        let label = t.read_row(17, &mut buf).unwrap();
+        assert_eq!(buf, vec![51.0, 52.0, 53.0]);
+        assert_eq!(label, -1.0);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut t = Table::in_memory("t", 3);
+        assert!(matches!(
+            t.insert(&[1.0], 1.0),
+            Err(DbError::SchemaMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn scan_visits_all_rows_in_order() {
+        let t = filled(Backing::Memory, 8, 250, 2);
+        let mut rids = Vec::new();
+        t.scan_rows(&mut |rid, x, _| {
+            assert_eq!(x[0], (rid * 2) as f64);
+            rids.push(rid);
+        })
+        .unwrap();
+        assert_eq!(rids, (0..250).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn larger_than_memory_scan_is_correct() {
+        // dim=100 ⇒ 10 rows/page; 500 rows = 50 pages; pool of 3 frames.
+        let t = filled(Backing::TempFile, 3, 500, 100);
+        let mut count = 0usize;
+        t.scan_rows(&mut |rid, x, _| {
+            assert_eq!(x[5], (rid * 100 + 5) as f64);
+            count += 1;
+        })
+        .unwrap();
+        assert_eq!(count, 500);
+        let stats = t.pool_stats();
+        assert!(stats.evictions > 0, "pool must have evicted: {stats:?}");
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        let t = filled(Backing::TempFile, 4, 200, 10);
+        let mut via_scan = vec![0.0; 200];
+        t.scan_rows(&mut |rid, x, _| via_scan[rid] = x[0]).unwrap();
+        let mut buf = vec![0.0; 10];
+        for rid in [0, 7, 199, 42, 100] {
+            t.read_row(rid, &mut buf).unwrap();
+            assert_eq!(buf[0], via_scan[rid]);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_of_rows() {
+        let mut t = filled(Backing::Memory, 16, 300, 2);
+        let mut before: Vec<f64> = Vec::new();
+        t.scan_rows(&mut |_, x, _| before.push(x[0])).unwrap();
+        let mut rng = bolton_rng::seeded(101);
+        let moved = t.shuffle(&mut rng).unwrap();
+        assert_eq!(moved, 300);
+        let mut after: Vec<f64> = Vec::new();
+        t.scan_rows(&mut |_, x, _| after.push(x[0])).unwrap();
+        assert_ne!(before, after, "shuffle should change the order");
+        let mut b = before.clone();
+        let mut a = after.clone();
+        b.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        a.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        assert_eq!(a, b, "shuffle must preserve the multiset of rows");
+    }
+
+    #[test]
+    fn shuffle_disk_table() {
+        let mut t = filled(Backing::TempFile, 3, 120, 40);
+        let mut rng = bolton_rng::seeded(102);
+        t.shuffle(&mut rng).unwrap();
+        assert_eq!(t.row_count(), 120);
+        let mut sum = 0.0;
+        t.scan_rows(&mut |_, x, _| sum += x[0]).unwrap();
+        // Sum of first-coordinates is invariant: Σ i·40 for i in 0..120.
+        let expect: f64 = (0..120).map(|i| (i * 40) as f64).sum();
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn trainset_impl_agrees_with_table_api() {
+        let t = filled(Backing::Memory, 8, 50, 4);
+        assert_eq!(TrainSet::len(&t), 50);
+        assert_eq!(TrainSet::dim(&t), 4);
+        let mut seen = Vec::new();
+        t.scan_order(&[10, 0, 49], &mut |pos, x, _| seen.push((pos, x[0])));
+        assert_eq!(seen, vec![(0, 40.0), (1, 0.0), (2, 196.0)]);
+    }
+
+    #[test]
+    fn row_out_of_bounds() {
+        let t = filled(Backing::Memory, 4, 10, 2);
+        let mut buf = vec![0.0; 2];
+        assert!(matches!(t.read_row(10, &mut buf), Err(DbError::RowOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn pool_stats_reflect_locality() {
+        let t = filled(Backing::TempFile, 64, 1000, 10);
+        t.reset_pool_stats();
+        t.scan_rows(&mut |_, _, _| {}).unwrap();
+        let stats = t.pool_stats();
+        // 1000 rows at 203 rows/page (dim=10 ⇒ 88-byte rows) is 5 pages;
+        // with 64 frames everything fits: sequential scan re-hits each page.
+        assert_eq!(stats.misses, 0, "{stats:?}");
+        assert!(stats.hits > 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! User-Defined Aggregates: the `initialize / transition / terminate` API
+//! that in-RDBMS analytics builds on (paper Section 4.2).
+//!
+//! An aggregate is a stateful object fed one tuple at a time by the
+//! executor, exactly like a PostgreSQL C UDA. The SGD epoch is "just another
+//! aggregate" next to `AVG` — that architectural equivalence (Figure 1) is
+//! what makes the bolt-on approach possible.
+
+use crate::error::DbResult;
+use crate::table::Table;
+use bolton_linalg::vector;
+use bolton_sgd::engine::BatchPlan;
+use bolton_sgd::loss::Loss;
+use bolton_sgd::schedule::StepSize;
+
+/// The per-batch gradient-noise callback type (Figure 1 (C)): invoked with
+/// the 1-based update counter and the mean mini-batch gradient.
+pub type BatchNoiseFn<'a> = dyn FnMut(u64, &mut [f64]) + 'a;
+
+/// A user-defined aggregate over `(features, label)` tuples.
+pub trait Aggregate {
+    /// The value produced at end of scan.
+    type Output;
+
+    /// Resets the aggregation state (`initialize` in the UDA C API).
+    fn initialize(&mut self);
+
+    /// Consumes one tuple (`transition`).
+    fn transition(&mut self, features: &[f64], label: f64);
+
+    /// Produces the result (`terminate`).
+    fn terminate(&mut self) -> Self::Output;
+}
+
+/// Runs an aggregate over a full sequential scan of `table`.
+///
+/// # Errors
+/// Propagates storage errors from the scan.
+pub fn run_aggregate<A: Aggregate>(table: &Table, agg: &mut A) -> DbResult<A::Output> {
+    agg.initialize();
+    table.scan_rows(&mut |_, x, y| agg.transition(x, y))?;
+    Ok(agg.terminate())
+}
+
+/// The paper's warm-up example: `AVG` over one feature column, with state
+/// `(sum, count)`.
+#[derive(Clone, Copy, Debug)]
+pub struct AvgAggregate {
+    /// Which feature column to average; `None` averages the label.
+    pub column: Option<usize>,
+    sum: f64,
+    count: u64,
+}
+
+impl AvgAggregate {
+    /// Average of feature column `column`.
+    pub fn over_column(column: usize) -> Self {
+        Self { column: Some(column), sum: 0.0, count: 0 }
+    }
+
+    /// Average of the label.
+    pub fn over_label() -> Self {
+        Self { column: None, sum: 0.0, count: 0 }
+    }
+}
+
+impl Aggregate for AvgAggregate {
+    type Output = Option<f64>;
+
+    fn initialize(&mut self) {
+        self.sum = 0.0;
+        self.count = 0;
+    }
+
+    fn transition(&mut self, features: &[f64], label: f64) {
+        self.sum += match self.column {
+            Some(c) => features[c],
+            None => label,
+        };
+        self.count += 1;
+    }
+
+    fn terminate(&mut self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Per-column summary statistics (`ANALYZE`): min/max/mean/std per feature
+/// column plus the label, via one scan (Welford accumulators).
+#[derive(Clone, Debug)]
+pub struct ColumnStatsAggregate {
+    stats: Vec<bolton_linalg::OnlineStats>,
+}
+
+/// One column's summary from [`ColumnStatsAggregate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ColumnSummary {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+impl ColumnStatsAggregate {
+    /// Creates an aggregate for a `dim`-feature table (the label is tracked
+    /// as a final extra column).
+    pub fn new(dim: usize) -> Self {
+        Self { stats: vec![bolton_linalg::OnlineStats::new(); dim + 1] }
+    }
+}
+
+impl Aggregate for ColumnStatsAggregate {
+    type Output = Vec<ColumnSummary>;
+
+    fn initialize(&mut self) {
+        for s in &mut self.stats {
+            *s = bolton_linalg::OnlineStats::new();
+        }
+    }
+
+    fn transition(&mut self, features: &[f64], label: f64) {
+        for (s, v) in self.stats.iter_mut().zip(features.iter().chain(std::iter::once(&label))) {
+            s.push(*v);
+        }
+    }
+
+    fn terminate(&mut self) -> Vec<ColumnSummary> {
+        self.stats
+            .iter()
+            .map(|s| ColumnSummary {
+                min: s.min(),
+                max: s.max(),
+                mean: s.mean(),
+                std_dev: s.std_dev(),
+            })
+            .collect()
+    }
+}
+
+/// One epoch of mini-batch (projected) SGD as a UDA.
+///
+/// The driver seeds `model` with the previous epoch's output and `t0` with
+/// the global update counter so step-size schedules continue across epochs —
+/// mirroring how Bismarck's Python controller re-invokes the SGD UDA with
+/// the prior model each epoch.
+///
+/// `batch_noise`, when set, is invoked on every mean mini-batch gradient
+/// before the update. This is the "(C)" integration point of Figure 1 that
+/// SCS13/BST14 need — note that supporting it required modifying this
+/// transition logic, whereas output perturbation never touches this file.
+pub struct SgdEpochAggregate<'a> {
+    loss: &'a dyn Loss,
+    step: StepSize,
+    plan: BatchPlan,
+    projection_radius: Option<f64>,
+    model: Vec<f64>,
+    t0: u64,
+    batch_noise: Option<&'a mut BatchNoiseFn<'a>>,
+    grad: Vec<f64>,
+    in_batch: usize,
+    batch_idx: usize,
+    t: u64,
+}
+
+impl<'a> SgdEpochAggregate<'a> {
+    /// Builds an epoch aggregate starting from `model` at global update
+    /// counter `t0`, over a pass of `pass_rows` tuples (needed up front to
+    /// plan the balanced mini-batch partition the sensitivity analysis
+    /// assumes — the driver knows the cardinality from the catalog).
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0` or `pass_rows == 0`.
+    pub fn new(
+        loss: &'a dyn Loss,
+        step: StepSize,
+        batch_size: usize,
+        projection_radius: Option<f64>,
+        model: Vec<f64>,
+        t0: u64,
+        pass_rows: usize,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let dim = model.len();
+        Self {
+            loss,
+            step,
+            plan: BatchPlan::new(pass_rows, batch_size),
+            projection_radius,
+            model,
+            t0,
+            batch_noise: None,
+            grad: vec![0.0; dim],
+            in_batch: 0,
+            batch_idx: 0,
+            t: t0,
+        }
+    }
+
+    /// Installs a per-batch gradient noise hook (the SCS13/BST14 path).
+    pub fn with_batch_noise(mut self, hook: &'a mut BatchNoiseFn<'a>) -> Self {
+        self.batch_noise = Some(hook);
+        self
+    }
+
+    fn flush_batch(&mut self) {
+        if self.in_batch == 0 {
+            return;
+        }
+        self.t += 1;
+        vector::scale(1.0 / self.in_batch as f64, &mut self.grad);
+        if let Some(hook) = self.batch_noise.as_mut() {
+            hook(self.t, &mut self.grad);
+        }
+        let eta = self.step.eta(self.t);
+        vector::axpy(-eta, &self.grad, &mut self.model);
+        if let Some(r) = self.projection_radius {
+            vector::project_l2_ball(&mut self.model, r);
+        }
+        vector::fill_zero(&mut self.grad);
+        self.in_batch = 0;
+        self.batch_idx += 1;
+    }
+}
+
+/// The epoch's result: the updated model plus the advanced update counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochOutput {
+    /// Model after the epoch.
+    pub model: Vec<f64>,
+    /// Global update counter after the epoch (pass back as next `t0`).
+    pub t: u64,
+}
+
+impl Aggregate for SgdEpochAggregate<'_> {
+    type Output = EpochOutput;
+
+    fn initialize(&mut self) {
+        vector::fill_zero(&mut self.grad);
+        self.in_batch = 0;
+        self.batch_idx = 0;
+        self.t = self.t0;
+    }
+
+    fn transition(&mut self, features: &[f64], label: f64) {
+        self.loss.add_gradient(&self.model, features, label, &mut self.grad);
+        self.in_batch += 1;
+        if self.batch_idx < self.plan.batches && self.in_batch == self.plan.size_of(self.batch_idx)
+        {
+            self.flush_batch();
+        }
+    }
+
+    fn terminate(&mut self) -> EpochOutput {
+        self.flush_batch();
+        EpochOutput { model: self.model.clone(), t: self.t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_sgd::loss::Logistic;
+
+    fn table_with(rows: &[(Vec<f64>, f64)]) -> Table {
+        let mut t = Table::in_memory("t", rows[0].0.len());
+        for (x, y) in rows {
+            t.insert(x, *y).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn avg_matches_manual() {
+        let t = table_with(&[
+            (vec![1.0, 10.0], 1.0),
+            (vec![2.0, 20.0], -1.0),
+            (vec![3.0, 30.0], 1.0),
+        ]);
+        let mut avg0 = AvgAggregate::over_column(0);
+        assert_eq!(run_aggregate(&t, &mut avg0).unwrap(), Some(2.0));
+        let mut avg1 = AvgAggregate::over_column(1);
+        assert_eq!(run_aggregate(&t, &mut avg1).unwrap(), Some(20.0));
+        let mut avgl = AvgAggregate::over_label();
+        assert!((run_aggregate(&t, &mut avgl).unwrap().unwrap() - (1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_of_empty_is_none() {
+        let t = Table::in_memory("empty", 2);
+        let mut avg = AvgAggregate::over_column(0);
+        assert_eq!(run_aggregate(&t, &mut avg).unwrap(), None);
+    }
+
+    #[test]
+    fn aggregate_is_reusable_after_initialize() {
+        let t = table_with(&[(vec![4.0], 1.0), (vec![6.0], 1.0)]);
+        let mut avg = AvgAggregate::over_column(0);
+        assert_eq!(run_aggregate(&t, &mut avg).unwrap(), Some(5.0));
+        // Second run must not see stale state.
+        assert_eq!(run_aggregate(&t, &mut avg).unwrap(), Some(5.0));
+    }
+
+    /// The in-RDBMS epoch must compute exactly what the in-memory engine
+    /// computes on the same data in the same order.
+    #[test]
+    fn sgd_epoch_matches_in_memory_engine() {
+        use bolton_sgd::{engine, InMemoryDataset, SgdConfig};
+        let rows: Vec<(Vec<f64>, f64)> = (0..57)
+            .map(|i| {
+                let x0 = ((i * 37) % 100) as f64 / 100.0 - 0.5;
+                (vec![x0, 0.3], if x0 > 0.0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let table = table_with(&rows);
+        let loss = Logistic::plain();
+        let step = StepSize::Constant(0.3);
+        let batch = 5;
+
+        // In-memory engine, identity order, one pass.
+        let examples: Vec<bolton_sgd::dataset::Example> = rows
+            .iter()
+            .map(|(x, y)| bolton_sgd::dataset::Example { features: x.clone(), label: *y })
+            .collect();
+        let mem = InMemoryDataset::from_examples(&examples);
+        let config = SgdConfig::new(step).with_batch_size(batch);
+        let orders = vec![(0..rows.len()).collect::<Vec<_>>()];
+        let expected = engine::run_with_orders(&mem, &loss, &config, &orders, &mut |_, _| {});
+
+        // UDA path over the table (storage order is insertion order).
+        let mut agg = SgdEpochAggregate::new(&loss, step, batch, None, vec![0.0; 2], 0, rows.len());
+        let got = run_aggregate(&table, &mut agg).unwrap();
+
+        assert_eq!(got.t, expected.updates);
+        for (a, b) in got.model.iter().zip(expected.model.iter()) {
+            assert!((a - b).abs() < 1e-12, "UDA {a} vs engine {b}");
+        }
+    }
+
+    #[test]
+    fn epoch_counter_continues_across_epochs() {
+        let t = table_with(&vec![(vec![0.5], 1.0); 10]);
+        let loss = Logistic::plain();
+        let mut agg =
+            SgdEpochAggregate::new(&loss, StepSize::InvSqrtT, 3, None, vec![0.0], 0, 10);
+        let out1 = run_aggregate(&t, &mut agg).unwrap();
+        assert_eq!(out1.t, 4); // ⌈10/3⌉
+        let mut agg2 =
+            SgdEpochAggregate::new(&loss, StepSize::InvSqrtT, 3, None, out1.model, out1.t, 10);
+        let out2 = run_aggregate(&t, &mut agg2).unwrap();
+        assert_eq!(out2.t, 8);
+    }
+
+    #[test]
+    fn batch_noise_hook_fires_per_batch() {
+        let t = table_with(&vec![(vec![0.5], 1.0); 10]);
+        let loss = Logistic::plain();
+        let mut calls = Vec::new();
+        {
+            let mut hook = |t: u64, _g: &mut [f64]| calls.push(t);
+            let mut agg = SgdEpochAggregate::new(&loss, StepSize::InvSqrtT, 4, None, vec![0.0], 0, 10)
+                .with_batch_noise(&mut hook);
+            run_aggregate(&t, &mut agg).unwrap();
+        }
+        assert_eq!(calls, vec![1, 2, 3]); // batches of 4, 4, 2
+    }
+
+    #[test]
+    fn projection_applies_in_uda_path() {
+        let t = table_with(&vec![(vec![1.0], 1.0); 20]);
+        let loss = Logistic::plain();
+        let mut agg = SgdEpochAggregate::new(
+            &loss,
+            StepSize::Constant(5.0),
+            1,
+            Some(0.1),
+            vec![0.0],
+            0,
+            20,
+        );
+        let out = run_aggregate(&t, &mut agg).unwrap();
+        assert!(vector::norm(&out.model) <= 0.1 + 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! **bolton** — a from-scratch reproduction of *Bolt-on Differential
+//! Privacy for Scalable Stochastic Gradient Descent-based Analytics*
+//! (Wu, Li, Kumar, Chaudhuri, Jha, Naughton — SIGMOD 2017).
+//!
+//! The paper's idea: instead of modifying SGD internals to add noise at
+//! every step (the "white-box" approach of SCS13/BST14), run standard
+//! permutation-based SGD as a **black box** and perturb only the final
+//! model, calibrated by a new, tight L2-sensitivity analysis. The payoff is
+//! threefold — trivial integration into existing analytics systems, zero
+//! runtime overhead, and (surprisingly) *better* accuracy at constant
+//! passes.
+//!
+//! Crate map:
+//!
+//! * [`sensitivity`] — the closed-form Δ₂ bounds (Lemmas 6–8,
+//!   Corollaries 1–3) plus the exact Lemma 4 replay.
+//! * [`output_perturbation`] — Algorithms 1/2 with ε-DP (Laplace ball) and
+//!   (ε, δ)-DP (Gaussian) noise.
+//! * [`scs13`] / [`bst14`] — the two state-of-the-art baselines the paper
+//!   compares against, including the constant-epoch BST14 extension
+//!   (Algorithms 4/5).
+//! * [`tuning`] — private hyper-parameter tuning (Algorithm 3) and
+//!   public-data tuning.
+//! * [`multiclass`] — one-vs-all with even budget split and accounting.
+//! * [`api`] — one [`api::TrainPlan`] per experiment cell; the examples and
+//!   every figure-regenerating bench binary go through it.
+//!
+//! ```
+//! use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+//! use bolton_privacy::Budget;
+//! use bolton_sgd::dataset::InMemoryDataset;
+//!
+//! let data = InMemoryDataset::from_flat(
+//!     vec![0.6, 0.1, -0.7, 0.2, 0.5, -0.1, -0.4, 0.0],
+//!     vec![1.0, -1.0, 1.0, -1.0],
+//!     2,
+//! );
+//! let plan = TrainPlan::new(
+//!     LossKind::Logistic { lambda: 1e-3 },
+//!     AlgorithmKind::BoltOn,
+//!     Some(Budget::pure(1.0).unwrap()),
+//! )
+//! .with_passes(5)
+//! .with_batch_size(2);
+//! let model = plan.train(&data, &mut bolton_rng::seeded(42)).unwrap();
+//! assert_eq!(model.len(), 2);
+//! ```
+
+pub mod api;
+pub mod audit;
+pub mod bst14;
+pub mod model_io;
+pub mod multiclass;
+pub mod objective_perturbation;
+pub mod output_perturbation;
+pub mod scs13;
+pub mod sensitivity;
+pub mod tuning;
+
+pub use api::{AlgorithmKind, LossKind, TrainPlan};
+pub use output_perturbation::{BoltOnConfig, PrivateModel, SensitivityMode};
+
+// Re-export the layers an application needs alongside the algorithms.
+pub use bolton_privacy::budget::Budget;
+pub use bolton_sgd::dataset::{Example, InMemoryDataset, TrainSet};
+pub use bolton_sgd::metrics;

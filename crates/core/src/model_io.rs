@@ -1,0 +1,265 @@
+//! Model persistence: a small, versioned, lossless text format for linear
+//! and one-vs-all models, so trained (and privately released) models can be
+//! shipped to serving systems.
+//!
+//! Weights are serialized as hexadecimal IEEE-754 bit patterns, so a
+//! save/load round trip is bit-exact — important when the artifact is a
+//! privately released model whose noise calibration someone may audit.
+//!
+//! ```text
+//! bolton-model v1
+//! kind linear
+//! dim 3
+//! 3ff0000000000000 4000000000000000 c008000000000000
+//! ```
+
+use crate::multiclass::MulticlassModel;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not a valid model file.
+    Format(String),
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelIoError::Format(msg) => write!(f, "bad model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> ModelIoError {
+    ModelIoError::Format(msg.into())
+}
+
+const MAGIC: &str = "bolton-model v1";
+
+fn write_weights<W: Write>(out: &mut W, w: &[f64]) -> Result<(), ModelIoError> {
+    let mut line = String::with_capacity(w.len() * 17);
+    for (i, v) in w.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        line.push_str(&format!("{:016x}", v.to_bits()));
+    }
+    writeln!(out, "{line}")?;
+    Ok(())
+}
+
+fn parse_weights(line: &str, dim: usize) -> Result<Vec<f64>, ModelIoError> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    if parts.len() != dim {
+        return Err(format_err(format!("expected {dim} weights, found {}", parts.len())));
+    }
+    parts
+        .iter()
+        .map(|tok| {
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format_err(format!("bad weight '{tok}': {e}")))
+        })
+        .collect()
+}
+
+/// Saves a binary linear model.
+///
+/// # Errors
+/// I/O failures.
+pub fn save_linear<W: Write>(w: &[f64], writer: W) -> Result<(), ModelIoError> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "kind linear")?;
+    writeln!(out, "dim {}", w.len())?;
+    write_weights(&mut out, w)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Saves a one-vs-all multiclass model.
+///
+/// # Errors
+/// I/O failures; rejects an empty model.
+pub fn save_multiclass<W: Write>(
+    model: &MulticlassModel,
+    writer: W,
+) -> Result<(), ModelIoError> {
+    if model.models.is_empty() {
+        return Err(format_err("multiclass model has no classes"));
+    }
+    let dim = model.models[0].len();
+    if model.models.iter().any(|w| w.len() != dim) {
+        return Err(format_err("inconsistent class model dimensions"));
+    }
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "kind one-vs-all")?;
+    writeln!(out, "dim {dim}")?;
+    writeln!(out, "classes {}", model.models.len())?;
+    for w in &model.models {
+        write_weights(&mut out, w)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+struct HeaderReader<R: Read> {
+    lines: std::io::Lines<BufReader<R>>,
+}
+
+impl<R: Read> HeaderReader<R> {
+    fn new(reader: R) -> Self {
+        Self { lines: BufReader::new(reader).lines() }
+    }
+
+    fn next_line(&mut self) -> Result<String, ModelIoError> {
+        self.lines
+            .next()
+            .ok_or_else(|| format_err("unexpected end of file"))?
+            .map_err(ModelIoError::from)
+    }
+
+    fn expect_field(&mut self, key: &str) -> Result<String, ModelIoError> {
+        let line = self.next_line()?;
+        let (k, v) = line
+            .split_once(' ')
+            .ok_or_else(|| format_err(format!("expected '{key} <value>', found '{line}'")))?;
+        if k != key {
+            return Err(format_err(format!("expected field '{key}', found '{k}'")));
+        }
+        Ok(v.to_string())
+    }
+}
+
+/// Loads a binary linear model.
+///
+/// # Errors
+/// [`ModelIoError::Format`] on any deviation from the format.
+pub fn load_linear<R: Read>(reader: R) -> Result<Vec<f64>, ModelIoError> {
+    let mut header = HeaderReader::new(reader);
+    if header.next_line()? != MAGIC {
+        return Err(format_err("missing magic header"));
+    }
+    let kind = header.expect_field("kind")?;
+    if kind != "linear" {
+        return Err(format_err(format!("expected a linear model, found '{kind}'")));
+    }
+    let dim: usize =
+        header.expect_field("dim")?.parse().map_err(|e| format_err(format!("bad dim: {e}")))?;
+    if dim == 0 {
+        return Err(format_err("dim must be positive"));
+    }
+    parse_weights(&header.next_line()?, dim)
+}
+
+/// Loads a one-vs-all multiclass model.
+///
+/// # Errors
+/// [`ModelIoError::Format`] on any deviation from the format.
+pub fn load_multiclass<R: Read>(reader: R) -> Result<MulticlassModel, ModelIoError> {
+    let mut header = HeaderReader::new(reader);
+    if header.next_line()? != MAGIC {
+        return Err(format_err("missing magic header"));
+    }
+    let kind = header.expect_field("kind")?;
+    if kind != "one-vs-all" {
+        return Err(format_err(format!("expected a one-vs-all model, found '{kind}'")));
+    }
+    let dim: usize =
+        header.expect_field("dim")?.parse().map_err(|e| format_err(format!("bad dim: {e}")))?;
+    let classes: usize = header
+        .expect_field("classes")?
+        .parse()
+        .map_err(|e| format_err(format!("bad class count: {e}")))?;
+    if dim == 0 || classes < 2 {
+        return Err(format_err("need dim >= 1 and classes >= 2"));
+    }
+    let mut models = Vec::with_capacity(classes);
+    for _ in 0..classes {
+        models.push(parse_weights(&header.next_line()?, dim)?);
+    }
+    Ok(MulticlassModel { models })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_roundtrip_is_bit_exact() {
+        let w = vec![1.0, -2.5, f64::MIN_POSITIVE, 1e300, -0.0, 3.141592653589793];
+        let mut bytes = Vec::new();
+        save_linear(&w, &mut bytes).unwrap();
+        let back = load_linear(&bytes[..]).unwrap();
+        assert_eq!(w.len(), back.len());
+        for (a, b) in w.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn multiclass_roundtrip() {
+        let model = MulticlassModel {
+            models: vec![vec![1.0, 2.0], vec![-1.0, 0.5], vec![0.0, -3.25]],
+        };
+        let mut bytes = Vec::new();
+        save_multiclass(&model, &mut bytes).unwrap();
+        let back = load_multiclass(&bytes[..]).unwrap();
+        assert_eq!(back.models, model.models);
+        assert_eq!(back.predict(&[1.0, 0.0]), model.predict(&[1.0, 0.0]));
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let mut bytes = Vec::new();
+        save_linear(&[1.0], &mut bytes).unwrap();
+        assert!(matches!(load_multiclass(&bytes[..]), Err(ModelIoError::Format(_))));
+        let model = MulticlassModel { models: vec![vec![1.0], vec![2.0]] };
+        let mut bytes = Vec::new();
+        save_multiclass(&model, &mut bytes).unwrap();
+        assert!(matches!(load_linear(&bytes[..]), Err(ModelIoError::Format(_))));
+    }
+
+    #[test]
+    fn corrupted_inputs_error_cleanly() {
+        for text in [
+            "",
+            "not a model",
+            "bolton-model v1\nkind linear\ndim 2\n3ff0000000000000\n", // short row
+            "bolton-model v1\nkind linear\ndim 0\n\n",
+            "bolton-model v1\nkind linear\ndim 1\nzzzz\n",
+            "bolton-model v1\nkind one-vs-all\ndim 1\nclasses 1\n3ff0000000000000\n",
+        ] {
+            assert!(
+                load_linear(text.as_bytes()).is_err()
+                    && load_multiclass(text.as_bytes()).is_err(),
+                "should reject: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path =
+            std::env::temp_dir().join(format!("bolton-model-{}.txt", std::process::id()));
+        let w = vec![0.25, -0.75];
+        save_linear(&w, std::fs::File::create(&path).unwrap()).unwrap();
+        let back = load_linear(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(w, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! One-vs-all multiclass classification with an evenly split privacy budget
+//! — the paper's MNIST treatment (Section 4.3: "we built one-vs-all
+//! multiclass logistic regression models ... and divide the privacy budget
+//! evenly" using basic composition).
+
+use bolton_privacy::accountant::Accountant;
+use bolton_privacy::budget::{Budget, PrivacyError};
+use bolton_rng::Rng;
+use bolton_sgd::dataset::TrainSet;
+use bolton_sgd::metrics::score;
+
+/// A zero-copy view over a multiclass dataset (labels are class indices
+/// `0, 1, …, C−1`) that exposes the binary ±1 problem "class `c` vs rest".
+pub struct OneVsRestView<'a, D: TrainSet + ?Sized> {
+    base: &'a D,
+    positive_class: f64,
+}
+
+impl<'a, D: TrainSet + ?Sized> OneVsRestView<'a, D> {
+    /// Wraps `base`, relabeling `positive_class` to +1 and the rest to −1.
+    pub fn new(base: &'a D, positive_class: usize) -> Self {
+        Self { base, positive_class: positive_class as f64 }
+    }
+}
+
+impl<D: TrainSet + ?Sized> TrainSet for OneVsRestView<'_, D> {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        let positive = self.positive_class;
+        self.base.scan_order(order, &mut |pos, x, y| {
+            visit(pos, x, if y == positive { 1.0 } else { -1.0 });
+        });
+    }
+}
+
+/// A trained one-vs-all classifier: one linear model per class.
+#[derive(Clone, Debug)]
+pub struct MulticlassModel {
+    /// `models[c]` scores class `c`.
+    pub models: Vec<Vec<f64>>,
+}
+
+impl MulticlassModel {
+    /// Predicts the class with the highest linear score.
+    ///
+    /// # Panics
+    /// Panics if the model is empty.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.models.is_empty(), "no class models");
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (c, w) in self.models.iter().enumerate() {
+            let s = score(w, x);
+            if s > best_score {
+                best_score = s;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Multiclass accuracy on a dataset whose labels are class indices.
+    pub fn accuracy<D: TrainSet + ?Sized>(&self, data: &D) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        data.scan(&mut |_, x, y| {
+            if self.predict(x) == y as usize {
+                correct += 1;
+            }
+        });
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Trains `n_classes` binary models one-vs-all, splitting `total_budget`
+/// evenly (basic composition) and accounting every charge.
+///
+/// `train_binary(view, per_class_budget, rng)` fits one ±1 model.
+///
+/// # Errors
+/// Propagates trainer errors and (impossible by construction, but checked)
+/// accountant overdrafts.
+pub fn train_one_vs_all<D, R, F>(
+    data: &D,
+    n_classes: usize,
+    total_budget: Budget,
+    mut train_binary: F,
+    rng: &mut R,
+) -> Result<MulticlassModel, PrivacyError>
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+    F: FnMut(&OneVsRestView<'_, D>, Budget, &mut R) -> Result<Vec<f64>, PrivacyError>,
+{
+    assert!(n_classes >= 2, "need at least two classes");
+    let per_class = total_budget.split_even(n_classes);
+    let mut accountant = Accountant::new(total_budget);
+    let mut models = Vec::with_capacity(n_classes);
+    for class in 0..n_classes {
+        accountant.charge(format!("ova-class-{class}"), per_class)?;
+        let view = OneVsRestView::new(data, class);
+        models.push(train_binary(&view, per_class, rng)?);
+    }
+    Ok(MulticlassModel { models })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::dataset::InMemoryDataset;
+
+    /// Three well-separated clusters in 2-D, labels 0/1/2.
+    fn clusters(m: usize, seed: u64) -> InMemoryDataset {
+        let centers = [(0.8, 0.0), (-0.4, 0.7), (-0.4, -0.7)];
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for i in 0..m {
+            let c = i % 3;
+            features.push(centers[c].0 + rng.next_range(-0.15, 0.15));
+            features.push(centers[c].1 + rng.next_range(-0.15, 0.15));
+            labels.push(c as f64);
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    #[test]
+    fn view_relabels_correctly() {
+        let data = clusters(30, 261);
+        let view = OneVsRestView::new(&data, 1);
+        let mut plus = 0;
+        let mut minus = 0;
+        view.scan(&mut |_, _, y| {
+            assert!(y == 1.0 || y == -1.0);
+            if y == 1.0 {
+                plus += 1;
+            } else {
+                minus += 1;
+            }
+        });
+        assert_eq!(plus, 10);
+        assert_eq!(minus, 20);
+    }
+
+    #[test]
+    fn one_vs_all_learns_clusters() {
+        let data = clusters(600, 262);
+        let budget = Budget::pure(30.0).unwrap();
+        let mut rng = seeded(263);
+        let loss = bolton_sgd::Logistic::plain();
+        let model = train_one_vs_all(
+            &data,
+            3,
+            budget,
+            |view, b, r| {
+                let config = crate::output_perturbation::BoltOnConfig::new(b).with_passes(5);
+                Ok(crate::output_perturbation::train_private(view, &loss, &config, r)?.model)
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let acc = model.accuracy(&data);
+        assert!(acc > 0.9, "multiclass accuracy {acc}");
+    }
+
+    #[test]
+    fn budget_split_is_accounted() {
+        // 10 classes at ε=0.4 total: each gets 0.04, exactly exhausting.
+        let data = clusters(100, 264);
+        let mut calls = Vec::new();
+        let model = train_one_vs_all(
+            &data,
+            10,
+            Budget::pure(0.4).unwrap(),
+            |_view, b, _r| {
+                calls.push(b.eps());
+                Ok(vec![0.0, 0.0])
+            },
+            &mut seeded(265),
+        )
+        .unwrap();
+        assert_eq!(model.models.len(), 10);
+        assert_eq!(calls.len(), 10);
+        for e in calls {
+            assert!((e - 0.04).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn predict_is_argmax() {
+        let m = MulticlassModel {
+            models: vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, -1.0]],
+        };
+        assert_eq!(m.predict(&[1.0, 0.1]), 0);
+        assert_eq!(m.predict(&[0.1, 1.0]), 1);
+        assert_eq!(m.predict(&[-1.0, -1.0]), 2);
+    }
+
+    #[test]
+    fn accuracy_on_empty_is_zero() {
+        let m = MulticlassModel { models: vec![vec![1.0]] };
+        let empty = InMemoryDataset::from_flat(vec![], vec![], 1);
+        assert_eq!(m.accuracy(&empty), 0.0);
+    }
+}

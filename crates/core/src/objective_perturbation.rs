@@ -1,0 +1,290 @@
+//! Objective perturbation (Chaudhuri, Monteleoni & Sarwate, JMLR 2011) —
+//! the other classical private-ERM style the paper's related work contrasts
+//! with (Section 5).
+//!
+//! Instead of noising the output, CMS11 noises the *objective*: minimize
+//!
+//! ```text
+//! J(w) = (1/m)·Σ ℓ(w; (x_i, y_i)) + (λ/2)‖w‖² + ⟨b, w⟩/m
+//! ```
+//!
+//! with `b` drawn from density `∝ exp(−ε'·‖b‖/2)` and
+//! `ε' = ε − 2·ln(1 + c/(mλ))` (adding extra regularization when ε' would
+//! be non-positive), where `c` bounds the per-example loss curvature
+//! (`c = 1/4` for logistic).
+//!
+//! **The practical catch the paper calls out** (and the reason bolt-on
+//! output perturbation exists): the privacy proof requires releasing the
+//! *exact* minimizer, which an SGD solver only approximates — "the privacy
+//! guarantees provided by both styles often assume that the exact convex
+//! minimizer can be found, which usually does not hold in practice". We
+//! implement it faithfully as a baseline and label the output accordingly.
+
+use bolton_linalg::vector;
+use bolton_privacy::budget::{Budget, PrivacyError};
+use bolton_privacy::mechanisms::sample_unit_sphere;
+use bolton_rng::dist::Gamma;
+use bolton_rng::Rng;
+use bolton_sgd::engine::{run_psgd, Averaging, SamplingScheme, SgdConfig};
+use bolton_sgd::loss::{Logistic, Loss};
+use bolton_sgd::schedule::StepSize;
+use bolton_sgd::TrainSet;
+
+/// Logistic loss with the CMS11 linear perturbation term folded in:
+/// per-example `ℓ(w) + (λ/2)‖w‖² + ⟨b, w⟩/m`.
+struct PerturbedLogistic {
+    inner: Logistic,
+    /// The per-example linear term `b/m`.
+    linear: Vec<f64>,
+    linear_norm: f64,
+}
+
+impl Loss for PerturbedLogistic {
+    fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64 {
+        self.inner.value(w, x, y) + vector::dot(&self.linear, w)
+    }
+
+    fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]) {
+        self.inner.add_gradient(w, x, y, grad);
+        vector::axpy(1.0, &self.linear, grad);
+    }
+
+    fn lipschitz(&self) -> f64 {
+        self.inner.lipschitz() + self.linear_norm
+    }
+
+    fn smoothness(&self) -> f64 {
+        self.inner.smoothness()
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.inner.strong_convexity()
+    }
+
+    fn lambda(&self) -> f64 {
+        self.inner.lambda()
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic+objective-noise"
+    }
+}
+
+/// Configuration for CMS11 objective-perturbed logistic regression.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjPertConfig {
+    /// Pure ε-DP budget (the classical mechanism is ε-DP).
+    pub budget: Budget,
+    /// L2-regularization λ (> 0; the mechanism needs strong convexity).
+    pub lambda: f64,
+    /// Solver passes for the perturbed objective.
+    pub passes: usize,
+    /// Solver mini-batch size.
+    pub batch_size: usize,
+}
+
+/// The calibration record of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct ObjPertCalibration {
+    /// The effective `ε' = ε − 2 ln(1 + c/(mλ_total))` used for `b`.
+    pub eps_prime: f64,
+    /// Extra regularization added when the requested λ was too small for
+    /// the requested ε (CMS11's Δ adjustment).
+    pub extra_lambda: f64,
+}
+
+/// A model released by objective perturbation.
+#[derive(Clone, Debug)]
+pub struct ObjPertModel {
+    /// The released model (the approximate minimizer — see module docs).
+    pub model: Vec<f64>,
+    /// Calibration details.
+    pub calibration: ObjPertCalibration,
+}
+
+/// Curvature bound `c` for the logistic loss (`|ℓ''| ≤ 1/4` at `‖x‖ ≤ 1`).
+pub const LOGISTIC_CURVATURE: f64 = 0.25;
+
+/// Trains λ-regularized logistic regression with CMS11 objective
+/// perturbation, solving the perturbed objective with PSGD.
+///
+/// # Errors
+/// Rejects approximate budgets, non-positive λ, or an empty dataset.
+pub fn train_objective_perturbation<D, R>(
+    data: &D,
+    config: &ObjPertConfig,
+    rng: &mut R,
+) -> Result<ObjPertModel, PrivacyError>
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    if !config.budget.is_pure() {
+        return Err(PrivacyError::InvalidBudget(
+            "objective perturbation is an ε-DP mechanism; use a pure budget".into(),
+        ));
+    }
+    if !(config.lambda > 0.0 && config.lambda.is_finite()) {
+        return Err(PrivacyError::InvalidMechanism("lambda must be finite and > 0".into()));
+    }
+    let m = data.len();
+    if m == 0 {
+        return Err(PrivacyError::InvalidMechanism("empty dataset".into()));
+    }
+    let d = data.dim();
+    let eps = config.budget.eps();
+
+    // CMS11 calibration: ε' = ε − 2 ln(1 + c/(mλ)); if non-positive, add
+    // regularization Δ = c/(m(e^{ε/4} − 1)) − λ and use ε' = ε/2.
+    let m_f = m as f64;
+    let mut lambda = config.lambda;
+    let mut extra_lambda = 0.0;
+    let mut eps_prime = eps - 2.0 * (1.0 + LOGISTIC_CURVATURE / (m_f * lambda)).ln();
+    if eps_prime <= 0.0 {
+        extra_lambda =
+            (LOGISTIC_CURVATURE / (m_f * ((eps / 4.0).exp() - 1.0)) - lambda).max(0.0);
+        lambda += extra_lambda;
+        eps_prime = eps / 2.0;
+    }
+
+    // b with density ∝ exp(−ε'‖b‖/2): direction uniform, ‖b‖ ~ Γ(d, 2/ε').
+    let mut b = sample_unit_sphere(rng, d);
+    let magnitude = Gamma::new(d as f64, 2.0 / eps_prime).sample(rng);
+    vector::scale(magnitude, &mut b);
+    let linear: Vec<f64> = b.iter().map(|v| v / m_f).collect();
+    let linear_norm = vector::norm(&linear);
+
+    let radius = 1.0 / lambda;
+    let loss = PerturbedLogistic {
+        inner: Logistic::regularized(lambda, radius),
+        linear,
+        linear_norm,
+    };
+    let step = StepSize::StronglyConvex { beta: loss.smoothness(), gamma: lambda };
+    let sgd = SgdConfig::new(step)
+        .with_passes(config.passes)
+        .with_batch_size(config.batch_size)
+        .with_projection(radius)
+        .with_averaging(Averaging::Uniform)
+        .with_sampling(SamplingScheme::Permutation { fresh_each_pass: false });
+    let outcome = run_psgd(data, &loss, &sgd, rng);
+
+    Ok(ObjPertModel {
+        model: outcome.model,
+        calibration: ObjPertCalibration { eps_prime, extra_lambda },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::dataset::InMemoryDataset;
+    use bolton_sgd::metrics;
+
+    fn dataset(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 3);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-0.8, 0.8);
+            features.extend_from_slice(&[x0, rng.next_range(-0.2, 0.2), 0.1]);
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 3)
+    }
+
+    #[test]
+    fn trains_accurate_model_at_moderate_eps() {
+        let data = dataset(5000, 601);
+        let config = ObjPertConfig {
+            budget: Budget::pure(1.0).unwrap(),
+            lambda: 1e-2,
+            passes: 10,
+            batch_size: 10,
+        };
+        let out = train_objective_perturbation(&data, &config, &mut seeded(602)).unwrap();
+        let acc = metrics::accuracy(&out.model, &data);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert!(out.calibration.eps_prime > 0.0);
+    }
+
+    #[test]
+    fn small_eps_triggers_extra_regularization() {
+        let data = dataset(200, 603);
+        let config = ObjPertConfig {
+            budget: Budget::pure(0.01).unwrap(),
+            lambda: 1e-5,
+            passes: 2,
+            batch_size: 1,
+        };
+        let out = train_objective_perturbation(&data, &config, &mut seeded(604)).unwrap();
+        assert!(out.calibration.extra_lambda > 0.0, "Δ adjustment should fire");
+        assert!((out.calibration.eps_prime - 0.005).abs() < 1e-12, "ε' = ε/2");
+    }
+
+    #[test]
+    fn rejects_approx_budget_and_zero_lambda() {
+        let data = dataset(100, 605);
+        let bad_budget = ObjPertConfig {
+            budget: Budget::approx(1.0, 1e-6).unwrap(),
+            lambda: 1e-2,
+            passes: 1,
+            batch_size: 1,
+        };
+        assert!(train_objective_perturbation(&data, &bad_budget, &mut seeded(606)).is_err());
+        let bad_lambda = ObjPertConfig {
+            budget: Budget::pure(1.0).unwrap(),
+            lambda: 0.0,
+            passes: 1,
+            batch_size: 1,
+        };
+        assert!(train_objective_perturbation(&data, &bad_lambda, &mut seeded(607)).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_noise_matters() {
+        let data = dataset(400, 608);
+        let config = ObjPertConfig {
+            budget: Budget::pure(0.5).unwrap(),
+            lambda: 1e-2,
+            passes: 3,
+            batch_size: 5,
+        };
+        let a = train_objective_perturbation(&data, &config, &mut seeded(7)).unwrap();
+        let b = train_objective_perturbation(&data, &config, &mut seeded(7)).unwrap();
+        assert_eq!(a.model, b.model);
+        let c = train_objective_perturbation(&data, &config, &mut seeded(8)).unwrap();
+        assert_ne!(a.model, c.model, "different b draw must change the model");
+    }
+
+    /// At generous ε the perturbation is negligible and the model matches
+    /// the unperturbed regularized fit closely.
+    #[test]
+    fn large_eps_approaches_noiseless() {
+        let data = dataset(2000, 609);
+        let lambda = 1e-2;
+        let config = ObjPertConfig {
+            budget: Budget::pure(100.0).unwrap(),
+            lambda,
+            passes: 10,
+            batch_size: 10,
+        };
+        let private =
+            train_objective_perturbation(&data, &config, &mut seeded(610)).unwrap();
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let step = StepSize::StronglyConvex { beta: loss.smoothness(), gamma: lambda };
+        let sgd = SgdConfig::new(step)
+            .with_passes(10)
+            .with_batch_size(10)
+            .with_projection(1.0 / lambda)
+            .with_averaging(Averaging::Uniform);
+        let clean = run_psgd(&data, &loss, &sgd, &mut seeded(611));
+        let acc_private = metrics::accuracy(&private.model, &data);
+        let acc_clean = metrics::accuracy(&clean.model, &data);
+        assert!(
+            (acc_private - acc_clean).abs() < 0.02,
+            "private {acc_private} vs clean {acc_clean}"
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! Algorithms 1 and 2: bolt-on private PSGD via output perturbation.
+//!
+//! Run standard PSGD as a black box, compute the L2-sensitivity from the
+//! closed forms of [`crate::sensitivity`], and add one draw of noise to the
+//! final model — Laplace-ball for ε-DP (Theorems 4/5) or Gaussian for
+//! (ε, δ)-DP (Theorems 6/7). Because the noise is added *after* training,
+//! the optimizer (here [`bolton_sgd::engine`], or a Bismarck table scan — any
+//! [`TrainSet`]) is completely untouched.
+
+use crate::sensitivity;
+use bolton_privacy::budget::{Budget, PrivacyError};
+use bolton_privacy::mechanisms::NoiseMechanism;
+use bolton_rng::Rng;
+use bolton_sgd::engine::{run_psgd, Averaging, SamplingScheme, SgdConfig};
+use bolton_sgd::growth::LossConstants;
+use bolton_sgd::loss::Loss;
+use bolton_sgd::schedule::StepSize;
+use bolton_sgd::TrainSet;
+
+/// How Δ₂ is computed for the noise calibration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SensitivityMode {
+    /// The paper's closed forms, including the ÷b mini-batch shortcut
+    /// (Section 4.1) — the reproduction default.
+    PaperFormula,
+    /// The exact Lemma 4 recursion for the configured schedule and batching
+    /// (never below the true sensitivity; see DESIGN.md §7).
+    Replayed,
+}
+
+/// Configuration for the bolt-on algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct BoltOnConfig {
+    /// Privacy budget; pure ⇒ Laplace-ball noise, approx ⇒ Gaussian.
+    pub budget: Budget,
+    /// Number of passes `k`.
+    pub passes: usize,
+    /// Mini-batch size `b`.
+    pub batch_size: usize,
+    /// Projection radius `R` (required in the strongly convex case; the
+    /// paper sets `R = 1/λ`).
+    pub projection_radius: Option<f64>,
+    /// Iterate returned by the underlying PSGD.
+    pub averaging: Averaging,
+    /// Sensitivity calibration mode.
+    pub sensitivity_mode: SensitivityMode,
+    /// Optional convergence tolerance µ — the paper's "oblivious k"
+    /// strategy (Section 4.3): run until the relative training-loss
+    /// decrease falls below µ or `passes` is reached. Sound because Δ₂ is
+    /// non-decreasing in the pass count, so calibrating at the cap
+    /// `passes` covers every earlier stop. (In the strongly convex case
+    /// Δ₂ does not depend on k at all, which is the paper's observation.)
+    pub tolerance: Option<f64>,
+}
+
+impl BoltOnConfig {
+    /// The paper's defaults: final iterate, paper formulas.
+    pub fn new(budget: Budget) -> Self {
+        Self {
+            budget,
+            passes: 1,
+            batch_size: 1,
+            projection_radius: None,
+            averaging: Averaging::FinalIterate,
+            sensitivity_mode: SensitivityMode::PaperFormula,
+            tolerance: None,
+        }
+    }
+
+    /// Sets the number of passes.
+    pub fn with_passes(mut self, k: usize) -> Self {
+        self.passes = k;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b;
+        self
+    }
+
+    /// Enables projected SGD with radius `r`.
+    pub fn with_projection(mut self, r: f64) -> Self {
+        self.projection_radius = Some(r);
+        self
+    }
+
+    /// Sets the averaging mode.
+    pub fn with_averaging(mut self, averaging: Averaging) -> Self {
+        self.averaging = averaging;
+        self
+    }
+
+    /// Sets the sensitivity calibration mode.
+    pub fn with_sensitivity_mode(mut self, mode: SensitivityMode) -> Self {
+        self.sensitivity_mode = mode;
+        self
+    }
+
+    /// Enables the oblivious-k convergence tolerance (with `passes` as the
+    /// pass cap `K`).
+    pub fn with_tolerance(mut self, mu: f64) -> Self {
+        self.tolerance = Some(mu);
+        self
+    }
+}
+
+/// A privately trained model plus its calibration record.
+#[derive(Clone, Debug)]
+pub struct PrivateModel {
+    /// The released (noised) model.
+    pub model: Vec<f64>,
+    /// The non-private model before perturbation (kept for instrumentation;
+    /// NOT part of the private release — do not publish it).
+    pub unperturbed: Vec<f64>,
+    /// The L2-sensitivity used for calibration.
+    pub sensitivity: f64,
+    /// The budget spent.
+    pub budget: Budget,
+    /// Mini-batch updates performed by the underlying PSGD.
+    pub updates: u64,
+}
+
+impl PrivateModel {
+    /// Norm of the realized noise draw (‖released − unperturbed‖).
+    pub fn noise_norm(&self) -> f64 {
+        bolton_linalg::vector::distance(&self.model, &self.unperturbed)
+    }
+}
+
+/// The step size Table 4 assigns to our algorithm: `1/√m` (convex) or
+/// `min(1/β, 1/γt)` (strongly convex).
+pub fn paper_step_size(loss: &dyn Loss, m: usize) -> StepSize {
+    if loss.is_strongly_convex() {
+        StepSize::StronglyConvex { beta: loss.smoothness(), gamma: loss.strong_convexity() }
+    } else {
+        StepSize::InvSqrtM { m }
+    }
+}
+
+/// The Δ₂ Algorithm 1/2 uses for the given configuration.
+///
+/// # Errors
+/// Rejects invalid configurations (convex step exceeding `2/β`).
+pub fn calibrate_sensitivity(
+    loss: &dyn Loss,
+    config: &BoltOnConfig,
+    m: usize,
+) -> Result<f64, PrivacyError> {
+    let step = paper_step_size(loss, m);
+    let constants = LossConstants::of(loss);
+    match config.sensitivity_mode {
+        SensitivityMode::Replayed => {
+            Ok(sensitivity::replayed(&constants, &step, config.passes, m, config.batch_size))
+        }
+        SensitivityMode::PaperFormula => {
+            if loss.is_strongly_convex() {
+                Ok(sensitivity::strongly_convex_decreasing_step(
+                    loss.lipschitz(),
+                    loss.strong_convexity(),
+                    m,
+                    config.batch_size,
+                ))
+            } else {
+                let eta = step.eta(1);
+                if !step.respects_convex_bound(loss.smoothness()) {
+                    return Err(PrivacyError::InvalidMechanism(format!(
+                        "step {eta} exceeds 2/beta = {}",
+                        2.0 / loss.smoothness()
+                    )));
+                }
+                Ok(sensitivity::convex_constant_step(
+                    loss.lipschitz(),
+                    eta,
+                    config.passes,
+                    m,
+                    config.batch_size,
+                ))
+            }
+        }
+    }
+}
+
+/// Trains with Algorithm 1 (convex) or Algorithm 2 (strongly convex),
+/// dispatching on `loss.is_strongly_convex()`, and perturbs the output.
+///
+/// # Errors
+/// Propagates calibration/mechanism errors.
+///
+/// # Panics
+/// Panics if the data is empty or (strongly convex case) no projection
+/// radius is configured while the loss constants require one.
+pub fn train_private<D, R>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &BoltOnConfig,
+    rng: &mut R,
+) -> Result<PrivateModel, PrivacyError>
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    assert!(m > 0, "training set must be non-empty");
+    let step = paper_step_size(loss, m);
+    let mut sgd_config = SgdConfig::new(step)
+        .with_passes(config.passes)
+        .with_batch_size(config.batch_size)
+        .with_averaging(config.averaging)
+        .with_sampling(SamplingScheme::Permutation { fresh_each_pass: false });
+    if let Some(r) = config.projection_radius {
+        sgd_config = sgd_config.with_projection(r);
+    }
+    if let Some(mu) = config.tolerance {
+        sgd_config = sgd_config.with_tolerance(mu);
+    }
+
+    // Step 1 (black box): run standard PSGD.
+    let outcome = run_psgd(data, loss, &sgd_config, rng);
+
+    // Step 2: calibrate Δ₂ and sample one noise draw.
+    let delta2 = calibrate_sensitivity(loss, config, m)?;
+    let mechanism = NoiseMechanism::for_budget(&config.budget, data.dim(), delta2)?;
+    let mut model = outcome.model.clone();
+    mechanism.perturb(rng, &mut model);
+
+    Ok(PrivateModel {
+        model,
+        unperturbed: outcome.model,
+        sensitivity: delta2,
+        budget: config.budget,
+        updates: outcome.updates,
+    })
+}
+
+/// Convenience wrapper asserting the convex case (paper Algorithm 1).
+///
+/// # Errors
+/// As [`train_private`].
+pub fn private_convex_psgd<D, R>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &BoltOnConfig,
+    rng: &mut R,
+) -> Result<PrivateModel, PrivacyError>
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(!loss.is_strongly_convex(), "Algorithm 1 requires a merely convex loss");
+    train_private(data, loss, config, rng)
+}
+
+/// Convenience wrapper asserting the strongly convex case (paper
+/// Algorithm 2).
+///
+/// # Errors
+/// As [`train_private`].
+pub fn private_strongly_convex_psgd<D, R>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &BoltOnConfig,
+    rng: &mut R,
+) -> Result<PrivateModel, PrivacyError>
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert!(loss.is_strongly_convex(), "Algorithm 2 requires a strongly convex loss");
+    train_private(data, loss, config, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::dataset::InMemoryDataset;
+    use bolton_sgd::loss::Logistic;
+    use bolton_sgd::metrics;
+
+    fn dataset(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-0.9, 0.9);
+            features.push(x0);
+            features.push(rng.next_range(-0.3, 0.3));
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    #[test]
+    fn convex_private_model_trains_and_perturbs() {
+        let data = dataset(2000, 201);
+        let loss = Logistic::plain();
+        let config = BoltOnConfig::new(Budget::pure(1.0).unwrap()).with_passes(5);
+        let out = train_private(&data, &loss, &config, &mut seeded(202)).unwrap();
+        assert!(out.noise_norm() > 0.0);
+        // Sensitivity: 2kLη = 2·5·1·(1/√2000).
+        let expect = 10.0 / (2000f64).sqrt();
+        assert!((out.sensitivity - expect).abs() < 1e-12);
+        let acc = metrics::accuracy(&out.model, &data);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn strongly_convex_uses_lemma8() {
+        let data = dataset(1000, 203);
+        let lambda = 0.01;
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let config = BoltOnConfig::new(Budget::pure(1.0).unwrap())
+            .with_passes(10)
+            .with_projection(1.0 / lambda);
+        let out = train_private(&data, &loss, &config, &mut seeded(204)).unwrap();
+        // Δ₂ = 2L/(γm) = 2·2/(0.01·1000) = 0.4; independent of k.
+        assert!((out.sensitivity - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strongly_convex_sensitivity_independent_of_passes() {
+        let data = dataset(500, 205);
+        let lambda = 0.01;
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let s = |k: usize| {
+            let config = BoltOnConfig::new(Budget::pure(0.5).unwrap())
+                .with_passes(k)
+                .with_projection(1.0 / lambda);
+            calibrate_sensitivity(&loss, &config, data.len()).unwrap()
+        };
+        assert_eq!(s(1), s(20));
+    }
+
+    #[test]
+    fn convex_sensitivity_grows_with_passes() {
+        let loss = Logistic::plain();
+        let s = |k: usize| {
+            let config = BoltOnConfig::new(Budget::pure(0.5).unwrap()).with_passes(k);
+            calibrate_sensitivity(&loss, &config, 1000).unwrap()
+        };
+        assert!((s(20) / s(1) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minibatch_reduces_convex_sensitivity() {
+        let loss = Logistic::plain();
+        let s = |b: usize| {
+            let config =
+                BoltOnConfig::new(Budget::pure(0.5).unwrap()).with_passes(10).with_batch_size(b);
+            calibrate_sensitivity(&loss, &config, 1000).unwrap()
+        };
+        assert!((s(1) / s(50) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_noise_for_approx_budget() {
+        let data = dataset(1000, 206);
+        let loss = Logistic::plain();
+        let config =
+            BoltOnConfig::new(Budget::approx(1.0, 1e-6).unwrap()).with_passes(2);
+        let out = train_private(&data, &loss, &config, &mut seeded(207)).unwrap();
+        assert!(out.noise_norm() > 0.0);
+        assert!(!out.budget.is_pure());
+    }
+
+    #[test]
+    fn replayed_mode_is_at_most_paper_formula_convex() {
+        let loss = Logistic::plain();
+        let paper = BoltOnConfig::new(Budget::pure(1.0).unwrap()).with_passes(5);
+        let replay = paper.with_sensitivity_mode(SensitivityMode::Replayed);
+        let sp = calibrate_sensitivity(&loss, &paper, 500).unwrap();
+        let sr = calibrate_sensitivity(&loss, &replay, 500).unwrap();
+        assert!(sr <= sp + 1e-12, "replayed {sr} > paper {sp}");
+    }
+
+    #[test]
+    fn more_budget_means_less_noise_on_average() {
+        let data = dataset(500, 208);
+        let loss = Logistic::plain();
+        let avg_noise = |eps: f64, seed: u64| {
+            let config = BoltOnConfig::new(Budget::pure(eps).unwrap()).with_passes(3);
+            let mut rng = seeded(seed);
+            (0..30)
+                .map(|_| train_private(&data, &loss, &config, &mut rng).unwrap().noise_norm())
+                .sum::<f64>()
+                / 30.0
+        };
+        let tight = avg_noise(0.1, 209);
+        let loose = avg_noise(4.0, 209);
+        assert!(
+            tight > 5.0 * loose,
+            "ε=0.1 noise {tight} should dwarf ε=4 noise {loose}"
+        );
+    }
+
+    #[test]
+    fn wrapper_asserts_convexity_class() {
+        let data = dataset(100, 210);
+        let lambda = 0.01;
+        let strongly = Logistic::regularized(lambda, 1.0 / lambda);
+        let config = BoltOnConfig::new(Budget::pure(1.0).unwrap());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            private_convex_psgd(&data, &strongly, &config, &mut seeded(211))
+        }));
+        assert!(result.is_err(), "Algorithm 1 must reject strongly convex losses");
+    }
+}
+
+#[cfg(test)]
+mod oblivious_k_tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::dataset::InMemoryDataset;
+    use bolton_sgd::loss::Logistic;
+
+    fn dataset(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-0.9, 0.9);
+            features.push(x0);
+            features.push(rng.next_range(-0.3, 0.3));
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    /// The oblivious-k strategy: with a tolerance, the strongly convex run
+    /// may stop early; the sensitivity (k-independent) is unchanged.
+    #[test]
+    fn tolerance_stops_early_without_changing_sensitivity() {
+        let data = dataset(600, 291);
+        let lambda = 0.05;
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let capped = BoltOnConfig::new(Budget::pure(1.0).unwrap())
+            .with_passes(100)
+            .with_projection(1.0 / lambda)
+            .with_tolerance(0.01);
+        let out = train_private(&data, &loss, &capped, &mut seeded(292)).unwrap();
+        // Stopped well before the 100-pass cap...
+        assert!(out.updates < 100 * 600, "updates {}", out.updates);
+        // ...with the k-oblivious Lemma 8 sensitivity.
+        let uncapped = BoltOnConfig::new(Budget::pure(1.0).unwrap())
+            .with_passes(1)
+            .with_projection(1.0 / lambda);
+        assert_eq!(
+            out.sensitivity,
+            calibrate_sensitivity(&loss, &uncapped, 600).unwrap()
+        );
+    }
+
+    /// In the convex case the tolerance is still sound: calibration uses
+    /// the pass cap K, an upper bound on the realized pass count.
+    #[test]
+    fn convex_tolerance_calibrates_at_the_cap() {
+        let data = dataset(400, 293);
+        let loss = Logistic::plain();
+        let config = BoltOnConfig::new(Budget::pure(1.0).unwrap())
+            .with_passes(50)
+            .with_tolerance(0.05);
+        let out = train_private(&data, &loss, &config, &mut seeded(294)).unwrap();
+        let at_cap = calibrate_sensitivity(&loss, &config, 400).unwrap();
+        assert_eq!(out.sensitivity, at_cap);
+        assert!(out.updates <= 50 * 400);
+    }
+}

@@ -1,0 +1,217 @@
+//! The SCS13 baseline: Song, Chaudhuri & Sarwate, "Stochastic gradient
+//! descent with differentially private updates" (GlobalSIP 2013), extended
+//! to multiple passes as in the paper's evaluation (Section 4.1).
+//!
+//! SCS13 is the *white-box* approach: noise calibrated to the mini-batch
+//! gradient's sensitivity `2L/b` is added at **every** update. One pass is
+//! ε-DP by parallel composition (each example touches exactly one update in
+//! a permuted pass); `k` passes compose sequentially, so each pass gets
+//! `ε/k` (and `δ/k`). Table 4 assigns it the `1/√t` schedule.
+
+use bolton_privacy::budget::{Budget, PrivacyError};
+use bolton_privacy::mechanisms::{GaussianMechanism, LaplaceBallMechanism};
+use bolton_rng::Rng;
+use bolton_sgd::engine::{run_psgd_with_hook, Averaging, SamplingScheme, SgdConfig};
+use bolton_sgd::loss::Loss;
+use bolton_sgd::schedule::StepSize;
+use bolton_sgd::TrainSet;
+
+/// Configuration for SCS13.
+#[derive(Clone, Copy, Debug)]
+pub struct Scs13Config {
+    /// Total privacy budget across all passes.
+    pub budget: Budget,
+    /// Number of passes `k`.
+    pub passes: usize,
+    /// Mini-batch size `b`.
+    pub batch_size: usize,
+    /// Projection radius (the paper uses `R = 1/λ` when regularized).
+    pub projection_radius: Option<f64>,
+}
+
+impl Scs13Config {
+    /// A 1-pass, batch-1 configuration.
+    pub fn new(budget: Budget) -> Self {
+        Self { budget, passes: 1, batch_size: 1, projection_radius: None }
+    }
+
+    /// Sets the number of passes.
+    pub fn with_passes(mut self, k: usize) -> Self {
+        self.passes = k;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b;
+        self
+    }
+
+    /// Enables projected SGD.
+    pub fn with_projection(mut self, r: f64) -> Self {
+        self.projection_radius = Some(r);
+        self
+    }
+}
+
+/// The result of an SCS13 run.
+#[derive(Clone, Debug)]
+pub struct Scs13Model {
+    /// The released model.
+    pub model: Vec<f64>,
+    /// Updates performed (= noise draws).
+    pub updates: u64,
+    /// The per-update gradient sensitivity `2L/b` used for calibration.
+    pub per_update_sensitivity: f64,
+}
+
+/// Trains with SCS13.
+///
+/// # Errors
+/// Propagates budget/mechanism validation errors.
+///
+/// # Panics
+/// Panics on an empty dataset.
+pub fn train_scs13<D, R>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &Scs13Config,
+    rng: &mut R,
+) -> Result<Scs13Model, PrivacyError>
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    assert!(m > 0, "training set must be non-empty");
+    let dim = data.dim();
+    // Per-pass budget by sequential composition over k passes.
+    let per_pass = config.budget.split_even(config.passes);
+    // Replacing one example changes the mean batch gradient by at most 2L/b.
+    let grad_sensitivity = 2.0 * loss.lipschitz() / config.batch_size as f64;
+
+    enum PerStep {
+        Laplace(LaplaceBallMechanism),
+        Gauss(GaussianMechanism),
+    }
+    let mechanism = if per_pass.is_pure() {
+        PerStep::Laplace(LaplaceBallMechanism::new(dim, grad_sensitivity, per_pass.eps())?)
+    } else {
+        PerStep::Gauss(GaussianMechanism::new(grad_sensitivity, per_pass.eps(), per_pass.delta())?)
+    };
+
+    let mut sgd_config = SgdConfig::new(StepSize::InvSqrtT)
+        .with_passes(config.passes)
+        .with_batch_size(config.batch_size)
+        .with_averaging(Averaging::FinalIterate)
+        .with_sampling(SamplingScheme::Permutation { fresh_each_pass: true });
+    if let Some(r) = config.projection_radius {
+        sgd_config = sgd_config.with_projection(r);
+    }
+
+    // Split the RNG: one stream drives the permutations inside the engine,
+    // the other the noise inside the hook (the hook's &mut borrow must not
+    // alias the engine's).
+    let mut noise_rng = rng.fork_stream();
+    let outcome = run_psgd_with_hook(data, loss, &sgd_config, rng, |_t, grad| {
+        match &mechanism {
+            PerStep::Laplace(mech) => mech.perturb(&mut noise_rng, grad),
+            PerStep::Gauss(mech) => mech.perturb(&mut noise_rng, grad),
+        }
+    });
+
+    Ok(Scs13Model {
+        model: outcome.model,
+        updates: outcome.updates,
+        per_update_sensitivity: grad_sensitivity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::dataset::InMemoryDataset;
+    use bolton_sgd::loss::Logistic;
+    use bolton_sgd::metrics;
+
+    fn dataset(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-0.9, 0.9);
+            features.push(x0);
+            features.push(rng.next_range(-0.3, 0.3));
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    #[test]
+    fn scs13_runs_and_counts_updates() {
+        let data = dataset(500, 221);
+        let loss = Logistic::plain();
+        let config =
+            Scs13Config::new(Budget::pure(4.0).unwrap()).with_passes(2).with_batch_size(10);
+        let out = train_scs13(&data, &loss, &config, &mut seeded(222)).unwrap();
+        assert_eq!(out.updates, 100);
+        assert_eq!(out.per_update_sensitivity, 0.2);
+    }
+
+    #[test]
+    fn large_budget_approaches_noiseless_accuracy() {
+        let data = dataset(3000, 223);
+        let loss = Logistic::plain();
+        let config =
+            Scs13Config::new(Budget::pure(1000.0).unwrap()).with_passes(3).with_batch_size(50);
+        let out = train_scs13(&data, &loss, &config, &mut seeded(224)).unwrap();
+        let acc = metrics::accuracy(&out.model, &data);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn small_budget_destroys_accuracy_at_batch_one() {
+        // The headline phenomenon: per-update noise at b=1 and small ε is
+        // enormous (this is what Figure 4(c) shows for SCS13-like noise).
+        let data = dataset(1000, 225);
+        let loss = Logistic::plain();
+        let config = Scs13Config::new(Budget::pure(0.1).unwrap()).with_passes(5);
+        let out = train_scs13(&data, &loss, &config, &mut seeded(226)).unwrap();
+        let acc = metrics::accuracy(&out.model, &data);
+        assert!(acc < 0.85, "b=1, ε=0.1 should be badly degraded; got {acc}");
+    }
+
+    #[test]
+    fn gaussian_variant_runs() {
+        let data = dataset(400, 227);
+        let loss = Logistic::plain();
+        let config = Scs13Config::new(Budget::approx(1.0, 1e-6).unwrap())
+            .with_passes(2)
+            .with_batch_size(20);
+        let out = train_scs13(&data, &loss, &config, &mut seeded(228)).unwrap();
+        assert_eq!(out.updates, 40);
+    }
+
+    #[test]
+    fn projection_respected() {
+        let data = dataset(200, 229);
+        let lambda = 0.01;
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let config = Scs13Config::new(Budget::pure(0.5).unwrap())
+            .with_passes(2)
+            .with_projection(1.0 / lambda);
+        let out = train_scs13(&data, &loss, &config, &mut seeded(230)).unwrap();
+        assert!(bolton_linalg::vector::norm(&out.model) <= 1.0 / lambda + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = dataset(100, 231);
+        let loss = Logistic::plain();
+        let config = Scs13Config::new(Budget::pure(1.0).unwrap()).with_passes(2);
+        let a = train_scs13(&data, &loss, &config, &mut seeded(7)).unwrap();
+        let b = train_scs13(&data, &loss, &config, &mut seeded(7)).unwrap();
+        assert_eq!(a.model, b.model);
+    }
+}

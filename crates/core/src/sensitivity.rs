@@ -1,0 +1,345 @@
+//! The paper's L2-sensitivity bounds for permutation-based SGD — the core
+//! technical contribution (Section 3.2).
+//!
+//! | result | setting | bound on `sup ‖A(r;S) − A(r;S')‖` |
+//! |---|---|---|
+//! | Corollary 1 | convex, constant `η ≤ 2/β` | `2kLη` |
+//! | Corollary 2 | convex, `η_t = 2/(β(t+m^c))` | `(4L/β)(1/m^c + ln k/m)` |
+//! | Corollary 3 | convex, `η_t = 2/(β(√t+m^c))` | `(4L/β)·Σ_j 1/(√(jm+1)+m^c)` |
+//! | Lemma 7 | γ-strongly convex, constant `η ≤ 1/β` | `2ηL/(1−(1−ηγ)^m)` |
+//! | Lemma 8 | γ-strongly convex, `η_t = min(1/β, 1/γt)` | `2L/(γm)` |
+//!
+//! Mini-batching divides the additive term — and hence each bound — by `b`
+//! (Section 3.2.3). **A reproduction caveat:** the ÷b shortcut is exactly
+//! right for the convex constant-step bound, but for the strongly convex
+//! decreasing schedule indexed by *batch* counter the recursion actually
+//! telescopes back to `2L/(γm)` independent of `b`. We expose both the
+//! paper's closed forms (used by default, for fidelity) and
+//! [`replayed`] — the exact Lemma 4 recursion for whatever schedule and
+//! batching is in play — which tests compare against. See DESIGN.md §7.
+
+use bolton_sgd::growth::{self, LossConstants};
+use bolton_sgd::schedule::StepSize;
+
+fn check_common(lipschitz: f64, k: usize, m: usize, b: usize) {
+    assert!(lipschitz.is_finite() && lipschitz > 0.0, "Lipschitz constant must be > 0");
+    assert!(k >= 1, "at least one pass");
+    assert!(m >= 1, "dataset must be non-empty");
+    assert!(b >= 1, "batch size must be >= 1");
+}
+
+/// The worst-case batch divisor for the mini-batch ÷b improvement.
+///
+/// The paper's analysis assumes `b | m`; a naive "flush every b rows"
+/// engine would otherwise leave an `m mod b`-row tail batch whose tiny size
+/// becomes the sound divisor, silently forfeiting the ÷b benefit (caught by
+/// the Lemma 4 replay — see tests). Our engine instead uses the *balanced*
+/// partition of [`bolton_sgd::engine::BatchPlan`], whose smallest batch —
+/// `⌊m/⌈m/b⌉⌋`, within one of `b` — is the divisor used here.
+pub fn effective_batch_divisor(m: usize, b: usize) -> usize {
+    bolton_sgd::engine::BatchPlan::new(m, b).min_size()
+}
+
+/// Corollary 1: convex loss, constant step `η ≤ 2/β`, `k` passes, batch `b`:
+/// `Δ₂ = 2kLη / effective_batch_divisor(m, b)`.
+pub fn convex_constant_step(lipschitz: f64, eta: f64, k: usize, m: usize, b: usize) -> f64 {
+    check_common(lipschitz, k, m, b);
+    assert!(eta.is_finite() && eta > 0.0, "step size must be > 0");
+    2.0 * k as f64 * lipschitz * eta / effective_batch_divisor(m, b) as f64
+}
+
+/// Corollary 2: convex loss, decreasing step `η_t = 2/(β(t+m^c))`:
+/// `Δ₂ = (4L/β)(1/m^c + ln k/m)/b`.
+pub fn convex_decreasing_step(
+    lipschitz: f64,
+    beta: f64,
+    m: usize,
+    c: f64,
+    k: usize,
+    b: usize,
+) -> f64 {
+    check_common(lipschitz, k, m, b);
+    assert!(beta > 0.0, "smoothness must be > 0");
+    assert!((0.0..1.0).contains(&c), "exponent c must be in [0,1)");
+    let m_f = m as f64;
+    // The k = 1 term of the corollary's derivation is 1/(m^c + 1); the
+    // printed bound absorbs it into 1/m^c. ln 1 = 0 keeps k = 1 sane.
+    4.0 * lipschitz / beta * (1.0 / m_f.powf(c) + (k as f64).ln() / m_f) / effective_batch_divisor(m, b) as f64
+}
+
+/// Corollary 3: convex loss, square-root step `η_t = 2/(β(√t+m^c))`:
+/// `Δ₂ = (4L/β)·Σ_{j=0}^{k−1} 1/(√(jm+1)+m^c) / b` (the exact sum, tighter
+/// than the corollary's O(·) simplification).
+pub fn convex_sqrt_step(
+    lipschitz: f64,
+    beta: f64,
+    m: usize,
+    c: f64,
+    k: usize,
+    b: usize,
+) -> f64 {
+    check_common(lipschitz, k, m, b);
+    assert!(beta > 0.0, "smoothness must be > 0");
+    assert!((0.0..1.0).contains(&c), "exponent c must be in [0,1)");
+    let m_f = m as f64;
+    let sum: f64 =
+        (0..k).map(|j| 1.0 / ((j as f64 * m_f + 1.0).sqrt() + m_f.powf(c))).sum();
+    4.0 * lipschitz / beta * sum / effective_batch_divisor(m, b) as f64
+}
+
+/// Lemma 7: γ-strongly convex loss, constant step `η ≤ 1/β`:
+/// `Δ₂ = 2ηL/(1−(1−ηγ)^m) / b`.
+pub fn strongly_convex_constant_step(
+    lipschitz: f64,
+    gamma: f64,
+    eta: f64,
+    m: usize,
+    b: usize,
+) -> f64 {
+    check_common(lipschitz, 1, m, b);
+    assert!(gamma > 0.0, "strong convexity must be > 0");
+    assert!(eta > 0.0 && eta * gamma < 1.0, "need 0 < ηγ < 1");
+    let denom = 1.0 - (1.0 - eta * gamma).powi(m as i32);
+    2.0 * eta * lipschitz / denom / effective_batch_divisor(m, b) as f64
+}
+
+/// Lemma 8 (Algorithm 2's setting): γ-strongly convex loss,
+/// `η_t = min(1/β, 1/γt)`: `Δ₂ = 2L/(γm) / b`.
+///
+/// The ÷b follows the paper's implementation (Section 4.1); see the module
+/// docs for the caveat on its derivation.
+pub fn strongly_convex_decreasing_step(lipschitz: f64, gamma: f64, m: usize, b: usize) -> f64 {
+    check_common(lipschitz, 1, m, b);
+    assert!(gamma > 0.0, "strong convexity must be > 0");
+    2.0 * lipschitz / (gamma * m as f64) / effective_batch_divisor(m, b) as f64
+}
+
+/// Model averaging (Lemma 10): for non-decreasing per-iterate sensitivities
+/// the averaged model's sensitivity is at most `(Σαt)·δ_T`; with the uniform
+/// weights the engine uses, `Σαt = 1`, so averaging never increases Δ₂.
+pub fn averaging_factor(weights_sum: f64) -> f64 {
+    assert!(weights_sum > 0.0 && weights_sum.is_finite());
+    weights_sum
+}
+
+/// The exact Lemma 4 growth recursion for an arbitrary schedule — the
+/// ground truth the closed forms above must dominate (for `b = 1`) and the
+/// rigorous fallback for batch-indexed strongly convex schedules.
+pub fn replayed(
+    constants: &LossConstants,
+    step: &StepSize,
+    k: usize,
+    m: usize,
+    b: usize,
+) -> f64 {
+    growth::replay_sensitivity(constants, step, k, m, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn convex_constants() -> LossConstants {
+        LossConstants { lipschitz: 1.0, smoothness: 1.0, strong_convexity: 0.0 }
+    }
+
+    #[test]
+    fn corollary1_values() {
+        assert_eq!(convex_constant_step(1.0, 0.01, 10, 100, 1), 0.2);
+        assert_eq!(convex_constant_step(1.0, 0.01, 10, 100, 50), 0.2 / 50.0);
+        // b ∤ m: the balanced partition of 110 rows at b = 50 is three
+        // batches of 37/37/36, so the sound divisor is 36 (not 50, and far
+        // better than the 10-row tail a naive partition would leave).
+        assert_eq!(convex_constant_step(1.0, 0.01, 10, 110, 50), 0.2 / 36.0);
+        assert_eq!(convex_constant_step(2.0, 0.1, 1, 100, 1), 0.4);
+    }
+
+    #[test]
+    fn corollary1_dominates_replay_for_all_b() {
+        let c = convex_constants();
+        for b in [1usize, 7, 50] {
+            for k in [1usize, 5] {
+                let eta = 0.02;
+                let closed = convex_constant_step(c.lipschitz, eta, k, 120, b);
+                let exact = replayed(&c, &StepSize::Constant(eta), k, 120, b);
+                assert!(
+                    closed >= exact - 1e-12,
+                    "b={b},k={k}: closed {closed} < replay {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corollary2_dominates_replay() {
+        let c = convex_constants();
+        let m = 300;
+        let cc = 0.4;
+        for k in [1usize, 2, 8] {
+            let closed = convex_decreasing_step(c.lipschitz, c.smoothness, m, cc, k, 1);
+            let step = StepSize::Decreasing { beta: c.smoothness, m, c: cc };
+            let exact = replayed(&c, &step, k, m, 1);
+            assert!(closed >= exact, "k={k}: closed {closed} < replay {exact}");
+        }
+    }
+
+    #[test]
+    fn corollary3_dominates_replay() {
+        let c = convex_constants();
+        let m = 300;
+        let cc = 0.4;
+        for k in [1usize, 4] {
+            let closed = convex_sqrt_step(c.lipschitz, c.smoothness, m, cc, k, 1);
+            let step = StepSize::SqrtDecay { beta: c.smoothness, m, c: cc };
+            let exact = replayed(&c, &step, k, m, 1);
+            assert!(closed >= exact, "k={k}: closed {closed} < replay {exact}");
+        }
+    }
+
+    #[test]
+    fn lemma7_dominates_replay() {
+        let gamma = 0.05;
+        let c = LossConstants { lipschitz: 1.5, smoothness: 1.05, strong_convexity: gamma };
+        let m = 150;
+        let eta = 0.5 / c.smoothness;
+        for k in [1usize, 3] {
+            let closed = strongly_convex_constant_step(c.lipschitz, gamma, eta, m, 1);
+            let exact = replayed(&c, &StepSize::Constant(eta), k, m, 1);
+            assert!(closed >= exact, "k={k}: closed {closed} < replay {exact}");
+        }
+    }
+
+    #[test]
+    fn lemma8_dominates_replay_at_b1() {
+        let gamma = 0.02;
+        let c = LossConstants { lipschitz: 2.0, smoothness: 1.02, strong_convexity: gamma };
+        let m = 400;
+        let step = StepSize::StronglyConvex { beta: c.smoothness, gamma };
+        for k in [1usize, 2, 6] {
+            let closed = strongly_convex_decreasing_step(c.lipschitz, gamma, m, 1);
+            let exact = replayed(&c, &step, k, m, 1);
+            assert!(
+                closed >= exact - 1e-12,
+                "k={k}: closed {closed} < replay {exact}"
+            );
+        }
+    }
+
+    /// Documents the reproduction caveat: the paper's ÷b for Lemma 8 is
+    /// *below* the batch-indexed recursion (which stays ≈ 2L/(γm)).
+    #[test]
+    fn lemma8_batch_caveat_is_real() {
+        let gamma = 0.02;
+        let c = LossConstants { lipschitz: 2.0, smoothness: 1.02, strong_convexity: gamma };
+        let m = 400;
+        let b = 20;
+        let step = StepSize::StronglyConvex { beta: c.smoothness, gamma };
+        let paper = strongly_convex_decreasing_step(c.lipschitz, gamma, m, b);
+        let exact = replayed(&c, &step, 2, m, b);
+        assert!(
+            exact > paper,
+            "expected the replayed bound {exact} to exceed the paper's ÷b value {paper}"
+        );
+        // ...but the b-free Lemma 8 value still dominates the recursion.
+        let rigorous = strongly_convex_decreasing_step(c.lipschitz, gamma, m, 1);
+        assert!(rigorous >= exact - 1e-12, "rigorous {rigorous} < replay {exact}");
+    }
+
+    #[test]
+    fn lemma8_shrinks_with_m() {
+        let at = |m: usize| strongly_convex_decreasing_step(1.0, 0.01, m, 1);
+        assert!(at(1000) < at(100));
+        assert!((at(100) / at(1000) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitivities_are_positive_and_finite() {
+        let vals = [
+            convex_constant_step(1.0, 0.1, 5, 100, 10),
+            convex_decreasing_step(1.0, 1.0, 100, 0.5, 5, 10),
+            convex_sqrt_step(1.0, 1.0, 100, 0.5, 5, 10),
+            strongly_convex_constant_step(1.0, 0.1, 0.5, 100, 10),
+            strongly_convex_decreasing_step(1.0, 0.1, 100, 10),
+        ];
+        for v in vals {
+            assert!(v.is_finite() && v > 0.0, "value {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be > 0")]
+    fn rejects_zero_eta() {
+        convex_constant_step(1.0, 0.0, 1, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < ηγ < 1")]
+    fn rejects_eta_gamma_over_one() {
+        strongly_convex_constant_step(1.0, 2.0, 1.0, 10, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Corollary 1 dominates the exact Lemma 4 replay over randomized
+        /// (L, η-fraction, k, m, b) cells — the closed form is never below
+        /// the recursion it summarizes.
+        #[test]
+        fn corollary1_dominates_replay_randomized(
+            lipschitz in 0.1f64..5.0,
+            eta_frac in 0.01f64..1.0,
+            k in 1usize..8,
+            m in 10usize..300,
+            b in 1usize..32,
+        ) {
+            let beta = 1.0f64;
+            let eta = eta_frac * 2.0 / beta;
+            let constants = LossConstants { lipschitz, smoothness: beta, strong_convexity: 0.0 };
+            let closed = convex_constant_step(lipschitz, eta, k, m, b);
+            let exact = replayed(&constants, &StepSize::Constant(eta), k, m, b);
+            prop_assert!(
+                closed >= exact - 1e-9 * exact.max(1e-12),
+                "closed {closed} < replay {exact} at L={lipschitz}, η={eta}, k={k}, m={m}, b={b}"
+            );
+        }
+
+        /// Lemma 8 dominates the replay at b = 1 for randomized (γ, m, k).
+        #[test]
+        fn lemma8_dominates_replay_randomized(
+            gamma in 0.001f64..0.2,
+            m in 20usize..400,
+            k in 1usize..6,
+        ) {
+            let beta = 1.0 + gamma;
+            let lipschitz = 1.0 + gamma; // L = 1 + λR with R = 1/λ
+            let constants =
+                LossConstants { lipschitz, smoothness: beta, strong_convexity: gamma };
+            let step = StepSize::StronglyConvex { beta, gamma };
+            let closed = strongly_convex_decreasing_step(lipschitz, gamma, m, 1);
+            let exact = replayed(&constants, &step, k, m, 1);
+            prop_assert!(
+                closed >= exact - 1e-9 * exact.max(1e-12),
+                "closed {closed} < replay {exact} at γ={gamma}, m={m}, k={k}"
+            );
+        }
+
+        /// The effective batch divisor is always within a factor 2 of the
+        /// nominal b (the balanced-partition guarantee), and exact when b | m.
+        #[test]
+        fn effective_divisor_near_nominal(m in 1usize..5000, b in 1usize..128) {
+            let divisor = effective_batch_divisor(m, b);
+            let b_eff = b.min(m);
+            prop_assert!(divisor <= b_eff);
+            prop_assert!(2 * divisor + 1 >= b_eff, "divisor {divisor} too small for b {b_eff}");
+            if m % b_eff == 0 {
+                prop_assert_eq!(divisor, b_eff);
+            }
+        }
+    }
+}

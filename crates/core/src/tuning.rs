@@ -1,0 +1,372 @@
+//! Hyper-parameter tuning: the private tuning Algorithm 3 (exponential
+//! mechanism over held-out error counts, following Chaudhuri–Monteleoni–
+//! Sarwate) and the public-data alternative (Section 4.1).
+
+use bolton_privacy::budget::{Budget, PrivacyError};
+use bolton_rng::Rng;
+use bolton_sgd::dataset::InMemoryDataset;
+use bolton_sgd::metrics;
+use bolton_sgd::TrainSet;
+
+/// One point of the tuning grid `θ = (k, b, λ)` (Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// Number of passes `k`.
+    pub passes: usize,
+    /// Mini-batch size `b`.
+    pub batch_size: usize,
+    /// L2-regularization λ (0 for the convex tests).
+    pub lambda: f64,
+}
+
+/// Builds the cross product of the given grids — the paper's "standard grid
+/// search" (its Figure 6 uses `k ∈ {5, 10}` × `λ ∈ {1e-4, 1e-3, 1e-2}`).
+pub fn grid(passes: &[usize], batch_sizes: &[usize], lambdas: &[f64]) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(passes.len() * batch_sizes.len() * lambdas.len());
+    for &k in passes {
+        for &b in batch_sizes {
+            for &l in lambdas {
+                out.push(Candidate { passes: k, batch_size: b, lambda: l });
+            }
+        }
+    }
+    out
+}
+
+/// A trainer callback: fit a model on `portion` with hyper-parameters
+/// `candidate`, consuming randomness from `rng`.
+pub type TrainFn<'a> =
+    dyn FnMut(&InMemoryDataset, &Candidate, &mut dyn Rng) -> Vec<f64> + 'a;
+
+/// The outcome of a tuning run.
+#[derive(Clone, Debug)]
+pub struct Tuned {
+    /// The selected model.
+    pub model: Vec<f64>,
+    /// Index of the winning candidate.
+    pub selected: usize,
+    /// Held-out error counts `χ_i` per candidate.
+    pub error_counts: Vec<usize>,
+}
+
+/// The outcome of a generic (model-type-agnostic) tuning run.
+#[derive(Clone, Debug)]
+pub struct TunedGeneric<M> {
+    /// The selected model.
+    pub model: M,
+    /// Index of the winning candidate.
+    pub selected: usize,
+    /// Held-out error counts `χ_i` per candidate.
+    pub error_counts: Vec<usize>,
+}
+
+/// Algorithm 3 generalized over the model type (binary linear models,
+/// one-vs-all bundles, …): `train` fits a model on a portion, `errors`
+/// counts its holdout misclassifications χ.
+///
+/// # Errors
+/// Rejects an empty grid or a dataset too small to split `l + 1` ways.
+pub fn private_tune_models<M>(
+    data: &InMemoryDataset,
+    candidates: &[Candidate],
+    selection_budget: Budget,
+    train: &mut dyn FnMut(&InMemoryDataset, &Candidate, &mut dyn Rng) -> M,
+    errors: &dyn Fn(&M, &InMemoryDataset) -> usize,
+    rng: &mut dyn Rng,
+) -> Result<TunedGeneric<M>, PrivacyError> {
+    if candidates.is_empty() {
+        return Err(PrivacyError::InvalidMechanism("empty candidate grid".into()));
+    }
+    let parts = candidates.len() + 1;
+    if data.len() < parts {
+        return Err(PrivacyError::InvalidMechanism(format!(
+            "dataset of {} rows cannot be split into {parts} portions",
+            data.len()
+        )));
+    }
+    let portions = data.split(parts);
+    let holdout = &portions[candidates.len()];
+
+    let mut models = Vec::with_capacity(candidates.len());
+    let mut error_counts = Vec::with_capacity(candidates.len());
+    for (i, candidate) in candidates.iter().enumerate() {
+        let model = train(&portions[i], candidate, rng);
+        error_counts.push(errors(&model, holdout));
+        models.push(model);
+    }
+
+    // Exponential mechanism over utilities u_i = −χ_i (one changed example
+    // moves each error count by at most one, so Δu = 1).
+    let mechanism =
+        bolton_privacy::ExponentialMechanism::new(selection_budget.eps(), 1.0)?;
+    let utilities: Vec<f64> = error_counts.iter().map(|&chi| -(chi as f64)).collect();
+    let selected = mechanism.select(rng, &utilities);
+
+    Ok(TunedGeneric { model: models.swap_remove(selected), selected, error_counts })
+}
+
+/// Algorithm 3: private hyper-parameter tuning of binary linear models.
+///
+/// Splits `data` into `l + 1` equal portions, trains candidate `i` on
+/// portion `i` (via `train`, which should itself train privately with the
+/// intended per-model budget), counts misclassifications `χ_i` on portion
+/// `l + 1`, and picks model `i` with probability `∝ exp(−ε·χ_i/2)`.
+///
+/// # Errors
+/// Rejects an empty grid or a dataset too small to split `l + 1` ways.
+pub fn private_tune(
+    data: &InMemoryDataset,
+    candidates: &[Candidate],
+    selection_budget: Budget,
+    train: &mut TrainFn<'_>,
+    rng: &mut dyn Rng,
+) -> Result<Tuned, PrivacyError> {
+    let generic = private_tune_models(
+        data,
+        candidates,
+        selection_budget,
+        train,
+        &|model: &Vec<f64>, holdout| metrics::zero_one_errors(model, holdout),
+        rng,
+    )?;
+    Ok(Tuned {
+        model: generic.model,
+        selected: generic.selected,
+        error_counts: generic.error_counts,
+    })
+}
+
+/// Tuning with public data: train every candidate on `public_train`, score
+/// on `public_validation`, and return the index of the best candidate (ties
+/// broken toward the earlier candidate). No privacy cost — the paper's
+/// Figure 3 setting.
+pub fn public_tune(
+    public_train: &InMemoryDataset,
+    public_validation: &InMemoryDataset,
+    candidates: &[Candidate],
+    train: &mut TrainFn<'_>,
+    rng: &mut dyn Rng,
+) -> (usize, Vec<f64>) {
+    assert!(!candidates.is_empty(), "empty candidate grid");
+    let mut accuracies = Vec::with_capacity(candidates.len());
+    for candidate in candidates {
+        let model = train(public_train, candidate, rng);
+        accuracies.push(metrics::accuracy(&model, public_validation));
+    }
+    let best = accuracies
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("accuracy is never NaN"))
+        .map(|(i, _)| i)
+        .expect("non-empty grid");
+    (best, accuracies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+
+    fn dataset(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-1.0, 1.0);
+            features.push(x0);
+            features.push(rng.next_range(-0.2, 0.2));
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    #[test]
+    fn grid_cross_product() {
+        let g = grid(&[5, 10], &[50], &[1e-4, 1e-3, 1e-2]);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0], Candidate { passes: 5, batch_size: 50, lambda: 1e-4 });
+        assert_eq!(g[5], Candidate { passes: 10, batch_size: 50, lambda: 1e-2 });
+    }
+
+    /// A "trainer" that returns a good model for one magic candidate and a
+    /// terrible one otherwise: the mechanism should nearly always pick the
+    /// good one at reasonable ε.
+    #[test]
+    fn private_tune_prefers_low_error_candidates() {
+        let data = dataset(900, 251);
+        let candidates = grid(&[1, 2, 3], &[1], &[0.0]);
+        let mut picks = [0usize; 3];
+        for trial in 0..30 {
+            let mut rng = seeded(252 + trial);
+            let mut train = |_p: &InMemoryDataset, c: &Candidate, _r: &mut dyn Rng| {
+                if c.passes == 2 {
+                    vec![1.0, 0.0] // perfect direction
+                } else {
+                    vec![-1.0, 0.0] // inverted
+                }
+            };
+            let tuned = private_tune(
+                &data,
+                &candidates,
+                Budget::pure(1.0).unwrap(),
+                &mut train,
+                &mut rng,
+            )
+            .unwrap();
+            picks[tuned.selected] += 1;
+        }
+        assert!(picks[1] >= 28, "good candidate picked {}/30", picks[1]);
+    }
+
+    #[test]
+    fn private_tune_randomizes_under_tiny_eps() {
+        // At ε → 0 selection is nearly uniform; the bad candidates must win
+        // sometimes.
+        let data = dataset(600, 253);
+        let candidates = grid(&[1, 2], &[1], &[0.0]);
+        let mut bad_picks = 0;
+        for trial in 0..200 {
+            let mut rng = seeded(300 + trial);
+            let mut train = |_p: &InMemoryDataset, c: &Candidate, _r: &mut dyn Rng| {
+                if c.passes == 2 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![-1.0, 0.0]
+                }
+            };
+            let tuned = private_tune(
+                &data,
+                &candidates,
+                Budget::pure(1e-4).unwrap(),
+                &mut train,
+                &mut rng,
+            )
+            .unwrap();
+            if tuned.selected == 0 {
+                bad_picks += 1;
+            }
+        }
+        assert!(
+            (50..150).contains(&bad_picks),
+            "ε≈0 selection should be ≈uniform; bad picked {bad_picks}/200"
+        );
+    }
+
+    #[test]
+    fn private_tune_validates_inputs() {
+        let data = dataset(10, 254);
+        let mut train =
+            |_p: &InMemoryDataset, _c: &Candidate, _r: &mut dyn Rng| vec![0.0, 0.0];
+        let mut rng = seeded(255);
+        assert!(private_tune(&data, &[], Budget::pure(1.0).unwrap(), &mut train, &mut rng)
+            .is_err());
+        let big_grid = grid(&[1, 2, 3, 4, 5, 6], &[1, 2], &[0.0]);
+        assert!(private_tune(
+            &data,
+            &big_grid,
+            Budget::pure(1.0).unwrap(),
+            &mut train,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn public_tune_returns_argmax() {
+        let train_data = dataset(400, 256);
+        let val_data = dataset(200, 257);
+        let candidates = grid(&[1, 2, 3], &[1], &[0.0]);
+        let mut train = |_p: &InMemoryDataset, c: &Candidate, _r: &mut dyn Rng| {
+            match c.passes {
+                2 => vec![1.0, 0.0],
+                3 => vec![0.5, 0.1],
+                _ => vec![-1.0, 0.0],
+            }
+        };
+        let mut rng = seeded(258);
+        let (best, accs) =
+            public_tune(&train_data, &val_data, &candidates, &mut train, &mut rng);
+        assert_eq!(accs.len(), 3);
+        assert!(accs[best] >= accs[0] && accs[best] >= accs[2]);
+        assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn error_counts_reflect_holdout() {
+        let data = dataset(500, 259);
+        let candidates = grid(&[1], &[1], &[0.0]);
+        let mut train =
+            |_p: &InMemoryDataset, _c: &Candidate, _r: &mut dyn Rng| vec![1.0, 0.0];
+        let mut rng = seeded(260);
+        let tuned =
+            private_tune(&data, &candidates, Budget::pure(1.0).unwrap(), &mut train, &mut rng)
+                .unwrap();
+        // The perfect-direction model should make few errors on the holdout.
+        let holdout_size = 500 / 2;
+        assert!(tuned.error_counts[0] < holdout_size / 10);
+    }
+}
+
+#[cfg(test)]
+mod generic_tests {
+    use super::*;
+    use bolton_rng::seeded;
+
+    /// Three tight clusters with class-index labels for the multiclass path.
+    fn clusters(m: usize, seed: u64) -> InMemoryDataset {
+        let centers = [(0.8, 0.0), (-0.4, 0.7), (-0.4, -0.7)];
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for i in 0..m {
+            let c = i % 3;
+            features.push(centers[c].0 + rng.next_range(-0.1, 0.1));
+            features.push(centers[c].1 + rng.next_range(-0.1, 0.1));
+            labels.push(c as f64);
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    /// The generic tuner drives a multiclass model type end to end.
+    #[test]
+    fn generic_tuner_handles_multiclass_models() {
+        use crate::multiclass::{MulticlassModel, OneVsRestView};
+        let data = clusters(900, 281);
+        let candidates = grid(&[2, 5], &[10], &[0.0]);
+        let loss = bolton_sgd::Logistic::plain();
+        let mut train = |portion: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| {
+            let mut models = Vec::new();
+            for class in 0..3 {
+                let view = OneVsRestView::new(portion, class);
+                let config =
+                    bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
+                        .with_passes(c.passes)
+                        .with_batch_size(c.batch_size);
+                models.push(bolton_sgd::run_psgd(&view, &loss, &config, r).model);
+            }
+            MulticlassModel { models }
+        };
+        let errors = |model: &MulticlassModel, holdout: &InMemoryDataset| {
+            let mut errs = 0usize;
+            bolton_sgd::TrainSet::scan(holdout, &mut |_, x, y| {
+                if model.predict(x) != y as usize {
+                    errs += 1;
+                }
+            });
+            errs
+        };
+        let mut rng = seeded(282);
+        let tuned = private_tune_models(
+            &data,
+            &candidates,
+            Budget::pure(2.0).unwrap(),
+            &mut train,
+            &errors,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(tuned.error_counts.len(), 2);
+        let acc = tuned.model.accuracy(&data);
+        assert!(acc > 0.9, "tuned multiclass accuracy {acc}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Named stand-ins for the paper's evaluation datasets (Table 3 +
+//! Appendix C), with train/test splits and a global scale knob.
+//!
+//! | name | task | train | test | d | notes |
+//! |---|---|---|---|---|---|
+//! | mnist | 10 classes | 60 000 | 10 000 | 784 (→50) | random-projected |
+//! | protein | binary | 72 876 | 72 875 | 74 | logistic fits well |
+//! | covtype | binary | 498 010 | 83 002 | 54 | large |
+//! | higgs | binary | 10 500 000 | 500 000 | 28 | very large |
+//! | kddcup99 | binary | 4 898 431 | 311 029 | 41 | near-separable |
+//!
+//! Separability (label noise / mixture spread) is tuned so the *noiseless*
+//! baseline accuracy lands near the paper's reported ceilings (≈0.85 MNIST
+//! after projection, ≈1.0 Protein, ≈0.76 Covertype, ≈0.64 HIGGS, ≈0.99
+//! KDDCup-99). Sizes default to 1/20 of the paper's (HIGGS/KDD 1/100) so
+//! the full harness runs in minutes; set `BOLTON_PAPER_SCALE=1` or call
+//! [`generate_scaled`] with `scale = 1.0` for full sizes.
+
+use crate::generator::{gaussian_mixture, linear_binary, margin_binary};
+use crate::projection::project_dataset;
+use bolton_linalg::RandomProjection;
+use bolton_sgd::dataset::InMemoryDataset;
+
+/// Which benchmark to synthesize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetSpec {
+    /// MNIST-like: 10-class mixture in 784 dims, projected to 50.
+    Mnist,
+    /// Protein-like: 74-dim binary, high noiseless accuracy.
+    Protein,
+    /// Forest-Covertype-like: 54-dim binary, ceiling ≈ 0.76.
+    Covtype,
+    /// HIGGS-like: 28-dim binary, ceiling ≈ 0.64, very large m.
+    Higgs,
+    /// KDDCup-99-like: 41-dim binary, near-separable.
+    Kddcup99,
+}
+
+impl DatasetSpec {
+    /// All five benchmarks.
+    pub const ALL: [DatasetSpec; 5] = [
+        DatasetSpec::Mnist,
+        DatasetSpec::Protein,
+        DatasetSpec::Covtype,
+        DatasetSpec::Higgs,
+        DatasetSpec::Kddcup99,
+    ];
+
+    /// Lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetSpec::Mnist => "mnist",
+            DatasetSpec::Protein => "protein",
+            DatasetSpec::Covtype => "covtype",
+            DatasetSpec::Higgs => "higgs",
+            DatasetSpec::Kddcup99 => "kddcup99",
+        }
+    }
+
+    /// Paper-scale (train, test) sizes from Table 3 / Appendix C.
+    pub fn paper_sizes(&self) -> (usize, usize) {
+        match self {
+            DatasetSpec::Mnist => (60_000, 10_000),
+            DatasetSpec::Protein => (72_876, 72_875),
+            DatasetSpec::Covtype => (498_010, 83_002),
+            DatasetSpec::Higgs => (10_500_000, 500_000),
+            DatasetSpec::Kddcup99 => (4_898_431, 311_029),
+        }
+    }
+
+    /// Raw feature dimensionality.
+    pub fn raw_dim(&self) -> usize {
+        match self {
+            DatasetSpec::Mnist => 784,
+            DatasetSpec::Protein => 74,
+            DatasetSpec::Covtype => 54,
+            DatasetSpec::Higgs => 28,
+            DatasetSpec::Kddcup99 => 41,
+        }
+    }
+
+    /// Dimensionality models are trained in (after projection for MNIST).
+    pub fn model_dim(&self) -> usize {
+        match self {
+            DatasetSpec::Mnist => 50,
+            other => other.raw_dim(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            DatasetSpec::Mnist => 10,
+            _ => 2,
+        }
+    }
+
+    /// Default down-scale factor so the harness runs in minutes. Noise
+    /// scales as 1/(λm), so these are chosen to keep each dataset in the
+    /// paper's noise regime: Protein runs at full size; the giant corpora
+    /// keep m in the hundreds of thousands.
+    pub fn default_scale(&self) -> f64 {
+        match self {
+            DatasetSpec::Protein => 1.0,
+            DatasetSpec::Mnist | DatasetSpec::Covtype => 0.2,
+            DatasetSpec::Higgs => 0.02,
+            DatasetSpec::Kddcup99 => 0.05,
+        }
+    }
+
+    /// ε grid the paper sweeps for this dataset (Section 4.3): MNIST splits
+    /// its budget across 10 sub-models, so it uses the 10× grid.
+    pub fn epsilon_grid(&self) -> &'static [f64] {
+        match self {
+            DatasetSpec::Mnist => &[0.1, 0.2, 0.5, 1.0, 2.0, 4.0],
+            _ => &[0.01, 0.02, 0.05, 0.1, 0.2, 0.4],
+        }
+    }
+}
+
+/// A generated benchmark: train and test splits plus provenance.
+pub struct Benchmark {
+    /// Which spec was generated.
+    pub spec: DatasetSpec,
+    /// Training split (labels: ±1 binary, or class indices for MNIST-like).
+    pub train: InMemoryDataset,
+    /// Test split.
+    pub test: InMemoryDataset,
+    /// The scale factor applied to the paper sizes.
+    pub scale: f64,
+}
+
+/// Reads the global scale override (`BOLTON_PAPER_SCALE`), if set.
+pub fn env_scale() -> Option<f64> {
+    std::env::var("BOLTON_PAPER_SCALE").ok().and_then(|v| v.parse().ok())
+}
+
+/// Generates a benchmark at its default scale (or the env override).
+pub fn generate(spec: DatasetSpec, seed: u64) -> Benchmark {
+    let scale = env_scale().unwrap_or_else(|| spec.default_scale());
+    generate_scaled(spec, seed, scale)
+}
+
+/// Generates a benchmark at an explicit scale factor (1.0 = paper sizes).
+///
+/// # Panics
+/// Panics unless `0 < scale ≤ 1`.
+pub fn generate_scaled(spec: DatasetSpec, seed: u64, scale: f64) -> Benchmark {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let mut rng = bolton_rng::seeded(seed ^ 0xB017_0000);
+    let (train_full, test_full) = spec.paper_sizes();
+    let m_train = ((train_full as f64 * scale) as usize).max(100);
+    let m_test = ((test_full as f64 * scale) as usize).max(100);
+    let total = m_train + m_test;
+
+    let all = match spec {
+        DatasetSpec::Mnist => {
+            // 10-class mixture in the raw 784-dim space, then the paper's
+            // Gaussian random projection to 50 dims ("this random projection
+            // only incurs very small loss in test accuracy").
+            let raw = gaussian_mixture(&mut rng, total, spec.raw_dim(), 10, 0.75);
+            let projection =
+                RandomProjection::gaussian(&mut rng, spec.raw_dim(), spec.model_dim());
+            project_dataset(&raw, &projection)
+        }
+        DatasetSpec::Protein => margin_binary(&mut rng, total, spec.raw_dim(), 0.05, 0.015),
+        DatasetSpec::Covtype => linear_binary(&mut rng, total, spec.raw_dim(), 0.24),
+        DatasetSpec::Higgs => linear_binary(&mut rng, total, spec.raw_dim(), 0.36),
+        DatasetSpec::Kddcup99 => margin_binary(&mut rng, total, spec.raw_dim(), 0.08, 0.005),
+    };
+
+    let train_idx: Vec<usize> = (0..m_train).collect();
+    let test_idx: Vec<usize> = (m_train..total).collect();
+    Benchmark {
+        spec,
+        train: all.subset(&train_idx),
+        test: all.subset(&test_idx),
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_sgd::TrainSet;
+
+    #[test]
+    fn specs_report_paper_shapes() {
+        assert_eq!(DatasetSpec::Mnist.paper_sizes(), (60_000, 10_000));
+        assert_eq!(DatasetSpec::Mnist.raw_dim(), 784);
+        assert_eq!(DatasetSpec::Mnist.model_dim(), 50);
+        assert_eq!(DatasetSpec::Mnist.classes(), 10);
+        assert_eq!(DatasetSpec::Covtype.paper_sizes(), (498_010, 83_002));
+        assert_eq!(DatasetSpec::Protein.model_dim(), 74);
+        assert_eq!(DatasetSpec::Higgs.classes(), 2);
+    }
+
+    #[test]
+    fn generate_scaled_respects_shape() {
+        let b = generate_scaled(DatasetSpec::Protein, 1, 0.01);
+        assert_eq!(b.train.dim(), 74);
+        assert_eq!(b.test.dim(), 74);
+        assert_eq!(b.train.len(), 728);
+        assert_eq!(b.test.len(), 728);
+    }
+
+    #[test]
+    fn mnist_like_is_projected_to_50() {
+        let b = generate_scaled(DatasetSpec::Mnist, 2, 0.005);
+        assert_eq!(b.train.dim(), 50);
+        // Labels are digit indices.
+        for i in 0..b.train.len() {
+            let y = b.train.label_of(i);
+            assert!((0.0..10.0).contains(&y) && y.fract() == 0.0);
+        }
+    }
+
+    #[test]
+    fn features_are_unit_normalized() {
+        for spec in [DatasetSpec::Mnist, DatasetSpec::Covtype] {
+            let b = generate_scaled(spec, 3, 0.002);
+            for i in 0..b.train.len() {
+                let n = bolton_linalg::vector::norm(b.train.features_of(i));
+                assert!(n <= 1.0 + 1e-9, "{}: ‖x‖ = {n}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = generate_scaled(DatasetSpec::Covtype, 7, 0.002);
+        let b = generate_scaled(DatasetSpec::Covtype, 7, 0.002);
+        assert_eq!(a.train.features_of(5), b.train.features_of(5));
+        let c = generate_scaled(DatasetSpec::Covtype, 8, 0.002);
+        assert_ne!(a.train.features_of(5), c.train.features_of(5));
+    }
+
+    /// The separability targets: noiseless logistic regression should land
+    /// near the paper's reported ceilings on each stand-in.
+    #[test]
+    fn noiseless_ceilings_match_paper_shape() {
+        use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+        let cases = [
+            (DatasetSpec::Protein, 0.93, 1.0),
+            (DatasetSpec::Covtype, 0.68, 0.84),
+            (DatasetSpec::Higgs, 0.56, 0.72),
+            (DatasetSpec::Kddcup99, 0.95, 1.0),
+        ];
+        for (spec, lo, hi) in cases {
+            let b = generate_scaled(spec, 11, 0.01);
+            let plan = TrainPlan::new(
+                LossKind::Logistic { lambda: 0.0 },
+                AlgorithmKind::Noiseless,
+                None,
+            )
+            .with_passes(10)
+            .with_batch_size(50);
+            let model = plan.train(&b.train, &mut bolton_rng::seeded(12)).unwrap();
+            let acc = bolton_sgd::metrics::accuracy(&model, &b.test);
+            assert!(
+                (lo..=hi).contains(&acc),
+                "{}: noiseless accuracy {acc} outside [{lo}, {hi}]",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        generate_scaled(DatasetSpec::Protein, 1, 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Synthetic classification generators.
+//!
+//! Every generator emits features with `‖x‖ ≤ 1` (the paper's standing
+//! normalization) and binary labels in `{−1, +1}` or multiclass labels as
+//! class indices.
+
+use bolton_linalg::random::{sample_unit_ball, sample_unit_sphere};
+use bolton_linalg::vector;
+use bolton_rng::dist::standard_normal;
+use bolton_rng::Rng;
+use bolton_sgd::dataset::InMemoryDataset;
+use bolton_sgd::TrainSet;
+
+/// Binary data from a hidden unit-norm hyperplane: `y = sign(⟨w*, x⟩)`,
+/// each label flipped independently with probability `label_noise`.
+///
+/// # Panics
+/// Panics unless `dim ≥ 1`, `m ≥ 1`, `label_noise ∈ [0, 0.5]`.
+pub fn linear_binary<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    dim: usize,
+    label_noise: f64,
+) -> InMemoryDataset {
+    assert!(m >= 1 && dim >= 1, "shape must be positive");
+    assert!((0.0..=0.5).contains(&label_noise), "label noise must be in [0, 0.5]");
+    let truth = sample_unit_sphere(rng, dim);
+    let mut features = Vec::with_capacity(m * dim);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        let x = sample_unit_ball(rng, dim);
+        let clean = if vector::dot(&truth, &x) >= 0.0 { 1.0 } else { -1.0 };
+        let label = if rng.next_bool(label_noise) { -clean } else { clean };
+        features.extend_from_slice(&x);
+        labels.push(label);
+    }
+    InMemoryDataset::from_flat(features, labels, dim)
+}
+
+/// Binary data from a hidden hyperplane with a *margin*: points whose
+/// unsigned distance to the plane falls below `margin` are resampled.
+/// Produces crisply separable data (high noiseless accuracy).
+pub fn margin_binary<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    dim: usize,
+    margin: f64,
+    label_noise: f64,
+) -> InMemoryDataset {
+    assert!((0.0..0.5).contains(&margin), "margin must be in [0, 0.5)");
+    assert!((0.0..=0.5).contains(&label_noise), "label noise must be in [0, 0.5]");
+    let truth = sample_unit_sphere(rng, dim);
+    let mut features = Vec::with_capacity(m * dim);
+    let mut labels = Vec::with_capacity(m);
+    let mut produced = 0usize;
+    while produced < m {
+        let x = sample_unit_ball(rng, dim);
+        let score = vector::dot(&truth, &x);
+        if score.abs() < margin {
+            continue;
+        }
+        let clean = if score >= 0.0 { 1.0 } else { -1.0 };
+        let label = if rng.next_bool(label_noise) { -clean } else { clean };
+        features.extend_from_slice(&x);
+        labels.push(label);
+        produced += 1;
+    }
+    InMemoryDataset::from_flat(features, labels, dim)
+}
+
+/// Multiclass data as an isotropic Gaussian mixture: `n_classes` centers on
+/// the unit sphere, points drawn around them and projected into the unit
+/// ball. Labels are class indices `0..n_classes`.
+///
+/// `spread` is the expected *total* within-cluster radius (`E‖x − center‖ ≈
+/// spread`), i.e. the per-coordinate standard deviation is `spread/√dim` —
+/// so separability is dimension-independent. Random unit centers sit at
+/// pairwise distance ≈ √2, so `spread ≈ 0.5` gives distinct-but-touching
+/// clusters.
+///
+/// # Panics
+/// Panics unless `n_classes ≥ 2` and `spread > 0`.
+pub fn gaussian_mixture<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    dim: usize,
+    n_classes: usize,
+    spread: f64,
+) -> InMemoryDataset {
+    assert!(n_classes >= 2, "need at least two classes");
+    assert!(spread > 0.0, "spread must be positive");
+    let sd = spread / (dim as f64).sqrt();
+    let centers: Vec<Vec<f64>> = (0..n_classes).map(|_| sample_unit_sphere(rng, dim)).collect();
+    let mut features = Vec::with_capacity(m * dim);
+    let mut labels = Vec::with_capacity(m);
+    for i in 0..m {
+        let class = i % n_classes;
+        let mut x: Vec<f64> =
+            centers[class].iter().map(|c| c + sd * standard_normal(rng)).collect();
+        vector::project_l2_ball(&mut x, 1.0);
+        features.extend_from_slice(&x);
+        labels.push(class as f64);
+    }
+    InMemoryDataset::from_flat(features, labels, dim)
+}
+
+/// Rescales every feature vector to `‖x‖ ≤ 1` in place — the preprocessing
+/// the paper applies to all real datasets ("All data points are normalized
+/// to the unit sphere", Table 3).
+pub fn normalize_to_unit_ball(data: &InMemoryDataset) -> InMemoryDataset {
+    let dim = data.dim();
+    let m = bolton_sgd::TrainSet::len(data);
+    let mut features = Vec::with_capacity(m * dim);
+    let mut labels = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut x = data.features_of(i).to_vec();
+        vector::project_l2_ball(&mut x, 1.0);
+        features.extend_from_slice(&x);
+        labels.push(data.label_of(i));
+    }
+    InMemoryDataset::from_flat(features, labels, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::TrainSet;
+
+    #[test]
+    fn linear_binary_shape_and_norms() {
+        let mut rng = seeded(301);
+        let d = linear_binary(&mut rng, 200, 6, 0.1);
+        assert_eq!(d.len(), 200);
+        assert_eq!(d.dim(), 6);
+        for i in 0..200 {
+            assert!(vector::norm(d.features_of(i)) <= 1.0 + 1e-12);
+            assert!(d.label_of(i) == 1.0 || d.label_of(i) == -1.0);
+        }
+    }
+
+    #[test]
+    fn margin_binary_is_easier_than_no_margin() {
+        let mut rng = seeded(302);
+        let easy = margin_binary(&mut rng, 1500, 8, 0.2, 0.0);
+        let loss = bolton_sgd::Logistic::plain();
+        let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(1.0))
+            .with_passes(10);
+        let model = bolton_sgd::run_psgd(&easy, &loss, &config, &mut rng).model;
+        let acc = bolton_sgd::metrics::accuracy(&model, &easy);
+        assert!(acc > 0.97, "margin data should be almost perfectly learnable: {acc}");
+    }
+
+    #[test]
+    fn label_noise_bounds_achievable_accuracy() {
+        let mut rng = seeded(303);
+        let noisy = linear_binary(&mut rng, 4000, 5, 0.3);
+        let loss = bolton_sgd::Logistic::plain();
+        // Uniform averaging tames the gradient noise from the 30% flips;
+        // the last iterate alone wanders too much to test against.
+        let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
+            .with_passes(20)
+            .with_averaging(bolton_sgd::Averaging::Uniform);
+        let model = bolton_sgd::run_psgd(&noisy, &loss, &config, &mut rng).model;
+        let acc = bolton_sgd::metrics::accuracy(&model, &noisy);
+        // Bayes accuracy is 1 − 0.3 = 0.7; training accuracy hugs it.
+        assert!((0.6..0.8).contains(&acc), "accuracy {acc} should be near 0.7");
+    }
+
+    #[test]
+    fn mixture_labels_are_class_indices() {
+        let mut rng = seeded(304);
+        let d = gaussian_mixture(&mut rng, 90, 4, 3, 0.1);
+        let mut counts = [0usize; 3];
+        for i in 0..90 {
+            counts[d.label_of(i) as usize] += 1;
+            assert!(vector::norm(d.features_of(i)) <= 1.0 + 1e-12);
+        }
+        assert_eq!(counts, [30, 30, 30]);
+    }
+
+    #[test]
+    fn mixture_is_learnable_one_vs_all() {
+        let mut rng = seeded(305);
+        let d = gaussian_mixture(&mut rng, 600, 6, 3, 0.12);
+        let loss = bolton_sgd::Logistic::plain();
+        let model = bolton::multiclass::train_one_vs_all(
+            &d,
+            3,
+            bolton::Budget::pure(1e6).unwrap(),
+            |view, _b, r| {
+                let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
+                    .with_passes(8);
+                Ok(bolton_sgd::run_psgd(view, &loss, &config, r).model)
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let acc = model.accuracy(&d);
+        assert!(acc > 0.9, "mixture accuracy {acc}");
+    }
+
+    #[test]
+    fn normalization_caps_norms() {
+        let raw = InMemoryDataset::from_flat(vec![3.0, 4.0, 0.3, 0.4], vec![1.0, -1.0], 2);
+        let normed = normalize_to_unit_ball(&raw);
+        assert!((vector::norm(normed.features_of(0)) - 1.0).abs() < 1e-12);
+        // Already-inside vectors are untouched.
+        assert_eq!(normed.features_of(1), raw.features_of(1));
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = linear_binary(&mut seeded(306), 50, 3, 0.1);
+        let b = linear_binary(&mut seeded(306), 50, 3, 0.1);
+        assert_eq!(a.features_of(7), b.features_of(7));
+        assert_eq!(a.label_of(7), b.label_of(7));
+    }
+}

@@ -1,0 +1,347 @@
+//! Dataset file I/O: CSV (`f1,f2,…,fd,label`) and LIBSVM
+//! (`label idx:val idx:val …`) readers and writers, so real corpora can be
+//! dropped into the harness in place of the synthetic stand-ins.
+
+use bolton_sgd::dataset::InMemoryDataset;
+use bolton_sgd::TrainSet;
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the loaders.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and a description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The file contained no examples.
+    Empty,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Malformed { line, message } => {
+                write!(f, "malformed input at line {line}: {message}")
+            }
+            LoadError::Empty => write!(f, "no examples in input"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> LoadError {
+    LoadError::Malformed { line, message: message.into() }
+}
+
+/// Reads CSV rows `f1,…,fd,label` from any reader. Blank lines and lines
+/// starting with `#` are skipped. All rows must share one dimensionality.
+///
+/// # Errors
+/// [`LoadError`] on I/O failure, inconsistent arity, or an empty file.
+pub fn read_csv<R: Read>(reader: R) -> Result<InMemoryDataset, LoadError> {
+    let buf = BufReader::new(reader);
+    let mut features: Vec<f64> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let values: Result<Vec<f64>, _> =
+            trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
+        let values =
+            values.map_err(|e| malformed(line_no, format!("bad number: {e}")))?;
+        if values.len() < 2 {
+            return Err(malformed(line_no, "need at least one feature and a label"));
+        }
+        let d = values.len() - 1;
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(malformed(
+                    line_no,
+                    format!("row has {d} features, expected {existing}"),
+                ));
+            }
+            _ => {}
+        }
+        features.extend_from_slice(&values[..d]);
+        labels.push(values[d]);
+    }
+    let dim = dim.ok_or(LoadError::Empty)?;
+    Ok(InMemoryDataset::from_flat(features, labels, dim))
+}
+
+/// Writes a dataset as CSV (`f1,…,fd,label` per row).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_csv<W: Write>(data: &InMemoryDataset, writer: W) -> Result<(), LoadError> {
+    let mut out = BufWriter::new(writer);
+    for i in 0..data.len() {
+        for v in data.features_of(i) {
+            write!(out, "{v},")?;
+        }
+        writeln!(out, "{}", data.label_of(i))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads LIBSVM-format rows `label idx:val …` (1-based, possibly sparse
+/// indices). `dim` fixes the dense dimensionality; indices beyond it error.
+///
+/// # Errors
+/// [`LoadError`] on malformed tokens or out-of-range indices.
+pub fn read_libsvm<R: Read>(reader: R, dim: usize) -> Result<InMemoryDataset, LoadError> {
+    assert!(dim > 0, "dimension must be positive");
+    let buf = BufReader::new(reader);
+    let mut features: Vec<f64> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let label: f64 = parts
+            .next()
+            .expect("split_whitespace on non-empty yields a token")
+            .parse()
+            .map_err(|e| malformed(line_no, format!("bad label: {e}")))?;
+        let mut row = vec![0.0; dim];
+        for tok in parts {
+            let (i_str, v_str) = tok
+                .split_once(':')
+                .ok_or_else(|| malformed(line_no, format!("expected idx:val, found '{tok}'")))?;
+            let i: usize =
+                i_str.parse().map_err(|e| malformed(line_no, format!("bad index: {e}")))?;
+            let v: f64 =
+                v_str.parse().map_err(|e| malformed(line_no, format!("bad value: {e}")))?;
+            if i == 0 || i > dim {
+                return Err(malformed(line_no, format!("index {i} outside 1..={dim}")));
+            }
+            row[i - 1] = v;
+        }
+        features.extend_from_slice(&row);
+        labels.push(label);
+    }
+    if labels.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(InMemoryDataset::from_flat(features, labels, dim))
+}
+
+/// Writes a dataset in LIBSVM format (zero features elided).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_libsvm<W: Write>(data: &InMemoryDataset, writer: W) -> Result<(), LoadError> {
+    let mut out = BufWriter::new(writer);
+    for i in 0..data.len() {
+        write!(out, "{}", data.label_of(i))?;
+        for (j, v) in data.features_of(i).iter().enumerate() {
+            if *v != 0.0 {
+                write!(out, " {}:{v}", j + 1)?;
+            }
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV dataset from a path.
+///
+/// # Errors
+/// As [`read_csv`].
+pub fn read_csv_path(path: &Path) -> Result<InMemoryDataset, LoadError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let data = InMemoryDataset::from_flat(
+            vec![0.5, -1.25, 0.0, 3.5],
+            vec![1.0, -1.0],
+            2,
+        );
+        let mut bytes = Vec::new();
+        write_csv(&data, &mut bytes).unwrap();
+        let back = read_csv(&bytes[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.dim(), 2);
+        assert_eq!(back.features_of(0), data.features_of(0));
+        assert_eq!(back.label_of(1), -1.0);
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blanks() {
+        let text = "# header\n\n1.0, 2.0, 1\n0.5,0.5,-1\n";
+        let data = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.features_of(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let text = "1,2,1\n1,2,3,1\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn csv_rejects_garbage_numbers() {
+        let err = read_csv("1,abc,1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn csv_empty_is_error() {
+        assert!(matches!(read_csv("# nothing\n".as_bytes()), Err(LoadError::Empty)));
+    }
+
+    #[test]
+    fn libsvm_roundtrip_with_sparsity() {
+        let data = InMemoryDataset::from_flat(
+            vec![0.0, 2.0, 0.0, 1.5, 0.0, -3.0],
+            vec![1.0, -1.0],
+            3,
+        );
+        let mut bytes = Vec::new();
+        write_libsvm(&data, &mut bytes).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.contains("1 2:2"), "{text}");
+        let back = read_libsvm(&bytes[..], 3).unwrap();
+        assert_eq!(back.features_of(0), data.features_of(0));
+        assert_eq!(back.features_of(1), data.features_of(1));
+    }
+
+    #[test]
+    fn libsvm_rejects_bad_indices() {
+        assert!(matches!(
+            read_libsvm("1 0:5\n".as_bytes(), 3),
+            Err(LoadError::Malformed { .. })
+        ));
+        assert!(matches!(
+            read_libsvm("1 4:5\n".as_bytes(), 3),
+            Err(LoadError::Malformed { .. })
+        ));
+        assert!(matches!(
+            read_libsvm("1 2-5\n".as_bytes(), 3),
+            Err(LoadError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let data = InMemoryDataset::from_flat(vec![1.0, 2.0], vec![1.0], 2);
+        let path = std::env::temp_dir().join(format!("bolton-csv-{}.csv", std::process::id()));
+        write_csv(&data, std::fs::File::create(&path).unwrap()).unwrap();
+        let back = read_csv_path(&path).unwrap();
+        assert_eq!(back.features_of(0), &[1.0, 2.0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Reads LIBSVM-format rows into a *sparse* dataset — the natural storage
+/// for one-hot-encoded corpora (KDDCup-99 and friends), keeping only the
+/// nonzeros in memory.
+///
+/// # Errors
+/// As [`read_libsvm`].
+pub fn read_libsvm_sparse<R: Read>(
+    reader: R,
+    dim: usize,
+) -> Result<bolton_sgd::SparseDataset, LoadError> {
+    assert!(dim > 0, "dimension must be positive");
+    let buf = BufReader::new(reader);
+    let mut rows: Vec<bolton_linalg::SparseVec> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let label: f64 = parts
+            .next()
+            .expect("split_whitespace on non-empty yields a token")
+            .parse()
+            .map_err(|e| malformed(line_no, format!("bad label: {e}")))?;
+        let mut pairs: Vec<(usize, f64)> = Vec::new();
+        for tok in parts {
+            let (i_str, v_str) = tok
+                .split_once(':')
+                .ok_or_else(|| malformed(line_no, format!("expected idx:val, found '{tok}'")))?;
+            let i: usize =
+                i_str.parse().map_err(|e| malformed(line_no, format!("bad index: {e}")))?;
+            let v: f64 =
+                v_str.parse().map_err(|e| malformed(line_no, format!("bad value: {e}")))?;
+            if i == 0 || i > dim {
+                return Err(malformed(line_no, format!("index {i} outside 1..={dim}")));
+            }
+            pairs.push((i - 1, v));
+        }
+        rows.push(bolton_linalg::SparseVec::from_pairs(dim, pairs));
+        labels.push(label);
+    }
+    if labels.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(bolton_sgd::SparseDataset::new(rows, labels))
+}
+
+#[cfg(test)]
+mod sparse_loader_tests {
+    use super::*;
+    use bolton_sgd::TrainSet;
+
+    #[test]
+    fn sparse_reader_agrees_with_dense_reader() {
+        let text = "1 2:2.5 5:-1\n-1 1:0.5\n1\n";
+        let dense = read_libsvm(text.as_bytes(), 5).unwrap();
+        let sparse = read_libsvm_sparse(text.as_bytes(), 5).unwrap();
+        assert_eq!(sparse.len(), dense.len());
+        for i in 0..dense.len() {
+            assert_eq!(sparse.get(i), dense.get(i));
+        }
+        // The whole point: only nonzeros are stored.
+        assert_eq!(sparse.total_nnz(), 3);
+    }
+
+    #[test]
+    fn sparse_reader_validates_like_dense() {
+        assert!(matches!(
+            read_libsvm_sparse("1 9:1\n".as_bytes(), 3),
+            Err(LoadError::Malformed { .. })
+        ));
+        assert!(matches!(read_libsvm_sparse("".as_bytes(), 3), Err(LoadError::Empty)));
+    }
+}

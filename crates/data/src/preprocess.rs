@@ -1,0 +1,273 @@
+//! Feature preprocessing: one-hot encoding for categorical columns (how
+//! KDDCup-99's protocol/service/flag fields become numeric), per-column
+//! standardization, and min-max scaling — the steps upstream of the
+//! paper's unit-sphere normalization ("such preprocessing [is] common for
+//! general machine learning problems, not just private ones", Section 2).
+
+use bolton_sgd::dataset::InMemoryDataset;
+use bolton_sgd::TrainSet;
+use std::collections::BTreeMap;
+
+/// A fitted one-hot encoding for one categorical column: each distinct
+/// value maps to an output slot.
+#[derive(Clone, Debug)]
+pub struct OneHotColumn {
+    /// The source column index.
+    pub column: usize,
+    /// Distinct values in first-seen order → output slot.
+    mapping: BTreeMap<i64, usize>,
+}
+
+impl OneHotColumn {
+    /// Fits the encoding from the column's distinct (integer-valued)
+    /// contents.
+    ///
+    /// # Panics
+    /// Panics if the column index is out of range or a value is not
+    /// integral (categorical columns must hold whole numbers).
+    pub fn fit(data: &InMemoryDataset, column: usize) -> Self {
+        assert!(column < data.dim(), "column out of range");
+        let mut mapping = BTreeMap::new();
+        for i in 0..data.len() {
+            let v = data.features_of(i)[column];
+            assert!(v.fract() == 0.0, "categorical column holds non-integer {v}");
+            let key = v as i64;
+            let next = mapping.len();
+            mapping.entry(key).or_insert(next);
+        }
+        Self { column, mapping }
+    }
+
+    /// Number of output slots (distinct categories).
+    pub fn cardinality(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// The output slot for a value (`None` for unseen categories).
+    pub fn slot(&self, value: f64) -> Option<usize> {
+        if value.fract() != 0.0 {
+            return None;
+        }
+        self.mapping.get(&(value as i64)).copied()
+    }
+}
+
+/// Expands the given categorical columns into one-hot indicator blocks,
+/// keeping the remaining columns as-is (in their original order, before
+/// the indicator blocks). Unseen categories at transform time encode as
+/// all-zeros.
+///
+/// # Panics
+/// Panics if any encoding's column index is out of range.
+pub fn one_hot_encode(data: &InMemoryDataset, encodings: &[OneHotColumn]) -> InMemoryDataset {
+    let categorical: Vec<usize> = encodings.iter().map(|e| e.column).collect();
+    let passthrough: Vec<usize> =
+        (0..data.dim()).filter(|c| !categorical.contains(c)).collect();
+    let out_dim: usize =
+        passthrough.len() + encodings.iter().map(OneHotColumn::cardinality).sum::<usize>();
+    let mut features = Vec::with_capacity(data.len() * out_dim);
+    let mut labels = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        let row = data.features_of(i);
+        for &c in &passthrough {
+            features.push(row[c]);
+        }
+        for enc in encodings {
+            let base = features.len();
+            features.resize(base + enc.cardinality(), 0.0);
+            if let Some(slot) = enc.slot(row[enc.column]) {
+                features[base + slot] = 1.0;
+            }
+        }
+        labels.push(data.label_of(i));
+    }
+    InMemoryDataset::from_flat(features, labels, out_dim)
+}
+
+/// Per-column standardization parameters (mean and standard deviation).
+#[derive(Clone, Debug)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations per column. Constant columns get
+    /// σ = 1 so they pass through (centered) rather than dividing by zero.
+    pub fn fit(data: &InMemoryDataset) -> Self {
+        let d = data.dim();
+        let m = data.len() as f64;
+        let mut means = vec![0.0; d];
+        for i in 0..data.len() {
+            for (mu, v) in means.iter_mut().zip(data.features_of(i)) {
+                *mu += v / m;
+            }
+        }
+        let mut vars = vec![0.0; d];
+        for i in 0..data.len() {
+            for ((var, v), mu) in vars.iter_mut().zip(data.features_of(i)).zip(&means) {
+                *var += (v - mu) * (v - mu) / m;
+            }
+        }
+        let stds = vars.iter().map(|v| if *v > 0.0 { v.sqrt() } else { 1.0 }).collect();
+        Self { means, stds }
+    }
+
+    /// Applies `(x − μ)/σ` column-wise.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn transform(&self, data: &InMemoryDataset) -> InMemoryDataset {
+        assert_eq!(data.dim(), self.means.len(), "dimension mismatch");
+        let d = data.dim();
+        let mut features = Vec::with_capacity(data.len() * d);
+        let mut labels = Vec::with_capacity(data.len());
+        for i in 0..data.len() {
+            for ((v, mu), sd) in data.features_of(i).iter().zip(&self.means).zip(&self.stds) {
+                features.push((v - mu) / sd);
+            }
+            labels.push(data.label_of(i));
+        }
+        InMemoryDataset::from_flat(features, labels, d)
+    }
+}
+
+/// Rescales each column to `[0, 1]` by its min/max (constant columns → 0).
+pub fn min_max_scale(data: &InMemoryDataset) -> InMemoryDataset {
+    let d = data.dim();
+    let mut mins = vec![f64::INFINITY; d];
+    let mut maxs = vec![f64::NEG_INFINITY; d];
+    for i in 0..data.len() {
+        for ((lo, hi), v) in mins.iter_mut().zip(maxs.iter_mut()).zip(data.features_of(i)) {
+            *lo = lo.min(*v);
+            *hi = hi.max(*v);
+        }
+    }
+    let mut features = Vec::with_capacity(data.len() * d);
+    let mut labels = Vec::with_capacity(data.len());
+    for i in 0..data.len() {
+        for ((v, lo), hi) in data.features_of(i).iter().zip(&mins).zip(&maxs) {
+            let range = hi - lo;
+            features.push(if range > 0.0 { (v - lo) / range } else { 0.0 });
+        }
+        labels.push(data.label_of(i));
+    }
+    InMemoryDataset::from_flat(features, labels, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed() -> InMemoryDataset {
+        // Columns: [continuous, category ∈ {2, 5, 7}]
+        InMemoryDataset::from_flat(
+            vec![0.5, 2.0, -1.0, 5.0, 2.0, 2.0, 0.0, 7.0],
+            vec![1.0, -1.0, 1.0, -1.0],
+            2,
+        )
+    }
+
+    #[test]
+    fn one_hot_fit_and_transform() {
+        let data = mixed();
+        let enc = OneHotColumn::fit(&data, 1);
+        assert_eq!(enc.cardinality(), 3);
+        let out = one_hot_encode(&data, &[enc]);
+        assert_eq!(out.dim(), 4); // 1 passthrough + 3 indicators
+        // Row 0: continuous 0.5, category 2 → slot for 2.
+        let row0 = out.features_of(0);
+        assert_eq!(row0[0], 0.5);
+        assert_eq!(row0[1..].iter().sum::<f64>(), 1.0);
+        // Rows 0 and 2 share category 2 → identical indicator block.
+        assert_eq!(&out.features_of(0)[1..], &out.features_of(2)[1..]);
+        // Rows with different categories differ.
+        assert_ne!(&out.features_of(0)[1..], &out.features_of(1)[1..]);
+        // Labels pass through.
+        assert_eq!(out.label_of(3), -1.0);
+    }
+
+    #[test]
+    fn unseen_category_encodes_as_zeros() {
+        let data = mixed();
+        let enc = OneHotColumn::fit(&data, 1);
+        let fresh = InMemoryDataset::from_flat(vec![1.0, 99.0], vec![1.0], 2);
+        let out = one_hot_encode(&fresh, &[enc]);
+        assert_eq!(out.features_of(0)[1..].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn standardizer_centers_and_scales() {
+        let data = InMemoryDataset::from_flat(
+            vec![1.0, 10.0, 3.0, 10.0, 5.0, 10.0],
+            vec![1.0, 1.0, 1.0],
+            2,
+        );
+        let std = Standardizer::fit(&data);
+        let out = std.transform(&data);
+        // Column 0: mean 3, population sd √(8/3).
+        let col0: Vec<f64> = (0..3).map(|i| out.features_of(i)[0]).collect();
+        assert!((col0.iter().sum::<f64>()).abs() < 1e-12, "centered");
+        let var: f64 = col0.iter().map(|v| v * v).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-12, "unit variance, got {var}");
+        // Constant column 1 centers to zero without dividing by zero.
+        for i in 0..3 {
+            assert_eq!(out.features_of(i)[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn min_max_scales_into_unit_interval() {
+        let data = InMemoryDataset::from_flat(
+            vec![-2.0, 7.0, 0.0, 7.0, 2.0, 7.0],
+            vec![1.0, 1.0, 1.0],
+            2,
+        );
+        let out = min_max_scale(&data);
+        assert_eq!(out.features_of(0)[0], 0.0);
+        assert_eq!(out.features_of(1)[0], 0.5);
+        assert_eq!(out.features_of(2)[0], 1.0);
+        // Constant column → 0.
+        assert_eq!(out.features_of(0)[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-integer")]
+    fn one_hot_rejects_fractional_categories() {
+        let data = InMemoryDataset::from_flat(vec![0.5, 2.5], vec![1.0], 2);
+        OneHotColumn::fit(&data, 1);
+    }
+
+    /// The full KDD-style pipeline: one-hot, standardize, then project to
+    /// the unit ball — ready for private training.
+    #[test]
+    fn full_pipeline_produces_unit_norm_learnable_data() {
+        use crate::generator::normalize_to_unit_ball;
+        let mut rng = bolton_rng::seeded(821);
+        use bolton_rng::Rng;
+        let m = 400;
+        let mut features = Vec::with_capacity(m * 3);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-1.0, 1.0);
+            let category = rng.next_below(4) as f64;
+            features.extend_from_slice(&[x0, rng.next_range(0.0, 100.0), category]);
+            labels.push(if x0 + 0.3 * category >= 0.6 { 1.0 } else { -1.0 });
+        }
+        let raw = InMemoryDataset::from_flat(features, labels, 3);
+        let enc = OneHotColumn::fit(&raw, 2);
+        let encoded = one_hot_encode(&raw, &[enc]);
+        assert_eq!(encoded.dim(), 6);
+        let standardized = Standardizer::fit(&encoded).transform(&encoded);
+        let normalized = normalize_to_unit_ball(&standardized);
+        for i in 0..normalized.len() {
+            assert!(bolton_linalg::vector::norm(normalized.features_of(i)) <= 1.0 + 1e-9);
+        }
+        let loss = bolton_sgd::Logistic::plain();
+        let config =
+            bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(1.0)).with_passes(10);
+        let out = bolton_sgd::run_psgd(&normalized, &loss, &config, &mut rng);
+        let acc = bolton_sgd::metrics::accuracy(&out.model, &normalized);
+        assert!(acc > 0.9, "pipeline output should be learnable: {acc}");
+    }
+}

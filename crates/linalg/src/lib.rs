@@ -1,0 +1,20 @@
+//! Dense linear-algebra kernels for the bolt-on DP-SGD workspace.
+//!
+//! Everything operates on plain `&[f64]` / `&mut [f64]` slices so the same
+//! kernels serve in-memory training, the Bismarck storage engine (which hands
+//! out row slices from pages), and the benchmark harness. The hypothesis
+//! space of the paper is `R^d` or an L2 ball of radius `R`; the only
+//! geometric primitive beyond BLAS-1 is [`vector::project_l2_ball`]
+//! (projection onto a convex set never increases distances — Section 3.2.3).
+
+pub mod matrix;
+pub mod projection;
+pub mod random;
+pub mod sparse;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use sparse::SparseVec;
+pub use projection::RandomProjection;
+pub use stats::OnlineStats;

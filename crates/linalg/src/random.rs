@@ -1,0 +1,96 @@
+//! Random vector constructions shared by the noise mechanisms and the data
+//! synthesizers.
+
+use crate::vector;
+use bolton_rng::dist::standard_normal;
+use bolton_rng::Rng;
+
+/// Samples a point uniformly on the unit sphere in `R^dim` by normalizing a
+/// standard Gaussian vector (the method referenced by the paper's
+/// Appendix E).
+///
+/// # Panics
+/// Panics if `dim == 0`.
+pub fn sample_unit_sphere<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f64> {
+    assert!(dim > 0, "sphere dimension must be positive");
+    loop {
+        let mut v: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+        let n = vector::norm(&v);
+        // Resampling on (astronomically unlikely) underflow keeps the output
+        // exactly unit-norm.
+        if n > 1e-12 {
+            vector::scale(1.0 / n, &mut v);
+            return v;
+        }
+    }
+}
+
+/// Samples a point uniformly in the closed unit ball of `R^dim` (direction
+/// uniform on the sphere, radius `U^{1/dim}` for volume-uniformity).
+pub fn sample_unit_ball<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f64> {
+    let mut v = sample_unit_sphere(rng, dim);
+    let radius = rng.next_f64_open().powf(1.0 / dim as f64);
+    vector::scale(radius, &mut v);
+    v
+}
+
+/// A vector of `dim` i.i.d. standard normal entries.
+pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| standard_normal(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_rng::seeded;
+
+    #[test]
+    fn sphere_samples_have_unit_norm() {
+        let mut rng = seeded(141);
+        for dim in [1, 3, 17] {
+            for _ in 0..200 {
+                assert!((vector::norm(&sample_unit_sphere(&mut rng, dim)) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ball_samples_stay_inside() {
+        let mut rng = seeded(142);
+        for _ in 0..1000 {
+            let v = sample_unit_ball(&mut rng, 4);
+            assert!(vector::norm(&v) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ball_is_volume_uniform() {
+        // In dim d, P(‖X‖ ≤ r) = r^d; check the median radius ≈ 2^{-1/d}.
+        let mut rng = seeded(143);
+        let dim = 3;
+        let mut radii: Vec<f64> =
+            (0..20_000).map(|_| vector::norm(&sample_unit_ball(&mut rng, dim))).collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = radii[radii.len() / 2];
+        let expect = 0.5f64.powf(1.0 / dim as f64);
+        assert!((median - expect).abs() < 0.01, "median {median} vs {expect}");
+    }
+
+    #[test]
+    fn gaussian_vector_has_expected_norm() {
+        // E‖g‖² = dim.
+        let mut rng = seeded(144);
+        let dim = 25;
+        let mean_sq: f64 = (0..5000)
+            .map(|_| vector::norm_sq(&gaussian_vector(&mut rng, dim)))
+            .sum::<f64>()
+            / 5000.0;
+        assert!((mean_sq - dim as f64).abs() < 0.5, "E‖g‖² = {mean_sq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_sphere_panics() {
+        sample_unit_sphere(&mut seeded(145), 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Sparse vectors and sparse-dense kernels.
+//!
+//! Several of the paper's benchmark corpora (KDDCup-99 after one-hot
+//! encoding, RCV1-style text) are naturally sparse. Models stay dense (the
+//! hypothesis `w ∈ R^d` is dense by nature), while *examples* can be stored
+//! and processed sparsely: the SGD inner products and gradient scatter only
+//! touch the nonzero coordinates.
+
+use crate::vector;
+
+/// A sparse vector: strictly increasing indices with their values.
+///
+/// ```
+/// use bolton_linalg::SparseVec;
+/// let v = SparseVec::from_pairs(5, [(1, 2.0), (4, -1.0)]);
+/// assert_eq!(v.nnz(), 2);
+/// assert_eq!(v.dot_dense(&[1.0, 10.0, 0.0, 0.0, 3.0]), 17.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Builds a sparse vector from `(index, value)` pairs.
+    ///
+    /// Pairs may arrive unsorted; duplicates are summed. Zero values are
+    /// dropped.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range or `dim` exceeds `u32::MAX`.
+    pub fn from_pairs(dim: usize, pairs: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        assert!(dim <= u32::MAX as usize, "dimension exceeds u32 index space");
+        let mut entries: Vec<(usize, f64)> = pairs.into_iter().collect();
+        entries.sort_by_key(|&(i, _)| i);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            assert!(i < dim, "index {i} out of range for dim {dim}");
+            if v == 0.0 {
+                continue;
+            }
+            if indices.last() == Some(&(i as u32)) {
+                *values.last_mut().expect("parallel arrays") += v;
+            } else {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        // Summed duplicates may have cancelled to zero.
+        let mut keep = values.iter().map(|v| *v != 0.0);
+        indices.retain(|_| keep.next().expect("parallel arrays"));
+        values.retain(|v| *v != 0.0);
+        Self { dim, indices, values }
+    }
+
+    /// Converts a dense slice, keeping nonzeros.
+    pub fn from_dense(x: &[f64]) -> Self {
+        Self::from_pairs(
+            x.len(),
+            x.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, v)| (i, *v)),
+        )
+    }
+
+    /// The ambient dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterates `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices.iter().map(|&i| i as usize).zip(self.values.iter().copied())
+    }
+
+    /// Materializes into a dense buffer (`out` is zeroed first).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim`.
+    pub fn write_dense(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "dense buffer dimension mismatch");
+        vector::fill_zero(out);
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+    }
+
+    /// Materializes into a fresh dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        self.write_dense(&mut out);
+        out
+    }
+
+    /// Sparse-dense dot product `⟨self, w⟩`.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != dim`.
+    pub fn dot_dense(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.dim, "dense operand dimension mismatch");
+        self.iter().map(|(i, v)| v * w[i]).sum()
+    }
+
+    /// `out[i] += alpha·self[i]` over the nonzeros (sparse axpy into dense).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim`.
+    pub fn axpy_into(&self, alpha: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "dense operand dimension mismatch");
+        for (i, v) in self.iter() {
+            out[i] += alpha * v;
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Rescales values in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_merges_and_drops_zeros() {
+        let v = SparseVec::from_pairs(6, [(4, 2.0), (1, 1.0), (4, 3.0), (2, 0.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), vec![0.0, 1.0, 0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn cancelled_duplicates_are_dropped() {
+        let v = SparseVec::from_pairs(3, [(1, 2.0), (1, -2.0)]);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.to_dense(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let dense = vec![0.0, -1.5, 0.0, 2.25, 0.0];
+        let v = SparseVec::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), dense);
+    }
+
+    #[test]
+    fn dot_matches_dense_kernel() {
+        let dense = vec![1.0, 0.0, 3.0, 0.0, -2.0];
+        let w = vec![0.5, 9.0, 1.0, 9.0, 2.0];
+        let v = SparseVec::from_dense(&dense);
+        assert_eq!(v.dot_dense(&w), vector::dot(&dense, &w));
+    }
+
+    #[test]
+    fn axpy_matches_dense_kernel() {
+        let dense = vec![1.0, 0.0, 3.0];
+        let v = SparseVec::from_dense(&dense);
+        let mut a = vec![1.0, 1.0, 1.0];
+        let mut b = a.clone();
+        v.axpy_into(-0.5, &mut a);
+        vector::axpy(-0.5, &dense, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn norm_and_scale() {
+        let mut v = SparseVec::from_pairs(4, [(0, 3.0), (2, 4.0)]);
+        assert_eq!(v.norm(), 5.0);
+        v.scale(0.5);
+        assert_eq!(v.norm(), 2.5);
+        assert_eq!(v.to_dense(), vec![1.5, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bounds_checked() {
+        SparseVec::from_pairs(3, [(3, 1.0)]);
+    }
+
+    #[test]
+    fn empty_vector_is_fine() {
+        let v = SparseVec::from_pairs(5, []);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.norm(), 0.0);
+        assert_eq!(v.dot_dense(&[1.0; 5]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sparse_dense_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+        (1usize..40).prop_flat_map(|d| {
+            (
+                proptest::collection::vec(
+                    prop_oneof![3 => Just(0.0), 1 => -10.0f64..10.0],
+                    d..=d,
+                ),
+                proptest::collection::vec(-10.0f64..10.0, d..=d),
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn sparse_kernels_agree_with_dense((x, w) in sparse_dense_pair()) {
+            let v = SparseVec::from_dense(&x);
+            prop_assert_eq!(v.to_dense(), x.clone());
+            let sparse_dot = v.dot_dense(&w);
+            let dense_dot = vector::dot(&x, &w);
+            prop_assert!((sparse_dot - dense_dot).abs() < 1e-9);
+            let mut a = w.clone();
+            let mut b = w.clone();
+            v.axpy_into(2.5, &mut a);
+            vector::axpy(2.5, &x, &mut b);
+            for (p, q) in a.iter().zip(b.iter()) {
+                prop_assert!((p - q).abs() < 1e-9);
+            }
+            prop_assert!((v.norm() - vector::norm(&x)).abs() < 1e-9);
+        }
+    }
+}

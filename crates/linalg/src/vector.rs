@@ -1,0 +1,271 @@
+//! BLAS-1 style kernels on `f64` slices.
+//!
+//! All functions assert matching lengths in debug builds and are branch-free
+//! in the hot path; the SGD inner loop is built entirely from these.
+
+/// Dot product `⟨x, y⟩`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Squared Euclidean norm `‖x‖²`.
+#[inline]
+pub fn norm_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Euclidean norm `‖x‖`.
+#[inline]
+pub fn norm(x: &[f64]) -> f64 {
+    norm_sq(x).sqrt()
+}
+
+/// `y ← y + alpha·x` (the classic `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha·x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Element-wise `out ← x − y`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    assert_eq!(x.len(), out.len(), "sub: output length mismatch");
+    for ((o, a), b) in out.iter_mut().zip(x.iter()).zip(y.iter()) {
+        *o = a - b;
+    }
+}
+
+/// Euclidean distance `‖x − y‖`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance: length mismatch");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Sets every element to zero.
+#[inline]
+pub fn fill_zero(x: &mut [f64]) {
+    x.fill(0.0);
+}
+
+/// Projects `w` onto the L2 ball of radius `radius` centered at the origin:
+/// `Π_C(w) = argmin_{v: ‖v‖ ≤ R} ‖v − w‖`, i.e. rescale iff `‖w‖ > R`.
+///
+/// Returns the pre-projection norm (useful for instrumentation).
+///
+/// # Panics
+/// Panics if `radius` is negative or NaN.
+pub fn project_l2_ball(w: &mut [f64], radius: f64) -> f64 {
+    assert!(radius >= 0.0, "radius must be >= 0");
+    let n = norm(w);
+    if n > radius {
+        // radius/n < 1; rescaling moves w to the ball's surface.
+        scale(radius / n, w);
+    }
+    n
+}
+
+/// Rescales `x` to unit L2 norm in place. Zero vectors are left unchanged
+/// (there is no canonical direction to pick).
+pub fn normalize_unit(x: &mut [f64]) {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+}
+
+/// `out ← Σ coeffs[i]·vectors[i]` — weighted model averaging (Lemma 10).
+///
+/// # Panics
+/// Panics if the numbers of coefficients and vectors differ, or if any
+/// vector's length differs from `out`.
+pub fn weighted_sum(coeffs: &[f64], vectors: &[&[f64]], out: &mut [f64]) {
+    assert_eq!(coeffs.len(), vectors.len(), "weighted_sum: arity mismatch");
+    fill_zero(out);
+    for (&c, v) in coeffs.iter().zip(vectors.iter()) {
+        axpy(c, v, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn sub_and_distance() {
+        let mut out = vec![0.0; 2];
+        sub(&[5.0, 1.0], &[2.0, 5.0], &mut out);
+        assert_eq!(out, vec![3.0, -4.0]);
+        assert_eq!(distance(&[5.0, 1.0], &[2.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn projection_noop_inside_ball() {
+        let mut w = vec![0.3, 0.4];
+        let pre = project_l2_ball(&mut w, 1.0);
+        assert_eq!(w, vec![0.3, 0.4]);
+        assert!((pre - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_rescales_outside_ball() {
+        let mut w = vec![3.0, 4.0];
+        project_l2_ball(&mut w, 1.0);
+        assert!((norm(&w) - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((w[0] / w[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_zero_radius() {
+        let mut w = vec![1.0, 2.0];
+        project_l2_ball(&mut w, 0.0);
+        assert_eq!(norm(&w), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_vector() {
+        let mut x = vec![0.0, 5.0];
+        normalize_unit(&mut x);
+        assert_eq!(x, vec![0.0, 1.0]);
+        let mut zero = vec![0.0, 0.0];
+        normalize_unit(&mut zero);
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_sum_matches_manual() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 2.0];
+        let mut out = vec![0.0; 2];
+        weighted_sum(&[0.5, 0.25], &[&a, &b], &mut out);
+        assert_eq!(out, vec![0.5, 0.5]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-100.0f64..100.0, len..=len)
+    }
+
+    proptest! {
+        #[test]
+        fn cauchy_schwarz(x in vec_strategy(8), y in vec_strategy(8)) {
+            let lhs = dot(&x, &y).abs();
+            let rhs = norm(&x) * norm(&y);
+            prop_assert!(lhs <= rhs + 1e-9 * rhs.max(1.0));
+        }
+
+        #[test]
+        fn triangle_inequality(x in vec_strategy(8), y in vec_strategy(8), z in vec_strategy(8)) {
+            let d = distance(&x, &z);
+            let via = distance(&x, &y) + distance(&y, &z);
+            prop_assert!(d <= via + 1e-9 * via.max(1.0));
+        }
+
+        /// Projection onto a convex set is non-expansive:
+        /// ‖Π(u) − Π(v)‖ ≤ ‖u − v‖. This is the property the paper's
+        /// constrained-optimization extension relies on (Section 3.2.3).
+        #[test]
+        fn projection_is_nonexpansive(u in vec_strategy(6), v in vec_strategy(6), r in 0.01f64..50.0) {
+            let before = distance(&u, &v);
+            let mut pu = u.clone();
+            let mut pv = v.clone();
+            project_l2_ball(&mut pu, r);
+            project_l2_ball(&mut pv, r);
+            let after = distance(&pu, &pv);
+            prop_assert!(after <= before + 1e-9 * before.max(1.0),
+                "after {after} > before {before}");
+        }
+
+        #[test]
+        fn projection_idempotent(u in vec_strategy(6), r in 0.01f64..50.0) {
+            let mut once = u.clone();
+            project_l2_ball(&mut once, r);
+            let mut twice = once.clone();
+            project_l2_ball(&mut twice, r);
+            for (a, b) in once.iter().zip(twice.iter()) {
+                prop_assert!((a - b).abs() <= 1e-12);
+            }
+        }
+
+        #[test]
+        fn normalized_vectors_are_unit(x in vec_strategy(5)) {
+            prop_assume!(norm(&x) > 1e-6);
+            let mut y = x.clone();
+            normalize_unit(&mut y);
+            prop_assert!((norm(&y) - 1.0).abs() < 1e-9);
+        }
+    }
+}

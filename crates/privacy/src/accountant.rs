@@ -1,0 +1,145 @@
+//! A sequential-composition privacy ledger.
+//!
+//! The multiclass driver (10 one-vs-all models over MNIST) and the private
+//! tuning algorithm both make several private releases from the same data;
+//! the accountant enforces that their combined (basic-composition) cost
+//! stays inside the granted budget.
+
+use crate::budget::{Budget, PrivacyError};
+
+/// One recorded charge.
+#[derive(Clone, Debug)]
+pub struct Charge {
+    /// Human-readable label of the release (e.g. `"ova-digit-3"`).
+    pub label: String,
+    /// Budget consumed by the release.
+    pub cost: Budget,
+}
+
+/// Tracks privacy spend against a fixed total budget under basic sequential
+/// composition (ε and δ add across releases on the same data).
+#[derive(Clone, Debug)]
+pub struct Accountant {
+    total: Budget,
+    charges: Vec<Charge>,
+    spent_eps: f64,
+    spent_delta: f64,
+}
+
+impl Accountant {
+    /// Creates a ledger with the given total budget.
+    pub fn new(total: Budget) -> Self {
+        Self { total, charges: Vec::new(), spent_eps: 0.0, spent_delta: 0.0 }
+    }
+
+    /// The total granted budget.
+    pub fn total(&self) -> Budget {
+        self.total
+    }
+
+    /// The budget consumed so far.
+    pub fn spent(&self) -> Budget {
+        // Degenerate zero-spend state cannot be represented as a Budget
+        // (ε must be > 0), so report via remaining() instead when empty.
+        Budget::approx(self.spent_eps.max(f64::MIN_POSITIVE), self.spent_delta.min(1.0 - f64::EPSILON))
+            .expect("spent components are valid by construction")
+    }
+
+    /// The budget still available.
+    pub fn remaining(&self) -> (f64, f64) {
+        (
+            (self.total.eps() - self.spent_eps).max(0.0),
+            (self.total.delta() - self.spent_delta).max(0.0),
+        )
+    }
+
+    /// Records a charge if it fits within the remaining budget.
+    ///
+    /// # Errors
+    /// Returns [`PrivacyError::BudgetExceeded`] (recording nothing) if the
+    /// charge would overdraw either component.
+    pub fn charge(&mut self, label: impl Into<String>, cost: Budget) -> Result<(), PrivacyError> {
+        const TOL: f64 = 1e-9;
+        let (rem_eps, rem_delta) = self.remaining();
+        if cost.eps() > rem_eps * (1.0 + TOL) + TOL || cost.delta() > rem_delta * (1.0 + TOL) + TOL
+        {
+            return Err(PrivacyError::BudgetExceeded {
+                requested: cost,
+                remaining: Budget::approx(rem_eps.max(f64::MIN_POSITIVE), rem_delta)
+                    .unwrap_or(self.total),
+            });
+        }
+        self.spent_eps += cost.eps();
+        self.spent_delta += cost.delta();
+        self.charges.push(Charge { label: label.into(), cost });
+        Ok(())
+    }
+
+    /// All recorded charges in order.
+    pub fn charges(&self) -> &[Charge] {
+        &self.charges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pure(eps: f64) -> Budget {
+        Budget::pure(eps).unwrap()
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut acc = Accountant::new(pure(1.0));
+        acc.charge("a", pure(0.4)).unwrap();
+        acc.charge("b", pure(0.4)).unwrap();
+        assert_eq!(acc.charges().len(), 2);
+        let (rem_eps, _) = acc.remaining();
+        assert!((rem_eps - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdraw_is_rejected_and_not_recorded() {
+        let mut acc = Accountant::new(pure(0.5));
+        acc.charge("a", pure(0.4)).unwrap();
+        let err = acc.charge("b", pure(0.2)).unwrap_err();
+        assert!(matches!(err, PrivacyError::BudgetExceeded { .. }));
+        assert_eq!(acc.charges().len(), 1);
+        let (rem, _) = acc.remaining();
+        assert!((rem - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_is_tracked_independently() {
+        let total = Budget::approx(10.0, 1e-6).unwrap();
+        let mut acc = Accountant::new(total);
+        acc.charge("a", Budget::approx(1.0, 0.9e-6).unwrap()).unwrap();
+        // Plenty of ε left, but δ nearly gone.
+        let err = acc.charge("b", Budget::approx(1.0, 0.5e-6).unwrap());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ten_even_splits_exactly_fit() {
+        // The MNIST one-vs-all pattern: budget ε split across 10 digits.
+        let total = Budget::approx(0.4, 1e-6).unwrap();
+        let part = total.split_even(10);
+        let mut acc = Accountant::new(total);
+        for digit in 0..10 {
+            acc.charge(format!("digit-{digit}"), part).unwrap();
+        }
+        let (rem_eps, rem_delta) = acc.remaining();
+        assert!(rem_eps < 1e-9, "leftover eps {rem_eps}");
+        assert!(rem_delta < 1e-15, "leftover delta {rem_delta}");
+        assert!(acc.charge("extra", part).is_err());
+    }
+
+    #[test]
+    fn spent_reports_totals() {
+        let mut acc = Accountant::new(pure(2.0));
+        acc.charge("a", pure(0.75)).unwrap();
+        assert!((acc.spent().eps() - 0.75).abs() < 1e-12);
+        assert_eq!(acc.total().eps(), 2.0);
+    }
+}

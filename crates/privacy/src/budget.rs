@@ -1,0 +1,307 @@
+//! Privacy budgets: ε-DP and (ε, δ)-DP (Definition 5).
+
+use std::fmt;
+
+/// Errors produced by budget validation and accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PrivacyError {
+    /// A budget parameter was non-finite, non-positive ε, or δ outside [0, 1).
+    InvalidBudget(String),
+    /// An [`crate::Accountant`] charge would exceed the granted budget.
+    BudgetExceeded {
+        /// What the caller tried to charge.
+        requested: Budget,
+        /// What was still available.
+        remaining: Budget,
+    },
+    /// A mechanism parameter (sensitivity, dimension) was invalid.
+    InvalidMechanism(String),
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::InvalidBudget(msg) => write!(f, "invalid privacy budget: {msg}"),
+            PrivacyError::BudgetExceeded { requested, remaining } => write!(
+                f,
+                "privacy budget exceeded: requested {requested}, remaining {remaining}"
+            ),
+            PrivacyError::InvalidMechanism(msg) => write!(f, "invalid mechanism: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivacyError {}
+
+/// An (ε, δ) privacy budget; `δ = 0` is pure ε-differential privacy.
+///
+/// ```
+/// use bolton_privacy::Budget;
+/// let total = Budget::approx(1.0, 1e-6).unwrap();
+/// let per_class = total.split_even(10); // one-vs-all MNIST
+/// assert!((per_class.eps() - 0.1).abs() < 1e-12);
+/// assert!(per_class.fits_within(&total));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Budget {
+    eps: f64,
+    delta: f64,
+}
+
+impl Budget {
+    /// A pure ε-DP budget.
+    ///
+    /// # Errors
+    /// Returns [`PrivacyError::InvalidBudget`] unless `eps` is finite and
+    /// positive.
+    pub fn pure(eps: f64) -> Result<Self, PrivacyError> {
+        Self::approx(eps, 0.0)
+    }
+
+    /// An (ε, δ)-DP budget.
+    ///
+    /// # Errors
+    /// Returns [`PrivacyError::InvalidBudget`] unless `eps` is finite and
+    /// positive and `δ ∈ [0, 1)`.
+    pub fn approx(eps: f64, delta: f64) -> Result<Self, PrivacyError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(PrivacyError::InvalidBudget(format!(
+                "epsilon must be finite and > 0, got {eps}"
+            )));
+        }
+        if !delta.is_finite() || !(0.0..1.0).contains(&delta) {
+            return Err(PrivacyError::InvalidBudget(format!(
+                "delta must be in [0, 1), got {delta}"
+            )));
+        }
+        Ok(Self { eps, delta })
+    }
+
+    /// The ε component.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The δ component (0 for pure DP).
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Whether this is pure ε-DP.
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+
+    /// Splits the budget evenly across `parts` sub-computations using basic
+    /// composition — the paper's treatment of one-vs-all MNIST ("we used the
+    /// simplest composition theorem and divide the privacy budget evenly").
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn split_even(&self, parts: usize) -> Budget {
+        assert!(parts > 0, "cannot split a budget into zero parts");
+        let parts = parts as f64;
+        Budget { eps: self.eps / parts, delta: self.delta / parts }
+    }
+
+    /// Basic sequential composition: budgets add component-wise.
+    pub fn compose(&self, other: &Budget) -> Budget {
+        Budget { eps: self.eps + other.eps, delta: (self.delta + other.delta).min(1.0 - f64::EPSILON) }
+    }
+
+    /// Whether `self` fits within `available` (component-wise ≤, with a tiny
+    /// tolerance for accumulated floating-point error in repeated splits).
+    pub fn fits_within(&self, available: &Budget) -> bool {
+        const TOL: f64 = 1e-12;
+        self.eps <= available.eps * (1.0 + TOL) + TOL
+            && self.delta <= available.delta * (1.0 + TOL) + TOL
+    }
+
+    /// Group privacy: the guarantee this budget implies for groups of `k`
+    /// correlated individuals (e.g. one household contributing k rows).
+    /// Pure ε-DP degrades to `kε`-DP; (ε, δ)-DP degrades to
+    /// `(kε, k·e^{(k−1)ε}·δ)`-DP (Dwork & Roth, Thm 2.2 generalized).
+    ///
+    /// Returns `None` when the group δ reaches 1 (no meaningful guarantee).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn group_privacy(&self, k: usize) -> Option<Budget> {
+        assert!(k > 0, "group size must be positive");
+        let k_f = k as f64;
+        let eps = self.eps * k_f;
+        let delta = self.delta * k_f * ((k_f - 1.0) * self.eps).exp();
+        Budget::approx(eps, delta).ok()
+    }
+
+    /// Component-wise saturating subtraction (used for "remaining budget").
+    pub fn saturating_sub(&self, other: &Budget) -> Budget {
+        Budget {
+            eps: (self.eps - other.eps).max(0.0),
+            delta: (self.delta - other.delta).max(0.0),
+        }
+    }
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pure() {
+            write!(f, "ε={}", self.eps)
+        } else {
+            write!(f, "(ε={}, δ={:.3e})", self.eps, self.delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_budget_roundtrip() {
+        let b = Budget::pure(0.5).unwrap();
+        assert_eq!(b.eps(), 0.5);
+        assert_eq!(b.delta(), 0.0);
+        assert!(b.is_pure());
+    }
+
+    #[test]
+    fn approx_budget_roundtrip() {
+        let b = Budget::approx(1.0, 1e-6).unwrap();
+        assert!(!b.is_pure());
+        assert_eq!(b.delta(), 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_eps() {
+        assert!(Budget::pure(0.0).is_err());
+        assert!(Budget::pure(-1.0).is_err());
+        assert!(Budget::pure(f64::NAN).is_err());
+        assert!(Budget::pure(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_delta() {
+        assert!(Budget::approx(1.0, -0.1).is_err());
+        assert!(Budget::approx(1.0, 1.0).is_err());
+        assert!(Budget::approx(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn split_even_divides_both_components() {
+        let b = Budget::approx(1.0, 1e-4).unwrap();
+        let part = b.split_even(10);
+        assert!((part.eps() - 0.1).abs() < 1e-15);
+        assert!((part.delta() - 1e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ten_splits_compose_back() {
+        let b = Budget::approx(2.0, 1e-4).unwrap();
+        let part = b.split_even(10);
+        let mut total = part;
+        for _ in 0..9 {
+            total = total.compose(&part);
+        }
+        assert!(total.fits_within(&b));
+        assert!((total.eps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_within_is_componentwise() {
+        let small = Budget::approx(0.5, 1e-6).unwrap();
+        let big = Budget::approx(1.0, 1e-5).unwrap();
+        assert!(small.fits_within(&big));
+        assert!(!big.fits_within(&small));
+        // Larger delta alone must fail.
+        let sneaky = Budget::approx(0.5, 1e-4).unwrap();
+        assert!(!sneaky.fits_within(&big));
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let a = Budget::pure(0.5).unwrap();
+        let b = Budget::pure(0.8).unwrap();
+        let r = a.saturating_sub(&b);
+        assert_eq!(r.eps(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Budget::pure(0.1).unwrap()), "ε=0.1");
+        assert!(format!("{}", Budget::approx(0.1, 1e-6).unwrap()).contains("δ="));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn split_zero_panics() {
+        Budget::pure(1.0).unwrap().split_even(0);
+    }
+
+    #[test]
+    fn group_privacy_scales_pure_eps_linearly() {
+        let b = Budget::pure(0.1).unwrap();
+        let g = b.group_privacy(5).unwrap();
+        assert!((g.eps() - 0.5).abs() < 1e-12);
+        assert!(g.is_pure());
+        assert_eq!(b.group_privacy(1).unwrap(), b);
+    }
+
+    #[test]
+    fn group_privacy_inflates_delta_exponentially() {
+        let b = Budget::approx(0.5, 1e-9).unwrap();
+        let g = b.group_privacy(4).unwrap();
+        assert!((g.eps() - 2.0).abs() < 1e-12);
+        // δ' = 4·e^{1.5}·1e-9.
+        let expect = 4.0 * (1.5f64).exp() * 1e-9;
+        assert!((g.delta() - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn group_privacy_collapses_for_huge_groups() {
+        let b = Budget::approx(1.0, 1e-3).unwrap();
+        assert!(b.group_privacy(50).is_none(), "delta should exceed 1");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Splitting into n parts and composing n times returns the original
+        /// budget (within float tolerance), and each part fits the whole.
+        #[test]
+        fn split_compose_roundtrip(
+            eps in 1e-4f64..100.0,
+            delta in 0.0f64..0.01,
+            parts in 1usize..64,
+        ) {
+            let total = Budget::approx(eps, delta).unwrap();
+            let part = total.split_even(parts);
+            prop_assert!(part.fits_within(&total));
+            let mut acc = part;
+            for _ in 1..parts {
+                acc = acc.compose(&part);
+            }
+            prop_assert!((acc.eps() - eps).abs() < 1e-9 * eps);
+            prop_assert!((acc.delta() - delta).abs() < 1e-9 * delta.max(1e-12));
+            prop_assert!(acc.fits_within(&total));
+        }
+
+        /// fits_within is reflexive and antisymmetric up to equality.
+        #[test]
+        fn fits_within_partial_order(
+            e1 in 1e-3f64..10.0, d1 in 0.0f64..0.01,
+            e2 in 1e-3f64..10.0, d2 in 0.0f64..0.01,
+        ) {
+            let a = Budget::approx(e1, d1).unwrap();
+            let b = Budget::approx(e2, d2).unwrap();
+            prop_assert!(a.fits_within(&a));
+            if a.fits_within(&b) && b.fits_within(&a) {
+                prop_assert!((e1 - e2).abs() < 1e-6 * e1.max(e2) + 1e-9);
+            }
+        }
+    }
+}

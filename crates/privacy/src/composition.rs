@@ -1,0 +1,154 @@
+//! Advanced composition arithmetic for BST14 (paper Algorithms 4 & 5).
+//!
+//! BST14 runs `T = km` noisy iterations, each (ε₁, δ₁)-DP, and needs the
+//! whole run to be (ε, δ)-DP with `δ₁ = δ/T`. By the advanced composition
+//! theorem the total ε is
+//!
+//! ```text
+//! ε_total(ε₁) = T·ε₁·(e^{ε₁} − 1) + ε₁·√(2T·ln(1/δ₁))
+//! ```
+//!
+//! The algorithms need the inverse: given the target ε, find ε₁. The map is
+//! continuous and strictly increasing in ε₁, so bisection converges.
+
+use crate::budget::PrivacyError;
+
+/// Total ε after `t` iterations each `eps1`-DP, with per-iteration failure
+/// probability `delta1` (line 5 of paper Algorithms 4/5).
+///
+/// # Panics
+/// Panics on non-positive `t`, `eps1`, or `delta1` outside (0, 1).
+pub fn advanced_composition_total(eps1: f64, t: u64, delta1: f64) -> f64 {
+    assert!(t > 0, "iteration count must be positive");
+    assert!(eps1 >= 0.0 && eps1.is_finite(), "eps1 must be finite and >= 0");
+    assert!(delta1 > 0.0 && delta1 < 1.0, "delta1 must be in (0,1)");
+    let t = t as f64;
+    t * eps1 * (eps1.exp() - 1.0) + eps1 * (2.0 * t * (1.0 / delta1).ln()).sqrt()
+}
+
+/// Solves `advanced_composition_total(ε₁, t, δ₁) = eps` for ε₁ by bisection.
+///
+/// # Errors
+/// Returns [`PrivacyError::InvalidBudget`] for non-positive `eps`, `t == 0`,
+/// or `delta1` outside (0, 1).
+pub fn solve_per_iteration_eps(eps: f64, t: u64, delta1: f64) -> Result<f64, PrivacyError> {
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err(PrivacyError::InvalidBudget(format!("target eps must be > 0, got {eps}")));
+    }
+    if t == 0 {
+        return Err(PrivacyError::InvalidBudget("iteration count must be positive".into()));
+    }
+    if !(delta1 > 0.0 && delta1 < 1.0) {
+        return Err(PrivacyError::InvalidBudget(format!("delta1 must be in (0,1), got {delta1}")));
+    }
+    // Bracket the root: total(0) = 0 < eps; grow hi until total(hi) >= eps.
+    let mut hi = 1.0f64;
+    while advanced_composition_total(hi, t, delta1) < eps {
+        hi *= 2.0;
+        if hi > 1e6 {
+            return Err(PrivacyError::InvalidBudget(
+                "advanced composition solve failed to bracket".into(),
+            ));
+        }
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if advanced_composition_total(mid, t, delta1) < eps {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_monotone_in_eps1() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let eps1 = i as f64 * 0.01;
+            let total = advanced_composition_total(eps1, 1000, 1e-8);
+            assert!(total > prev, "not monotone at eps1={eps1}");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn solver_residual_is_tiny() {
+        for (eps, t, d1) in [(0.1, 60_000u64, 1e-12), (1.0, 600_000, 1e-13), (4.0, 10_000, 1e-10)]
+        {
+            let eps1 = solve_per_iteration_eps(eps, t, d1).unwrap();
+            let back = advanced_composition_total(eps1, t, d1);
+            assert!(
+                (back - eps).abs() < 1e-9 * eps,
+                "eps {eps}: solved {eps1}, recomposed {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_iteration_eps_shrinks_with_more_iterations() {
+        let a = solve_per_iteration_eps(1.0, 1_000, 1e-9).unwrap();
+        let b = solve_per_iteration_eps(1.0, 100_000, 1e-9).unwrap();
+        assert!(b < a, "{b} !< {a}");
+    }
+
+    #[test]
+    fn per_iteration_eps_scales_roughly_as_inverse_sqrt_t() {
+        // For small ε₁ the linear term is negligible and
+        // ε ≈ ε₁·√(2T ln(1/δ₁)), so quadrupling T should halve ε₁.
+        let a = solve_per_iteration_eps(0.1, 10_000, 1e-10).unwrap();
+        let b = solve_per_iteration_eps(0.1, 40_000, 1e-10).unwrap();
+        let ratio = a / b;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn solver_rejects_bad_inputs() {
+        assert!(solve_per_iteration_eps(0.0, 10, 1e-6).is_err());
+        assert!(solve_per_iteration_eps(1.0, 0, 1e-6).is_err());
+        assert!(solve_per_iteration_eps(1.0, 10, 0.0).is_err());
+        assert!(solve_per_iteration_eps(1.0, 10, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta1 must be in")]
+    fn total_rejects_bad_delta() {
+        advanced_composition_total(0.1, 10, 2.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The bisection solve inverts the total for arbitrary valid inputs.
+        #[test]
+        fn solve_inverts_total(
+            eps in 1e-3f64..16.0,
+            t in 1u64..5_000_000,
+            log_delta in -16.0f64..-2.0,
+        ) {
+            let delta1 = 10f64.powf(log_delta);
+            let eps1 = solve_per_iteration_eps(eps, t, delta1).unwrap();
+            let back = advanced_composition_total(eps1, t, delta1);
+            prop_assert!((back - eps).abs() < 1e-6 * eps, "eps {eps} → {eps1} → {back}");
+        }
+
+        /// More iterations never allow a larger per-iteration budget.
+        #[test]
+        fn eps1_monotone_in_iterations(eps in 0.01f64..4.0, t in 10u64..100_000) {
+            let d1 = 1e-9;
+            let a = solve_per_iteration_eps(eps, t, d1).unwrap();
+            let b = solve_per_iteration_eps(eps, t * 2, d1).unwrap();
+            prop_assert!(b <= a * (1.0 + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Discrete mechanisms for counting queries: the two-sided geometric
+//! mechanism (Ghosh, Roughgarden & Sundararajan 2009), the discrete
+//! analogue of Laplace noise — exact ε-DP for integer-valued queries of
+//! sensitivity 1 such as `COUNT(*)` and histograms.
+//!
+//! These power the engine-level `SELECT PRIVATE COUNT(*)…` surface: the
+//! SGD paper privatizes the *model* query; a DP analytics system also needs
+//! its scalar aggregates privatized, and this is the standard tool.
+
+use crate::budget::{Budget, PrivacyError};
+use bolton_rng::Rng;
+
+/// The two-sided geometric mechanism for sensitivity-`s` integer queries.
+///
+/// Adds `Z = G₁ − G₂` with `G_i ~ Geometric(1 − α)`, `α = e^{−ε/s}`:
+/// `P(Z = z) ∝ α^{|z|}`, giving exact ε-DP.
+#[derive(Clone, Copy, Debug)]
+pub struct GeometricMechanism {
+    alpha: f64,
+    eps: f64,
+    sensitivity: u64,
+}
+
+impl GeometricMechanism {
+    /// Calibrates for an integer query with the given sensitivity.
+    ///
+    /// # Errors
+    /// Rejects non-positive ε or zero sensitivity.
+    pub fn new(eps: f64, sensitivity: u64) -> Result<Self, PrivacyError> {
+        Budget::pure(eps)?;
+        if sensitivity == 0 {
+            return Err(PrivacyError::InvalidMechanism("sensitivity must be >= 1".into()));
+        }
+        Ok(Self { alpha: (-eps / sensitivity as f64).exp(), eps, sensitivity })
+    }
+
+    /// The ε this mechanism provides.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The calibrated sensitivity.
+    pub fn sensitivity(&self) -> u64 {
+        self.sensitivity
+    }
+
+    /// Noise standard deviation `√(2α)/(1−α)`.
+    pub fn std_dev(&self) -> f64 {
+        (2.0 * self.alpha).sqrt() / (1.0 - self.alpha)
+    }
+
+    fn sample_geometric<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        // Inversion: G = ⌊ln(U)/ln(α)⌋ ~ Geometric(1−α) on {0, 1, 2, …}.
+        let u = rng.next_f64_open();
+        let g = (u.ln() / self.alpha.ln()).floor();
+        // Cap to avoid i64 overflow at astronomically small U.
+        g.min(i64::MAX as f64 / 4.0) as i64
+    }
+
+    /// Draws one noise value `Z = G₁ − G₂`.
+    pub fn sample_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        self.sample_geometric(rng) - self.sample_geometric(rng)
+    }
+
+    /// Releases a privatized count, clamped at zero (counts are
+    /// non-negative; post-processing preserves DP).
+    pub fn privatize_count<R: Rng + ?Sized>(&self, rng: &mut R, count: u64) -> u64 {
+        let noisy = count as i64 + self.sample_noise(rng);
+        noisy.max(0) as u64
+    }
+
+    /// Releases a privatized histogram. Each individual affects one bin by
+    /// one, so all bins share this mechanism's ε (parallel composition).
+    pub fn privatize_histogram<R: Rng + ?Sized>(&self, rng: &mut R, counts: &[u64]) -> Vec<u64> {
+        counts.iter().map(|&c| self.privatize_count(rng, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_linalg::stats::OnlineStats;
+    use bolton_rng::seeded;
+
+    #[test]
+    fn noise_is_centered_with_expected_spread() {
+        let mech = GeometricMechanism::new(0.5, 1).unwrap();
+        let mut rng = seeded(801);
+        let mut stats = OnlineStats::new();
+        for _ in 0..200_000 {
+            stats.push(mech.sample_noise(&mut rng) as f64);
+        }
+        assert!(stats.mean().abs() < 0.02, "mean {}", stats.mean());
+        let sd = stats.std_dev();
+        assert!((sd - mech.std_dev()).abs() < 0.05 * mech.std_dev(), "sd {sd}");
+    }
+
+    /// The exact DP property on the noise pmf: P(Z = z)/P(Z = z+s) ≤ e^ε.
+    #[test]
+    fn pmf_ratio_bounded_empirically() {
+        let eps = 1.0;
+        let mech = GeometricMechanism::new(eps, 1).unwrap();
+        let mut rng = seeded(802);
+        let n = 400_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(mech.sample_noise(&mut rng)).or_insert(0u32) += 1;
+        }
+        for z in -3i64..=3 {
+            let p = counts.get(&z).copied().unwrap_or(0) as f64;
+            let q = counts.get(&(z + 1)).copied().unwrap_or(0) as f64;
+            if p > 1000.0 && q > 1000.0 {
+                let ratio = (p / q).max(q / p);
+                assert!(
+                    ratio <= eps.exp() * 1.1,
+                    "pmf ratio at z={z}: {ratio} (limit {})",
+                    eps.exp()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_never_go_negative() {
+        let mech = GeometricMechanism::new(0.1, 1).unwrap();
+        let mut rng = seeded(803);
+        for _ in 0..2000 {
+            let released = mech.privatize_count(&mut rng, 1);
+            assert!(released < u64::MAX / 2);
+        }
+    }
+
+    #[test]
+    fn large_eps_keeps_counts_nearly_exact() {
+        let mech = GeometricMechanism::new(20.0, 1).unwrap();
+        let mut rng = seeded(804);
+        for _ in 0..1000 {
+            assert_eq!(mech.privatize_count(&mut rng, 5000), 5000);
+        }
+    }
+
+    #[test]
+    fn histogram_noises_each_bin() {
+        let mech = GeometricMechanism::new(0.5, 1).unwrap();
+        let mut rng = seeded(805);
+        let truth = vec![100u64, 0, 2500, 7];
+        let released = mech.privatize_histogram(&mut rng, &truth);
+        assert_eq!(released.len(), 4);
+        // At ε = 0.5 the noise sd is ≈ 3.5: bins stay in the neighborhood.
+        for (r, t) in released.iter().zip(truth.iter()) {
+            assert!((*r as i64 - *t as i64).unsigned_abs() < 40, "{r} vs {t}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(GeometricMechanism::new(0.0, 1).is_err());
+        assert!(GeometricMechanism::new(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn higher_sensitivity_means_more_noise() {
+        let a = GeometricMechanism::new(1.0, 1).unwrap();
+        let b = GeometricMechanism::new(1.0, 5).unwrap();
+        assert!(b.std_dev() > a.std_dev() * 3.0);
+    }
+}

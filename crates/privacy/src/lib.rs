@@ -1,0 +1,30 @@
+//! Differential-privacy primitives for the bolt-on DP-SGD workspace.
+//!
+//! This crate implements the mechanism layer of the paper:
+//!
+//! * [`budget`] — ε and (ε, δ) privacy budgets, validation, even splits for
+//!   one-vs-all multiclass (Section 4.3), basic sequential composition.
+//! * [`mechanisms`] — the two output-perturbation mechanisms: the
+//!   "Laplace-ball" high-dimensional Laplace mechanism of Theorem 1
+//!   (direction uniform on the unit sphere, magnitude `Γ(d, Δ₂/ε)`;
+//!   Appendix E) and the Gaussian mechanism of Theorem 3.
+//! * [`composition`] — the advanced-composition arithmetic BST14 relies on,
+//!   including the bisection solver for the per-iteration ε₁ in paper
+//!   Algorithms 4 and 5.
+//! * [`accountant`] — a sequential-composition ledger used by the tuning and
+//!   multiclass drivers to guarantee the total spend never exceeds the
+//!   granted budget.
+//! * [`bounds`] — closed-form noise-norm bounds (Theorem 2) used by tests
+//!   and by the dimension-ablation bench.
+
+pub mod accountant;
+pub mod bounds;
+pub mod budget;
+pub mod composition;
+pub mod counting;
+pub mod mechanisms;
+
+pub use accountant::Accountant;
+pub use budget::{Budget, PrivacyError};
+pub use counting::GeometricMechanism;
+pub use mechanisms::{ExponentialMechanism, GaussianMechanism, LaplaceBallMechanism, NoiseMechanism};

@@ -1,0 +1,236 @@
+//! Scalar distribution samplers built on the [`Rng`] trait.
+//!
+//! These are the building blocks for the paper's noise mechanisms:
+//! * [`standard_normal`] / [`Normal`] — Gaussian noise for (ε,δ)-DP
+//!   (Theorem 3) and for Gaussian random projection.
+//! * [`Exponential`] — building block for Erlang sampling.
+//! * [`Gamma`] — the magnitude of the ε-DP noise vector is distributed
+//!   `Γ(d, Δ₂/ε)` (Theorem 1 / Appendix E).
+
+use crate::rng::Rng;
+
+/// Draws one standard normal variate via the Box–Muller transform.
+///
+/// Uses two uniforms and returns the cosine branch; this trades a small
+/// constant factor for statelessness (no cached spare), which keeps every
+/// call site reproducible from the raw `u64` stream alone.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = rng.next_f64_open();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a `N(mean, sd²)` distribution.
+    ///
+    /// # Panics
+    /// Panics if `sd` is negative or not finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd.is_finite() && sd >= 0.0, "standard deviation must be finite and >= 0");
+        Self { mean, sd }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// An exponential distribution with the given rate λ (mean `1/λ`).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an `Exp(rate)` distribution.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be finite and > 0");
+        Self { rate }
+    }
+
+    /// Draws one sample by inversion: `-ln(U)/λ`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+}
+
+/// A gamma distribution `Γ(shape, scale)` with density
+/// `x^{shape-1} e^{-x/scale} / (Γ(shape) scale^shape)`.
+///
+/// Sampling uses Marsaglia & Tsang's squeeze method (2000) for `shape ≥ 1`
+/// and the Johnk-style boost `Γ(a) = Γ(a+1)·U^{1/a}` for `shape < 1`.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a `Γ(shape, scale)` distribution.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "shape must be finite and > 0");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and > 0");
+        Self { shape, scale }
+    }
+
+    /// The distribution mean, `shape · scale`.
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// The distribution variance, `shape · scale²`.
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: if X ~ Γ(shape+1, scale) and U uniform, X·U^{1/shape} ~ Γ(shape, scale).
+            let boosted = Gamma::new(self.shape + 1.0, self.scale).sample(rng);
+            return boosted * rng.next_f64_open().powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = rng.next_f64_open();
+            let x2 = x * x;
+            // Squeeze acceptance (cheap) then exact log acceptance.
+            if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// Draws an Erlang(`k`, `scale`) sample — i.e. `Γ(k, scale)` for integer `k` —
+/// as a sum of `k` exponentials. Slower than [`Gamma`] for large `k` but
+/// exact and independent of the Marsaglia–Tsang code path, so tests
+/// cross-validate the two.
+pub fn erlang<R: Rng + ?Sized>(rng: &mut R, k: u32, scale: f64) -> f64 {
+    assert!(k > 0, "Erlang shape must be >= 1");
+    assert!(scale.is_finite() && scale > 0.0, "scale must be finite and > 0");
+    let mut acc = 0.0;
+    for _ in 0..k {
+        acc -= rng.next_f64_open().ln();
+    }
+    acc * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded;
+
+    fn mean_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded(21);
+        let samples: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_shift_scale() {
+        let mut rng = seeded(22);
+        let dist = Normal::new(3.0, 2.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = seeded(23);
+        let dist = Exponential::new(0.5);
+        let samples: Vec<f64> = (0..200_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 2.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_large_shape() {
+        let mut rng = seeded(24);
+        let dist = Gamma::new(50.0, 0.25);
+        let samples: Vec<f64> = (0..100_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - dist.mean()).abs() < 0.02 * dist.mean(), "mean {mean}");
+        assert!((var - dist.variance()).abs() < 0.05 * dist.variance(), "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_small_shape() {
+        let mut rng = seeded(25);
+        let dist = Gamma::new(0.5, 2.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 2.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn gamma_agrees_with_erlang() {
+        let mut rng = seeded(26);
+        let k = 7u32;
+        let scale = 1.5;
+        let g = Gamma::new(k as f64, scale);
+        let a: Vec<f64> = (0..100_000).map(|_| g.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..100_000).map(|_| erlang(&mut rng, k, scale)).collect();
+        let (ma, va) = mean_var(&a);
+        let (mb, vb) = mean_var(&b);
+        assert!((ma - mb).abs() < 0.05 * ma.max(mb), "means {ma} vs {mb}");
+        assert!((va - vb).abs() < 0.1 * va.max(vb), "vars {va} vs {vb}");
+    }
+
+    #[test]
+    fn gamma_samples_positive() {
+        let mut rng = seeded(27);
+        for shape in [0.3, 1.0, 2.0, 17.0] {
+            let g = Gamma::new(shape, 0.7);
+            for _ in 0..1000 {
+                assert!(g.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be finite")]
+    fn gamma_rejects_zero_shape() {
+        Gamma::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite")]
+    fn exponential_rejects_negative_rate() {
+        Exponential::new(-1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The [`Rng`] trait: a raw `u64` source plus derived sampling methods.
+
+/// A deterministic source of uniform 64-bit words with derived samplers.
+///
+/// Implementors supply [`Rng::next_u64`]; everything else has a default
+/// implementation so all generators share identical derived distributions.
+pub trait Rng {
+    /// Returns the next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; multiply by 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in the open interval `(0, 1]`.
+    ///
+    /// Useful for `ln(u)` transforms where `u = 0` would produce `-inf`.
+    #[inline]
+    fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using Lemire's unbiased
+    /// multiply-shift rejection method.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform `usize` index in `[0, bound)`.
+    #[inline]
+    fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    #[inline]
+    fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "next_range requires lo < hi");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent generator seeded from this stream. Used to
+    /// split one seed into decorrelated streams (e.g. permutation draws vs
+    /// noise draws) without aliasing mutable borrows.
+    fn fork_stream(&mut self) -> crate::Xoshiro256PlusPlus {
+        crate::Xoshiro256PlusPlus::seed_from_u64(self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded;
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = seeded(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_open_never_zero() {
+        let mut rng = seeded(4);
+        for _ in 0..10_000 {
+            let x = rng.next_f64_open();
+            assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = seeded(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut rng = seeded(6);
+        let bound = 7u64;
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            let v = rng.next_below(bound);
+            assert!(v < bound);
+            counts[v as usize] += 1;
+        }
+        let expect = n as f64 / bound as f64;
+        for &c in &counts {
+            assert!(
+                ((c as f64) - expect).abs() < 0.05 * expect,
+                "bucket count {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn next_below_zero_panics() {
+        let mut rng = seeded(7);
+        rng.next_below(0);
+    }
+
+    #[test]
+    fn next_bool_probability() {
+        let mut rng = seeded(8);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.next_bool(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn next_range_bounds() {
+        let mut rng = seeded(9);
+        for _ in 0..1000 {
+            let x = rng.next_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn trait_object_via_mut_ref() {
+        let mut rng = seeded(10);
+        fn draw(r: &mut dyn Rng) -> u64 {
+            r.next_u64()
+        }
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::seeded;
+    use crate::Rng;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// next_below stays strictly below any positive bound.
+        #[test]
+        fn next_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+            let mut rng = seeded(seed);
+            for _ in 0..50 {
+                prop_assert!(rng.next_below(bound) < bound);
+            }
+        }
+
+        /// next_range stays within [lo, hi) for arbitrary finite intervals.
+        #[test]
+        fn next_range_in_interval(seed in any::<u64>(), lo in -1e6f64..1e6, width in 1e-6f64..1e6) {
+            let mut rng = seeded(seed);
+            let hi = lo + width;
+            for _ in 0..50 {
+                let x = rng.next_range(lo, hi);
+                prop_assert!((lo..hi).contains(&x), "{x} outside [{lo}, {hi})");
+            }
+        }
+
+        /// The f64 derivations preserve the 53-bit construction invariants.
+        #[test]
+        fn f64_constructions(seed in any::<u64>()) {
+            let mut rng = seeded(seed);
+            for _ in 0..100 {
+                let closed = rng.next_f64();
+                prop_assert!((0.0..1.0).contains(&closed));
+                let open = rng.next_f64_open();
+                prop_assert!(open > 0.0 && open <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Fisher–Yates shuffling and random permutations.
+//!
+//! Permutation-based SGD samples a permutation τ of `[m]` up front
+//! (Section 2 of the paper); these helpers are that sampling step.
+
+use crate::rng::Rng;
+
+/// Shuffles `items` in place with the Fisher–Yates algorithm (unbiased given
+/// an unbiased [`Rng::next_below`]).
+pub fn shuffle<T, R: Rng + ?Sized>(rng: &mut R, items: &mut [T]) {
+    let n = items.len();
+    for i in (1..n).rev() {
+        let j = rng.next_index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Returns a uniformly random permutation of `0..n`.
+pub fn random_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    shuffle(rng, &mut perm);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded;
+
+    fn is_permutation(perm: &[usize]) -> bool {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in perm {
+            if p >= n || seen[p] {
+                return false;
+            }
+            seen[p] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn permutation_is_valid() {
+        let mut rng = seeded(11);
+        for n in [0, 1, 2, 10, 1000] {
+            assert!(is_permutation(&random_permutation(&mut rng, n)));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = seeded(12);
+        let mut v: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let mut before = v.clone();
+        shuffle(&mut rng, &mut v);
+        before.sort_unstable();
+        let mut after = v.clone();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let mk = |seed| {
+            let mut rng = seeded(seed);
+            random_permutation(&mut rng, 50)
+        };
+        assert_eq!(mk(13), mk(13));
+        assert_ne!(mk(13), mk(14));
+    }
+
+    /// Each position should be roughly uniform over values: chi-square-style
+    /// sanity check on position 0 of a length-6 permutation.
+    #[test]
+    fn first_position_roughly_uniform() {
+        let mut rng = seeded(15);
+        let trials = 60_000;
+        let mut counts = [0u32; 6];
+        for _ in 0..trials {
+            let p = random_permutation(&mut rng, 6);
+            counts[p[0]] += 1;
+        }
+        let expect = trials as f64 / 6.0;
+        for &c in &counts {
+            assert!(((c as f64) - expect).abs() < 0.06 * expect, "count {c}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::seeded;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn random_permutation_always_valid(seed in any::<u64>(), n in 0usize..200) {
+            let mut rng = seeded(seed);
+            let perm = random_permutation(&mut rng, n);
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            let identity: Vec<usize> = (0..n).collect();
+            prop_assert_eq!(sorted, identity);
+        }
+
+        #[test]
+        fn shuffle_is_involution_free_but_multiset_safe(seed in any::<u64>(), mut v in proptest::collection::vec(any::<i32>(), 0..100)) {
+            let mut rng = seeded(seed);
+            let mut expected = v.clone();
+            shuffle(&mut rng, &mut v);
+            expected.sort_unstable();
+            v.sort_unstable();
+            prop_assert_eq!(v, expected);
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The training-set abstraction shared by in-memory data and the Bismarck
+//! storage engine.
+//!
+//! SGD only ever needs one access pattern: stream examples in a prescribed
+//! order. [`TrainSet::scan_order`] is a visitor so that a disk-backed
+//! implementation can pin a buffer-pool page only for the duration of each
+//! callback — no lifetimes escape the storage layer.
+
+/// A labeled example: dense features plus a label.
+///
+/// Binary classification uses labels in `{−1.0, +1.0}` throughout, matching
+/// the paper's logistic-loss formulation (Equation 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Example {
+    /// Dense feature vector (normalized to ‖x‖ ≤ 1 by the data layer).
+    pub features: Vec<f64>,
+    /// Class label (±1 for binary tasks; class index for multiclass sources).
+    pub label: f64,
+}
+
+/// An ordered training set that can stream examples in any prescribed order.
+pub trait TrainSet {
+    /// Number of examples `m`.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Streams examples in the order given by `order` (indices into
+    /// `0..len()`), invoking `visit(position_in_order, features, label)`.
+    ///
+    /// # Panics
+    /// Implementations panic if any index is out of bounds.
+    fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64));
+
+    /// Streams all examples in storage order.
+    fn scan(&self, visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        let order: Vec<usize> = (0..self.len()).collect();
+        self.scan_order(&order, visit);
+    }
+
+    /// Fetches one example by index (convenience for tests and metrics).
+    fn get(&self, index: usize) -> Example {
+        let mut out = None;
+        self.scan_order(&[index], &mut |_, x, y| {
+            out = Some(Example { features: x.to_vec(), label: y });
+        });
+        out.expect("scan_order must visit the requested index")
+    }
+}
+
+/// A plain in-memory training set: the flat feature matrix plus labels.
+#[derive(Clone, Debug)]
+pub struct InMemoryDataset {
+    features: Vec<f64>,
+    labels: Vec<f64>,
+    dim: usize,
+}
+
+impl InMemoryDataset {
+    /// Builds a dataset from a flat row-major feature buffer.
+    ///
+    /// # Panics
+    /// Panics if `features.len() != labels.len() * dim` or `dim == 0`.
+    pub fn from_flat(features: Vec<f64>, labels: Vec<f64>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(features.len(), labels.len() * dim, "feature buffer size mismatch");
+        Self { features, labels, dim }
+    }
+
+    /// Builds a dataset from per-example vectors.
+    ///
+    /// # Panics
+    /// Panics if examples have inconsistent dimensions or the set is empty.
+    pub fn from_examples(examples: &[Example]) -> Self {
+        assert!(!examples.is_empty(), "dataset must be non-empty");
+        let dim = examples[0].features.len();
+        let mut features = Vec::with_capacity(examples.len() * dim);
+        let mut labels = Vec::with_capacity(examples.len());
+        for ex in examples {
+            assert_eq!(ex.features.len(), dim, "inconsistent feature dimension");
+            features.extend_from_slice(&ex.features);
+            labels.push(ex.label);
+        }
+        Self { features, labels, dim }
+    }
+
+    /// Immutable view of example `i`'s features.
+    pub fn features_of(&self, i: usize) -> &[f64] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Label of example `i`.
+    pub fn label_of(&self, i: usize) -> f64 {
+        self.labels[i]
+    }
+
+    /// Replaces example `i` (used to build neighboring datasets in the
+    /// sensitivity tests).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or out-of-range index.
+    pub fn replace(&mut self, i: usize, features: &[f64], label: f64) {
+        assert_eq!(features.len(), self.dim, "dimension mismatch");
+        assert!(i < self.labels.len(), "index out of range");
+        self.features[i * self.dim..(i + 1) * self.dim].copy_from_slice(features);
+        self.labels[i] = label;
+    }
+
+    /// Returns a copy with example `i` replaced — a *neighboring dataset*
+    /// in the sense of Definition 5.
+    pub fn neighbor(&self, i: usize, features: &[f64], label: f64) -> Self {
+        let mut other = self.clone();
+        other.replace(i, features, label);
+        other
+    }
+
+    /// Splits into `parts` nearly equal contiguous portions (used by the
+    /// private tuning Algorithm 3, line 2).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0` or `parts > len`.
+    pub fn split(&self, parts: usize) -> Vec<InMemoryDataset> {
+        assert!(parts > 0 && parts <= self.len(), "invalid split arity");
+        let base = self.len() / parts;
+        let extra = self.len() % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 0..parts {
+            let size = base + usize::from(p < extra);
+            let features =
+                self.features[start * self.dim..(start + size) * self.dim].to_vec();
+            let labels = self.labels[start..start + size].to_vec();
+            out.push(InMemoryDataset::from_flat(features, labels, self.dim));
+            start += size;
+        }
+        out
+    }
+
+    /// Selects a subset of examples by index into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let mut features = Vec::with_capacity(indices.len() * self.dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.features_of(i));
+            labels.push(self.label_of(i));
+        }
+        InMemoryDataset::from_flat(features, labels, self.dim)
+    }
+}
+
+impl TrainSet for InMemoryDataset {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        for (pos, &i) in order.iter().enumerate() {
+            visit(pos, self.features_of(i), self.labels[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> InMemoryDataset {
+        InMemoryDataset::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![1.0, -1.0, 1.0], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.features_of(1), &[3.0, 4.0]);
+        assert_eq!(d.label_of(2), 1.0);
+    }
+
+    #[test]
+    fn scan_order_visits_in_order() {
+        let d = tiny();
+        let mut seen = Vec::new();
+        d.scan_order(&[2, 0], &mut |pos, x, y| seen.push((pos, x[0], y)));
+        assert_eq!(seen, vec![(0, 5.0, 1.0), (1, 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn default_scan_is_storage_order() {
+        let d = tiny();
+        let mut labels = Vec::new();
+        d.scan(&mut |_, _, y| labels.push(y));
+        assert_eq!(labels, vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let d = tiny();
+        let ex = d.get(1);
+        assert_eq!(ex.features, vec![3.0, 4.0]);
+        assert_eq!(ex.label, -1.0);
+    }
+
+    #[test]
+    fn neighbor_differs_in_exactly_one_example() {
+        let d = tiny();
+        let n = d.neighbor(1, &[9.0, 9.0], 1.0);
+        assert_eq!(n.features_of(0), d.features_of(0));
+        assert_eq!(n.features_of(2), d.features_of(2));
+        assert_eq!(n.features_of(1), &[9.0, 9.0]);
+        assert_eq!(n.label_of(1), 1.0);
+    }
+
+    #[test]
+    fn split_covers_everything() {
+        let d = InMemoryDataset::from_flat((0..20).map(f64::from).collect(), vec![1.0; 10], 2);
+        let parts = d.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), 10);
+        // Sizes are near-equal: 4, 3, 3.
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 3);
+        // First example of second part is example 4 of the original.
+        assert_eq!(parts[1].features_of(0), d.features_of(4));
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = tiny();
+        let s = d.subset(&[2, 2, 0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.features_of(0), d.features_of(2));
+        assert_eq!(s.features_of(2), d.features_of(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_flat_checks_shape() {
+        InMemoryDataset::from_flat(vec![1.0; 5], vec![1.0; 2], 2);
+    }
+
+    #[test]
+    fn from_examples_roundtrip() {
+        let exs = vec![
+            Example { features: vec![1.0, 0.0], label: 1.0 },
+            Example { features: vec![0.0, 1.0], label: -1.0 },
+        ];
+        let d = InMemoryDataset::from_examples(&exs);
+        assert_eq!(d.get(0), exs[0]);
+        assert_eq!(d.get(1), exs[1]);
+    }
+}
+
+/// A training set stored sparsely (one [`bolton_linalg::SparseVec`] per
+/// example), materialized into a reusable dense row buffer during scans.
+///
+/// The engine and every private algorithm see plain dense rows, so sparse
+/// storage is purely a memory/IO optimization — exactly how one-hot-encoded
+/// corpora like KDDCup-99 are best held.
+#[derive(Clone, Debug)]
+pub struct SparseDataset {
+    rows: Vec<bolton_linalg::SparseVec>,
+    labels: Vec<f64>,
+    dim: usize,
+}
+
+impl SparseDataset {
+    /// Builds a dataset from sparse rows and labels.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch, the set is empty, or any row's ambient
+    /// dimension differs.
+    pub fn new(rows: Vec<bolton_linalg::SparseVec>, labels: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(!rows.is_empty(), "dataset must be non-empty");
+        let dim = rows[0].dim();
+        assert!(dim > 0, "dimension must be positive");
+        for r in &rows {
+            assert_eq!(r.dim(), dim, "inconsistent row dimension");
+        }
+        Self { rows, labels, dim }
+    }
+
+    /// Converts from a dense dataset (keeping only nonzeros).
+    pub fn from_dense(data: &InMemoryDataset) -> Self {
+        let rows = (0..data.len())
+            .map(|i| bolton_linalg::SparseVec::from_dense(data.features_of(i)))
+            .collect();
+        let labels = (0..data.len()).map(|i| data.label_of(i)).collect();
+        Self::new(rows, labels)
+    }
+
+    /// Total stored nonzeros across all rows.
+    pub fn total_nnz(&self) -> usize {
+        self.rows.iter().map(bolton_linalg::SparseVec::nnz).sum()
+    }
+
+    /// The sparse row `i`.
+    pub fn row(&self, i: usize) -> &bolton_linalg::SparseVec {
+        &self.rows[i]
+    }
+}
+
+impl TrainSet for SparseDataset {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        let mut buf = vec![0.0; self.dim];
+        for (pos, &i) in order.iter().enumerate() {
+            self.rows[i].write_dense(&mut buf);
+            visit(pos, &buf, self.labels[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+    use bolton_rng::Rng as _;
+
+    fn dense() -> InMemoryDataset {
+        InMemoryDataset::from_flat(
+            vec![0.0, 2.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 3.0],
+            vec![1.0, -1.0, 1.0],
+            3,
+        )
+    }
+
+    #[test]
+    fn from_dense_preserves_everything() {
+        let d = dense();
+        let s = SparseDataset::from_dense(&d);
+        assert_eq!(s.len(), 3);
+        assert_eq!(TrainSet::dim(&s), 3);
+        assert_eq!(s.total_nnz(), 3);
+        for i in 0..3 {
+            assert_eq!(s.get(i), d.get(i));
+        }
+    }
+
+    #[test]
+    fn scan_order_matches_dense_scan() {
+        let d = dense();
+        let s = SparseDataset::from_dense(&d);
+        let order = [2usize, 0, 1];
+        let mut via_dense = Vec::new();
+        let mut via_sparse = Vec::new();
+        d.scan_order(&order, &mut |pos, x, y| via_dense.push((pos, x.to_vec(), y)));
+        s.scan_order(&order, &mut |pos, x, y| via_sparse.push((pos, x.to_vec(), y)));
+        assert_eq!(via_dense, via_sparse);
+    }
+
+    /// Training on sparse storage produces the identical model.
+    #[test]
+    fn sgd_on_sparse_equals_sgd_on_dense() {
+        use crate::engine::{run_with_orders, SgdConfig};
+        use crate::loss::Logistic;
+        use crate::schedule::StepSize;
+        let mut rng = bolton_rng::seeded(481);
+        let m = 60;
+        let dim = 8;
+        let mut features = Vec::with_capacity(m * dim);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            for j in 0..dim {
+                // ~70% sparsity.
+                features.push(if rng.next_bool(0.3) {
+                    rng.next_range(-0.3, 0.3)
+                } else {
+                    0.0
+                });
+                let _ = j;
+            }
+            labels.push(if rng.next_bool(0.5) { 1.0 } else { -1.0 });
+        }
+        let d = InMemoryDataset::from_flat(features, labels, dim);
+        let s = SparseDataset::from_dense(&d);
+        assert!(s.total_nnz() < m * dim / 2, "fixture should be sparse");
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3)).with_passes(2).with_batch_size(5);
+        let orders: Vec<Vec<usize>> = vec![(0..m).rev().collect(); 2];
+        let a = run_with_orders(&d, &loss, &config, &orders, &mut |_, _| {});
+        let b = run_with_orders(&s, &loss, &config, &orders, &mut |_, _| {});
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row dimension")]
+    fn mixed_dims_rejected() {
+        SparseDataset::new(
+            vec![
+                bolton_linalg::SparseVec::from_pairs(3, [(0, 1.0)]),
+                bolton_linalg::SparseVec::from_pairs(4, [(0, 1.0)]),
+            ],
+            vec![1.0, -1.0],
+        );
+    }
+}

@@ -1,0 +1,703 @@
+//! The permutation-based SGD engine.
+//!
+//! One update per mini-batch: `w ← Π_C(w − η_t·(mean-batch-gradient + hook
+//! noise))` (Equations 2 and 7 plus the mini-batch extension of
+//! Section 3.2.3). The engine is deliberately *black-box*: output
+//! perturbation never touches it, while SCS13/BST14 inject per-batch noise
+//! through the gradient hook — mirroring the integration difference that
+//! Figure 1 illustrates (bolting on at (B) vs. modifying the transition
+//! function at (C)).
+
+use crate::dataset::TrainSet;
+use crate::loss::Loss;
+use crate::schedule::StepSize;
+use bolton_linalg::vector;
+use bolton_rng::{random_permutation, Rng};
+
+/// Which iterate the engine returns (Lemma 10's model averaging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Averaging {
+    /// Return the final iterate `w_T`.
+    FinalIterate,
+    /// Return `(1/T)·Σ_t w_t` — the averaging used by the convergence
+    /// theorems (Lemma 12, Theorem 12).
+    Uniform,
+    /// Return the average of the last `⌈ln T⌉` iterates.
+    LastLog,
+}
+
+/// How example order is generated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingScheme {
+    /// Permutation-based SGD; optionally resample the permutation each pass
+    /// (the analysis covers both — Section 3.2.3 "Fresh Permutation").
+    Permutation {
+        /// Sample a new permutation at the start of every pass.
+        fresh_each_pass: bool,
+    },
+    /// Independent uniform sampling with replacement (ablation only: the
+    /// paper's sensitivity analysis does *not* cover this scheme).
+    WithReplacement,
+}
+
+/// Configuration for one SGD run.
+#[derive(Clone, Copy, Debug)]
+pub struct SgdConfig {
+    /// Number of passes `k` over the data.
+    pub passes: usize,
+    /// Mini-batch size `b`.
+    pub batch_size: usize,
+    /// Step-size schedule `η_t`.
+    pub step: StepSize,
+    /// Optional constrained optimization: project onto `‖w‖ ≤ R` after
+    /// every update.
+    pub projection_radius: Option<f64>,
+    /// Which iterate to return.
+    pub averaging: Averaging,
+    /// Example ordering.
+    pub sampling: SamplingScheme,
+    /// Optional early-stop tolerance µ: after each pass the mean training
+    /// loss is measured, and the run stops once the relative decrease falls
+    /// below µ (the paper's "oblivious k" strategy for the strongly convex
+    /// case, Section 4.3).
+    pub tolerance: Option<f64>,
+}
+
+impl SgdConfig {
+    /// A single-pass, batch-1, final-iterate configuration with the given
+    /// schedule — the baseline everything else builds on.
+    pub fn new(step: StepSize) -> Self {
+        Self {
+            passes: 1,
+            batch_size: 1,
+            step,
+            projection_radius: None,
+            averaging: Averaging::FinalIterate,
+            sampling: SamplingScheme::Permutation { fresh_each_pass: false },
+            tolerance: None,
+        }
+    }
+
+    /// Sets the number of passes.
+    pub fn with_passes(mut self, k: usize) -> Self {
+        self.passes = k;
+        self
+    }
+
+    /// Sets the mini-batch size.
+    pub fn with_batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b;
+        self
+    }
+
+    /// Enables projected SGD on the L2 ball of the given radius.
+    pub fn with_projection(mut self, radius: f64) -> Self {
+        self.projection_radius = Some(radius);
+        self
+    }
+
+    /// Sets the averaging mode.
+    pub fn with_averaging(mut self, averaging: Averaging) -> Self {
+        self.averaging = averaging;
+        self
+    }
+
+    /// Sets the sampling scheme.
+    pub fn with_sampling(mut self, sampling: SamplingScheme) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Enables the early-stop tolerance.
+    pub fn with_tolerance(mut self, mu: f64) -> Self {
+        self.tolerance = Some(mu);
+        self
+    }
+
+    fn validate(&self, m: usize) {
+        assert!(self.passes >= 1, "at least one pass is required");
+        assert!(self.batch_size >= 1, "batch size must be >= 1");
+        assert!(m >= 1, "dataset must be non-empty");
+        if let Some(r) = self.projection_radius {
+            assert!(r.is_finite() && r > 0.0, "projection radius must be finite and > 0");
+        }
+        if let Some(mu) = self.tolerance {
+            assert!(mu >= 0.0 && mu.is_finite(), "tolerance must be finite and >= 0");
+        }
+    }
+}
+
+/// The result of an SGD run.
+#[derive(Clone, Debug)]
+pub struct SgdOutcome {
+    /// The returned model (per the configured [`Averaging`]).
+    pub model: Vec<f64>,
+    /// Total number of mini-batch updates performed.
+    pub updates: u64,
+    /// Number of passes actually completed (< `passes` if tolerance fired).
+    pub passes_completed: usize,
+    /// Mean training loss after each completed pass (populated only when a
+    /// tolerance is configured, since it costs an extra scan per pass).
+    pub epoch_losses: Vec<f64>,
+}
+
+/// Number of mini-batch updates a single pass performs: `⌈m/b⌉`.
+pub fn batches_per_pass(m: usize, batch_size: usize) -> usize {
+    m.div_ceil(batch_size)
+}
+
+/// A *balanced* mini-batch partition of one pass: `⌈m/b⌉` batches whose
+/// sizes differ by at most one.
+///
+/// The naive "flush every b rows" partition leaves a final batch of
+/// `m mod b` rows; since the mini-batch sensitivity improvement divides by
+/// the *smallest* batch containing the differing example, a 2-row tail
+/// batch would silently forfeit almost the whole ÷b benefit (the paper
+/// sidesteps this by assuming `b | m`). Balancing restores the benefit for
+/// every `m`: the smallest batch is `⌊m/⌈m/b⌉⌋ ≥ ⌊b/2⌋ + 1`.
+///
+/// ```
+/// use bolton_sgd::engine::BatchPlan;
+/// let plan = BatchPlan::new(103, 10);
+/// assert_eq!(plan.batches, 11);
+/// assert_eq!(plan.min_size(), 9); // not the 3-row tail a naive split leaves
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Number of batches per pass.
+    pub batches: usize,
+    /// The first `big_count` batches have `small_size + 1` rows.
+    big_count: usize,
+    /// Size of the later (smaller) batches.
+    small_size: usize,
+}
+
+impl BatchPlan {
+    /// Plans one pass over `m` examples at nominal batch size `b`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `b == 0`.
+    pub fn new(m: usize, b: usize) -> Self {
+        assert!(m > 0 && b > 0, "batch plan needs positive m and b");
+        let b = b.min(m);
+        let batches = m.div_ceil(b);
+        let small_size = m / batches;
+        let big_count = m % batches;
+        Self { batches, big_count, small_size }
+    }
+
+    /// Size of batch `idx` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `idx >= batches`.
+    pub fn size_of(&self, idx: usize) -> usize {
+        assert!(idx < self.batches, "batch index out of range");
+        self.small_size + usize::from(idx < self.big_count)
+    }
+
+    /// The smallest batch size in the partition — the sound mini-batch
+    /// divisor for the sensitivity bounds.
+    pub fn min_size(&self) -> usize {
+        self.small_size
+    }
+
+    /// Which batch the example at in-pass position `pos` falls into.
+    ///
+    /// # Panics
+    /// Panics if `pos` is beyond the pass.
+    pub fn batch_of_position(&self, pos: usize) -> usize {
+        let big = self.small_size + 1;
+        let split = self.big_count * big;
+        if pos < split {
+            pos / big
+        } else {
+            let idx = self.big_count + (pos - split) / self.small_size;
+            assert!(idx < self.batches, "position out of range");
+            idx
+        }
+    }
+}
+
+/// Runs PSGD with randomness drawn from `rng` and no gradient hook.
+pub fn run_psgd<D, R>(data: &D, loss: &dyn Loss, config: &SgdConfig, rng: &mut R) -> SgdOutcome
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    run_psgd_with_hook(data, loss, config, rng, |_, _| {})
+}
+
+/// Runs PSGD, applying `hook(t, grad)` to every mean mini-batch gradient
+/// before the update — the injection point used by SCS13 and BST14.
+pub fn run_psgd_with_hook<D, R>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    rng: &mut R,
+    mut hook: impl FnMut(u64, &mut [f64]),
+) -> SgdOutcome
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    config.validate(m);
+    let orders = sample_orders(config, m, rng);
+    run_with_orders(data, loss, config, &orders, &mut hook)
+}
+
+fn sample_orders<R: Rng + ?Sized>(config: &SgdConfig, m: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    match config.sampling {
+        SamplingScheme::Permutation { fresh_each_pass } => {
+            if fresh_each_pass {
+                (0..config.passes).map(|_| random_permutation(rng, m)).collect()
+            } else {
+                let perm = random_permutation(rng, m);
+                vec![perm; config.passes]
+            }
+        }
+        SamplingScheme::WithReplacement => (0..config.passes)
+            .map(|_| (0..m).map(|_| rng.next_index(m)).collect())
+            .collect(),
+    }
+}
+
+/// Runs SGD over explicitly provided per-pass orders (`orders.len()` must
+/// equal `config.passes`). This is the deterministic core used by the
+/// sensitivity tests, which must replay *identical randomness* on
+/// neighboring datasets (the "randomness one at a time" argument of
+/// Lemma 5).
+///
+/// # Panics
+/// Panics if `orders.len() != config.passes`, any order's length differs
+/// from `data.len()`, or any index is out of bounds.
+pub fn run_with_orders<D>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    orders: &[Vec<usize>],
+    hook: &mut dyn FnMut(u64, &mut [f64]),
+) -> SgdOutcome
+where
+    D: TrainSet + ?Sized,
+{
+    let m = data.len();
+    let d = data.dim();
+    config.validate(m);
+    assert_eq!(orders.len(), config.passes, "one order per pass is required");
+    for order in orders {
+        assert_eq!(order.len(), m, "order length must equal dataset size");
+    }
+
+    let b = config.batch_size.min(m);
+    let plan = BatchPlan::new(m, b);
+    let updates_per_pass = plan.batches as u64;
+    let total_updates = updates_per_pass * config.passes as u64;
+    // ⌈ln T⌉ window for LastLog averaging, at least 1.
+    let tail_window = ((total_updates as f64).ln().ceil() as u64).max(1);
+    let tail_start = total_updates.saturating_sub(tail_window) + 1;
+
+    let mut w = vec![0.0; d];
+    let mut grad = vec![0.0; d];
+    let mut avg = vec![0.0; d];
+    let mut averaged_count = 0u64;
+    let mut t: u64 = 0;
+    let mut epoch_losses = Vec::new();
+    let mut passes_completed = 0usize;
+
+    for order in orders {
+        let mut batch_len = 0usize;
+        let mut batch_idx = 0usize;
+        // One pass: stream examples in permuted order, flushing an update
+        // at each balanced-partition boundary.
+        data.scan_order(order, &mut |_pos, x, y| {
+            loss.add_gradient(&w, x, y, &mut grad);
+            batch_len += 1;
+            if batch_len == plan.size_of(batch_idx) {
+                batch_idx += 1;
+                t += 1;
+                vector::scale(1.0 / batch_len as f64, &mut grad);
+                hook(t, &mut grad);
+                let eta = config.step.eta(t);
+                vector::axpy(-eta, &grad, &mut w);
+                if let Some(r) = config.projection_radius {
+                    vector::project_l2_ball(&mut w, r);
+                }
+                match config.averaging {
+                    Averaging::FinalIterate => {}
+                    Averaging::Uniform => {
+                        vector::axpy(1.0, &w, &mut avg);
+                        averaged_count += 1;
+                    }
+                    Averaging::LastLog => {
+                        if t >= tail_start {
+                            vector::axpy(1.0, &w, &mut avg);
+                            averaged_count += 1;
+                        }
+                    }
+                }
+                vector::fill_zero(&mut grad);
+                batch_len = 0;
+            }
+        });
+        passes_completed += 1;
+
+        if let Some(mu) = config.tolerance {
+            let cur = crate::metrics::empirical_risk(loss, &w, data);
+            let stop = epoch_losses.last().is_some_and(|&prev: &f64| {
+                prev.abs() > 0.0 && (prev - cur) / prev.abs() < mu
+            });
+            epoch_losses.push(cur);
+            if stop {
+                break;
+            }
+        }
+    }
+
+    let model = match config.averaging {
+        Averaging::FinalIterate => w,
+        Averaging::Uniform | Averaging::LastLog => {
+            assert!(averaged_count > 0, "no iterates were averaged");
+            vector::scale(1.0 / averaged_count as f64, &mut avg);
+            avg
+        }
+    };
+
+    SgdOutcome { model, updates: t, passes_completed, epoch_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+    use crate::loss::{LeastSquares, Logistic};
+    use bolton_rng::seeded;
+
+    /// A linearly separable 2-D toy problem: y = sign(x₀).
+    fn separable(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-1.0, 1.0);
+            let x1 = rng.next_range(-0.2, 0.2);
+            features.push(x0 * 0.7);
+            features.push(x1);
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    #[test]
+    fn sgd_learns_separable_problem() {
+        let data = separable(500, 71);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.5)).with_passes(5);
+        let mut rng = seeded(72);
+        let out = run_psgd(&data, &loss, &config, &mut rng);
+        let acc = crate::metrics::accuracy(&out.model, &data);
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert_eq!(out.updates, 2500);
+        assert_eq!(out.passes_completed, 5);
+    }
+
+    #[test]
+    fn batch_updates_count() {
+        let data = separable(103, 73);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.1)).with_passes(2).with_batch_size(10);
+        let mut rng = seeded(74);
+        let out = run_psgd(&data, &loss, &config, &mut rng);
+        // ⌈103/10⌉ = 11 updates per pass.
+        assert_eq!(out.updates, 22);
+    }
+
+    #[test]
+    fn projection_keeps_model_in_ball() {
+        let data = separable(200, 75);
+        let loss = Logistic::regularized(0.1, 0.5);
+        let config = SgdConfig::new(StepSize::Constant(1.0)).with_passes(5).with_projection(0.5);
+        let mut rng = seeded(76);
+        let out = run_psgd(&data, &loss, &config, &mut rng);
+        assert!(vector::norm(&out.model) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn uniform_averaging_returns_mean_of_iterates() {
+        // With least squares on one example and constant step, iterates are
+        // predictable: check the average equals the manual computation.
+        let data = InMemoryDataset::from_flat(vec![1.0], vec![1.0], 1);
+        let loss = LeastSquares::new(10.0);
+        let config = SgdConfig::new(StepSize::Constant(0.5))
+            .with_passes(3)
+            .with_averaging(Averaging::Uniform);
+        let mut rng = seeded(77);
+        let out = run_psgd(&data, &loss, &config, &mut rng);
+        // w₀=0; update: w ← w − 0.5(w−1) = 0.5w + 0.5 ⇒ iterates 0.5, 0.75, 0.875.
+        let expect = (0.5 + 0.75 + 0.875) / 3.0;
+        assert!((out.model[0] - expect).abs() < 1e-12, "got {}", out.model[0]);
+    }
+
+    #[test]
+    fn final_iterate_differs_from_average() {
+        let data = separable(100, 78);
+        let loss = Logistic::plain();
+        let mut rng_a = seeded(79);
+        let mut rng_b = seeded(79);
+        let base = SgdConfig::new(StepSize::Constant(0.5)).with_passes(2);
+        let fin = run_psgd(&data, &loss, &base, &mut rng_a);
+        let avg = run_psgd(
+            &data,
+            &loss,
+            &base.with_averaging(Averaging::Uniform),
+            &mut rng_b,
+        );
+        assert_ne!(fin.model, avg.model);
+    }
+
+    #[test]
+    fn hook_sees_every_update() {
+        let data = separable(50, 80);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.1)).with_passes(3).with_batch_size(7);
+        let mut rng = seeded(81);
+        let mut ts = Vec::new();
+        let out = run_psgd_with_hook(&data, &loss, &config, &mut rng, |t, _| ts.push(t));
+        assert_eq!(ts.len() as u64, out.updates);
+        let expected: Vec<u64> = (1..=out.updates).collect();
+        assert_eq!(ts, expected);
+    }
+
+    #[test]
+    fn hook_noise_changes_outcome() {
+        let data = separable(100, 82);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.1)).with_passes(1);
+        let mut rng_a = seeded(83);
+        let mut rng_b = seeded(83);
+        let clean = run_psgd(&data, &loss, &config, &mut rng_a);
+        let noisy =
+            run_psgd_with_hook(&data, &loss, &config, &mut rng_b, |_, g| g[0] += 1.0);
+        assert_ne!(clean.model, noisy.model);
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let data = separable(100, 84);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::InvSqrtT).with_passes(2);
+        let a = run_psgd(&data, &loss, &config, &mut seeded(85));
+        let b = run_psgd(&data, &loss, &config, &mut seeded(85));
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn fresh_permutations_change_trajectory() {
+        let data = separable(100, 86);
+        let loss = Logistic::plain();
+        let single = SgdConfig::new(StepSize::Constant(0.3)).with_passes(3);
+        let fresh = single.with_sampling(SamplingScheme::Permutation { fresh_each_pass: true });
+        let a = run_psgd(&data, &loss, &single, &mut seeded(87));
+        let b = run_psgd(&data, &loss, &fresh, &mut seeded(87));
+        assert_ne!(a.model, b.model);
+    }
+
+    #[test]
+    fn with_replacement_runs() {
+        let data = separable(100, 88);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3))
+            .with_passes(3)
+            .with_sampling(SamplingScheme::WithReplacement);
+        let out = run_psgd(&data, &loss, &config, &mut seeded(89));
+        assert!(crate::metrics::accuracy(&out.model, &data) > 0.9);
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let data = separable(200, 90);
+        let loss = Logistic::regularized(0.1, 10.0);
+        let config = SgdConfig::new(StepSize::StronglyConvex { beta: 1.1, gamma: 0.1 })
+            .with_passes(50)
+            .with_tolerance(0.05);
+        let out = run_psgd(&data, &loss, &config, &mut seeded(91));
+        assert!(out.passes_completed < 50, "should stop early, ran {}", out.passes_completed);
+        assert_eq!(out.epoch_losses.len(), out.passes_completed);
+        // Losses should be decreasing up to the stop.
+        for pair in out.epoch_losses.windows(2) {
+            assert!(pair[1] <= pair[0] * 1.001, "loss increased: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn run_with_orders_is_deterministic_given_orders() {
+        let data = separable(60, 92);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.2)).with_passes(2);
+        let orders: Vec<Vec<usize>> = vec![(0..60).rev().collect(), (0..60).collect()];
+        let a = run_with_orders(&data, &loss, &config, &orders, &mut |_, _| {});
+        let b = run_with_orders(&data, &loss, &config, &orders, &mut |_, _| {});
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    #[should_panic(expected = "one order per pass")]
+    fn order_arity_checked() {
+        let data = separable(10, 93);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.2)).with_passes(2);
+        run_with_orders(&data, &loss, &config, &[(0..10).collect()], &mut |_, _| {});
+    }
+
+    #[test]
+    fn batch_size_larger_than_dataset_is_full_batch() {
+        let data = separable(10, 94);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.2)).with_batch_size(1000);
+        let out = run_psgd(&data, &loss, &config, &mut seeded(95));
+        assert_eq!(out.updates, 1);
+    }
+
+    #[test]
+    fn last_log_averaging_differs_from_both() {
+        let data = separable(300, 96);
+        let loss = Logistic::plain();
+        let run_mode = |avg: Averaging| {
+            let config =
+                SgdConfig::new(StepSize::Constant(0.4)).with_passes(3).with_averaging(avg);
+            run_psgd(&data, &loss, &config, &mut seeded(97)).model
+        };
+        let fin = run_mode(Averaging::FinalIterate);
+        let uni = run_mode(Averaging::Uniform);
+        let log = run_mode(Averaging::LastLog);
+        assert_ne!(fin, uni);
+        assert_ne!(uni, log);
+        // The last-log window hugs the final iterate far closer than the
+        // all-iterates average does.
+        let d_log = vector::distance(&fin, &log);
+        let d_uni = vector::distance(&fin, &uni);
+        assert!(d_log < d_uni, "‖fin−log‖ = {d_log} !< ‖fin−uni‖ = {d_uni}");
+    }
+}
+
+#[cfg(test)]
+mod batch_plan_tests {
+    use super::BatchPlan;
+
+    #[test]
+    fn exact_division() {
+        let plan = BatchPlan::new(100, 10);
+        assert_eq!(plan.batches, 10);
+        assert_eq!(plan.min_size(), 10);
+        for i in 0..10 {
+            assert_eq!(plan.size_of(i), 10);
+        }
+    }
+
+    #[test]
+    fn balanced_remainder() {
+        // 103 rows at b = 10: 11 batches, 4 of 10 and 7 of 9.
+        let plan = BatchPlan::new(103, 10);
+        assert_eq!(plan.batches, 11);
+        let sizes: Vec<usize> = (0..plan.batches).map(|i| plan.size_of(i)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert_eq!(sizes.iter().max(), Some(&10));
+        assert_eq!(sizes.iter().min(), Some(&9));
+        assert_eq!(plan.min_size(), 9);
+        // Sizes are non-increasing (big batches first).
+        for pair in sizes.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn batch_bigger_than_m() {
+        let plan = BatchPlan::new(7, 100);
+        assert_eq!(plan.batches, 1);
+        assert_eq!(plan.size_of(0), 7);
+        assert_eq!(plan.min_size(), 7);
+    }
+
+    #[test]
+    fn batch_of_position_matches_partition() {
+        for (m, b) in [(103usize, 10usize), (100, 10), (7, 3), (50, 50), (11, 4)] {
+            let plan = BatchPlan::new(m, b);
+            let mut pos = 0usize;
+            for batch in 0..plan.batches {
+                for _ in 0..plan.size_of(batch) {
+                    assert_eq!(
+                        plan.batch_of_position(pos),
+                        batch,
+                        "m={m}, b={b}, pos={pos}"
+                    );
+                    pos += 1;
+                }
+            }
+            assert_eq!(pos, m);
+        }
+    }
+
+    #[test]
+    fn min_size_never_below_half_b() {
+        // The balanced partition's guarantee: min ≥ ⌊b/2⌋ (hence ÷b within 2×).
+        for m in 1..400usize {
+            for b in 1..=40usize {
+                let plan = BatchPlan::new(m, b);
+                let b_eff = b.min(m);
+                assert!(
+                    2 * plan.min_size() + 1 >= b_eff,
+                    "m={m}, b={b}: min {} too small",
+                    plan.min_size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive m and b")]
+    fn zero_m_panics() {
+        BatchPlan::new(0, 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The partition always covers exactly m rows with sizes within one
+        /// of each other.
+        #[test]
+        fn batch_plan_is_balanced_cover(m in 1usize..2000, b in 1usize..100) {
+            let plan = BatchPlan::new(m, b);
+            let sizes: Vec<usize> = (0..plan.batches).map(|i| plan.size_of(i)).collect();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), m);
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "max {max}, min {min}");
+            prop_assert_eq!(min, plan.min_size());
+            prop_assert_eq!(plan.batches, m.div_ceil(b.min(m)));
+        }
+
+        /// The engine performs exactly plan.batches updates per pass,
+        /// regardless of (m, b).
+        #[test]
+        fn engine_update_count_matches_plan(m in 1usize..200, b in 1usize..40, k in 1usize..4) {
+            let data = {
+                // Deterministic fixture; contents are irrelevant to the
+                // update-count property under test.
+                let features: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+                let labels: Vec<f64> =
+                    (0..m).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+                crate::dataset::InMemoryDataset::from_flat(features, labels, 1)
+            };
+            let loss = crate::loss::Logistic::plain();
+            let config =
+                SgdConfig::new(StepSize::Constant(0.1)).with_passes(k).with_batch_size(b);
+            let out = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(4243));
+            let plan = BatchPlan::new(m, b);
+            prop_assert_eq!(out.updates, (plan.batches * k) as u64);
+        }
+    }
+}

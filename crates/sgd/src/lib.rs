@@ -1,0 +1,34 @@
+//! Permutation-based stochastic gradient descent (PSGD), the non-private
+//! optimization substrate of the paper (Section 2).
+//!
+//! * [`dataset`] — the [`dataset::TrainSet`] scan abstraction shared by
+//!   in-memory datasets and the Bismarck storage engine.
+//! * [`loss`] — convex losses with their (L, β, γ) constants: L2-regularized
+//!   logistic regression (the paper's running example), Huber SVM
+//!   (Appendix B), and least squares.
+//! * [`schedule`] — every step-size rule in Table 4 plus the corollaries'
+//!   decreasing and square-root schedules.
+//! * [`engine`] — mini-batch projected PSGD with model averaging, fresh
+//!   permutations, with-replacement ablation, per-batch gradient hooks (how
+//!   SCS13/BST14 inject their white-box noise), and convergence tolerance.
+//! * [`growth`] — the Lemma 4 growth recursion replayed analytically, used
+//!   to cross-check the closed-form sensitivity bounds.
+//! * [`metrics`] — test accuracy / empirical risk used across the harness.
+
+pub mod dataset;
+pub mod engine;
+pub mod growth;
+pub mod loss;
+pub mod metrics;
+pub mod parallel;
+pub mod sag;
+pub mod schedule;
+pub mod svrg;
+
+pub use dataset::{InMemoryDataset, SparseDataset, TrainSet};
+pub use engine::{run_psgd, Averaging, SamplingScheme, SgdConfig, SgdOutcome};
+pub use loss::{HuberSvm, LeastSquares, Logistic, Loss};
+pub use parallel::run_parallel_psgd;
+pub use sag::run_sag;
+pub use svrg::run_svrg;
+pub use schedule::StepSize;

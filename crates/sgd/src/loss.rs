@@ -1,0 +1,601 @@
+//! Convex loss functions with their optimization constants.
+//!
+//! Each loss carries the triple (L, β, γ) — Lipschitz, smoothness, strong
+//! convexity — derived exactly as in Section 2 of the paper under the
+//! standing assumptions `‖x‖ ≤ 1` and (when λ > 0) `‖w‖ ≤ R`:
+//!
+//! | loss | L | β | γ |
+//! |---|---|---|---|
+//! | logistic, λ=0 | 1 | 1 | 0 |
+//! | logistic, λ>0 | 1+λR | 1+λ | λ |
+//! | Huber SVM, λ=0 | 1 | 1/(2h) | 0 |
+//! | Huber SVM, λ>0 | 1+λR | 1/(2h)+λ | λ |
+//! | least squares, λ=0 | 1+R | 1 | 0 |
+//! | least squares, λ>0 | 1+R+λR | 1+λ | λ |
+
+/// A per-example convex loss `ℓ(w; (x, y))` with known constants.
+pub trait Loss {
+    /// Loss value at `w` on example `(x, y)`.
+    fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64;
+
+    /// Accumulates `∇ℓ(w; (x, y))` into `grad` (adds, does not overwrite, so
+    /// mini-batches can share one buffer).
+    fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]);
+
+    /// Lipschitz constant L (bound on `‖∇ℓ‖`).
+    fn lipschitz(&self) -> f64;
+
+    /// Smoothness constant β (bound on `‖H(ℓ)‖`).
+    fn smoothness(&self) -> f64;
+
+    /// Strong-convexity modulus γ (0 for merely convex losses).
+    fn strong_convexity(&self) -> f64;
+
+    /// The L2-regularization coefficient λ baked into this loss.
+    fn lambda(&self) -> f64;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether the loss is strongly convex (γ > 0).
+    fn is_strongly_convex(&self) -> bool {
+        self.strong_convexity() > 0.0
+    }
+}
+
+/// Numerically stable `ln(1 + e^t)`.
+#[inline]
+fn log1p_exp(t: f64) -> f64 {
+    if t > 0.0 {
+        t + (-t).exp().ln_1p()
+    } else {
+        t.exp().ln_1p()
+    }
+}
+
+/// Numerically stable logistic sigmoid `1/(1 + e^{−t})`.
+#[inline]
+fn sigmoid(t: f64) -> f64 {
+    if t >= 0.0 {
+        1.0 / (1.0 + (-t).exp())
+    } else {
+        let e = t.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn check_reg(lambda: f64, radius: f64) {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0");
+    if lambda > 0.0 {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "strong convexity (lambda > 0) requires a finite hypothesis radius R"
+        );
+    }
+}
+
+/// L2-regularized logistic regression (paper Equation 1):
+/// `ℓ(w, (x, y)) = ln(1 + exp(−y⟨w, x⟩)) + (λ/2)‖w‖²`.
+#[derive(Clone, Copy, Debug)]
+pub struct Logistic {
+    lambda: f64,
+    radius: f64,
+}
+
+impl Logistic {
+    /// Plain (unregularized, merely convex) logistic loss.
+    pub fn plain() -> Self {
+        Self { lambda: 0.0, radius: f64::INFINITY }
+    }
+
+    /// λ-regularized logistic loss over the ball `‖w‖ ≤ radius`.
+    ///
+    /// # Panics
+    /// Panics if λ < 0, or λ > 0 without a finite positive radius.
+    pub fn regularized(lambda: f64, radius: f64) -> Self {
+        check_reg(lambda, radius);
+        Self { lambda, radius }
+    }
+}
+
+impl Loss for Logistic {
+    fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64 {
+        let z = bolton_linalg::vector::dot(w, x);
+        log1p_exp(-y * z) + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
+    }
+
+    fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]) {
+        let z = bolton_linalg::vector::dot(w, x);
+        // ∇ = −y·σ(−y z)·x + λw
+        let coeff = -y * sigmoid(-y * z);
+        bolton_linalg::vector::axpy(coeff, x, grad);
+        if self.lambda > 0.0 {
+            bolton_linalg::vector::axpy(self.lambda, w, grad);
+        }
+    }
+
+    fn lipschitz(&self) -> f64 {
+        if self.lambda == 0.0 {
+            1.0
+        } else {
+            1.0 + self.lambda * self.radius
+        }
+    }
+
+    fn smoothness(&self) -> f64 {
+        1.0 + self.lambda
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.lambda
+    }
+
+    fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    fn name(&self) -> &'static str {
+        "logistic"
+    }
+}
+
+/// Huber-smoothed SVM loss (Appendix B), parameterized by half-width `h`:
+///
+/// ```text
+///            ⎧ 0                       z > 1 + h
+/// ℓ_huber =  ⎨ (1 + h − z)²/(4h)       |1 − z| ≤ h     where z = y⟨w, x⟩
+///            ⎩ 1 − z                   z < 1 − h
+/// ```
+/// plus `(λ/2)‖w‖²`.
+#[derive(Clone, Copy, Debug)]
+pub struct HuberSvm {
+    h: f64,
+    lambda: f64,
+    radius: f64,
+}
+
+impl HuberSvm {
+    /// Unregularized Huber SVM with smoothing half-width `h` (paper uses 0.1).
+    ///
+    /// # Panics
+    /// Panics unless `0 < h <= 1`.
+    pub fn plain(h: f64) -> Self {
+        Self::regularized(h, 0.0, f64::INFINITY)
+    }
+
+    /// λ-regularized Huber SVM over the ball `‖w‖ ≤ radius`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < h <= 1`; see [`Logistic::regularized`] for λ rules.
+    pub fn regularized(h: f64, lambda: f64, radius: f64) -> Self {
+        assert!(h > 0.0 && h <= 1.0, "huber half-width must be in (0, 1]");
+        check_reg(lambda, radius);
+        Self { h, lambda, radius }
+    }
+
+    /// The smoothing half-width.
+    pub fn half_width(&self) -> f64 {
+        self.h
+    }
+}
+
+impl Loss for HuberSvm {
+    fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64 {
+        let z = y * bolton_linalg::vector::dot(w, x);
+        let hinge = if z > 1.0 + self.h {
+            0.0
+        } else if z < 1.0 - self.h {
+            1.0 - z
+        } else {
+            let t = 1.0 + self.h - z;
+            t * t / (4.0 * self.h)
+        };
+        hinge + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
+    }
+
+    fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]) {
+        let z = y * bolton_linalg::vector::dot(w, x);
+        let dz = if z > 1.0 + self.h {
+            0.0
+        } else if z < 1.0 - self.h {
+            -1.0
+        } else {
+            -(1.0 + self.h - z) / (2.0 * self.h)
+        };
+        if dz != 0.0 {
+            bolton_linalg::vector::axpy(dz * y, x, grad);
+        }
+        if self.lambda > 0.0 {
+            bolton_linalg::vector::axpy(self.lambda, w, grad);
+        }
+    }
+
+    fn lipschitz(&self) -> f64 {
+        if self.lambda == 0.0 {
+            1.0
+        } else {
+            1.0 + self.lambda * self.radius
+        }
+    }
+
+    fn smoothness(&self) -> f64 {
+        1.0 / (2.0 * self.h) + self.lambda
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.lambda
+    }
+
+    fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    fn name(&self) -> &'static str {
+        "huber-svm"
+    }
+}
+
+/// Squared loss `½(⟨w, x⟩ − y)² + (λ/2)‖w‖²` for |y| ≤ 1, used by the
+/// regression example and as a third convex workload in tests.
+#[derive(Clone, Copy, Debug)]
+pub struct LeastSquares {
+    lambda: f64,
+    radius: f64,
+}
+
+impl LeastSquares {
+    /// Unregularized least squares over the ball `‖w‖ ≤ radius` (the radius
+    /// is required even at λ = 0 because the Lipschitz constant depends on
+    /// it: `L = R + 1`).
+    ///
+    /// # Panics
+    /// Panics unless `radius` is finite and positive.
+    pub fn new(radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "least squares requires a finite radius");
+        Self { lambda: 0.0, radius }
+    }
+
+    /// λ-regularized least squares over the ball `‖w‖ ≤ radius`.
+    pub fn regularized(lambda: f64, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "least squares requires a finite radius");
+        check_reg(lambda, radius);
+        Self { lambda, radius }
+    }
+}
+
+impl Loss for LeastSquares {
+    fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64 {
+        let r = bolton_linalg::vector::dot(w, x) - y;
+        0.5 * r * r + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
+    }
+
+    fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]) {
+        let r = bolton_linalg::vector::dot(w, x) - y;
+        bolton_linalg::vector::axpy(r, x, grad);
+        if self.lambda > 0.0 {
+            bolton_linalg::vector::axpy(self.lambda, w, grad);
+        }
+    }
+
+    fn lipschitz(&self) -> f64 {
+        self.radius + 1.0 + self.lambda * self.radius
+    }
+
+    fn smoothness(&self) -> f64 {
+        1.0 + self.lambda
+    }
+
+    fn strong_convexity(&self) -> f64 {
+        self.lambda
+    }
+
+    fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    fn name(&self) -> &'static str {
+        "least-squares"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bolton_linalg::vector::norm;
+
+    /// Central-difference check of `add_gradient` against `value`.
+    fn check_gradient(loss: &dyn Loss, w: &[f64], x: &[f64], y: f64) {
+        let d = w.len();
+        let mut grad = vec![0.0; d];
+        loss.add_gradient(w, x, y, &mut grad);
+        let eps = 1e-6;
+        for i in 0..d {
+            let mut wp = w.to_vec();
+            let mut wm = w.to_vec();
+            wp[i] += eps;
+            wm[i] -= eps;
+            let numeric = (loss.value(&wp, x, y) - loss.value(&wm, x, y)) / (2.0 * eps);
+            assert!(
+                (grad[i] - numeric).abs() < 1e-5,
+                "{}: coord {i}: analytic {} vs numeric {numeric}",
+                loss.name(),
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_difference() {
+        let loss = Logistic::regularized(0.01, 10.0);
+        check_gradient(&loss, &[0.3, -0.5, 0.1], &[0.5, 0.5, -0.2], 1.0);
+        check_gradient(&loss, &[0.3, -0.5, 0.1], &[0.5, 0.5, -0.2], -1.0);
+        check_gradient(&Logistic::plain(), &[2.0, -1.0, 0.0], &[0.1, 0.9, 0.0], -1.0);
+    }
+
+    #[test]
+    fn huber_gradient_matches_finite_difference_all_branches() {
+        let loss = HuberSvm::regularized(0.1, 0.001, 100.0);
+        // z > 1+h (flat), |1−z| <= h (quadratic), z < 1−h (linear).
+        check_gradient(&loss, &[2.0, 0.0], &[1.0, 0.0], 1.0); // z = 2 > 1.1
+        check_gradient(&loss, &[1.0, 0.0], &[1.0, 0.0], 1.0); // z = 1, inside band
+        check_gradient(&loss, &[-1.0, 0.0], &[1.0, 0.0], 1.0); // z = −1 < 0.9
+    }
+
+    #[test]
+    fn least_squares_gradient_matches_finite_difference() {
+        let loss = LeastSquares::regularized(0.05, 5.0);
+        check_gradient(&loss, &[0.5, -0.25], &[0.8, 0.6], 0.7);
+    }
+
+    #[test]
+    fn logistic_constants_match_paper() {
+        let plain = Logistic::plain();
+        assert_eq!(plain.lipschitz(), 1.0);
+        assert_eq!(plain.smoothness(), 1.0);
+        assert_eq!(plain.strong_convexity(), 0.0);
+        assert!(!plain.is_strongly_convex());
+
+        let lambda = 0.0001;
+        let radius = 1.0 / lambda;
+        let reg = Logistic::regularized(lambda, radius);
+        assert!((reg.lipschitz() - 2.0).abs() < 1e-12); // 1 + λR = 1 + 1 = 2
+        assert!((reg.smoothness() - 1.0001).abs() < 1e-12);
+        assert_eq!(reg.strong_convexity(), lambda);
+        assert!(reg.is_strongly_convex());
+    }
+
+    #[test]
+    fn huber_constants_match_paper() {
+        let h = 0.1;
+        let plain = HuberSvm::plain(h);
+        assert_eq!(plain.lipschitz(), 1.0);
+        assert_eq!(plain.smoothness(), 5.0); // 1/(2·0.1)
+        let reg = HuberSvm::regularized(h, 0.001, 1000.0);
+        assert!((reg.lipschitz() - 2.0).abs() < 1e-12);
+        assert!((reg.smoothness() - 5.001).abs() < 1e-12);
+    }
+
+    /// Empirical Lipschitz check: ‖∇ℓ‖ ≤ L over random in-domain points.
+    #[test]
+    fn gradient_norm_bounded_by_lipschitz_constant() {
+        use bolton_rng::Rng;
+        let mut rng = bolton_rng::seeded(61);
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(Logistic::plain()),
+            Box::new(Logistic::regularized(0.01, 10.0)),
+            Box::new(HuberSvm::plain(0.1)),
+            Box::new(HuberSvm::regularized(0.1, 0.01, 10.0)),
+            Box::new(LeastSquares::new(3.0)),
+        ];
+        for loss in &losses {
+            let radius = match loss.name() {
+                "least-squares" => 3.0,
+                _ if loss.lambda() > 0.0 => 10.0,
+                _ => 10.0, // L for the unregularized losses is ‖x‖-driven only
+            };
+            for _ in 0..200 {
+                // Random w inside the ball, x inside the unit sphere, y ∈ ±1.
+                let mut w: Vec<f64> = (0..4).map(|_| rng.next_range(-1.0, 1.0)).collect();
+                bolton_linalg::vector::project_l2_ball(&mut w, radius);
+                let mut x: Vec<f64> = (0..4).map(|_| rng.next_range(-1.0, 1.0)).collect();
+                bolton_linalg::vector::project_l2_ball(&mut x, 1.0);
+                let y = if rng.next_bool(0.5) { 1.0 } else { -1.0 };
+                let mut grad = vec![0.0; 4];
+                loss.add_gradient(&w, &x, y, &mut grad);
+                assert!(
+                    norm(&grad) <= loss.lipschitz() + 1e-9,
+                    "{}: ‖∇‖ = {} > L = {}",
+                    loss.name(),
+                    norm(&grad),
+                    loss.lipschitz()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_accumulates_rather_than_overwrites() {
+        let loss = Logistic::plain();
+        let w = [0.1, 0.2];
+        let x = [1.0, 0.0];
+        let mut a = vec![0.0; 2];
+        loss.add_gradient(&w, &x, 1.0, &mut a);
+        let mut b = a.clone();
+        loss.add_gradient(&w, &x, 1.0, &mut b);
+        assert!((b[0] - 2.0 * a[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a finite hypothesis radius")]
+    fn regularized_without_radius_panics() {
+        Logistic::regularized(0.1, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-width")]
+    fn huber_rejects_bad_h() {
+        HuberSvm::plain(0.0);
+    }
+
+    #[test]
+    fn logistic_value_is_stable_for_large_scores() {
+        let loss = Logistic::plain();
+        // Huge score: loss at correct label ≈ 0, at wrong label ≈ |z|.
+        let w = [100.0, 0.0];
+        let x = [1.0, 0.0];
+        let right = loss.value(&w, &x, 1.0);
+        let wrong = loss.value(&w, &x, -1.0);
+        assert!(right.is_finite() && right < 1e-30);
+        assert!((wrong - 100.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod definition1_proptests {
+    //! Property tests of Definition 1: each loss satisfies the convexity,
+    //! Lipschitz, strong convexity, and smoothness inequalities with its
+    //! *claimed* constants, over random in-domain points. This is the
+    //! ground the entire sensitivity analysis stands on.
+
+    use super::*;
+    use bolton_linalg::vector;
+    use proptest::prelude::*;
+
+    fn in_ball(raw: Vec<f64>, radius: f64) -> Vec<f64> {
+        let mut v = raw;
+        vector::project_l2_ball(&mut v, radius);
+        v
+    }
+
+    fn gradient(loss: &dyn Loss, w: &[f64], x: &[f64], y: f64) -> Vec<f64> {
+        let mut g = vec![0.0; w.len()];
+        loss.add_gradient(w, x, y, &mut g);
+        g
+    }
+
+    fn losses_with_radii() -> Vec<(Box<dyn Loss>, f64)> {
+        vec![
+            (Box::new(Logistic::plain()), 5.0),
+            (Box::new(Logistic::regularized(0.05, 10.0)), 10.0),
+            (Box::new(HuberSvm::plain(0.1)), 5.0),
+            (Box::new(HuberSvm::regularized(0.2, 0.01, 20.0)), 20.0),
+            (Box::new(LeastSquares::regularized(0.05, 3.0)), 3.0),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Convexity + strong convexity (Definition 1, items 1 and 3):
+        /// f(u) ≥ f(v) + ⟨∇f(v), u−v⟩ + (γ/2)‖u−v‖².
+        #[test]
+        fn first_order_lower_bound_holds(
+            u_raw in proptest::collection::vec(-3.0f64..3.0, 4),
+            v_raw in proptest::collection::vec(-3.0f64..3.0, 4),
+            x_raw in proptest::collection::vec(-1.0f64..1.0, 4),
+            positive in any::<bool>(),
+        ) {
+            let x = in_ball(x_raw, 1.0);
+            let y = if positive { 1.0 } else { -1.0 };
+            for (loss, radius) in losses_with_radii() {
+                let u = in_ball(u_raw.clone(), radius);
+                let v = in_ball(v_raw.clone(), radius);
+                let grad_v = gradient(loss.as_ref(), &v, &x, y);
+                let mut diff = vec![0.0; 4];
+                vector::sub(&u, &v, &mut diff);
+                let gamma = loss.strong_convexity();
+                let lower = loss.value(&v, &x, y)
+                    + vector::dot(&grad_v, &diff)
+                    + 0.5 * gamma * vector::norm_sq(&diff);
+                let actual = loss.value(&u, &x, y);
+                prop_assert!(
+                    actual >= lower - 1e-9 * lower.abs().max(1.0),
+                    "{}: f(u) = {actual} < lower bound {lower}",
+                    loss.name()
+                );
+            }
+        }
+
+        /// Smoothness (Definition 1, item 4): ‖∇f(u) − ∇f(v)‖ ≤ β‖u − v‖.
+        #[test]
+        fn gradient_is_beta_lipschitz(
+            u_raw in proptest::collection::vec(-3.0f64..3.0, 4),
+            v_raw in proptest::collection::vec(-3.0f64..3.0, 4),
+            x_raw in proptest::collection::vec(-1.0f64..1.0, 4),
+            positive in any::<bool>(),
+        ) {
+            let x = in_ball(x_raw, 1.0);
+            let y = if positive { 1.0 } else { -1.0 };
+            for (loss, radius) in losses_with_radii() {
+                let u = in_ball(u_raw.clone(), radius);
+                let v = in_ball(v_raw.clone(), radius);
+                let gu = gradient(loss.as_ref(), &u, &x, y);
+                let gv = gradient(loss.as_ref(), &v, &x, y);
+                let grad_dist = vector::distance(&gu, &gv);
+                let point_dist = vector::distance(&u, &v);
+                prop_assert!(
+                    grad_dist <= loss.smoothness() * point_dist + 1e-9,
+                    "{}: ‖∇f(u)−∇f(v)‖ = {grad_dist} > β·‖u−v‖ = {}",
+                    loss.name(),
+                    loss.smoothness() * point_dist
+                );
+            }
+        }
+
+        /// The gradient-update operator G_{ℓ,η} is (1−ηγ)-expansive for
+        /// η ≤ 1/β (Lemma 2) — measured on the actual operators.
+        #[test]
+        fn gradient_update_expansiveness(
+            u_raw in proptest::collection::vec(-2.0f64..2.0, 4),
+            v_raw in proptest::collection::vec(-2.0f64..2.0, 4),
+            x_raw in proptest::collection::vec(-1.0f64..1.0, 4),
+            eta_frac in 0.05f64..1.0,
+        ) {
+            let x = in_ball(x_raw, 1.0);
+            let y = 1.0;
+            for (loss, radius) in losses_with_radii() {
+                let u = in_ball(u_raw.clone(), radius);
+                let v = in_ball(v_raw.clone(), radius);
+                let eta = eta_frac / loss.smoothness();
+                let apply = |w: &[f64]| {
+                    let g = gradient(loss.as_ref(), w, &x, y);
+                    let mut out = w.to_vec();
+                    vector::axpy(-eta, &g, &mut out);
+                    out
+                };
+                let before = vector::distance(&u, &v);
+                let after = vector::distance(&apply(&u), &apply(&v));
+                let rho = 1.0 - eta * loss.strong_convexity();
+                prop_assert!(
+                    after <= rho * before + 1e-9,
+                    "{}: after {after} > ρ·before {}",
+                    loss.name(),
+                    rho * before
+                );
+            }
+        }
+
+        /// Boundedness (Lemma 3): ‖G(w) − w‖ = η‖∇ℓ(w)‖ ≤ ηL.
+        #[test]
+        fn gradient_update_boundedness(
+            w_raw in proptest::collection::vec(-3.0f64..3.0, 4),
+            x_raw in proptest::collection::vec(-1.0f64..1.0, 4),
+            positive in any::<bool>(),
+            eta in 0.01f64..0.5,
+        ) {
+            let x = in_ball(x_raw, 1.0);
+            let y = if positive { 1.0 } else { -1.0 };
+            for (loss, radius) in losses_with_radii() {
+                let w = in_ball(w_raw.clone(), radius);
+                let g = gradient(loss.as_ref(), &w, &x, y);
+                let movement = eta * vector::norm(&g);
+                prop_assert!(
+                    movement <= eta * loss.lipschitz() + 1e-9,
+                    "{}: ‖G(w)−w‖ = {movement} > ηL = {}",
+                    loss.name(),
+                    eta * loss.lipschitz()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Evaluation metrics: classification accuracy, error counts, and empirical
+//! risk `L_S(w) = (1/m)·Σ ℓ(w; (x_i, y_i))`.
+
+use crate::dataset::TrainSet;
+use crate::loss::Loss;
+use bolton_linalg::vector;
+
+/// The linear score `⟨w, x⟩`.
+#[inline]
+pub fn score(w: &[f64], x: &[f64]) -> f64 {
+    vector::dot(w, x)
+}
+
+/// Binary prediction in `{−1, +1}` by the sign of the score (ties → +1).
+#[inline]
+pub fn predict(w: &[f64], x: &[f64]) -> f64 {
+    if score(w, x) >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Number of misclassified examples (`χ` in Algorithm 3, line 4).
+pub fn zero_one_errors<D: TrainSet + ?Sized>(w: &[f64], data: &D) -> usize {
+    let mut errors = 0usize;
+    data.scan(&mut |_, x, y| {
+        if predict(w, x) != y {
+            errors += 1;
+        }
+    });
+    errors
+}
+
+/// Classification accuracy in `[0, 1]`.
+pub fn accuracy<D: TrainSet + ?Sized>(w: &[f64], data: &D) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    1.0 - zero_one_errors(w, data) as f64 / data.len() as f64
+}
+
+/// Mean training loss `L_S(w)`.
+pub fn empirical_risk<D: TrainSet + ?Sized>(loss: &dyn Loss, w: &[f64], data: &D) -> f64 {
+    assert!(!data.is_empty(), "empirical risk of empty dataset");
+    let mut total = 0.0;
+    data.scan(&mut |_, x, y| total += loss.value(w, x, y));
+    total / data.len() as f64
+}
+
+/// Confusion counts for a binary problem.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives (label +1 predicted +1).
+    pub tp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Computes the confusion matrix of `w` over `data`.
+    pub fn compute<D: TrainSet + ?Sized>(w: &[f64], data: &D) -> Self {
+        let mut c = Confusion::default();
+        data.scan(&mut |_, x, y| {
+            let p = predict(w, x);
+            match (y > 0.0, p > 0.0) {
+                (true, true) => c.tp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fp += 1,
+                (true, false) => c.fn_ += 1,
+            }
+        });
+        c
+    }
+
+    /// Accuracy derived from the counts.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.tn + self.fp + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+    use crate::loss::Logistic;
+
+    fn data() -> InMemoryDataset {
+        // Four points on the x-axis labeled by sign.
+        InMemoryDataset::from_flat(
+            vec![1.0, 0.0, 0.5, 0.0, -1.0, 0.0, -0.5, 0.0],
+            vec![1.0, 1.0, -1.0, -1.0],
+            2,
+        )
+    }
+
+    #[test]
+    fn perfect_model_has_full_accuracy() {
+        let w = [1.0, 0.0];
+        assert_eq!(zero_one_errors(&w, &data()), 0);
+        assert_eq!(accuracy(&w, &data()), 1.0);
+    }
+
+    #[test]
+    fn inverted_model_has_zero_accuracy() {
+        let w = [-1.0, 0.0];
+        // Note: the point at score exactly 0 would tie-break to +1, but all
+        // four scores here are nonzero.
+        assert_eq!(accuracy(&w, &data()), 0.0);
+    }
+
+    #[test]
+    fn zero_model_predicts_positive() {
+        let w = [0.0, 0.0];
+        // Ties go to +1: the two positive examples are right.
+        assert_eq!(accuracy(&w, &data()), 0.5);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let c = Confusion::compute(&[1.0, 0.0], &data());
+        assert_eq!(c, Confusion { tp: 2, tn: 2, fp: 0, fn_: 0 });
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn empirical_risk_at_zero_is_ln2() {
+        let loss = Logistic::plain();
+        let risk = empirical_risk(&loss, &[0.0, 0.0], &data());
+        assert!((risk - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn risk_decreases_for_better_model() {
+        let loss = Logistic::plain();
+        let bad = empirical_risk(&loss, &[0.0, 0.0], &data());
+        let good = empirical_risk(&loss, &[2.0, 0.0], &data());
+        assert!(good < bad);
+    }
+}
+
+/// Area under the ROC curve of the linear score, by the rank statistic
+/// (equivalent to the Mann–Whitney U normalization). Ties in score
+/// contribute half. Returns 0.5 for degenerate single-class data.
+pub fn auc<D: TrainSet + ?Sized>(w: &[f64], data: &D) -> f64 {
+    let mut scored: Vec<(f64, bool)> = Vec::with_capacity(data.len());
+    data.scan(&mut |_, x, y| scored.push((score(w, x), y > 0.0)));
+    let positives = scored.iter().filter(|(_, p)| *p).count();
+    let negatives = scored.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are never NaN"));
+    // Sum of positive ranks with midranks for ties.
+    let mut rank_sum = 0.0f64;
+    let mut i = 0usize;
+    while i < scored.len() {
+        let mut j = i;
+        while j + 1 < scored.len() && scored[j + 1].0 == scored[i].0 {
+            j += 1;
+        }
+        // 1-based midrank of the tie group [i, j].
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for entry in &scored[i..=j] {
+            if entry.1 {
+                rank_sum += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let n = negatives as f64;
+    (rank_sum - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+#[cfg(test)]
+mod auc_tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+
+    fn labeled(points: &[(f64, f64)]) -> InMemoryDataset {
+        let features: Vec<f64> = points.iter().map(|(x, _)| *x).collect();
+        let labels: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+        InMemoryDataset::from_flat(features, labels, 1)
+    }
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let data = labeled(&[(0.9, 1.0), (0.8, 1.0), (0.1, -1.0), (0.2, -1.0)]);
+        assert_eq!(auc(&[1.0], &data), 1.0);
+        // Inverted scores: AUC 0.
+        assert_eq!(auc(&[-1.0], &data), 0.0);
+    }
+
+    #[test]
+    fn random_scores_are_half() {
+        // All scores identical ⇒ full tie group ⇒ 0.5 exactly.
+        let data = labeled(&[(0.5, 1.0), (0.5, -1.0), (0.5, 1.0), (0.5, -1.0)]);
+        assert_eq!(auc(&[1.0], &data), 0.5);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // Scores: +1 examples at 0.9, 0.4; −1 examples at 0.6, 0.1.
+        // Pairs won: (0.9>0.6), (0.9>0.1), (0.4>0.1) = 3 of 4 ⇒ 0.75.
+        let data = labeled(&[(0.9, 1.0), (0.4, 1.0), (0.6, -1.0), (0.1, -1.0)]);
+        assert_eq!(auc(&[1.0], &data), 0.75);
+    }
+
+    #[test]
+    fn single_class_degenerates_to_half() {
+        let data = labeled(&[(0.9, 1.0), (0.8, 1.0)]);
+        assert_eq!(auc(&[1.0], &data), 0.5);
+    }
+
+    #[test]
+    fn auc_is_scale_invariant_accuracy_is_not() {
+        let data = labeled(&[(0.9, 1.0), (-0.4, -1.0), (0.2, 1.0), (-0.1, -1.0)]);
+        let a1 = auc(&[1.0], &data);
+        let a2 = auc(&[100.0], &data);
+        assert_eq!(a1, a2);
+        assert_eq!(a1, 1.0);
+    }
+}

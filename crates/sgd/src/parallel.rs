@@ -1,0 +1,217 @@
+//! Data-parallel PSGD by parameter mixing (Zinkevich, Weimer, Smola & Li,
+//! "Parallelized Stochastic Gradient Descent", NeurIPS 2010) — the
+//! shared-memory parallelism that systems like Bismarck use for the
+//! noiseless path.
+//!
+//! The permuted data is split into `workers` contiguous shards; each worker
+//! independently runs the full SGD configuration on its shard from the same
+//! initialization, and the resulting models are averaged.
+//!
+//! **Privacy note:** the paper's sensitivity analysis covers *sequential*
+//! PSGD. Parameter mixing changes the analysis (each worker sees a 1/w
+//! fraction of the data, and the average dilutes a differing example by
+//! 1/w), so this module is offered for the noiseless/scalability use case;
+//! private training should use the sequential engine.
+
+use crate::dataset::TrainSet;
+use crate::engine::{run_with_orders, SgdConfig, SgdOutcome};
+use crate::loss::Loss;
+use bolton_linalg::vector;
+use bolton_rng::{random_permutation, Rng};
+
+/// A contiguous shard of a base dataset, exposed as a [`TrainSet`].
+pub struct ShardView<'a, D: TrainSet + ?Sized> {
+    base: &'a D,
+    indices: Vec<usize>,
+}
+
+impl<'a, D: TrainSet + ?Sized> ShardView<'a, D> {
+    /// Wraps `base`, restricted to the given example indices.
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn new(base: &'a D, indices: Vec<usize>) -> Self {
+        assert!(!indices.is_empty(), "shard must be non-empty");
+        assert!(indices.iter().all(|&i| i < base.len()), "shard index out of range");
+        Self { base, indices }
+    }
+}
+
+impl<D: TrainSet + ?Sized> TrainSet for ShardView<'_, D> {
+    fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        let mapped: Vec<usize> = order.iter().map(|&i| self.indices[i]).collect();
+        self.base.scan_order(&mapped, visit);
+    }
+}
+
+/// Runs parameter-mixing parallel PSGD: `workers` independent SGD runs on
+/// disjoint random shards, averaged at the end.
+///
+/// With `workers == 1` this is exactly [`run_with_orders`] over a single
+/// sampled permutation.
+///
+/// # Panics
+/// Panics if `workers == 0` or `workers > data.len()`.
+pub fn run_parallel_psgd<D, R>(
+    data: &D,
+    loss: &(dyn Loss + Sync),
+    config: &SgdConfig,
+    workers: usize,
+    rng: &mut R,
+) -> SgdOutcome
+where
+    D: TrainSet + Sync + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    assert!(workers >= 1, "at least one worker");
+    assert!(workers <= m, "more workers than examples");
+    let permutation = random_permutation(rng, m);
+
+    // Contiguous shards of the permutation, sizes within one of each other.
+    let base = m / workers;
+    let extra = m % workers;
+    let mut shards: Vec<Vec<usize>> = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        shards.push(permutation[start..start + size].to_vec());
+        start += size;
+    }
+
+    // Each worker gets its own derived RNG stream for its pass permutations.
+    let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
+
+    let results: Vec<SgdOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .zip(seeds)
+            .map(|(shard, seed)| {
+                scope.spawn(move || {
+                    let view = ShardView::new(data, shard);
+                    let mut worker_rng = bolton_rng::seeded(seed);
+                    let shard_m = view.len();
+                    let orders: Vec<Vec<usize>> = (0..config.passes)
+                        .map(|_| random_permutation(&mut worker_rng, shard_m))
+                        .collect();
+                    run_with_orders(&view, loss, config, &orders, &mut |_, _| {})
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // Parameter mixing: plain average of the worker models.
+    let d = data.dim();
+    let mut model = vec![0.0; d];
+    let mut updates = 0u64;
+    for out in &results {
+        vector::axpy(1.0 / workers as f64, &out.model, &mut model);
+        updates += out.updates;
+    }
+    SgdOutcome {
+        model,
+        updates,
+        passes_completed: config.passes,
+        epoch_losses: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+    use crate::loss::Logistic;
+    use crate::schedule::StepSize;
+    use bolton_rng::seeded;
+
+    fn separable(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-1.0, 1.0);
+            features.push(0.7 * x0);
+            features.push(rng.next_range(-0.15, 0.15));
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    #[test]
+    fn shard_view_maps_indices() {
+        let data = separable(10, 501);
+        let shard = ShardView::new(&data, vec![7, 2, 9]);
+        assert_eq!(shard.len(), 3);
+        assert_eq!(TrainSet::dim(&shard), 2);
+        let mut seen = Vec::new();
+        shard.scan_order(&[2, 0], &mut |pos, x, _| seen.push((pos, x[0])));
+        assert_eq!(seen[0], (0, data.features_of(9)[0]));
+        assert_eq!(seen[1], (1, data.features_of(7)[0]));
+    }
+
+    #[test]
+    fn parallel_learns_separable_problem() {
+        let data = separable(2000, 502);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.5)).with_passes(4);
+        for workers in [1, 2, 4, 8] {
+            let out =
+                run_parallel_psgd(&data, &loss, &config, workers, &mut seeded(503));
+            let acc = crate::metrics::accuracy(&out.model, &data);
+            assert!(acc > 0.95, "{workers} workers: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn total_updates_cover_all_shards() {
+        let data = separable(103, 504);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.2)).with_passes(2);
+        let out = run_parallel_psgd(&data, &loss, &config, 4, &mut seeded(505));
+        // Shards of 26/26/26/25, batch 1: 103 updates per pass × 2.
+        assert_eq!(out.updates, 206);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = separable(200, 506);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3)).with_passes(2);
+        let a = run_parallel_psgd(&data, &loss, &config, 3, &mut seeded(507));
+        let b = run_parallel_psgd(&data, &loss, &config, 3, &mut seeded(507));
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn parallel_result_close_to_sequential() {
+        let data = separable(3000, 508);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.5)).with_passes(3);
+        let seq = crate::engine::run_psgd(&data, &loss, &config, &mut seeded(509));
+        let par = run_parallel_psgd(&data, &loss, &config, 4, &mut seeded(510));
+        let acc_seq = crate::metrics::accuracy(&seq.model, &data);
+        let acc_par = crate::metrics::accuracy(&par.model, &data);
+        assert!(
+            (acc_seq - acc_par).abs() < 0.03,
+            "sequential {acc_seq} vs parallel {acc_par}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more workers than examples")]
+    fn too_many_workers_panics() {
+        let data = separable(3, 511);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.1));
+        run_parallel_psgd(&data, &loss, &config, 8, &mut seeded(512));
+    }
+}

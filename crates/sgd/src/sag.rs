@@ -1,0 +1,199 @@
+//! SAG — Stochastic Average Gradient (Le Roux, Schmidt & Bach, NeurIPS
+//! 2012), the second variance-reduced method the paper names as
+//! non-adaptive (Definition 7's discussion).
+//!
+//! SAG keeps a table of the most recent gradient per example and updates
+//! with the running average:
+//!
+//! ```text
+//! g_i ← ∇ℓ_i(w)            (refresh the sampled example's slot)
+//! w   ← Π( w − η·(Σ_j g_j)/m )
+//! ```
+//!
+//! Memory is O(m·d) for general losses. (Linear models admit an O(m)
+//! scalar-residual refinement — store only `ℓ'(z_i)` per example — but we
+//! keep full gradient vectors for generality and clarity, matching the
+//! reference description.)
+//!
+//! L2 regularization is applied **exactly** via `weight_decay` rather than
+//! through the gradient memory: stale `λw` slots otherwise accumulate a
+//! systematic drift (pass the *unregularized* loss here).
+
+use crate::dataset::TrainSet;
+use crate::engine::SgdOutcome;
+use crate::loss::Loss;
+use bolton_linalg::vector;
+use bolton_rng::{random_permutation, Rng};
+
+/// Configuration for SAG.
+#[derive(Clone, Copy, Debug)]
+pub struct SagConfig {
+    /// Number of passes over the data.
+    pub passes: usize,
+    /// Constant step size η (SAG's guidance: ≈ 1/(16β)).
+    pub step: f64,
+    /// Exact L2 weight decay λ (use with an *unregularized* loss).
+    pub weight_decay: f64,
+    /// Optional projection radius.
+    pub projection_radius: Option<f64>,
+}
+
+impl SagConfig {
+    /// A configuration with the given pass count and step (no decay).
+    pub fn new(passes: usize, step: f64) -> Self {
+        Self { passes, step, weight_decay: 0.0, projection_radius: None }
+    }
+
+    /// Sets the exact L2 weight decay.
+    pub fn with_weight_decay(mut self, lambda: f64) -> Self {
+        self.weight_decay = lambda;
+        self
+    }
+
+    /// Enables projected updates.
+    pub fn with_projection(mut self, radius: f64) -> Self {
+        self.projection_radius = Some(radius);
+        self
+    }
+}
+
+/// Runs SAG with permutation-ordered passes.
+///
+/// # Panics
+/// Panics on an empty dataset or non-positive step.
+pub fn run_sag<D, R>(data: &D, loss: &dyn Loss, config: &SagConfig, rng: &mut R) -> SgdOutcome
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    let d = data.dim();
+    assert!(m > 0, "training set must be non-empty");
+    assert!(config.step > 0.0 && config.step.is_finite(), "step must be positive");
+    assert!(config.passes >= 1, "at least one pass");
+
+    let mut w = vec![0.0; d];
+    // Gradient memory: one slot per example, plus the running sum.
+    let mut table = vec![0.0; m * d];
+    let mut seen = vec![false; m];
+    let mut seen_count = 0usize;
+    let mut grad_sum = vec![0.0; d];
+    let mut fresh = vec![0.0; d];
+    let mut updates = 0u64;
+
+    for _pass in 0..config.passes {
+        let order = random_permutation(rng, m);
+        // Positions carry the example id through scan_order.
+        data.scan_order(&order, &mut |pos, x, y| {
+            let i = order[pos];
+            vector::fill_zero(&mut fresh);
+            loss.add_gradient(&w, x, y, &mut fresh);
+            let slot = &mut table[i * d..(i + 1) * d];
+            // grad_sum += fresh − old_slot
+            for ((sum, new_g), old_g) in
+                grad_sum.iter_mut().zip(fresh.iter()).zip(slot.iter())
+            {
+                *sum += new_g - old_g;
+            }
+            slot.copy_from_slice(&fresh);
+            if !seen[i] {
+                seen[i] = true;
+                seen_count += 1;
+            }
+            // Average over the examples seen so far (the standard SAG
+            // warm-up normalization), plus exact weight decay.
+            let eta = config.step / seen_count as f64;
+            if config.weight_decay > 0.0 {
+                vector::scale(1.0 - config.step * config.weight_decay, &mut w);
+            }
+            vector::axpy(-eta, &grad_sum, &mut w);
+            if let Some(r) = config.projection_radius {
+                vector::project_l2_ball(&mut w, r);
+            }
+            updates += 1;
+        });
+    }
+
+    SgdOutcome { model: w, updates, passes_completed: config.passes, epoch_losses: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+    use crate::loss::Logistic;
+    use crate::metrics;
+    use bolton_rng::seeded;
+
+    fn problem(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 3);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-0.8, 0.8);
+            features.extend_from_slice(&[x0, rng.next_range(-0.4, 0.4), 0.2]);
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 3)
+    }
+
+    #[test]
+    fn sag_learns() {
+        let data = problem(800, 711);
+        let loss = Logistic::plain();
+        let config = SagConfig::new(10, 0.06).with_weight_decay(1e-3).with_projection(1e3);
+        let out = run_sag(&data, &loss, &config, &mut seeded(712));
+        let acc = metrics::accuracy(&out.model, &data);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert_eq!(out.updates, 8000);
+    }
+
+    #[test]
+    fn sag_converges_lower_than_one_pass() {
+        let data = problem(500, 713);
+        let loss = Logistic::plain();
+        // 1/(16β)-scale step per SAG's guidance.
+        let risk_at = |passes: usize| {
+            let config =
+                SagConfig::new(passes, 0.06).with_weight_decay(1e-2).with_projection(1e2);
+            let out = run_sag(&data, &loss, &config, &mut seeded(714));
+            metrics::empirical_risk(&loss, &out.model, &data)
+        };
+        assert!(risk_at(10) + 0.001 < risk_at(1), "more passes should reduce risk");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = problem(200, 715);
+        let loss = Logistic::plain();
+        let config = SagConfig::new(2, 0.5);
+        let a = run_sag(&data, &loss, &config, &mut seeded(3));
+        let b = run_sag(&data, &loss, &config, &mut seeded(3));
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn projection_respected() {
+        let data = problem(100, 716);
+        let loss = Logistic::plain();
+        let config = SagConfig::new(3, 10.0).with_projection(0.3);
+        let out = run_sag(&data, &loss, &config, &mut seeded(4));
+        assert!(vector::norm(&out.model) <= 0.3 + 1e-12);
+    }
+
+    /// SAG's gradient memory must track the true sum: after a full pass,
+    /// grad_sum equals Σ_i ∇ℓ_i at each example's last-visited iterate —
+    /// verified indirectly by checking the final model is finite and the
+    /// optimizer is stable over many passes (no drift blow-up).
+    #[test]
+    fn long_runs_remain_stable() {
+        let data = problem(150, 717);
+        let loss = Logistic::plain();
+        let config =
+            SagConfig::new(40, 0.06).with_weight_decay(1e-2).with_projection(1e2);
+        let out = run_sag(&data, &loss, &config, &mut seeded(5));
+        assert!(out.model.iter().all(|v| v.is_finite()));
+        let risk = metrics::empirical_risk(&loss, &out.model, &data);
+        assert!(risk < 0.5, "risk {risk}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Step-size schedules (paper Table 4 plus Corollaries 2–3).
+//!
+//! `t` is the 1-based update index (one update per mini-batch). Schedules
+//! are pure functions of `t` and fixed constants, so two neighboring runs
+//! replay identical step sizes — a premise of the sensitivity analysis.
+
+/// A step-size rule `η_t`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StepSize {
+    /// Fixed `η` (Algorithm 1 requires `η ≤ 2/β`).
+    Constant(f64),
+    /// `1/√m` — the paper's "constant" choice for the convex rows of
+    /// Table 4 (non-private and ours).
+    InvSqrtM {
+        /// Training-set size `m`.
+        m: usize,
+    },
+    /// `1/√t` — SCS13's schedule (all rows of Table 4).
+    InvSqrtT,
+    /// `2/(β(t + m^c))` — Corollary 2's decreasing schedule.
+    Decreasing {
+        /// Smoothness constant β of the loss.
+        beta: f64,
+        /// Training-set size `m`.
+        m: usize,
+        /// Exponent `c ∈ [0, 1)`.
+        c: f64,
+    },
+    /// `2/(β(√t + m^c))` — Corollary 3's square-root schedule.
+    SqrtDecay {
+        /// Smoothness constant β of the loss.
+        beta: f64,
+        /// Training-set size `m`.
+        m: usize,
+        /// Exponent `c ∈ [0, 1)`.
+        c: f64,
+    },
+    /// `min(1/β, 1/(γt))` — Algorithm 2's strongly convex schedule.
+    StronglyConvex {
+        /// Smoothness constant β.
+        beta: f64,
+        /// Strong-convexity modulus γ.
+        gamma: f64,
+    },
+    /// `1/(γt)` — the noiseless strongly convex schedule (Table 4) and
+    /// BST14's strongly convex schedule (Algorithm 5 line 12).
+    InvGammaT {
+        /// Strong-convexity modulus γ.
+        gamma: f64,
+    },
+    /// `2R/(G√t)` — BST14's convex schedule (Algorithm 4 line 12).
+    BstConvex {
+        /// Hypothesis-space radius R.
+        radius: f64,
+        /// Gradient-plus-noise scale `G = √(dσ² + b²L²)`.
+        g: f64,
+    },
+}
+
+impl StepSize {
+    /// The step size for 1-based update index `t`.
+    ///
+    /// # Panics
+    /// Panics if `t == 0` (updates are 1-based) or the schedule's constants
+    /// are invalid (zero β/γ/m where required).
+    pub fn eta(&self, t: u64) -> f64 {
+        assert!(t >= 1, "update index is 1-based");
+        match *self {
+            StepSize::Constant(eta) => {
+                assert!(eta > 0.0 && eta.is_finite(), "constant step must be positive");
+                eta
+            }
+            StepSize::InvSqrtM { m } => {
+                assert!(m > 0, "InvSqrtM requires m > 0");
+                1.0 / (m as f64).sqrt()
+            }
+            StepSize::InvSqrtT => 1.0 / (t as f64).sqrt(),
+            StepSize::Decreasing { beta, m, c } => {
+                assert!(beta > 0.0 && m > 0 && (0.0..1.0).contains(&c));
+                2.0 / (beta * (t as f64 + (m as f64).powf(c)))
+            }
+            StepSize::SqrtDecay { beta, m, c } => {
+                assert!(beta > 0.0 && m > 0 && (0.0..1.0).contains(&c));
+                2.0 / (beta * ((t as f64).sqrt() + (m as f64).powf(c)))
+            }
+            StepSize::StronglyConvex { beta, gamma } => {
+                assert!(beta > 0.0 && gamma > 0.0);
+                (1.0 / beta).min(1.0 / (gamma * t as f64))
+            }
+            StepSize::InvGammaT { gamma } => {
+                assert!(gamma > 0.0);
+                1.0 / (gamma * t as f64)
+            }
+            StepSize::BstConvex { radius, g } => {
+                assert!(radius > 0.0 && g > 0.0);
+                2.0 * radius / (g * (t as f64).sqrt())
+            }
+        }
+    }
+
+    /// The largest step the schedule ever takes (its value at `t = 1`);
+    /// schedules here are all non-increasing in `t`.
+    pub fn max_eta(&self) -> f64 {
+        self.eta(1)
+    }
+
+    /// Checks Algorithm 1's precondition `η_t ≤ 2/β` for all `t ≥ 1`.
+    pub fn respects_convex_bound(&self, beta: f64) -> bool {
+        self.max_eta() <= 2.0 / beta + 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ignores_t() {
+        let s = StepSize::Constant(0.05);
+        assert_eq!(s.eta(1), 0.05);
+        assert_eq!(s.eta(1_000_000), 0.05);
+    }
+
+    #[test]
+    fn inv_sqrt_m() {
+        let s = StepSize::InvSqrtM { m: 10_000 };
+        assert!((s.eta(7) - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inv_sqrt_t_decays() {
+        let s = StepSize::InvSqrtT;
+        assert_eq!(s.eta(1), 1.0);
+        assert_eq!(s.eta(4), 0.5);
+        assert_eq!(s.eta(100), 0.1);
+    }
+
+    #[test]
+    fn decreasing_schedule_formula() {
+        let s = StepSize::Decreasing { beta: 2.0, m: 100, c: 0.5 };
+        // t=1: 2/(2·(1+10)) = 1/11.
+        assert!((s.eta(1) - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_decay_formula() {
+        let s = StepSize::SqrtDecay { beta: 2.0, m: 100, c: 0.5 };
+        // t=4: 2/(2·(2+10)) = 1/12.
+        assert!((s.eta(4) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strongly_convex_caps_at_inv_beta() {
+        let s = StepSize::StronglyConvex { beta: 4.0, gamma: 0.01 };
+        // Early: 1/(γt) huge, capped at 1/β.
+        assert_eq!(s.eta(1), 0.25);
+        // Late: 1/(γt) takes over once t > β/γ = 400.
+        assert!((s.eta(1000) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bst_convex_schedule() {
+        let s = StepSize::BstConvex { radius: 2.0, g: 8.0 };
+        assert!((s.eta(1) - 0.5).abs() < 1e-12);
+        assert!((s.eta(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_schedules_are_non_increasing() {
+        let schedules = [
+            StepSize::Constant(0.1),
+            StepSize::InvSqrtM { m: 50 },
+            StepSize::InvSqrtT,
+            StepSize::Decreasing { beta: 1.0, m: 50, c: 0.3 },
+            StepSize::SqrtDecay { beta: 1.0, m: 50, c: 0.3 },
+            StepSize::StronglyConvex { beta: 1.0, gamma: 0.001 },
+            StepSize::InvGammaT { gamma: 0.001 },
+            StepSize::BstConvex { radius: 1.0, g: 1.0 },
+        ];
+        for s in schedules {
+            let mut prev = s.eta(1);
+            for t in 2..200 {
+                let cur = s.eta(t);
+                assert!(cur <= prev + 1e-15, "{s:?} increased at t={t}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn convex_bound_check() {
+        assert!(StepSize::Constant(0.5).respects_convex_bound(1.0));
+        assert!(!StepSize::Constant(3.0).respects_convex_bound(1.0));
+        // 1/√m ≤ 2/β=2 for any m ≥ 1.
+        assert!(StepSize::InvSqrtM { m: 1 }.respects_convex_bound(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_t_panics() {
+        StepSize::InvSqrtT.eta(0);
+    }
+}

@@ -1,0 +1,207 @@
+//! SVRG — Stochastic Variance Reduced Gradient (Johnson & Zhang, NeurIPS
+//! 2013).
+//!
+//! The paper names SVRG (and SAG) as further *non-adaptive* algorithms its
+//! "randomness one at a time" privacy argument covers (Definition 7 and the
+//! surrounding discussion): the sampling choices are independent of the
+//! data values. This module provides the optimizer; a closed-form
+//! L2-sensitivity for SVRG is not part of the paper (its bounds are proved
+//! for plain PSGD), so private use should calibrate via the replayed
+//! recursion or stick to PSGD — see `bolton::sensitivity`.
+//!
+//! Per epoch `s`: snapshot `w̃ ← w` and the full gradient
+//! `μ̃ = ∇L_S(w̃)`; then for each step, with example `i`,
+//!
+//! ```text
+//! w ← Π( w − η·(∇ℓ_i(w) − ∇ℓ_i(w̃) + μ̃) )
+//! ```
+//!
+//! The correction term keeps the update unbiased while shrinking its
+//! variance as `w → w̃`, enabling constant step sizes.
+
+use crate::dataset::TrainSet;
+use crate::engine::SgdOutcome;
+use crate::loss::Loss;
+use bolton_linalg::vector;
+use bolton_rng::{random_permutation, Rng};
+
+/// Configuration for SVRG.
+#[derive(Clone, Copy, Debug)]
+pub struct SvrgConfig {
+    /// Number of outer epochs (each = one snapshot pass + one update pass).
+    pub epochs: usize,
+    /// Constant step size η (SVRG's hallmark; no decay needed).
+    pub step: f64,
+    /// Optional projection radius.
+    pub projection_radius: Option<f64>,
+}
+
+impl SvrgConfig {
+    /// A configuration with the given epoch count and step.
+    pub fn new(epochs: usize, step: f64) -> Self {
+        Self { epochs, step, projection_radius: None }
+    }
+
+    /// Enables projected updates.
+    pub fn with_projection(mut self, radius: f64) -> Self {
+        self.projection_radius = Some(radius);
+        self
+    }
+}
+
+/// Runs SVRG with permutation-ordered inner loops (non-adaptive, like
+/// PSGD: all sampling is independent of data values).
+///
+/// # Panics
+/// Panics on an empty dataset or a non-positive step.
+pub fn run_svrg<D, R>(data: &D, loss: &dyn Loss, config: &SvrgConfig, rng: &mut R) -> SgdOutcome
+where
+    D: TrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    let d = data.dim();
+    assert!(m > 0, "training set must be non-empty");
+    assert!(config.step > 0.0 && config.step.is_finite(), "step must be positive");
+    assert!(config.epochs >= 1, "at least one epoch");
+
+    let mut w = vec![0.0; d];
+    let mut snapshot = vec![0.0; d];
+    let mut full_grad = vec![0.0; d];
+    let mut grad_w = vec![0.0; d];
+    let mut grad_snap = vec![0.0; d];
+    let mut updates = 0u64;
+
+    for _epoch in 0..config.epochs {
+        // Snapshot pass: w̃ and μ̃ = ∇L_S(w̃).
+        snapshot.copy_from_slice(&w);
+        vector::fill_zero(&mut full_grad);
+        data.scan(&mut |_, x, y| {
+            loss.add_gradient(&snapshot, x, y, &mut full_grad);
+        });
+        vector::scale(1.0 / m as f64, &mut full_grad);
+
+        // Update pass in a fresh permutation.
+        let order = random_permutation(rng, m);
+        data.scan_order(&order, &mut |_, x, y| {
+            vector::fill_zero(&mut grad_w);
+            loss.add_gradient(&w, x, y, &mut grad_w);
+            vector::fill_zero(&mut grad_snap);
+            loss.add_gradient(&snapshot, x, y, &mut grad_snap);
+            // g = ∇ℓ_i(w) − ∇ℓ_i(w̃) + μ̃
+            for ((g, s), f) in grad_w.iter_mut().zip(grad_snap.iter()).zip(full_grad.iter()) {
+                *g = *g - *s + *f;
+            }
+            vector::axpy(-config.step, &grad_w, &mut w);
+            if let Some(r) = config.projection_radius {
+                vector::project_l2_ball(&mut w, r);
+            }
+            updates += 1;
+        });
+    }
+
+    SgdOutcome { model: w, updates, passes_completed: config.epochs, epoch_losses: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::InMemoryDataset;
+    use crate::engine::{run_psgd, SgdConfig};
+    use crate::loss::Logistic;
+    use crate::metrics;
+    use crate::schedule::StepSize;
+    use bolton_rng::seeded;
+
+    fn noisy_problem(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 4);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-0.8, 0.8);
+            features.extend_from_slice(&[
+                x0,
+                rng.next_range(-0.5, 0.5),
+                rng.next_range(-0.5, 0.5),
+                0.2,
+            ]);
+            let flip = rng.next_bool(0.1);
+            let clean = if x0 >= 0.0 { 1.0 } else { -1.0 };
+            labels.push(if flip { -clean } else { clean });
+        }
+        InMemoryDataset::from_flat(features, labels, 4)
+    }
+
+    #[test]
+    fn svrg_learns() {
+        let data = noisy_problem(1000, 701);
+        let loss = Logistic::regularized(1e-3, 1e3);
+        let config = SvrgConfig::new(5, 0.5).with_projection(1e3);
+        let out = run_svrg(&data, &loss, &config, &mut seeded(702));
+        let acc = metrics::accuracy(&out.model, &data);
+        assert!(acc > 0.85, "accuracy {acc}");
+        assert_eq!(out.updates, 5000);
+        assert_eq!(out.passes_completed, 5);
+    }
+
+    /// The variance-reduction payoff: at the same epoch budget and a
+    /// constant step, SVRG reaches lower training risk than plain PSGD
+    /// (PSGD with a large constant step stalls at a noise floor).
+    #[test]
+    fn svrg_beats_constant_step_psgd_on_risk() {
+        let data = noisy_problem(2000, 703);
+        let lambda = 1e-2;
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let epochs = 8;
+        let eta = 0.5;
+        let svrg = run_svrg(
+            &data,
+            &loss,
+            &SvrgConfig::new(epochs, eta).with_projection(1.0 / lambda),
+            &mut seeded(704),
+        );
+        let psgd = run_psgd(
+            &data,
+            &loss,
+            &SgdConfig::new(StepSize::Constant(eta))
+                .with_passes(epochs)
+                .with_projection(1.0 / lambda),
+            &mut seeded(705),
+        );
+        let risk_svrg = metrics::empirical_risk(&loss, &svrg.model, &data);
+        let risk_psgd = metrics::empirical_risk(&loss, &psgd.model, &data);
+        assert!(
+            risk_svrg <= risk_psgd + 1e-6,
+            "SVRG risk {risk_svrg} should not exceed PSGD risk {risk_psgd}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = noisy_problem(300, 706);
+        let loss = Logistic::plain();
+        let config = SvrgConfig::new(2, 0.3);
+        let a = run_svrg(&data, &loss, &config, &mut seeded(7));
+        let b = run_svrg(&data, &loss, &config, &mut seeded(7));
+        assert_eq!(a.model, b.model);
+        let c = run_svrg(&data, &loss, &config, &mut seeded(8));
+        assert_ne!(a.model, c.model);
+    }
+
+    #[test]
+    fn projection_respected() {
+        let data = noisy_problem(200, 707);
+        let loss = Logistic::plain();
+        let config = SvrgConfig::new(3, 5.0).with_projection(0.2);
+        let out = run_svrg(&data, &loss, &config, &mut seeded(708));
+        assert!(vector::norm(&out.model) <= 0.2 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn rejects_bad_step() {
+        let data = noisy_problem(10, 709);
+        let loss = Logistic::plain();
+        run_svrg(&data, &loss, &SvrgConfig::new(1, 0.0), &mut seeded(710));
+    }
+}

@@ -1,0 +1,70 @@
+//! Empirically auditing a private release: run the mechanism thousands of
+//! times on neighboring datasets and measure how distinguishable the
+//! releases are — the check a skeptical reviewer (or CI) runs against a DP
+//! implementation.
+//!
+//! Run with: `cargo run --release -p bolton-apps --example privacy_audit`
+
+use bolton::audit::{audit_mechanism, AuditConfig};
+use bolton::output_perturbation::{train_private, BoltOnConfig};
+use bolton::{Budget, InMemoryDataset};
+use bolton_rng::Rng;
+use bolton_sgd::loss::Logistic;
+
+fn main() {
+    // A small dataset and its adversarial neighbor (one flipped extreme
+    // example — the pair a membership attacker would pick).
+    let mut rng = bolton_rng::seeded(5150);
+    let m = 150;
+    let mut features = Vec::with_capacity(m * 2);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        let x0 = rng.next_range(-0.9, 0.9);
+        features.extend_from_slice(&[x0, 0.3]);
+        labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+    }
+    let data = InMemoryDataset::from_flat(features, labels, 2);
+    let neighbor = data.neighbor(0, &[0.9, -0.3], -data.label_of(0));
+    let loss = Logistic::plain();
+    let audit_cfg = AuditConfig { trials: 4000, bins: 10, min_count: 150 };
+
+    println!("auditing bolt-on releases ({} trials per dataset)…\n", audit_cfg.trials);
+    println!("{:<24} {:>14} {:>18}", "mechanism", "configured ε", "empirical witness");
+
+    for eps in [0.1, 0.5, 2.0] {
+        let config = BoltOnConfig::new(Budget::pure(eps).expect("budget")).with_passes(2);
+        let mut audit_rng = bolton_rng::seeded(5151);
+        let report = audit_mechanism(
+            &audit_cfg,
+            &mut audit_rng,
+            |which, r| {
+                let d = if which { &neighbor } else { &data };
+                train_private(d, &loss, &config, r).expect("release").model
+            },
+            |w| w[0],
+        );
+        println!("{:<24} {eps:>14} {:>18.3}", "bolt-on (correct)", report.empirical_eps);
+    }
+
+    // A deliberately broken release: claims ε = 0.1 but trains at ε = 10.
+    let config = BoltOnConfig::new(Budget::pure(10.0).expect("budget")).with_passes(2);
+    let mut audit_rng = bolton_rng::seeded(5152);
+    let report = audit_mechanism(
+        &audit_cfg,
+        &mut audit_rng,
+        |which, r| {
+            let d = if which { &neighbor } else { &data };
+            train_private(d, &loss, &config, r).expect("release").model
+        },
+        |w| w[0],
+    );
+    println!(
+        "{:<24} {:>14} {:>18.3}   ← flagged: witness ≫ claimed ε",
+        "bolt-on (BROKEN: 100×)", 0.1, report.empirical_eps
+    );
+
+    println!();
+    println!("Reading the table: the witness is a statistical *lower bound* on the");
+    println!("effective ε. Correct mechanisms stay at/below their configured ε (up to");
+    println!("Monte-Carlo noise); the under-noised release is caught immediately.");
+}

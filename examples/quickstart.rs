@@ -1,0 +1,62 @@
+//! Quickstart: train a differentially private logistic-regression model with
+//! bolt-on output perturbation and compare it to the noiseless baseline.
+//!
+//! Run with: `cargo run --release -p bolton-apps --example quickstart`
+
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::output_perturbation::{train_private, BoltOnConfig};
+use bolton::{metrics, Budget, TrainSet};
+use bolton_data::{generate_scaled, DatasetSpec};
+use bolton_sgd::loss::Logistic;
+
+fn main() {
+    // A Protein-like benchmark (74 features, binary labels, ‖x‖ ≤ 1).
+    let bench = generate_scaled(DatasetSpec::Protein, 42, 0.2);
+    println!(
+        "dataset: {} ({} train / {} test rows, {} features)",
+        bench.spec.name(),
+        bench.train.len(),
+        bench.test.len(),
+        bench.train.dim()
+    );
+
+    // The strongly convex setting of the paper: λ-regularized logistic
+    // regression over the ball R = 1/λ.
+    let lambda = 1e-2;
+    let loss_kind = LossKind::Logistic { lambda };
+    let mut rng = bolton_rng::seeded(7);
+
+    // Noiseless ceiling.
+    let noiseless = TrainPlan::new(loss_kind, AlgorithmKind::Noiseless, None)
+        .with_passes(10)
+        .with_batch_size(50)
+        .train(&bench.train, &mut rng)
+        .expect("noiseless training");
+    println!(
+        "noiseless accuracy:          {:.4}",
+        metrics::accuracy(&noiseless, &bench.test)
+    );
+
+    // Private models across a privacy sweep. The low-level API also reports
+    // the calibration record.
+    for eps in [0.01, 0.05, 0.2, 1.0] {
+        let budget = Budget::pure(eps).expect("valid budget");
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let config = BoltOnConfig::new(budget)
+            .with_passes(10)
+            .with_batch_size(50)
+            .with_projection(1.0 / lambda);
+        let private = train_private(&bench.train, &loss, &config, &mut rng)
+            .expect("private training");
+        println!(
+            "ε = {eps:<5} accuracy: {:.4}   (Δ₂ = {:.2e}, realized ‖κ‖ = {:.3})",
+            metrics::accuracy(&private.model, &bench.test),
+            private.sensitivity,
+            private.noise_norm(),
+        );
+    }
+
+    println!();
+    println!("The bolt-on property: the SGD engine above is the *same* code the");
+    println!("noiseless run used — noise is added only to the final model.");
+}

@@ -1,0 +1,138 @@
+//! End-to-end accuracy invariants across the full stack — the paper's
+//! headline claims, asserted with margins at fixed seeds.
+//!
+//! Noise scales as 1/(λ·m·b), so each test pins a (scale, λ, ε) cell in the
+//! regime the paper's figures operate in. λ = 1e-2 (a value from the
+//! paper's tuning grid) compensates for scaled-down m where used.
+
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::{metrics, Budget, TrainSet};
+use bolton_data::{generate_scaled, Benchmark, DatasetSpec};
+
+#[allow(clippy::too_many_arguments)]
+fn mean_acc(
+    bench: &Benchmark,
+    loss: LossKind,
+    alg: AlgorithmKind,
+    budget: Option<Budget>,
+    passes: usize,
+    batch: usize,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for t in 0..trials {
+        let plan =
+            TrainPlan::new(loss, alg, budget).with_passes(passes).with_batch_size(batch);
+        let model = plan.train(&bench.train, &mut bolton_rng::seeded(seed + t)).unwrap();
+        total += metrics::accuracy(&model, &bench.test);
+    }
+    total / trials as f64
+}
+
+/// Figures 3/6 shape on the Protein stand-in, strongly convex (ε, δ):
+/// noiseless ≥ ours > SCS13, and ours stays near the ceiling at small ε.
+#[test]
+fn protein_ordering_at_small_epsilon() {
+    let bench = generate_scaled(DatasetSpec::Protein, 1001, 0.2);
+    let m = bench.train.len();
+    let eps = 0.05;
+    let budget = Budget::approx(eps, 1.0 / (m as f64 * m as f64)).unwrap();
+    let loss = LossKind::Logistic { lambda: 1e-2 };
+
+    let noiseless = mean_acc(&bench, loss, AlgorithmKind::Noiseless, None, 10, 50, 2, 1);
+    let ours = mean_acc(&bench, loss, AlgorithmKind::BoltOn, Some(budget), 10, 50, 4, 2);
+    let scs = mean_acc(&bench, loss, AlgorithmKind::Scs13, Some(budget), 10, 50, 4, 3);
+
+    assert!(noiseless > 0.93, "noiseless ceiling {noiseless}");
+    assert!(ours > scs + 0.05, "ours {ours} must clearly beat SCS13 {scs}");
+    assert!(noiseless - ours < 0.08, "ours {ours} close to ceiling {noiseless}");
+}
+
+/// The convex ε-DP ordering on the Covertype stand-in.
+#[test]
+fn covtype_convex_pure_ordering() {
+    let bench = generate_scaled(DatasetSpec::Covtype, 1002, 0.1);
+    let budget = Budget::pure(0.2).unwrap();
+    let loss = LossKind::Logistic { lambda: 0.0 };
+
+    let noiseless = mean_acc(&bench, loss, AlgorithmKind::Noiseless, None, 10, 50, 2, 5);
+    let ours = mean_acc(&bench, loss, AlgorithmKind::BoltOn, Some(budget), 10, 50, 4, 6);
+    let scs = mean_acc(&bench, loss, AlgorithmKind::Scs13, Some(budget), 10, 50, 4, 7);
+
+    assert!(ours > scs, "ours {ours} must beat SCS13 {scs}");
+    assert!(noiseless - ours < 0.08, "ours {ours} vs ceiling {noiseless}");
+}
+
+/// Privacy-for-free at large m (the HIGGS observation, Appendix C): with
+/// the strongly convex sensitivity 2L/(γmb), a large training set makes the
+/// noise negligible even at tiny ε.
+#[test]
+fn large_m_makes_privacy_cheap_for_ours() {
+    let bench = generate_scaled(DatasetSpec::Higgs, 1003, 0.01);
+    let m = bench.train.len();
+    assert!(m >= 100_000, "need a large-m benchmark, got {m}");
+    let budget = Budget::pure(0.05).unwrap();
+    let loss = LossKind::Logistic { lambda: 1e-2 };
+    let noiseless = mean_acc(&bench, loss, AlgorithmKind::Noiseless, None, 5, 50, 1, 8);
+    let ours = mean_acc(&bench, loss, AlgorithmKind::BoltOn, Some(budget), 5, 50, 3, 9);
+    assert!(
+        noiseless - ours < 0.02,
+        "privacy should be nearly free at m={m}: noiseless {noiseless} vs ours {ours}"
+    );
+}
+
+/// Accuracy is monotone (within tolerance) in ε for our algorithm, with a
+/// real slope across the sweep.
+#[test]
+fn ours_improves_with_budget() {
+    let bench = generate_scaled(DatasetSpec::Protein, 1004, 0.1);
+    let loss = LossKind::Logistic { lambda: 1e-2 };
+    let acc_at = |eps: f64| {
+        mean_acc(
+            &bench,
+            loss,
+            AlgorithmKind::BoltOn,
+            Some(Budget::pure(eps).unwrap()),
+            10,
+            50,
+            4,
+            10,
+        )
+    };
+    let tiny = acc_at(0.002);
+    let small = acc_at(0.05);
+    let large = acc_at(1.0);
+    assert!(large >= small - 0.02, "ε=1 {large} vs ε=0.05 {small}");
+    assert!(small >= tiny - 0.05, "ε=0.05 {small} vs ε=0.002 {tiny}");
+    assert!(large - tiny > 0.05, "sweep should show a real slope: {tiny} → {large}");
+}
+
+/// The multiclass pipeline end to end on the MNIST stand-in.
+#[test]
+fn mnist_multiclass_private_beats_chance_and_tracks_budget() {
+    let bench = generate_scaled(DatasetSpec::Mnist, 1005, 0.2);
+    let m = bench.train.len();
+    let loss = LossKind::Logistic { lambda: 1e-2 };
+    let acc_at = |eps: f64, seed: u64| {
+        let total = Budget::pure(eps).unwrap();
+        let model = bolton::multiclass::train_one_vs_all(
+            &bench.train,
+            10,
+            total,
+            |view, per_class, r| {
+                TrainPlan::new(loss, AlgorithmKind::BoltOn, Some(per_class))
+                    .with_passes(10)
+                    .with_batch_size(50)
+                    .train(view, r)
+            },
+            &mut bolton_rng::seeded(seed),
+        )
+        .unwrap();
+        model.accuracy(&bench.test)
+    };
+    let strict = acc_at(0.1, 11);
+    let loose = acc_at(4.0, 12);
+    assert!(loose > 0.5, "ε=4 multiclass accuracy {loose} (m={m})");
+    assert!(loose > strict - 0.05, "more budget should not hurt: {strict} vs {loose}");
+}

@@ -1,0 +1,190 @@
+//! Cross-crate integration for the extension subsystems: variance-reduced
+//! optimizers, model persistence, private counting through SQL, parallel
+//! training, and sparse storage — each exercised end to end.
+
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::{metrics, Budget};
+use bolton_data::{generate_scaled, DatasetSpec};
+use bolton_sgd::loss::Logistic;
+
+/// All three optimizers reach comparable accuracy on the same benchmark.
+#[test]
+fn optimizer_family_agrees_on_protein() {
+    let bench = generate_scaled(DatasetSpec::Protein, 3001, 0.05);
+    let lambda = 1e-2;
+    let loss = Logistic::regularized(lambda, 1.0 / lambda);
+    let radius = 1.0 / lambda;
+
+    let psgd = bolton_sgd::run_psgd(
+        &bench.train,
+        &loss,
+        &bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::StronglyConvex {
+            beta: loss_smoothness(&loss),
+            gamma: lambda,
+        })
+        .with_passes(6)
+        .with_projection(radius),
+        &mut bolton_rng::seeded(3002),
+    );
+    let svrg = bolton_sgd::run_svrg(
+        &bench.train,
+        &loss,
+        &bolton_sgd::svrg::SvrgConfig::new(3, 0.3).with_projection(radius),
+        &mut bolton_rng::seeded(3003),
+    );
+    let plain = Logistic::plain();
+    let sag = bolton_sgd::run_sag(
+        &bench.train,
+        &plain,
+        // SAG's stable step is ≈ 1/(16β); regularization applied exactly.
+        &bolton_sgd::sag::SagConfig::new(6, 0.06)
+            .with_weight_decay(lambda)
+            .with_projection(radius),
+        &mut bolton_rng::seeded(3004),
+    );
+    for (name, model) in [("psgd", &psgd.model), ("svrg", &svrg.model), ("sag", &sag.model)] {
+        let acc = metrics::accuracy(model, &bench.test);
+        assert!(acc > 0.92, "{name}: accuracy {acc}");
+    }
+}
+
+fn loss_smoothness(loss: &dyn bolton_sgd::Loss) -> f64 {
+    loss.smoothness()
+}
+
+/// A privately trained model survives a save/load round trip bit-exactly
+/// and serves identical predictions.
+#[test]
+fn private_model_roundtrips_through_model_io() {
+    let bench = generate_scaled(DatasetSpec::Protein, 3005, 0.02);
+    let plan = TrainPlan::new(
+        LossKind::Logistic { lambda: 1e-2 },
+        AlgorithmKind::BoltOn,
+        Some(Budget::pure(0.5).unwrap()),
+    )
+    .with_passes(5);
+    let model = plan.train(&bench.train, &mut bolton_rng::seeded(3006)).unwrap();
+
+    let mut bytes = Vec::new();
+    bolton::model_io::save_linear(&model, &mut bytes).unwrap();
+    let restored = bolton::model_io::load_linear(&bytes[..]).unwrap();
+    assert_eq!(model, restored);
+    assert_eq!(
+        metrics::accuracy(&model, &bench.test),
+        metrics::accuracy(&restored, &bench.test)
+    );
+}
+
+/// The SQL surface serves ε-DP counts and histograms whose noise shrinks
+/// with ε — a full DP analytics loop without touching Rust APIs.
+#[test]
+fn private_sql_counts_track_epsilon() {
+    use bolton_bismarck::sql::{run, QueryResult};
+    let mut cat = bolton_bismarck::Catalog::new();
+    run(&mut cat, "CREATE TABLE t (DIM 4)").unwrap();
+    run(&mut cat, "SYNTH t ROWS 10000 SEED 31").unwrap();
+
+    let mut spread = |eps: f64| -> f64 {
+        let mut deviations = Vec::new();
+        for seed in 0..40 {
+            let sql = format!("SELECT PRIVATE COUNT(*) FROM t EPS {eps} SEED {seed}");
+            let QueryResult::Count(c) = run(&mut cat, &sql).unwrap() else {
+                panic!("expected count");
+            };
+            deviations.push((c as f64 - 10_000.0).abs());
+        }
+        deviations.iter().sum::<f64>() / deviations.len() as f64
+    };
+    let noisy = spread(0.05);
+    let crisp = spread(5.0);
+    assert!(
+        noisy > 5.0 * crisp.max(0.05),
+        "ε=0.05 mean deviation {noisy} should dwarf ε=5 deviation {crisp}"
+    );
+}
+
+/// Parameter-mixing parallel training stays within a whisker of the
+/// sequential result across worker counts, deterministically per seed.
+#[test]
+fn parallel_training_is_consistent() {
+    let bench = generate_scaled(DatasetSpec::Covtype, 3007, 0.01);
+    let loss = Logistic::plain();
+    let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
+        .with_passes(3)
+        .with_batch_size(10);
+    let sequential =
+        bolton_sgd::run_psgd(&bench.train, &loss, &config, &mut bolton_rng::seeded(3008));
+    let acc_seq = metrics::accuracy(&sequential.model, &bench.test);
+    for workers in [2usize, 5] {
+        let parallel = bolton_sgd::parallel::run_parallel_psgd(
+            &bench.train,
+            &loss,
+            &config,
+            workers,
+            &mut bolton_rng::seeded(3009),
+        );
+        let acc_par = metrics::accuracy(&parallel.model, &bench.test);
+        assert!(
+            (acc_seq - acc_par).abs() < 0.04,
+            "{workers} workers: {acc_par} vs sequential {acc_seq}"
+        );
+        let again = bolton_sgd::parallel::run_parallel_psgd(
+            &bench.train,
+            &loss,
+            &config,
+            workers,
+            &mut bolton_rng::seeded(3009),
+        );
+        assert_eq!(parallel.model, again.model, "parallel run must be deterministic");
+    }
+}
+
+/// Sparse storage feeds the full private pipeline: bolt-on training over a
+/// SparseDataset equals training over its dense twin.
+#[test]
+fn private_training_identical_on_sparse_and_dense() {
+    let bench = generate_scaled(DatasetSpec::Kddcup99, 3010, 0.002);
+    let sparse = bolton_sgd::SparseDataset::from_dense(&bench.train);
+    let plan = TrainPlan::new(
+        LossKind::Logistic { lambda: 1e-2 },
+        AlgorithmKind::BoltOn,
+        Some(Budget::pure(0.5).unwrap()),
+    )
+    .with_passes(3);
+    let dense_model = plan.train(&bench.train, &mut bolton_rng::seeded(3011)).unwrap();
+    let sparse_model = plan.train(&sparse, &mut bolton_rng::seeded(3011)).unwrap();
+    assert_eq!(dense_model, sparse_model);
+}
+
+/// The preprocessing pipeline feeds private training end to end.
+#[test]
+fn preprocessed_categorical_data_trains_privately() {
+    use bolton_data::preprocess::{one_hot_encode, OneHotColumn, Standardizer};
+    use bolton_rng::Rng;
+    let mut rng = bolton_rng::seeded(3012);
+    let m = 3000;
+    let mut features = Vec::with_capacity(m * 2);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        let x0 = rng.next_range(-1.0, 1.0);
+        let cat = rng.next_below(3) as f64;
+        features.extend_from_slice(&[x0, cat]);
+        labels.push(if x0 + 0.5 * cat >= 0.5 { 1.0 } else { -1.0 });
+    }
+    let raw = bolton::InMemoryDataset::from_flat(features, labels, 2);
+    let enc = OneHotColumn::fit(&raw, 1);
+    let encoded = one_hot_encode(&raw, &[enc]);
+    let standardized = Standardizer::fit(&encoded).transform(&encoded);
+    let normalized = bolton_data::generator::normalize_to_unit_ball(&standardized);
+
+    let plan = TrainPlan::new(
+        LossKind::Logistic { lambda: 1e-2 },
+        AlgorithmKind::BoltOn,
+        Some(Budget::pure(1.0).unwrap()),
+    )
+    .with_passes(10)
+    .with_batch_size(20);
+    let model = plan.train(&normalized, &mut bolton_rng::seeded(3013)).unwrap();
+    let acc = metrics::accuracy(&model, &normalized);
+    assert!(acc > 0.85, "categorical pipeline accuracy {acc}");
+}
