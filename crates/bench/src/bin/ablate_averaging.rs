@@ -28,13 +28,9 @@ fn main() {
                     .with_passes(1)
                     .with_batch_size(10)
                     .with_averaging(mode);
-                let out = train_private(
-                    &bench.train,
-                    &loss,
-                    &config,
-                    &mut bolton_rng::seeded(0xAB5 + t),
-                )
-                .expect("train");
+                let out =
+                    train_private(&bench.train, &loss, &config, &mut bolton_rng::seeded(0xAB5 + t))
+                        .expect("train");
                 total += metrics::accuracy(&out.model, &bench.test);
             }
             row(&[name.into(), format!("{eps}"), format!("{:.4}", total / trials as f64)]);

@@ -28,13 +28,9 @@ fn main() {
                     .with_passes(passes)
                     .with_batch_size(50)
                     .with_projection(1.0 / lambda);
-                let out = train_private(
-                    &bench.train,
-                    &loss,
-                    &config,
-                    &mut bolton_rng::seeded(0xAB7 + t),
-                )
-                .expect("train");
+                let out =
+                    train_private(&bench.train, &loss, &config, &mut bolton_rng::seeded(0xAB7 + t))
+                        .expect("train");
                 total += metrics::accuracy(&out.model, &bench.test);
             }
             row(&[
@@ -55,9 +51,12 @@ fn main() {
                     .with_passes(passes)
                     .with_batch_size(50)
                     .with_projection(1.0 / lambda);
-                let delta2 =
-                    bolton::output_perturbation::calibrate_sensitivity(&loss, &config, bolton::TrainSet::len(&bench.train))
-                        .expect("sensitivity");
+                let delta2 = bolton::output_perturbation::calibrate_sensitivity(
+                    &loss,
+                    &config,
+                    bolton::TrainSet::len(&bench.train),
+                )
+                .expect("sensitivity");
                 let sgd = SgdConfig::new(bolton::output_perturbation::paper_step_size(
                     &loss,
                     bolton::TrainSet::len(&bench.train),

@@ -34,8 +34,9 @@ fn main() {
                 .with_passes(10)
                 .with_batch_size(50)
                 .with_projection(1.0 / lambda);
-            let out = train_private(&bench.train, &loss, &config, &mut bolton_rng::seeded(0xABC + t))
-                .expect("train");
+            let out =
+                train_private(&bench.train, &loss, &config, &mut bolton_rng::seeded(0xABC + t))
+                    .expect("train");
             acc += metrics::accuracy(&out.model, &bench.test);
             area += metrics::auc(&out.model, &bench.test);
         }
@@ -56,9 +57,12 @@ fn main() {
                 passes: 10,
                 batch_size: 50,
             };
-            let out =
-                train_objective_perturbation(&bench.train, &config, &mut bolton_rng::seeded(0xABD + t))
-                    .expect("train");
+            let out = train_objective_perturbation(
+                &bench.train,
+                &config,
+                &mut bolton_rng::seeded(0xABD + t),
+            )
+            .expect("train");
             acc += metrics::accuracy(&out.model, &bench.test);
             area += metrics::auc(&out.model, &bench.test);
         }

@@ -60,8 +60,7 @@ fn main() {
                 let mut total = 0.0;
                 for t in 0..trials {
                     let mut rng = bolton_rng::seeded(0xABF + t + k as u64);
-                    let config =
-                        SgdConfig::new(step).with_passes(k).with_batch_size(b);
+                    let config = SgdConfig::new(step).with_passes(k).with_batch_size(b);
                     let mut out = run_psgd(&bench.train, &loss, &config, &mut rng);
                     NoiseMechanism::for_budget(
                         &Budget::pure(eps).expect("budget"),

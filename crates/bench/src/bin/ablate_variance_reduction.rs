@@ -27,12 +27,9 @@ fn main() {
         let psgd = run_psgd(
             &bench.train,
             &loss,
-            &SgdConfig::new(StepSize::StronglyConvex {
-                beta: loss.smoothness(),
-                gamma: lambda,
-            })
-            .with_passes(passes)
-            .with_projection(1.0 / lambda),
+            &SgdConfig::new(StepSize::StronglyConvex { beta: loss.smoothness(), gamma: lambda })
+                .with_passes(passes)
+                .with_projection(1.0 / lambda),
             &mut bolton_rng::seeded(0xAC1),
         );
         row(&[
@@ -63,9 +60,7 @@ fn main() {
         let sag = run_sag(
             &bench.train,
             &plain,
-            &SagConfig::new(passes, 0.06)
-                .with_weight_decay(lambda)
-                .with_projection(1.0 / lambda),
+            &SagConfig::new(passes, 0.06).with_weight_decay(lambda).with_projection(1.0 / lambda),
             &mut bolton_rng::seeded(0xAC3),
         );
         row(&[

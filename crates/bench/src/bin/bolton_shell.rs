@@ -66,7 +66,9 @@ impl Shell {
         while let Some(key) = rest.pop() {
             let value = rest.pop().ok_or_else(|| format!("{key} needs a value"))?;
             match key.to_ascii_uppercase().as_str() {
-                "ALGO" => algo = parse_algo(value).ok_or_else(|| format!("unknown ALGO '{value}'"))?,
+                "ALGO" => {
+                    algo = parse_algo(value).ok_or_else(|| format!("unknown ALGO '{value}'"))?
+                }
                 "EPS" => eps = Some(value.parse().map_err(|e| format!("bad EPS: {e}"))?),
                 "DELTA" => delta = Some(value.parse().map_err(|e| format!("bad DELTA: {e}"))?),
                 "LAMBDA" => lambda = value.parse().map_err(|e| format!("bad LAMBDA: {e}"))?,
@@ -88,9 +90,7 @@ impl Shell {
         let plan = TrainPlan::new(LossKind::Logistic { lambda }, algo, budget)
             .with_passes(passes)
             .with_batch_size(batch);
-        let model = plan
-            .train(table, &mut bolton_rng::seeded(seed))
-            .map_err(|e| e.to_string())?;
+        let model = plan.train(table, &mut bolton_rng::seeded(seed)).map_err(|e| e.to_string())?;
         let acc = metrics::accuracy(&model, table);
         self.models.insert(model_name.clone(), model);
         self.seed = self.seed.wrapping_add(1);
@@ -105,10 +105,8 @@ impl Shell {
         if !on.eq_ignore_ascii_case("ON") {
             return Err("usage: EVAL <model> ON <table>".into());
         }
-        let model = self
-            .models
-            .get(*model_name)
-            .ok_or_else(|| format!("no model named '{model_name}'"))?;
+        let model =
+            self.models.get(*model_name).ok_or_else(|| format!("no model named '{model_name}'"))?;
         let table = self.catalog.get(table_name).map_err(|e| e.to_string())?;
         let acc = metrics::accuracy(model, table);
         let auc = metrics::auc(model, table);
@@ -120,23 +118,19 @@ impl Shell {
         match tokens.first().map(|t| t.to_ascii_uppercase()) {
             Some(head) if head == "TRAIN" => self.train(&tokens[1..]),
             Some(head) if head == "EVAL" => self.eval(&tokens[1..]),
-            Some(head) if head == "MODELS" => {
-                Ok(if self.models.is_empty() {
-                    "(no models)".to_string()
-                } else {
-                    self.models.keys().cloned().collect::<Vec<_>>().join("\n")
-                })
-            }
+            Some(head) if head == "MODELS" => Ok(if self.models.is_empty() {
+                "(no models)".to_string()
+            } else {
+                self.models.keys().cloned().collect::<Vec<_>>().join("\n")
+            }),
             _ => match run_sql(&mut self.catalog, line) {
                 Ok(QueryResult::Ok) => Ok("ok".into()),
                 Ok(QueryResult::Count(n)) => Ok(n.to_string()),
                 Ok(QueryResult::Scalar(Some(v))) => Ok(v.to_string()),
                 Ok(QueryResult::Scalar(None)) => Ok("NULL".into()),
-                Ok(QueryResult::Names(names)) => Ok(if names.is_empty() {
-                    "(no tables)".into()
-                } else {
-                    names.join("\n")
-                }),
+                Ok(QueryResult::Names(names)) => {
+                    Ok(if names.is_empty() { "(no tables)".into() } else { names.join("\n") })
+                }
                 Ok(QueryResult::Histogram(bins)) => Ok(bins
                     .iter()
                     .map(|(label, count)| format!("{label}\t{count}"))

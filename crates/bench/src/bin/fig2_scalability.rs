@@ -36,12 +36,10 @@ fn main() {
             for alg in BisAlg::ALL {
                 let mut rng = bolton_rng::seeded(0xF162 ^ rows as u64);
                 let spec = SynthSpec::scalability(rows);
-                let mut table =
-                    synthesize("scale", &spec, backing.clone(), pool, &mut rng)
-                        .expect("synthesize");
-                let (_, elapsed) = bolton_bench::run_bismarck_sc(
-                    &mut table, alg, 1e-4, 0.1, epochs, 1, 99,
-                );
+                let mut table = synthesize("scale", &spec, backing.clone(), pool, &mut rng)
+                    .expect("synthesize");
+                let (_, elapsed) =
+                    bolton_bench::run_bismarck_sc(&mut table, alg, 1e-4, 0.1, epochs, 1, 99);
                 row(&[
                     mode.to_string(),
                     rows.to_string(),

@@ -20,8 +20,7 @@ fn main() {
         // Row 1: epochs sweep at batch 10.
         for &epochs in &[1usize, 5, 10, 15, 20] {
             for alg in BisAlg::ALL {
-                let mut table =
-                    table_from_dataset(&bench.train, "rt", Backing::Memory, 4096);
+                let mut table = table_from_dataset(&bench.train, "rt", Backing::Memory, 4096);
                 let (_, elapsed) =
                     bolton_bench::run_bismarck_sc(&mut table, alg, 1e-4, 0.1, epochs, 10, 7);
                 row(&[
@@ -38,8 +37,7 @@ fn main() {
         // Row 2: batch-size sweep at one epoch.
         for &batch in &[1usize, 10, 100, 500] {
             for alg in BisAlg::ALL {
-                let mut table =
-                    table_from_dataset(&bench.train, "rt", Backing::Memory, 4096);
+                let mut table = table_from_dataset(&bench.train, "rt", Backing::Memory, 4096);
                 let (_, elapsed) =
                     bolton_bench::run_bismarck_sc(&mut table, alg, 1e-4, 0.1, 1, batch, 8);
                 row(&[

@@ -47,8 +47,9 @@ fn tuned_accuracy(
                 .with_batch_size(c.batch_size);
             plan.train(portion, r).expect("candidate must train")
         };
-        let tuned = bolton::tuning::private_tune(&bench.train, &cands, budget, &mut train, &mut rng)
-            .expect("tuning must succeed");
+        let tuned =
+            bolton::tuning::private_tune(&bench.train, &cands, budget, &mut train, &mut rng)
+                .expect("tuning must succeed");
         metrics::accuracy(&tuned.model, &bench.test)
     } else {
         let mut train = |portion: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| {
@@ -63,9 +64,8 @@ fn tuned_accuracy(
                 r,
             )
         };
-        let errors = |model: &MulticlassModel, holdout: &InMemoryDataset| {
-            multiclass_errors(model, holdout)
-        };
+        let errors =
+            |model: &MulticlassModel, holdout: &InMemoryDataset| multiclass_errors(model, holdout);
         let tuned =
             private_tune_models(&bench.train, &cands, budget, &mut train, &errors, &mut rng)
                 .expect("tuning must succeed");

@@ -18,13 +18,7 @@ use bolton_data::generator::linear_binary;
 use bolton_sgd::engine::{run_psgd, Averaging, SgdConfig};
 use bolton_sgd::schedule::StepSize;
 
-fn excess_risk(
-    loss_kind: LossKind,
-    alg: AlgorithmKind,
-    m: usize,
-    d: usize,
-    trials: u64,
-) -> f64 {
+fn excess_risk(loss_kind: LossKind, alg: AlgorithmKind, m: usize, d: usize, trials: u64) -> f64 {
     let mut total = 0.0;
     for t in 0..trials {
         let mut rng = bolton_rng::seeded(0x7AB2 + t * 977 + m as u64);
@@ -36,9 +30,8 @@ fn excess_risk(
         } else {
             StepSize::InvSqrtM { m }
         };
-        let mut ref_config = SgdConfig::new(ref_step)
-            .with_passes(30)
-            .with_averaging(Averaging::Uniform);
+        let mut ref_config =
+            SgdConfig::new(ref_step).with_passes(30).with_averaging(Averaging::Uniform);
         if let Some(r) = radius {
             ref_config = ref_config.with_projection(r);
         }
@@ -46,9 +39,7 @@ fn excess_risk(
         let optimum = metrics::empirical_risk(loss.as_ref(), &reference.model, &data);
 
         let budget = Budget::approx(1.0, 1.0 / (m as f64 * m as f64)).expect("budget");
-        let plan = TrainPlan::new(loss_kind, alg, Some(budget))
-            .with_passes(1)
-            .with_batch_size(1);
+        let plan = TrainPlan::new(loss_kind, alg, Some(budget)).with_passes(1).with_batch_size(1);
         let model = plan.train(&data, &mut rng).expect("train");
         let risk = metrics::empirical_risk(loss.as_ref(), &model, &data);
         total += (risk - optimum).max(0.0);

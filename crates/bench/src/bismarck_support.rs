@@ -21,8 +21,7 @@ pub fn table_from_dataset(
     backing: Backing,
     pool_pages: usize,
 ) -> Table {
-    let mut table =
-        Table::create(name, data.dim(), backing, pool_pages).expect("table creation");
+    let mut table = Table::create(name, data.dim(), backing, pool_pages).expect("table creation");
     for i in 0..data.len() {
         table.insert(data.features_of(i), data.label_of(i)).expect("insert row");
     }
@@ -88,17 +87,14 @@ pub fn run_bismarck_sc(
 
     let start = Instant::now();
     let out = match alg {
-        BisAlg::Noiseless => {
-            train(table, &loss, &config, &mut rng, None, None).expect("train")
-        }
+        BisAlg::Noiseless => train(table, &loss, &config, &mut rng, None, None).expect("train"),
         BisAlg::Ours => {
             let bolt = BoltOnConfig::new(budget)
                 .with_passes(epochs)
                 .with_batch_size(batch)
                 .with_projection(radius);
             let delta2 = calibrate_sensitivity(&loss, &bolt, m).expect("sensitivity");
-            let mechanism =
-                NoiseMechanism::for_budget(&budget, dim, delta2).expect("mechanism");
+            let mechanism = NoiseMechanism::for_budget(&budget, dim, delta2).expect("mechanism");
             let mut output = |w: &mut [f64]| mechanism.perturb(&mut noise_rng, w);
             train(table, &loss, &config, &mut rng, None, Some(&mut output)).expect("train")
         }
@@ -111,8 +107,7 @@ pub fn run_bismarck_sc(
                 per_pass.delta(),
             )
             .expect("mechanism");
-            let mut hook =
-                |_t: u64, g: &mut [f64]| mech.perturb(&mut noise_rng, g);
+            let mut hook = |_t: u64, g: &mut [f64]| mech.perturb(&mut noise_rng, g);
             train(table, &loss, &config, &mut rng, Some(&mut hook), None).expect("train")
         }
         BisAlg::Bst14 => {
@@ -156,10 +151,8 @@ mod tests {
     fn all_four_run_in_bismarck() {
         let bench = generate_scaled(DatasetSpec::Covtype, 51, 0.002);
         for alg in BisAlg::ALL {
-            let mut table =
-                table_from_dataset(&bench.train, "t", Backing::Memory, 256);
-            let (out, elapsed) =
-                run_bismarck_sc(&mut table, alg, 1e-4, 0.1, 2, 10, 52);
+            let mut table = table_from_dataset(&bench.train, "t", Backing::Memory, 256);
+            let (out, elapsed) = run_bismarck_sc(&mut table, alg, 1e-4, 0.1, 2, 10, 52);
             assert_eq!(out.epochs_run, 2, "{}", alg.label());
             assert!(out.model.iter().all(|v| v.is_finite()), "{}", alg.label());
             assert!(elapsed.as_nanos() > 0);

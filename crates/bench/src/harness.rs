@@ -45,14 +45,21 @@ pub fn accuracy_cell(
     let mut rng = bolton_rng::seeded(seed);
     let classes = bench.spec.classes();
     if classes == 2 {
-        let plan = TrainPlan::new(loss, algorithm, budget)
-            .with_passes(passes)
-            .with_batch_size(batch);
+        let plan =
+            TrainPlan::new(loss, algorithm, budget).with_passes(passes).with_batch_size(batch);
         let model = plan.train(&bench.train, &mut rng).expect("cell must train");
         metrics::accuracy(&model, &bench.test)
     } else {
-        let model =
-            multiclass_cell(&bench.train, classes, loss, algorithm, budget, passes, batch, &mut rng);
+        let model = multiclass_cell(
+            &bench.train,
+            classes,
+            loss,
+            algorithm,
+            budget,
+            passes,
+            batch,
+            &mut rng,
+        );
         model.accuracy(&bench.test)
     }
 }

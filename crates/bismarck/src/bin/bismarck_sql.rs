@@ -74,11 +74,8 @@ fn main() {
             Ok(QueryResult::Stats(columns)) => {
                 println!("#column\tmin\tmax\tmean\tstd");
                 for (i, c) in columns.iter().enumerate() {
-                    let name = if i + 1 == columns.len() {
-                        "label".to_string()
-                    } else {
-                        format!("f{i}")
-                    };
+                    let name =
+                        if i + 1 == columns.len() { "label".to_string() } else { format!("f{i}") };
                     println!("{name}\t{:.4}\t{:.4}\t{:.4}\t{:.4}", c.min, c.max, c.mean, c.std_dev);
                 }
             }

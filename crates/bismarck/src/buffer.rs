@@ -271,10 +271,7 @@ mod tests {
     #[test]
     fn out_of_bounds_page_errors() {
         let mut pool = BufferPool::new(Box::new(MemHeap::new()), 2);
-        assert!(matches!(
-            pool.with_page(0, |_| ()),
-            Err(DbError::PageOutOfBounds { .. })
-        ));
+        assert!(matches!(pool.with_page(0, |_| ()), Err(DbError::PageOutOfBounds { .. })));
     }
 
     #[test]

@@ -209,8 +209,7 @@ mod tests {
         let mut rng = seeded(116);
         let mut calls = 0u64;
         let mut hook = |_t: u64, _g: &mut [f64]| calls += 1;
-        let out =
-            train(&mut table, &loss, &config, &mut rng, Some(&mut hook), None).unwrap();
+        let out = train(&mut table, &loss, &config, &mut rng, Some(&mut hook), None).unwrap();
         assert_eq!(calls, out.updates);
         assert_eq!(out.updates, 18); // 9 batches × 2 epochs
     }

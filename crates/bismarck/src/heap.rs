@@ -49,10 +49,8 @@ impl HeapStorage for MemHeap {
     }
 
     fn read_page(&mut self, pid: usize, page: &mut Page) -> DbResult<()> {
-        let src = self
-            .pages
-            .get(pid)
-            .ok_or(DbError::PageOutOfBounds { pid, pages: self.pages.len() })?;
+        let src =
+            self.pages.get(pid).ok_or(DbError::PageOutOfBounds { pid, pages: self.pages.len() })?;
         page.bytes_mut().copy_from_slice(src.bytes());
         Ok(())
     }
@@ -87,7 +85,8 @@ static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl FileHeap {
     /// Opens (creating if missing) a heap file at `path`.
     pub fn open(path: &Path) -> DbResult<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(DbError::Corrupt(format!(
@@ -106,8 +105,7 @@ impl FileHeap {
     /// Creates a fresh heap in the system temp directory, unlinked on drop.
     pub fn temp() -> DbResult<Self> {
         let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir()
-            .join(format!("bolton-heap-{}-{n}.bin", std::process::id()));
+        let path = std::env::temp_dir().join(format!("bolton-heap-{}-{n}.bin", std::process::id()));
         let mut heap = Self::open(&path)?;
         heap.delete_on_drop = true;
         // A pre-existing file from a crashed run would corrupt page counts.
@@ -212,10 +210,7 @@ mod tests {
         storage.read_page(0, &mut read).unwrap();
         assert_eq!(read.read_row(0, &mut buf).unwrap(), -1.0);
 
-        assert!(matches!(
-            storage.read_page(9, &mut read),
-            Err(DbError::PageOutOfBounds { .. })
-        ));
+        assert!(matches!(storage.read_page(9, &mut read), Err(DbError::PageOutOfBounds { .. })));
     }
 
     #[test]

@@ -101,9 +101,8 @@ impl Page {
         }
         let mut offset = PAGE_HEADER + slot * Self::row_bytes(dim);
         for v in features_out.iter_mut() {
-            *v = f64::from_le_bytes(
-                self.data[offset..offset + 8].try_into().expect("8-byte slice"),
-            );
+            *v =
+                f64::from_le_bytes(self.data[offset..offset + 8].try_into().expect("8-byte slice"));
             offset += 8;
         }
         let label =

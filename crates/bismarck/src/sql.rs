@@ -200,10 +200,8 @@ impl Parser {
     }
 
     fn next(&mut self) -> DbResult<&str> {
-        let tok = self
-            .tokens
-            .get(self.pos)
-            .ok_or_else(|| parse_err("unexpected end of statement"))?;
+        let tok =
+            self.tokens.get(self.pos).ok_or_else(|| parse_err("unexpected end of statement"))?;
         self.pos += 1;
         Ok(tok)
     }
@@ -310,7 +308,9 @@ pub fn parse(input: &str) -> DbResult<Statement> {
                 match p.next()? {
                     "," => continue,
                     ")" => break,
-                    other => return Err(parse_err(format!("expected ',' or ')', found '{other}'"))),
+                    other => {
+                        return Err(parse_err(format!("expected ',' or ')', found '{other}'")))
+                    }
                 }
             }
             Statement::Insert { name, values }
@@ -504,14 +504,10 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult>
                 }
                 let values: Result<Vec<f64>, _> =
                     trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
-                let values = values.map_err(|e| {
-                    parse_err(format!("COPY line {}: bad number: {e}", idx + 1))
-                })?;
+                let values = values
+                    .map_err(|e| parse_err(format!("COPY line {}: bad number: {e}", idx + 1)))?;
                 if values.len() != dim + 1 {
-                    return Err(DbError::SchemaMismatch {
-                        expected: dim + 1,
-                        got: values.len(),
-                    });
+                    return Err(DbError::SchemaMismatch { expected: dim + 1, got: values.len() });
                 }
                 let (features, label) = values.split_at(dim);
                 table.insert(features, label[0])?;
@@ -550,9 +546,9 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult>
             let mut agg = crate::uda::ColumnStatsAggregate::new(table.dim());
             Ok(QueryResult::Stats(run_aggregate(table, &mut agg)?))
         }
-        Statement::ShowTables => Ok(QueryResult::Names(
-            catalog.table_names().into_iter().map(String::from).collect(),
-        )),
+        Statement::ShowTables => {
+            Ok(QueryResult::Names(catalog.table_names().into_iter().map(String::from).collect()))
+        }
     }
 }
 
@@ -629,10 +625,7 @@ mod tests {
             run(&mut cat, "SELECT AVG(0) FROM train").unwrap(),
             QueryResult::Scalar(Some(0.0))
         );
-        assert_eq!(
-            run(&mut cat, "SHOW TABLES").unwrap(),
-            QueryResult::Names(vec!["train".into()])
-        );
+        assert_eq!(run(&mut cat, "SHOW TABLES").unwrap(), QueryResult::Names(vec!["train".into()]));
         run(&mut cat, "SHUFFLE train SEED 3").unwrap();
         assert_eq!(run(&mut cat, "SELECT COUNT(*) FROM train").unwrap(), QueryResult::Count(2));
         run(&mut cat, "DROP TABLE train").unwrap();
@@ -824,10 +817,7 @@ mod private_query_tests {
     #[test]
     fn private_count_requires_eps() {
         let mut cat = populated();
-        assert!(matches!(
-            run(&mut cat, "SELECT PRIVATE COUNT(*) FROM t"),
-            Err(DbError::Parse(_))
-        ));
+        assert!(matches!(run(&mut cat, "SELECT PRIVATE COUNT(*) FROM t"), Err(DbError::Parse(_))));
         assert!(matches!(
             run(&mut cat, "SELECT PRIVATE COUNT(*) FROM t EPS 0"),
             Err(DbError::Parse(_))

@@ -107,8 +107,7 @@ mod tests {
     fn label_noise_flips_roughly_expected_fraction() {
         // Same seed with and without noise: compare label disagreement.
         let spec_clean = SynthSpec { rows: 4000, dim: 4, label_noise: 0.0, feature_scale: 1.0 };
-        let spec_noisy =
-            SynthSpec { rows: 4000, dim: 4, label_noise: 0.25, feature_scale: 1.0 };
+        let spec_noisy = SynthSpec { rows: 4000, dim: 4, label_noise: 0.25, feature_scale: 1.0 };
         // Different streams (noise consumes extra draws), so measure against
         // the hidden truth instead: accuracy of a model trained on clean
         // data should drop on noisy data. Simpler proxy: count labels that

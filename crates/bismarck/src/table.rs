@@ -95,7 +95,13 @@ impl Table {
 
     /// Storage description (backing + pool).
     pub fn describe(&self) -> String {
-        format!("table '{}' dim={} rows={} [{}]", self.name, self.dim, self.rows, self.pool.borrow().describe())
+        format!(
+            "table '{}' dim={} rows={} [{}]",
+            self.name,
+            self.dim,
+            self.rows,
+            self.pool.borrow().describe()
+        )
     }
 
     /// Inserts one row.

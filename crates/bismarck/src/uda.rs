@@ -275,11 +275,8 @@ mod tests {
 
     #[test]
     fn avg_matches_manual() {
-        let t = table_with(&[
-            (vec![1.0, 10.0], 1.0),
-            (vec![2.0, 20.0], -1.0),
-            (vec![3.0, 30.0], 1.0),
-        ]);
+        let t =
+            table_with(&[(vec![1.0, 10.0], 1.0), (vec![2.0, 20.0], -1.0), (vec![3.0, 30.0], 1.0)]);
         let mut avg0 = AvgAggregate::over_column(0);
         assert_eq!(run_aggregate(&t, &mut avg0).unwrap(), Some(2.0));
         let mut avg1 = AvgAggregate::over_column(1);
@@ -344,8 +341,7 @@ mod tests {
     fn epoch_counter_continues_across_epochs() {
         let t = table_with(&vec![(vec![0.5], 1.0); 10]);
         let loss = Logistic::plain();
-        let mut agg =
-            SgdEpochAggregate::new(&loss, StepSize::InvSqrtT, 3, None, vec![0.0], 0, 10);
+        let mut agg = SgdEpochAggregate::new(&loss, StepSize::InvSqrtT, 3, None, vec![0.0], 0, 10);
         let out1 = run_aggregate(&t, &mut agg).unwrap();
         assert_eq!(out1.t, 4); // ⌈10/3⌉
         let mut agg2 =
@@ -361,8 +357,9 @@ mod tests {
         let mut calls = Vec::new();
         {
             let mut hook = |t: u64, _g: &mut [f64]| calls.push(t);
-            let mut agg = SgdEpochAggregate::new(&loss, StepSize::InvSqrtT, 4, None, vec![0.0], 0, 10)
-                .with_batch_noise(&mut hook);
+            let mut agg =
+                SgdEpochAggregate::new(&loss, StepSize::InvSqrtT, 4, None, vec![0.0], 0, 10)
+                    .with_batch_noise(&mut hook);
             run_aggregate(&t, &mut agg).unwrap();
         }
         assert_eq!(calls, vec![1, 2, 3]); // batches of 4, 4, 2
@@ -372,15 +369,8 @@ mod tests {
     fn projection_applies_in_uda_path() {
         let t = table_with(&vec![(vec![1.0], 1.0); 20]);
         let loss = Logistic::plain();
-        let mut agg = SgdEpochAggregate::new(
-            &loss,
-            StepSize::Constant(5.0),
-            1,
-            Some(0.1),
-            vec![0.0],
-            0,
-            20,
-        );
+        let mut agg =
+            SgdEpochAggregate::new(&loss, StepSize::Constant(5.0), 1, Some(0.1), vec![0.0], 0, 20);
         let out = run_aggregate(&t, &mut agg).unwrap();
         assert!(vector::norm(&out.model) <= 0.1 + 1e-12);
     }

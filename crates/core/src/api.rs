@@ -1,6 +1,34 @@
 //! A unified high-level API over the four training algorithms the paper
 //! evaluates (Noiseless, ours, SCS13, BST14) — the entry point the examples
 //! and the benchmark harness use, so every experiment cell is a [`TrainPlan`].
+//!
+//! Swapping algorithms on the same data is one enum away:
+//!
+//! ```
+//! use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+//! use bolton::Budget;
+//! use bolton_sgd::dataset::InMemoryDataset;
+//!
+//! let data = InMemoryDataset::from_flat(
+//!     vec![0.8, 0.0, -0.6, 0.3, 0.5, -0.2, -0.9, 0.1],
+//!     vec![1.0, -1.0, 1.0, -1.0],
+//!     2,
+//! );
+//! // δ > 0 so BST14 (which needs an approximate budget) is accepted too.
+//! let budget = Budget::approx(1.0, 1e-6).unwrap();
+//! for alg in [
+//!     AlgorithmKind::Noiseless,
+//!     AlgorithmKind::BoltOn,
+//!     AlgorithmKind::Scs13,
+//!     AlgorithmKind::Bst14,
+//! ] {
+//!     let plan = TrainPlan::new(LossKind::Logistic { lambda: 1e-2 }, alg, Some(budget))
+//!         .with_passes(3)
+//!         .with_batch_size(2);
+//!     let model = plan.train(&data, &mut bolton_rng::seeded(7)).unwrap();
+//!     assert!(model.iter().all(|w| w.is_finite()), "{}", alg.label());
+//! }
+//! ```
 
 use crate::bst14::{train_bst14, Bst14Config};
 use crate::output_perturbation::{train_private, BoltOnConfig, SensitivityMode};
@@ -243,10 +271,8 @@ impl TrainPlan {
                     passes: self.passes,
                     batch_size: self.batch_size,
                 };
-                Ok(crate::objective_perturbation::train_objective_perturbation(
-                    data, &config, rng,
-                )?
-                .model)
+                Ok(crate::objective_perturbation::train_objective_perturbation(data, &config, rng)?
+                    .model)
             }
         }
     }
@@ -282,8 +308,7 @@ mod tests {
             AlgorithmKind::Scs13,
             AlgorithmKind::Bst14,
         ] {
-            let plan =
-                TrainPlan::new(LossKind::Logistic { lambda: 0.0 }, alg, Some(budget));
+            let plan = TrainPlan::new(LossKind::Logistic { lambda: 0.0 }, alg, Some(budget));
             let model = plan.train(&data, &mut seeded(272)).unwrap();
             assert_eq!(model.len(), 2, "{}", alg.label());
             assert!(model.iter().all(|v| v.is_finite()), "{}", alg.label());
@@ -300,8 +325,7 @@ mod tests {
             AlgorithmKind::Scs13,
             AlgorithmKind::Bst14,
         ] {
-            let plan =
-                TrainPlan::new(LossKind::Logistic { lambda: 1e-3 }, alg, Some(budget));
+            let plan = TrainPlan::new(LossKind::Logistic { lambda: 1e-3 }, alg, Some(budget));
             let model = plan.train(&data, &mut seeded(274)).unwrap();
             assert!(model.iter().all(|v| v.is_finite()), "{}", alg.label());
         }
@@ -366,11 +390,8 @@ mod tests {
             LossKind::HuberSvm { h: 0.1, lambda: 1e-3 },
             LossKind::LeastSquares { lambda: 1e-3, radius: 5.0 },
         ] {
-            let plan = TrainPlan::new(
-                loss,
-                AlgorithmKind::BoltOn,
-                Some(Budget::pure(1.0).unwrap()),
-            );
+            let plan =
+                TrainPlan::new(loss, AlgorithmKind::BoltOn, Some(Budget::pure(1.0).unwrap()));
             assert!(plan.train(&data, &mut seeded(284)).is_ok(), "{loss:?}");
         }
     }

@@ -72,16 +72,8 @@ pub fn audit_mechanism<R: Rng + ?Sized>(
     }
 
     // Shared binning over the pooled range.
-    let lo = stats_s
-        .iter()
-        .chain(stats_n.iter())
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let hi = stats_s
-        .iter()
-        .chain(stats_n.iter())
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = stats_s.iter().chain(stats_n.iter()).cloned().fold(f64::INFINITY, f64::min);
+    let hi = stats_s.iter().chain(stats_n.iter()).cloned().fold(f64::NEG_INFINITY, f64::max);
     let width = ((hi - lo) / config.bins as f64).max(f64::MIN_POSITIVE);
     let bin_of = |x: f64| (((x - lo) / width) as usize).min(config.bins - 1);
 
@@ -172,8 +164,8 @@ mod tests {
             |which, r| {
                 let d = if which { &neighbor } else { &data };
                 // BUG under test: train at ε = 100·claimed but claim tiny ε.
-                let config = BoltOnConfig::new(Budget::pure(claimed_eps * 100.0).unwrap())
-                    .with_passes(2);
+                let config =
+                    BoltOnConfig::new(Budget::pure(claimed_eps * 100.0).unwrap()).with_passes(2);
                 train_private(d, &loss, &config, r).unwrap().model
             },
             |w| w[0],

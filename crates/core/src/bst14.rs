@@ -22,7 +22,9 @@ use bolton_privacy::budget::{Budget, PrivacyError};
 use bolton_privacy::composition::solve_per_iteration_eps;
 use bolton_rng::dist::standard_normal;
 use bolton_rng::Rng;
-use bolton_sgd::engine::{batches_per_pass, run_psgd_with_hook, Averaging, BatchPlan, SamplingScheme, SgdConfig};
+use bolton_sgd::engine::{
+    batches_per_pass, run_psgd_with_hook, Averaging, BatchPlan, SamplingScheme, SgdConfig,
+};
 use bolton_sgd::loss::Loss;
 use bolton_sgd::schedule::StepSize;
 use bolton_sgd::TrainSet;
@@ -201,8 +203,7 @@ mod tests {
     #[test]
     fn calibration_solves_composition() {
         let loss = Logistic::plain();
-        let config =
-            Bst14Config::new(Budget::approx(1.0, 1e-6).unwrap(), 10.0).with_passes(5);
+        let config = Bst14Config::new(Budget::approx(1.0, 1e-6).unwrap(), 10.0).with_passes(5);
         let cal = calibrate(&loss, &config, 1000, 50).unwrap();
         assert_eq!(cal.iterations, 5000);
         assert!((cal.delta1 - 1e-6 / 5000.0).abs() < 1e-18);
@@ -225,8 +226,7 @@ mod tests {
         // original O(m²) iterations shrinks per-iteration noise.
         let loss = Logistic::plain();
         let mk = |k: usize| {
-            let config =
-                Bst14Config::new(Budget::approx(1.0, 1e-6).unwrap(), 10.0).with_passes(k);
+            let config = Bst14Config::new(Budget::approx(1.0, 1e-6).unwrap(), 10.0).with_passes(k);
             calibrate(&loss, &config, 2000, 10).unwrap().sigma_sq
         };
         assert!(mk(1) < mk(10), "1-pass sigma² {} should be < 10-pass {}", mk(1), mk(10));

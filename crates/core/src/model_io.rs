@@ -94,10 +94,7 @@ pub fn save_linear<W: Write>(w: &[f64], writer: W) -> Result<(), ModelIoError> {
 ///
 /// # Errors
 /// I/O failures; rejects an empty model.
-pub fn save_multiclass<W: Write>(
-    model: &MulticlassModel,
-    writer: W,
-) -> Result<(), ModelIoError> {
+pub fn save_multiclass<W: Write>(model: &MulticlassModel, writer: W) -> Result<(), ModelIoError> {
     if model.models.is_empty() {
         return Err(format_err("multiclass model has no classes"));
     }
@@ -213,9 +210,8 @@ mod tests {
 
     #[test]
     fn multiclass_roundtrip() {
-        let model = MulticlassModel {
-            models: vec![vec![1.0, 2.0], vec![-1.0, 0.5], vec![0.0, -3.25]],
-        };
+        let model =
+            MulticlassModel { models: vec![vec![1.0, 2.0], vec![-1.0, 0.5], vec![0.0, -3.25]] };
         let mut bytes = Vec::new();
         save_multiclass(&model, &mut bytes).unwrap();
         let back = load_multiclass(&bytes[..]).unwrap();
@@ -245,8 +241,7 @@ mod tests {
             "bolton-model v1\nkind one-vs-all\ndim 1\nclasses 1\n3ff0000000000000\n",
         ] {
             assert!(
-                load_linear(text.as_bytes()).is_err()
-                    && load_multiclass(text.as_bytes()).is_err(),
+                load_linear(text.as_bytes()).is_err() && load_multiclass(text.as_bytes()).is_err(),
                 "should reject: {text:?}"
             );
         }
@@ -254,8 +249,7 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let path =
-            std::env::temp_dir().join(format!("bolton-model-{}.txt", std::process::id()));
+        let path = std::env::temp_dir().join(format!("bolton-model-{}.txt", std::process::id()));
         let w = vec![0.25, -0.75];
         save_linear(&w, std::fs::File::create(&path).unwrap()).unwrap();
         let back = load_linear(std::fs::File::open(&path).unwrap()).unwrap();

@@ -198,9 +198,7 @@ mod tests {
 
     #[test]
     fn predict_is_argmax() {
-        let m = MulticlassModel {
-            models: vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, -1.0]],
-        };
+        let m = MulticlassModel { models: vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, -1.0]] };
         assert_eq!(m.predict(&[1.0, 0.1]), 0);
         assert_eq!(m.predict(&[0.1, 1.0]), 1);
         assert_eq!(m.predict(&[-1.0, -1.0]), 2);

@@ -141,8 +141,7 @@ where
     let mut extra_lambda = 0.0;
     let mut eps_prime = eps - 2.0 * (1.0 + LOGISTIC_CURVATURE / (m_f * lambda)).ln();
     if eps_prime <= 0.0 {
-        extra_lambda =
-            (LOGISTIC_CURVATURE / (m_f * ((eps / 4.0).exp() - 1.0)) - lambda).max(0.0);
+        extra_lambda = (LOGISTIC_CURVATURE / (m_f * ((eps / 4.0).exp() - 1.0)) - lambda).max(0.0);
         lambda += extra_lambda;
         eps_prime = eps / 2.0;
     }
@@ -155,11 +154,8 @@ where
     let linear_norm = vector::norm(&linear);
 
     let radius = 1.0 / lambda;
-    let loss = PerturbedLogistic {
-        inner: Logistic::regularized(lambda, radius),
-        linear,
-        linear_norm,
-    };
+    let loss =
+        PerturbedLogistic { inner: Logistic::regularized(lambda, radius), linear, linear_norm };
     let step = StepSize::StronglyConvex { beta: loss.smoothness(), gamma: lambda };
     let sgd = SgdConfig::new(step)
         .with_passes(config.passes)
@@ -270,8 +266,7 @@ mod tests {
             passes: 10,
             batch_size: 10,
         };
-        let private =
-            train_objective_perturbation(&data, &config, &mut seeded(610)).unwrap();
+        let private = train_objective_perturbation(&data, &config, &mut seeded(610)).unwrap();
         let loss = Logistic::regularized(lambda, 1.0 / lambda);
         let step = StepSize::StronglyConvex { beta: loss.smoothness(), gamma: lambda };
         let sgd = SgdConfig::new(step)

@@ -357,8 +357,7 @@ mod tests {
     fn gaussian_noise_for_approx_budget() {
         let data = dataset(1000, 206);
         let loss = Logistic::plain();
-        let config =
-            BoltOnConfig::new(Budget::approx(1.0, 1e-6).unwrap()).with_passes(2);
+        let config = BoltOnConfig::new(Budget::approx(1.0, 1e-6).unwrap()).with_passes(2);
         let out = train_private(&data, &loss, &config, &mut seeded(207)).unwrap();
         assert!(out.noise_norm() > 0.0);
         assert!(!out.budget.is_pure());
@@ -388,10 +387,7 @@ mod tests {
         };
         let tight = avg_noise(0.1, 209);
         let loose = avg_noise(4.0, 209);
-        assert!(
-            tight > 5.0 * loose,
-            "ε=0.1 noise {tight} should dwarf ε=4 noise {loose}"
-        );
+        assert!(tight > 5.0 * loose, "ε=0.1 noise {tight} should dwarf ε=4 noise {loose}");
     }
 
     #[test]
@@ -445,10 +441,7 @@ mod oblivious_k_tests {
         let uncapped = BoltOnConfig::new(Budget::pure(1.0).unwrap())
             .with_passes(1)
             .with_projection(1.0 / lambda);
-        assert_eq!(
-            out.sensitivity,
-            calibrate_sensitivity(&loss, &uncapped, 600).unwrap()
-        );
+        assert_eq!(out.sensitivity, calibrate_sensitivity(&loss, &uncapped, 600).unwrap());
     }
 
     /// In the convex case the tolerance is still sound: calibration uses
@@ -457,9 +450,8 @@ mod oblivious_k_tests {
     fn convex_tolerance_calibrates_at_the_cap() {
         let data = dataset(400, 293);
         let loss = Logistic::plain();
-        let config = BoltOnConfig::new(Budget::pure(1.0).unwrap())
-            .with_passes(50)
-            .with_tolerance(0.05);
+        let config =
+            BoltOnConfig::new(Budget::pure(1.0).unwrap()).with_passes(50).with_tolerance(0.05);
         let out = train_private(&data, &loss, &config, &mut seeded(294)).unwrap();
         let at_cap = calibrate_sensitivity(&loss, &config, 400).unwrap();
         assert_eq!(out.sensitivity, at_cap);

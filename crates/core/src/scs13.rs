@@ -113,11 +113,9 @@ where
     // the other the noise inside the hook (the hook's &mut borrow must not
     // alias the engine's).
     let mut noise_rng = rng.fork_stream();
-    let outcome = run_psgd_with_hook(data, loss, &sgd_config, rng, |_t, grad| {
-        match &mechanism {
-            PerStep::Laplace(mech) => mech.perturb(&mut noise_rng, grad),
-            PerStep::Gauss(mech) => mech.perturb(&mut noise_rng, grad),
-        }
+    let outcome = run_psgd_with_hook(data, loss, &sgd_config, rng, |_t, grad| match &mechanism {
+        PerStep::Laplace(mech) => mech.perturb(&mut noise_rng, grad),
+        PerStep::Gauss(mech) => mech.perturb(&mut noise_rng, grad),
     });
 
     Ok(Scs13Model {
@@ -186,9 +184,8 @@ mod tests {
     fn gaussian_variant_runs() {
         let data = dataset(400, 227);
         let loss = Logistic::plain();
-        let config = Scs13Config::new(Budget::approx(1.0, 1e-6).unwrap())
-            .with_passes(2)
-            .with_batch_size(20);
+        let config =
+            Scs13Config::new(Budget::approx(1.0, 1e-6).unwrap()).with_passes(2).with_batch_size(20);
         let out = train_scs13(&data, &loss, &config, &mut seeded(228)).unwrap();
         assert_eq!(out.updates, 40);
     }

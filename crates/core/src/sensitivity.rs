@@ -64,26 +64,19 @@ pub fn convex_decreasing_step(
     let m_f = m as f64;
     // The k = 1 term of the corollary's derivation is 1/(m^c + 1); the
     // printed bound absorbs it into 1/m^c. ln 1 = 0 keeps k = 1 sane.
-    4.0 * lipschitz / beta * (1.0 / m_f.powf(c) + (k as f64).ln() / m_f) / effective_batch_divisor(m, b) as f64
+    4.0 * lipschitz / beta * (1.0 / m_f.powf(c) + (k as f64).ln() / m_f)
+        / effective_batch_divisor(m, b) as f64
 }
 
 /// Corollary 3: convex loss, square-root step `η_t = 2/(β(√t+m^c))`:
 /// `Δ₂ = (4L/β)·Σ_{j=0}^{k−1} 1/(√(jm+1)+m^c) / b` (the exact sum, tighter
 /// than the corollary's O(·) simplification).
-pub fn convex_sqrt_step(
-    lipschitz: f64,
-    beta: f64,
-    m: usize,
-    c: f64,
-    k: usize,
-    b: usize,
-) -> f64 {
+pub fn convex_sqrt_step(lipschitz: f64, beta: f64, m: usize, c: f64, k: usize, b: usize) -> f64 {
     check_common(lipschitz, k, m, b);
     assert!(beta > 0.0, "smoothness must be > 0");
     assert!((0.0..1.0).contains(&c), "exponent c must be in [0,1)");
     let m_f = m as f64;
-    let sum: f64 =
-        (0..k).map(|j| 1.0 / ((j as f64 * m_f + 1.0).sqrt() + m_f.powf(c))).sum();
+    let sum: f64 = (0..k).map(|j| 1.0 / ((j as f64 * m_f + 1.0).sqrt() + m_f.powf(c))).sum();
     4.0 * lipschitz / beta * sum / effective_batch_divisor(m, b) as f64
 }
 
@@ -125,13 +118,7 @@ pub fn averaging_factor(weights_sum: f64) -> f64 {
 /// The exact Lemma 4 growth recursion for an arbitrary schedule — the
 /// ground truth the closed forms above must dominate (for `b = 1`) and the
 /// rigorous fallback for batch-indexed strongly convex schedules.
-pub fn replayed(
-    constants: &LossConstants,
-    step: &StepSize,
-    k: usize,
-    m: usize,
-    b: usize,
-) -> f64 {
+pub fn replayed(constants: &LossConstants, step: &StepSize, k: usize, m: usize, b: usize) -> f64 {
     growth::replay_sensitivity(constants, step, k, m, b)
 }
 
@@ -162,10 +149,7 @@ mod tests {
                 let eta = 0.02;
                 let closed = convex_constant_step(c.lipschitz, eta, k, 120, b);
                 let exact = replayed(&c, &StepSize::Constant(eta), k, 120, b);
-                assert!(
-                    closed >= exact - 1e-12,
-                    "b={b},k={k}: closed {closed} < replay {exact}"
-                );
+                assert!(closed >= exact - 1e-12, "b={b},k={k}: closed {closed} < replay {exact}");
             }
         }
     }
@@ -218,10 +202,7 @@ mod tests {
         for k in [1usize, 2, 6] {
             let closed = strongly_convex_decreasing_step(c.lipschitz, gamma, m, 1);
             let exact = replayed(&c, &step, k, m, 1);
-            assert!(
-                closed >= exact - 1e-12,
-                "k={k}: closed {closed} < replay {exact}"
-            );
+            assert!(closed >= exact - 1e-12, "k={k}: closed {closed} < replay {exact}");
         }
     }
 

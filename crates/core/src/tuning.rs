@@ -35,8 +35,7 @@ pub fn grid(passes: &[usize], batch_sizes: &[usize], lambdas: &[f64]) -> Vec<Can
 
 /// A trainer callback: fit a model on `portion` with hyper-parameters
 /// `candidate`, consuming randomness from `rng`.
-pub type TrainFn<'a> =
-    dyn FnMut(&InMemoryDataset, &Candidate, &mut dyn Rng) -> Vec<f64> + 'a;
+pub type TrainFn<'a> = dyn FnMut(&InMemoryDataset, &Candidate, &mut dyn Rng) -> Vec<f64> + 'a;
 
 /// The outcome of a tuning run.
 #[derive(Clone, Debug)]
@@ -97,8 +96,7 @@ pub fn private_tune_models<M>(
 
     // Exponential mechanism over utilities u_i = −χ_i (one changed example
     // moves each error count by at most one, so Δu = 1).
-    let mechanism =
-        bolton_privacy::ExponentialMechanism::new(selection_budget.eps(), 1.0)?;
+    let mechanism = bolton_privacy::ExponentialMechanism::new(selection_budget.eps(), 1.0)?;
     let utilities: Vec<f64> = error_counts.iter().map(|&chi| -(chi as f64)).collect();
     let selected = mechanism.select(rng, &utilities);
 
@@ -205,14 +203,9 @@ mod tests {
                     vec![-1.0, 0.0] // inverted
                 }
             };
-            let tuned = private_tune(
-                &data,
-                &candidates,
-                Budget::pure(1.0).unwrap(),
-                &mut train,
-                &mut rng,
-            )
-            .unwrap();
+            let tuned =
+                private_tune(&data, &candidates, Budget::pure(1.0).unwrap(), &mut train, &mut rng)
+                    .unwrap();
             picks[tuned.selected] += 1;
         }
         assert!(picks[1] >= 28, "good candidate picked {}/30", picks[1]);
@@ -234,14 +227,9 @@ mod tests {
                     vec![-1.0, 0.0]
                 }
             };
-            let tuned = private_tune(
-                &data,
-                &candidates,
-                Budget::pure(1e-4).unwrap(),
-                &mut train,
-                &mut rng,
-            )
-            .unwrap();
+            let tuned =
+                private_tune(&data, &candidates, Budget::pure(1e-4).unwrap(), &mut train, &mut rng)
+                    .unwrap();
             if tuned.selected == 0 {
                 bad_picks += 1;
             }
@@ -255,20 +243,12 @@ mod tests {
     #[test]
     fn private_tune_validates_inputs() {
         let data = dataset(10, 254);
-        let mut train =
-            |_p: &InMemoryDataset, _c: &Candidate, _r: &mut dyn Rng| vec![0.0, 0.0];
+        let mut train = |_p: &InMemoryDataset, _c: &Candidate, _r: &mut dyn Rng| vec![0.0, 0.0];
         let mut rng = seeded(255);
-        assert!(private_tune(&data, &[], Budget::pure(1.0).unwrap(), &mut train, &mut rng)
-            .is_err());
+        assert!(private_tune(&data, &[], Budget::pure(1.0).unwrap(), &mut train, &mut rng).is_err());
         let big_grid = grid(&[1, 2, 3, 4, 5, 6], &[1, 2], &[0.0]);
-        assert!(private_tune(
-            &data,
-            &big_grid,
-            Budget::pure(1.0).unwrap(),
-            &mut train,
-            &mut rng
-        )
-        .is_err());
+        assert!(private_tune(&data, &big_grid, Budget::pure(1.0).unwrap(), &mut train, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -276,16 +256,13 @@ mod tests {
         let train_data = dataset(400, 256);
         let val_data = dataset(200, 257);
         let candidates = grid(&[1, 2, 3], &[1], &[0.0]);
-        let mut train = |_p: &InMemoryDataset, c: &Candidate, _r: &mut dyn Rng| {
-            match c.passes {
-                2 => vec![1.0, 0.0],
-                3 => vec![0.5, 0.1],
-                _ => vec![-1.0, 0.0],
-            }
+        let mut train = |_p: &InMemoryDataset, c: &Candidate, _r: &mut dyn Rng| match c.passes {
+            2 => vec![1.0, 0.0],
+            3 => vec![0.5, 0.1],
+            _ => vec![-1.0, 0.0],
         };
         let mut rng = seeded(258);
-        let (best, accs) =
-            public_tune(&train_data, &val_data, &candidates, &mut train, &mut rng);
+        let (best, accs) = public_tune(&train_data, &val_data, &candidates, &mut train, &mut rng);
         assert_eq!(accs.len(), 3);
         assert!(accs[best] >= accs[0] && accs[best] >= accs[2]);
         assert_eq!(best, 1);
@@ -295,8 +272,7 @@ mod tests {
     fn error_counts_reflect_holdout() {
         let data = dataset(500, 259);
         let candidates = grid(&[1], &[1], &[0.0]);
-        let mut train =
-            |_p: &InMemoryDataset, _c: &Candidate, _r: &mut dyn Rng| vec![1.0, 0.0];
+        let mut train = |_p: &InMemoryDataset, _c: &Candidate, _r: &mut dyn Rng| vec![1.0, 0.0];
         let mut rng = seeded(260);
         let tuned =
             private_tune(&data, &candidates, Budget::pure(1.0).unwrap(), &mut train, &mut rng)
@@ -338,10 +314,9 @@ mod generic_tests {
             let mut models = Vec::new();
             for class in 0..3 {
                 let view = OneVsRestView::new(portion, class);
-                let config =
-                    bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
-                        .with_passes(c.passes)
-                        .with_batch_size(c.batch_size);
+                let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
+                    .with_passes(c.passes)
+                    .with_batch_size(c.batch_size);
                 models.push(bolton_sgd::run_psgd(&view, &loss, &config, r).model);
             }
             MulticlassModel { models }

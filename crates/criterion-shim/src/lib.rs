@@ -1,0 +1,211 @@
+//! A minimal, dependency-free stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `criterion` crate cannot be fetched. This shim implements exactly
+//! the API surface used by the benches in `crates/bench/benches/` — groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`, ids,
+//! throughput, and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple adaptive wall-clock timer that prints per-benchmark mean
+//! times to stdout.
+//!
+//! Swapping in the real criterion later is a one-line change in
+//! `[workspace.dependencies]`; no bench source needs to change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark. Kept short: these benches run
+/// real training epochs and the shim favors fast feedback over tight
+/// confidence intervals.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// How work is batched between setup calls in [`Bencher::iter_batched`].
+/// The shim runs one routine call per setup call regardless of variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group, mirroring criterion's type.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; drives the measurement loop.
+pub struct Bencher {
+    /// Mean wall-clock time per routine call, filled in by `iter`/`iter_batched`.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { mean: Duration::ZERO, iters: 0 }
+    }
+
+    /// Time `routine` adaptively: one warm-up call sizes the loop so the
+    /// measured region lasts roughly `TARGET_MEASURE`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_start = Instant::now();
+        let _ = routine();
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE.as_nanos() / once.as_nanos()).clamp(1, 5_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = routine();
+        }
+        self.mean = start.elapsed() / iters as u32;
+        self.iters = iters;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup cost.
+    /// One routine call per setup call; iteration count adapts as in `iter`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warmup_start = Instant::now();
+        let _ = routine(input);
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            let _ = routine(input);
+            total += start.elapsed();
+        }
+        self.mean = total / iters as u32;
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks, printed under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim's loop sizing is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.label), &bencher, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean_ns = bencher.mean.as_nanos() as f64;
+    let time = if mean_ns >= 1e9 {
+        format!("{:.3} s", mean_ns / 1e9)
+    } else if mean_ns >= 1e6 {
+        format!("{:.3} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.3} µs", mean_ns / 1e3)
+    } else {
+        format!("{:.0} ns", mean_ns)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (mean_ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 / (mean_ns / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {time:>12}/iter  [{} iters]{rate}", bencher.iters);
+}
+
+/// Re-export so `criterion::black_box` works as in the real crate.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -159,8 +159,7 @@ pub fn generate_scaled(spec: DatasetSpec, seed: u64, scale: f64) -> Benchmark {
             // Gaussian random projection to 50 dims ("this random projection
             // only incurs very small loss in test accuracy").
             let raw = gaussian_mixture(&mut rng, total, spec.raw_dim(), 10, 0.75);
-            let projection =
-                RandomProjection::gaussian(&mut rng, spec.raw_dim(), spec.model_dim());
+            let projection = RandomProjection::gaussian(&mut rng, spec.raw_dim(), spec.model_dim());
             project_dataset(&raw, &projection)
         }
         DatasetSpec::Protein => margin_binary(&mut rng, total, spec.raw_dim(), 0.05, 0.015),
@@ -171,12 +170,7 @@ pub fn generate_scaled(spec: DatasetSpec, seed: u64, scale: f64) -> Benchmark {
 
     let train_idx: Vec<usize> = (0..m_train).collect();
     let test_idx: Vec<usize> = (m_train..total).collect();
-    Benchmark {
-        spec,
-        train: all.subset(&train_idx),
-        test: all.subset(&test_idx),
-        scale,
-    }
+    Benchmark { spec, train: all.subset(&train_idx), test: all.subset(&test_idx), scale }
 }
 
 #[cfg(test)]
@@ -248,13 +242,10 @@ mod tests {
         ];
         for (spec, lo, hi) in cases {
             let b = generate_scaled(spec, 11, 0.01);
-            let plan = TrainPlan::new(
-                LossKind::Logistic { lambda: 0.0 },
-                AlgorithmKind::Noiseless,
-                None,
-            )
-            .with_passes(10)
-            .with_batch_size(50);
+            let plan =
+                TrainPlan::new(LossKind::Logistic { lambda: 0.0 }, AlgorithmKind::Noiseless, None)
+                    .with_passes(10)
+                    .with_batch_size(50);
             let model = plan.train(&b.train, &mut bolton_rng::seeded(12)).unwrap();
             let acc = bolton_sgd::metrics::accuracy(&model, &b.test);
             assert!(

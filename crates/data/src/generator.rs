@@ -144,8 +144,8 @@ mod tests {
         let mut rng = seeded(302);
         let easy = margin_binary(&mut rng, 1500, 8, 0.2, 0.0);
         let loss = bolton_sgd::Logistic::plain();
-        let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(1.0))
-            .with_passes(10);
+        let config =
+            bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(1.0)).with_passes(10);
         let model = bolton_sgd::run_psgd(&easy, &loss, &config, &mut rng).model;
         let acc = bolton_sgd::metrics::accuracy(&model, &easy);
         assert!(acc > 0.97, "margin data should be almost perfectly learnable: {acc}");
@@ -189,8 +189,8 @@ mod tests {
             3,
             bolton::Budget::pure(1e6).unwrap(),
             |view, _b, r| {
-                let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
-                    .with_passes(8);
+                let config =
+                    bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5)).with_passes(8);
                 Ok(bolton_sgd::run_psgd(view, &loss, &config, r).model)
             },
             &mut rng,

@@ -67,8 +67,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<InMemoryDataset, LoadError> {
         }
         let values: Result<Vec<f64>, _> =
             trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
-        let values =
-            values.map_err(|e| malformed(line_no, format!("bad number: {e}")))?;
+        let values = values.map_err(|e| malformed(line_no, format!("bad number: {e}")))?;
         if values.len() < 2 {
             return Err(malformed(line_no, "need at least one feature and a label"));
         }
@@ -185,11 +184,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        let data = InMemoryDataset::from_flat(
-            vec![0.5, -1.25, 0.0, 3.5],
-            vec![1.0, -1.0],
-            2,
-        );
+        let data = InMemoryDataset::from_flat(vec![0.5, -1.25, 0.0, 3.5], vec![1.0, -1.0], 2);
         let mut bytes = Vec::new();
         write_csv(&data, &mut bytes).unwrap();
         let back = read_csv(&bytes[..]).unwrap();
@@ -227,11 +222,8 @@ mod tests {
 
     #[test]
     fn libsvm_roundtrip_with_sparsity() {
-        let data = InMemoryDataset::from_flat(
-            vec![0.0, 2.0, 0.0, 1.5, 0.0, -3.0],
-            vec![1.0, -1.0],
-            3,
-        );
+        let data =
+            InMemoryDataset::from_flat(vec![0.0, 2.0, 0.0, 1.5, 0.0, -3.0], vec![1.0, -1.0], 3);
         let mut bytes = Vec::new();
         write_libsvm(&data, &mut bytes).unwrap();
         let text = String::from_utf8(bytes.clone()).unwrap();
@@ -243,18 +235,9 @@ mod tests {
 
     #[test]
     fn libsvm_rejects_bad_indices() {
-        assert!(matches!(
-            read_libsvm("1 0:5\n".as_bytes(), 3),
-            Err(LoadError::Malformed { .. })
-        ));
-        assert!(matches!(
-            read_libsvm("1 4:5\n".as_bytes(), 3),
-            Err(LoadError::Malformed { .. })
-        ));
-        assert!(matches!(
-            read_libsvm("1 2-5\n".as_bytes(), 3),
-            Err(LoadError::Malformed { .. })
-        ));
+        assert!(matches!(read_libsvm("1 0:5\n".as_bytes(), 3), Err(LoadError::Malformed { .. })));
+        assert!(matches!(read_libsvm("1 4:5\n".as_bytes(), 3), Err(LoadError::Malformed { .. })));
+        assert!(matches!(read_libsvm("1 2-5\n".as_bytes(), 3), Err(LoadError::Malformed { .. })));
     }
 
     #[test]

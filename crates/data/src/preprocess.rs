@@ -1,7 +1,7 @@
 //! Feature preprocessing: one-hot encoding for categorical columns (how
 //! KDDCup-99's protocol/service/flag fields become numeric), per-column
 //! standardization, and min-max scaling — the steps upstream of the
-//! paper's unit-sphere normalization ("such preprocessing [is] common for
+//! paper's unit-sphere normalization ("such preprocessing \[is\] common for
 //! general machine learning problems, not just private ones", Section 2).
 
 use bolton_sgd::dataset::InMemoryDataset;
@@ -61,8 +61,7 @@ impl OneHotColumn {
 /// Panics if any encoding's column index is out of range.
 pub fn one_hot_encode(data: &InMemoryDataset, encodings: &[OneHotColumn]) -> InMemoryDataset {
     let categorical: Vec<usize> = encodings.iter().map(|e| e.column).collect();
-    let passthrough: Vec<usize> =
-        (0..data.dim()).filter(|c| !categorical.contains(c)).collect();
+    let passthrough: Vec<usize> = (0..data.dim()).filter(|c| !categorical.contains(c)).collect();
     let out_dim: usize =
         passthrough.len() + encodings.iter().map(OneHotColumn::cardinality).sum::<usize>();
     let mut features = Vec::with_capacity(data.len() * out_dim);
@@ -175,7 +174,7 @@ mod tests {
         assert_eq!(enc.cardinality(), 3);
         let out = one_hot_encode(&data, &[enc]);
         assert_eq!(out.dim(), 4); // 1 passthrough + 3 indicators
-        // Row 0: continuous 0.5, category 2 → slot for 2.
+                                  // Row 0: continuous 0.5, category 2 → slot for 2.
         let row0 = out.features_of(0);
         assert_eq!(row0[0], 0.5);
         assert_eq!(row0[1..].iter().sum::<f64>(), 1.0);
@@ -218,11 +217,8 @@ mod tests {
 
     #[test]
     fn min_max_scales_into_unit_interval() {
-        let data = InMemoryDataset::from_flat(
-            vec![-2.0, 7.0, 0.0, 7.0, 2.0, 7.0],
-            vec![1.0, 1.0, 1.0],
-            2,
-        );
+        let data =
+            InMemoryDataset::from_flat(vec![-2.0, 7.0, 0.0, 7.0, 2.0, 7.0], vec![1.0, 1.0, 1.0], 2);
         let out = min_max_scale(&data);
         assert_eq!(out.features_of(0)[0], 0.0);
         assert_eq!(out.features_of(1)[0], 0.5);

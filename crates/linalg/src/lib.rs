@@ -15,6 +15,6 @@ pub mod stats;
 pub mod vector;
 
 pub use matrix::Matrix;
-pub use sparse::SparseVec;
 pub use projection::RandomProjection;
+pub use sparse::SparseVec;
 pub use stats::OnlineStats;

@@ -100,9 +100,8 @@ mod tests {
         let d = 300;
         let k = 64;
         let p = RandomProjection::gaussian(&mut rng, d, k);
-        let points: Vec<Vec<f64>> = (0..6)
-            .map(|_| (0..d).map(|_| rng.next_range(-1.0, 1.0)).collect())
-            .collect();
+        let points: Vec<Vec<f64>> =
+            (0..6).map(|_| (0..d).map(|_| rng.next_range(-1.0, 1.0)).collect()).collect();
         for i in 0..points.len() {
             for j in (i + 1)..points.len() {
                 let orig = distance(&points[i], &points[j]);
@@ -129,10 +128,7 @@ mod tests {
             .sum::<f64>()
             / n_trials as f64;
         let target = norm(&x).powi(2);
-        assert!(
-            (mean_sq - target).abs() < 0.1 * target,
-            "E‖Tx‖² = {mean_sq} vs ‖x‖² = {target}"
-        );
+        assert!((mean_sq - target).abs() < 0.1 * target, "E‖Tx‖² = {mean_sq} vs ‖x‖² = {target}");
     }
 
     #[test]

@@ -81,10 +81,9 @@ mod tests {
         // E‖g‖² = dim.
         let mut rng = seeded(144);
         let dim = 25;
-        let mean_sq: f64 = (0..5000)
-            .map(|_| vector::norm_sq(&gaussian_vector(&mut rng, dim)))
-            .sum::<f64>()
-            / 5000.0;
+        let mean_sq: f64 =
+            (0..5000).map(|_| vector::norm_sq(&gaussian_vector(&mut rng, dim))).sum::<f64>()
+                / 5000.0;
         assert!((mean_sq - dim as f64).abs() < 0.5, "E‖g‖² = {mean_sq}");
     }
 

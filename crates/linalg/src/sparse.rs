@@ -208,10 +208,7 @@ mod proptests {
     fn sparse_dense_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
         (1usize..40).prop_flat_map(|d| {
             (
-                proptest::collection::vec(
-                    prop_oneof![3 => Just(0.0), 1 => -10.0f64..10.0],
-                    d..=d,
-                ),
+                proptest::collection::vec(prop_oneof![3 => Just(0.0), 1 => -10.0f64..10.0], d..=d),
                 proptest::collection::vec(-10.0f64..10.0, d..=d),
             )
         })

@@ -69,11 +69,7 @@ pub fn sub(x: &[f64], y: &[f64], out: &mut [f64]) {
 #[inline]
 pub fn distance(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "distance: length mismatch");
-    x.iter()
-        .zip(y.iter())
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt()
+    x.iter().zip(y.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
 }
 
 /// Sets every element to zero.

@@ -41,8 +41,11 @@ impl Accountant {
     pub fn spent(&self) -> Budget {
         // Degenerate zero-spend state cannot be represented as a Budget
         // (ε must be > 0), so report via remaining() instead when empty.
-        Budget::approx(self.spent_eps.max(f64::MIN_POSITIVE), self.spent_delta.min(1.0 - f64::EPSILON))
-            .expect("spent components are valid by construction")
+        Budget::approx(
+            self.spent_eps.max(f64::MIN_POSITIVE),
+            self.spent_delta.min(1.0 - f64::EPSILON),
+        )
+        .expect("spent components are valid by construction")
     }
 
     /// The budget still available.

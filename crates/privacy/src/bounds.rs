@@ -49,13 +49,11 @@ mod tests {
         let sensitivity = 1.0;
         let eps = 1.0;
         let gamma = 0.05;
-        let mech =
-            crate::mechanisms::LaplaceBallMechanism::new(dim, sensitivity, eps).unwrap();
+        let mech = crate::mechanisms::LaplaceBallMechanism::new(dim, sensitivity, eps).unwrap();
         let bound = laplace_ball_norm_bound(dim, gamma, sensitivity, eps);
         let n = 20_000;
-        let violations = (0..n)
-            .filter(|_| vector::norm(&mech.sample_noise(&mut rng)) > bound)
-            .count();
+        let violations =
+            (0..n).filter(|_| vector::norm(&mech.sample_noise(&mut rng)) > bound).count();
         let rate = violations as f64 / n as f64;
         assert!(rate <= gamma, "violation rate {rate} > gamma {gamma}");
     }

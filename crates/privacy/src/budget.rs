@@ -22,10 +22,9 @@ impl fmt::Display for PrivacyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PrivacyError::InvalidBudget(msg) => write!(f, "invalid privacy budget: {msg}"),
-            PrivacyError::BudgetExceeded { requested, remaining } => write!(
-                f,
-                "privacy budget exceeded: requested {requested}, remaining {remaining}"
-            ),
+            PrivacyError::BudgetExceeded { requested, remaining } => {
+                write!(f, "privacy budget exceeded: requested {requested}, remaining {remaining}")
+            }
             PrivacyError::InvalidMechanism(msg) => write!(f, "invalid mechanism: {msg}"),
         }
     }
@@ -106,7 +105,10 @@ impl Budget {
 
     /// Basic sequential composition: budgets add component-wise.
     pub fn compose(&self, other: &Budget) -> Budget {
-        Budget { eps: self.eps + other.eps, delta: (self.delta + other.delta).min(1.0 - f64::EPSILON) }
+        Budget {
+            eps: self.eps + other.eps,
+            delta: (self.delta + other.delta).min(1.0 - f64::EPSILON),
+        }
     }
 
     /// Whether `self` fits within `available` (component-wise ≤, with a tiny
@@ -136,10 +138,7 @@ impl Budget {
 
     /// Component-wise saturating subtraction (used for "remaining budget").
     pub fn saturating_sub(&self, other: &Budget) -> Budget {
-        Budget {
-            eps: (self.eps - other.eps).max(0.0),
-            delta: (self.delta - other.delta).max(0.0),
-        }
+        Budget { eps: (self.eps - other.eps).max(0.0), delta: (self.delta - other.delta).max(0.0) }
     }
 }
 

@@ -80,14 +80,10 @@ mod tests {
 
     #[test]
     fn solver_residual_is_tiny() {
-        for (eps, t, d1) in [(0.1, 60_000u64, 1e-12), (1.0, 600_000, 1e-13), (4.0, 10_000, 1e-10)]
-        {
+        for (eps, t, d1) in [(0.1, 60_000u64, 1e-12), (1.0, 600_000, 1e-13), (4.0, 10_000, 1e-10)] {
             let eps1 = solve_per_iteration_eps(eps, t, d1).unwrap();
             let back = advanced_composition_total(eps1, t, d1);
-            assert!(
-                (back - eps).abs() < 1e-9 * eps,
-                "eps {eps}: solved {eps1}, recomposed {back}"
-            );
+            assert!((back - eps).abs() < 1e-9 * eps, "eps {eps}: solved {eps1}, recomposed {back}");
         }
     }
 

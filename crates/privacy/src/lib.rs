@@ -27,4 +27,6 @@ pub mod mechanisms;
 pub use accountant::Accountant;
 pub use budget::{Budget, PrivacyError};
 pub use counting::GeometricMechanism;
-pub use mechanisms::{ExponentialMechanism, GaussianMechanism, LaplaceBallMechanism, NoiseMechanism};
+pub use mechanisms::{
+    ExponentialMechanism, GaussianMechanism, LaplaceBallMechanism, NoiseMechanism,
+};

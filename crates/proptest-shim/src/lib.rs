@@ -1,0 +1,225 @@
+//! A minimal, dependency-free stand-in for the [proptest](https://docs.rs/proptest)
+//! property-testing framework.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `proptest` crate cannot be fetched. This shim implements exactly the
+//! surface the workspace's `#[cfg(test)] mod proptests` modules use:
+//!
+//! - the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map`;
+//! - range strategies (`1usize..8`, `-1.0f64..1.0`, `d..=d`),
+//!   [`Just`](strategy::Just),
+//!   tuples, `any::<T>()`, `collection::vec`, `num::f64::ANY`, and string
+//!   strategies from the two regex shapes the suite uses (`"\\PC{0,120}"`
+//!   and character-class literals like `"[a-z][a-z0-9_]{0,10}"`);
+//! - the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//!   and `prop_oneof!` macros, plus `ProptestConfig::with_cases`.
+//!
+//! Instead of shrinking counterexamples, the shim simply runs each property
+//! a configurable number of deterministic seeded cases (default 64) and
+//! panics through plain `assert!` on the first failure — the failing values
+//! appear in the assertion message. Swapping in the real proptest later is
+//! a one-line change in `[workspace.dependencies]`.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! The per-test configuration and deterministic RNG.
+
+    /// Mirror of `proptest::test_runner::Config`, reduced to the one knob
+    /// the workspace uses.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of sampled cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` sampled cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 — tiny, deterministic, and good enough for sampling test
+    /// inputs. Seeded from the property's name so every test gets an
+    /// independent reproducible stream.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the test name for a stable per-test seed.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                seed ^= byte as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `u64` in `[0, bound)` via 128-bit multiply-shift.
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+    }
+}
+
+pub mod collection {
+    //! `Vec` strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` samples with a length drawn
+    /// from `size` (a `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies, mirroring `proptest::num`.
+
+    #[allow(nonstandard_style)]
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over *all* `f64` bit patterns — including NaN,
+        /// infinities, subnormals, and signed zeros — with the special
+        /// values over-represented so they actually show up in short runs.
+        pub struct Any;
+
+        /// Mirror of `proptest::num::f64::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                match rng.next_below(8) {
+                    0 => {
+                        const SPECIAL: [f64; 8] = [
+                            f64::NAN,
+                            f64::INFINITY,
+                            f64::NEG_INFINITY,
+                            0.0,
+                            -0.0,
+                            f64::MIN_POSITIVE,
+                            f64::MIN_POSITIVE / 2.0, // subnormal
+                            f64::MAX,
+                        ];
+                        SPECIAL[rng.next_below(SPECIAL.len() as u64) as usize]
+                    }
+                    _ => f64::from_bits(rng.next_u64()),
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+/// `#[test] fn name(pattern in strategy, ...) { body }` items. Each
+/// property runs `cases` deterministic sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+            for __case in 0..__config.cases {
+                let ( $($pat,)+ ) =
+                    ( $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+ );
+                // A closure so `prop_assume!` can skip the case via `return`.
+                let mut __one_case = || $body;
+                __one_case();
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Mirror of proptest's `prop_assert!` — plain `assert!` (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Mirror of proptest's `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Mirror of proptest's `prop_assume!` — skips the current case when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Mirror of proptest's `prop_oneof!` — a weighted (or uniform) choice
+/// among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new() $( .with($weight, $strat) )+
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new() $( .with(1, $strat) )+
+    };
+}

@@ -1,0 +1,409 @@
+//! The [`Strategy`] trait and the concrete strategies the workspace uses:
+//! ranges, [`Just`], tuples, `any`, `Vec`s, weighted unions, and the two
+//! regex-string shapes.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for sampling values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree or shrinking: `sample` draws
+/// one value directly from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Samples a value, builds a dependent strategy from it, and samples
+    /// that — proptest's way of expressing correlated inputs.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+// --- combinators -----------------------------------------------------------
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+// --- constants and ranges --------------------------------------------------
+
+/// Always produces a clone of the wrapped value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $ty;
+                }
+                (lo as i128 + rng.next_below(span as u64) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.next_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.next_f64() as f32
+    }
+}
+
+// --- any -------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        crate::num::f64::ANY.sample(rng)
+    }
+}
+
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Mirror of `proptest::prelude::any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(nonstandard_style)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+// --- collections -----------------------------------------------------------
+
+/// Length bounds for [`VecStrategy`]; built from `usize`, `a..b`, or `a..=b`.
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.hi_inclusive - self.size.lo + 1;
+        let len = self.size.lo + rng.next_below(span as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+// --- weighted unions -------------------------------------------------------
+
+/// Weighted choice among strategies with a common value type — the target
+/// of the `prop_oneof!` macro.
+pub struct OneOf<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> OneOf<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        OneOf { arms: Vec::new() }
+    }
+
+    pub fn with(mut self, weight: u32, strategy: impl Strategy<Value = T> + 'static) -> Self {
+        self.arms.push((weight, Box::new(strategy)));
+        self
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        let mut pick = rng.next_below(total);
+        for (weight, strategy) in &self.arms {
+            if pick < *weight as u64 {
+                return strategy.sample(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// --- regex-ish string strategies -------------------------------------------
+
+/// String strategies from regex literals, mirroring proptest's
+/// `impl Strategy for &str`. Supports the subset the workspace uses:
+/// literal characters, character classes (`[a-z0-9_]`), the any-printable
+/// escape `\PC`, and `{lo,hi}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = atom.max_reps - atom.min_reps + 1;
+            let reps = atom.min_reps + rng.next_below(span as u64) as usize;
+            for _ in 0..reps {
+                out.push(atom.chars.sample_char(rng));
+            }
+        }
+        out
+    }
+}
+
+enum CharSet {
+    /// Explicit alternatives from a `[...]` class or a literal char.
+    Choices(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    AnyPrintable,
+}
+
+impl CharSet {
+    fn sample_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Choices(ranges) => {
+                let total: u64 =
+                    ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                let mut pick = rng.next_below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick as u32)
+                            .expect("range endpoints are valid chars");
+                    }
+                    pick -= span;
+                }
+                unreachable!("char pick out of range")
+            }
+            CharSet::AnyPrintable => loop {
+                // Mostly ASCII printable with occasional wider code points,
+                // mirroring proptest's bias toward simple inputs.
+                let candidate = if rng.next_below(4) > 0 {
+                    char::from_u32(0x20 + rng.next_below(0x5f) as u32)
+                } else {
+                    char::from_u32(rng.next_below(0xD7FF) as u32)
+                };
+                match candidate {
+                    Some(c) if !c.is_control() => return c,
+                    _ => continue,
+                }
+            },
+        }
+    }
+}
+
+struct Atom {
+    chars: CharSet,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some(c) => c,
+                        None => panic!("unterminated character class in {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().unwrap_or_else(|| {
+                            panic!("dangling '-' in character class in {pattern:?}")
+                        });
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                CharSet::Choices(ranges)
+            }
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    let class = chars.next();
+                    assert_eq!(class, Some('C'), "only \\PC is supported, in {pattern:?}");
+                    CharSet::AnyPrintable
+                }
+                Some(escaped) => CharSet::Choices(vec![(escaped, escaped)]),
+                None => panic!("dangling escape in {pattern:?}"),
+            },
+            literal => CharSet::Choices(vec![(literal, literal)]),
+        };
+        let (min_reps, max_reps) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repetition lower bound"),
+                    hi.parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { chars: set, min_reps, max_reps });
+    }
+    atoms
+}

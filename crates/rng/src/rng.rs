@@ -122,10 +122,7 @@ mod tests {
         }
         let expect = n as f64 / bound as f64;
         for &c in &counts {
-            assert!(
-                ((c as f64) - expect).abs() < 0.05 * expect,
-                "bucket count {c} vs {expect}"
-            );
+            assert!(((c as f64) - expect).abs() < 0.05 * expect, "bucket count {c} vs {expect}");
         }
     }
 

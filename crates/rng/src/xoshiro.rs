@@ -89,7 +89,14 @@ mod tests {
     #[test]
     fn matches_reference_stream() {
         let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
-        let expected: [u64; 6] = [41943041, 58720359, 3588806011781223, 3591011842654386, 9228616714210784205, 9973669472204895162];
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
         for &e in &expected {
             assert_eq!(rng.next_u64(), e);
         }

@@ -133,8 +133,7 @@ impl InMemoryDataset {
         let mut start = 0usize;
         for p in 0..parts {
             let size = base + usize::from(p < extra);
-            let features =
-                self.features[start * self.dim..(start + size) * self.dim].to_vec();
+            let features = self.features[start * self.dim..(start + size) * self.dim].to_vec();
             let labels = self.labels[start..start + size].to_vec();
             out.push(InMemoryDataset::from_flat(features, labels, self.dim));
             start += size;
@@ -380,11 +379,7 @@ mod sparse_tests {
         for _ in 0..m {
             for j in 0..dim {
                 // ~70% sparsity.
-                features.push(if rng.next_bool(0.3) {
-                    rng.next_range(-0.3, 0.3)
-                } else {
-                    0.0
-                });
+                features.push(if rng.next_bool(0.3) { rng.next_range(-0.3, 0.3) } else { 0.0 });
                 let _ = j;
             }
             labels.push(if rng.next_bool(0.5) { 1.0 } else { -1.0 });

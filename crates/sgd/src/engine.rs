@@ -256,9 +256,9 @@ fn sample_orders<R: Rng + ?Sized>(config: &SgdConfig, m: usize, rng: &mut R) -> 
                 vec![perm; config.passes]
             }
         }
-        SamplingScheme::WithReplacement => (0..config.passes)
-            .map(|_| (0..m).map(|_| rng.next_index(m)).collect())
-            .collect(),
+        SamplingScheme::WithReplacement => {
+            (0..config.passes).map(|_| (0..m).map(|_| rng.next_index(m)).collect()).collect()
+        }
     }
 }
 
@@ -344,9 +344,9 @@ where
 
         if let Some(mu) = config.tolerance {
             let cur = crate::metrics::empirical_risk(loss, &w, data);
-            let stop = epoch_losses.last().is_some_and(|&prev: &f64| {
-                prev.abs() > 0.0 && (prev - cur) / prev.abs() < mu
-            });
+            let stop = epoch_losses
+                .last()
+                .is_some_and(|&prev: &f64| prev.abs() > 0.0 && (prev - cur) / prev.abs() < mu);
             epoch_losses.push(cur);
             if stop {
                 break;
@@ -446,12 +446,7 @@ mod tests {
         let mut rng_b = seeded(79);
         let base = SgdConfig::new(StepSize::Constant(0.5)).with_passes(2);
         let fin = run_psgd(&data, &loss, &base, &mut rng_a);
-        let avg = run_psgd(
-            &data,
-            &loss,
-            &base.with_averaging(Averaging::Uniform),
-            &mut rng_b,
-        );
+        let avg = run_psgd(&data, &loss, &base.with_averaging(Averaging::Uniform), &mut rng_b);
         assert_ne!(fin.model, avg.model);
     }
 
@@ -476,8 +471,7 @@ mod tests {
         let mut rng_a = seeded(83);
         let mut rng_b = seeded(83);
         let clean = run_psgd(&data, &loss, &config, &mut rng_a);
-        let noisy =
-            run_psgd_with_hook(&data, &loss, &config, &mut rng_b, |_, g| g[0] += 1.0);
+        let noisy = run_psgd_with_hook(&data, &loss, &config, &mut rng_b, |_, g| g[0] += 1.0);
         assert_ne!(clean.model, noisy.model);
     }
 
@@ -563,8 +557,7 @@ mod tests {
         let data = separable(300, 96);
         let loss = Logistic::plain();
         let run_mode = |avg: Averaging| {
-            let config =
-                SgdConfig::new(StepSize::Constant(0.4)).with_passes(3).with_averaging(avg);
+            let config = SgdConfig::new(StepSize::Constant(0.4)).with_passes(3).with_averaging(avg);
             run_psgd(&data, &loss, &config, &mut seeded(97)).model
         };
         let fin = run_mode(Averaging::FinalIterate);
@@ -625,11 +618,7 @@ mod batch_plan_tests {
             let mut pos = 0usize;
             for batch in 0..plan.batches {
                 for _ in 0..plan.size_of(batch) {
-                    assert_eq!(
-                        plan.batch_of_position(pos),
-                        batch,
-                        "m={m}, b={b}, pos={pos}"
-                    );
+                    assert_eq!(plan.batch_of_position(pos), batch, "m={m}, b={b}, pos={pos}");
                     pos += 1;
                 }
             }

@@ -30,5 +30,5 @@ pub use engine::{run_psgd, Averaging, SamplingScheme, SgdConfig, SgdOutcome};
 pub use loss::{HuberSvm, LeastSquares, Logistic, Loss};
 pub use parallel::run_parallel_psgd;
 pub use sag::run_sag;
-pub use svrg::run_svrg;
 pub use schedule::StepSize;
+pub use svrg::run_svrg;

@@ -117,12 +117,7 @@ where
         vector::axpy(1.0 / workers as f64, &out.model, &mut model);
         updates += out.updates;
     }
-    SgdOutcome {
-        model,
-        updates,
-        passes_completed: config.passes,
-        epoch_losses: Vec::new(),
-    }
+    SgdOutcome { model, updates, passes_completed: config.passes, epoch_losses: Vec::new() }
 }
 
 #[cfg(test)]
@@ -164,8 +159,7 @@ mod tests {
         let loss = Logistic::plain();
         let config = SgdConfig::new(StepSize::Constant(0.5)).with_passes(4);
         for workers in [1, 2, 4, 8] {
-            let out =
-                run_parallel_psgd(&data, &loss, &config, workers, &mut seeded(503));
+            let out = run_parallel_psgd(&data, &loss, &config, workers, &mut seeded(503));
             let acc = crate::metrics::accuracy(&out.model, &data);
             assert!(acc > 0.95, "{workers} workers: accuracy {acc}");
         }
@@ -200,10 +194,7 @@ mod tests {
         let par = run_parallel_psgd(&data, &loss, &config, 4, &mut seeded(510));
         let acc_seq = crate::metrics::accuracy(&seq.model, &data);
         let acc_par = crate::metrics::accuracy(&par.model, &data);
-        assert!(
-            (acc_seq - acc_par).abs() < 0.03,
-            "sequential {acc_seq} vs parallel {acc_par}"
-        );
+        assert!((acc_seq - acc_par).abs() < 0.03, "sequential {acc_seq} vs parallel {acc_par}");
     }
 
     #[test]

@@ -90,9 +90,7 @@ where
             loss.add_gradient(&w, x, y, &mut fresh);
             let slot = &mut table[i * d..(i + 1) * d];
             // grad_sum += fresh − old_slot
-            for ((sum, new_g), old_g) in
-                grad_sum.iter_mut().zip(fresh.iter()).zip(slot.iter())
-            {
+            for ((sum, new_g), old_g) in grad_sum.iter_mut().zip(fresh.iter()).zip(slot.iter()) {
                 *sum += new_g - old_g;
             }
             slot.copy_from_slice(&fresh);
@@ -154,8 +152,7 @@ mod tests {
         let loss = Logistic::plain();
         // 1/(16β)-scale step per SAG's guidance.
         let risk_at = |passes: usize| {
-            let config =
-                SagConfig::new(passes, 0.06).with_weight_decay(1e-2).with_projection(1e2);
+            let config = SagConfig::new(passes, 0.06).with_weight_decay(1e-2).with_projection(1e2);
             let out = run_sag(&data, &loss, &config, &mut seeded(714));
             metrics::empirical_risk(&loss, &out.model, &data)
         };
@@ -189,8 +186,7 @@ mod tests {
     fn long_runs_remain_stable() {
         let data = problem(150, 717);
         let loss = Logistic::plain();
-        let config =
-            SagConfig::new(40, 0.06).with_weight_decay(1e-2).with_projection(1e2);
+        let config = SagConfig::new(40, 0.06).with_weight_decay(1e-2).with_projection(1e2);
         let out = run_sag(&data, &loss, &config, &mut seeded(5));
         assert!(out.model.iter().all(|v| v.is_finite()));
         let risk = metrics::empirical_risk(&loss, &out.model, &data);

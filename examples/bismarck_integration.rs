@@ -50,10 +50,7 @@ fn main() {
     let m = table.row_count();
     let eps = 0.1;
     let budget = Budget::pure(eps).expect("budget");
-    let bolt = BoltOnConfig::new(budget)
-        .with_passes(5)
-        .with_batch_size(10)
-        .with_projection(radius);
+    let bolt = BoltOnConfig::new(budget).with_passes(5).with_batch_size(10).with_projection(radius);
     let delta2 = calibrate_sensitivity(&loss, &bolt, m).expect("sensitivity");
     let mechanism =
         NoiseMechanism::for_budget(&budget, TrainSet::dim(table), delta2).expect("mechanism");

@@ -26,20 +26,16 @@ fn main() {
     let budget = Budget::approx(eps, 1.0 / (m as f64 * m as f64)).expect("budget");
 
     let mut train_fn = |portion: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| {
-        TrainPlan::new(
-            LossKind::Logistic { lambda: c.lambda },
-            AlgorithmKind::BoltOn,
-            Some(budget),
-        )
-        .with_passes(c.passes)
-        .with_batch_size(c.batch_size)
-        .train(portion, r)
-        .expect("candidate training")
+        TrainPlan::new(LossKind::Logistic { lambda: c.lambda }, AlgorithmKind::BoltOn, Some(budget))
+            .with_passes(c.passes)
+            .with_batch_size(c.batch_size)
+            .train(portion, r)
+            .expect("candidate training")
     };
 
     let mut rng = bolton_rng::seeded(99);
-    let tuned = private_tune(&bench.train, &candidates, budget, &mut train_fn, &mut rng)
-        .expect("tuning");
+    let tuned =
+        private_tune(&bench.train, &candidates, budget, &mut train_fn, &mut rng).expect("tuning");
 
     println!("\ncandidates (ε = {eps}):");
     for (i, (c, chi)) in candidates.iter().zip(&tuned.error_counts).enumerate() {

@@ -32,10 +32,7 @@ fn main() {
         .with_batch_size(50)
         .train(&bench.train, &mut rng)
         .expect("noiseless training");
-    println!(
-        "noiseless accuracy:          {:.4}",
-        metrics::accuracy(&noiseless, &bench.test)
-    );
+    println!("noiseless accuracy:          {:.4}", metrics::accuracy(&noiseless, &bench.test));
 
     // Private models across a privacy sweep. The low-level API also reports
     // the calibration record.
@@ -46,8 +43,8 @@ fn main() {
             .with_passes(10)
             .with_batch_size(50)
             .with_projection(1.0 / lambda);
-        let private = train_private(&bench.train, &loss, &config, &mut rng)
-            .expect("private training");
+        let private =
+            train_private(&bench.train, &loss, &config, &mut rng).expect("private training");
         println!(
             "ε = {eps:<5} accuracy: {:.4}   (Δ₂ = {:.2e}, realized ‖κ‖ = {:.3})",
             metrics::accuracy(&private.model, &bench.test),

@@ -22,8 +22,7 @@ fn mean_acc(
 ) -> f64 {
     let mut total = 0.0;
     for t in 0..trials {
-        let plan =
-            TrainPlan::new(loss, alg, budget).with_passes(passes).with_batch_size(batch);
+        let plan = TrainPlan::new(loss, alg, budget).with_passes(passes).with_batch_size(batch);
         let model = plan.train(&bench.train, &mut bolton_rng::seeded(seed + t)).unwrap();
         total += metrics::accuracy(&model, &bench.test);
     }

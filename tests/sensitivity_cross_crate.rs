@@ -43,9 +43,8 @@ fn paired_distance(
     let neighbor = data.neighbor(position, &new_x, -data.label_of(position));
 
     let step = paper_step_size(loss, m);
-    let mut sgd_config = SgdConfig::new(step)
-        .with_passes(config.passes)
-        .with_batch_size(config.batch_size);
+    let mut sgd_config =
+        SgdConfig::new(step).with_passes(config.passes).with_batch_size(config.batch_size);
     if let Some(r) = config.projection_radius {
         sgd_config = sgd_config.with_projection(r);
     }
@@ -87,7 +86,14 @@ fn pure_config(passes: usize, batch: usize) -> BoltOnConfig {
 fn convex_logistic_paper_formula_bounds_reality() {
     let loss = Logistic::plain();
     for (k, b) in [(1usize, 1usize), (5, 1), (20, 1), (5, 10), (10, 25)] {
-        check_bound("logistic-convex", &loss, &pure_config(k, b), 200, 8, 400 + k as u64 + b as u64);
+        check_bound(
+            "logistic-convex",
+            &loss,
+            &pure_config(k, b),
+            200,
+            8,
+            400 + k as u64 + b as u64,
+        );
     }
 }
 
@@ -150,8 +156,7 @@ fn fresh_permutations_also_respect_the_bound() {
         let neighbor = data.neighbor(pos, &[0.9, 0.0, 0.0, 0.0], 1.0);
         let step = paper_step_size(&loss, m);
         let sgd_config = SgdConfig::new(step).with_passes(k);
-        let orders: Vec<Vec<usize>> =
-            (0..k).map(|_| random_permutation(&mut rng, m)).collect();
+        let orders: Vec<Vec<usize>> = (0..k).map(|_| random_permutation(&mut rng, m)).collect();
         let a = run_with_orders(&data, &loss, &sgd_config, &orders, &mut |_, _| {});
         let b = run_with_orders(&neighbor, &loss, &sgd_config, &orders, &mut |_, _| {});
         let observed = distance(&a.model, &b.model);

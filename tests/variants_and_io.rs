@@ -37,9 +37,7 @@ fn optimizer_family_agrees_on_protein() {
         &bench.train,
         &plain,
         // SAG's stable step is ≈ 1/(16β); regularization applied exactly.
-        &bolton_sgd::sag::SagConfig::new(6, 0.06)
-            .with_weight_decay(lambda)
-            .with_projection(radius),
+        &bolton_sgd::sag::SagConfig::new(6, 0.06).with_weight_decay(lambda).with_projection(radius),
         &mut bolton_rng::seeded(3004),
     );
     for (name, model) in [("psgd", &psgd.model), ("svrg", &svrg.model), ("sag", &sag.model)] {
@@ -69,10 +67,7 @@ fn private_model_roundtrips_through_model_io() {
     bolton::model_io::save_linear(&model, &mut bytes).unwrap();
     let restored = bolton::model_io::load_linear(&bytes[..]).unwrap();
     assert_eq!(model, restored);
-    assert_eq!(
-        metrics::accuracy(&model, &bench.test),
-        metrics::accuracy(&restored, &bench.test)
-    );
+    assert_eq!(metrics::accuracy(&model, &bench.test), metrics::accuracy(&restored, &bench.test));
 }
 
 /// The SQL surface serves ε-DP counts and histograms whose noise shrinks

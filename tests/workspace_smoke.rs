@@ -1,0 +1,76 @@
+//! Workspace-wiring smoke test: one [`TrainPlan`] per [`AlgorithmKind`]
+//! on a tiny synthetic dataset, asserting that the crate graph links and
+//! training completes with finite weights. This is the fastest signal that
+//! the Cargo workspace (rng → linalg → privacy/sgd → core) is wired
+//! correctly; the heavier statistical assertions live in the other
+//! integration tests.
+
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::Budget;
+use bolton_rng::{seeded, Rng};
+use bolton_sgd::dataset::InMemoryDataset;
+
+/// A linearly separable two-feature problem, label = sign of the first
+/// coordinate. Small enough that the whole test runs in well under a second.
+fn tiny_dataset(m: usize, seed: u64) -> InMemoryDataset {
+    let mut rng = seeded(seed);
+    let mut features = Vec::with_capacity(m * 2);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        let x0 = rng.next_range(-1.0, 1.0);
+        features.push(x0);
+        features.push(rng.next_range(-0.5, 0.5));
+        labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+    }
+    InMemoryDataset::from_flat(features, labels, 2)
+}
+
+#[test]
+fn every_algorithm_kind_trains_to_finite_weights() {
+    let data = tiny_dataset(400, 91);
+    // δ > 0 so BST14 (which requires an approximate budget) is accepted too.
+    let budget = Budget::approx(1.0, 1e-6).unwrap();
+    for alg in [
+        AlgorithmKind::Noiseless,
+        AlgorithmKind::BoltOn,
+        AlgorithmKind::Scs13,
+        AlgorithmKind::Bst14,
+    ] {
+        let plan = TrainPlan::new(LossKind::Logistic { lambda: 1e-3 }, alg, Some(budget))
+            .with_passes(3)
+            .with_batch_size(10);
+        let model = plan
+            .train(&data, &mut seeded(92))
+            .unwrap_or_else(|e| panic!("{} failed to train: {e}", alg.label()));
+        assert_eq!(model.len(), 2, "{} returned wrong dimension", alg.label());
+        assert!(
+            model.iter().all(|w| w.is_finite()),
+            "{} produced non-finite weights: {model:?}",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn convex_case_trains_across_algorithms() {
+    let data = tiny_dataset(400, 93);
+    let budget = Budget::approx(1.0, 1e-6).unwrap();
+    for alg in [
+        AlgorithmKind::Noiseless,
+        AlgorithmKind::BoltOn,
+        AlgorithmKind::Scs13,
+        AlgorithmKind::Bst14,
+    ] {
+        let plan = TrainPlan::new(LossKind::Logistic { lambda: 0.0 }, alg, Some(budget))
+            .with_passes(3)
+            .with_batch_size(10);
+        let model = plan
+            .train(&data, &mut seeded(94))
+            .unwrap_or_else(|e| panic!("{} failed to train: {e}", alg.label()));
+        assert!(
+            model.iter().all(|w| w.is_finite()),
+            "{} produced non-finite weights: {model:?}",
+            alg.label()
+        );
+    }
+}
