@@ -1,0 +1,147 @@
+//! Parallel-PSGD pool benchmark — the Figure 2 in-memory workload
+//! (synthesizer data, d = 50, mini-batch 1) run three ways at each worker
+//! count:
+//!
+//! 1. `sequential` — the plain engine ([`bolton_sgd::run_psgd`]);
+//! 2. `scoped` — parameter-mixing parallel PSGD spawning fresh scoped
+//!    threads per call (the pre-pool baseline);
+//! 3. `pool` — the same algorithm on the persistent work-stealing
+//!    [`WorkerPool`].
+//!
+//! Prints TSV to stdout and writes `BENCH_parallel_psgd.json` (override
+//! with `BOLTON_BENCH_OUT`) so the perf trajectory is tracked in-repo.
+//! Wall-clock speedups are bounded by the machine's available parallelism,
+//! which is recorded in the JSON: on a single-core CI runner the parallel
+//! paths can only tie the sequential engine, while the pool-vs-scoped
+//! comparison (spawn/join overhead) is meaningful at any core count.
+//!
+//! Knobs: `BOLTON_POOL_ROWS` (default 8000), `BOLTON_POOL_WORKERS`
+//! (comma-separated, default `1,2,4,8`), `BOLTON_POOL_PASSES` (default 3),
+//! `BOLTON_POOL_REPEATS` (default 5), `BOLTON_THREADS` (pool size,
+//! default = max worker count).
+
+use bolton_bench::{header, row, time_it};
+use bolton_sgd::{
+    run_parallel_psgd_on, run_parallel_psgd_scoped, run_psgd, Logistic, SgdConfig, StepSize,
+    WorkerPool,
+};
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn env_list(key: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(key) {
+        Ok(spec) => spec.split(',').filter_map(|tok| tok.trim().parse().ok()).collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Median wall-clock of `repeats` timed calls.
+fn median_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<Duration> = (0..repeats).map(|_| time_it(&mut f).1).collect();
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64()
+}
+
+fn main() {
+    let rows = env_usize("BOLTON_POOL_ROWS", 8000);
+    let dim = 50usize;
+    let passes = env_usize("BOLTON_POOL_PASSES", 3);
+    let repeats = env_usize("BOLTON_POOL_REPEATS", 5);
+    let worker_counts = env_list("BOLTON_POOL_WORKERS", &[1, 2, 4, 8]);
+    assert!(!worker_counts.is_empty(), "no worker counts requested");
+
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool_threads =
+        env_usize("BOLTON_THREADS", worker_counts.iter().copied().max().expect("non-empty"));
+    let pool = WorkerPool::new(pool_threads);
+    let runner = pool.runner();
+
+    // The canonical synthetic workload shared with the figure binaries:
+    // unit-ball features, hidden unit-norm hyperplane, 10% label flips.
+    let data =
+        bolton_data::generator::linear_binary(&mut bolton_rng::seeded(0xF162), rows, dim, 0.1);
+    let loss = Logistic::plain();
+    let config = SgdConfig::new(StepSize::Constant(0.5)).with_passes(passes);
+
+    header(&["path", "workers", "seconds_per_epoch", "speedup_vs_sequential"]);
+
+    // Warm up (page in the dataset, start the pool threads) then time the
+    // sequential engine baseline.
+    let _ = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(1));
+    let seq = median_secs(repeats, || {
+        let out = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(2));
+        std::hint::black_box(out.model.len());
+    }) / passes as f64;
+    row(&["sequential".into(), "1".into(), format!("{seq:.6}"), "1.00".into()]);
+
+    let mut cells = Vec::new();
+    for &workers in &worker_counts {
+        let scoped = median_secs(repeats, || {
+            let out = run_parallel_psgd_scoped(
+                &data,
+                &loss,
+                &config,
+                workers,
+                &mut bolton_rng::seeded(3),
+            );
+            std::hint::black_box(out.model.len());
+        }) / passes as f64;
+        let pooled = median_secs(repeats, || {
+            let out = run_parallel_psgd_on(
+                &runner,
+                &data,
+                &loss,
+                &config,
+                workers,
+                &mut bolton_rng::seeded(3),
+            );
+            std::hint::black_box(out.model.len());
+        }) / passes as f64;
+        row(&[
+            "scoped".into(),
+            workers.to_string(),
+            format!("{scoped:.6}"),
+            format!("{:.2}", seq / scoped),
+        ]);
+        row(&[
+            "pool".into(),
+            workers.to_string(),
+            format!("{pooled:.6}"),
+            format!("{:.2}", seq / pooled),
+        ]);
+        cells.push((workers, scoped, pooled));
+    }
+
+    // Machine-readable trajectory record.
+    let out_path =
+        std::env::var("BOLTON_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel_psgd.json".into());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"parallel_psgd_pool\",\n");
+    json.push_str("  \"workload\": \"figure2_in_memory\",\n");
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"dim\": {dim},\n"));
+    json.push_str(&format!("  \"passes\": {passes},\n"));
+    json.push_str("  \"batch_size\": 1,\n");
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!("  \"pool_threads\": {pool_threads},\n"));
+    json.push_str(&format!("  \"sequential_seconds_per_epoch\": {seq:.6},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, (workers, scoped, pooled)) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {workers}, \"scoped_seconds_per_epoch\": {scoped:.6}, \
+             \"pool_seconds_per_epoch\": {pooled:.6}, \
+             \"pool_speedup_vs_sequential\": {:.4}, \"pool_speedup_vs_scoped\": {:.4}}}{}\n",
+            seq / pooled,
+            scoped / pooled,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

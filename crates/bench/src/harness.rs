@@ -111,6 +111,11 @@ where
 }
 
 /// Accuracy averaged over [`default_trials`] seeds.
+///
+/// Trials run as independent tasks on the persistent worker pool
+/// ([`bolton_sgd::pool::global`]); each trial's seed is `base_seed + t` and
+/// the sum is reduced in trial order, so the mean is bit-identical to the
+/// old sequential loop regardless of pool size.
 #[allow(clippy::too_many_arguments)]
 pub fn mean_accuracy(
     bench: &Benchmark,
@@ -122,11 +127,15 @@ pub fn mean_accuracy(
     base_seed: u64,
 ) -> f64 {
     let trials = default_trials();
-    let mut total = 0.0;
-    for t in 0..trials {
-        total += accuracy_cell(bench, loss, algorithm, budget, passes, batch, base_seed + t);
-    }
-    total / trials as f64
+    let runner = bolton_sgd::pool::runner();
+    let tasks: Vec<_> = (0..trials)
+        .map(|t| {
+            let budget = budget.clone();
+            move || accuracy_cell(bench, loss, algorithm, budget, passes, batch, base_seed + t)
+        })
+        .collect();
+    let accuracies = runner.run(tasks);
+    accuracies.iter().sum::<f64>() / trials as f64
 }
 
 /// Multiclass error counter for the generic private tuner.

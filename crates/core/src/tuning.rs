@@ -3,9 +3,10 @@
 //! Sarwate) and the public-data alternative (Section 4.1).
 
 use bolton_privacy::budget::{Budget, PrivacyError};
-use bolton_rng::Rng;
+use bolton_rng::{Rng, SplitMix64};
 use bolton_sgd::dataset::InMemoryDataset;
 use bolton_sgd::metrics;
+use bolton_sgd::pool::ParallelRunner;
 use bolton_sgd::TrainSet;
 
 /// One point of the tuning grid `θ = (k, b, λ)` (Section 4.1).
@@ -73,17 +74,7 @@ pub fn private_tune_models<M>(
     errors: &dyn Fn(&M, &InMemoryDataset) -> usize,
     rng: &mut dyn Rng,
 ) -> Result<TunedGeneric<M>, PrivacyError> {
-    if candidates.is_empty() {
-        return Err(PrivacyError::InvalidMechanism("empty candidate grid".into()));
-    }
-    let parts = candidates.len() + 1;
-    if data.len() < parts {
-        return Err(PrivacyError::InvalidMechanism(format!(
-            "dataset of {} rows cannot be split into {parts} portions",
-            data.len()
-        )));
-    }
-    let portions = data.split(parts);
+    let portions = split_for_grid(data, candidates.len())?;
     let holdout = &portions[candidates.len()];
 
     let mut models = Vec::with_capacity(candidates.len());
@@ -94,13 +85,140 @@ pub fn private_tune_models<M>(
         models.push(model);
     }
 
-    // Exponential mechanism over utilities u_i = −χ_i (one changed example
-    // moves each error count by at most one, so Δu = 1).
+    select_by_errors(models, error_counts, selection_budget, rng)
+}
+
+/// Algorithm 3's data layout, shared by the sequential and pool-parallel
+/// tuners: `l + 1` equal portions, one per candidate plus the holdout.
+///
+/// # Errors
+/// Rejects an empty grid or a dataset too small to split `l + 1` ways.
+fn split_for_grid(
+    data: &InMemoryDataset,
+    n_candidates: usize,
+) -> Result<Vec<InMemoryDataset>, PrivacyError> {
+    if n_candidates == 0 {
+        return Err(PrivacyError::InvalidMechanism("empty candidate grid".into()));
+    }
+    let parts = n_candidates + 1;
+    if data.len() < parts {
+        return Err(PrivacyError::InvalidMechanism(format!(
+            "dataset of {} rows cannot be split into {parts} portions",
+            data.len()
+        )));
+    }
+    Ok(data.split(parts))
+}
+
+/// Algorithm 3's selection step, shared by the sequential and
+/// pool-parallel tuners: the exponential mechanism over utilities
+/// `u_i = −χ_i` (one changed example moves each error count by at most
+/// one, so Δu = 1).
+fn select_by_errors<M>(
+    mut models: Vec<M>,
+    error_counts: Vec<usize>,
+    selection_budget: Budget,
+    rng: &mut dyn Rng,
+) -> Result<TunedGeneric<M>, PrivacyError> {
     let mechanism = bolton_privacy::ExponentialMechanism::new(selection_budget.eps(), 1.0)?;
     let utilities: Vec<f64> = error_counts.iter().map(|&chi| -(chi as f64)).collect();
     let selected = mechanism.select(rng, &utilities);
-
     Ok(TunedGeneric { model: models.swap_remove(selected), selected, error_counts })
+}
+
+/// A stateless trainer for the pool-parallel tuning paths: unlike
+/// [`TrainFn`] it may not share mutable state across candidates, which is
+/// exactly what makes grid cells independent tasks.
+pub type ParTrainFn<'a, M> = dyn Fn(&InMemoryDataset, &Candidate, &mut dyn Rng) -> M + Sync + 'a;
+
+/// Derives candidate `i`'s private RNG stream from `training_seed`. The
+/// derivation depends only on `(training_seed, i)`, so results are
+/// bit-identical for any pool size or scheduling.
+fn candidate_rng(training_seed: u64, i: usize) -> impl Rng {
+    let stream = SplitMix64::new(training_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    bolton_rng::seeded({
+        let mut s = stream;
+        s.next_u64()
+    })
+}
+
+/// [`private_tune_models`] with candidate training fanned out over a
+/// persistent worker pool: candidate `i` trains on portion `i` and scores
+/// the shared holdout as one task, with its randomness derived from
+/// `(training_seed, i)`. Only the final exponential-mechanism draw
+/// consumes `rng`, so the selection is distributed exactly as in the
+/// sequential tuner and the outcome is independent of the pool's thread
+/// count and steal order.
+///
+/// # Errors
+/// Rejects an empty grid or a dataset too small to split `l + 1` ways.
+pub fn private_tune_models_parallel<M: Send>(
+    runner: &ParallelRunner<'_>,
+    data: &InMemoryDataset,
+    candidates: &[Candidate],
+    selection_budget: Budget,
+    train: &ParTrainFn<'_, M>,
+    errors: &(dyn Fn(&M, &InMemoryDataset) -> usize + Sync),
+    training_seed: u64,
+    rng: &mut dyn Rng,
+) -> Result<TunedGeneric<M>, PrivacyError> {
+    let portions = split_for_grid(data, candidates.len())?;
+    let holdout = &portions[candidates.len()];
+
+    let tasks: Vec<_> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, candidate)| {
+            let portion = &portions[i];
+            move || {
+                let mut rng = candidate_rng(training_seed, i);
+                let model = train(portion, candidate, &mut rng);
+                let chi = errors(&model, holdout);
+                (model, chi)
+            }
+        })
+        .collect();
+    let outcomes = runner.run(tasks);
+
+    let (models, error_counts) = outcomes.into_iter().unzip();
+    select_by_errors(models, error_counts, selection_budget, rng)
+}
+
+/// [`public_tune`] with the grid trained on a persistent worker pool, one
+/// task per candidate, randomness derived from `(training_seed, i)`.
+/// Returns the winning index and per-candidate validation accuracies;
+/// results are independent of the pool's thread count and steal order.
+///
+/// # Panics
+/// Panics if the candidate grid is empty.
+pub fn public_tune_parallel(
+    runner: &ParallelRunner<'_>,
+    public_train: &InMemoryDataset,
+    public_validation: &InMemoryDataset,
+    candidates: &[Candidate],
+    train: &ParTrainFn<'_, Vec<f64>>,
+    training_seed: u64,
+) -> (usize, Vec<f64>) {
+    assert!(!candidates.is_empty(), "empty candidate grid");
+    let tasks: Vec<_> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, candidate)| {
+            move || {
+                let mut rng = candidate_rng(training_seed, i);
+                let model = train(public_train, candidate, &mut rng);
+                metrics::accuracy(&model, public_validation)
+            }
+        })
+        .collect();
+    let accuracies = runner.run(tasks);
+    let best = accuracies
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("accuracy is never NaN"))
+        .map(|(i, _)| i)
+        .expect("non-empty grid");
+    (best, accuracies)
 }
 
 /// Algorithm 3: private hyper-parameter tuning of binary linear models.
@@ -280,6 +398,150 @@ mod tests {
         // The perfect-direction model should make few errors on the holdout.
         let holdout_size = 500 / 2;
         assert!(tuned.error_counts[0] < holdout_size / 10);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::pool::WorkerPool;
+
+    fn dataset(m: usize, seed: u64) -> InMemoryDataset {
+        let mut rng = seeded(seed);
+        let mut features = Vec::with_capacity(m * 2);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            let x0 = rng.next_range(-1.0, 1.0);
+            features.push(x0);
+            features.push(rng.next_range(-0.2, 0.2));
+            labels.push(if x0 >= 0.0 { 1.0 } else { -1.0 });
+        }
+        InMemoryDataset::from_flat(features, labels, 2)
+    }
+
+    /// A real SGD trainer for the grid cells, seeded per candidate by the
+    /// tuner itself.
+    fn sgd_trainer(portion: &InMemoryDataset, c: &Candidate, rng: &mut dyn Rng) -> Vec<f64> {
+        let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.5))
+            .with_passes(c.passes)
+            .with_batch_size(c.batch_size);
+        bolton_sgd::run_psgd(portion, &bolton_sgd::Logistic::plain(), &config, rng).model
+    }
+
+    #[test]
+    fn parallel_private_tune_prefers_low_error_candidates() {
+        let data = dataset(900, 261);
+        let candidates = grid(&[1, 2, 3], &[1], &[0.0]);
+        let pool = WorkerPool::new(2);
+        let mut picks = [0usize; 3];
+        for trial in 0..30 {
+            let mut rng = seeded(262 + trial);
+            let train = |_p: &InMemoryDataset, c: &Candidate, _r: &mut dyn Rng| {
+                if c.passes == 2 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![-1.0, 0.0]
+                }
+            };
+            let tuned = private_tune_models_parallel(
+                &pool.runner(),
+                &data,
+                &candidates,
+                Budget::pure(1.0).unwrap(),
+                &train,
+                &|model: &Vec<f64>, holdout| metrics::zero_one_errors(model, holdout),
+                900 + trial,
+                &mut rng,
+            )
+            .unwrap();
+            picks[tuned.selected] += 1;
+        }
+        assert!(picks[1] >= 28, "good candidate picked {}/30", picks[1]);
+    }
+
+    /// The tuner's outcome is a function of the seeds only — never of the
+    /// pool size executing the grid.
+    #[test]
+    fn parallel_tune_independent_of_pool_size() {
+        let data = dataset(600, 263);
+        let candidates = grid(&[1, 2], &[1, 5], &[0.0]);
+        let run_with_pool = |threads: usize| {
+            let pool = WorkerPool::new(threads);
+            let mut rng = seeded(264);
+            private_tune_models_parallel(
+                &pool.runner(),
+                &data,
+                &candidates,
+                Budget::pure(1.0).unwrap(),
+                &sgd_trainer,
+                &|model: &Vec<f64>, holdout| metrics::zero_one_errors(model, holdout),
+                265,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let a = run_with_pool(1);
+        for threads in [2, 4] {
+            let b = run_with_pool(threads);
+            assert_eq!(a.selected, b.selected, "{threads} threads");
+            assert_eq!(a.error_counts, b.error_counts, "{threads} threads");
+            assert_eq!(a.model, b.model, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_public_tune_matches_sequential_argmax() {
+        let train_data = dataset(400, 266);
+        let val_data = dataset(200, 267);
+        let candidates = grid(&[1, 2, 3], &[1], &[0.0]);
+        // A deterministic trainer that ignores its RNG, so sequential and
+        // parallel tuners see identical models.
+        let fixed = |_p: &InMemoryDataset, c: &Candidate, _r: &mut dyn Rng| match c.passes {
+            2 => vec![1.0, 0.0],
+            3 => vec![0.5, 0.1],
+            _ => vec![-1.0, 0.0],
+        };
+        let pool = WorkerPool::new(3);
+        let (best_par, accs_par) =
+            public_tune_parallel(&pool.runner(), &train_data, &val_data, &candidates, &fixed, 268);
+        let mut train_mut = |p: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| fixed(p, c, r);
+        let (best_seq, accs_seq) =
+            public_tune(&train_data, &val_data, &candidates, &mut train_mut, &mut seeded(269));
+        assert_eq!(best_par, best_seq);
+        assert_eq!(accs_par, accs_seq);
+    }
+
+    #[test]
+    fn parallel_private_tune_validates_inputs() {
+        let data = dataset(10, 270);
+        let pool = WorkerPool::new(1);
+        let train = |_p: &InMemoryDataset, _c: &Candidate, _r: &mut dyn Rng| vec![0.0, 0.0];
+        let errors = |m: &Vec<f64>, h: &InMemoryDataset| metrics::zero_one_errors(m, h);
+        let mut rng = seeded(271);
+        assert!(private_tune_models_parallel(
+            &pool.runner(),
+            &data,
+            &[],
+            Budget::pure(1.0).unwrap(),
+            &train,
+            &errors,
+            272,
+            &mut rng,
+        )
+        .is_err());
+        let big_grid = grid(&[1, 2, 3, 4, 5, 6], &[1, 2], &[0.0]);
+        assert!(private_tune_models_parallel(
+            &pool.runner(),
+            &data,
+            &big_grid,
+            Budget::pure(1.0).unwrap(),
+            &train,
+            &errors,
+            273,
+            &mut rng,
+        )
+        .is_err());
     }
 }
 

@@ -3,24 +3,49 @@
 //! All functions assert matching lengths in debug builds and are branch-free
 //! in the hot path; the SGD inner loop is built entirely from these.
 
-/// Dot product `⟨x, y⟩`.
+/// Dot product `⟨x, y⟩`, accumulated 4-wide.
+///
+/// Four independent accumulators break the sequential-add dependency chain
+/// so the loop can keep multiple FMAs in flight; the reduction order
+/// `(a₀+a₁)+(a₂+a₃)+tail` is fixed, so results stay bit-reproducible.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y.iter()) {
-        acc += a * b;
+    let split = x.len() - x.len() % 4;
+    let mut acc = [0.0f64; 4];
+    for (cx, cy) in x[..split].chunks_exact(4).zip(y[..split].chunks_exact(4)) {
+        acc[0] += cx[0] * cy[0];
+        acc[1] += cx[1] * cy[1];
+        acc[2] += cx[2] * cy[2];
+        acc[3] += cx[3] * cy[3];
     }
-    acc
+    let mut tail = 0.0;
+    for (a, b) in x[split..].iter().zip(y[split..].iter()) {
+        tail += a * b;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
-/// Squared Euclidean norm `‖x‖²`.
+/// Squared Euclidean norm `‖x‖²` (same 4-wide accumulation as [`dot`], so
+/// `norm_sq(x) == dot(x, x)` bit-for-bit).
 #[inline]
 pub fn norm_sq(x: &[f64]) -> f64 {
-    x.iter().map(|v| v * v).sum()
+    let split = x.len() - x.len() % 4;
+    let mut acc = [0.0f64; 4];
+    for c in x[..split].chunks_exact(4) {
+        acc[0] += c[0] * c[0];
+        acc[1] += c[1] * c[1];
+        acc[2] += c[2] * c[2];
+        acc[3] += c[3] * c[3];
+    }
+    let mut tail = 0.0;
+    for a in &x[split..] {
+        tail += a * a;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Euclidean norm `‖x‖`.
@@ -90,6 +115,45 @@ pub fn project_l2_ball(w: &mut [f64], radius: f64) -> f64 {
     let n = norm(w);
     if n > radius {
         // radius/n < 1; rescaling moves w to the ball's surface.
+        scale(radius / n, w);
+    }
+    n
+}
+
+/// Fused SGD update step: `w ← Π_R(w + alpha·x)` in a single pass.
+///
+/// Applies the axpy and accumulates the squared norm of the updated vector
+/// in the same sweep (the separate `axpy` + `norm` + conditional `scale`
+/// sequence reads `w` twice). The accumulation uses the same 4-wide order
+/// as [`norm_sq`], so the result is bit-identical to
+/// `axpy(alpha, x, w); project_l2_ball(w, radius)`.
+///
+/// Returns the pre-projection norm `‖w + alpha·x‖`.
+///
+/// # Panics
+/// Panics if lengths differ or `radius` is negative or NaN.
+pub fn axpy_project_l2(alpha: f64, x: &[f64], w: &mut [f64], radius: f64) -> f64 {
+    assert_eq!(x.len(), w.len(), "axpy_project_l2: length mismatch");
+    assert!(radius >= 0.0, "radius must be >= 0");
+    let split = w.len() - w.len() % 4;
+    let mut acc = [0.0f64; 4];
+    for (cw, cx) in w[..split].chunks_exact_mut(4).zip(x[..split].chunks_exact(4)) {
+        cw[0] += alpha * cx[0];
+        cw[1] += alpha * cx[1];
+        cw[2] += alpha * cx[2];
+        cw[3] += alpha * cx[3];
+        acc[0] += cw[0] * cw[0];
+        acc[1] += cw[1] * cw[1];
+        acc[2] += cw[2] * cw[2];
+        acc[3] += cw[3] * cw[3];
+    }
+    let mut tail = 0.0;
+    for (wi, xi) in w[split..].iter_mut().zip(x[split..].iter()) {
+        *wi += alpha * xi;
+        tail += *wi * *wi;
+    }
+    let n = ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail).sqrt();
+    if n > radius {
         scale(radius / n, w);
     }
     n
@@ -194,6 +258,49 @@ mod tests {
         let mut zero = vec![0.0, 0.0];
         normalize_unit(&mut zero);
         assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_tail_lengths() {
+        // Exercise every remainder class of the 4-wide kernel.
+        for len in 0..9usize {
+            let x: Vec<f64> = (0..len).map(|i| i as f64 + 1.0).collect();
+            let y: Vec<f64> = (0..len).map(|i| 2.0 * i as f64 - 3.0).collect();
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot(&x, &y) - naive).abs() < 1e-12, "len {len}");
+            assert_eq!(norm_sq(&x), dot(&x, &x), "len {len}");
+        }
+    }
+
+    #[test]
+    fn axpy_project_matches_unfused() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13] {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).sin()).collect();
+            let w0: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).cos()).collect();
+            for radius in [0.001, 0.5, 100.0] {
+                let mut unfused = w0.clone();
+                axpy(-0.25, &x, &mut unfused);
+                let pre_unfused = project_l2_ball(&mut unfused, radius);
+                let mut fused = w0.clone();
+                let pre_fused = axpy_project_l2(-0.25, &x, &mut fused, radius);
+                assert_eq!(fused, unfused, "len {len} radius {radius}");
+                assert_eq!(pre_fused, pre_unfused, "len {len} radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_project_noop_inside_ball() {
+        let mut w = vec![0.1, 0.2];
+        let pre = axpy_project_l2(1.0, &[0.1, 0.0], &mut w, 10.0);
+        assert_eq!(w, vec![0.2, 0.2]);
+        assert!((pre - norm(&[0.2, 0.2])).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_project_length_mismatch_panics() {
+        axpy_project_l2(1.0, &[1.0], &mut [1.0, 2.0], 1.0);
     }
 
     #[test]

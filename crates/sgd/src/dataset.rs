@@ -320,11 +320,28 @@ impl TrainSet for SparseDataset {
     }
 
     fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
-        let mut buf = vec![0.0; self.dim];
-        for (pos, &i) in order.iter().enumerate() {
-            self.rows[i].write_dense(&mut buf);
-            visit(pos, &buf, self.labels[i]);
+        // The dense row buffer is thread-local rather than per-call:
+        // chunked scans (e.g. through a `ShardView`) issue many short
+        // `scan_order` calls per pass, and a per-call allocation would
+        // multiply with the chunk count on the hot path.
+        thread_local! {
+            static ROW_BUF: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
         }
+        let mut scan = |buf: &mut Vec<f64>| {
+            buf.clear();
+            buf.resize(self.dim, 0.0);
+            for (pos, &i) in order.iter().enumerate() {
+                self.rows[i].write_dense(buf);
+                visit(pos, buf, self.labels[i]);
+            }
+        };
+        ROW_BUF.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut buf) => scan(&mut buf),
+            // A reentrant scan (the visitor scanning this thread's sparse
+            // data again) falls back to a local buffer.
+            Err(_) => scan(&mut vec![0.0; self.dim]),
+        });
     }
 }
 
@@ -392,6 +409,58 @@ mod sparse_tests {
         let orders: Vec<Vec<usize>> = vec![(0..m).rev().collect(); 2];
         let a = run_with_orders(&d, &loss, &config, &orders, &mut |_, _| {});
         let b = run_with_orders(&s, &loss, &config, &orders, &mut |_, _| {});
+        assert_eq!(a.model, b.model);
+    }
+
+    /// Reentrant scans (a visitor scanning the same thread's sparse data
+    /// again) must not corrupt the shared row buffer.
+    #[test]
+    fn reentrant_scan_keeps_rows_intact() {
+        let d = dense();
+        let s = SparseDataset::from_dense(&d);
+        let mut outer_rows = Vec::new();
+        s.scan_order(&[0, 1, 2], &mut |pos, x, _| {
+            let outer = x.to_vec();
+            let mut inner_first = None;
+            s.scan_order(&[2], &mut |_, ix, _| inner_first = Some(ix.to_vec()));
+            assert_eq!(inner_first.unwrap(), d.features_of(2), "inner scan row");
+            // The outer row handed to us must still match the dataset
+            // after the nested scan ran on this thread.
+            assert_eq!(x, d.features_of(pos), "outer row after inner scan");
+            outer_rows.push(outer);
+        });
+        assert_eq!(outer_rows.len(), 3);
+    }
+
+    /// Sparse storage behind a `ShardView` (the pool's chunked scans)
+    /// trains identically to dense storage.
+    #[test]
+    fn sharded_sparse_training_matches_dense() {
+        use crate::engine::{run_with_orders, SgdConfig};
+        use crate::loss::Logistic;
+        use crate::parallel::ShardView;
+        use crate::schedule::StepSize;
+        let mut rng = bolton_rng::seeded(482);
+        let m = 300;
+        let dim = 6;
+        let mut features = Vec::with_capacity(m * dim);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            for _ in 0..dim {
+                features.push(if rng.next_bool(0.3) { rng.next_range(-0.3, 0.3) } else { 0.0 });
+            }
+            labels.push(if rng.next_bool(0.5) { 1.0 } else { -1.0 });
+        }
+        let d = InMemoryDataset::from_flat(features, labels, dim);
+        let s = SparseDataset::from_dense(&d);
+        let shard: Vec<usize> = (0..m).step_by(2).collect();
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3)).with_passes(2).with_batch_size(4);
+        let orders: Vec<Vec<usize>> = vec![(0..shard.len()).rev().collect(); 2];
+        let dense_view = ShardView::new(&d, shard.clone());
+        let sparse_view = ShardView::new(&s, shard);
+        let a = run_with_orders(&dense_view, &loss, &config, &orders, &mut |_, _| {});
+        let b = run_with_orders(&sparse_view, &loss, &config, &orders, &mut |_, _| {});
         assert_eq!(a.model, b.model);
     }
 

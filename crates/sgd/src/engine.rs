@@ -154,7 +154,9 @@ pub fn batches_per_pass(m: usize, batch_size: usize) -> usize {
 /// the *smallest* batch containing the differing example, a 2-row tail
 /// batch would silently forfeit almost the whole ÷b benefit (the paper
 /// sidesteps this by assuming `b | m`). Balancing restores the benefit for
-/// every `m`: the smallest batch is `⌊m/⌈m/b⌉⌋ ≥ ⌊b/2⌋ + 1`.
+/// every `m`: the smallest batch is `⌊m/⌈m/b⌉⌋ ≥ ⌈b/2⌉` (equivalently
+/// `⌊b/2⌋ + 1` for odd `b`), since `m ≥ (q−1)·b + 1` for `q = ⌈m/b⌉`
+/// passes gives `m/q ≥ b − (b−1)/q ≥ (b+1)/2` whenever `q ≥ 2`.
 ///
 /// ```
 /// use bolton_sgd::engine::BatchPlan;
@@ -242,22 +244,95 @@ where
 {
     let m = data.len();
     config.validate(m);
-    let orders = sample_orders(config, m, rng);
-    run_with_orders(data, loss, config, &orders, &mut hook)
+    let orders = PassOrders::sample(config, m, rng);
+    run_with_pass_orders(data, loss, config, &orders, &mut hook, &mut Scratch::new())
 }
 
-fn sample_orders<R: Rng + ?Sized>(config: &SgdConfig, m: usize, rng: &mut R) -> Vec<Vec<usize>> {
-    match config.sampling {
-        SamplingScheme::Permutation { fresh_each_pass } => {
-            if fresh_each_pass {
-                (0..config.passes).map(|_| random_permutation(rng, m)).collect()
-            } else {
-                let perm = random_permutation(rng, m);
-                vec![perm; config.passes]
+/// Per-pass example orders without materializing one `Vec` per pass.
+///
+/// The default (non-fresh) permutation scheme reuses a single permutation
+/// for every pass; storing it once replaces the old `vec![perm; passes]`
+/// clone-per-pass, which allocated `passes·m` indices for one pass worth of
+/// information.
+#[derive(Clone, Debug)]
+pub enum PassOrders {
+    /// One order shared by every pass (the non-fresh permutation scheme).
+    Shared {
+        /// The single order.
+        order: Vec<usize>,
+        /// How many passes reuse it.
+        passes: usize,
+    },
+    /// A distinct order per pass (fresh permutations, with-replacement).
+    PerPass(Vec<Vec<usize>>),
+}
+
+impl PassOrders {
+    /// Samples orders for `config` over `m` examples, consuming exactly the
+    /// same randomness as the original per-pass materialization (one
+    /// permutation for the non-fresh scheme, one per pass otherwise).
+    pub fn sample<R: Rng + ?Sized>(config: &SgdConfig, m: usize, rng: &mut R) -> Self {
+        match config.sampling {
+            SamplingScheme::Permutation { fresh_each_pass } => {
+                if fresh_each_pass {
+                    Self::PerPass((0..config.passes).map(|_| random_permutation(rng, m)).collect())
+                } else {
+                    Self::Shared { order: random_permutation(rng, m), passes: config.passes }
+                }
             }
+            SamplingScheme::WithReplacement => Self::PerPass(
+                (0..config.passes).map(|_| (0..m).map(|_| rng.next_index(m)).collect()).collect(),
+            ),
         }
-        SamplingScheme::WithReplacement => {
-            (0..config.passes).map(|_| (0..m).map(|_| rng.next_index(m)).collect()).collect()
+    }
+
+    /// Number of passes covered.
+    pub fn passes(&self) -> usize {
+        match self {
+            Self::Shared { passes, .. } => *passes,
+            Self::PerPass(orders) => orders.len(),
+        }
+    }
+
+    /// The order for pass `pass`.
+    ///
+    /// # Panics
+    /// Panics if `pass >= self.passes()`.
+    pub fn order(&self, pass: usize) -> &[usize] {
+        match self {
+            Self::Shared { order, passes } => {
+                assert!(pass < *passes, "pass out of range");
+                order
+            }
+            Self::PerPass(orders) => &orders[pass],
+        }
+    }
+}
+
+/// Reusable buffers for the SGD inner loop (model iterate, gradient
+/// accumulator, iterate average), so repeated runs — pool workers, tuning
+/// grids, benchmark trials — do not reallocate per run.
+///
+/// A default-constructed scratch starts empty; buffers are sized on first
+/// use and kept across runs (the buffer that becomes the returned model is
+/// handed to the caller and re-grown on the next run).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    w: Vec<f64>,
+    grad: Vec<f64>,
+    avg: Vec<f64>,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers are allocated lazily on first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, d: usize) {
+        for buf in [&mut self.w, &mut self.grad, &mut self.avg] {
+            buf.clear();
+            buf.resize(d, 0.0);
         }
     }
 }
@@ -281,13 +356,66 @@ pub fn run_with_orders<D>(
 where
     D: TrainSet + ?Sized,
 {
+    assert_eq!(orders.len(), config.passes, "one order per pass is required");
+    for order in orders {
+        assert_eq!(order.len(), data.len(), "order length must equal dataset size");
+    }
+    run_core(data, loss, config, &|pass| orders[pass].as_slice(), hook, &mut Scratch::new())
+}
+
+/// Runs SGD over [`PassOrders`], reusing the caller's [`Scratch`] buffers —
+/// the allocation-free entry point the worker pool and tuning grid use.
+///
+/// Semantics are identical to [`run_with_orders`] over the materialized
+/// per-pass orders.
+///
+/// # Panics
+/// Panics if `orders.passes() != config.passes`, any order's length differs
+/// from `data.len()`, or any index is out of bounds.
+pub fn run_with_pass_orders<D>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    orders: &PassOrders,
+    hook: &mut dyn FnMut(u64, &mut [f64]),
+    scratch: &mut Scratch,
+) -> SgdOutcome
+where
+    D: TrainSet + ?Sized,
+{
+    assert_eq!(orders.passes(), config.passes, "one order per pass is required");
+    // Validate every order eagerly: with tolerance-based early stopping a
+    // later pass may never execute, and a malformed order must not pass
+    // silently.
+    match orders {
+        PassOrders::Shared { order, .. } => {
+            assert_eq!(order.len(), data.len(), "order length must equal dataset size");
+        }
+        PassOrders::PerPass(per_pass) => {
+            for order in per_pass {
+                assert_eq!(order.len(), data.len(), "order length must equal dataset size");
+            }
+        }
+    }
+    run_core(data, loss, config, &|pass| orders.order(pass), hook, scratch)
+}
+
+/// The deterministic inner loop shared by every entry point. `order_of`
+/// yields the example order for each pass index.
+fn run_core<'o, D>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    order_of: &dyn Fn(usize) -> &'o [usize],
+    hook: &mut dyn FnMut(u64, &mut [f64]),
+    scratch: &mut Scratch,
+) -> SgdOutcome
+where
+    D: TrainSet + ?Sized,
+{
     let m = data.len();
     let d = data.dim();
     config.validate(m);
-    assert_eq!(orders.len(), config.passes, "one order per pass is required");
-    for order in orders {
-        assert_eq!(order.len(), m, "order length must equal dataset size");
-    }
 
     let b = config.batch_size.min(m);
     let plan = BatchPlan::new(m, b);
@@ -297,53 +425,58 @@ where
     let tail_window = ((total_updates as f64).ln().ceil() as u64).max(1);
     let tail_start = total_updates.saturating_sub(tail_window) + 1;
 
-    let mut w = vec![0.0; d];
-    let mut grad = vec![0.0; d];
-    let mut avg = vec![0.0; d];
+    scratch.reset(d);
+    let Scratch { w, grad, avg } = scratch;
     let mut averaged_count = 0u64;
     let mut t: u64 = 0;
     let mut epoch_losses = Vec::new();
     let mut passes_completed = 0usize;
 
-    for order in orders {
+    for pass in 0..config.passes {
+        // Both public entry points validate every order's length eagerly.
+        let order = order_of(pass);
         let mut batch_len = 0usize;
         let mut batch_idx = 0usize;
         // One pass: stream examples in permuted order, flushing an update
         // at each balanced-partition boundary.
         data.scan_order(order, &mut |_pos, x, y| {
-            loss.add_gradient(&w, x, y, &mut grad);
+            loss.add_gradient(w, x, y, grad);
             batch_len += 1;
             if batch_len == plan.size_of(batch_idx) {
                 batch_idx += 1;
                 t += 1;
-                vector::scale(1.0 / batch_len as f64, &mut grad);
-                hook(t, &mut grad);
+                vector::scale(1.0 / batch_len as f64, grad);
+                hook(t, grad);
                 let eta = config.step.eta(t);
-                vector::axpy(-eta, &grad, &mut w);
-                if let Some(r) = config.projection_radius {
-                    vector::project_l2_ball(&mut w, r);
+                // Fused update: one sweep applies the step and (when
+                // constrained) the L2-ball projection.
+                match config.projection_radius {
+                    Some(r) => {
+                        vector::axpy_project_l2(-eta, grad, w, r);
+                    }
+                    None => vector::axpy(-eta, grad, w),
                 }
                 match config.averaging {
                     Averaging::FinalIterate => {}
                     Averaging::Uniform => {
-                        vector::axpy(1.0, &w, &mut avg);
+                        vector::axpy(1.0, w, avg);
                         averaged_count += 1;
                     }
                     Averaging::LastLog => {
                         if t >= tail_start {
-                            vector::axpy(1.0, &w, &mut avg);
+                            vector::axpy(1.0, w, avg);
                             averaged_count += 1;
                         }
                     }
                 }
-                vector::fill_zero(&mut grad);
+                vector::fill_zero(grad);
                 batch_len = 0;
             }
         });
         passes_completed += 1;
 
         if let Some(mu) = config.tolerance {
-            let cur = crate::metrics::empirical_risk(loss, &w, data);
+            let cur = crate::metrics::empirical_risk(loss, w, data);
             let stop = epoch_losses
                 .last()
                 .is_some_and(|&prev: &f64| prev.abs() > 0.0 && (prev - cur) / prev.abs() < mu);
@@ -354,12 +487,14 @@ where
         }
     }
 
+    // Hand the relevant buffer to the caller; the scratch re-grows it on
+    // the next run.
     let model = match config.averaging {
-        Averaging::FinalIterate => w,
+        Averaging::FinalIterate => std::mem::take(w),
         Averaging::Uniform | Averaging::LastLog => {
             assert!(averaged_count > 0, "no iterates were averaged");
-            vector::scale(1.0 / averaged_count as f64, &mut avg);
-            avg
+            vector::scale(1.0 / averaged_count as f64, avg);
+            std::mem::take(avg)
         }
     };
 
@@ -535,6 +670,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "order length must equal dataset size")]
+    fn malformed_later_order_rejected_eagerly() {
+        // Even with a tolerance that stops the run after pass 1, a
+        // malformed pass-2 order must be rejected up front.
+        let data = separable(10, 98);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.2)).with_passes(2).with_tolerance(1.0);
+        let orders: Vec<Vec<usize>> = vec![(0..10).collect(), (0..5).collect()];
+        run_with_orders(&data, &loss, &config, &orders, &mut |_, _| {});
+    }
+
+    #[test]
     #[should_panic(expected = "one order per pass")]
     fn order_arity_checked() {
         let data = separable(10, 93);
@@ -667,6 +814,37 @@ mod proptests {
             prop_assert!(max - min <= 1, "max {max}, min {min}");
             prop_assert_eq!(min, plan.min_size());
             prop_assert_eq!(plan.batches, m.div_ceil(b.min(m)));
+        }
+
+        /// `batch_of_position` agrees with the cumulative `size_of`
+        /// partition for every in-pass position.
+        #[test]
+        fn batch_of_position_matches_cumulative_sizes(m in 1usize..2000, b in 1usize..100) {
+            let plan = BatchPlan::new(m, b);
+            let mut pos = 0usize;
+            for batch in 0..plan.batches {
+                for _ in 0..plan.size_of(batch) {
+                    prop_assert_eq!(plan.batch_of_position(pos), batch, "m={}, b={}, pos={}", m, b, pos);
+                    pos += 1;
+                }
+            }
+            prop_assert_eq!(pos, m);
+        }
+
+        /// The smallest batch never drops below `⌈b/2⌉` (i.e. `⌊b/2⌋ + 1`
+        /// for odd `b`), so the mini-batch sensitivity divisor stays within
+        /// 2× of the nominal batch size for every (m, b).
+        #[test]
+        fn min_size_stays_within_half_of_b(m in 1usize..2000, b in 1usize..100) {
+            let plan = BatchPlan::new(m, b);
+            let b_eff = b.min(m);
+            prop_assert!(
+                plan.min_size() >= b_eff.div_ceil(2),
+                "m={}, b={}: min {} < ceil({}/2)", m, b, plan.min_size(), b_eff
+            );
+            if b_eff % 2 == 1 {
+                prop_assert!(plan.min_size() >= b_eff / 2 + 1);
+            }
         }
 
         /// The engine performs exactly plan.batches updates per pass,

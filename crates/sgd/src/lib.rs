@@ -14,6 +14,9 @@
 //! * [`growth`] — the Lemma 4 growth recursion replayed analytically, used
 //!   to cross-check the closed-form sensitivity bounds.
 //! * [`metrics`] — test accuracy / empirical risk used across the harness.
+//! * [`pool`] — the persistent work-stealing worker pool behind every
+//!   parallel region (epochs, tuning grids, bench trials).
+//! * [`parallel`] — parameter-mixing parallel PSGD scheduled on the pool.
 
 pub mod dataset;
 pub mod engine;
@@ -21,6 +24,7 @@ pub mod growth;
 pub mod loss;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 pub mod sag;
 pub mod schedule;
 pub mod svrg;
@@ -28,7 +32,8 @@ pub mod svrg;
 pub use dataset::{InMemoryDataset, SparseDataset, TrainSet};
 pub use engine::{run_psgd, Averaging, SamplingScheme, SgdConfig, SgdOutcome};
 pub use loss::{HuberSvm, LeastSquares, Logistic, Loss};
-pub use parallel::run_parallel_psgd;
+pub use parallel::{run_parallel_psgd, run_parallel_psgd_on, run_parallel_psgd_scoped};
+pub use pool::{ParallelRunner, WorkerPool};
 pub use sag::run_sag;
 pub use schedule::StepSize;
 pub use svrg::run_svrg;

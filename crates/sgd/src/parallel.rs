@@ -7,6 +7,20 @@
 //! independently runs the full SGD configuration on its shard from the same
 //! initialization, and the resulting models are averaged.
 //!
+//! Shards are scheduled on the persistent work-stealing pool
+//! ([`crate::pool`]) rather than per-call `std::thread::scope` spawns, and
+//! results are mixed in shard order, so the model is a function of the seed
+//! and the shard count (`workers`) only — never of the pool's thread count
+//! or which thread ran which shard. [`run_parallel_psgd_scoped`] keeps the
+//! old spawn-per-call path as a benchmark baseline.
+//!
+//! **Behavior change vs the pre-pool implementation:** workers now honor
+//! `config.sampling` for their shard-local pass orders (one shared
+//! permutation per worker under the default non-fresh scheme), where the
+//! old code unconditionally resampled a fresh permutation every pass.
+//! Models trained with a multi-pass config therefore differ numerically
+//! from pre-pool runs at the same seed (determinism per seed is unchanged).
+//!
 //! **Privacy note:** the paper's sensitivity analysis covers *sequential*
 //! PSGD. Parameter mixing changes the analysis (each worker sees a 1/w
 //! fraction of the data, and the average dilutes a differing example by
@@ -14,15 +28,17 @@
 //! private training should use the sequential engine.
 
 use crate::dataset::TrainSet;
-use crate::engine::{run_with_orders, SgdConfig, SgdOutcome};
+use crate::engine::{run_with_pass_orders, PassOrders, Scratch, SgdConfig, SgdOutcome};
 use crate::loss::Loss;
+use crate::pool::ParallelRunner;
 use bolton_linalg::vector;
 use bolton_rng::{random_permutation, Rng};
+use std::borrow::Cow;
 
 /// A contiguous shard of a base dataset, exposed as a [`TrainSet`].
 pub struct ShardView<'a, D: TrainSet + ?Sized> {
     base: &'a D,
-    indices: Vec<usize>,
+    indices: Cow<'a, [usize]>,
 }
 
 impl<'a, D: TrainSet + ?Sized> ShardView<'a, D> {
@@ -31,11 +47,29 @@ impl<'a, D: TrainSet + ?Sized> ShardView<'a, D> {
     /// # Panics
     /// Panics if `indices` is empty or any index is out of range.
     pub fn new(base: &'a D, indices: Vec<usize>) -> Self {
+        Self::build(base, Cow::Owned(indices))
+    }
+
+    /// Like [`ShardView::new`] but borrowing the indices — the worker pool
+    /// hands each shard a slice of the one shared permutation instead of
+    /// copying it.
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn from_slice(base: &'a D, indices: &'a [usize]) -> Self {
+        Self::build(base, Cow::Borrowed(indices))
+    }
+
+    fn build(base: &'a D, indices: Cow<'a, [usize]>) -> Self {
         assert!(!indices.is_empty(), "shard must be non-empty");
         assert!(indices.iter().all(|&i| i < base.len()), "shard index out of range");
         Self { base, indices }
     }
 }
+
+/// Fixed-size stack chunk for index translation in [`ShardView::scan_order`];
+/// bounds the remap cost at zero heap allocations per scan.
+const SCAN_CHUNK: usize = 128;
 
 impl<D: TrainSet + ?Sized> TrainSet for ShardView<'_, D> {
     fn len(&self) -> usize {
@@ -47,16 +81,90 @@ impl<D: TrainSet + ?Sized> TrainSet for ShardView<'_, D> {
     }
 
     fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
-        let mapped: Vec<usize> = order.iter().map(|&i| self.indices[i]).collect();
-        self.base.scan_order(&mapped, visit);
+        // Translate shard-local indices to base indices in fixed-size
+        // chunks on the stack — the old per-scan `Vec` allocated m indices
+        // on every pass of every worker.
+        let mut mapped = [0usize; SCAN_CHUNK];
+        let mut offset = 0usize;
+        for chunk in order.chunks(SCAN_CHUNK) {
+            for (slot, &i) in mapped.iter_mut().zip(chunk.iter()) {
+                *slot = self.indices[i];
+            }
+            let base_offset = offset;
+            self.base.scan_order(&mapped[..chunk.len()], &mut |pos, x, y| {
+                visit(base_offset + pos, x, y);
+            });
+            offset += chunk.len();
+        }
     }
 }
 
-/// Runs parameter-mixing parallel PSGD: `workers` independent SGD runs on
-/// disjoint random shards, averaged at the end.
+/// Index ranges `[lo, hi)` of each worker's contiguous shard of the
+/// permutation: sizes within one of each other, larger shards first.
+fn shard_bounds(m: usize, workers: usize) -> Vec<(usize, usize)> {
+    let base = m / workers;
+    let extra = m % workers;
+    let mut bounds = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+thread_local! {
+    /// Per-thread scratch reused across shard runs: pool threads are
+    /// long-lived, so gradient/average buffers persist across epochs
+    /// instead of being reallocated per run.
+    static SHARD_SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::new());
+}
+
+/// One worker's shard run: per-pass orders derived from its own seeded
+/// stream (honoring `config.sampling` — note the pre-pool implementation
+/// always resampled fresh per pass regardless of the configured scheme),
+/// executed with the thread's reusable scratch.
+fn shard_run<D>(
+    data: &D,
+    indices: &[usize],
+    seed: u64,
+    loss: &(dyn Loss + Sync),
+    config: &SgdConfig,
+) -> SgdOutcome
+where
+    D: TrainSet + Sync + ?Sized,
+{
+    let view = ShardView::from_slice(data, indices);
+    let mut worker_rng = bolton_rng::seeded(seed);
+    let orders = PassOrders::sample(config, view.len(), &mut worker_rng);
+    SHARD_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        run_with_pass_orders(&view, loss, config, &orders, &mut |_, _| {}, &mut scratch)
+    })
+}
+
+/// Parameter mixing: the plain average of the worker models, reduced in
+/// shard order for bit-reproducibility.
+fn mix(results: &[SgdOutcome], d: usize, passes: usize) -> SgdOutcome {
+    let workers = results.len();
+    let mut model = vec![0.0; d];
+    let mut updates = 0u64;
+    for out in results {
+        vector::axpy(1.0 / workers as f64, &out.model, &mut model);
+        updates += out.updates;
+    }
+    SgdOutcome { model, updates, passes_completed: passes, epoch_losses: Vec::new() }
+}
+
+/// Runs parameter-mixing parallel PSGD on the process-global worker pool:
+/// `workers` independent SGD runs on disjoint random shards, averaged at
+/// the end.
 ///
-/// With `workers == 1` this is exactly [`run_with_orders`] over a single
-/// sampled permutation.
+/// `workers` is the *shard count* — part of the algorithm, influencing the
+/// result. The pool's thread count (see [`crate::pool::global`] and
+/// `BOLTON_THREADS`) is purely an execution resource; any pool produces
+/// bit-identical models for the same seed and shard count.
 ///
 /// # Panics
 /// Panics if `workers == 0` or `workers > data.len()`.
@@ -71,60 +179,90 @@ where
     D: TrainSet + Sync + ?Sized,
     R: Rng + ?Sized,
 {
+    run_parallel_psgd_on(&crate::pool::runner(), data, loss, config, workers, rng)
+}
+
+/// [`run_parallel_psgd`] on an explicit [`ParallelRunner`] — the entry
+/// point for callers that manage their own pool (benchmarks, tests).
+///
+/// # Panics
+/// Panics if `workers == 0` or `workers > data.len()`.
+pub fn run_parallel_psgd_on<D, R>(
+    runner: &ParallelRunner<'_>,
+    data: &D,
+    loss: &(dyn Loss + Sync),
+    config: &SgdConfig,
+    workers: usize,
+    rng: &mut R,
+) -> SgdOutcome
+where
+    D: TrainSet + Sync + ?Sized,
+    R: Rng + ?Sized,
+{
     let m = data.len();
     assert!(workers >= 1, "at least one worker");
     assert!(workers <= m, "more workers than examples");
     let permutation = random_permutation(rng, m);
+    // Each worker gets its own derived RNG stream for its pass orders.
+    let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
 
-    // Contiguous shards of the permutation, sizes within one of each other.
-    let base = m / workers;
-    let extra = m % workers;
-    let mut shards: Vec<Vec<usize>> = Vec::with_capacity(workers);
-    let mut start = 0usize;
-    for w in 0..workers {
-        let size = base + usize::from(w < extra);
-        shards.push(permutation[start..start + size].to_vec());
-        start += size;
-    }
+    let tasks: Vec<_> = shard_bounds(m, workers)
+        .into_iter()
+        .zip(seeds)
+        .map(|((lo, hi), seed)| {
+            let indices = &permutation[lo..hi];
+            move || shard_run(data, indices, seed, loss, config)
+        })
+        .collect();
+    let results = runner.run(tasks);
+    mix(&results, data.dim(), config.passes)
+}
 
-    // Each worker gets its own derived RNG stream for its pass permutations.
+/// The pre-pool baseline: identical sharding, seeding, and mixing, but
+/// spawning fresh scoped threads on every call. Kept so the
+/// `parallel_pool` benchmark can quantify what the persistent pool saves;
+/// produces bit-identical results to [`run_parallel_psgd`].
+///
+/// # Panics
+/// Panics if `workers == 0` or `workers > data.len()`.
+pub fn run_parallel_psgd_scoped<D, R>(
+    data: &D,
+    loss: &(dyn Loss + Sync),
+    config: &SgdConfig,
+    workers: usize,
+    rng: &mut R,
+) -> SgdOutcome
+where
+    D: TrainSet + Sync + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    assert!(workers >= 1, "at least one worker");
+    assert!(workers <= m, "more workers than examples");
+    let permutation = random_permutation(rng, m);
     let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
 
     let results: Vec<SgdOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
+        let handles: Vec<_> = shard_bounds(m, workers)
             .into_iter()
             .zip(seeds)
-            .map(|(shard, seed)| {
-                scope.spawn(move || {
-                    let view = ShardView::new(data, shard);
-                    let mut worker_rng = bolton_rng::seeded(seed);
-                    let shard_m = view.len();
-                    let orders: Vec<Vec<usize>> = (0..config.passes)
-                        .map(|_| random_permutation(&mut worker_rng, shard_m))
-                        .collect();
-                    run_with_orders(&view, loss, config, &orders, &mut |_, _| {})
-                })
+            .map(|((lo, hi), seed)| {
+                let indices = &permutation[lo..hi];
+                scope.spawn(move || shard_run(data, indices, seed, loss, config))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
-
-    // Parameter mixing: plain average of the worker models.
-    let d = data.dim();
-    let mut model = vec![0.0; d];
-    let mut updates = 0u64;
-    for out in &results {
-        vector::axpy(1.0 / workers as f64, &out.model, &mut model);
-        updates += out.updates;
-    }
-    SgdOutcome { model, updates, passes_completed: config.passes, epoch_losses: Vec::new() }
+    mix(&results, data.dim(), config.passes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dataset::InMemoryDataset;
+    use crate::engine::run_with_orders;
     use crate::loss::Logistic;
+    use crate::pool::WorkerPool;
     use crate::schedule::StepSize;
     use bolton_rng::seeded;
 
@@ -151,6 +289,24 @@ mod tests {
         shard.scan_order(&[2, 0], &mut |pos, x, _| seen.push((pos, x[0])));
         assert_eq!(seen[0], (0, data.features_of(9)[0]));
         assert_eq!(seen[1], (1, data.features_of(7)[0]));
+    }
+
+    #[test]
+    fn shard_view_chunked_scan_preserves_positions() {
+        // A shard longer than one SCAN_CHUNK must still report global
+        // positions and visit every example exactly once.
+        let m = 2 * SCAN_CHUNK + 37;
+        let data = separable(m, 513);
+        let indices: Vec<usize> = (0..m).rev().collect();
+        let shard = ShardView::from_slice(&data, &indices);
+        let order: Vec<usize> = (0..m).collect();
+        let mut seen = Vec::new();
+        shard.scan_order(&order, &mut |pos, x, _| seen.push((pos, x[0])));
+        assert_eq!(seen.len(), m);
+        for (pos, (seen_pos, x0)) in seen.iter().enumerate() {
+            assert_eq!(pos, *seen_pos);
+            assert_eq!(*x0, data.features_of(m - 1 - pos)[0]);
+        }
     }
 
     #[test]
@@ -185,6 +341,71 @@ mod tests {
         assert_eq!(a.model, b.model);
     }
 
+    /// The tentpole determinism guarantee: pool thread count and steal
+    /// order are execution details; the model depends only on seed and
+    /// shard count.
+    #[test]
+    fn model_independent_of_pool_size() {
+        let data = separable(400, 514);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3)).with_passes(3);
+        let reference = {
+            let pool = WorkerPool::new(1);
+            run_parallel_psgd_on(&pool.runner(), &data, &loss, &config, 4, &mut seeded(515))
+        };
+        for threads in [2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let out =
+                run_parallel_psgd_on(&pool.runner(), &data, &loss, &config, 4, &mut seeded(515));
+            assert_eq!(out.model, reference.model, "pool of {threads} threads diverged");
+            assert_eq!(out.updates, reference.updates);
+        }
+    }
+
+    /// The pool-backed path and the scoped-spawn baseline share sharding,
+    /// seeding, and mixing, so they must agree bit-for-bit.
+    #[test]
+    fn pool_matches_scoped_baseline() {
+        let data = separable(300, 516);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.4)).with_passes(2).with_batch_size(3);
+        for workers in [1, 2, 5] {
+            let pooled = run_parallel_psgd(&data, &loss, &config, workers, &mut seeded(517));
+            let scoped = run_parallel_psgd_scoped(&data, &loss, &config, workers, &mut seeded(517));
+            assert_eq!(pooled.model, scoped.model, "{workers} workers");
+            assert_eq!(pooled.updates, scoped.updates);
+        }
+    }
+
+    /// With one shard, parameter mixing degenerates to the sequential
+    /// engine: replaying the derived randomness through [`run_with_orders`]
+    /// on the base dataset reproduces the model exactly.
+    #[test]
+    fn single_worker_matches_sequential_engine() {
+        let m = 150;
+        let data = separable(m, 518);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.25)).with_passes(3).with_batch_size(4);
+
+        let parallel = run_parallel_psgd(&data, &loss, &config, 1, &mut seeded(519));
+
+        // Replay the same derivation by hand: the shard is the full
+        // permutation; the worker samples one shared shard-local order
+        // (non-fresh scheme) from its derived stream. Composing the two
+        // gives the base-dataset order the sequential engine sees.
+        let mut rng = seeded(519);
+        let permutation = random_permutation(&mut rng, m);
+        let worker_seed = rng.next_u64();
+        let mut worker_rng = bolton_rng::seeded(worker_seed);
+        let shard_order = random_permutation(&mut worker_rng, m);
+        let composed: Vec<usize> = shard_order.iter().map(|&i| permutation[i]).collect();
+        let orders = vec![composed; config.passes];
+        let sequential = run_with_orders(&data, &loss, &config, &orders, &mut |_, _| {});
+
+        assert_eq!(parallel.model, sequential.model);
+        assert_eq!(parallel.updates, sequential.updates);
+    }
+
     #[test]
     fn parallel_result_close_to_sequential() {
         let data = separable(3000, 508);
@@ -195,6 +416,30 @@ mod tests {
         let acc_seq = crate::metrics::accuracy(&seq.model, &data);
         let acc_par = crate::metrics::accuracy(&par.model, &data);
         assert!((acc_seq - acc_par).abs() < 0.03, "sequential {acc_seq} vs parallel {acc_par}");
+    }
+
+    /// A panic inside a shard surfaces to the caller instead of hanging
+    /// the pool (here: triggered through a poisoned loss input).
+    #[test]
+    fn worker_panic_propagates() {
+        struct PanicsOnScan;
+        impl TrainSet for PanicsOnScan {
+            fn len(&self) -> usize {
+                8
+            }
+            fn dim(&self) -> usize {
+                1
+            }
+            fn scan_order(&self, _order: &[usize], _visit: &mut dyn FnMut(usize, &[f64], f64)) {
+                panic!("storage failure");
+            }
+        }
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.1));
+        let result = std::panic::catch_unwind(|| {
+            run_parallel_psgd(&PanicsOnScan, &loss, &config, 2, &mut seeded(520))
+        });
+        assert!(result.is_err(), "shard panic must propagate");
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! A persistent work-stealing worker pool for data-parallel training.
+//!
+//! The paper's scalability claim (Figure 2) rests on parallel PSGD running
+//! at native speed; spawning fresh OS threads for every epoch (the old
+//! `std::thread::scope` path) pays spawn/join latency on each call and
+//! prevents the hot path from ever being steady-state. [`WorkerPool`]
+//! spawns its threads once; every parallel region afterwards — training
+//! epochs, tuning grids, benchmark trials — reuses them through a scoped
+//! [`ParallelRunner`] handle.
+//!
+//! # Scheduling
+//!
+//! A submitted job is a list of tasks. The task index space `0..n` is
+//! partitioned into contiguous chunks, one per participant (every pool
+//! thread plus the submitting caller). Each participant owns a chunked
+//! deque holding its range: owners pop from the front, and an idle
+//! participant steals the *back half* of a victim's remaining range —
+//! classic chunked work stealing, implemented as a `(lo, hi)` span under a
+//! mutex so no unsafe lock-free code is needed at this task granularity
+//! (tasks are whole SGD shard runs or grid cells, microseconds at minimum).
+//!
+//! # Determinism
+//!
+//! Results are written into per-task slots and returned in task order, so
+//! any reduction over them is bit-reproducible no matter which thread ran
+//! which task or in what order ranges were stolen. The pool's thread count
+//! is an execution resource only; it never influences numeric results.
+//!
+//! # Deadlock freedom
+//!
+//! The caller participates in its own job (and a task may itself submit a
+//! nested job), so a job always makes progress even when every pool thread
+//! is busy elsewhere.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased, lifetime-erased task. Safety: [`WorkerPool::run`] blocks
+/// until every task has finished, so the `'static` is a fiction that never
+/// outlives the borrows it hides.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A participant's chunk of the task index space: a `[lo, hi)` span.
+/// Owners pop the front; thieves cut off the back half.
+struct RangeDeque {
+    span: Mutex<(usize, usize)>,
+}
+
+impl RangeDeque {
+    fn new(lo: usize, hi: usize) -> Self {
+        Self { span: Mutex::new((lo, hi)) }
+    }
+
+    /// Pops the next index owned by this participant.
+    fn pop_front(&self) -> Option<usize> {
+        let mut s = self.span.lock().expect("deque lock");
+        if s.0 < s.1 {
+            let i = s.0;
+            s.0 += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Steals the back half of the remaining span (at least one index).
+    fn steal_back(&self) -> Option<(usize, usize)> {
+        let mut s = self.span.lock().expect("deque lock");
+        let len = s.1 - s.0;
+        if len == 0 {
+            return None;
+        }
+        let keep = len / 2;
+        let stolen = (s.0 + keep, s.1);
+        s.1 = s.0 + keep;
+        Some(stolen)
+    }
+
+    /// Installs a stolen span. Only the owning participant calls this, and
+    /// only when its own span is empty.
+    fn install(&self, span: (usize, usize)) {
+        let mut s = self.span.lock().expect("deque lock");
+        debug_assert!(s.0 >= s.1, "installing over a non-empty deque");
+        *s = span;
+    }
+
+    fn is_empty(&self) -> bool {
+        let s = self.span.lock().expect("deque lock");
+        s.0 >= s.1
+    }
+}
+
+/// One submitted parallel region: erased tasks plus the stealing state.
+struct Job {
+    /// One slot per task; a participant claims an index, then takes the task.
+    tasks: Vec<Mutex<Option<Task>>>,
+    /// One chunked deque per participant (pool threads + the caller last).
+    deques: Vec<RangeDeque>,
+    /// Unfinished-task count, guarded for the completion condvar.
+    remaining: Mutex<usize>,
+    finished: Condvar,
+    /// First panic payload observed in any task.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Back-reference to the pool, so a thief installing a stolen span can
+    /// re-wake workers that transiently saw every deque empty (the span is
+    /// invisible between `steal_back` and `install`). The cycle
+    /// `queue → Job → PoolShared` is broken when the caller removes the
+    /// finished job from the queue.
+    pool: Arc<PoolShared>,
+}
+
+impl Job {
+    fn new(tasks: Vec<Task>, participants: usize, pool: Arc<PoolShared>) -> Self {
+        let n = tasks.len();
+        // Partition 0..n into `participants` contiguous near-equal chunks.
+        let base = n / participants;
+        let extra = n % participants;
+        let mut deques = Vec::with_capacity(participants);
+        let mut start = 0usize;
+        for p in 0..participants {
+            let size = base + usize::from(p < extra);
+            deques.push(RangeDeque::new(start, start + size));
+            start += size;
+        }
+        Self {
+            tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            deques,
+            remaining: Mutex::new(n),
+            finished: Condvar::new(),
+            panic: Mutex::new(None),
+            pool,
+        }
+    }
+
+    /// Claims the next task index: own deque first, then steal, sweeping
+    /// victims cyclically. Returns `None` when no claimable work is left
+    /// (a stolen-but-not-yet-installed span is owned by its thief, so
+    /// nothing is ever lost).
+    fn claim(&self, me: usize) -> Option<usize> {
+        if let Some(i) = self.deques[me].pop_front() {
+            return Some(i);
+        }
+        let k = self.deques.len();
+        for offset in 1..k {
+            let victim = (me + offset) % k;
+            if let Some((lo, hi)) = self.deques[victim].steal_back() {
+                // Run the first stolen index now; queue the rest locally,
+                // then re-wake any worker that went to sleep while the
+                // span was in flight between steal and install. Taking the
+                // queue lock first serializes with a worker's
+                // observe-empty-then-wait critical section, so the notify
+                // cannot land in the gap before its `wait`.
+                if lo + 1 < hi {
+                    self.deques[me].install((lo + 1, hi));
+                    let _queue = self.pool.queue.lock().expect("queue lock");
+                    self.pool.work_cv.notify_all();
+                }
+                return Some(lo);
+            }
+        }
+        None
+    }
+
+    /// Claims and runs tasks until no claimable work remains.
+    fn run_available(&self, me: usize) {
+        while let Some(i) = self.claim(me) {
+            let task = self.tasks[i].lock().expect("task slot lock").take();
+            if let Some(task) = task {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                    let mut first = self.panic.lock().expect("panic slot lock");
+                    if first.is_none() {
+                        *first = Some(payload);
+                    }
+                }
+                let mut rem = self.remaining.lock().expect("remaining lock");
+                *rem -= 1;
+                if *rem == 0 {
+                    self.finished.notify_all();
+                }
+            }
+        }
+    }
+
+    fn has_claimable(&self) -> bool {
+        self.deques.iter().any(|d| !d.is_empty())
+    }
+}
+
+struct PoolShared {
+    /// Jobs with potentially claimable work. Small (usually 0 or 1 entries);
+    /// the caller removes its job on completion.
+    queue: Mutex<Vec<Arc<Job>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of worker threads executing parallel regions.
+///
+/// See the [module docs](self) for the scheduling and determinism model.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` long-lived worker threads.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "pool needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bolton-pool-{me}"))
+                    .spawn(move || worker_main(&shared, me))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles, threads }
+    }
+
+    /// Number of worker threads (the caller participates on top of these).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A scoped handle for submitting parallel regions to this pool.
+    pub fn runner(&self) -> ParallelRunner<'_> {
+        ParallelRunner { pool: self }
+    }
+
+    /// Runs every task to completion, returning results in task order.
+    ///
+    /// The calling thread participates in the work, so this also makes
+    /// progress when all workers are busy (including nested calls from
+    /// inside a task).
+    ///
+    /// # Panics
+    /// If a task panics, the panic is re-raised here after all other tasks
+    /// finish; the pool itself stays usable.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // A single task gains nothing from scheduling; run it inline.
+            let mut tasks = tasks;
+            return vec![(tasks.pop().expect("one task"))()];
+        }
+
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let erased: Vec<Task> = tasks
+            .into_iter()
+            .zip(results.iter())
+            .map(|(f, slot)| {
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let out = f();
+                    *slot.lock().expect("result slot lock") = Some(out);
+                });
+                // SAFETY: `run` blocks until `remaining` hits zero, i.e.
+                // until every erased closure has returned, so the borrows
+                // captured by `task` (the result slots and the caller's
+                // environment) strictly outlive every use.
+                unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + '_>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(task)
+                }
+            })
+            .collect();
+
+        // The caller is the last participant.
+        let caller = self.threads;
+        let job = Arc::new(Job::new(erased, self.threads + 1, Arc::clone(&self.shared)));
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.push(Arc::clone(&job));
+        }
+        self.shared.work_cv.notify_all();
+
+        job.run_available(caller);
+        let mut rem = job.remaining.lock().expect("remaining lock");
+        while *rem > 0 {
+            rem = job.finished.wait(rem).expect("finished wait");
+        }
+        drop(rem);
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+        if let Some(payload) = job.panic.lock().expect("panic slot lock").take() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot lock")
+                    .expect("task finished without producing a result")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(shared: &PoolShared, me: usize) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.iter().find(|j| j.has_claimable()) {
+                    break Arc::clone(job);
+                }
+                queue = shared.work_cv.wait(queue).expect("work wait");
+            }
+        };
+        job.run_available(me);
+    }
+}
+
+/// A scoped, copyable handle for submitting parallel regions to a
+/// [`WorkerPool`]. All pool consumers ([`crate::parallel::run_parallel_psgd_on`],
+/// the tuning grid, the bench harness) take this instead of a concrete pool
+/// so tests can pin pools of any size.
+#[derive(Clone, Copy)]
+pub struct ParallelRunner<'p> {
+    pool: &'p WorkerPool,
+}
+
+impl ParallelRunner<'_> {
+    /// Runs every task on the pool, returning results in task order. See
+    /// [`WorkerPool::run`].
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.pool.run(tasks)
+    }
+
+    /// Worker-thread count of the underlying pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+/// Thread count for the process-global pool: `BOLTON_THREADS` if set to a
+/// positive integer, otherwise the hardware's available parallelism.
+fn default_threads() -> usize {
+    std::env::var("BOLTON_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The process-global pool, created on first use and kept for the process
+/// lifetime so every epoch/grid/bench reuses the same threads.
+pub fn global() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| WorkerPool::new(default_threads()))
+}
+
+/// A runner on the process-global pool.
+pub fn runner() -> ParallelRunner<'static> {
+    global().runner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::new(3);
+        let tasks: Vec<_> = (0..100usize)
+            .map(|i| {
+                move || {
+                    // Mix up completion timing a little.
+                    if i % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i * i
+                }
+            })
+            .collect();
+        let out = pool.runner().run(tasks);
+        assert_eq!(out, (0..100usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_task_jobs() {
+        let pool = WorkerPool::new(1);
+        let none: Vec<usize> = pool.run(Vec::<fn() -> usize>::new());
+        assert!(none.is_empty());
+        assert_eq!(pool.run(vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..20 {
+            let tasks: Vec<_> = (0..37)
+                .map(|_| {
+                    let counter = &counter;
+                    move || counter.fetch_add(1, Ordering::SeqCst)
+                })
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 20 * 37);
+    }
+
+    #[test]
+    fn tasks_borrow_caller_state() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<f64> = (0..1000).map(f64::from).collect();
+        let chunks: Vec<&[f64]> = data.chunks(97).collect();
+        let sums =
+            pool.run(chunks.iter().map(|c| move || c.iter().sum::<f64>()).collect::<Vec<_>>());
+        assert_eq!(sums.iter().sum::<f64>(), data.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                (0..8)
+                    .map(|i| move || if i == 5 { panic!("worker 5 exploded") } else { i })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("worker 5 exploded"), "unexpected payload: {msg}");
+        // The pool stays usable after a task panic.
+        assert_eq!(pool.run(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn nested_jobs_do_not_deadlock() {
+        let pool = WorkerPool::new(1);
+        let outer: Vec<_> = (0..4usize)
+            .map(|i| {
+                let pool = &pool;
+                move || {
+                    let inner =
+                        pool.run((0..3usize).map(|j| move || i * 10 + j).collect::<Vec<_>>());
+                    inner.iter().sum::<usize>()
+                }
+            })
+            .collect();
+        let sums = pool.run(outer);
+        assert_eq!(sums, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn stealing_covers_imbalanced_tasks() {
+        // One participant's initial chunk holds all the slow tasks; the
+        // others must steal from it to finish.
+        let pool = WorkerPool::new(3);
+        let tasks: Vec<_> = (0..32usize)
+            .map(|i| {
+                move || {
+                    if i < 8 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i
+                }
+            })
+            .collect();
+        let out = pool.run(tasks);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn global_pool_is_reused() {
+        let a = global() as *const WorkerPool;
+        let b = global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(runner().threads() >= 1);
+    }
+}
