@@ -1,0 +1,253 @@
+//! Sparse-PSGD benchmark — the paper's high-dimensional one-hot workload
+//! (KDDCup-99-like: d in the tens of thousands, density a few percent) run
+//! two ways, noiseless and private:
+//!
+//! 1. `densify` — [`bolton_sgd::run_psgd`] over the [`SparseDataset`]'s
+//!    dense scan (every row materialized into a dense buffer; O(d) per
+//!    example — the pre-sparse-engine baseline);
+//! 2. `sparse` — [`bolton_sgd::run_sparse_psgd`], the O(nnz) lazy-scaled
+//!    hot path, plus the pool-parallel [`run_parallel_psgd_sparse`] against
+//!    its densifying counterpart.
+//!
+//! Both engines consume identical randomness, so at each seed the models
+//! must agree to within float reassociation — the bin asserts the max
+//! coordinate difference and, for the private runs, that the two paths
+//! drew the bit-identical noise vector. Prints TSV to stdout and writes
+//! `BENCH_sparse_psgd.json` (override with `BOLTON_BENCH_OUT`).
+//!
+//! Knobs: `BOLTON_SPARSE_ROWS` (default 2000), `BOLTON_SPARSE_DIM`
+//! (default 10000), `BOLTON_SPARSE_DENSITY` (default 0.05),
+//! `BOLTON_SPARSE_PASSES` (default 2), `BOLTON_SPARSE_REPEATS` (default
+//! 3), `BOLTON_SPARSE_WORKERS` (default 2).
+
+use bolton::output_perturbation::{train_private, train_private_sparse, BoltOnConfig};
+use bolton::Budget;
+use bolton_bench::{header, row, time_it};
+use bolton_sgd::{
+    run_parallel_psgd, run_parallel_psgd_sparse, run_psgd, run_sparse_psgd, Logistic, SgdConfig,
+    SparseDataset, StepSize,
+};
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Median wall-clock of `repeats` timed calls.
+fn median_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<Duration> = (0..repeats).map(|_| time_it(&mut f).1).collect();
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64()
+}
+
+fn max_coord_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+}
+
+/// One timed comparison cell: (densify secs/epoch, sparse secs/epoch,
+/// max coordinate difference between the two paths' models).
+struct Cell {
+    densify: f64,
+    sparse: f64,
+    max_diff: f64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.densify / self.sparse
+    }
+}
+
+fn main() {
+    let rows = env_usize("BOLTON_SPARSE_ROWS", 2000);
+    let dim = env_usize("BOLTON_SPARSE_DIM", 10_000);
+    let density = env_f64("BOLTON_SPARSE_DENSITY", 0.05);
+    let passes = env_usize("BOLTON_SPARSE_PASSES", 2);
+    let repeats = env_usize("BOLTON_SPARSE_REPEATS", 3);
+    let workers = env_usize("BOLTON_SPARSE_WORKERS", 2);
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let data: SparseDataset = bolton_data::generator::sparse_linear_binary(
+        &mut bolton_rng::seeded(0x5A23),
+        rows,
+        dim,
+        density,
+        0.1,
+    );
+    let nnz = data.total_nnz();
+    let loss = Logistic::plain();
+    let config = SgdConfig::new(StepSize::Constant(0.5)).with_passes(passes);
+    let epochs = passes as f64;
+
+    header(&["path", "mode", "seconds_per_epoch", "speedup_vs_densify", "max_coord_diff"]);
+
+    // Noiseless sequential: the densifying TrainSet scan vs the O(nnz)
+    // lazy engine, same seed ⇒ same example orders.
+    let noiseless = {
+        let dense_model = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(11)).model;
+        let sparse_model =
+            run_sparse_psgd(&data, &loss, &config, &mut bolton_rng::seeded(11)).model;
+        let max_diff = max_coord_diff(&dense_model, &sparse_model);
+        assert!(max_diff <= 1e-6, "sparse and densifying models diverged: {max_diff}");
+        let densify = median_secs(repeats, || {
+            let out = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(12));
+            std::hint::black_box(out.model.len());
+        }) / epochs;
+        let sparse = median_secs(repeats, || {
+            let out = run_sparse_psgd(&data, &loss, &config, &mut bolton_rng::seeded(12));
+            std::hint::black_box(out.model.len());
+        }) / epochs;
+        Cell { densify, sparse, max_diff }
+    };
+    row(&[
+        "densify".into(),
+        "noiseless".into(),
+        format!("{:.6}", noiseless.densify),
+        "1.00".into(),
+        "0".into(),
+    ]);
+    row(&[
+        "sparse".into(),
+        "noiseless".into(),
+        format!("{:.6}", noiseless.sparse),
+        format!("{:.2}", noiseless.speedup()),
+        format!("{:.3e}", noiseless.max_diff),
+    ]);
+
+    // Private (ε = 1 bolt-on, Algorithm 1): sensitivity calibration and the
+    // Laplace-ball draw ride on top of either engine; at a fixed seed both
+    // paths draw the bit-identical noise vector.
+    let bolton_config =
+        BoltOnConfig::new(Budget::pure(1.0).expect("valid eps")).with_passes(passes);
+    let private = {
+        let dense = train_private(&data, &loss, &bolton_config, &mut bolton_rng::seeded(21))
+            .expect("dense");
+        let sparse =
+            train_private_sparse(&data, &loss, &bolton_config, &mut bolton_rng::seeded(21))
+                .expect("sparse");
+        // Both paths consume identical randomness before the mechanism, so
+        // the noise vectors come from the same stream; recovering them as
+        // `model − unperturbed` re-rounds, hence the few-ulp tolerance.
+        for ((dm, du), (sm, su)) in dense
+            .model
+            .iter()
+            .zip(dense.unperturbed.iter())
+            .zip(sparse.model.iter().zip(sparse.unperturbed.iter()))
+        {
+            assert!(
+                ((dm - du) - (sm - su)).abs() <= 1e-12,
+                "noise draws diverged between the paths: {} vs {}",
+                dm - du,
+                sm - su
+            );
+        }
+        let max_diff = max_coord_diff(&dense.model, &sparse.model);
+        assert!(max_diff <= 1e-6, "private models diverged: {max_diff}");
+        let densify = median_secs(repeats, || {
+            let out = train_private(&data, &loss, &bolton_config, &mut bolton_rng::seeded(22));
+            std::hint::black_box(out.expect("dense").model.len());
+        }) / epochs;
+        let sparse = median_secs(repeats, || {
+            let out =
+                train_private_sparse(&data, &loss, &bolton_config, &mut bolton_rng::seeded(22));
+            std::hint::black_box(out.expect("sparse").model.len());
+        }) / epochs;
+        Cell { densify, sparse, max_diff }
+    };
+    row(&[
+        "densify".into(),
+        "private_eps1".into(),
+        format!("{:.6}", private.densify),
+        "1.00".into(),
+        "0".into(),
+    ]);
+    row(&[
+        "sparse".into(),
+        "private_eps1".into(),
+        format!("{:.6}", private.sparse),
+        format!("{:.2}", private.speedup()),
+        format!("{:.3e}", private.max_diff),
+    ]);
+
+    // Pool-parallel parameter mixing at the configured worker count.
+    let parallel = {
+        let dense_model =
+            run_parallel_psgd(&data, &loss, &config, workers, &mut bolton_rng::seeded(31)).model;
+        let sparse_model =
+            run_parallel_psgd_sparse(&data, &loss, &config, workers, &mut bolton_rng::seeded(31))
+                .model;
+        let max_diff = max_coord_diff(&dense_model, &sparse_model);
+        assert!(max_diff <= 1e-6, "parallel models diverged: {max_diff}");
+        let densify = median_secs(repeats, || {
+            let out =
+                run_parallel_psgd(&data, &loss, &config, workers, &mut bolton_rng::seeded(32));
+            std::hint::black_box(out.model.len());
+        }) / epochs;
+        let sparse = median_secs(repeats, || {
+            let out = run_parallel_psgd_sparse(
+                &data,
+                &loss,
+                &config,
+                workers,
+                &mut bolton_rng::seeded(32),
+            );
+            std::hint::black_box(out.model.len());
+        }) / epochs;
+        Cell { densify, sparse, max_diff }
+    };
+    row(&[
+        format!("densify_par{workers}"),
+        "noiseless".into(),
+        format!("{:.6}", parallel.densify),
+        "1.00".into(),
+        "0".into(),
+    ]);
+    row(&[
+        format!("sparse_par{workers}"),
+        "noiseless".into(),
+        format!("{:.6}", parallel.sparse),
+        format!("{:.2}", parallel.speedup()),
+        format!("{:.3e}", parallel.max_diff),
+    ]);
+
+    // Machine-readable trajectory record.
+    let out_path =
+        std::env::var("BOLTON_BENCH_OUT").unwrap_or_else(|_| "BENCH_sparse_psgd.json".into());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"sparse_psgd_lazy\",\n");
+    json.push_str("  \"workload\": \"kddcup_like_one_hot\",\n");
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"dim\": {dim},\n"));
+    json.push_str(&format!("  \"density\": {density},\n"));
+    json.push_str(&format!("  \"total_nnz\": {nnz},\n"));
+    json.push_str(&format!("  \"passes\": {passes},\n"));
+    json.push_str("  \"batch_size\": 1,\n");
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    let emit = |json: &mut String, name: &str, cell: &Cell, last: bool| {
+        json.push_str(&format!(
+            "  \"{name}\": {{\"densify_seconds_per_epoch\": {:.6}, \
+             \"sparse_seconds_per_epoch\": {:.6}, \"speedup\": {:.4}, \
+             \"max_coord_diff\": {:.3e}}}{}\n",
+            cell.densify,
+            cell.sparse,
+            cell.speedup(),
+            cell.max_diff,
+            if last { "" } else { "," }
+        ));
+    };
+    emit(&mut json, "noiseless", &noiseless, false);
+    json.push_str("  \"private_noise_same_rng_stream\": true,\n");
+    json.push_str("  \"private_epsilon\": 1.0,\n");
+    emit(&mut json, "private", &private, false);
+    json.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    emit(&mut json, "parallel", &parallel, true);
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -15,7 +15,8 @@ use bolton_sgd::engine::{run_psgd, Averaging, SamplingScheme, SgdConfig};
 use bolton_sgd::growth::LossConstants;
 use bolton_sgd::loss::Loss;
 use bolton_sgd::schedule::StepSize;
-use bolton_sgd::TrainSet;
+use bolton_sgd::sparse_engine::run_sparse_psgd;
+use bolton_sgd::{SparseTrainSet, TrainSet};
 
 /// How Δ₂ is computed for the noise calibration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -202,6 +203,57 @@ where
 {
     let m = data.len();
     assert!(m > 0, "training set must be non-empty");
+    let sgd_config = sgd_config_of(loss, config, m);
+
+    // Step 1 (black box): run standard PSGD.
+    let outcome = run_psgd(data, loss, &sgd_config, rng);
+
+    // Step 2: calibrate Δ₂ and sample one noise draw.
+    perturb_outcome(outcome.model, outcome.updates, loss, config, m, data.dim(), rng)
+}
+
+/// [`train_private`] on the O(nnz) sparse hot path: training runs through
+/// [`bolton_sgd::sparse_engine`] (lazily scaled model, gradient work
+/// proportional to nonzeros), and the sensitivity calibration plus the
+/// Laplace-ball/Gaussian noise draw are applied to the final *densified*
+/// model exactly as on the dense path.
+///
+/// Both calibration and noise depend only on `(loss, config, m, dim)` —
+/// never on the data layout — and the sparse engine consumes identical
+/// randomness to [`bolton_sgd::run_psgd`], so at a fixed seed this
+/// releases the same noise draw as [`train_private`] on the densified
+/// dataset and the released models agree to within float reassociation.
+///
+/// # Errors
+/// Propagates calibration/mechanism errors.
+///
+/// # Panics
+/// Panics if the data is empty or the loss lacks the GLM form the sparse
+/// engine requires.
+pub fn train_private_sparse<D, R>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &BoltOnConfig,
+    rng: &mut R,
+) -> Result<PrivateModel, PrivacyError>
+where
+    D: SparseTrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    assert!(m > 0, "training set must be non-empty");
+    let sgd_config = sgd_config_of(loss, config, m);
+
+    // Step 1 (black box): run PSGD on the sparse engine.
+    let outcome = run_sparse_psgd(data, loss, &sgd_config, rng);
+
+    // Step 2: identical calibration + noise on the densified final model.
+    perturb_outcome(outcome.model, outcome.updates, loss, config, m, data.dim(), rng)
+}
+
+/// The [`SgdConfig`] both bolt-on training paths run: paper step size,
+/// non-fresh permutation sampling, and the caller's knobs.
+fn sgd_config_of(loss: &dyn Loss, config: &BoltOnConfig, m: usize) -> SgdConfig {
     let step = paper_step_size(loss, m);
     let mut sgd_config = SgdConfig::new(step)
         .with_passes(config.passes)
@@ -214,23 +266,25 @@ where
     if let Some(mu) = config.tolerance {
         sgd_config = sgd_config.with_tolerance(mu);
     }
+    sgd_config
+}
 
-    // Step 1 (black box): run standard PSGD.
-    let outcome = run_psgd(data, loss, &sgd_config, rng);
-
-    // Step 2: calibrate Δ₂ and sample one noise draw.
+/// The shared Step 2: calibrate Δ₂, draw one noise vector, release.
+fn perturb_outcome<R: Rng + ?Sized>(
+    unperturbed: Vec<f64>,
+    updates: u64,
+    loss: &dyn Loss,
+    config: &BoltOnConfig,
+    m: usize,
+    dim: usize,
+    rng: &mut R,
+) -> Result<PrivateModel, PrivacyError> {
     let delta2 = calibrate_sensitivity(loss, config, m)?;
-    let mechanism = NoiseMechanism::for_budget(&config.budget, data.dim(), delta2)?;
-    let mut model = outcome.model.clone();
+    let mechanism = NoiseMechanism::for_budget(&config.budget, dim, delta2)?;
+    let mut model = unperturbed.clone();
     mechanism.perturb(rng, &mut model);
 
-    Ok(PrivateModel {
-        model,
-        unperturbed: outcome.model,
-        sensitivity: delta2,
-        budget: config.budget,
-        updates: outcome.updates,
-    })
+    Ok(PrivateModel { model, unperturbed, sensitivity: delta2, budget: config.budget, updates })
 }
 
 /// Convenience wrapper asserting the convex case (paper Algorithm 1).
@@ -400,6 +454,68 @@ mod tests {
             private_convex_psgd(&data, &strongly, &config, &mut seeded(211))
         }));
         assert!(result.is_err(), "Algorithm 1 must reject strongly convex losses");
+    }
+}
+
+#[cfg(test)]
+mod sparse_private_tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::dataset::{InMemoryDataset, SparseDataset};
+    use bolton_sgd::loss::Logistic;
+
+    fn sparse_pair(m: usize, dim: usize, seed: u64) -> (InMemoryDataset, SparseDataset) {
+        bolton_sgd::dataset::sparse_pair_fixture(m, dim, 0.2, seed)
+    }
+
+    /// The acceptance property: under a fixed seed the sparse private
+    /// release draws the *bit-identical* noise vector as the dense path
+    /// (same order randomness consumed, same Δ₂, same mechanism state),
+    /// so the released models differ only by the engines' float
+    /// reassociation (≤ 1e-9).
+    #[test]
+    fn sparse_private_equals_dense_private_at_fixed_seed() {
+        let (d, s) = sparse_pair(400, 12, 221);
+        let loss = Logistic::plain();
+        let config = BoltOnConfig::new(Budget::pure(1.0).unwrap()).with_passes(3);
+        let dense = train_private(&d, &loss, &config, &mut seeded(222)).unwrap();
+        let sparse = train_private_sparse(&s, &loss, &config, &mut seeded(222)).unwrap();
+        assert_eq!(dense.sensitivity, sparse.sensitivity);
+        assert_eq!(dense.updates, sparse.updates);
+        // Identical noise draw from the shared RNG stream; recovering it
+        // as `model − unperturbed` re-rounds, hence the few-ulp tolerance.
+        for ((dm, du), (sm, su)) in dense
+            .model
+            .iter()
+            .zip(dense.unperturbed.iter())
+            .zip(sparse.model.iter().zip(sparse.unperturbed.iter()))
+        {
+            assert!(((dm - du) - (sm - su)).abs() <= 1e-12, "noise draw diverged");
+        }
+        // Released models agree to float reassociation.
+        for (i, (p, q)) in dense.model.iter().zip(sparse.model.iter()).enumerate() {
+            assert!((p - q).abs() <= 1e-9, "coord {i}: {p} vs {q}");
+        }
+    }
+
+    /// Strongly convex case (Algorithm 2) end-to-end on the sparse path:
+    /// Lemma 8 sensitivity and Gaussian noise on the densified model.
+    #[test]
+    fn sparse_strongly_convex_with_gaussian_noise() {
+        let (d, s) = sparse_pair(500, 10, 223);
+        let lambda = 0.01;
+        let loss = Logistic::regularized(lambda, 1.0 / lambda);
+        let config = BoltOnConfig::new(Budget::approx(1.0, 1e-6).unwrap())
+            .with_passes(5)
+            .with_projection(1.0 / lambda);
+        let dense = train_private(&d, &loss, &config, &mut seeded(224)).unwrap();
+        let sparse = train_private_sparse(&s, &loss, &config, &mut seeded(224)).unwrap();
+        // Δ₂ = 2L/(γm), identical on both paths.
+        assert_eq!(dense.sensitivity, sparse.sensitivity);
+        assert!(sparse.noise_norm() > 0.0);
+        for (i, (p, q)) in dense.model.iter().zip(sparse.model.iter()).enumerate() {
+            assert!((p - q).abs() <= 1e-9, "coord {i}: {p} vs {q}");
+        }
     }
 }
 

@@ -4,10 +4,35 @@
 
 use bolton_privacy::budget::{Budget, PrivacyError};
 use bolton_rng::{Rng, SplitMix64};
-use bolton_sgd::dataset::InMemoryDataset;
+use bolton_sgd::dataset::{InMemoryDataset, SparseDataset};
 use bolton_sgd::metrics;
 use bolton_sgd::pool::ParallelRunner;
 use bolton_sgd::TrainSet;
+
+/// A dataset the tuning algorithms can partition into portions — the only
+/// structural operation Algorithm 3 needs beyond [`TrainSet`] scanning.
+/// Implemented for both the dense and the sparse dataset, so the tuning
+/// grid can train candidates without densifying sparse corpora.
+pub trait TuningData: TrainSet + Sync + Sized {
+    /// Splits into `parts` nearly equal contiguous portions (Algorithm 3,
+    /// line 2).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0` or `parts > len`.
+    fn split_portions(&self, parts: usize) -> Vec<Self>;
+}
+
+impl TuningData for InMemoryDataset {
+    fn split_portions(&self, parts: usize) -> Vec<Self> {
+        self.split(parts)
+    }
+}
+
+impl TuningData for SparseDataset {
+    fn split_portions(&self, parts: usize) -> Vec<Self> {
+        self.split(parts)
+    }
+}
 
 /// One point of the tuning grid `θ = (k, b, λ)` (Section 4.1).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -93,10 +118,7 @@ pub fn private_tune_models<M>(
 ///
 /// # Errors
 /// Rejects an empty grid or a dataset too small to split `l + 1` ways.
-fn split_for_grid(
-    data: &InMemoryDataset,
-    n_candidates: usize,
-) -> Result<Vec<InMemoryDataset>, PrivacyError> {
+fn split_for_grid<D: TuningData>(data: &D, n_candidates: usize) -> Result<Vec<D>, PrivacyError> {
     if n_candidates == 0 {
         return Err(PrivacyError::InvalidMechanism("empty candidate grid".into()));
     }
@@ -107,7 +129,7 @@ fn split_for_grid(
             data.len()
         )));
     }
-    Ok(data.split(parts))
+    Ok(data.split_portions(parts))
 }
 
 /// Algorithm 3's selection step, shared by the sequential and
@@ -128,8 +150,11 @@ fn select_by_errors<M>(
 
 /// A stateless trainer for the pool-parallel tuning paths: unlike
 /// [`TrainFn`] it may not share mutable state across candidates, which is
-/// exactly what makes grid cells independent tasks.
-pub type ParTrainFn<'a, M> = dyn Fn(&InMemoryDataset, &Candidate, &mut dyn Rng) -> M + Sync + 'a;
+/// exactly what makes grid cells independent tasks. Generic over the
+/// dataset type so sparse corpora tune without densifying (`D` defaults to
+/// the dense in-memory dataset).
+pub type ParTrainFn<'a, M, D = InMemoryDataset> =
+    dyn Fn(&D, &Candidate, &mut dyn Rng) -> M + Sync + 'a;
 
 /// Derives candidate `i`'s private RNG stream from `training_seed`. The
 /// derivation depends only on `(training_seed, i)`, so results are
@@ -150,15 +175,19 @@ fn candidate_rng(training_seed: u64, i: usize) -> impl Rng {
 /// sequential tuner and the outcome is independent of the pool's thread
 /// count and steal order.
 ///
+/// Generic over [`TuningData`], so a [`SparseDataset`] grid trains its
+/// candidates on sparse portions end-to-end (pair it with a sparse-engine
+/// trainer and [`bolton_sgd::metrics::zero_one_errors_sparse`] scoring).
+///
 /// # Errors
 /// Rejects an empty grid or a dataset too small to split `l + 1` ways.
-pub fn private_tune_models_parallel<M: Send>(
+pub fn private_tune_models_parallel<M: Send, D: TuningData>(
     runner: &ParallelRunner<'_>,
-    data: &InMemoryDataset,
+    data: &D,
     candidates: &[Candidate],
     selection_budget: Budget,
-    train: &ParTrainFn<'_, M>,
-    errors: &(dyn Fn(&M, &InMemoryDataset) -> usize + Sync),
+    train: &ParTrainFn<'_, M, D>,
+    errors: &(dyn Fn(&M, &D) -> usize + Sync),
     training_seed: u64,
     rng: &mut dyn Rng,
 ) -> Result<TunedGeneric<M>, PrivacyError> {
@@ -188,15 +217,16 @@ pub fn private_tune_models_parallel<M: Send>(
 /// task per candidate, randomness derived from `(training_seed, i)`.
 /// Returns the winning index and per-candidate validation accuracies;
 /// results are independent of the pool's thread count and steal order.
+/// Generic over [`TuningData`] like [`private_tune_models_parallel`].
 ///
 /// # Panics
 /// Panics if the candidate grid is empty.
-pub fn public_tune_parallel(
+pub fn public_tune_parallel<D: TuningData>(
     runner: &ParallelRunner<'_>,
-    public_train: &InMemoryDataset,
-    public_validation: &InMemoryDataset,
+    public_train: &D,
+    public_validation: &D,
     candidates: &[Candidate],
-    train: &ParTrainFn<'_, Vec<f64>>,
+    train: &ParTrainFn<'_, Vec<f64>, D>,
     training_seed: u64,
 ) -> (usize, Vec<f64>) {
     assert!(!candidates.is_empty(), "empty candidate grid");
@@ -542,6 +572,89 @@ mod parallel_tests {
             &mut rng,
         )
         .is_err());
+    }
+}
+
+#[cfg(test)]
+mod sparse_tuning_tests {
+    use super::*;
+    use bolton_rng::seeded;
+    use bolton_sgd::pool::WorkerPool;
+    use bolton_sgd::sparse_engine::run_sparse_psgd;
+
+    fn sparse_pair(m: usize, dim: usize, seed: u64) -> (InMemoryDataset, SparseDataset) {
+        bolton_sgd::dataset::sparse_pair_fixture(m, dim, 0.25, seed)
+    }
+
+    /// The tuning grid runs end-to-end on sparse portions: candidates
+    /// train through the sparse engine and score through the sparse scan —
+    /// no densification anywhere — and the outcome matches the dense tuner
+    /// at the same seeds (identical error counts and selection).
+    #[test]
+    fn sparse_grid_matches_dense_grid_without_densifying() {
+        let (d, s) = sparse_pair(600, 8, 283);
+        let candidates = grid(&[1, 3], &[1, 4], &[0.0]);
+        let pool = WorkerPool::new(2);
+
+        let dense_trainer = |p: &InMemoryDataset, c: &Candidate, r: &mut dyn Rng| {
+            let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.4))
+                .with_passes(c.passes)
+                .with_batch_size(c.batch_size);
+            bolton_sgd::run_psgd(p, &bolton_sgd::Logistic::plain(), &config, r).model
+        };
+        let sparse_trainer = |p: &SparseDataset, c: &Candidate, r: &mut dyn Rng| {
+            let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.4))
+                .with_passes(c.passes)
+                .with_batch_size(c.batch_size);
+            run_sparse_psgd(p, &bolton_sgd::Logistic::plain(), &config, r).model
+        };
+
+        let dense_tuned = private_tune_models_parallel(
+            &pool.runner(),
+            &d,
+            &candidates,
+            Budget::pure(1.0).unwrap(),
+            &dense_trainer,
+            &|model: &Vec<f64>, holdout| metrics::zero_one_errors(model, holdout),
+            284,
+            &mut seeded(285),
+        )
+        .unwrap();
+        let sparse_tuned = private_tune_models_parallel(
+            &pool.runner(),
+            &s,
+            &candidates,
+            Budget::pure(1.0).unwrap(),
+            &sparse_trainer,
+            &|model: &Vec<f64>, holdout| metrics::zero_one_errors_sparse(model, holdout),
+            284,
+            &mut seeded(285),
+        )
+        .unwrap();
+
+        assert_eq!(dense_tuned.error_counts, sparse_tuned.error_counts);
+        assert_eq!(dense_tuned.selected, sparse_tuned.selected);
+        for (p, q) in dense_tuned.model.iter().zip(sparse_tuned.model.iter()) {
+            assert!((p - q).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_public_tune_runs_on_sparse_portions() {
+        let (_, train_s) = sparse_pair(300, 6, 286);
+        let (_, val_s) = sparse_pair(150, 6, 287);
+        let candidates = grid(&[1, 2], &[1], &[0.0]);
+        let pool = WorkerPool::new(2);
+        let trainer = |p: &SparseDataset, c: &Candidate, r: &mut dyn Rng| {
+            let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(0.4))
+                .with_passes(c.passes);
+            run_sparse_psgd(p, &bolton_sgd::Logistic::plain(), &config, r).model
+        };
+        let (best, accs) =
+            public_tune_parallel(&pool.runner(), &train_s, &val_s, &candidates, &trainer, 288);
+        assert_eq!(accs.len(), 2);
+        assert!(best < 2);
+        assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
     }
 }
 

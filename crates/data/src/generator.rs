@@ -104,6 +104,58 @@ pub fn gaussian_mixture<R: Rng + ?Sized>(
     InMemoryDataset::from_flat(features, labels, dim)
 }
 
+/// Sparse binary data from a hidden unit-norm hyperplane — the shape of
+/// the paper's high-dimensional one-hot corpora (KDDCup-99 after one-hot
+/// encoding): each row has `density·dim` (rounded, at least one) uniformly
+/// chosen distinct nonzero coordinates with Gaussian values normalized to
+/// the unit sphere, labeled by `sign(⟨w*, x⟩)` with independent label
+/// flips.
+///
+/// Rows are built directly as [`bolton_linalg::SparseVec`]s — no dense
+/// materialization anywhere, so generating `density ≪ 1` data at `d` in
+/// the tens of thousands stays cheap.
+///
+/// # Panics
+/// Panics unless `m ≥ 1`, `dim ≥ 1`, `density ∈ (0, 1]`,
+/// `label_noise ∈ [0, 0.5]`.
+pub fn sparse_linear_binary<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    dim: usize,
+    density: f64,
+    label_noise: f64,
+) -> bolton_sgd::SparseDataset {
+    assert!(m >= 1 && dim >= 1, "shape must be positive");
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    assert!((0.0..=0.5).contains(&label_noise), "label noise must be in [0, 0.5]");
+    let nnz = ((density * dim as f64).round() as usize).clamp(1, dim);
+    let truth = sample_unit_sphere(rng, dim);
+    // Partial Fisher–Yates pool: after the first `nnz` swaps the prefix is
+    // a uniform sample of distinct coordinates.
+    let mut pool: Vec<u32> = (0..dim as u32).collect();
+    let mut rows = Vec::with_capacity(m);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        for j in 0..nnz {
+            let k = j + rng.next_index(dim - j);
+            pool.swap(j, k);
+        }
+        let mut pairs: Vec<(usize, f64)> =
+            pool[..nnz].iter().map(|&i| (i as usize, standard_normal(rng))).collect();
+        let norm = pairs.iter().map(|(_, v)| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, v) in &mut pairs {
+                *v /= norm;
+            }
+        }
+        let z: f64 = pairs.iter().map(|&(i, v)| v * truth[i]).sum();
+        let clean = if z >= 0.0 { 1.0 } else { -1.0 };
+        labels.push(if rng.next_bool(label_noise) { -clean } else { clean });
+        rows.push(bolton_linalg::SparseVec::from_pairs(dim, pairs));
+    }
+    bolton_sgd::SparseDataset::new(rows, labels)
+}
+
 /// Rescales every feature vector to `‖x‖ ≤ 1` in place — the preprocessing
 /// the paper applies to all real datasets ("All data points are normalized
 /// to the unit sphere", Table 3).
@@ -137,6 +189,33 @@ mod tests {
             assert!(vector::norm(d.features_of(i)) <= 1.0 + 1e-12);
             assert!(d.label_of(i) == 1.0 || d.label_of(i) == -1.0);
         }
+    }
+
+    #[test]
+    fn sparse_linear_binary_shape_norms_and_learnability() {
+        let mut rng = seeded(307);
+        let s = sparse_linear_binary(&mut rng, 400, 200, 0.05, 0.0);
+        assert_eq!(s.len(), 400);
+        assert_eq!(TrainSet::dim(&s), 200);
+        // Every row: exactly ⌈0.05·200⌉ = 10 nonzeros, unit norm, ±1 label.
+        for i in 0..400 {
+            assert_eq!(s.row(i).nnz(), 10, "row {i}");
+            assert!((s.row(i).norm() - 1.0).abs() < 1e-12, "row {i}");
+            assert!(s.label_of(i) == 1.0 || s.label_of(i) == -1.0);
+        }
+        assert_eq!(s.total_nnz(), 4000);
+        // The hidden hyperplane is learnable through the sparse engine.
+        let loss = bolton_sgd::Logistic::plain();
+        let config = bolton_sgd::SgdConfig::new(bolton_sgd::StepSize::Constant(1.0)).with_passes(8);
+        let model = bolton_sgd::run_sparse_psgd(&s, &loss, &config, &mut rng).model;
+        let acc = bolton_sgd::metrics::accuracy_sparse(&model, &s);
+        assert!(acc > 0.8, "sparse hyperplane should be learnable: {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn sparse_generator_rejects_zero_density() {
+        sparse_linear_binary(&mut seeded(308), 10, 20, 0.0, 0.1);
     }
 
     #[test]

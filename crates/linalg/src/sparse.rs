@@ -98,23 +98,64 @@ impl SparseVec {
         out
     }
 
-    /// Sparse-dense dot product `⟨self, w⟩`.
+    /// Sparse-dense dot product `⟨self, w⟩`, accumulated 4-wide over the
+    /// *stored* entries.
+    ///
+    /// The accumulation shape is the same as [`vector::dot`] — four
+    /// independent lanes reduced as `(a₀+a₁)+(a₂+a₃)+tail` — but the lanes
+    /// stride over the nonzeros rather than over all `d` coordinates, so
+    /// the result matches the dense kernel on the densified row bit-for-bit
+    /// only when the nonzeros occupy a prefix-aligned pattern (e.g. a fully
+    /// dense row). In general the dropped zeros shift surviving terms
+    /// across lanes and the two kernels agree only up to reassociation of
+    /// exact zero additions — equality tests should be exact where the
+    /// pattern allows and approximate (`1e-9`-style) otherwise.
     ///
     /// # Panics
     /// Panics if `w.len() != dim`.
     pub fn dot_dense(&self, w: &[f64]) -> f64 {
         assert_eq!(w.len(), self.dim, "dense operand dimension mismatch");
-        self.iter().map(|(i, v)| v * w[i]).sum()
+        let split = self.indices.len() - self.indices.len() % 4;
+        let mut acc = [0.0f64; 4];
+        for (ci, cv) in
+            self.indices[..split].chunks_exact(4).zip(self.values[..split].chunks_exact(4))
+        {
+            acc[0] += cv[0] * w[ci[0] as usize];
+            acc[1] += cv[1] * w[ci[1] as usize];
+            acc[2] += cv[2] * w[ci[2] as usize];
+            acc[3] += cv[3] * w[ci[3] as usize];
+        }
+        let mut tail = 0.0;
+        for (&i, &v) in self.indices[split..].iter().zip(self.values[split..].iter()) {
+            tail += v * w[i as usize];
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
     }
 
-    /// `out[i] += alpha·self[i]` over the nonzeros (sparse axpy into dense).
+    /// `out[i] += alpha·self[i]` over the nonzeros (sparse axpy into dense),
+    /// unrolled 4-wide.
+    ///
+    /// Unlike [`SparseVec::dot_dense`] there is no reduction, so the
+    /// unrolling cannot reassociate anything: each touched coordinate
+    /// receives exactly one fused `+= alpha·v`, and the result is
+    /// bit-identical to [`vector::axpy`] on the densified row (indices are
+    /// strictly increasing, so no coordinate is written twice).
     ///
     /// # Panics
     /// Panics if `out.len() != dim`.
     pub fn axpy_into(&self, alpha: f64, out: &mut [f64]) {
         assert_eq!(out.len(), self.dim, "dense operand dimension mismatch");
-        for (i, v) in self.iter() {
-            out[i] += alpha * v;
+        let split = self.indices.len() - self.indices.len() % 4;
+        for (ci, cv) in
+            self.indices[..split].chunks_exact(4).zip(self.values[..split].chunks_exact(4))
+        {
+            out[ci[0] as usize] += alpha * cv[0];
+            out[ci[1] as usize] += alpha * cv[1];
+            out[ci[2] as usize] += alpha * cv[2];
+            out[ci[3] as usize] += alpha * cv[3];
+        }
+        for (&i, &v) in self.indices[split..].iter().zip(self.values[split..].iter()) {
+            out[i as usize] += alpha * v;
         }
     }
 
@@ -198,6 +239,38 @@ mod tests {
         assert_eq!(v.norm(), 0.0);
         assert_eq!(v.dot_dense(&[1.0; 5]), 0.0);
     }
+
+    /// Exercise every remainder class of the 4-wide sparse kernels.
+    #[test]
+    fn unrolled_kernels_cover_all_tail_lengths() {
+        for nnz in 0..9usize {
+            let dim = 2 * nnz + 3;
+            let pairs: Vec<(usize, f64)> =
+                (0..nnz).map(|j| (2 * j + 1, (j as f64 + 1.0) * 0.5)).collect();
+            let v = SparseVec::from_pairs(dim, pairs);
+            let w: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+            let naive: f64 = v.iter().map(|(i, x)| x * w[i]).sum();
+            assert!((v.dot_dense(&w) - naive).abs() < 1e-12, "nnz {nnz}");
+            let mut a = w.clone();
+            let mut b = w.clone();
+            v.axpy_into(-0.75, &mut a);
+            vector::axpy(-0.75, &v.to_dense(), &mut b);
+            assert_eq!(a, b, "nnz {nnz}: sparse axpy must match dense bit-for-bit");
+        }
+    }
+
+    /// On a fully dense row the 4-wide sparse lanes line up with the dense
+    /// kernel's lanes, so the dot products are bit-identical.
+    #[test]
+    fn dot_is_bit_identical_on_dense_rows() {
+        for len in [4usize, 8, 11] {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).cos() + 1.5).collect();
+            let w: Vec<f64> = (0..len).map(|i| (i as f64 * 1.1).sin() - 0.4).collect();
+            let v = SparseVec::from_dense(&x);
+            assert_eq!(v.nnz(), len);
+            assert_eq!(v.dot_dense(&w), vector::dot(&x, &w), "len {len}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +303,39 @@ mod proptests {
                 prop_assert!((p - q).abs() < 1e-9);
             }
             prop_assert!((v.norm() - vector::norm(&x)).abs() < 1e-9);
+        }
+
+        /// `from_pairs` invariants: indices strictly increasing, duplicates
+        /// summed, exact zeros (including cancelled duplicates) dropped, and
+        /// the densified result equal to naive accumulation.
+        #[test]
+        fn from_pairs_invariants(
+            dim in 1usize..24,
+            raw in proptest::collection::vec(
+                (0usize..24, prop_oneof![2 => -4.0f64..4.0, 1 => Just(0.0)]),
+                0..32,
+            ),
+        ) {
+            let pairs: Vec<(usize, f64)> =
+                raw.into_iter().map(|(i, x)| (i % dim, x)).collect();
+            let v = SparseVec::from_pairs(dim, pairs.clone());
+            // Strictly increasing indices (sorted + deduped).
+            for pair in v.iter().collect::<Vec<_>>().windows(2) {
+                prop_assert!(pair[0].0 < pair[1].0, "indices not strictly increasing");
+            }
+            // No stored zeros.
+            for (_, x) in v.iter() {
+                prop_assert!(x != 0.0, "zero value retained");
+            }
+            // Dense equivalence with naive accumulation.
+            let mut expect = vec![0.0f64; dim];
+            for (i, x) in pairs {
+                expect[i] += x;
+            }
+            let dense = v.to_dense();
+            for (i, (a, b)) in dense.iter().zip(expect.iter()).enumerate() {
+                prop_assert!((a - b).abs() < 1e-12, "coord {i}: {a} vs {b}");
+            }
         }
     }
 }

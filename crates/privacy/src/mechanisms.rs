@@ -182,6 +182,11 @@ impl NoiseMechanism {
     }
 
     /// Adds one noise draw to `w` in place (no-op for `Noiseless`).
+    ///
+    /// Both noisy mechanisms perturb *every* coordinate, so the release of
+    /// a sparsely trained model (most coordinates exactly zero) is dense:
+    /// the nonzero support of the unperturbed model — itself a function of
+    /// which examples were seen — never leaks through the released vector.
     pub fn perturb<R: Rng + ?Sized>(&self, rng: &mut R, w: &mut [f64]) {
         match self {
             NoiseMechanism::Noiseless => {}
@@ -228,6 +233,29 @@ mod tests {
             vector::axpy(1.0 / n as f64, &v, &mut mean);
         }
         assert!(vector::norm(&mean) < 0.02, "mean norm {}", vector::norm(&mean));
+    }
+
+    /// The private release of a sparsely trained model must not leak its
+    /// sparsity pattern: both mechanisms perturb every coordinate, so a
+    /// mostly-zero model densifies on release (a zero noise coordinate has
+    /// probability zero; over many trials every coordinate moves).
+    #[test]
+    fn release_of_sparse_model_is_dense() {
+        let mut rng = seeded(48);
+        let dim = 64;
+        for mech in [
+            NoiseMechanism::for_budget(&Budget::pure(1.0).unwrap(), dim, 0.1).unwrap(),
+            NoiseMechanism::for_budget(&Budget::approx(1.0, 1e-6).unwrap(), dim, 0.1).unwrap(),
+        ] {
+            for _ in 0..20 {
+                // One nonzero out of 64 — the shape a sparse run produces.
+                let mut w = vec![0.0; dim];
+                w[17] = 0.25;
+                mech.perturb(&mut rng, &mut w);
+                let zeros = w.iter().filter(|v| **v == 0.0).count();
+                assert_eq!(zeros, 0, "released model leaked zero coordinates");
+            }
+        }
     }
 
     #[test]

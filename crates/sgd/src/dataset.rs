@@ -260,12 +260,41 @@ mod tests {
     }
 }
 
+/// A training set that can additionally stream rows *sparsely*, handing the
+/// visitor each example's stored [`bolton_linalg::SparseVec`] directly.
+///
+/// This is the access pattern behind the O(nnz) training path
+/// ([`crate::sparse_engine`]): a consumer that accepts sparse rows never
+/// touches the thread-local dense row buffer the [`TrainSet`] scan
+/// materializes into, so per-example cost is proportional to the row's
+/// nonzeros rather than the ambient dimension.
+pub trait SparseTrainSet: TrainSet {
+    /// Streams examples in the order given by `order` (indices into
+    /// `0..len()`), invoking `visit(position_in_order, row, label)` with
+    /// the sparse row — no densification.
+    ///
+    /// # Panics
+    /// Implementations panic if any index is out of bounds.
+    fn scan_order_sparse(
+        &self,
+        order: &[usize],
+        visit: &mut dyn FnMut(usize, &bolton_linalg::SparseVec, f64),
+    );
+
+    /// Streams all examples sparsely in storage order.
+    fn scan_sparse(&self, visit: &mut dyn FnMut(usize, &bolton_linalg::SparseVec, f64)) {
+        let order: Vec<usize> = (0..self.len()).collect();
+        self.scan_order_sparse(&order, visit);
+    }
+}
+
 /// A training set stored sparsely (one [`bolton_linalg::SparseVec`] per
 /// example), materialized into a reusable dense row buffer during scans.
 ///
-/// The engine and every private algorithm see plain dense rows, so sparse
-/// storage is purely a memory/IO optimization — exactly how one-hot-encoded
-/// corpora like KDDCup-99 are best held.
+/// The dense [`TrainSet`] scan keeps every private algorithm working
+/// unmodified; the [`SparseTrainSet`] scan hands the stored rows out
+/// directly so the sparse engine trains in O(nnz) — exactly how
+/// one-hot-encoded corpora like KDDCup-99 are best held.
 #[derive(Clone, Debug)]
 pub struct SparseDataset {
     rows: Vec<bolton_linalg::SparseVec>,
@@ -308,6 +337,47 @@ impl SparseDataset {
     pub fn row(&self, i: usize) -> &bolton_linalg::SparseVec {
         &self.rows[i]
     }
+
+    /// Label of example `i`.
+    pub fn label_of(&self, i: usize) -> f64 {
+        self.labels[i]
+    }
+
+    /// Splits into `parts` nearly equal contiguous portions without
+    /// densifying (the private tuning Algorithm 3, line 2, on sparse data).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0` or `parts > len`.
+    pub fn split(&self, parts: usize) -> Vec<SparseDataset> {
+        assert!(parts > 0 && parts <= self.len(), "invalid split arity");
+        let base = self.len() / parts;
+        let extra = self.len() % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 0..parts {
+            let size = base + usize::from(p < extra);
+            out.push(SparseDataset::new(
+                self.rows[start..start + size].to_vec(),
+                self.labels[start..start + size].to_vec(),
+            ));
+            start += size;
+        }
+        out
+    }
+}
+
+impl SparseTrainSet for SparseDataset {
+    fn scan_order_sparse(
+        &self,
+        order: &[usize],
+        visit: &mut dyn FnMut(usize, &bolton_linalg::SparseVec, f64),
+    ) {
+        // Rows are handed out as stored: no dense buffer, no thread-local
+        // state, O(1) bookkeeping per example.
+        for (pos, &i) in order.iter().enumerate() {
+            visit(pos, &self.rows[i], self.labels[i]);
+        }
+    }
 }
 
 impl TrainSet for SparseDataset {
@@ -343,6 +413,32 @@ impl TrainSet for SparseDataset {
             Err(_) => scan(&mut vec![0.0; self.dim]),
         });
     }
+}
+
+/// Test fixture shared by the sparse-path test modules (in this crate and
+/// in dependent crates' tests): random sparse binary data as a
+/// (dense, sparse) pair over the same examples, `density` being each
+/// cell's nonzero probability. Hidden from docs; not a stable API.
+#[doc(hidden)]
+pub fn sparse_pair_fixture(
+    m: usize,
+    dim: usize,
+    density: f64,
+    seed: u64,
+) -> (InMemoryDataset, SparseDataset) {
+    use bolton_rng::Rng as _;
+    let mut rng = bolton_rng::seeded(seed);
+    let mut features = Vec::with_capacity(m * dim);
+    let mut labels = Vec::with_capacity(m);
+    for _ in 0..m {
+        for _ in 0..dim {
+            features.push(if rng.next_bool(density) { rng.next_range(-0.3, 0.3) } else { 0.0 });
+        }
+        labels.push(if rng.next_bool(0.5) { 1.0 } else { -1.0 });
+    }
+    let d = InMemoryDataset::from_flat(features, labels, dim);
+    let s = SparseDataset::from_dense(&d);
+    (d, s)
 }
 
 #[cfg(test)]
@@ -430,6 +526,60 @@ mod sparse_tests {
             outer_rows.push(outer);
         });
         assert_eq!(outer_rows.len(), 3);
+    }
+
+    /// The sparse scan hands out exactly the stored rows, in order.
+    #[test]
+    fn sparse_scan_matches_dense_scan_content() {
+        let d = dense();
+        let s = SparseDataset::from_dense(&d);
+        let order = [1usize, 2, 0];
+        let mut seen = Vec::new();
+        s.scan_order_sparse(&order, &mut |pos, row, y| seen.push((pos, row.to_dense(), y)));
+        let mut expect = Vec::new();
+        d.scan_order(&order, &mut |pos, x, y| expect.push((pos, x.to_vec(), y)));
+        assert_eq!(seen, expect);
+    }
+
+    /// A sparse consumer never touches the thread-local dense row buffer:
+    /// nesting a sparse scan inside a dense scan must leave the outer dense
+    /// row intact *without* falling back to a per-call allocation (the
+    /// `RefCell` is never borrowed by the sparse path).
+    #[test]
+    fn sparse_scan_inside_dense_scan_skips_row_buffer() {
+        let d = dense();
+        let s = SparseDataset::from_dense(&d);
+        let mut outer_count = 0usize;
+        s.scan_order(&[0, 1, 2], &mut |pos, x, _| {
+            let mut inner = Vec::new();
+            s.scan_order_sparse(&[2, 0], &mut |_, row, y| inner.push((row.to_dense(), y)));
+            assert_eq!(inner[0].0, d.features_of(2));
+            assert_eq!(inner[1].0, d.features_of(0));
+            // The dense row we were handed is untouched by the sparse scan.
+            assert_eq!(x, d.features_of(pos), "outer dense row corrupted");
+            outer_count += 1;
+        });
+        assert_eq!(outer_count, 3);
+    }
+
+    #[test]
+    fn sparse_split_covers_everything_without_densifying() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            rows.push(bolton_linalg::SparseVec::from_pairs(4, [(i % 4, 1.0 + i as f64)]));
+            labels.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        let s = SparseDataset::new(rows, labels);
+        let parts = s.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(SparseDataset::len).sum::<usize>(), 10);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 3);
+        // First example of the second part is example 4 of the original.
+        assert_eq!(parts[1].row(0), s.row(4));
+        assert_eq!(parts[1].label_of(0), s.label_of(4));
+        assert_eq!(parts[0].total_nnz() + parts[1].total_nnz() + parts[2].total_nnz(), 10);
     }
 
     /// Sparse storage behind a `ShardView` (the pool's chunked scans)

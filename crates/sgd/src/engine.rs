@@ -114,7 +114,7 @@ impl SgdConfig {
         self
     }
 
-    fn validate(&self, m: usize) {
+    pub(crate) fn validate(&self, m: usize) {
         assert!(self.passes >= 1, "at least one pass is required");
         assert!(self.batch_size >= 1, "batch size must be >= 1");
         assert!(m >= 1, "dataset must be non-empty");

@@ -17,6 +17,9 @@
 //! * [`pool`] — the persistent work-stealing worker pool behind every
 //!   parallel region (epochs, tuning grids, bench trials).
 //! * [`parallel`] — parameter-mixing parallel PSGD scheduled on the pool.
+//! * [`sparse_engine`] — the O(nnz) sparse hot path: lazily scaled models
+//!   (`w = scale·v`) over [`dataset::SparseTrainSet`] scans, with O(1)
+//!   shrink/projection and gradient steps that touch only nonzeros.
 
 pub mod dataset;
 pub mod engine;
@@ -27,13 +30,18 @@ pub mod parallel;
 pub mod pool;
 pub mod sag;
 pub mod schedule;
+pub mod sparse_engine;
 pub mod svrg;
 
-pub use dataset::{InMemoryDataset, SparseDataset, TrainSet};
+pub use dataset::{InMemoryDataset, SparseDataset, SparseTrainSet, TrainSet};
 pub use engine::{run_psgd, Averaging, SamplingScheme, SgdConfig, SgdOutcome};
 pub use loss::{HuberSvm, LeastSquares, Logistic, Loss};
-pub use parallel::{run_parallel_psgd, run_parallel_psgd_on, run_parallel_psgd_scoped};
+pub use parallel::{
+    run_parallel_psgd, run_parallel_psgd_on, run_parallel_psgd_scoped, run_parallel_psgd_sparse,
+    run_parallel_psgd_sparse_on,
+};
 pub use pool::{ParallelRunner, WorkerPool};
 pub use sag::run_sag;
 pub use schedule::StepSize;
+pub use sparse_engine::{run_sparse_psgd, SparseScratch};
 pub use svrg::run_svrg;

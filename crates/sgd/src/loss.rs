@@ -41,6 +41,27 @@ pub trait Loss {
     fn is_strongly_convex(&self) -> bool {
         self.strong_convexity() > 0.0
     }
+
+    /// The scalar derivative `φ′(z, y)` of the generalized-linear form
+    /// `ℓ(w; (x, y)) = φ(⟨w, x⟩, y) + (λ/2)‖w‖²`, where
+    /// `∇ℓ = φ′(z, y)·x + λw` — the structure the O(nnz) sparse engine
+    /// ([`crate::sparse_engine`]) relies on: the data-dependent gradient is
+    /// a *scalar multiple of the example*, and the `λw` term becomes a
+    /// multiplicative shrink of the lazily scaled model.
+    ///
+    /// Every built-in loss has this form; the default `None` routes custom
+    /// losses to the dense engine.
+    fn glm_derivative(&self, z: f64, y: f64) -> Option<f64> {
+        let _ = (z, y);
+        None
+    }
+
+    /// The unregularized value `φ(z, y)` at score `z = ⟨w, x⟩` (companion
+    /// of [`Loss::glm_derivative`]; the full loss adds `(λ/2)‖w‖²`).
+    fn glm_value(&self, z: f64, y: f64) -> Option<f64> {
+        let _ = (z, y);
+        None
+    }
 }
 
 /// Numerically stable `ln(1 + e^t)`.
@@ -101,17 +122,26 @@ impl Logistic {
 impl Loss for Logistic {
     fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64 {
         let z = bolton_linalg::vector::dot(w, x);
-        log1p_exp(-y * z) + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
+        self.glm_value(z, y).expect("logistic is GLM-form")
+            + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
     }
 
     fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]) {
         let z = bolton_linalg::vector::dot(w, x);
         // ∇ = −y·σ(−y z)·x + λw
-        let coeff = -y * sigmoid(-y * z);
+        let coeff = self.glm_derivative(z, y).expect("logistic is GLM-form");
         bolton_linalg::vector::axpy(coeff, x, grad);
         if self.lambda > 0.0 {
             bolton_linalg::vector::axpy(self.lambda, w, grad);
         }
+    }
+
+    fn glm_derivative(&self, z: f64, y: f64) -> Option<f64> {
+        Some(-y * sigmoid(-y * z))
+    }
+
+    fn glm_value(&self, z: f64, y: f64) -> Option<f64> {
+        Some(log1p_exp(-y * z))
     }
 
     fn lipschitz(&self) -> f64 {
@@ -181,33 +211,44 @@ impl HuberSvm {
 
 impl Loss for HuberSvm {
     fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64 {
-        let z = y * bolton_linalg::vector::dot(w, x);
-        let hinge = if z > 1.0 + self.h {
-            0.0
-        } else if z < 1.0 - self.h {
-            1.0 - z
-        } else {
-            let t = 1.0 + self.h - z;
-            t * t / (4.0 * self.h)
-        };
-        hinge + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
+        let z = bolton_linalg::vector::dot(w, x);
+        self.glm_value(z, y).expect("huber is GLM-form")
+            + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
     }
 
     fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]) {
-        let z = y * bolton_linalg::vector::dot(w, x);
-        let dz = if z > 1.0 + self.h {
-            0.0
-        } else if z < 1.0 - self.h {
-            -1.0
-        } else {
-            -(1.0 + self.h - z) / (2.0 * self.h)
-        };
-        if dz != 0.0 {
-            bolton_linalg::vector::axpy(dz * y, x, grad);
+        let z = bolton_linalg::vector::dot(w, x);
+        let coeff = self.glm_derivative(z, y).expect("huber is GLM-form");
+        if coeff != 0.0 {
+            bolton_linalg::vector::axpy(coeff, x, grad);
         }
         if self.lambda > 0.0 {
             bolton_linalg::vector::axpy(self.lambda, w, grad);
         }
+    }
+
+    fn glm_derivative(&self, z: f64, y: f64) -> Option<f64> {
+        let zy = y * z;
+        let dz = if zy > 1.0 + self.h {
+            0.0
+        } else if zy < 1.0 - self.h {
+            -1.0
+        } else {
+            -(1.0 + self.h - zy) / (2.0 * self.h)
+        };
+        Some(dz * y)
+    }
+
+    fn glm_value(&self, z: f64, y: f64) -> Option<f64> {
+        let zy = y * z;
+        Some(if zy > 1.0 + self.h {
+            0.0
+        } else if zy < 1.0 - self.h {
+            1.0 - zy
+        } else {
+            let t = 1.0 + self.h - zy;
+            t * t / (4.0 * self.h)
+        })
     }
 
     fn lipschitz(&self) -> f64 {
@@ -265,16 +306,27 @@ impl LeastSquares {
 
 impl Loss for LeastSquares {
     fn value(&self, w: &[f64], x: &[f64], y: f64) -> f64 {
-        let r = bolton_linalg::vector::dot(w, x) - y;
-        0.5 * r * r + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
+        let z = bolton_linalg::vector::dot(w, x);
+        self.glm_value(z, y).expect("least squares is GLM-form")
+            + 0.5 * self.lambda * bolton_linalg::vector::norm_sq(w)
     }
 
     fn add_gradient(&self, w: &[f64], x: &[f64], y: f64, grad: &mut [f64]) {
-        let r = bolton_linalg::vector::dot(w, x) - y;
-        bolton_linalg::vector::axpy(r, x, grad);
+        let z = bolton_linalg::vector::dot(w, x);
+        let coeff = self.glm_derivative(z, y).expect("least squares is GLM-form");
+        bolton_linalg::vector::axpy(coeff, x, grad);
         if self.lambda > 0.0 {
             bolton_linalg::vector::axpy(self.lambda, w, grad);
         }
+    }
+
+    fn glm_derivative(&self, z: f64, y: f64) -> Option<f64> {
+        Some(z - y)
+    }
+
+    fn glm_value(&self, z: f64, y: f64) -> Option<f64> {
+        let r = z - y;
+        Some(0.5 * r * r)
     }
 
     fn lipschitz(&self) -> f64 {
@@ -435,6 +487,42 @@ mod tests {
     #[should_panic(expected = "half-width")]
     fn huber_rejects_bad_h() {
         HuberSvm::plain(0.0);
+    }
+
+    /// The GLM decomposition is the dense paths' single source of truth:
+    /// `value = φ(⟨w,x⟩,y) + (λ/2)‖w‖²` and the data-dependent gradient is
+    /// `φ′·x`, for every built-in loss at every branch.
+    #[test]
+    fn glm_form_matches_dense_paths() {
+        use bolton_rng::Rng;
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(Logistic::plain()),
+            Box::new(Logistic::regularized(0.05, 10.0)),
+            Box::new(HuberSvm::plain(0.1)),
+            Box::new(HuberSvm::regularized(0.1, 0.01, 10.0)),
+            Box::new(LeastSquares::regularized(0.02, 5.0)),
+        ];
+        let mut rng = bolton_rng::seeded(67);
+        for loss in &losses {
+            for _ in 0..50 {
+                let w: Vec<f64> = (0..3).map(|_| rng.next_range(-2.0, 2.0)).collect();
+                let x: Vec<f64> = (0..3).map(|_| rng.next_range(-0.5, 0.5)).collect();
+                let y = if rng.next_bool(0.5) { 1.0 } else { -1.0 };
+                let z = bolton_linalg::vector::dot(&w, &x);
+                let phi = loss.glm_value(z, y).expect("built-in losses are GLM-form");
+                let reg = 0.5 * loss.lambda() * bolton_linalg::vector::norm_sq(&w);
+                assert_eq!(loss.value(&w, &x, y), phi + reg, "{}", loss.name());
+                let coeff = loss.glm_derivative(z, y).expect("built-in losses are GLM-form");
+                let mut grad = vec![0.0; 3];
+                loss.add_gradient(&w, &x, y, &mut grad);
+                let mut expect = vec![0.0; 3];
+                bolton_linalg::vector::axpy(coeff, &x, &mut expect);
+                bolton_linalg::vector::axpy(loss.lambda(), &w, &mut expect);
+                for (g, e) in grad.iter().zip(expect.iter()) {
+                    assert!((g - e).abs() < 1e-12, "{}", loss.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Evaluation metrics: classification accuracy, error counts, and empirical
 //! risk `L_S(w) = (1/m)·Σ ℓ(w; (x_i, y_i))`.
 
-use crate::dataset::TrainSet;
+use crate::dataset::{SparseTrainSet, TrainSet};
 use crate::loss::Loss;
 use bolton_linalg::vector;
 
@@ -45,6 +45,49 @@ pub fn empirical_risk<D: TrainSet + ?Sized>(loss: &dyn Loss, w: &[f64], data: &D
     assert!(!data.is_empty(), "empirical risk of empty dataset");
     let mut total = 0.0;
     data.scan(&mut |_, x, y| total += loss.value(w, x, y));
+    total / data.len() as f64
+}
+
+/// [`zero_one_errors`] over a sparse scan: scores are O(nnz) sparse-dense
+/// dot products and no row is densified. The sparse dot reassociates the
+/// summation relative to the dense kernel, so a score sitting *exactly* on
+/// the decision boundary could in principle flip; real-valued data never
+/// does.
+pub fn zero_one_errors_sparse<D: SparseTrainSet + ?Sized>(w: &[f64], data: &D) -> usize {
+    let mut errors = 0usize;
+    data.scan_sparse(&mut |_, x, y| {
+        let p = if x.dot_dense(w) >= 0.0 { 1.0 } else { -1.0 };
+        if p != y {
+            errors += 1;
+        }
+    });
+    errors
+}
+
+/// Classification accuracy via the sparse scan.
+pub fn accuracy_sparse<D: SparseTrainSet + ?Sized>(w: &[f64], data: &D) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    1.0 - zero_one_errors_sparse(w, data) as f64 / data.len() as f64
+}
+
+/// Mean training loss `L_S(w)` via the sparse scan (GLM-form losses only).
+///
+/// # Panics
+/// Panics if the dataset is empty or the loss lacks the GLM form.
+pub fn empirical_risk_sparse<D: SparseTrainSet + ?Sized>(
+    loss: &dyn Loss,
+    w: &[f64],
+    data: &D,
+) -> f64 {
+    assert!(!data.is_empty(), "empirical risk of empty dataset");
+    let reg = 0.5 * loss.lambda() * vector::norm_sq(w);
+    let mut total = 0.0;
+    data.scan_sparse(&mut |_, x, y| {
+        let z = x.dot_dense(w);
+        total += loss.glm_value(z, y).expect("sparse risk requires a GLM-form loss") + reg;
+    });
     total / data.len() as f64
 }
 
@@ -145,6 +188,20 @@ mod tests {
         let bad = empirical_risk(&loss, &[0.0, 0.0], &data());
         let good = empirical_risk(&loss, &[2.0, 0.0], &data());
         assert!(good < bad);
+    }
+
+    #[test]
+    fn sparse_metrics_match_dense_metrics() {
+        let d = data();
+        let s = crate::dataset::SparseDataset::from_dense(&d);
+        let loss = Logistic::regularized(0.01, 10.0);
+        for w in [[1.0, 0.0], [-0.5, 0.2], [0.0, 0.0]] {
+            assert_eq!(zero_one_errors(&w, &d), zero_one_errors_sparse(&w, &s), "{w:?}");
+            assert_eq!(accuracy(&w, &d), accuracy_sparse(&w, &s), "{w:?}");
+            let dense_risk = empirical_risk(&loss, &w, &d);
+            let sparse_risk = empirical_risk_sparse(&loss, &w, &s);
+            assert!((dense_risk - sparse_risk).abs() < 1e-12, "{w:?}");
+        }
     }
 }
 

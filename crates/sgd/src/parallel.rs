@@ -27,10 +27,11 @@
 //! 1/w), so this module is offered for the noiseless/scalability use case;
 //! private training should use the sequential engine.
 
-use crate::dataset::TrainSet;
+use crate::dataset::{SparseTrainSet, TrainSet};
 use crate::engine::{run_with_pass_orders, PassOrders, Scratch, SgdConfig, SgdOutcome};
 use crate::loss::Loss;
 use crate::pool::ParallelRunner;
+use crate::sparse_engine::{run_sparse_with_pass_orders, SparseScratch};
 use bolton_linalg::vector;
 use bolton_rng::{random_permutation, Rng};
 use std::borrow::Cow;
@@ -99,6 +100,30 @@ impl<D: TrainSet + ?Sized> TrainSet for ShardView<'_, D> {
     }
 }
 
+impl<D: SparseTrainSet + ?Sized> SparseTrainSet for ShardView<'_, D> {
+    fn scan_order_sparse(
+        &self,
+        order: &[usize],
+        visit: &mut dyn FnMut(usize, &bolton_linalg::SparseVec, f64),
+    ) {
+        // Same chunked zero-allocation index translation as the dense scan;
+        // the rows themselves are handed through sparsely (no dense row
+        // buffer anywhere on this path).
+        let mut mapped = [0usize; SCAN_CHUNK];
+        let mut offset = 0usize;
+        for chunk in order.chunks(SCAN_CHUNK) {
+            for (slot, &i) in mapped.iter_mut().zip(chunk.iter()) {
+                *slot = self.indices[i];
+            }
+            let base_offset = offset;
+            self.base.scan_order_sparse(&mapped[..chunk.len()], &mut |pos, x, y| {
+                visit(base_offset + pos, x, y);
+            });
+            offset += chunk.len();
+        }
+    }
+}
+
 /// Index ranges `[lo, hi)` of each worker's contiguous shard of the
 /// permutation: sizes within one of each other, larger shards first.
 fn shard_bounds(m: usize, workers: usize) -> Vec<(usize, usize)> {
@@ -119,6 +144,12 @@ thread_local! {
     /// long-lived, so gradient/average buffers persist across epochs
     /// instead of being reallocated per run.
     static SHARD_SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::new());
+
+    /// Per-thread scratch for the sparse shard runs (lazy model, batch
+    /// accumulator, stamps). Separate from [`SHARD_SCRATCH`]: the sparse
+    /// path never allocates — or touches — a dense row buffer.
+    static SPARSE_SHARD_SCRATCH: std::cell::RefCell<SparseScratch> =
+        std::cell::RefCell::new(SparseScratch::new());
 }
 
 /// One worker's shard run: per-pass orders derived from its own seeded
@@ -142,6 +173,43 @@ where
         let mut scratch = scratch.borrow_mut();
         run_with_pass_orders(&view, loss, config, &orders, &mut |_, _| {}, &mut scratch)
     })
+}
+
+/// The shared pool driver behind [`run_parallel_psgd_on`] and
+/// [`run_parallel_psgd_sparse_on`]: one permutation draw, one derived seed
+/// per worker, shard tasks scheduled on the runner, shard-order mixing.
+/// Keeping the RNG consumption in exactly one place is what guarantees the
+/// dense and sparse paths consume identical randomness.
+fn pooled_parameter_mixing<R, F>(
+    runner: &ParallelRunner<'_>,
+    m: usize,
+    dim: usize,
+    passes: usize,
+    workers: usize,
+    rng: &mut R,
+    shard: F,
+) -> SgdOutcome
+where
+    R: Rng + ?Sized,
+    F: Fn(&[usize], u64) -> SgdOutcome + Sync,
+{
+    assert!(workers >= 1, "at least one worker");
+    assert!(workers <= m, "more workers than examples");
+    let permutation = random_permutation(rng, m);
+    // Each worker gets its own derived RNG stream for its pass orders.
+    let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
+
+    let shard = &shard;
+    let tasks: Vec<_> = shard_bounds(m, workers)
+        .into_iter()
+        .zip(seeds)
+        .map(|((lo, hi), seed)| {
+            let indices = &permutation[lo..hi];
+            move || shard(indices, seed)
+        })
+        .collect();
+    let results = runner.run(tasks);
+    mix(&results, dim, passes)
 }
 
 /// Parameter mixing: the plain average of the worker models, reduced in
@@ -199,23 +267,92 @@ where
     D: TrainSet + Sync + ?Sized,
     R: Rng + ?Sized,
 {
-    let m = data.len();
-    assert!(workers >= 1, "at least one worker");
-    assert!(workers <= m, "more workers than examples");
-    let permutation = random_permutation(rng, m);
-    // Each worker gets its own derived RNG stream for its pass orders.
-    let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
+    pooled_parameter_mixing(
+        runner,
+        data.len(),
+        data.dim(),
+        config.passes,
+        workers,
+        rng,
+        |indices, seed| shard_run(data, indices, seed, loss, config),
+    )
+}
 
-    let tasks: Vec<_> = shard_bounds(m, workers)
-        .into_iter()
-        .zip(seeds)
-        .map(|((lo, hi), seed)| {
-            let indices = &permutation[lo..hi];
-            move || shard_run(data, indices, seed, loss, config)
-        })
-        .collect();
-    let results = runner.run(tasks);
-    mix(&results, data.dim(), config.passes)
+/// One worker's sparse shard run: identical order derivation to
+/// [`shard_run`] (same derived stream, same shard-local [`PassOrders`]),
+/// executed by the O(nnz) lazy engine with the thread's reusable sparse
+/// scratch.
+fn shard_run_sparse<D>(
+    data: &D,
+    indices: &[usize],
+    seed: u64,
+    loss: &(dyn Loss + Sync),
+    config: &SgdConfig,
+) -> SgdOutcome
+where
+    D: SparseTrainSet + Sync + ?Sized,
+{
+    let view = ShardView::from_slice(data, indices);
+    let mut worker_rng = bolton_rng::seeded(seed);
+    let orders = PassOrders::sample(config, view.len(), &mut worker_rng);
+    SPARSE_SHARD_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        run_sparse_with_pass_orders(&view, loss, config, &orders, &mut scratch)
+    })
+}
+
+/// Parameter-mixing parallel PSGD on the O(nnz) sparse hot path
+/// ([`crate::sparse_engine`]), scheduled on the process-global pool.
+///
+/// Sharding, per-worker seed derivation, and shard-order mixing are
+/// identical to [`run_parallel_psgd`] (the same randomness is consumed
+/// from `rng`), so on densified inputs the two agree to within float
+/// reassociation and this path inherits the same determinism guarantee:
+/// the model depends on the seed and shard count only, never on the pool's
+/// thread count or steal order.
+///
+/// # Panics
+/// Panics if `workers == 0`, `workers > data.len()`, or the loss lacks the
+/// GLM form the sparse engine requires.
+pub fn run_parallel_psgd_sparse<D, R>(
+    data: &D,
+    loss: &(dyn Loss + Sync),
+    config: &SgdConfig,
+    workers: usize,
+    rng: &mut R,
+) -> SgdOutcome
+where
+    D: SparseTrainSet + Sync + ?Sized,
+    R: Rng + ?Sized,
+{
+    run_parallel_psgd_sparse_on(&crate::pool::runner(), data, loss, config, workers, rng)
+}
+
+/// [`run_parallel_psgd_sparse`] on an explicit [`ParallelRunner`].
+///
+/// # Panics
+/// As [`run_parallel_psgd_sparse`].
+pub fn run_parallel_psgd_sparse_on<D, R>(
+    runner: &ParallelRunner<'_>,
+    data: &D,
+    loss: &(dyn Loss + Sync),
+    config: &SgdConfig,
+    workers: usize,
+    rng: &mut R,
+) -> SgdOutcome
+where
+    D: SparseTrainSet + Sync + ?Sized,
+    R: Rng + ?Sized,
+{
+    pooled_parameter_mixing(
+        runner,
+        data.len(),
+        data.dim(),
+        config.passes,
+        workers,
+        rng,
+        |indices, seed| shard_run_sparse(data, indices, seed, loss, config),
+    )
 }
 
 /// The pre-pool baseline: identical sharding, seeding, and mixing, but
@@ -449,5 +586,75 @@ mod tests {
         let loss = Logistic::plain();
         let config = SgdConfig::new(StepSize::Constant(0.1));
         run_parallel_psgd(&data, &loss, &config, 8, &mut seeded(512));
+    }
+}
+
+#[cfg(test)]
+mod sparse_parallel_tests {
+    use super::*;
+    use crate::dataset::{InMemoryDataset, SparseDataset};
+    use crate::loss::Logistic;
+    use crate::pool::WorkerPool;
+    use crate::schedule::StepSize;
+    use bolton_rng::seeded;
+
+    fn sparse_pair(m: usize, dim: usize, seed: u64) -> (InMemoryDataset, SparseDataset) {
+        crate::dataset::sparse_pair_fixture(m, dim, 0.2, seed)
+    }
+
+    /// The sparse parallel path consumes the same randomness and mixes in
+    /// the same shard order as the dense path, so on densified inputs the
+    /// models agree to within float reassociation for every worker count.
+    #[test]
+    fn sparse_parallel_matches_dense_parallel() {
+        let (d, s) = sparse_pair(240, 10, 531);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3)).with_passes(2).with_batch_size(3);
+        for workers in [1usize, 2, 5] {
+            let dense = run_parallel_psgd(&d, &loss, &config, workers, &mut seeded(532));
+            let sparse = run_parallel_psgd_sparse(&s, &loss, &config, workers, &mut seeded(532));
+            assert_eq!(dense.updates, sparse.updates, "{workers} workers");
+            for (i, (p, q)) in dense.model.iter().zip(sparse.model.iter()).enumerate() {
+                assert!((p - q).abs() <= 1e-9, "{workers} workers: coord {i}: {p} vs {q}");
+            }
+        }
+    }
+
+    /// Pool thread count and steal order stay execution details on the
+    /// sparse path: bit-identical models for any pool size.
+    #[test]
+    fn sparse_model_independent_of_pool_size() {
+        let (_, s) = sparse_pair(300, 8, 533);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.25)).with_passes(2);
+        let reference = {
+            let pool = WorkerPool::new(1);
+            run_parallel_psgd_sparse_on(&pool.runner(), &s, &loss, &config, 4, &mut seeded(534))
+        };
+        for threads in [2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let out = run_parallel_psgd_sparse_on(
+                &pool.runner(),
+                &s,
+                &loss,
+                &config,
+                4,
+                &mut seeded(534),
+            );
+            assert_eq!(out.model, reference.model, "pool of {threads} threads diverged");
+        }
+    }
+
+    /// Sparse shards over a `ShardView` compose: a view of a view still
+    /// streams sparse rows with correct positions.
+    #[test]
+    fn shard_view_sparse_scan_maps_indices() {
+        let (d, s) = sparse_pair(20, 6, 535);
+        let shard = ShardView::new(&s, vec![7, 2, 9, 11]);
+        let mut seen = Vec::new();
+        shard.scan_order_sparse(&[3, 0], &mut |pos, row, y| seen.push((pos, row.to_dense(), y)));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0, d.features_of(11).to_vec(), d.label_of(11)));
+        assert_eq!(seen[1], (1, d.features_of(7).to_vec(), d.label_of(7)));
     }
 }

@@ -1,0 +1,633 @@
+//! The O(nnz) sparse PSGD hot path: lazily scaled models over
+//! [`SparseTrainSet`] scans.
+//!
+//! The dense engine ([`crate::engine`]) costs O(d) per example regardless of
+//! how sparse the data is, because rows are densified and the model update
+//! sweeps every coordinate. For the paper's high-dimensional one-hot
+//! workloads (KDDCup-99-style, density a few percent) that wastes a factor
+//! of `d/nnz`. This module keeps the exact PSGD semantics — same balanced
+//! [`BatchPlan`], same [`PassOrders`] randomness, same step schedules,
+//! projection, and averaging — while touching only the nonzeros:
+//!
+//! * **Lazy scaling.** The iterate is represented as `w = scale·v`. The
+//!   L2-regularization shrink `w ← (1 − ηλ)·w` and the L2-ball projection
+//!   `w ← (R/‖w‖)·w` become O(1) updates of `scale`; only the
+//!   data-dependent gradient term touches coordinates.
+//! * **GLM gradients.** Every built-in loss has the generalized-linear form
+//!   `∇ℓ = φ′(⟨w, x⟩, y)·x + λw` ([`Loss::glm_derivative`]), so the
+//!   per-example gradient is a scalar times the sparse row: the batch
+//!   gradient lives on the union of the batch rows' nonzeros.
+//! * **Deferred unscale.** True coordinates are materialized by dividing by
+//!   `scale` only at batch boundaries (the coordinate update
+//!   `v[i] ← v[i] − η·ḡ[i]/scale`), and the full model is unscaled once at
+//!   output time.
+//! * **Incremental norms.** `‖v‖²` is maintained from the touched
+//!   coordinates' deltas (projection needs `‖w‖ = |scale|·‖v‖` every
+//!   update) and recomputed exactly once per pass to stop drift.
+//!
+//! The result matches the dense engine on densified inputs to within float
+//! reassociation (≈1e-9 over realistic runs; the sparse dot reduces over
+//! nonzeros where the dense kernel reduces over all `d` coordinates, so
+//! bit-equality is only guaranteed for fully dense rows — see
+//! [`bolton_linalg::SparseVec::dot_dense`]).
+//!
+//! There is **no gradient hook** on this path: per-batch dense noise
+//! injection (SCS13/BST14) is inherently O(d) per update. Output
+//! perturbation — the paper's bolt-on approach — never needs one, which is
+//! exactly why private sparse training can run at O(nnz).
+
+use crate::dataset::SparseTrainSet;
+use crate::engine::{Averaging, BatchPlan, PassOrders, SgdConfig, SgdOutcome};
+use crate::loss::Loss;
+use bolton_linalg::vector;
+use bolton_rng::Rng;
+
+/// Fold the lazy scale into the coordinates once its magnitude leaves
+/// `[1e-120, 1e120]`: far outside any realistic trajectory, long before
+/// underflow/overflow could corrupt the represented iterate.
+const SCALE_FOLD_LIMIT: f64 = 1e120;
+
+/// Reusable buffers for the sparse inner loop, mirroring
+/// [`crate::engine::Scratch`]: pool workers and repeated runs reuse one
+/// scratch so the hot path performs no per-run allocation (buffers are
+/// sized on first use and kept; the buffer that becomes the returned model
+/// is handed to the caller and re-grown on the next run).
+#[derive(Debug, Default)]
+pub struct SparseScratch {
+    /// Lazily scaled model coordinates (`w = scale·v`).
+    v: Vec<f64>,
+    /// Dense-indexed batch-gradient accumulator; only stamped entries are
+    /// meaningful, so it is never cleared wholesale.
+    grad: Vec<f64>,
+    /// `stamp[i] == epoch` marks coordinate `i` as touched by the current
+    /// batch — O(1) membership without an O(d) clear per batch.
+    stamp: Vec<u32>,
+    /// Indices touched by the current batch, in first-touch order.
+    touched: Vec<u32>,
+    /// Iterate-average accumulator (only used by the averaging modes).
+    avg: Vec<f64>,
+    /// Current batch epoch for `stamp`.
+    epoch: u32,
+}
+
+impl SparseScratch {
+    /// An empty scratch; buffers are allocated lazily on first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, d: usize) {
+        for buf in [&mut self.v, &mut self.grad, &mut self.avg] {
+            buf.clear();
+            buf.resize(d, 0.0);
+        }
+        self.stamp.clear();
+        self.stamp.resize(d, 0);
+        self.touched.clear();
+        self.epoch = 0;
+    }
+}
+
+/// Advances the batch epoch, resetting the stamps on the (effectively
+/// unreachable) u32 wraparound.
+fn next_batch_epoch(epoch: &mut u32, stamp: &mut [u32]) {
+    *epoch = epoch.wrapping_add(1);
+    if *epoch == 0 {
+        stamp.fill(0);
+        *epoch = 1;
+    }
+}
+
+/// Runs sparse PSGD with randomness drawn from `rng` — the O(nnz)
+/// counterpart of [`crate::engine::run_psgd`], consuming identical
+/// randomness (one [`PassOrders`] sample), so a dense run on the densified
+/// data at the same seed follows the same example orders.
+///
+/// # Panics
+/// Panics if the configuration is invalid or the loss lacks the GLM form
+/// ([`Loss::glm_derivative`] returns `None`).
+pub fn run_sparse_psgd<D, R>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    rng: &mut R,
+) -> SgdOutcome
+where
+    D: SparseTrainSet + ?Sized,
+    R: Rng + ?Sized,
+{
+    let m = data.len();
+    config.validate(m);
+    let orders = PassOrders::sample(config, m, rng);
+    run_sparse_with_pass_orders(data, loss, config, &orders, &mut SparseScratch::new())
+}
+
+/// Runs sparse PSGD over explicitly provided per-pass orders — the
+/// deterministic replay entry point mirroring
+/// [`crate::engine::run_with_orders`].
+///
+/// # Panics
+/// As [`run_sparse_with_pass_orders`], plus if `orders.len() !=
+/// config.passes` or any order's length differs from `data.len()`.
+pub fn run_sparse_with_orders<D>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    orders: &[Vec<usize>],
+) -> SgdOutcome
+where
+    D: SparseTrainSet + ?Sized,
+{
+    assert_eq!(orders.len(), config.passes, "one order per pass is required");
+    for order in orders {
+        assert_eq!(order.len(), data.len(), "order length must equal dataset size");
+    }
+    sparse_core(data, loss, config, &|pass| orders[pass].as_slice(), &mut SparseScratch::new())
+}
+
+/// Runs sparse PSGD over [`PassOrders`], reusing the caller's
+/// [`SparseScratch`] — the allocation-free entry point the worker pool
+/// uses. Semantics are identical to [`run_sparse_with_orders`] over the
+/// materialized per-pass orders.
+///
+/// # Panics
+/// Panics if `orders.passes() != config.passes`, any order's length differs
+/// from `data.len()`, any index is out of bounds, or the loss lacks the
+/// GLM form.
+pub fn run_sparse_with_pass_orders<D>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    orders: &PassOrders,
+    scratch: &mut SparseScratch,
+) -> SgdOutcome
+where
+    D: SparseTrainSet + ?Sized,
+{
+    assert_eq!(orders.passes(), config.passes, "one order per pass is required");
+    for pass in 0..orders.passes() {
+        assert_eq!(orders.order(pass).len(), data.len(), "order length must equal dataset size");
+    }
+    sparse_core(data, loss, config, &|pass| orders.order(pass), scratch)
+}
+
+/// The sparse inner loop shared by every entry point.
+fn sparse_core<'o, D>(
+    data: &D,
+    loss: &dyn Loss,
+    config: &SgdConfig,
+    order_of: &dyn Fn(usize) -> &'o [usize],
+    scratch: &mut SparseScratch,
+) -> SgdOutcome
+where
+    D: SparseTrainSet + ?Sized,
+{
+    let m = data.len();
+    let d = data.dim();
+    config.validate(m);
+    assert!(
+        loss.glm_derivative(0.0, 1.0).is_some(),
+        "sparse PSGD requires a GLM-form loss ({} does not expose glm_derivative); \
+         use the dense engine instead",
+        loss.name()
+    );
+    let lambda = loss.lambda();
+
+    let b = config.batch_size.min(m);
+    let plan = BatchPlan::new(m, b);
+    let updates_per_pass = plan.batches as u64;
+    let total_updates = updates_per_pass * config.passes as u64;
+    let tail_window = ((total_updates as f64).ln().ceil() as u64).max(1);
+    let tail_start = total_updates.saturating_sub(tail_window) + 1;
+
+    // At batch size 1 every batch gradient is the single row scaled by its
+    // φ′, so the scatter→flush round-trip through `grad`/`touched`/`stamp`
+    // is pure overhead: the fast path below fuses the update straight from
+    // the row's nonzeros (this is the paper's Figure 2 configuration).
+    let singleton_batches = b == 1;
+
+    scratch.reset(d);
+    let SparseScratch { v, grad, stamp, touched, avg, epoch } = scratch;
+    // The lazy representation: w = scale·v, with ‖v‖² tracked incrementally.
+    let mut scale = 1.0f64;
+    let mut norm_sq = 0.0f64;
+    let mut averaged_count = 0u64;
+    let mut t: u64 = 0;
+    let mut epoch_losses = Vec::new();
+    let mut passes_completed = 0usize;
+
+    for pass in 0..config.passes {
+        let order = order_of(pass);
+        let mut batch_len = 0usize;
+        let mut batch_idx = 0usize;
+        next_batch_epoch(epoch, stamp);
+        data.scan_order_sparse(order, &mut |_pos, x, y| {
+            // O(nnz) score, then scatter φ′·x onto the batch accumulator
+            // (singleton batches update directly from the row at the
+            // boundary below instead).
+            let z = scale * x.dot_dense(v);
+            let coeff = loss.glm_derivative(z, y).expect("GLM form checked above");
+            if !singleton_batches && coeff != 0.0 {
+                for (i, xi) in x.iter() {
+                    if stamp[i] != *epoch {
+                        stamp[i] = *epoch;
+                        grad[i] = 0.0;
+                        touched.push(i as u32);
+                    }
+                    grad[i] += coeff * xi;
+                }
+            }
+            batch_len += 1;
+            if batch_len == plan.size_of(batch_idx) {
+                batch_idx += 1;
+                t += 1;
+                let eta = config.step.eta(t);
+                // w ← w − η·(ḡ + λw) = (1 − ηλ)·w − η·ḡ: the shrink is an
+                // O(1) scale update; only ḡ's support gets coordinate work.
+                let decay = 1.0 - eta * lambda;
+                if decay == 0.0 {
+                    // Degenerate shrink-to-zero step (ηλ = 1 exactly).
+                    vector::fill_zero(v);
+                    scale = 1.0;
+                    norm_sq = 0.0;
+                } else {
+                    scale *= decay;
+                    let a = scale.abs();
+                    if !(SCALE_FOLD_LIMIT.recip()..=SCALE_FOLD_LIMIT).contains(&a) {
+                        vector::scale(scale, v);
+                        scale = 1.0;
+                        norm_sq = vector::norm_sq(v);
+                    }
+                }
+                // Deferred unscale: one division by the post-shrink scale
+                // folds the batch mean and the lazy factor together.
+                if singleton_batches {
+                    if coeff != 0.0 {
+                        let step = -eta * coeff / scale;
+                        for (i, xi) in x.iter() {
+                            let old = v[i];
+                            let new = old + step * xi;
+                            v[i] = new;
+                            norm_sq += new * new - old * old;
+                        }
+                    }
+                } else {
+                    let step = -eta / (batch_len as f64 * scale);
+                    for &iu in touched.iter() {
+                        let i = iu as usize;
+                        let old = v[i];
+                        let new = old + step * grad[i];
+                        v[i] = new;
+                        norm_sq += new * new - old * old;
+                    }
+                    touched.clear();
+                }
+                if let Some(r) = config.projection_radius {
+                    // Π onto ‖w‖ ≤ R is a pure rescale: O(1) on the lazy
+                    // representation.
+                    let norm_w = scale.abs() * norm_sq.max(0.0).sqrt();
+                    if norm_w > r {
+                        scale *= r / norm_w;
+                    }
+                }
+                match config.averaging {
+                    Averaging::FinalIterate => {}
+                    // The averaging modes accumulate the unscaled iterate
+                    // densely — O(d) per update, kept for parity with the
+                    // dense engine rather than for speed.
+                    Averaging::Uniform => {
+                        vector::axpy(scale, v, avg);
+                        averaged_count += 1;
+                    }
+                    Averaging::LastLog => {
+                        if t >= tail_start {
+                            vector::axpy(scale, v, avg);
+                            averaged_count += 1;
+                        }
+                    }
+                }
+                batch_len = 0;
+                next_batch_epoch(epoch, stamp);
+            }
+        });
+        passes_completed += 1;
+        // One exact recomputation per pass stops incremental-norm drift.
+        norm_sq = vector::norm_sq(v);
+
+        if let Some(mu) = config.tolerance {
+            let cur = risk_scaled(loss, scale, v, norm_sq, data);
+            let stop = epoch_losses
+                .last()
+                .is_some_and(|&prev: &f64| prev.abs() > 0.0 && (prev - cur) / prev.abs() < mu);
+            epoch_losses.push(cur);
+            if stop {
+                break;
+            }
+        }
+    }
+
+    let model = match config.averaging {
+        Averaging::FinalIterate => {
+            // Output-time materialization of the true coordinates.
+            vector::scale(scale, v);
+            std::mem::take(v)
+        }
+        Averaging::Uniform | Averaging::LastLog => {
+            assert!(averaged_count > 0, "no iterates were averaged");
+            vector::scale(1.0 / averaged_count as f64, avg);
+            std::mem::take(avg)
+        }
+    };
+
+    SgdOutcome { model, updates: t, passes_completed, epoch_losses }
+}
+
+/// Mean training loss of the lazily scaled iterate, computed sparsely:
+/// `mean φ(scale·⟨v, x⟩, y) + (λ/2)·scale²·‖v‖²`.
+fn risk_scaled<D>(loss: &dyn Loss, scale: f64, v: &[f64], norm_sq_v: f64, data: &D) -> f64
+where
+    D: SparseTrainSet + ?Sized,
+{
+    let mut total = 0.0;
+    data.scan_sparse(&mut |_, x, y| {
+        let z = scale * x.dot_dense(v);
+        total += loss.glm_value(z, y).expect("GLM form checked by the engine");
+    });
+    total / data.len() as f64 + 0.5 * loss.lambda() * (scale * scale * norm_sq_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{InMemoryDataset, SparseDataset};
+    use crate::engine::run_psgd;
+    use crate::loss::{HuberSvm, LeastSquares, Logistic};
+    use crate::schedule::StepSize;
+    use bolton_rng::seeded;
+
+    fn sparse_pair(m: usize, dim: usize, seed: u64) -> (InMemoryDataset, SparseDataset) {
+        crate::dataset::sparse_pair_fixture(m, dim, 0.2, seed)
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (p, q)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((p - q).abs() <= tol, "{what}: coord {i}: {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_logistic_plain() {
+        let (d, s) = sparse_pair(120, 12, 901);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.4)).with_passes(3);
+        let dense = run_psgd(&d, &loss, &config, &mut seeded(902));
+        let sparse = run_sparse_psgd(&s, &loss, &config, &mut seeded(902));
+        assert_eq!(dense.updates, sparse.updates);
+        assert_eq!(dense.passes_completed, sparse.passes_completed);
+        assert_close(&dense.model, &sparse.model, 1e-9, "logistic plain");
+    }
+
+    /// λ > 0 with projection: the multiplicative shrink and the L2-ball
+    /// projection both ride the lazy scale. `m = 103, b = 10` hits the
+    /// balanced partition's `min_size` edge (batches of 10 and 9).
+    #[test]
+    fn matches_dense_regularized_projected_minsize_edge() {
+        let (d, s) = sparse_pair(103, 9, 903);
+        let loss = Logistic::regularized(0.05, 2.0);
+        let config = SgdConfig::new(StepSize::StronglyConvex { beta: 1.05, gamma: 0.05 })
+            .with_passes(3)
+            .with_batch_size(10)
+            .with_projection(2.0);
+        assert_eq!(BatchPlan::new(103, 10).min_size(), 9);
+        let dense = run_psgd(&d, &loss, &config, &mut seeded(904));
+        let sparse = run_sparse_psgd(&s, &loss, &config, &mut seeded(904));
+        assert_eq!(dense.updates, sparse.updates);
+        assert_close(&dense.model, &sparse.model, 1e-9, "regularized projected");
+        assert!(vector::norm(&sparse.model) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn matches_dense_across_losses() {
+        let (d, s) = sparse_pair(90, 10, 905);
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(Logistic::plain()),
+            Box::new(HuberSvm::plain(0.1)),
+            Box::new(HuberSvm::regularized(0.1, 0.01, 5.0)),
+            Box::new(LeastSquares::new(3.0)),
+        ];
+        for loss in &losses {
+            for batch in [1usize, 4, 90] {
+                let mut config =
+                    SgdConfig::new(StepSize::Constant(0.3)).with_passes(2).with_batch_size(batch);
+                if loss.lambda() > 0.0 {
+                    config = config.with_projection(5.0);
+                }
+                let dense = run_psgd(&d, loss.as_ref(), &config, &mut seeded(906));
+                let sparse = run_sparse_psgd(&s, loss.as_ref(), &config, &mut seeded(906));
+                assert_close(
+                    &dense.model,
+                    &sparse.model,
+                    1e-9,
+                    &format!("{} b={batch}", loss.name()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn averaging_modes_match_dense() {
+        let (d, s) = sparse_pair(80, 8, 907);
+        let loss = Logistic::plain();
+        for avg in [Averaging::Uniform, Averaging::LastLog] {
+            let config = SgdConfig::new(StepSize::Constant(0.3))
+                .with_passes(2)
+                .with_batch_size(3)
+                .with_averaging(avg);
+            let dense = run_psgd(&d, &loss, &config, &mut seeded(908));
+            let sparse = run_sparse_psgd(&s, &loss, &config, &mut seeded(908));
+            assert_close(&dense.model, &sparse.model, 1e-9, &format!("{avg:?}"));
+        }
+    }
+
+    #[test]
+    fn fresh_permutations_and_replacement_match_dense() {
+        use crate::engine::SamplingScheme;
+        let (d, s) = sparse_pair(70, 7, 909);
+        let loss = Logistic::plain();
+        for sampling in
+            [SamplingScheme::Permutation { fresh_each_pass: true }, SamplingScheme::WithReplacement]
+        {
+            let config = SgdConfig::new(StepSize::InvSqrtT).with_passes(3).with_sampling(sampling);
+            let dense = run_psgd(&d, &loss, &config, &mut seeded(910));
+            let sparse = run_sparse_psgd(&s, &loss, &config, &mut seeded(910));
+            assert_close(&dense.model, &sparse.model, 1e-9, &format!("{sampling:?}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, s) = sparse_pair(60, 6, 911);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.2)).with_passes(2);
+        let a = run_sparse_psgd(&s, &loss, &config, &mut seeded(912));
+        let b = run_sparse_psgd(&s, &loss, &config, &mut seeded(912));
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn replayed_orders_match_run_with_orders() {
+        let (d, s) = sparse_pair(50, 5, 913);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.25)).with_passes(2).with_batch_size(4);
+        let orders: Vec<Vec<usize>> = vec![(0..50).rev().collect(), (0..50).collect()];
+        let dense = crate::engine::run_with_orders(&d, &loss, &config, &orders, &mut |_, _| {});
+        let sparse = run_sparse_with_orders(&s, &loss, &config, &orders);
+        assert_close(&dense.model, &sparse.model, 1e-9, "replayed orders");
+    }
+
+    #[test]
+    fn tolerance_stops_early() {
+        let (_, s) = sparse_pair(150, 6, 914);
+        let loss = Logistic::regularized(0.1, 10.0);
+        let config = SgdConfig::new(StepSize::StronglyConvex { beta: 1.1, gamma: 0.1 })
+            .with_passes(50)
+            .with_projection(10.0)
+            .with_tolerance(0.05);
+        let out = run_sparse_psgd(&s, &loss, &config, &mut seeded(915));
+        assert!(out.passes_completed < 50, "ran {}", out.passes_completed);
+        assert_eq!(out.epoch_losses.len(), out.passes_completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a GLM-form loss")]
+    fn non_glm_loss_rejected() {
+        struct Opaque;
+        impl Loss for Opaque {
+            fn value(&self, _: &[f64], _: &[f64], _: f64) -> f64 {
+                0.0
+            }
+            fn add_gradient(&self, _: &[f64], _: &[f64], _: f64, _: &mut [f64]) {}
+            fn lipschitz(&self) -> f64 {
+                1.0
+            }
+            fn smoothness(&self) -> f64 {
+                1.0
+            }
+            fn strong_convexity(&self) -> f64 {
+                0.0
+            }
+            fn lambda(&self) -> f64 {
+                0.0
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        let (_, s) = sparse_pair(10, 3, 916);
+        let config = SgdConfig::new(StepSize::Constant(0.1));
+        run_sparse_psgd(&s, &Opaque, &config, &mut seeded(917));
+    }
+
+    /// Scratch reuse across runs must not leak state between runs.
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let (_, s) = sparse_pair(40, 5, 918);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3)).with_passes(2);
+        let mut scratch = SparseScratch::new();
+        let orders = PassOrders::sample(&config, 40, &mut seeded(919));
+        let a = run_sparse_with_pass_orders(&s, &loss, &config, &orders, &mut scratch);
+        let b = run_sparse_with_pass_orders(&s, &loss, &config, &orders, &mut scratch);
+        assert_eq!(a.model, b.model);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::dataset::{InMemoryDataset, SparseDataset};
+    use crate::engine::run_psgd;
+    use crate::loss::{HuberSvm, LeastSquares, Logistic};
+    use crate::schedule::StepSize;
+    use proptest::prelude::*;
+
+    /// The satellite property: lazy-scaled sparse PSGD equals the dense
+    /// engine within 1e-9 across losses (logistic, Huber/hinge-like, least
+    /// squares), projection on/off, and batch sizes including the
+    /// `BatchPlan::min_size()` edge (arbitrary `m mod b`).
+    #[allow(clippy::too_many_arguments)]
+    fn check_case(
+        m: usize,
+        dim: usize,
+        seed: u64,
+        loss_idx: usize,
+        batch: usize,
+        passes: usize,
+        project: bool,
+        regularized: bool,
+    ) {
+        use bolton_rng::Rng as _;
+        let mut rng = bolton_rng::seeded(seed);
+        let mut features = Vec::with_capacity(m * dim);
+        let mut labels = Vec::with_capacity(m);
+        for _ in 0..m {
+            for _ in 0..dim {
+                features.push(if rng.next_bool(0.25) { rng.next_range(-0.4, 0.4) } else { 0.0 });
+            }
+            labels.push(if rng.next_bool(0.5) { 1.0 } else { -1.0 });
+        }
+        let d = InMemoryDataset::from_flat(features, labels, dim);
+        let s = SparseDataset::from_dense(&d);
+        let radius = 1.5;
+        let lambda = if regularized { 0.05 } else { 0.0 };
+        let loss: Box<dyn Loss> = match loss_idx {
+            0 if regularized => Box::new(Logistic::regularized(lambda, radius)),
+            0 => Box::new(Logistic::plain()),
+            1 if regularized => Box::new(HuberSvm::regularized(0.1, lambda, radius)),
+            1 => Box::new(HuberSvm::plain(0.1)),
+            _ => Box::new(LeastSquares::regularized(lambda, radius)),
+        };
+        let mut config =
+            SgdConfig::new(StepSize::Constant(0.3)).with_passes(passes).with_batch_size(batch);
+        // λ > 0 requires the ball constraint for the constants to hold;
+        // also exercise projection on some unregularized runs.
+        if project || regularized {
+            config = config.with_projection(radius);
+        }
+        let dense = run_psgd(&d, loss.as_ref(), &config, &mut bolton_rng::seeded(seed ^ 0xA5));
+        let sparse =
+            run_sparse_psgd(&s, loss.as_ref(), &config, &mut bolton_rng::seeded(seed ^ 0xA5));
+        assert_eq!(dense.updates, sparse.updates);
+        for (i, (p, q)) in dense.model.iter().zip(sparse.model.iter()).enumerate() {
+            assert!(
+                (p - q).abs() <= 1e-9,
+                "{} m={} b={} k={} proj={} reg={}: coord {i}: {p} vs {q}",
+                loss.name(),
+                m,
+                batch,
+                passes,
+                project,
+                regularized,
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn lazy_sparse_equals_dense_engine(
+            m in 2usize..60,
+            dim in 2usize..16,
+            seed in 0u64..1_000_000,
+            loss_idx in 0usize..3,
+            batch in 1usize..20,
+            passes in 1usize..4,
+            project in any::<bool>(),
+            regularized in any::<bool>(),
+        ) {
+            check_case(m, dim, seed, loss_idx, batch, passes, project, regularized);
+        }
+    }
+}
