@@ -1,0 +1,253 @@
+//! Figure 2b (larger-than-memory) — out-of-core private training through
+//! the chunked row store.
+//!
+//! The paper's Figure 2b runs bolt-on private SGD against a dataset that
+//! does not fit in memory. This bin reproduces the *data path*: the
+//! workload is streamed to a chunked on-disk [`StoredDataset`] and trained
+//! with a chunk-cache byte budget (`BOLTON_MEM_BUDGET` semantics, set
+//! explicitly here) far below the dataset size, under the two-level
+//! "shuffle chunks, shuffle within chunk" order
+//! ([`SamplingScheme::chunked`]) so every pass pins each chunk exactly
+//! once.
+//!
+//! Asserted invariants (the acceptance criteria):
+//! * the out-of-core model is **bit-identical** to the in-memory model at
+//!   the same seed and sampling scheme — noiseless, parallel, and private
+//!   (same Δ₂, same noise draw);
+//! * peak resident chunk bytes (from [`StoredDataset::cache_stats`]) never
+//!   exceed the budget, and the budget is below 25% of the dataset size;
+//! * the cache actually evicts (the run is genuinely out-of-core).
+//!
+//! Prints TSV to stdout and writes `BENCH_out_of_core.json` (override with
+//! `BOLTON_BENCH_OUT`).
+//!
+//! Knobs: `BOLTON_OOC_ROWS` (default 6000), `BOLTON_OOC_DIM` (default 64),
+//! `BOLTON_OOC_CHUNK_ROWS` (default 256), `BOLTON_OOC_PASSES` (default 2),
+//! `BOLTON_OOC_REPEATS` (default 3), `BOLTON_OOC_WORKERS` (default 2),
+//! `BOLTON_OOC_BUDGET_FRACTION` (default 0.2).
+
+use bolton::output_perturbation::{train_private, BoltOnConfig};
+use bolton::Budget;
+use bolton_bench::{header, row, time_it};
+use bolton_data::row_store::{write_dense_dataset, StoredDataset};
+use bolton_sgd::{
+    run_parallel_psgd, run_psgd, Logistic, SamplingScheme, SgdConfig, StepSize, TrainSet,
+};
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn median_secs(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<Duration> = (0..repeats).map(|_| time_it(&mut f).1).collect();
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64()
+}
+
+fn main() {
+    let rows = env_usize("BOLTON_OOC_ROWS", 6000);
+    let dim = env_usize("BOLTON_OOC_DIM", 64);
+    let chunk_rows = env_usize("BOLTON_OOC_CHUNK_ROWS", 256);
+    let passes = env_usize("BOLTON_OOC_PASSES", 2);
+    let repeats = env_usize("BOLTON_OOC_REPEATS", 3);
+    let workers = env_usize("BOLTON_OOC_WORKERS", 2);
+    let budget_fraction = env_f64("BOLTON_OOC_BUDGET_FRACTION", 0.2);
+    assert!(
+        budget_fraction > 0.0 && budget_fraction < 0.25,
+        "budget fraction must stay below the 25% acceptance bound"
+    );
+
+    // The in-memory reference workload, streamed once to the store file.
+    let data =
+        bolton_data::generator::linear_binary(&mut bolton_rng::seeded(0x0C2B), rows, dim, 0.05);
+    let store_path = std::env::temp_dir().join(format!("bolton-fig2b-{}.rws", std::process::id()));
+    write_dense_dataset(&data, &store_path, chunk_rows).expect("write row store");
+    let file_bytes = std::fs::metadata(&store_path).expect("store metadata").len() as usize;
+
+    let dataset_bytes = rows * (dim + 1) * 8;
+    let chunk_bytes = chunk_rows * (dim + 1) * 8;
+    let budget = (budget_fraction * dataset_bytes as f64) as usize;
+    assert!(
+        chunk_bytes <= budget,
+        "one chunk must fit the budget (chunk {chunk_bytes} B, budget {budget} B)"
+    );
+
+    let stored = StoredDataset::open_with_budget(&store_path, budget).expect("open row store");
+    assert_eq!(TrainSet::len(&stored), rows);
+
+    let loss = Logistic::plain();
+    let config = SgdConfig::new(StepSize::Constant(0.5))
+        .with_passes(passes)
+        .with_sampling(SamplingScheme::chunked(chunk_rows));
+    let epochs = passes as f64;
+
+    header(&["path", "mode", "seconds_per_epoch", "slowdown_vs_memory", "bit_identical"]);
+
+    // Noiseless sequential: the acceptance bit-identity check, then timing.
+    let mem_model = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(41)).model;
+    stored.reset_cache_stats();
+    let disk_model = run_psgd(&stored, &loss, &config, &mut bolton_rng::seeded(41)).model;
+    assert_eq!(mem_model, disk_model, "out-of-core model must be bit-identical to in-memory");
+    let noiseless_stats = stored.cache_stats();
+    assert!(
+        noiseless_stats.peak_resident_bytes <= budget,
+        "resident chunk bytes exceeded the budget: {noiseless_stats:?}"
+    );
+    assert!(
+        noiseless_stats.evictions > 0,
+        "budget must force evictions (run was not out-of-core): {noiseless_stats:?}"
+    );
+
+    let mem_secs = median_secs(repeats, || {
+        let out = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(42));
+        std::hint::black_box(out.model.len());
+    }) / epochs;
+    let disk_secs = median_secs(repeats, || {
+        let out = run_psgd(&stored, &loss, &config, &mut bolton_rng::seeded(42));
+        std::hint::black_box(out.model.len());
+    }) / epochs;
+    row(&[
+        "memory".into(),
+        "noiseless".into(),
+        format!("{mem_secs:.6}"),
+        "1.00".into(),
+        "-".into(),
+    ]);
+    row(&[
+        "out_of_core".into(),
+        "noiseless".into(),
+        format!("{disk_secs:.6}"),
+        format!("{:.2}", disk_secs / mem_secs),
+        "true".into(),
+    ]);
+
+    // Private (ε = 1 bolt-on): identical Δ₂ and identical noise draw ⇒ the
+    // released model from disk is bit-for-bit the in-memory release.
+    let bolton_config = BoltOnConfig::new(Budget::pure(1.0).expect("valid eps"))
+        .with_passes(passes)
+        .with_sampling(SamplingScheme::chunked(chunk_rows));
+    let mem_priv = train_private(&data, &loss, &bolton_config, &mut bolton_rng::seeded(43))
+        .expect("in-memory private");
+    let disk_priv = train_private(&stored, &loss, &bolton_config, &mut bolton_rng::seeded(43))
+        .expect("out-of-core private");
+    assert_eq!(mem_priv.sensitivity, disk_priv.sensitivity, "calibration must not see the layout");
+    assert_eq!(mem_priv.model, disk_priv.model, "private release must be bit-identical");
+    let mem_priv_secs = median_secs(repeats, || {
+        let out = train_private(&data, &loss, &bolton_config, &mut bolton_rng::seeded(44));
+        std::hint::black_box(out.expect("memory").model.len());
+    }) / epochs;
+    let disk_priv_secs = median_secs(repeats, || {
+        let out = train_private(&stored, &loss, &bolton_config, &mut bolton_rng::seeded(44));
+        std::hint::black_box(out.expect("disk").model.len());
+    }) / epochs;
+    row(&[
+        "memory".into(),
+        "private_eps1".into(),
+        format!("{mem_priv_secs:.6}"),
+        "1.00".into(),
+        "-".into(),
+    ]);
+    row(&[
+        "out_of_core".into(),
+        "private_eps1".into(),
+        format!("{disk_priv_secs:.6}"),
+        format!("{:.2}", disk_priv_secs / mem_priv_secs),
+        "true".into(),
+    ]);
+
+    // Pool-parallel parameter mixing: shards are chunk ranges, models stay
+    // bit-identical to in-memory.
+    let mem_par =
+        run_parallel_psgd(&data, &loss, &config, workers, &mut bolton_rng::seeded(45)).model;
+    let disk_par =
+        run_parallel_psgd(&stored, &loss, &config, workers, &mut bolton_rng::seeded(45)).model;
+    assert_eq!(mem_par, disk_par, "parallel out-of-core model must be bit-identical");
+    let mem_par_secs = median_secs(repeats, || {
+        let out = run_parallel_psgd(&data, &loss, &config, workers, &mut bolton_rng::seeded(46));
+        std::hint::black_box(out.model.len());
+    }) / epochs;
+    let disk_par_secs = median_secs(repeats, || {
+        let out = run_parallel_psgd(&stored, &loss, &config, workers, &mut bolton_rng::seeded(46));
+        std::hint::black_box(out.model.len());
+    }) / epochs;
+    row(&[
+        format!("memory_par{workers}"),
+        "noiseless".into(),
+        format!("{mem_par_secs:.6}"),
+        "1.00".into(),
+        "-".into(),
+    ]);
+    row(&[
+        format!("out_of_core_par{workers}"),
+        "noiseless".into(),
+        format!("{disk_par_secs:.6}"),
+        format!("{:.2}", disk_par_secs / mem_par_secs),
+        "true".into(),
+    ]);
+
+    let final_stats = stored.cache_stats();
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let out_path =
+        std::env::var("BOLTON_BENCH_OUT").unwrap_or_else(|_| "BENCH_out_of_core.json".into());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"fig2b_out_of_core\",\n");
+    json.push_str("  \"workload\": \"linear_binary_dense_row_store\",\n");
+    json.push_str(&format!("  \"rows\": {rows},\n"));
+    json.push_str(&format!("  \"dim\": {dim},\n"));
+    json.push_str(&format!("  \"chunk_rows\": {chunk_rows},\n"));
+    json.push_str(&format!("  \"passes\": {passes},\n"));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!("  \"dataset_bytes\": {dataset_bytes},\n"));
+    json.push_str(&format!("  \"store_file_bytes\": {file_bytes},\n"));
+    json.push_str(&format!("  \"mem_budget_bytes\": {budget},\n"));
+    json.push_str(&format!(
+        "  \"budget_fraction_of_dataset\": {:.4},\n",
+        budget as f64 / dataset_bytes as f64
+    ));
+    json.push_str(&format!(
+        "  \"noiseless_scan\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \
+         \"peak_resident_bytes\": {}}},\n",
+        noiseless_stats.hits,
+        noiseless_stats.misses,
+        noiseless_stats.evictions,
+        noiseless_stats.peak_resident_bytes
+    ));
+    json.push_str(&format!(
+        "  \"final_cache\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \
+         \"peak_resident_bytes\": {}}},\n",
+        final_stats.hits,
+        final_stats.misses,
+        final_stats.evictions,
+        final_stats.peak_resident_bytes
+    ));
+    json.push_str("  \"bit_identical_to_memory\": {\"noiseless\": true, \"private_eps1\": true, \"parallel\": true},\n");
+    json.push_str(&format!(
+        "  \"noiseless\": {{\"memory_seconds_per_epoch\": {mem_secs:.6}, \
+         \"out_of_core_seconds_per_epoch\": {disk_secs:.6}, \"slowdown\": {:.4}}},\n",
+        disk_secs / mem_secs
+    ));
+    json.push_str(&format!(
+        "  \"private_eps1\": {{\"memory_seconds_per_epoch\": {mem_priv_secs:.6}, \
+         \"out_of_core_seconds_per_epoch\": {disk_priv_secs:.6}, \"slowdown\": {:.4}}},\n",
+        disk_priv_secs / mem_priv_secs
+    ));
+    json.push_str(&format!("  \"parallel_workers\": {workers},\n"));
+    json.push_str(&format!(
+        "  \"parallel\": {{\"memory_seconds_per_epoch\": {mem_par_secs:.6}, \
+         \"out_of_core_seconds_per_epoch\": {disk_par_secs:.6}, \"slowdown\": {:.4}}}\n",
+        disk_par_secs / mem_par_secs
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+
+    std::fs::remove_file(&store_path).expect("remove temp store");
+}

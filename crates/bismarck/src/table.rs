@@ -11,6 +11,7 @@ use crate::error::{DbError, DbResult};
 use crate::heap::Backing;
 use crate::page::Page;
 use bolton_rng::Rng;
+use bolton_sgd::chunked::ChunkedRows;
 use bolton_sgd::TrainSet;
 use std::cell::RefCell;
 
@@ -216,6 +217,56 @@ impl Table {
     }
 }
 
+impl ChunkedRows for Table {
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn chunk_len(&self) -> usize {
+        // A table chunk *is* a heap page: the chunked scan's same-page runs
+        // become consecutive hits on one pooled frame, so ordered scans
+        // under a chunk-local permutation stream pages exactly like the
+        // sequential Bismarck epoch.
+        Page::rows_per_page(self.dim)
+    }
+
+    fn visit_chunk_rows(
+        &self,
+        chunk: usize,
+        locals: &[usize],
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    ) {
+        // The row buffer is thread-local so the many short runs of a
+        // chunked scan don't allocate; the pool borrow is per row (as in
+        // `read_row`), keeping the visit callback outside the RefCell so
+        // reentrant metric scans keep working.
+        thread_local! {
+            static ROW_BUF: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let rpp = self.chunk_len();
+        let mut body = |buf: &mut Vec<f64>| {
+            buf.clear();
+            buf.resize(self.dim, 0.0);
+            for (k, &l) in locals.iter().enumerate() {
+                let rid = chunk * rpp + l;
+                let label = self
+                    .read_row(rid, buf)
+                    .unwrap_or_else(|e| panic!("scan_order: row {rid}: {e}"));
+                visit(k, buf, label);
+            }
+        };
+        ROW_BUF.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut buf) => body(&mut buf),
+            Err(_) => body(&mut vec![0.0; self.dim]),
+        });
+    }
+}
+
 impl TrainSet for Table {
     fn len(&self) -> usize {
         self.rows
@@ -226,13 +277,7 @@ impl TrainSet for Table {
     }
 
     fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
-        let mut buf = vec![0.0; self.dim];
-        for (pos, &rid) in order.iter().enumerate() {
-            let label = self
-                .read_row(rid, &mut buf)
-                .unwrap_or_else(|e| panic!("scan_order: row {rid}: {e}"));
-            visit(pos, &buf, label);
-        }
+        bolton_sgd::chunked::scan_order(self, order, visit);
     }
 
     fn scan(&self, visit: &mut dyn FnMut(usize, &[f64], f64)) {
@@ -350,6 +395,27 @@ mod tests {
         let mut seen = Vec::new();
         t.scan_order(&[10, 0, 49], &mut |pos, x, _| seen.push((pos, x[0])));
         assert_eq!(seen, vec![(0, 40.0), (1, 0.0), (2, 196.0)]);
+    }
+
+    /// An ordered scan under the chunk-local permutation streams pages:
+    /// even a 2-frame pool over a 50-page table misses each page only once
+    /// per scan — the out-of-core access pattern Figure 2b needs.
+    #[test]
+    fn chunk_local_ordered_scan_streams_pages() {
+        // dim=100 ⇒ 10 rows/page; 500 rows = 50 pages; pool of 2 frames.
+        let t = filled(Backing::TempFile, 2, 500, 100);
+        let rpp = ChunkedRows::chunk_len(&t);
+        assert_eq!(rpp, 10);
+        t.reset_pool_stats();
+        let order = bolton_rng::chunked_permutation(&mut bolton_rng::seeded(77), 500, rpp);
+        let mut count = 0usize;
+        t.scan_order(&order, &mut |pos, x, _| {
+            assert_eq!(x[0], (order[pos] * 100) as f64);
+            count += 1;
+        });
+        assert_eq!(count, 500);
+        let stats = t.pool_stats();
+        assert_eq!(stats.misses, 50, "one fetch per page expected: {stats:?}");
     }
 
     #[test]

@@ -52,6 +52,15 @@ pub struct BoltOnConfig {
     /// `passes` covers every earlier stop. (In the strongly convex case
     /// Δ₂ does not depend on k at all, which is the paper's observation.)
     pub tolerance: Option<f64>,
+    /// Example-order scheme for the underlying PSGD. Defaults to the
+    /// shared (non-fresh) permutation. Any permutation-family scheme is
+    /// sound — the sensitivity bounds are worst-case over every fixed
+    /// order — including [`SamplingScheme::ChunkedPermutation`], which is
+    /// what out-of-core training over a chunked store should use so a
+    /// pass streams chunks instead of seeking randomly.
+    /// [`SamplingScheme::WithReplacement`] is rejected: the paper's
+    /// analysis does not cover it.
+    pub sampling: SamplingScheme,
 }
 
 impl BoltOnConfig {
@@ -65,6 +74,7 @@ impl BoltOnConfig {
             averaging: Averaging::FinalIterate,
             sensitivity_mode: SensitivityMode::PaperFormula,
             tolerance: None,
+            sampling: SamplingScheme::Permutation { fresh_each_pass: false },
         }
     }
 
@@ -102,6 +112,21 @@ impl BoltOnConfig {
     /// pass cap `K`).
     pub fn with_tolerance(mut self, mu: f64) -> Self {
         self.tolerance = Some(mu);
+        self
+    }
+
+    /// Sets the example-order scheme (permutation family only).
+    ///
+    /// # Panics
+    /// Panics on [`SamplingScheme::WithReplacement`] — the paper's
+    /// sensitivity analysis does not cover it, so a private release under
+    /// it would claim a guarantee the proofs don't give.
+    pub fn with_sampling(mut self, sampling: SamplingScheme) -> Self {
+        assert!(
+            !matches!(sampling, SamplingScheme::WithReplacement),
+            "with-replacement sampling is outside the paper's privacy analysis"
+        );
+        self.sampling = sampling;
         self
     }
 }
@@ -252,14 +277,18 @@ where
 }
 
 /// The [`SgdConfig`] both bolt-on training paths run: paper step size,
-/// non-fresh permutation sampling, and the caller's knobs.
+/// the configured permutation-family sampling, and the caller's knobs.
 fn sgd_config_of(loss: &dyn Loss, config: &BoltOnConfig, m: usize) -> SgdConfig {
+    assert!(
+        !matches!(config.sampling, SamplingScheme::WithReplacement),
+        "with-replacement sampling is outside the paper's privacy analysis"
+    );
     let step = paper_step_size(loss, m);
     let mut sgd_config = SgdConfig::new(step)
         .with_passes(config.passes)
         .with_batch_size(config.batch_size)
         .with_averaging(config.averaging)
-        .with_sampling(SamplingScheme::Permutation { fresh_each_pass: false });
+        .with_sampling(config.sampling);
     if let Some(r) = config.projection_radius {
         sgd_config = sgd_config.with_projection(r);
     }
@@ -442,6 +471,30 @@ mod tests {
         let tight = avg_noise(0.1, 209);
         let loose = avg_noise(4.0, 209);
         assert!(tight > 5.0 * loose, "ε=0.1 noise {tight} should dwarf ε=4 noise {loose}");
+    }
+
+    /// The chunked permutation scheme threads through the bolt-on path:
+    /// same Δ₂ as the flat scheme (calibration never sees the order), a
+    /// numerically different but deterministic model, and the ablation
+    /// scheme stays rejected.
+    #[test]
+    fn chunked_sampling_threads_through_private_training() {
+        let data = dataset(600, 212);
+        let loss = Logistic::plain();
+        let flat = BoltOnConfig::new(Budget::pure(1.0).unwrap()).with_passes(3);
+        let chunked = flat.with_sampling(SamplingScheme::chunked(64));
+        let a = train_private(&data, &loss, &flat, &mut seeded(213)).unwrap();
+        let b = train_private(&data, &loss, &chunked, &mut seeded(213)).unwrap();
+        let b2 = train_private(&data, &loss, &chunked, &mut seeded(213)).unwrap();
+        assert_eq!(a.sensitivity, b.sensitivity, "Δ₂ is order-oblivious");
+        assert_ne!(a.unperturbed, b.unperturbed, "order distribution differs");
+        assert_eq!(b.model, b2.model, "deterministic per seed");
+
+        let result = std::panic::catch_unwind(|| {
+            BoltOnConfig::new(Budget::pure(1.0).unwrap())
+                .with_sampling(SamplingScheme::WithReplacement)
+        });
+        assert!(result.is_err(), "with-replacement must be rejected");
     }
 
     #[test]

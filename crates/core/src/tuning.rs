@@ -4,35 +4,15 @@
 
 use bolton_privacy::budget::{Budget, PrivacyError};
 use bolton_rng::{Rng, SplitMix64};
-use bolton_sgd::dataset::{InMemoryDataset, SparseDataset};
+use bolton_sgd::dataset::InMemoryDataset;
 use bolton_sgd::metrics;
 use bolton_sgd::pool::ParallelRunner;
-use bolton_sgd::TrainSet;
-
-/// A dataset the tuning algorithms can partition into portions — the only
-/// structural operation Algorithm 3 needs beyond [`TrainSet`] scanning.
-/// Implemented for both the dense and the sparse dataset, so the tuning
-/// grid can train candidates without densifying sparse corpora.
-pub trait TuningData: TrainSet + Sync + Sized {
-    /// Splits into `parts` nearly equal contiguous portions (Algorithm 3,
-    /// line 2).
-    ///
-    /// # Panics
-    /// Panics if `parts == 0` or `parts > len`.
-    fn split_portions(&self, parts: usize) -> Vec<Self>;
-}
-
-impl TuningData for InMemoryDataset {
-    fn split_portions(&self, parts: usize) -> Vec<Self> {
-        self.split(parts)
-    }
-}
-
-impl TuningData for SparseDataset {
-    fn split_portions(&self, parts: usize) -> Vec<Self> {
-        self.split(parts)
-    }
-}
+// The splittable-dataset abstraction lives with the datasets themselves
+// (re-exported here for source compatibility): `bolton_sgd` implements it
+// for the dense and sparse in-memory datasets, and `bolton_data` for the
+// file-backed `StoredDataset`, so tuning grids train candidates without
+// densifying sparse corpora or materializing out-of-core ones.
+pub use bolton_sgd::dataset::TuningData;
 
 /// One point of the tuning grid `θ = (k, b, λ)` (Section 4.1).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -175,7 +155,7 @@ fn candidate_rng(training_seed: u64, i: usize) -> impl Rng {
 /// sequential tuner and the outcome is independent of the pool's thread
 /// count and steal order.
 ///
-/// Generic over [`TuningData`], so a [`SparseDataset`] grid trains its
+/// Generic over [`TuningData`], so a [`bolton_sgd::SparseDataset`] grid trains its
 /// candidates on sparse portions end-to-end (pair it with a sparse-engine
 /// trainer and [`bolton_sgd::metrics::zero_one_errors_sparse`] scoring).
 ///
@@ -579,6 +559,7 @@ mod parallel_tests {
 mod sparse_tuning_tests {
     use super::*;
     use bolton_rng::seeded;
+    use bolton_sgd::dataset::SparseDataset;
     use bolton_sgd::pool::WorkerPool;
     use bolton_sgd::sparse_engine::run_sparse_psgd;
 

@@ -16,12 +16,19 @@
 //!   global scale knob (`BOLTON_PAPER_SCALE=1` for full sizes).
 //! * [`projection`] — dataset-level random projection (MNIST 784 → 50).
 //! * [`loader`] — CSV and LIBSVM readers/writers so real corpora can be
-//!   dropped in when available.
+//!   dropped in when available, plus streaming converters into the chunked
+//!   on-disk row store.
+//! * [`row_store`] — the chunked, byte-budgeted (`BOLTON_MEM_BUDGET`)
+//!   out-of-core store behind the paper's larger-than-memory Figure 2b
+//!   configuration: [`row_store::StoredDataset`] is a file on disk that
+//!   trains exactly like an in-memory dataset.
 
 pub mod datasets;
 pub mod generator;
 pub mod loader;
 pub mod preprocess;
 pub mod projection;
+pub mod row_store;
 
 pub use datasets::{generate, generate_scaled, Benchmark, DatasetSpec};
+pub use row_store::{CacheStats, Encoding, RowStoreWriter, StoredDataset};

@@ -1,7 +1,16 @@
 //! Dataset file I/O: CSV (`f1,f2,…,fd,label`) and LIBSVM
 //! (`label idx:val idx:val …`) readers and writers, so real corpora can be
-//! dropped into the harness in place of the synthetic stand-ins.
+//! dropped into the harness in place of the synthetic stand-ins, plus
+//! streaming converters ([`csv_to_store`], [`libsvm_to_store`]) that turn a
+//! text corpus into a chunked [`StoredDataset`] without ever materializing
+//! it in RAM.
+//!
+//! All readers share one set of line parsers, which reject NaN and ±∞
+//! features and labels with a line-numbered [`LoadError::Malformed`]: a
+//! single non-finite value would silently poison the gradient clipping and
+//! Δ₂ sensitivity calibration every privacy guarantee rests on.
 
+use crate::row_store::{RowStoreWriter, StoreError, StoredDataset};
 use bolton_sgd::dataset::InMemoryDataset;
 use bolton_sgd::TrainSet;
 use std::fmt;
@@ -22,6 +31,8 @@ pub enum LoadError {
     },
     /// The file contained no examples.
     Empty,
+    /// Row-store failure while converting to the chunked on-disk format.
+    Store(StoreError),
 }
 
 impl fmt::Display for LoadError {
@@ -32,6 +43,7 @@ impl fmt::Display for LoadError {
                 write!(f, "malformed input at line {line}: {message}")
             }
             LoadError::Empty => write!(f, "no examples in input"),
+            LoadError::Store(e) => write!(f, "row store error: {e}"),
         }
     }
 }
@@ -44,8 +56,79 @@ impl From<std::io::Error> for LoadError {
     }
 }
 
+impl From<StoreError> for LoadError {
+    fn from(e: StoreError) -> Self {
+        LoadError::Store(e)
+    }
+}
+
 fn malformed(line: usize, message: impl Into<String>) -> LoadError {
     LoadError::Malformed { line, message: message.into() }
+}
+
+/// Every numeric field must be finite: NaN/±∞ would silently corrupt the
+/// `‖x‖ ≤ 1` preprocessing contract and the sensitivity calibration.
+fn finite(line: usize, what: &str, v: f64) -> Result<f64, LoadError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(malformed(line, format!("non-finite {what} '{v}'")))
+    }
+}
+
+/// Parses one non-comment CSV line into its values (features then label),
+/// validating that every value is finite.
+fn parse_csv_row(trimmed: &str, line_no: usize) -> Result<Vec<f64>, LoadError> {
+    let values: Result<Vec<f64>, _> =
+        trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
+    let values = values.map_err(|e| malformed(line_no, format!("bad number: {e}")))?;
+    if values.len() < 2 {
+        return Err(malformed(line_no, "need at least one feature and a label"));
+    }
+    for (j, &v) in values.iter().enumerate() {
+        let what = if j + 1 == values.len() { "label".to_string() } else { format!("feature {j}") };
+        finite(line_no, &what, v)?;
+    }
+    Ok(values)
+}
+
+/// Parses one non-comment LIBSVM line into `(label, sorted-unchecked
+/// (0-based index, value) pairs)`, validating indices against `dim` and
+/// that the label and every value are finite.
+fn parse_libsvm_row(
+    trimmed: &str,
+    line_no: usize,
+    dim: usize,
+) -> Result<(f64, Vec<(usize, f64)>), LoadError> {
+    let mut parts = trimmed.split_whitespace();
+    let label: f64 = parts
+        .next()
+        .expect("split_whitespace on non-empty yields a token")
+        .parse()
+        .map_err(|e| malformed(line_no, format!("bad label: {e}")))?;
+    finite(line_no, "label", label)?;
+    let mut pairs: Vec<(usize, f64)> = Vec::new();
+    for tok in parts {
+        let (i_str, v_str) = tok
+            .split_once(':')
+            .ok_or_else(|| malformed(line_no, format!("expected idx:val, found '{tok}'")))?;
+        let i: usize = i_str.parse().map_err(|e| malformed(line_no, format!("bad index: {e}")))?;
+        let v: f64 = v_str.parse().map_err(|e| malformed(line_no, format!("bad value: {e}")))?;
+        finite(line_no, &format!("value at index {i}"), v)?;
+        if i == 0 || i > dim {
+            return Err(malformed(line_no, format!("index {i} outside 1..={dim}")));
+        }
+        pairs.push((i - 1, v));
+    }
+    // Duplicate indices are rejected rather than resolved: the dense
+    // reader would keep the last value while the sparse paths would sum
+    // them, silently loading *different datasets* from one file.
+    let mut indices: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
+    indices.sort_unstable();
+    if let Some(w) = indices.windows(2).find(|w| w[0] == w[1]) {
+        return Err(malformed(line_no, format!("duplicate index {}", w[0] + 1)));
+    }
+    Ok((label, pairs))
 }
 
 /// Reads CSV rows `f1,…,fd,label` from any reader. Blank lines and lines
@@ -65,12 +148,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<InMemoryDataset, LoadError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let values: Result<Vec<f64>, _> =
-            trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
-        let values = values.map_err(|e| malformed(line_no, format!("bad number: {e}")))?;
-        if values.len() < 2 {
-            return Err(malformed(line_no, "need at least one feature and a label"));
-        }
+        let values = parse_csv_row(trimmed, line_no)?;
         let d = values.len() - 1;
         match dim {
             None => dim = Some(d),
@@ -122,25 +200,10 @@ pub fn read_libsvm<R: Read>(reader: R, dim: usize) -> Result<InMemoryDataset, Lo
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let label: f64 = parts
-            .next()
-            .expect("split_whitespace on non-empty yields a token")
-            .parse()
-            .map_err(|e| malformed(line_no, format!("bad label: {e}")))?;
+        let (label, pairs) = parse_libsvm_row(trimmed, line_no, dim)?;
         let mut row = vec![0.0; dim];
-        for tok in parts {
-            let (i_str, v_str) = tok
-                .split_once(':')
-                .ok_or_else(|| malformed(line_no, format!("expected idx:val, found '{tok}'")))?;
-            let i: usize =
-                i_str.parse().map_err(|e| malformed(line_no, format!("bad index: {e}")))?;
-            let v: f64 =
-                v_str.parse().map_err(|e| malformed(line_no, format!("bad value: {e}")))?;
-            if i == 0 || i > dim {
-                return Err(malformed(line_no, format!("index {i} outside 1..={dim}")));
-            }
-            row[i - 1] = v;
+        for (i, v) in pairs {
+            row[i] = v;
         }
         features.extend_from_slice(&row);
         labels.push(label);
@@ -272,26 +335,7 @@ pub fn read_libsvm_sparse<R: Read>(
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let label: f64 = parts
-            .next()
-            .expect("split_whitespace on non-empty yields a token")
-            .parse()
-            .map_err(|e| malformed(line_no, format!("bad label: {e}")))?;
-        let mut pairs: Vec<(usize, f64)> = Vec::new();
-        for tok in parts {
-            let (i_str, v_str) = tok
-                .split_once(':')
-                .ok_or_else(|| malformed(line_no, format!("expected idx:val, found '{tok}'")))?;
-            let i: usize =
-                i_str.parse().map_err(|e| malformed(line_no, format!("bad index: {e}")))?;
-            let v: f64 =
-                v_str.parse().map_err(|e| malformed(line_no, format!("bad value: {e}")))?;
-            if i == 0 || i > dim {
-                return Err(malformed(line_no, format!("index {i} outside 1..={dim}")));
-            }
-            pairs.push((i - 1, v));
-        }
+        let (label, pairs) = parse_libsvm_row(trimmed, line_no, dim)?;
         rows.push(bolton_linalg::SparseVec::from_pairs(dim, pairs));
         labels.push(label);
     }
@@ -326,5 +370,290 @@ mod sparse_loader_tests {
             Err(LoadError::Malformed { .. })
         ));
         assert!(matches!(read_libsvm_sparse("".as_bytes(), 3), Err(LoadError::Empty)));
+    }
+}
+
+/// Streams a CSV corpus (`f1,…,fd,label` rows) into a dense chunked row
+/// store at `out_path` and opens it — peak memory is one chunk, so corpora
+/// larger than RAM convert end-to-end. The dimensionality is fixed by the
+/// first data row. The opened store's cache budget comes from
+/// `BOLTON_MEM_BUDGET` (see [`crate::row_store`]).
+///
+/// The conversion streams into `<out_path>.partial` and renames into
+/// place only on success, so `out_path` is never left half-written and a
+/// pre-existing store there survives a failed conversion untouched.
+fn partial_path(out_path: &Path) -> std::path::PathBuf {
+    let mut name = out_path.file_name().unwrap_or_default().to_os_string();
+    name.push(".partial");
+    out_path.with_file_name(name)
+}
+
+/// Runs one streaming conversion against the temp path, committing
+/// (rename + open) on success and removing the temp file on error.
+fn commit_store<F>(out_path: &Path, convert: F) -> Result<StoredDataset, LoadError>
+where
+    F: FnOnce(&Path) -> Result<(), LoadError>,
+{
+    let tmp = partial_path(out_path);
+    let result = convert(&tmp).and_then(|()| {
+        std::fs::rename(&tmp, out_path)?;
+        Ok(StoredDataset::open(out_path)?)
+    });
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// # Errors
+/// As [`read_csv`] (including non-finite rejection), plus store I/O. On
+/// any error the partially written temp file is removed and `out_path` is
+/// left exactly as it was — it only ever changes to a complete, readable
+/// store.
+pub fn csv_to_store<R: Read>(
+    reader: R,
+    out_path: &Path,
+    chunk_rows: usize,
+) -> Result<StoredDataset, LoadError> {
+    commit_store(out_path, |tmp| csv_to_store_inner(reader, tmp, chunk_rows))
+}
+
+fn csv_to_store_inner<R: Read>(
+    reader: R,
+    out_path: &Path,
+    chunk_rows: usize,
+) -> Result<(), LoadError> {
+    let buf = BufReader::new(reader);
+    let mut writer: Option<RowStoreWriter> = None;
+    let mut dim = 0usize;
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let values = parse_csv_row(trimmed, line_no)?;
+        let d = values.len() - 1;
+        let writer = match writer.as_mut() {
+            None => {
+                dim = d;
+                writer.insert(RowStoreWriter::create_dense(out_path, dim, chunk_rows)?)
+            }
+            Some(w) => {
+                if d != dim {
+                    return Err(malformed(
+                        line_no,
+                        format!("row has {d} features, expected {dim}"),
+                    ));
+                }
+                w
+            }
+        };
+        writer.push_dense(&values[..d], values[d])?;
+    }
+    let writer = writer.ok_or(LoadError::Empty)?;
+    writer.finish()?;
+    Ok(())
+}
+
+/// Streams a LIBSVM corpus (`label idx:val …` rows, 1-based indices) into a
+/// *sparse* chunked row store at `out_path` and opens it — the natural
+/// on-disk form for one-hot corpora, holding at most one chunk in memory
+/// during conversion.
+///
+/// # Errors
+/// As [`read_libsvm_sparse`] (including non-finite rejection), plus store
+/// I/O. On any error the partially written temp file is removed and
+/// `out_path` is left exactly as it was — it only ever changes to a
+/// complete, readable store.
+pub fn libsvm_to_store<R: Read>(
+    reader: R,
+    dim: usize,
+    out_path: &Path,
+    chunk_rows: usize,
+) -> Result<StoredDataset, LoadError> {
+    assert!(dim > 0, "dimension must be positive");
+    commit_store(out_path, |tmp| libsvm_to_store_inner(reader, dim, tmp, chunk_rows))
+}
+
+fn libsvm_to_store_inner<R: Read>(
+    reader: R,
+    dim: usize,
+    out_path: &Path,
+    chunk_rows: usize,
+) -> Result<(), LoadError> {
+    let buf = BufReader::new(reader);
+    let mut writer: Option<RowStoreWriter> = None;
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (label, pairs) = parse_libsvm_row(trimmed, line_no, dim)?;
+        let writer = match writer.as_mut() {
+            None => writer.insert(RowStoreWriter::create_sparse(out_path, dim, chunk_rows)?),
+            Some(w) => w,
+        };
+        writer.push_sparse(&bolton_linalg::SparseVec::from_pairs(dim, pairs), label)?;
+    }
+    let writer = writer.ok_or(LoadError::Empty)?;
+    writer.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod hardening_tests {
+    use super::*;
+
+    fn line_of(err: &LoadError) -> usize {
+        match err {
+            LoadError::Malformed { line, .. } => *line,
+            other => panic!("expected Malformed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_non_finite_features_and_labels() {
+        for (text, line) in [
+            ("1.0,nan,1\n", 1),
+            ("1.0,2.0,1\n0.5,inf,-1\n", 2),
+            ("1.0,2.0,1\n0.5,-inf,-1\n", 2),
+            ("1.0,2.0,NaN\n", 1),
+            ("# c\n\n1.0,2.0,1\n1.0,2.0,inf\n", 4),
+        ] {
+            let err = read_csv(text.as_bytes()).unwrap_err();
+            assert_eq!(line_of(&err), line, "{text:?}: {err}");
+            assert!(err.to_string().contains("non-finite"), "{err}");
+        }
+    }
+
+    #[test]
+    fn libsvm_rejects_non_finite_values_and_labels() {
+        for (text, line) in
+            [("nan 1:0.5\n", 1), ("inf\n", 1), ("1 1:nan\n", 1), ("1 1:0.5\n-1 2:-inf\n", 2)]
+        {
+            let dense = read_libsvm(text.as_bytes(), 3).unwrap_err();
+            assert_eq!(line_of(&dense), line, "{text:?}");
+            assert!(dense.to_string().contains("non-finite"), "{dense}");
+            // The sparse reader shares the parser, so it must agree.
+            let sparse = read_libsvm_sparse(text.as_bytes(), 3).unwrap_err();
+            assert_eq!(line_of(&sparse), line, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn finite_values_still_load() {
+        let data = read_csv("1.0,-2.5,1\n0.0,1e10,-1\n".as_bytes()).unwrap();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data.features_of(1), &[0.0, 1e10]);
+    }
+
+    /// Duplicate LIBSVM indices would load differently dense (last wins)
+    /// vs sparse (summed), so every reader rejects them up front.
+    #[test]
+    fn libsvm_rejects_duplicate_indices_everywhere() {
+        let text = "1 2:1.0 2:2.0\n";
+        for err in [
+            read_libsvm(text.as_bytes(), 3).unwrap_err(),
+            read_libsvm_sparse(text.as_bytes(), 3).unwrap_err(),
+        ] {
+            assert_eq!(line_of(&err), 1);
+            assert!(err.to_string().contains("duplicate index 2"), "{err}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod store_converter_tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bolton-loader-{}-{name}.rws", std::process::id()))
+    }
+
+    #[test]
+    fn csv_converter_agrees_with_in_memory_reader() {
+        let text = "# header\n0.5,-1.25,1\n0.0,3.5,-1\n1.0,0.25,1\n";
+        let mem = read_csv(text.as_bytes()).unwrap();
+        let path = tmp("csv");
+        let stored = csv_to_store(text.as_bytes(), &path, 2).unwrap();
+        assert_eq!(TrainSet::len(&stored), mem.len());
+        assert_eq!(TrainSet::dim(&stored), mem.dim());
+        for i in 0..mem.len() {
+            assert_eq!(stored.get(i), mem.get(i), "row {i}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn libsvm_converter_agrees_with_sparse_reader() {
+        use bolton_sgd::SparseTrainSet;
+        let text = "1 2:2.5 5:-1\n-1 1:0.5\n1\n";
+        let mem = read_libsvm_sparse(text.as_bytes(), 5).unwrap();
+        let path = tmp("libsvm");
+        let stored = libsvm_to_store(text.as_bytes(), 5, &path, 2).unwrap();
+        assert_eq!(TrainSet::len(&stored), mem.len());
+        assert_eq!(stored.encoding(), crate::row_store::Encoding::Sparse);
+        let order: Vec<usize> = (0..mem.len()).collect();
+        let mut mem_rows = Vec::new();
+        let mut disk_rows = Vec::new();
+        mem.scan_order_sparse(&order, &mut |_, r, y| mem_rows.push((r.clone(), y)));
+        stored.scan_order_sparse(&order, &mut |_, r, y| disk_rows.push((r.clone(), y)));
+        assert_eq!(mem_rows, disk_rows);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn converters_reject_bad_rows_and_empty_input() {
+        let path = tmp("bad");
+        assert!(matches!(
+            csv_to_store("1,2,1\n1,nan,1\n".as_bytes(), &path, 4),
+            Err(LoadError::Malformed { line: 2, .. })
+        ));
+        assert!(!path.exists(), "partial store must be removed on malformed input");
+        assert!(matches!(
+            csv_to_store("# only comments\n".as_bytes(), &path, 4),
+            Err(LoadError::Empty)
+        ));
+        assert!(!path.exists(), "no store file for empty input");
+        assert!(matches!(
+            libsvm_to_store("1 9:1\n".as_bytes(), 3, &path, 4),
+            Err(LoadError::Malformed { line: 1, .. })
+        ));
+        assert!(!path.exists(), "partial sparse store must be removed on malformed input");
+    }
+
+    #[test]
+    fn ragged_csv_rejected_by_converter() {
+        let path = tmp("ragged");
+        let err = csv_to_store("1,2,1\n1,2,3,1\n".as_bytes(), &path, 4).unwrap_err();
+        assert!(matches!(err, LoadError::Malformed { line: 2, .. }), "{err}");
+        assert!(!path.exists(), "partial store must be removed on ragged input");
+    }
+
+    /// A failed conversion must not destroy a pre-existing store at the
+    /// output path: conversions write to `<path>.partial` and rename only
+    /// on success.
+    #[test]
+    fn failed_conversion_preserves_existing_store() {
+        use bolton_sgd::TrainSet as _;
+        let path = tmp("preserve");
+        let good = csv_to_store("1,2,1\n3,4,-1\n".as_bytes(), &path, 4).unwrap();
+        assert_eq!(good.get(0).features, vec![1.0, 2.0]);
+        // First data line malformed: fails before any writer is created.
+        assert!(csv_to_store("nan,1,1\n".as_bytes(), &path, 4).is_err());
+        // Later line malformed: fails mid-stream, after rows were written.
+        assert!(csv_to_store("9,9,1\n1,inf,1\n".as_bytes(), &path, 4).is_err());
+        // Empty input too.
+        assert!(matches!(csv_to_store("# c\n".as_bytes(), &path, 4), Err(LoadError::Empty)));
+        // The original store is intact and readable after all three.
+        let back = StoredDataset::open(&path).unwrap();
+        assert_eq!(back.get(0).features, vec![1.0, 2.0]);
+        assert_eq!(back.get(1).features, vec![3.0, 4.0]);
+        std::fs::remove_file(&path).unwrap();
     }
 }

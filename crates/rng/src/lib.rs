@@ -29,7 +29,9 @@ mod xoshiro;
 
 pub use pcg::Pcg64;
 pub use rng::Rng;
-pub use shuffle::{random_permutation, shuffle};
+pub use shuffle::{
+    chunked_permutation, chunked_permutation_with_spans, random_permutation, shuffle,
+};
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256PlusPlus;
 

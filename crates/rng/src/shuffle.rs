@@ -22,6 +22,99 @@ pub fn random_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> 
     perm
 }
 
+/// Returns a *two-level* random permutation of `0..n` over fixed chunks
+/// `[0, c), [c, 2c), …`: the chunk order is shuffled, then each chunk's
+/// rows are shuffled within the chunk, and the shuffled chunks are
+/// concatenated. Every same-chunk run in the result is a whole chunk, so a
+/// chunked (paged, out-of-core) store scanning in this order pins each
+/// chunk exactly once per pass instead of seeking randomly across the file.
+///
+/// The result is uniform over the subgroup of chunk-preserving
+/// permutations, *not* over all `n!` orders — callers needing the flat
+/// scheme use [`random_permutation`].
+///
+/// # Panics
+/// Panics if `chunk_len == 0`.
+pub fn chunked_permutation<R: Rng + ?Sized>(rng: &mut R, n: usize, chunk_len: usize) -> Vec<usize> {
+    chunked_permutation_with_spans(rng, n, chunk_len).0
+}
+
+/// [`chunked_permutation`] plus the `[lo, hi)` position span of each
+/// whole-chunk run, in run order (spans are contiguous: each starts where
+/// the previous ends). Consumers that partition the order along chunk
+/// boundaries — parallel sharding — derive their bounds from the spans, so
+/// there is exactly one implementation of the two-level draw and its RNG
+/// consumption.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`.
+pub fn chunked_permutation_with_spans<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    chunk_len: usize,
+) -> (Vec<usize>, Vec<(usize, usize)>) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let chunks = n.div_ceil(chunk_len);
+    let chunk_order = random_permutation(rng, chunks);
+    let mut order = Vec::with_capacity(n);
+    let mut spans = Vec::with_capacity(chunks);
+    for &c in &chunk_order {
+        let lo = c * chunk_len;
+        let hi = ((c + 1) * chunk_len).min(n);
+        let start = order.len();
+        order.extend(lo..hi);
+        shuffle(rng, &mut order[start..]);
+        spans.push((start, order.len()));
+    }
+    (order, spans)
+}
+
+#[cfg(test)]
+mod chunked_tests {
+    use super::*;
+    use crate::seeded;
+
+    #[test]
+    fn chunked_permutation_is_a_permutation_with_whole_chunk_runs() {
+        let mut rng = seeded(21);
+        for (n, cl) in [(10usize, 4usize), (12, 4), (1, 3), (0, 2), (7, 1), (5, 100)] {
+            let p = chunked_permutation(&mut rng, n, cl);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "n={n}, cl={cl}");
+            // Consecutive entries switch chunks only at run boundaries, and
+            // each chunk appears in exactly one contiguous run.
+            let mut seen_chunks = Vec::new();
+            for w in p.chunks(1).collect::<Vec<_>>().windows(2) {
+                let (a, b) = (w[0][0] / cl, w[1][0] / cl);
+                if a != b {
+                    seen_chunks.push(a);
+                }
+            }
+            if let Some(last) = p.last() {
+                seen_chunks.push(last / cl);
+            }
+            let mut dedup = seen_chunks.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), seen_chunks.len(), "chunk revisited: n={n}, cl={cl}");
+        }
+    }
+
+    #[test]
+    fn chunked_permutation_is_seed_deterministic() {
+        let mk = |seed| chunked_permutation(&mut seeded(seed), 40, 7);
+        assert_eq!(mk(22), mk(22));
+        assert_ne!(mk(22), mk(23));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_rejected() {
+        chunked_permutation(&mut seeded(24), 10, 0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,10 +1,16 @@
-//! The training-set abstraction shared by in-memory data and the Bismarck
-//! storage engine.
+//! The training-set abstraction shared by in-memory data, file-backed
+//! chunk stores, and the Bismarck storage engine.
 //!
 //! SGD only ever needs one access pattern: stream examples in a prescribed
 //! order. [`TrainSet::scan_order`] is a visitor so that a disk-backed
 //! implementation can pin a buffer-pool page only for the duration of each
 //! callback — no lifetimes escape the storage layer.
+//!
+//! The ordered scan itself is implemented exactly once, over the
+//! chunk-granular [`crate::chunked::ChunkedRows`] view: every concrete
+//! dataset here (and Bismarck's `Table`, and `bolton_data`'s file-backed
+//! `StoredDataset`) only describes its chunk layout and how to pin one
+//! chunk; [`crate::chunked::scan_order`] does the rest.
 
 /// A labeled example: dense features plus a label.
 ///
@@ -153,6 +159,34 @@ impl InMemoryDataset {
     }
 }
 
+impl crate::chunked::ChunkedRows for InMemoryDataset {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn chunk_len(&self) -> usize {
+        // RAM-resident rows form one degenerate chunk: pinning is free.
+        self.labels.len().max(1)
+    }
+
+    fn visit_chunk_rows(
+        &self,
+        chunk: usize,
+        locals: &[usize],
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    ) {
+        let base = chunk * self.chunk_len();
+        for (k, &l) in locals.iter().enumerate() {
+            let i = base + l;
+            visit(k, self.features_of(i), self.labels[i]);
+        }
+    }
+}
+
 impl TrainSet for InMemoryDataset {
     fn len(&self) -> usize {
         self.labels.len()
@@ -163,9 +197,34 @@ impl TrainSet for InMemoryDataset {
     }
 
     fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
-        for (pos, &i) in order.iter().enumerate() {
-            visit(pos, self.features_of(i), self.labels[i]);
-        }
+        crate::chunked::scan_order(self, order, visit);
+    }
+}
+
+/// A dataset the tuning algorithms (the paper's Algorithm 3 and the public
+/// grid search) can partition into contiguous portions — the only
+/// structural operation tuning needs beyond [`TrainSet`] scanning.
+/// Implemented for the dense, sparse, and file-backed datasets, so tuning
+/// grids train candidates without densifying sparse corpora or
+/// materializing out-of-core ones.
+pub trait TuningData: TrainSet + Sync + Sized {
+    /// Splits into `parts` nearly equal contiguous portions (Algorithm 3,
+    /// line 2).
+    ///
+    /// # Panics
+    /// Panics if `parts == 0` or `parts > len`.
+    fn split_portions(&self, parts: usize) -> Vec<Self>;
+}
+
+impl TuningData for InMemoryDataset {
+    fn split_portions(&self, parts: usize) -> Vec<Self> {
+        self.split(parts)
+    }
+}
+
+impl TuningData for SparseDataset {
+    fn split_portions(&self, parts: usize) -> Vec<Self> {
+        self.split(parts)
     }
 }
 
@@ -366,17 +425,77 @@ impl SparseDataset {
     }
 }
 
+impl crate::chunked::ChunkedRows for SparseDataset {
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn chunk_len(&self) -> usize {
+        self.labels.len().max(1)
+    }
+
+    fn visit_chunk_rows(
+        &self,
+        chunk: usize,
+        locals: &[usize],
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    ) {
+        // The dense row buffer is thread-local rather than per-call:
+        // chunked scans (e.g. through a `ShardView`) issue many short
+        // visits per pass, and a per-call allocation would multiply with
+        // the run count on the hot path.
+        thread_local! {
+            static ROW_BUF: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let base = chunk * self.chunk_len();
+        let mut body = |buf: &mut Vec<f64>| {
+            buf.clear();
+            buf.resize(self.dim, 0.0);
+            for (k, &l) in locals.iter().enumerate() {
+                let i = base + l;
+                self.rows[i].write_dense(buf);
+                visit(k, buf, self.labels[i]);
+            }
+        };
+        ROW_BUF.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut buf) => body(&mut buf),
+            // A reentrant scan (the visitor scanning this thread's sparse
+            // data again) falls back to a local buffer.
+            Err(_) => body(&mut vec![0.0; self.dim]),
+        });
+    }
+}
+
+impl crate::chunked::SparseChunkedRows for SparseDataset {
+    fn visit_chunk_rows_sparse(
+        &self,
+        chunk: usize,
+        locals: &[usize],
+        visit: &mut dyn FnMut(usize, &bolton_linalg::SparseVec, f64),
+    ) {
+        use crate::chunked::ChunkedRows as _;
+        // Rows are handed out as stored: no dense buffer, no thread-local
+        // state, O(1) bookkeeping per example.
+        let base = chunk * self.chunk_len();
+        for (k, &l) in locals.iter().enumerate() {
+            let i = base + l;
+            visit(k, &self.rows[i], self.labels[i]);
+        }
+    }
+}
+
 impl SparseTrainSet for SparseDataset {
     fn scan_order_sparse(
         &self,
         order: &[usize],
         visit: &mut dyn FnMut(usize, &bolton_linalg::SparseVec, f64),
     ) {
-        // Rows are handed out as stored: no dense buffer, no thread-local
-        // state, O(1) bookkeeping per example.
-        for (pos, &i) in order.iter().enumerate() {
-            visit(pos, &self.rows[i], self.labels[i]);
-        }
+        crate::chunked::scan_order_sparse(self, order, visit);
     }
 }
 
@@ -390,28 +509,7 @@ impl TrainSet for SparseDataset {
     }
 
     fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
-        // The dense row buffer is thread-local rather than per-call:
-        // chunked scans (e.g. through a `ShardView`) issue many short
-        // `scan_order` calls per pass, and a per-call allocation would
-        // multiply with the chunk count on the hot path.
-        thread_local! {
-            static ROW_BUF: std::cell::RefCell<Vec<f64>> =
-                const { std::cell::RefCell::new(Vec::new()) };
-        }
-        let mut scan = |buf: &mut Vec<f64>| {
-            buf.clear();
-            buf.resize(self.dim, 0.0);
-            for (pos, &i) in order.iter().enumerate() {
-                self.rows[i].write_dense(buf);
-                visit(pos, buf, self.labels[i]);
-            }
-        };
-        ROW_BUF.with(|cell| match cell.try_borrow_mut() {
-            Ok(mut buf) => scan(&mut buf),
-            // A reentrant scan (the visitor scanning this thread's sparse
-            // data again) falls back to a local buffer.
-            Err(_) => scan(&mut vec![0.0; self.dim]),
-        });
+        crate::chunked::scan_order(self, order, visit);
     }
 }
 

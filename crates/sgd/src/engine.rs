@@ -35,9 +35,39 @@ pub enum SamplingScheme {
         /// Sample a new permutation at the start of every pass.
         fresh_each_pass: bool,
     },
+    /// Two-level permutation over fixed chunks of `chunk_len` rows:
+    /// shuffle the chunk order, then shuffle within each chunk
+    /// ([`bolton_rng::chunked_permutation`]). Every same-chunk run is a
+    /// whole chunk, so multi-pass training over a chunked out-of-core
+    /// store ([`crate::chunked::ChunkedRows`]) pins each chunk exactly
+    /// once per pass instead of issuing random I/O across the whole file.
+    ///
+    /// **Numerical note:** this order is uniform over chunk-preserving
+    /// permutations only, not over all `m!` orders, so models differ
+    /// numerically from [`SamplingScheme::Permutation`] at the same seed.
+    /// **Privacy note:** the paper's sensitivity bounds (Lemmas 4/5/8)
+    /// hold for *every fixed* example order — the analysis is worst-case
+    /// over the differing example's positions — so any distribution over
+    /// permutations, including this one, inherits the same Δ₂ and the
+    /// bolt-on guarantee is unchanged.
+    ChunkedPermutation {
+        /// Rows per chunk (match the store's chunk length for sequential
+        /// I/O; any positive value is valid).
+        chunk_len: usize,
+        /// Sample a new two-level order at the start of every pass.
+        fresh_each_pass: bool,
+    },
     /// Independent uniform sampling with replacement (ablation only: the
     /// paper's sensitivity analysis does *not* cover this scheme).
     WithReplacement,
+}
+
+impl SamplingScheme {
+    /// The chunk-locality scheme at the given chunk length, non-fresh — the
+    /// out-of-core default (one two-level order shared by all passes).
+    pub fn chunked(chunk_len: usize) -> Self {
+        Self::ChunkedPermutation { chunk_len, fresh_each_pass: false }
+    }
 }
 
 /// Configuration for one SGD run.
@@ -123,6 +153,9 @@ impl SgdConfig {
         }
         if let Some(mu) = self.tolerance {
             assert!(mu >= 0.0 && mu.is_finite(), "tolerance must be finite and >= 0");
+        }
+        if let SamplingScheme::ChunkedPermutation { chunk_len, .. } = self.sampling {
+            assert!(chunk_len >= 1, "chunk_len must be positive");
         }
     }
 }
@@ -278,6 +311,20 @@ impl PassOrders {
                     Self::PerPass((0..config.passes).map(|_| random_permutation(rng, m)).collect())
                 } else {
                     Self::Shared { order: random_permutation(rng, m), passes: config.passes }
+                }
+            }
+            SamplingScheme::ChunkedPermutation { chunk_len, fresh_each_pass } => {
+                if fresh_each_pass {
+                    Self::PerPass(
+                        (0..config.passes)
+                            .map(|_| bolton_rng::chunked_permutation(rng, m, chunk_len))
+                            .collect(),
+                    )
+                } else {
+                    Self::Shared {
+                        order: bolton_rng::chunked_permutation(rng, m, chunk_len),
+                        passes: config.passes,
+                    }
                 }
             }
             SamplingScheme::WithReplacement => Self::PerPass(
@@ -629,6 +676,49 @@ mod tests {
         let a = run_psgd(&data, &loss, &single, &mut seeded(87));
         let b = run_psgd(&data, &loss, &fresh, &mut seeded(87));
         assert_ne!(a.model, b.model);
+    }
+
+    #[test]
+    fn chunked_permutation_scheme_learns_and_differs_from_flat() {
+        let data = separable(400, 186);
+        let loss = Logistic::plain();
+        let flat = SgdConfig::new(StepSize::Constant(0.3)).with_passes(3);
+        let chunked = flat.with_sampling(SamplingScheme::chunked(64));
+        let a = run_psgd(&data, &loss, &flat, &mut seeded(187));
+        let b = run_psgd(&data, &loss, &chunked, &mut seeded(187));
+        // Different order distribution ⇒ numerically different model...
+        assert_ne!(a.model, b.model);
+        // ...but the same learning behavior and update count.
+        assert_eq!(a.updates, b.updates);
+        assert!(crate::metrics::accuracy(&b.model, &data) > 0.95);
+        // Deterministic per seed, like every other scheme.
+        let b2 = run_psgd(&data, &loss, &chunked, &mut seeded(187));
+        assert_eq!(b.model, b2.model);
+    }
+
+    #[test]
+    fn chunked_orders_are_chunk_local() {
+        // Every pass order sampled under the chunked scheme consists of
+        // whole-chunk runs: each chunk's rows occupy one contiguous block.
+        let config = SgdConfig::new(StepSize::Constant(0.1)).with_passes(2).with_sampling(
+            SamplingScheme::ChunkedPermutation { chunk_len: 8, fresh_each_pass: true },
+        );
+        let orders = PassOrders::sample(&config, 50, &mut seeded(188));
+        for pass in 0..2 {
+            let order = orders.order(pass);
+            let mut first_seen = std::collections::HashMap::new();
+            let mut last_seen = std::collections::HashMap::new();
+            for (pos, &i) in order.iter().enumerate() {
+                let c = i / 8;
+                first_seen.entry(c).or_insert(pos);
+                last_seen.insert(c, pos);
+            }
+            for (c, &first) in &first_seen {
+                let span = last_seen[c] - first + 1;
+                let size = if *c == 6 { 2 } else { 8 };
+                assert_eq!(span, size, "chunk {c} not contiguous in pass {pass}");
+            }
+        }
     }
 
     #[test]

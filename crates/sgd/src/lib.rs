@@ -1,8 +1,11 @@
 //! Permutation-based stochastic gradient descent (PSGD), the non-private
 //! optimization substrate of the paper (Section 2).
 //!
+//! * [`chunked`] — the chunk-granular [`chunked::ChunkedRows`] view every
+//!   dataset adapts to; ordered scans are implemented exactly once over it.
 //! * [`dataset`] — the [`dataset::TrainSet`] scan abstraction shared by
-//!   in-memory datasets and the Bismarck storage engine.
+//!   in-memory datasets, file-backed chunk stores, and the Bismarck
+//!   storage engine.
 //! * [`loss`] — convex losses with their (L, β, γ) constants: L2-regularized
 //!   logistic regression (the paper's running example), Huber SVM
 //!   (Appendix B), and least squares.
@@ -21,6 +24,7 @@
 //!   (`w = scale·v`) over [`dataset::SparseTrainSet`] scans, with O(1)
 //!   shrink/projection and gradient steps that touch only nonzeros.
 
+pub mod chunked;
 pub mod dataset;
 pub mod engine;
 pub mod growth;
@@ -33,7 +37,8 @@ pub mod schedule;
 pub mod sparse_engine;
 pub mod svrg;
 
-pub use dataset::{InMemoryDataset, SparseDataset, SparseTrainSet, TrainSet};
+pub use chunked::{ChunkedRows, SparseChunkedRows};
+pub use dataset::{InMemoryDataset, SparseDataset, SparseTrainSet, TrainSet, TuningData};
 pub use engine::{run_psgd, Averaging, SamplingScheme, SgdConfig, SgdOutcome};
 pub use loss::{HuberSvm, LeastSquares, Logistic, Loss};
 pub use parallel::{

@@ -139,6 +139,105 @@ fn shard_bounds(m: usize, workers: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
+/// Draws the top-level permutation and each worker's `[lo, hi)` slice of it,
+/// honoring `config.sampling`:
+///
+/// * flat/with-replacement schemes — one uniform [`random_permutation`],
+///   row-balanced contiguous shards (the historical behavior, bit-for-bit);
+/// * [`SamplingScheme::ChunkedPermutation`] — a two-level chunk-preserving
+///   permutation with shard bounds aligned to whole shuffled chunks, so
+///   every shard is a *chunk range*: a worker scans its own set of chunks
+///   and never touches (or evicts, on a cached out-of-core store) another
+///   worker's hot chunk.
+///
+/// Consumes identical randomness for both engines (dense and sparse), which
+/// is what keeps their parallel models in agreement.
+///
+/// # Panics
+/// For the chunked scheme, panics if `workers` exceeds the chunk count —
+/// there would be no chunk range left for some worker.
+fn draw_shards<R: Rng + ?Sized>(
+    rng: &mut R,
+    m: usize,
+    workers: usize,
+    config: &SgdConfig,
+) -> (Vec<usize>, Vec<(usize, usize)>) {
+    match config.sampling {
+        crate::engine::SamplingScheme::ChunkedPermutation { chunk_len, .. } => {
+            // The one two-level draw (`bolton_rng::chunked_permutation`)
+            // also reports each whole-chunk run's position span; shard
+            // bounds are just groups of consecutive spans.
+            let (order, spans) = bolton_rng::chunked_permutation_with_spans(rng, m, chunk_len);
+            let chunks = spans.len();
+            assert!(
+                workers <= chunks,
+                "{workers} workers over {chunks} chunks: lower the worker count or chunk_len"
+            );
+            let base = chunks / workers;
+            let extra = chunks % workers;
+            let mut bounds = Vec::with_capacity(workers);
+            let mut next = 0usize;
+            for w in 0..workers {
+                let count = base + usize::from(w < extra);
+                bounds.push((spans[next].0, spans[next + count - 1].1));
+                next += count;
+            }
+            (order, bounds)
+        }
+        _ => (random_permutation(rng, m), shard_bounds(m, workers)),
+    }
+}
+
+/// Shard-local per-pass orders honoring `config.sampling`.
+///
+/// For the chunked scheme, shard positions are *not* re-chunked at fixed
+/// `chunk_len` windows: the store's short final chunk can sit anywhere in
+/// the shard's slice of the top-level order, which would shift every later
+/// window off the real chunk boundaries and make each window straddle two
+/// store chunks (thrashing a one-chunk cache). Instead the shard's runs
+/// are recovered from its base indices (maximal spans with one store
+/// chunk id), and the two-level shuffle is applied run-wise — every
+/// shard-local pass still pins each of the shard's chunks exactly once.
+fn shard_pass_orders<R: Rng + ?Sized>(
+    config: &SgdConfig,
+    indices: &[usize],
+    rng: &mut R,
+) -> PassOrders {
+    let crate::engine::SamplingScheme::ChunkedPermutation { chunk_len, fresh_each_pass } =
+        config.sampling
+    else {
+        return PassOrders::sample(config, indices.len(), rng);
+    };
+    // Maximal same-store-chunk position spans of this shard.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    while start < indices.len() {
+        let chunk = indices[start] / chunk_len;
+        let mut end = start + 1;
+        while end < indices.len() && indices[end] / chunk_len == chunk {
+            end += 1;
+        }
+        spans.push((start, end));
+        start = end;
+    }
+    let sample_one = |rng: &mut R| {
+        let run_order = random_permutation(rng, spans.len());
+        let mut order = Vec::with_capacity(indices.len());
+        for &r in &run_order {
+            let (lo, hi) = spans[r];
+            let at = order.len();
+            order.extend(lo..hi);
+            bolton_rng::shuffle(rng, &mut order[at..]);
+        }
+        order
+    };
+    if fresh_each_pass {
+        PassOrders::PerPass((0..config.passes).map(|_| sample_one(rng)).collect())
+    } else {
+        PassOrders::Shared { order: sample_one(rng), passes: config.passes }
+    }
+}
+
 thread_local! {
     /// Per-thread scratch reused across shard runs: pool threads are
     /// long-lived, so gradient/average buffers persist across epochs
@@ -168,7 +267,7 @@ where
 {
     let view = ShardView::from_slice(data, indices);
     let mut worker_rng = bolton_rng::seeded(seed);
-    let orders = PassOrders::sample(config, view.len(), &mut worker_rng);
+    let orders = shard_pass_orders(config, indices, &mut worker_rng);
     SHARD_SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
         run_with_pass_orders(&view, loss, config, &orders, &mut |_, _| {}, &mut scratch)
@@ -184,7 +283,7 @@ fn pooled_parameter_mixing<R, F>(
     runner: &ParallelRunner<'_>,
     m: usize,
     dim: usize,
-    passes: usize,
+    config: &SgdConfig,
     workers: usize,
     rng: &mut R,
     shard: F,
@@ -195,12 +294,12 @@ where
 {
     assert!(workers >= 1, "at least one worker");
     assert!(workers <= m, "more workers than examples");
-    let permutation = random_permutation(rng, m);
+    let (permutation, bounds) = draw_shards(rng, m, workers, config);
     // Each worker gets its own derived RNG stream for its pass orders.
     let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
 
     let shard = &shard;
-    let tasks: Vec<_> = shard_bounds(m, workers)
+    let tasks: Vec<_> = bounds
         .into_iter()
         .zip(seeds)
         .map(|((lo, hi), seed)| {
@@ -209,7 +308,7 @@ where
         })
         .collect();
     let results = runner.run(tasks);
-    mix(&results, dim, passes)
+    mix(&results, dim, config.passes)
 }
 
 /// Parameter mixing: the plain average of the worker models, reduced in
@@ -271,7 +370,7 @@ where
         runner,
         data.len(),
         data.dim(),
-        config.passes,
+        config,
         workers,
         rng,
         |indices, seed| shard_run(data, indices, seed, loss, config),
@@ -294,7 +393,7 @@ where
 {
     let view = ShardView::from_slice(data, indices);
     let mut worker_rng = bolton_rng::seeded(seed);
-    let orders = PassOrders::sample(config, view.len(), &mut worker_rng);
+    let orders = shard_pass_orders(config, indices, &mut worker_rng);
     SPARSE_SHARD_SCRATCH.with(|scratch| {
         let mut scratch = scratch.borrow_mut();
         run_sparse_with_pass_orders(&view, loss, config, &orders, &mut scratch)
@@ -348,7 +447,7 @@ where
         runner,
         data.len(),
         data.dim(),
-        config.passes,
+        config,
         workers,
         rng,
         |indices, seed| shard_run_sparse(data, indices, seed, loss, config),
@@ -376,11 +475,11 @@ where
     let m = data.len();
     assert!(workers >= 1, "at least one worker");
     assert!(workers <= m, "more workers than examples");
-    let permutation = random_permutation(rng, m);
+    let (permutation, bounds) = draw_shards(rng, m, workers, config);
     let seeds: Vec<u64> = (0..workers).map(|_| rng.next_u64()).collect();
 
     let results: Vec<SgdOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shard_bounds(m, workers)
+        let handles: Vec<_> = bounds
             .into_iter()
             .zip(seeds)
             .map(|((lo, hi), seed)| {
@@ -397,7 +496,7 @@ where
 mod tests {
     use super::*;
     use crate::dataset::InMemoryDataset;
-    use crate::engine::run_with_orders;
+    use crate::engine::{run_with_orders, SamplingScheme};
     use crate::loss::Logistic;
     use crate::pool::WorkerPool;
     use crate::schedule::StepSize;
@@ -541,6 +640,90 @@ mod tests {
 
         assert_eq!(parallel.model, sequential.model);
         assert_eq!(parallel.updates, sequential.updates);
+    }
+
+    /// Under the chunked sampling scheme, shards are chunk *ranges*: each
+    /// worker's slice of the top-level order is a union of whole chunks,
+    /// and no chunk is split across workers.
+    #[test]
+    fn chunked_shards_are_chunk_ranges() {
+        let m = 530;
+        let chunk_len = 64; // 9 chunks, the last short.
+        let data = separable(m, 521);
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3))
+            .with_passes(2)
+            .with_sampling(SamplingScheme::chunked(chunk_len));
+        // Determinism and learning through the public entry point.
+        let a = run_parallel_psgd(&data, &loss, &config, 4, &mut seeded(522));
+        let b = run_parallel_psgd(&data, &loss, &config, 4, &mut seeded(522));
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.updates, m as u64 * 2);
+        assert!(crate::metrics::accuracy(&a.model, &data) > 0.9);
+        // Inspect the shard structure by replaying the draw.
+        let (order, bounds) = super::draw_shards(&mut seeded(522), m, 4, &config);
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(bounds[0].0, 0);
+        assert_eq!(bounds[3].1, m);
+        let mut chunk_owner = vec![usize::MAX; m.div_ceil(chunk_len)];
+        for (w, &(lo, hi)) in bounds.iter().enumerate() {
+            assert!(lo < hi, "empty shard");
+            for &i in &order[lo..hi] {
+                let c = i / chunk_len;
+                assert!(
+                    chunk_owner[c] == usize::MAX || chunk_owner[c] == w,
+                    "chunk {c} split across workers {} and {w}",
+                    chunk_owner[c]
+                );
+                chunk_owner[c] = w;
+            }
+        }
+        assert!(chunk_owner.iter().all(|&w| w != usize::MAX), "every chunk assigned");
+    }
+
+    /// Shard-local chunked orders are derived from the shard's *runs*, so
+    /// even when the store's short final chunk sits mid-shard (shifting
+    /// everything after it off the fixed `chunk_len` grid) every pass
+    /// still visits each store chunk in one contiguous block.
+    #[test]
+    fn shard_local_chunked_orders_stay_chunk_contiguous() {
+        let chunk_len = 8usize;
+        // Store chunks: 0 = [0,8), 1 = [8,16), short 2 = [16,20).
+        // The short chunk's run sits in the middle of the shard.
+        let indices: Vec<usize> = (8..16).chain(16..20).chain(0..8).collect();
+        let config = SgdConfig::new(StepSize::Constant(0.1))
+            .with_passes(3)
+            .with_sampling(SamplingScheme::ChunkedPermutation { chunk_len, fresh_each_pass: true });
+        let orders = super::shard_pass_orders(&config, &indices, &mut seeded(525));
+        for pass in 0..3 {
+            let order = orders.order(pass);
+            let mut sorted = order.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..20).collect::<Vec<_>>(), "pass {pass} not a permutation");
+            // Composed base accesses visit each store chunk contiguously.
+            let base: Vec<usize> = order.iter().map(|&p| indices[p] / chunk_len).collect();
+            let mut seen = Vec::new();
+            for w in base.windows(2) {
+                if w[0] != w[1] {
+                    seen.push(w[0]);
+                }
+            }
+            seen.push(*base.last().unwrap());
+            let mut dedup = seen.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), seen.len(), "store chunk revisited: {base:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lower the worker count or chunk_len")]
+    fn more_workers_than_chunks_panics() {
+        let data = separable(100, 523);
+        let loss = Logistic::plain();
+        let config =
+            SgdConfig::new(StepSize::Constant(0.1)).with_sampling(SamplingScheme::chunked(64));
+        run_parallel_psgd(&data, &loss, &config, 4, &mut seeded(524));
     }
 
     #[test]
