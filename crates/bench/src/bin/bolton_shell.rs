@@ -152,6 +152,14 @@ impl Shell {
                     })
                     .collect::<Vec<_>>()
                     .join("\n")),
+                // Serving results never come back from the catalog executor
+                // (this shell handles TRAIN/EVAL itself, above).
+                Ok(
+                    QueryResult::Trained { .. }
+                    | QueryResult::Scores { .. }
+                    | QueryResult::ModelVersioned { .. }
+                    | QueryResult::Models(_),
+                ) => Ok("ok".into()),
                 Err(e) => Err(e.to_string()),
             },
         }

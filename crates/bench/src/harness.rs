@@ -130,7 +130,6 @@ pub fn mean_accuracy(
     let runner = bolton_sgd::pool::runner();
     let tasks: Vec<_> = (0..trials)
         .map(|t| {
-            let budget = budget.clone();
             move || accuracy_cell(bench, loss, algorithm, budget, passes, batch, base_seed + t)
         })
         .collect();

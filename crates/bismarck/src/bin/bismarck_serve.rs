@@ -1,0 +1,202 @@
+//! The long-lived Bismarck serving process.
+//!
+//! ```text
+//! # serve (env knobs below; flags override env)
+//! $ bismarck_serve [--addr 127.0.0.1:5433] [--registry DIR] [--max-conn N]
+//! listening on 127.0.0.1:5433
+//!
+//! # line-protocol client: statements from stdin, responses to stdout
+//! $ echo "SELECT COUNT(*) FROM t" | bismarck_serve --client 127.0.0.1:5433
+//!
+//! # self-contained concurrency + registry smoke (exits non-zero on failure)
+//! $ bismarck_serve --smoke
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `BOLTON_SERVE_ADDR` — listen address (`host:port` or `unix:/path`);
+//!   default `127.0.0.1:5433`.
+//! * `BOLTON_SERVE_REGISTRY` — model-registry directory; unset ⇒ no
+//!   registry (SAVE/LOAD MODEL error).
+//! * `BOLTON_SERVE_MAX_CONN` — connection limit; default 64.
+//! * `BOLTON_THREADS` — worker-pool width for TRAIN / batch scoring.
+
+use bolton_bismarck::server::{serve, Client};
+use bolton_bismarck::{Db, ServerConfig};
+use std::io::BufRead;
+use std::sync::Arc;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).ok().filter(|v| !v.trim().is_empty()).unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = env_or("BOLTON_SERVE_ADDR", "127.0.0.1:5433");
+    let mut registry = std::env::var("BOLTON_SERVE_REGISTRY").ok().filter(|v| !v.is_empty());
+    let mut max_conn: usize =
+        env_or("BOLTON_SERVE_MAX_CONN", "64").parse().expect("BOLTON_SERVE_MAX_CONN: integer");
+    let mut client_addr: Option<String> = None;
+    let mut smoke = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().expect("--addr needs a value"),
+            "--registry" => registry = Some(it.next().expect("--registry needs a value")),
+            "--max-conn" => {
+                max_conn = it
+                    .next()
+                    .expect("--max-conn needs a value")
+                    .parse()
+                    .expect("--max-conn: integer")
+            }
+            "--client" => client_addr = Some(it.next().expect("--client needs an address")),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if smoke {
+        run_smoke();
+        println!("smoke ok");
+        return;
+    }
+    if let Some(addr) = client_addr {
+        std::process::exit(run_client(&addr));
+    }
+
+    let db = match &registry {
+        Some(dir) => Db::with_registry(dir).expect("open model registry"),
+        None => Db::new(),
+    };
+    let config = ServerConfig { addr, max_connections: max_conn };
+    let server = serve(Arc::new(db), &config).expect("bind server address");
+    println!("listening on {}", server.addr());
+    if let Some(dir) = &registry {
+        println!("registry at {dir}");
+    }
+    // Serve until a client issues SHUTDOWN.
+    server.wait();
+    println!("server stopped");
+}
+
+/// Forwards stdin statements, printing each full response. Exit code 1 if
+/// any statement came back `err`.
+fn run_client(addr: &str) -> i32 {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("connect {addr}: {e}");
+        std::process::exit(1);
+    });
+    let stdin = std::io::stdin();
+    let mut saw_err = false;
+    for line in stdin.lock().lines() {
+        let line = line.expect("read stdin");
+        let statement = line.trim();
+        if statement.is_empty() {
+            continue;
+        }
+        if statement == "\\q" || statement.eq_ignore_ascii_case("quit") {
+            // The server closes `quit` sessions without a response; don't
+            // forward it and then misread the hang-up as a failure.
+            break;
+        }
+        match client.request(statement) {
+            Ok(lines) => {
+                saw_err |= lines.last().is_some_and(|l| l.starts_with("err"));
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Err(e) => {
+                // SHUTDOWN may race the connection teardown; anything else
+                // is a real failure.
+                if statement.eq_ignore_ascii_case("shutdown") {
+                    println!("ok bye");
+                    break;
+                }
+                eprintln!("request failed: {e}");
+                return 1;
+            }
+        }
+    }
+    i32::from(saw_err)
+}
+
+/// The end-to-end smoke the CI pipeline gates on: two concurrent client
+/// sessions (one TRAIN writer, one EVAL reader) over one server, registry
+/// round-trip of a versioned model, bit-identical scoring across a server
+/// restart, clean shutdown. Panics (⇒ non-zero exit) on any violation.
+fn run_smoke() {
+    let dir = std::env::temp_dir().join(format!("bolton-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry_dir = dir.join("models");
+
+    let db = Arc::new(Db::with_registry(&registry_dir).expect("open registry"));
+    let server = serve(Arc::clone(&db), &ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+
+    // Session 0: set up data and a baseline private model in the registry.
+    let mut setup = Client::connect(&addr).expect("connect setup");
+    setup.expect_ok("CREATE TABLE t (DIM 8)").unwrap();
+    setup.expect_ok("SYNTH t ROWS 3000 SEED 7 NOISE 0.05").unwrap();
+    setup
+        .expect_ok("TRAIN base ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 2 BATCH 10 SEED 3")
+        .unwrap();
+    let saved = setup.expect_ok("SAVE MODEL base").unwrap();
+    assert_eq!(saved, "ok model=base version=1 dim=8", "unexpected SAVE response: {saved}");
+
+    // Concurrent sessions: a writer TRAINs while a reader EVALs the
+    // committed model through the registry. Both must succeed, and every
+    // read must return the identical (deterministic) response.
+    let writer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut w = Client::connect(&addr).expect("connect writer");
+            w.expect_ok("TRAIN heavy ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 6 BATCH 10 SEED 4")
+                .expect("writer TRAIN");
+            w.expect_ok("SAVE MODEL heavy").expect("writer SAVE")
+        })
+    };
+    let reader = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut r = Client::connect(&addr).expect("connect reader");
+            let first = r.expect_ok("EVAL MODEL base VERSION 1 ON t").expect("reader EVAL");
+            for i in 0..14 {
+                let again = r.expect_ok("EVAL MODEL base VERSION 1 ON t").expect("reader EVAL");
+                assert_eq!(again, first, "read {i} diverged under a concurrent writer");
+            }
+            first
+        })
+    };
+    let heavy_saved = writer.join().expect("writer thread");
+    assert_eq!(heavy_saved, "ok model=heavy version=1 dim=8");
+    let base_eval = reader.join().expect("reader thread");
+    assert!(base_eval.starts_with("ok rows=3000 acc="), "{base_eval}");
+
+    let listed = setup.request("LIST MODELS").expect("LIST MODELS");
+    assert!(listed.contains(&"* base v1 dim=8".to_string()), "{listed:?}");
+    assert!(listed.contains(&"* heavy v1 dim=8".to_string()), "{listed:?}");
+
+    // Clean shutdown via the protocol.
+    setup.expect_ok("SHUTDOWN").unwrap();
+    server.wait();
+    drop(db);
+
+    // Restart on the same registry: the committed model must score the
+    // deterministically rebuilt table bit-identically to before.
+    let db = Arc::new(Db::with_registry(&registry_dir).expect("reopen registry"));
+    let server = serve(db, &ServerConfig::default()).expect("rebind");
+    let mut client2 = Client::connect(server.addr()).expect("reconnect");
+    client2.expect_ok("CREATE TABLE t (DIM 8)").unwrap();
+    client2.expect_ok("SYNTH t ROWS 3000 SEED 7 NOISE 0.05").unwrap();
+    let eval_after = client2.expect_ok("EVAL MODEL base VERSION 1 ON t").unwrap();
+    assert_eq!(eval_after, base_eval, "registry model must score bit-identically across a restart");
+    client2.expect_ok("SHUTDOWN").unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

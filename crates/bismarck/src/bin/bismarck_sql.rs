@@ -71,6 +71,13 @@ fn main() {
                     println!("{label}\t{count}");
                 }
             }
+            // Serving results never come back from the catalog executor.
+            Ok(
+                QueryResult::Trained { .. }
+                | QueryResult::Scores { .. }
+                | QueryResult::ModelVersioned { .. }
+                | QueryResult::Models(_),
+            ) => println!("ok"),
             Ok(QueryResult::Stats(columns)) => {
                 println!("#column\tmin\tmax\tmean\tstd");
                 for (i, c) in columns.iter().enumerate() {

@@ -75,6 +75,12 @@ impl Catalog {
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
     }
+
+    /// Decomposes the catalog into its named tables (for migrating a
+    /// single-session catalog into a shared [`crate::db::Db`]).
+    pub fn into_tables(self) -> BTreeMap<String, Table> {
+        self.tables
+    }
 }
 
 #[cfg(test)]

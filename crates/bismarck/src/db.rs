@@ -1,0 +1,230 @@
+//! The shared database: one process-wide [`Db`] that any number of
+//! [`crate::session::Session`]s drive concurrently.
+//!
+//! Concurrency model (two-level locking, always acquired catalog → table):
+//!
+//! * The **catalog map** is an `RwLock` over `name → Arc<RwLock<Table>>`.
+//!   Lookups take the read lock just long enough to clone the `Arc`;
+//!   CREATE/DROP take the write lock for a map edit only — never while any
+//!   table work runs.
+//! * Each **table** is its own `RwLock`. Scans (`SELECT`, `EVAL`, `TRAIN`
+//!   — training never mutates the table: sampling orders come from the
+//!   engine's permutation schemes, not an in-place shuffle) share the read
+//!   lock, so any number of readers overlap with one long-running trainer.
+//!   `INSERT`/`SHUFFLE`/`SYNTH` take the table write lock.
+//! * Below both, the table's buffer pool has its own page latch
+//!   ([`crate::table::Table`]), so concurrent readers of one table
+//!   interleave at page granularity without torn reads.
+//!
+//! Shared **models** live in a third map (`name → Arc<[f64]>`): `TRAIN`
+//! publishes, `EVAL` reads, `SAVE MODEL` commits to the optional on-disk
+//! [`ModelRegistry`], and `LOAD MODEL` republishes a committed version.
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::heap::Backing;
+use crate::registry::ModelRegistry;
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// A shared, thread-safe database: tables, in-memory models, and an
+/// optional versioned on-disk model registry.
+#[derive(Default)]
+pub struct Db {
+    tables: RwLock<BTreeMap<String, Arc<RwLock<Table>>>>,
+    models: RwLock<BTreeMap<String, Arc<Vec<f64>>>>,
+    registry: Option<ModelRegistry>,
+}
+
+impl Db {
+    /// An empty database without a model registry (`SAVE MODEL` /
+    /// `LOAD MODEL` will error until one is attached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty database with a [`ModelRegistry`] rooted at `dir`
+    /// (created if needed, replayed if it already holds versions).
+    ///
+    /// # Errors
+    /// Registry open failures.
+    pub fn with_registry(dir: impl AsRef<Path>) -> DbResult<Self> {
+        Ok(Self {
+            tables: RwLock::default(),
+            models: RwLock::default(),
+            registry: Some(ModelRegistry::open(dir.as_ref())?),
+        })
+    }
+
+    /// Moves a single-session [`Catalog`]'s tables into a shared `Db`.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        let tables = catalog
+            .into_tables()
+            .into_iter()
+            .map(|(name, table)| (name, Arc::new(RwLock::new(table))))
+            .collect();
+        Self { tables: RwLock::new(tables), models: RwLock::default(), registry: None }
+    }
+
+    /// The attached registry, if any.
+    pub fn registry(&self) -> Option<&ModelRegistry> {
+        self.registry.as_ref()
+    }
+
+    /// The attached registry, or a helpful error.
+    ///
+    /// # Errors
+    /// [`DbError::Model`] when the Db was opened without a registry.
+    pub fn registry_required(&self) -> DbResult<&ModelRegistry> {
+        self.registry.as_ref().ok_or_else(|| {
+            DbError::Model(
+                "no model registry attached (open the Db with Db::with_registry)".to_string(),
+            )
+        })
+    }
+
+    /// Creates an empty table.
+    ///
+    /// # Errors
+    /// [`DbError::TableExists`] on a name collision; storage failures.
+    pub fn create_table(
+        &self,
+        name: &str,
+        dim: usize,
+        backing: Backing,
+        pool_pages: usize,
+    ) -> DbResult<()> {
+        let mut tables = self.tables.write().expect("catalog lock");
+        if tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        let table = Table::create(name, dim, backing, pool_pages)?;
+        tables.insert(name.to_string(), Arc::new(RwLock::new(table)));
+        Ok(())
+    }
+
+    /// Registers an already-built table (synthesizer / store loader
+    /// output).
+    ///
+    /// # Errors
+    /// [`DbError::TableExists`] on a name collision.
+    pub fn register_table(&self, table: Table) -> DbResult<()> {
+        let name = table.name().to_string();
+        let mut tables = self.tables.write().expect("catalog lock");
+        if tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        tables.insert(name, Arc::new(RwLock::new(table)));
+        Ok(())
+    }
+
+    /// Shared handle to a table. Callers take the table's read lock to
+    /// scan and the write lock to mutate; the catalog map lock is released
+    /// before this returns, so holding the handle never blocks CREATE/DROP
+    /// of *other* tables.
+    ///
+    /// # Errors
+    /// [`DbError::TableNotFound`] when absent.
+    pub fn table(&self, name: &str) -> DbResult<Arc<RwLock<Table>>> {
+        let tables = self.tables.read().expect("catalog lock");
+        tables.get(name).cloned().ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Drops a table from the catalog. Sessions still holding the handle
+    /// keep a usable table until the last `Arc` drops (MVCC-by-refcount).
+    ///
+    /// # Errors
+    /// [`DbError::TableNotFound`] when absent.
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        let mut tables = self.tables.write().expect("catalog lock");
+        tables.remove(name).map(|_| ()).ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().expect("catalog lock").keys().cloned().collect()
+    }
+
+    /// Publishes a model under `name` in shared memory (visible to every
+    /// session immediately).
+    pub fn put_model(&self, name: &str, w: Vec<f64>) {
+        let mut models = self.models.write().expect("model map lock");
+        models.insert(name.to_string(), Arc::new(w));
+    }
+
+    /// A shared handle to an in-memory model.
+    ///
+    /// # Errors
+    /// [`DbError::ModelNotFound`] when absent.
+    pub fn model(&self, name: &str) -> DbResult<Arc<Vec<f64>>> {
+        let models = self.models.read().expect("model map lock");
+        models.get(name).cloned().ok_or_else(|| DbError::ModelNotFound(name.to_string()))
+    }
+
+    /// Names of all in-memory models, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        self.models.read().expect("model map lock").keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_drop_cycle() {
+        let db = Db::new();
+        db.create_table("t", 3, Backing::Memory, 8).unwrap();
+        assert!(matches!(
+            db.create_table("t", 3, Backing::Memory, 8),
+            Err(DbError::TableExists(_))
+        ));
+        {
+            let handle = db.table("t").unwrap();
+            let mut table = handle.write().expect("table lock");
+            table.insert(&[1.0, 2.0, 3.0], 1.0).unwrap();
+        }
+        assert_eq!(db.table("t").unwrap().read().expect("table lock").row_count(), 1);
+        assert_eq!(db.table_names(), vec!["t".to_string()]);
+        db.drop_table("t").unwrap();
+        assert!(matches!(db.table("t"), Err(DbError::TableNotFound(_))));
+    }
+
+    #[test]
+    fn dropped_table_survives_for_holders() {
+        let db = Db::new();
+        db.create_table("t", 2, Backing::Memory, 8).unwrap();
+        db.table("t").unwrap().write().expect("lock").insert(&[1.0, 2.0], -1.0).unwrap();
+        let held = db.table("t").unwrap();
+        db.drop_table("t").unwrap();
+        // The session that grabbed the handle before the drop still scans.
+        assert_eq!(held.read().expect("lock").row_count(), 1);
+    }
+
+    #[test]
+    fn models_are_shared() {
+        let db = Db::new();
+        assert!(matches!(db.model("m"), Err(DbError::ModelNotFound(_))));
+        db.put_model("m", vec![0.5, -0.5]);
+        assert_eq!(*db.model("m").unwrap(), vec![0.5, -0.5]);
+        assert_eq!(db.model_names(), vec!["m".to_string()]);
+    }
+
+    #[test]
+    fn registry_requirement_is_explicit() {
+        let db = Db::new();
+        assert!(matches!(db.registry_required(), Err(DbError::Model(_))));
+        assert!(db.registry().is_none());
+    }
+
+    #[test]
+    fn from_catalog_migrates_tables() {
+        let mut catalog = Catalog::new();
+        catalog.create_table("a", 2, Backing::Memory, 8).unwrap();
+        catalog.get_mut("a").unwrap().insert(&[1.0, 2.0], 1.0).unwrap();
+        let db = Db::from_catalog(catalog);
+        assert_eq!(db.table("a").unwrap().read().expect("lock").row_count(), 1);
+    }
+}

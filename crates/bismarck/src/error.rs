@@ -49,6 +49,10 @@ pub enum DbError {
     Parse(String),
     /// On-disk bytes failed validation.
     Corrupt(String),
+    /// Model lookup (session memory or registry) failed.
+    ModelNotFound(String),
+    /// A model registry operation failed (versioning, format, manifest).
+    Model(String),
 }
 
 impl fmt::Display for DbError {
@@ -74,6 +78,8 @@ impl fmt::Display for DbError {
             }
             DbError::Parse(msg) => write!(f, "parse error: {msg}"),
             DbError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            DbError::ModelNotFound(name) => write!(f, "model '{name}' not found"),
+            DbError::Model(msg) => write!(f, "model registry error: {msg}"),
         }
     }
 }

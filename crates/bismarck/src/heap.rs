@@ -13,7 +13,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Where a heap file's pages live.
-pub trait HeapStorage {
+///
+/// `Send` so tables (and the buffer pools that own the storage) can be
+/// shared across server sessions behind locks.
+pub trait HeapStorage: Send {
     /// Number of pages.
     fn page_count(&self) -> usize;
 

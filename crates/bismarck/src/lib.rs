@@ -19,15 +19,32 @@
 //!   for the bolt-on approach, (C) per-batch noise for SCS13/BST14).
 //! * [`synth`] — the binary-classification data synthesizer used by the
 //!   scalability experiments.
-//! * [`sql`] — a small SQL front end (CREATE/INSERT/SYNTH/COUNT/AVG/SHUFFLE)
-//!   over the [`catalog`].
+//! * [`sql`] — a small SQL front end (CREATE/INSERT/SYNTH/COUNT/AVG/SHUFFLE
+//!   plus the serving statements) over the [`catalog`].
+//!
+//! On top of the single-session engine sits the serving layer (the
+//! "train once, serve forever" story):
+//!
+//! * [`db`] — the shared, thread-safe [`Db`]: an `RwLock` catalog of
+//!   `Arc<RwLock<Table>>` handles plus shared models, so concurrent
+//!   readers scan while a writer trains.
+//! * [`session`] — per-connection [`Session`]s executing the full SQL
+//!   surface (TRAIN/EVAL/SAVE MODEL/…, prepared statements) and the
+//!   [`score_batch`] parallel batch-scoring API.
+//! * [`registry`] — the versioned, crash-safe on-disk [`ModelRegistry`].
+//! * [`server`] — the `bismarck_serve` line-protocol server loop
+//!   (TCP/Unix socket, thread-per-connection) and its [`server::Client`].
 
 pub mod buffer;
 pub mod catalog;
+pub mod db;
 pub mod driver;
 pub mod error;
 pub mod heap;
 pub mod page;
+pub mod registry;
+pub mod server;
+pub mod session;
 pub mod sql;
 pub mod synth;
 pub mod table;
@@ -35,10 +52,14 @@ pub mod uda;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use catalog::Catalog;
+pub use db::Db;
 pub use driver::{train, DriverConfig, TrainedModel};
 pub use error::{DbError, DbResult};
 pub use heap::Backing;
 pub use page::{Page, PAGE_SIZE};
+pub use registry::{ModelRegistry, ModelVersion};
+pub use server::{RunningServer, ServerConfig};
+pub use session::{score_batch, Session};
 pub use synth::{synthesize, SynthSpec};
 pub use table::Table;
 pub use uda::{run_aggregate, Aggregate, AvgAggregate, SgdEpochAggregate};

@@ -1,0 +1,497 @@
+//! A versioned, crash-safe, on-disk model registry.
+//!
+//! Trained (and privately released) models are saved once and served
+//! forever: each `(name, version)` pair is immutable, artifacts are the
+//! bit-exact [`bolton::model_io`] text format, and every commit follows the
+//! write-temp → fsync → rename discipline, so a crash at any point leaves
+//! every previously committed version intact.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/MANIFEST             append-only commit log, one line per version:
+//!                            "v1 <name> <version> <dim> <fnv1a-hex> <file>"
+//! <dir>/<name>.v<n>.model    the model artifact (bolton-model v1 text)
+//! <dir>/*.tmp                uncommitted leftovers; removed on open
+//! ```
+//!
+//! The manifest is the source of truth: a model file without a manifest
+//! line was never committed and is ignored (then cleaned up lazily). A
+//! torn trailing manifest line (crash mid-append) is skipped on replay.
+//!
+//! **Ownership:** a registry directory belongs to one process at a time
+//! (the serialization of commits is an in-process mutex; this
+//! zero-dependency workspace has no portable file lock). Running two
+//! writers against one directory can assign the same version twice and
+//! violate immutability — point concurrent servers at distinct
+//! registries, or route saves through one server's sessions.
+//! Checksums are verified on open and again on a version's first load, so
+//! bit rot and torn writes surface as [`DbError::Corrupt`] instead of
+//! silently serving a wrong model; decoded weights are then cached per
+//! immutable version, so the serving hot path never re-reads disk.
+
+use crate::error::{DbError, DbResult};
+use bolton::model_io;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Name of the append-only commit log inside a registry directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// One committed model version, as reported by [`ModelRegistry::list`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelVersion {
+    /// Model name.
+    pub name: String,
+    /// Version number (≥ 1, unique per name, immutable once committed).
+    pub version: u64,
+    /// Weight dimensionality.
+    pub dim: usize,
+}
+
+/// Decoded-artifact cache key/value: `(name, version)` → shared weights.
+type ArtifactCache = BTreeMap<(String, u64), Arc<Vec<f64>>>;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    dim: usize,
+    checksum: u64,
+    file: String,
+}
+
+/// A registry of versioned linear models rooted at one directory.
+///
+/// All methods take `&self`; an internal mutex serializes commits, so one
+/// registry can be shared by every session of a [`crate::db::Db`].
+pub struct ModelRegistry {
+    dir: PathBuf,
+    state: Mutex<BTreeMap<String, BTreeMap<u64, Entry>>>,
+    /// Versions reserved by in-flight commits. Reserving under a short
+    /// lock and then releasing `state` for the artifact I/O keeps the
+    /// multi-fsync commit path off the version-lookup lock, so
+    /// `load_versioned` (the serving hot path) never waits on a writer's
+    /// disk. Lock order: `state` before `reserved`.
+    reserved: Mutex<std::collections::BTreeSet<(String, u64)>>,
+    /// Decoded artifacts by `(name, version)`. Versions are immutable, so
+    /// a hit never revalidates; the serving hot path (`EVAL MODEL …`)
+    /// reads disk once per version, not once per request. Models are
+    /// `dim`-sized, so the cache stays small at any realistic version
+    /// count.
+    cache: Mutex<ArtifactCache>,
+}
+
+fn model_err(msg: impl Into<String>) -> DbError {
+    DbError::Model(msg.into())
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) a registry rooted at `dir`, replaying the
+    /// manifest and verifying every committed artifact's checksum.
+    ///
+    /// Recovery: `*.tmp` leftovers from a crashed commit are deleted;
+    /// malformed or torn manifest lines and entries whose artifact is
+    /// missing or fails its checksum are skipped (older versions of the
+    /// same model stay served).
+    ///
+    /// # Errors
+    /// I/O failures creating or reading the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> DbResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|ext| ext == "tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        let mut state: BTreeMap<String, BTreeMap<u64, Entry>> = BTreeMap::new();
+        let manifest = dir.join(MANIFEST_FILE);
+        if manifest.exists() {
+            for line in fs::read_to_string(&manifest)?.lines() {
+                let Some((name, version, entry)) = parse_manifest_line(line) else {
+                    continue; // torn or foreign line: never committed
+                };
+                if !verify_artifact(&dir.join(&entry.file), entry.checksum) {
+                    continue; // artifact lost or rotted; keep other versions
+                }
+                state.entry(name).or_default().insert(version, entry);
+            }
+        }
+        Ok(Self {
+            dir,
+            state: Mutex::new(state),
+            reserved: Mutex::default(),
+            cache: Mutex::default(),
+        })
+    }
+
+    /// The registry's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Commits `w` as `(name, version)`; `version: None` auto-assigns the
+    /// next version (starting at 1). Returns the committed version.
+    ///
+    /// # Errors
+    /// [`DbError::Model`] for an invalid name, an empty model, or an
+    /// already-committed version (versions are immutable); I/O failures.
+    pub fn save(&self, name: &str, version: Option<u64>, w: &[f64]) -> DbResult<u64> {
+        if !valid_name(name) {
+            return Err(model_err(format!("invalid model name '{name}'")));
+        }
+        if w.is_empty() {
+            return Err(model_err("refusing to register an empty model"));
+        }
+        // Reserve the version under a short lock, then release `state` for
+        // the artifact I/O: concurrent loads (version lookups) never wait
+        // on this commit's fsyncs, and concurrent saves can't claim the
+        // same version.
+        let version = {
+            let state = self.state.lock().expect("registry lock");
+            let mut reserved = self.reserved.lock().expect("reservation lock");
+            let committed_max =
+                state.get(name).and_then(|v| v.keys().next_back().copied()).unwrap_or(0);
+            let reserved_max = reserved
+                .iter()
+                .filter(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .next_back()
+                .unwrap_or(0);
+            let version = version.unwrap_or(committed_max.max(reserved_max) + 1);
+            if version == 0 {
+                return Err(model_err("model versions start at 1"));
+            }
+            let taken = state.get(name).is_some_and(|v| v.contains_key(&version))
+                || reserved.contains(&(name.to_string(), version));
+            if taken {
+                return Err(model_err(format!(
+                    "model '{name}' version {version} already exists (versions are immutable)"
+                )));
+            }
+            reserved.insert((name.to_string(), version));
+            version
+        };
+
+        let result = self.commit_artifact(name, version, w);
+        self.reserved.lock().expect("reservation lock").remove(&(name.to_string(), version));
+        let entry = result?;
+        let mut state = self.state.lock().expect("registry lock");
+        state.entry(name.to_string()).or_default().insert(version, entry);
+        Ok(version)
+    }
+
+    /// The I/O half of a commit (runs without any registry lock held):
+    /// write-temp → fsync → rename → dir fsync → manifest append + fsync →
+    /// dir fsync.
+    fn commit_artifact(&self, name: &str, version: u64, w: &[f64]) -> DbResult<Entry> {
+        let bytes = model_io::save_linear_to_vec(w);
+        let checksum = model_io::checksum64(&bytes);
+        let file = format!("{name}.v{version}.model");
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        let path = self.dir.join(&file);
+        {
+            let mut out = File::create(&tmp)?;
+            out.write_all(&bytes)?;
+            out.sync_all()?;
+        }
+        // The commit point: rename is atomic, so a crash before here leaves
+        // only an ignorable .tmp; a crash after here but before the
+        // manifest append leaves an unreferenced artifact (also ignored).
+        fs::rename(&tmp, &path)?;
+        // Durability of the rename (a directory-metadata update) needs the
+        // directory itself synced, or a power loss could roll the commit
+        // back after save() already acknowledged it.
+        self.sync_dir()?;
+        {
+            let mut log =
+                OpenOptions::new().create(true).append(true).open(self.manifest_path())?;
+            // One write_all per line: concurrent commits append whole
+            // lines, never interleaved fragments.
+            let line = format!("v1 {name} {version} {} {checksum:016x} {file}\n", w.len());
+            log.write_all(line.as_bytes())?;
+            log.sync_all()?;
+        }
+        // And once more for the manifest's own directory entry, in case
+        // this save created the MANIFEST file.
+        self.sync_dir()?;
+        Ok(Entry { dim: w.len(), checksum, file })
+    }
+
+    /// Fsyncs the registry directory so renames/creations are durable.
+    fn sync_dir(&self) -> DbResult<()> {
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Loads `(name, version)`; `version: None` loads the latest. The
+    /// artifact's checksum is re-verified on the first load of a version,
+    /// and the load is bit-exact.
+    ///
+    /// # Errors
+    /// [`DbError::ModelNotFound`] for an unknown name or version;
+    /// [`DbError::Corrupt`] when the artifact fails its checksum.
+    pub fn load(&self, name: &str, version: Option<u64>) -> DbResult<Vec<f64>> {
+        self.load_versioned(name, version).map(|(_, w)| w.as_ref().clone())
+    }
+
+    /// [`ModelRegistry::load`], also returning which version was resolved
+    /// — in the *same* locked snapshot that picked it, so "latest" cannot
+    /// race a concurrent commit — and sharing the decoded weights
+    /// (versions are immutable, so each is read from disk exactly once).
+    ///
+    /// # Errors
+    /// See [`ModelRegistry::load`].
+    pub fn load_versioned(
+        &self,
+        name: &str,
+        version: Option<u64>,
+    ) -> DbResult<(u64, Arc<Vec<f64>>)> {
+        let (version, entry) = {
+            let state = self.state.lock().expect("registry lock");
+            let versions =
+                state.get(name).ok_or_else(|| DbError::ModelNotFound(name.to_string()))?;
+            let version = match version {
+                Some(v) => v,
+                None => *versions.keys().next_back().expect("no empty version maps"),
+            };
+            let entry = versions
+                .get(&version)
+                .cloned()
+                .ok_or_else(|| DbError::ModelNotFound(format!("{name} version {version}")))?;
+            (version, entry)
+        };
+        let key = (name.to_string(), version);
+        if let Some(w) = self.cache.lock().expect("cache lock").get(&key) {
+            return Ok((version, Arc::clone(w)));
+        }
+        let path = self.dir.join(&entry.file);
+        let bytes = fs::read(&path)?;
+        if model_io::checksum64(&bytes) != entry.checksum {
+            return Err(DbError::Corrupt(format!(
+                "model artifact {} fails its manifest checksum",
+                path.display()
+            )));
+        }
+        let w = model_io::load_linear(&bytes[..]).map_err(|e| model_err(e.to_string()))?;
+        if w.len() != entry.dim {
+            return Err(DbError::Corrupt(format!(
+                "model artifact {} has dim {}, manifest says {}",
+                path.display(),
+                w.len(),
+                entry.dim
+            )));
+        }
+        let w = Arc::new(w);
+        self.cache.lock().expect("cache lock").insert(key, Arc::clone(&w));
+        Ok((version, w))
+    }
+
+    /// Latest committed version of `name`, if any.
+    pub fn latest(&self, name: &str) -> Option<u64> {
+        let state = self.state.lock().expect("registry lock");
+        state.get(name).and_then(|versions| versions.keys().next_back().copied())
+    }
+
+    /// Whether `(name, version)` is committed.
+    pub fn contains(&self, name: &str, version: u64) -> bool {
+        let state = self.state.lock().expect("registry lock");
+        state.get(name).is_some_and(|versions| versions.contains_key(&version))
+    }
+
+    /// Every committed version, sorted by name then version.
+    pub fn list(&self) -> Vec<ModelVersion> {
+        let state = self.state.lock().expect("registry lock");
+        state
+            .iter()
+            .flat_map(|(name, versions)| {
+                versions.iter().map(|(&version, entry)| ModelVersion {
+                    name: name.clone(),
+                    version,
+                    dim: entry.dim,
+                })
+            })
+            .collect()
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+}
+
+/// Parses `v1 <name> <version> <dim> <checksum> <file>`; `None` on any
+/// deviation (the replay-time "skip torn lines" policy).
+fn parse_manifest_line(line: &str) -> Option<(String, u64, Entry)> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "v1" {
+        return None;
+    }
+    let name = parts.next()?.to_string();
+    if !valid_name(&name) {
+        return None;
+    }
+    let version: u64 = parts.next()?.parse().ok().filter(|&v| v >= 1)?;
+    let dim: usize = parts.next()?.parse().ok().filter(|&d| d >= 1)?;
+    let checksum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let file = parts.next()?.to_string();
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((name, version, Entry { dim, checksum, file }))
+}
+
+fn verify_artifact(path: &Path, checksum: u64) -> bool {
+    fs::read(path).is_ok_and(|bytes| model_io::checksum64(&bytes) == checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_registry(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bolton-registry-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_exact() {
+        let dir = temp_registry("roundtrip");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        let w = vec![1.0, -2.5, f64::MIN_POSITIVE, 1e300, -0.0];
+        let v = reg.save("m", None, &w).unwrap();
+        assert_eq!(v, 1);
+        let back = reg.load("m", Some(1)).unwrap();
+        for (a, b) in w.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn versions_auto_increment_and_are_immutable() {
+        let dir = temp_registry("versions");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.save("m", None, &[1.0]).unwrap(), 1);
+        assert_eq!(reg.save("m", None, &[2.0]).unwrap(), 2);
+        assert_eq!(reg.save("m", Some(7), &[3.0]).unwrap(), 7);
+        assert_eq!(reg.save("m", None, &[4.0]).unwrap(), 8);
+        assert!(matches!(reg.save("m", Some(2), &[9.0]), Err(DbError::Model(_))));
+        assert_eq!(reg.latest("m"), Some(8));
+        assert_eq!(reg.load("m", None).unwrap(), vec![4.0]);
+        assert_eq!(reg.load("m", Some(7)).unwrap(), vec![3.0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_survives_reopen() {
+        let dir = temp_registry("reopen");
+        {
+            let reg = ModelRegistry::open(&dir).unwrap();
+            reg.save("a", None, &[0.25, -0.75]).unwrap();
+            reg.save("b", Some(3), &[1.5]).unwrap();
+        }
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.load("a", None).unwrap(), vec![0.25, -0.75]);
+        assert_eq!(reg.load("b", Some(3)).unwrap(), vec![1.5]);
+        assert_eq!(
+            reg.list(),
+            vec![
+                ModelVersion { name: "a".into(), version: 1, dim: 2 },
+                ModelVersion { name: "b".into(), version: 3, dim: 1 },
+            ]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_write_and_rename_leaves_old_version_intact() {
+        let dir = temp_registry("crash-tmp");
+        {
+            let reg = ModelRegistry::open(&dir).unwrap();
+            reg.save("m", None, &[1.0, 2.0]).unwrap();
+        }
+        // Simulate a crash mid-commit of v2: the temp artifact was written
+        // but never renamed, and no manifest line was appended.
+        fs::write(dir.join("m.v2.model.tmp"), b"half-written artifact").unwrap();
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.latest("m"), Some(1));
+        assert_eq!(reg.load("m", None).unwrap(), vec![1.0, 2.0]);
+        assert!(!dir.join("m.v2.model.tmp").exists(), "tmp leftovers are cleaned up");
+        assert_eq!(reg.save("m", None, &[3.0, 4.0]).unwrap(), 2, "v2 is assignable again");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_rename_and_manifest_append_is_ignored() {
+        let dir = temp_registry("crash-manifest");
+        {
+            let reg = ModelRegistry::open(&dir).unwrap();
+            reg.save("m", None, &[1.0]).unwrap();
+        }
+        // Artifact renamed into place, but the commit (manifest append)
+        // never happened — the registry must not serve it.
+        fs::write(dir.join("m.v2.model"), bolton::model_io::save_linear_to_vec(&[9.0])).unwrap();
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.latest("m"), Some(1));
+        assert!(matches!(reg.load("m", Some(2)), Err(DbError::ModelNotFound(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_line_is_skipped() {
+        let dir = temp_registry("torn-line");
+        {
+            let reg = ModelRegistry::open(&dir).unwrap();
+            reg.save("m", None, &[1.0]).unwrap();
+        }
+        // A crash mid-append leaves a truncated final line.
+        let mut log = OpenOptions::new().append(true).open(dir.join(MANIFEST_FILE)).unwrap();
+        write!(log, "v1 m 2 1 deadbeef").unwrap(); // no file column, no newline
+        drop(log);
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.latest("m"), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_artifact_fails_checksum() {
+        let dir = temp_registry("bitrot");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        reg.save("m", None, &[1.0, 2.0, 3.0]).unwrap();
+        // Flip a byte in the committed artifact.
+        let path = dir.join("m.v1.model");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] = bytes[last].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(reg.load("m", None), Err(DbError::Corrupt(_))));
+        // Reopening drops the rotted version entirely.
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(reg.latest("m"), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_names_and_versions_rejected() {
+        let dir = temp_registry("invalid");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert!(matches!(reg.save("", None, &[1.0]), Err(DbError::Model(_))));
+        assert!(matches!(reg.save("../evil", None, &[1.0]), Err(DbError::Model(_))));
+        assert!(matches!(reg.save("m", Some(0), &[1.0]), Err(DbError::Model(_))));
+        assert!(matches!(reg.save("m", None, &[]), Err(DbError::Model(_))));
+        assert!(matches!(reg.load("ghost", None), Err(DbError::ModelNotFound(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,593 @@
+//! The serving loop: a line-protocol SQL server over a shared [`Db`].
+//!
+//! ## Protocol
+//!
+//! One statement per line (UTF-8, `\n`-terminated). For every statement
+//! the server writes zero or more data lines, each prefixed `* `, then
+//! exactly one terminator line:
+//!
+//! ```text
+//! ok [key=value …]     success, with a result summary
+//! err <message>        failure (the connection stays usable)
+//! ```
+//!
+//! e.g. `SELECT COUNT(*) FROM t` → `ok count=1000`; `EVAL MODEL m VERSION
+//! 1 ON t` → `ok rows=1000 acc=0.947 auc=0.986`; `SHOW TABLES` → one `* `
+//! line per table then `ok count=N`. Floats are printed in Rust's
+//! shortest round-trip form, so a client can compare responses exactly.
+//! `\q` (or `quit`) closes the connection; `SHUTDOWN` stops the whole
+//! server after answering `ok bye`.
+//!
+//! ## Concurrency
+//!
+//! Thread-per-connection: each accepted connection gets a
+//! [`Session`], so statements from different clients interleave under the
+//! [`crate::db`] locking discipline (readers `EVAL`/`SELECT` while a
+//! writer `TRAIN`s). Heavy statements fan out internally on the shared
+//! [`bolton_sgd::pool`] worker pool, so a single connection's batch score
+//! or training pass still uses every core.
+//!
+//! Listens on TCP (`127.0.0.1:5433`) or, with an `unix:/path` address, a
+//! Unix domain socket.
+
+use crate::db::Db;
+use crate::error::{DbError, DbResult};
+use crate::session::Session;
+use crate::sql::{self, QueryResult, Statement};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration (see the `BOLTON_SERVE_*` environment knobs in
+/// the `bismarck_serve` binary).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// `host:port` for TCP, or `unix:/path/to.sock` for a Unix socket.
+    /// Port 0 binds an ephemeral port (reported by
+    /// [`RunningServer::addr`]).
+    pub addr: String,
+    /// Connections beyond this answer `err server at connection limit`
+    /// and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), max_connections: 64 }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// One accepted connection (either transport), readable and writable.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn unix_path(addr: &str) -> Option<&str> {
+    addr.strip_prefix("unix:")
+}
+
+fn connect(addr: &str) -> std::io::Result<Conn> {
+    match unix_path(addr) {
+        #[cfg(unix)]
+        Some(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        #[cfg(not(unix))]
+        Some(_) => Err(std::io::Error::other("unix sockets are not supported here")),
+        None => Ok(Conn::Tcp(TcpStream::connect(addr)?)),
+    }
+}
+
+/// A handle on a running server: its bound address and a clean stop.
+pub struct RunningServer {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    socket_file: Option<PathBuf>,
+}
+
+impl RunningServer {
+    /// The address clients connect to (the actual bound port when the
+    /// config asked for `:0`; `unix:/path` for Unix sockets).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether a `SHUTDOWN` statement (or [`RunningServer::stop`]) has
+    /// stopped the accept loop.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. Connections
+    /// already being served finish their current statement and then fail
+    /// on their next read/write.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    /// Blocks until the accept loop exits (a client issued `SHUTDOWN`).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.cleanup_socket();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = connect(&self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.cleanup_socket();
+    }
+
+    fn cleanup_socket(&mut self) {
+        if let Some(path) = self.socket_file.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// Starts serving `db` per `config`, returning immediately with a handle.
+///
+/// # Errors
+/// Bind failures.
+pub fn serve(db: Arc<Db>, config: &ServerConfig) -> DbResult<RunningServer> {
+    let (listener, addr, socket_file) = match unix_path(&config.addr) {
+        #[cfg(unix)]
+        Some(path) => {
+            let path_buf = PathBuf::from(path);
+            // A leftover socket file from a previous run blocks bind.
+            let _ = std::fs::remove_file(&path_buf);
+            let listener = UnixListener::bind(&path_buf)?;
+            (Listener::Unix(listener), config.addr.clone(), Some(path_buf))
+        }
+        #[cfg(not(unix))]
+        Some(_) => {
+            return Err(DbError::Io(std::io::Error::other(
+                "unix sockets are not supported on this platform",
+            )))
+        }
+        None => {
+            let listener = TcpListener::bind(&config.addr)?;
+            let addr = listener.local_addr()?.to_string();
+            (Listener::Tcp(listener), addr, None)
+        }
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let max_connections = config.max_connections.max(1);
+    let accept = {
+        let db = Arc::clone(&db);
+        let shutdown = Arc::clone(&shutdown);
+        let server_addr = addr.clone();
+        std::thread::Builder::new()
+            .name("bismarck-accept".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &db, &shutdown, &active, max_connections, &server_addr)
+            })
+            .expect("spawn accept thread")
+    };
+    Ok(RunningServer { addr, shutdown, accept: Some(accept), socket_file })
+}
+
+fn accept_loop(
+    listener: &Listener,
+    db: &Arc<Db>,
+    shutdown: &Arc<AtomicBool>,
+    active: &Arc<AtomicUsize>,
+    max_connections: usize,
+    server_addr: &str,
+) {
+    loop {
+        let conn = match listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut conn) = conn else {
+            // Persistent accept errors (EMFILE under fd pressure, …) must
+            // not busy-spin the accept thread at 100% CPU.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            continue;
+        };
+        if active.load(Ordering::SeqCst) >= max_connections {
+            let _ = writeln!(conn, "err server at connection limit ({max_connections})");
+            continue;
+        }
+        // A drop guard (not a trailing fetch_sub) releases the slot, so a
+        // panicking statement — or a failed spawn — can never leak it.
+        let slot = ConnectionSlot(Arc::clone(active));
+        active.fetch_add(1, Ordering::SeqCst);
+        let db = Arc::clone(db);
+        let shutdown = Arc::clone(shutdown);
+        let server_addr = server_addr.to_string();
+        let _ = std::thread::Builder::new().name("bismarck-conn".to_string()).spawn(move || {
+            let _slot = slot;
+            handle_connection(conn, &db, &shutdown, &server_addr);
+        });
+    }
+}
+
+/// Owns one slot of the connection budget; dropping it (normal return,
+/// connection-thread panic, or a spawn failure) releases the slot.
+struct ConnectionSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Per-statement byte cap: a client streaming bytes without a newline
+/// must not grow server memory without bound.
+const MAX_STATEMENT_BYTES: usize = 64 * 1024;
+
+/// One bounded line read.
+enum LineRead {
+    Line(String),
+    Eof,
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `max` bytes.
+fn read_line_capped(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            return Ok(if buf.len() > max {
+                LineRead::TooLong
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        buf.extend_from_slice(available);
+        let consumed = available.len();
+        reader.consume(consumed);
+        if buf.len() > max {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+fn handle_connection(conn: Conn, db: &Arc<Db>, shutdown: &Arc<AtomicBool>, server_addr: &str) {
+    let Ok(read_half) = conn.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    // Buffer the write half: a multi-line response (SHOW TABLES, LIST
+    // MODELS, ANALYZE) flushes once per statement, not once per line.
+    let mut writer = std::io::BufWriter::new(conn);
+    let mut session = Session::new(Arc::clone(db));
+    loop {
+        let line = match read_line_capped(&mut reader, MAX_STATEMENT_BYTES) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Eof) | Err(_) => break,
+            Ok(LineRead::TooLong) => {
+                // The remainder of the oversized line is still in flight;
+                // closing the connection is the only bounded response.
+                let _ = writeln!(writer, "err statement exceeds {MAX_STATEMENT_BYTES} bytes");
+                let _ = writer.flush();
+                break;
+            }
+        };
+        let statement = line.trim();
+        if statement.is_empty() {
+            continue;
+        }
+        if statement == "\\q" || statement.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        let outcome = sql::parse(statement).and_then(|stmt| {
+            if matches!(stmt, Statement::Shutdown) {
+                Ok(None)
+            } else {
+                session.execute(&stmt).map(Some)
+            }
+        });
+        let io = match outcome {
+            Ok(None) => {
+                // SHUTDOWN: answer, then stop the accept loop.
+                let io = writeln!(writer, "ok bye").and_then(|()| writer.flush());
+                shutdown.store(true, Ordering::SeqCst);
+                let _ = connect(server_addr); // wake the accept loop
+                let _ = io;
+                break;
+            }
+            Ok(Some(result)) => write_result(&mut writer, &result),
+            Err(e) => writeln!(writer, "err {e}"),
+        };
+        if io.and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Encodes one [`QueryResult`] onto the wire (data lines + terminator).
+fn write_result(w: &mut impl Write, result: &QueryResult) -> std::io::Result<()> {
+    match result {
+        QueryResult::Ok => writeln!(w, "ok"),
+        QueryResult::Count(n) => writeln!(w, "ok count={n}"),
+        QueryResult::Scalar(Some(v)) => writeln!(w, "ok scalar={v:?}"),
+        QueryResult::Scalar(None) => writeln!(w, "ok null"),
+        QueryResult::Names(names) => {
+            for name in names {
+                writeln!(w, "* {name}")?;
+            }
+            writeln!(w, "ok count={}", names.len())
+        }
+        QueryResult::Histogram(bins) => {
+            for (label, count) in bins {
+                writeln!(w, "* {label} {count}")?;
+            }
+            writeln!(w, "ok count={}", bins.len())
+        }
+        QueryResult::Stats(cols) => {
+            for (i, c) in cols.iter().enumerate() {
+                let name = if i + 1 == cols.len() { "label".to_string() } else { format!("f{i}") };
+                writeln!(
+                    w,
+                    "* {name} min={:?} max={:?} mean={:?} std={:?}",
+                    c.min, c.max, c.mean, c.std_dev
+                )?;
+            }
+            writeln!(w, "ok count={}", cols.len())
+        }
+        QueryResult::Trained { model, accuracy } => {
+            writeln!(w, "ok trained={model} acc={accuracy:?}")
+        }
+        QueryResult::Scores { rows, accuracy, auc } => {
+            writeln!(w, "ok rows={rows} acc={accuracy:?} auc={auc:?}")
+        }
+        QueryResult::ModelVersioned { model, version, dim } => {
+            writeln!(w, "ok model={model} version={version} dim={dim}")
+        }
+        QueryResult::Models(models) => {
+            for m in models {
+                writeln!(w, "* {} v{} dim={}", m.name, m.version, m.dim)?;
+            }
+            writeln!(w, "ok count={}", models.len())
+        }
+    }
+}
+
+/// A line-protocol client: sends one statement, reads data lines until
+/// the `ok`/`err` terminator. Used by the `bismarck_serve --client` mode,
+/// the CI smoke, and the tests.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl Client {
+    /// Connects to a serving address (`host:port` or `unix:/path`).
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: &str) -> DbResult<Self> {
+        let conn = connect(addr)?;
+        let read_half = conn.try_clone()?;
+        Ok(Self { reader: BufReader::new(read_half), writer: conn })
+    }
+
+    /// Sends one statement and collects the full response: data lines
+    /// first, terminator (`ok …` / `err …`) last.
+    ///
+    /// # Errors
+    /// I/O failures or a server that hangs up mid-response.
+    pub fn request(&mut self, statement: &str) -> DbResult<Vec<String>> {
+        writeln!(self.writer, "{statement}")?;
+        self.writer.flush()?;
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(DbError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                )));
+            }
+            let line = line.trim_end().to_string();
+            let done = line.starts_with("ok") || line.starts_with("err");
+            lines.push(line);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+
+    /// [`Client::request`], returning just the terminator line and
+    /// erroring on `err`.
+    ///
+    /// # Errors
+    /// I/O failures, or [`DbError::Parse`] carrying the server's `err`
+    /// message.
+    pub fn expect_ok(&mut self, statement: &str) -> DbResult<String> {
+        let lines = self.request(statement)?;
+        let last = lines.last().expect("request returns at least the terminator").clone();
+        if last.starts_with("err") {
+            return Err(DbError::Parse(format!("server: {last}")));
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_server() -> (RunningServer, Arc<Db>) {
+        let db = Arc::new(Db::new());
+        let server = serve(Arc::clone(&db), &ServerConfig::default()).unwrap();
+        (server, db)
+    }
+
+    #[test]
+    fn single_client_session_end_to_end() {
+        let (server, _db) = spawn_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.expect_ok("CREATE TABLE t (DIM 3)").unwrap(), "ok");
+        assert_eq!(client.expect_ok("SYNTH t ROWS 200 SEED 5 NOISE 0.1").unwrap(), "ok");
+        assert_eq!(client.expect_ok("SELECT COUNT(*) FROM t").unwrap(), "ok count=200");
+        let trained = client.expect_ok("TRAIN m ON t ALGO noiseless PASSES 2 SEED 1").unwrap();
+        assert!(trained.starts_with("ok trained=m acc="), "{trained}");
+        let eval = client.expect_ok("EVAL m ON t").unwrap();
+        assert!(eval.starts_with("ok rows=200 acc="), "{eval}");
+        // Errors keep the connection usable.
+        let lines = client.request("SELECT COUNT(*) FROM ghost").unwrap();
+        assert!(lines.last().unwrap().starts_with("err"), "{lines:?}");
+        assert_eq!(client.expect_ok("SELECT COUNT(*) FROM t").unwrap(), "ok count=200");
+        // Multi-line responses.
+        let lines = client.request("SHOW TABLES").unwrap();
+        assert_eq!(lines, vec!["* t".to_string(), "ok count=1".to_string()]);
+        server.stop();
+    }
+
+    #[test]
+    fn sessions_share_the_db_and_shutdown_stops_the_server() {
+        let (server, _db) = spawn_server();
+        let addr = server.addr().to_string();
+        let mut a = Client::connect(&addr).unwrap();
+        let mut b = Client::connect(&addr).unwrap();
+        a.expect_ok("CREATE TABLE t (DIM 2)").unwrap();
+        a.expect_ok("INSERT INTO t VALUES (0.5, -0.5, 1)").unwrap();
+        // The second session sees the first session's table at once.
+        assert_eq!(b.expect_ok("SELECT COUNT(*) FROM t").unwrap(), "ok count=1");
+        // Prepared statements stay per-session.
+        a.expect_ok("PREPARE q AS SELECT COUNT(*) FROM t").unwrap();
+        assert!(b.expect_ok("EXECUTE q").is_err());
+        assert_eq!(a.expect_ok("EXECUTE q").unwrap(), "ok count=1");
+        // SHUTDOWN answers, then the accept loop exits.
+        assert_eq!(b.expect_ok("SHUTDOWN").unwrap(), "ok bye");
+        server.wait();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_transport_works() {
+        let path = std::env::temp_dir().join(format!(
+            "bolton-serve-{}-{:?}.sock",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let config = ServerConfig { addr: format!("unix:{}", path.display()), max_connections: 4 };
+        let db = Arc::new(Db::new());
+        let server = serve(db, &config).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        client.expect_ok("CREATE TABLE u (DIM 2)").unwrap();
+        assert_eq!(client.expect_ok("SELECT COUNT(*) FROM u").unwrap(), "ok count=0");
+        server.stop();
+        assert!(!path.exists(), "socket file is cleaned up");
+    }
+
+    #[test]
+    fn oversized_statements_close_the_connection() {
+        let (server, _db) = spawn_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let huge = format!("SELECT COUNT(*) FROM {}", "x".repeat(MAX_STATEMENT_BYTES));
+        match client.request(&huge) {
+            Ok(lines) => {
+                assert!(lines.last().unwrap().starts_with("err statement exceeds"), "{lines:?}")
+            }
+            Err(DbError::Io(_)) => {} // server hung up before the err line arrived
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+        // A fresh connection still works.
+        let mut again = Client::connect(server.addr()).unwrap();
+        again.expect_ok("CREATE TABLE ok_table (DIM 1)").unwrap();
+        server.stop();
+    }
+
+    #[test]
+    fn connection_limit_is_enforced() {
+        let db = Arc::new(Db::new());
+        let config = ServerConfig { addr: "127.0.0.1:0".into(), max_connections: 1 };
+        let server = serve(db, &config).unwrap();
+        let mut first = Client::connect(server.addr()).unwrap();
+        first.expect_ok("CREATE TABLE t (DIM 1)").unwrap();
+        // While the first connection is alive, a second is turned away.
+        let mut second = Client::connect(server.addr()).unwrap();
+        let outcome = second.request("SELECT COUNT(*) FROM t");
+        match outcome {
+            Ok(lines) => assert!(
+                lines.last().unwrap().starts_with("err server at connection limit"),
+                "{lines:?}"
+            ),
+            Err(DbError::Io(_)) => {} // server already hung up
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        drop(second);
+        server.stop();
+    }
+}

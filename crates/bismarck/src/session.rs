@@ -1,0 +1,456 @@
+//! Per-connection sessions over a shared [`Db`], plus the batch-scoring
+//! entry point.
+//!
+//! A [`Session`] executes the full SQL surface of [`crate::sql`]: the
+//! single-session statements (CREATE/SYNTH/INSERT/SELECT/…) and the
+//! serving statements (TRAIN/EVAL/SAVE MODEL/LOAD MODEL/LIST MODELS/
+//! PREPARE/EXECUTE). Any number of sessions run concurrently against one
+//! `Db`; the locking discipline lives in [`crate::db`].
+//!
+//! Prepared statements are session-local: `PREPARE q AS SELECT AVG($1)
+//! FROM t` stores a token template, `EXECUTE q (3)` substitutes `$1…$n`
+//! token-exactly and runs the resulting statement.
+
+use crate::db::Db;
+use crate::error::{DbError, DbResult};
+use crate::heap::Backing;
+use crate::sql::{self, QueryResult, Statement, TrainAlgo, TrainStmt};
+use crate::synth::{synthesize, SynthSpec};
+use crate::table::{Table, DEFAULT_POOL_PAGES};
+use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
+use bolton::Budget;
+use bolton_sgd::metrics;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Scores every row of `table` against a linear model, in parallel on the
+/// process-global worker pool ([`bolton_sgd::pool`]). Returns the margin
+/// `⟨w, x_i⟩` per row, in row order — the Rust-level batch-scoring entry
+/// point behind `EVAL MODEL … ON …`.
+///
+/// # Panics
+/// Panics if `model.len() != table.dim()` or on storage errors mid-scan
+/// (the established scan contract).
+pub fn score_batch(model: &[f64], table: &Table) -> Vec<f64> {
+    score_batch_with_labels(model, table).0
+}
+
+/// [`score_batch`], also returning the label per row (one parallel pass
+/// feeds accuracy and AUC without re-scanning).
+///
+/// # Panics
+/// See [`score_batch`].
+pub fn score_batch_with_labels(model: &[f64], table: &Table) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(
+        model.len(),
+        table.dim(),
+        "model dim {} does not match table dim {}",
+        model.len(),
+        table.dim()
+    );
+    let n = table.row_count();
+    let runner = bolton_sgd::pool::runner();
+    // The caller participates, so threads+1 ranges keep everyone busy.
+    // Each range scans page-wise (one latch + snapshot per page via
+    // scan_range), so the fan-out contends on the table's pool latch per
+    // page, not per row.
+    let chunks = runner.run_ranges(n, runner.threads() + 1, |lo, hi| {
+        let mut scores = Vec::with_capacity(hi - lo);
+        let mut labels = Vec::with_capacity(hi - lo);
+        table
+            .scan_range(lo, hi, &mut |_, x, y| {
+                scores.push(metrics::score(model, x));
+                labels.push(y);
+            })
+            .unwrap_or_else(|e| panic!("score_batch: rows [{lo}, {hi}): {e}"));
+        (scores, labels)
+    });
+    let mut scores = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for (s, l) in chunks {
+        scores.extend_from_slice(&s);
+        labels.extend_from_slice(&l);
+    }
+    (scores, labels)
+}
+
+fn algorithm_kind(algo: TrainAlgo) -> AlgorithmKind {
+    match algo {
+        TrainAlgo::Noiseless => AlgorithmKind::Noiseless,
+        TrainAlgo::BoltOn => AlgorithmKind::BoltOn,
+        TrainAlgo::Scs13 => AlgorithmKind::Scs13,
+        TrainAlgo::Bst14 => AlgorithmKind::Bst14,
+        TrainAlgo::ObjectivePerturbation => AlgorithmKind::ObjectivePerturbation,
+    }
+}
+
+/// One client's connection state: a handle on the shared [`Db`] plus the
+/// session-local prepared statements.
+pub struct Session {
+    db: Arc<Db>,
+    prepared: BTreeMap<String, (String, usize)>,
+}
+
+impl Session {
+    /// Opens a session over `db`.
+    pub fn new(db: Arc<Db>) -> Self {
+        Self { db, prepared: BTreeMap::new() }
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// Parses and executes one statement.
+    ///
+    /// # Errors
+    /// Parse or execution errors.
+    pub fn run(&mut self, input: &str) -> DbResult<QueryResult> {
+        let stmt = sql::parse(input)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes one parsed statement.
+    ///
+    /// # Errors
+    /// Catalog/storage/model errors.
+    pub fn execute(&mut self, stmt: &Statement) -> DbResult<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, dim, disk } => {
+                let backing = if *disk { Backing::TempFile } else { Backing::Memory };
+                self.db.create_table(name, *dim, backing, DEFAULT_POOL_PAGES)?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::CreateTableFromStore { name, path, disk } => {
+                if self.db.table(name).is_ok() {
+                    return Err(DbError::TableExists(name.clone()));
+                }
+                let table = sql::table_from_store(name, path, *disk, DEFAULT_POOL_PAGES)?;
+                let rows = table.row_count();
+                self.db.register_table(table)?;
+                Ok(QueryResult::Count(rows))
+            }
+            Statement::Synth { name, rows, seed, noise } => {
+                // Hold the table's write lock for the whole rebuild: the
+                // emptiness check, synthesis, and swap are one atomic
+                // write, so no concurrent INSERT/DROP can interleave
+                // (check-then-act through the same guard).
+                let handle = self.db.table(name)?;
+                let mut table = handle.write().expect("table lock");
+                if table.row_count() != 0 {
+                    return Err(DbError::Parse(format!("SYNTH target '{name}' is not empty")));
+                }
+                let spec = SynthSpec {
+                    rows: *rows,
+                    dim: table.dim(),
+                    label_noise: *noise,
+                    feature_scale: 1.0,
+                };
+                let backing = table.backing().clone();
+                let mut rng = bolton_rng::seeded(*seed);
+                *table = synthesize(name, &spec, backing, DEFAULT_POOL_PAGES, &mut rng)?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::Insert { name, values } => {
+                let handle = self.db.table(name)?;
+                let mut table = handle.write().expect("table lock");
+                sql::insert_values(&mut table, values)
+            }
+            Statement::Count { name } => {
+                let handle = self.db.table(name)?;
+                let table = handle.read().expect("table lock");
+                Ok(QueryResult::Count(table.row_count()))
+            }
+            Statement::Avg { name, column } => {
+                let handle = self.db.table(name)?;
+                let table = handle.read().expect("table lock");
+                sql::avg_column(&table, *column)
+            }
+            Statement::PrivateCount { name, eps, seed } => {
+                let handle = self.db.table(name)?;
+                let table = handle.read().expect("table lock");
+                sql::private_count(&table, *eps, *seed)
+            }
+            Statement::PrivateHistogram { name, eps, seed } => {
+                let handle = self.db.table(name)?;
+                let table = handle.read().expect("table lock");
+                sql::private_histogram(&table, *eps, *seed)
+            }
+            Statement::Shuffle { name, seed } => {
+                let handle = self.db.table(name)?;
+                let mut table = handle.write().expect("table lock");
+                let mut rng = bolton_rng::seeded(*seed);
+                table.shuffle(&mut rng)?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::DropTable { name } => {
+                self.db.drop_table(name)?;
+                Ok(QueryResult::Ok)
+            }
+            Statement::CopyFrom { name, path } => {
+                let handle = self.db.table(name)?;
+                let mut table = handle.write().expect("table lock");
+                sql::copy_from(&mut table, path)
+            }
+            Statement::CopyTo { name, path } => {
+                let handle = self.db.table(name)?;
+                let table = handle.read().expect("table lock");
+                sql::copy_to(&table, path)
+            }
+            Statement::Analyze { name } => {
+                let handle = self.db.table(name)?;
+                let table = handle.read().expect("table lock");
+                sql::analyze(&table)
+            }
+            Statement::ShowTables => Ok(QueryResult::Names(self.db.table_names())),
+            Statement::Train(train) => self.train(train),
+            Statement::Eval { model, table } => {
+                let w = self.db.model(model)?;
+                self.eval(&w, table)
+            }
+            Statement::EvalModel { model, version, table } => {
+                let (_, w) = self.db.registry_required()?.load_versioned(model, *version)?;
+                self.eval(&w, table)
+            }
+            Statement::SaveModel { model, version } => {
+                let w = self.db.model(model)?;
+                let version = self.db.registry_required()?.save(model, *version, &w)?;
+                Ok(QueryResult::ModelVersioned { model: model.clone(), version, dim: w.len() })
+            }
+            Statement::LoadModel { model, version } => {
+                // load_versioned resolves "latest" and reads the weights
+                // under one registry snapshot, so the reported version
+                // always matches the loaded weights even against a
+                // concurrent SAVE MODEL.
+                let (version, w) = self.db.registry_required()?.load_versioned(model, *version)?;
+                let dim = w.len();
+                self.db.put_model(model, w.as_ref().clone());
+                Ok(QueryResult::ModelVersioned { model: model.clone(), version, dim })
+            }
+            Statement::ListModels => Ok(QueryResult::Models(self.db.registry_required()?.list())),
+            Statement::Prepare { name, template, params } => {
+                self.prepared.insert(name.clone(), (template.clone(), *params));
+                Ok(QueryResult::Ok)
+            }
+            Statement::Execute { name, args } => {
+                let (template, params) = self
+                    .prepared
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| DbError::Parse(format!("no prepared statement '{name}'")))?;
+                let concrete = sql::substitute_placeholders(&template, params, args)?;
+                let inner = sql::parse(&concrete)?;
+                if matches!(
+                    inner,
+                    Statement::Prepare { .. } | Statement::Execute { .. } | Statement::Shutdown
+                ) {
+                    return Err(DbError::Parse(
+                        "prepared statements cannot nest PREPARE/EXECUTE/SHUTDOWN".to_string(),
+                    ));
+                }
+                self.execute(&inner)
+            }
+            Statement::Shutdown => Err(DbError::Parse(
+                "SHUTDOWN is only available over a server connection".to_string(),
+            )),
+        }
+    }
+
+    /// `TRAIN`: fit (privately) on the table under its *read* lock — the
+    /// engine samples via permutation schemes, never by mutating the table
+    /// — then publish the model to the shared Db.
+    fn train(&mut self, stmt: &TrainStmt) -> DbResult<QueryResult> {
+        let algo = algorithm_kind(stmt.algo);
+        let budget = match (algo, stmt.eps) {
+            (AlgorithmKind::Noiseless, _) => None,
+            (_, Some(eps)) => Some(match stmt.delta {
+                Some(delta) => {
+                    Budget::approx(eps, delta).map_err(|e| DbError::Model(e.to_string()))?
+                }
+                None => Budget::pure(eps).map_err(|e| DbError::Model(e.to_string()))?,
+            }),
+            (_, None) => {
+                return Err(DbError::Model(format!(
+                    "algorithm '{:?}' is private and needs EPS",
+                    stmt.algo
+                )))
+            }
+        };
+        let handle = self.db.table(&stmt.table)?;
+        let table = handle.read().expect("table lock");
+        if table.row_count() == 0 {
+            return Err(DbError::Model(format!("table '{}' is empty", stmt.table)));
+        }
+        let plan = TrainPlan::new(LossKind::Logistic { lambda: stmt.lambda }, algo, budget)
+            .with_passes(stmt.passes)
+            .with_batch_size(stmt.batch);
+        let model = plan
+            .train(&*table, &mut bolton_rng::seeded(stmt.seed))
+            .map_err(|e| DbError::Model(e.to_string()))?;
+        let (scores, labels) = score_batch_with_labels(&model, &table);
+        let accuracy = metrics::accuracy_from_scores(&scores, &labels);
+        drop(table);
+        self.db.put_model(&stmt.model, model);
+        Ok(QueryResult::Trained { model: stmt.model.clone(), accuracy })
+    }
+
+    /// `EVAL`: one parallel scoring pass feeds both accuracy and AUC.
+    fn eval(&mut self, w: &[f64], table_name: &str) -> DbResult<QueryResult> {
+        let handle = self.db.table(table_name)?;
+        let table = handle.read().expect("table lock");
+        if w.len() != table.dim() {
+            return Err(DbError::SchemaMismatch { expected: table.dim(), got: w.len() });
+        }
+        let (scores, labels) = score_batch_with_labels(w, &table);
+        Ok(QueryResult::Scores {
+            rows: scores.len(),
+            accuracy: metrics::accuracy_from_scores(&scores, &labels),
+            auc: metrics::auc_from_scores(&scores, &labels),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bolton-session-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn session_with_data() -> Session {
+        let db = Arc::new(Db::new());
+        let mut s = Session::new(db);
+        s.run("CREATE TABLE t (DIM 4)").unwrap();
+        s.run("SYNTH t ROWS 600 SEED 7 NOISE 0.05").unwrap();
+        s
+    }
+
+    #[test]
+    fn classic_statements_run_through_a_session() {
+        let mut s = session_with_data();
+        assert_eq!(s.run("SELECT COUNT(*) FROM t").unwrap(), QueryResult::Count(600));
+        assert!(matches!(s.run("SELECT AVG(0) FROM t").unwrap(), QueryResult::Scalar(Some(_))));
+        assert_eq!(s.run("SHOW TABLES").unwrap(), QueryResult::Names(vec!["t".into()]));
+        s.run("SHUFFLE t SEED 3").unwrap();
+        s.run("DROP TABLE t").unwrap();
+        assert!(s.run("SELECT COUNT(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn train_then_eval_in_memory() {
+        let mut s = session_with_data();
+        let QueryResult::Trained { model, accuracy } =
+            s.run("TRAIN m ON t ALGO noiseless PASSES 4 BATCH 10 SEED 1").unwrap()
+        else {
+            panic!("expected Trained");
+        };
+        assert_eq!(model, "m");
+        assert!(accuracy > 0.8, "train accuracy {accuracy}");
+        let QueryResult::Scores { rows, accuracy: eval_acc, auc } = s.run("EVAL m ON t").unwrap()
+        else {
+            panic!("expected Scores");
+        };
+        assert_eq!(rows, 600);
+        assert_eq!(eval_acc, accuracy, "EVAL on the training table matches TRAIN's accuracy");
+        assert!(auc > 0.8, "AUC {auc}");
+        // Private training works through the same statement.
+        assert!(matches!(
+            s.run("TRAIN mp ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 2 SEED 2").unwrap(),
+            QueryResult::Trained { .. }
+        ));
+        // Private algorithms without EPS are rejected.
+        assert!(matches!(s.run("TRAIN bad ON t ALGO bolton"), Err(DbError::Model(_))));
+        // Unknown model / table errors are clean.
+        assert!(matches!(s.run("EVAL ghost ON t"), Err(DbError::ModelNotFound(_))));
+        assert!(matches!(s.run("EVAL m ON ghost"), Err(DbError::TableNotFound(_))));
+    }
+
+    #[test]
+    fn registry_statements_roundtrip() {
+        let dir = temp_dir("registry");
+        let db = Arc::new(Db::with_registry(&dir).unwrap());
+        let mut s = Session::new(db);
+        s.run("CREATE TABLE t (DIM 3)").unwrap();
+        s.run("SYNTH t ROWS 400 SEED 11 NOISE 0.05").unwrap();
+        s.run("TRAIN m ON t ALGO noiseless PASSES 3 SEED 5").unwrap();
+        let QueryResult::ModelVersioned { model, version, dim } = s.run("SAVE MODEL m").unwrap()
+        else {
+            panic!("expected ModelVersioned");
+        };
+        assert_eq!((model.as_str(), version, dim), ("m", 1, 3));
+        // EVAL MODEL serves the committed artifact; same table ⇒ same
+        // scores as the in-memory model.
+        let mem = s.run("EVAL m ON t").unwrap();
+        let reg = s.run("EVAL MODEL m VERSION 1 ON t").unwrap();
+        assert_eq!(mem, reg);
+        // LOAD republishes under the same name (bit-identical).
+        s.run("LOAD MODEL m VERSION 1").unwrap();
+        assert_eq!(s.run("EVAL m ON t").unwrap(), mem);
+        let QueryResult::Models(list) = s.run("LIST MODELS").unwrap() else {
+            panic!("expected Models");
+        };
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].name, "m");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_statements_need_a_registry() {
+        let mut s = session_with_data();
+        s.run("TRAIN m ON t ALGO noiseless PASSES 1").unwrap();
+        assert!(matches!(s.run("SAVE MODEL m"), Err(DbError::Model(_))));
+        assert!(matches!(s.run("LIST MODELS"), Err(DbError::Model(_))));
+    }
+
+    #[test]
+    fn prepared_statements_substitute_and_execute() {
+        let mut s = session_with_data();
+        s.run("PREPARE q AS SELECT AVG($1) FROM t").unwrap();
+        let direct = s.run("SELECT AVG(2) FROM t").unwrap();
+        assert_eq!(s.run("EXECUTE q (2)").unwrap(), direct);
+        // Param-count mismatches and unknown names error cleanly.
+        assert!(matches!(s.run("EXECUTE q"), Err(DbError::Parse(_))));
+        assert!(matches!(s.run("EXECUTE nope (1)"), Err(DbError::Parse(_))));
+        // Prepared statements are session-local.
+        let mut other = Session::new(Arc::clone(s.db()));
+        assert!(matches!(other.run("EXECUTE q (2)"), Err(DbError::Parse(_))));
+        // Parameterless prepared statements run too.
+        s.run("PREPARE c AS SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(s.run("EXECUTE c").unwrap(), QueryResult::Count(600));
+    }
+
+    #[test]
+    fn score_batch_matches_sequential_metrics() {
+        let mut s = session_with_data();
+        s.run("TRAIN m ON t ALGO noiseless PASSES 2 SEED 3").unwrap();
+        let w = s.db().model("m").unwrap();
+        let handle = s.db().table("t").unwrap();
+        let table = handle.read().expect("table lock");
+        let scores = score_batch(&w, &table);
+        assert_eq!(scores.len(), 600);
+        // Spot-check against the sequential scan metric path.
+        assert_eq!(
+            metrics::accuracy_from_scores(&scores, &score_batch_with_labels(&w, &table).1),
+            metrics::accuracy(w.as_slice(), &*table)
+        );
+        let mut buf = vec![0.0; 4];
+        for rid in [0usize, 17, 599] {
+            table.read_row(rid, &mut buf).unwrap();
+            assert_eq!(scores[rid], metrics::score(&w, &buf), "row {rid}");
+        }
+    }
+
+    #[test]
+    fn shutdown_is_server_only() {
+        let mut s = session_with_data();
+        assert!(matches!(s.run("SHUTDOWN"), Err(DbError::Parse(_))));
+    }
+}

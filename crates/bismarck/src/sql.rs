@@ -11,15 +11,81 @@
 //! DROP TABLE train;
 //! ```
 //!
+//! plus the serving statements executed by a [`crate::session::Session`]
+//! over a shared [`crate::db::Db`]:
+//!
+//! ```sql
+//! CREATE TABLE t FROM STORE '/data/kdd.rowstore' DISK;
+//! TRAIN m ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 10 BATCH 50;
+//! EVAL m ON t;                       -- session-memory model
+//! SAVE MODEL m;                      -- commit to the versioned registry
+//! EVAL MODEL m VERSION 1 ON t;       -- serve the committed artifact
+//! LIST MODELS;
+//! PREPARE q AS SELECT AVG($1) FROM t;
+//! EXECUTE q (3);
+//! ```
+//!
 //! Statements are case-insensitive on keywords; a trailing semicolon is
-//! optional.
+//! optional. Parse errors report the byte offset and the offending token.
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::heap::Backing;
 use crate::synth::{synthesize, SynthSpec};
-use crate::table::DEFAULT_POOL_PAGES;
+use crate::table::{Table, DEFAULT_POOL_PAGES};
 use crate::uda::{run_aggregate, AvgAggregate};
+
+/// Which training algorithm a `TRAIN` statement requests (mapped onto
+/// `bolton::api::AlgorithmKind` by the session executor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainAlgo {
+    /// No privacy — plain PSGD.
+    Noiseless,
+    /// The paper's bolt-on output perturbation.
+    BoltOn,
+    /// The SCS13 per-batch noise baseline.
+    Scs13,
+    /// The BST14 per-batch noise baseline.
+    Bst14,
+    /// Objective perturbation.
+    ObjectivePerturbation,
+}
+
+impl TrainAlgo {
+    fn parse(token: &str) -> Option<Self> {
+        match token.to_ascii_lowercase().as_str() {
+            "noiseless" => Some(Self::Noiseless),
+            "bolton" | "ours" => Some(Self::BoltOn),
+            "scs13" => Some(Self::Scs13),
+            "bst14" => Some(Self::Bst14),
+            "objpert" => Some(Self::ObjectivePerturbation),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `TRAIN` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainStmt {
+    /// Name the trained model is stored under (session-shared memory).
+    pub model: String,
+    /// Training table.
+    pub table: String,
+    /// Algorithm (default bolt-on).
+    pub algo: TrainAlgo,
+    /// Privacy budget ε (required for private algorithms).
+    pub eps: Option<f64>,
+    /// Privacy budget δ (optional; switches to approximate DP).
+    pub delta: Option<f64>,
+    /// L2 regularization λ.
+    pub lambda: f64,
+    /// Training passes.
+    pub passes: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
 
 /// A parsed statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,6 +96,16 @@ pub enum Statement {
         name: String,
         /// Feature dimensionality.
         dim: usize,
+        /// Disk-backed (temp file) vs in-memory.
+        disk: bool,
+    },
+    /// `CREATE TABLE name FROM STORE 'path' [MEMORY|DISK]` — load a
+    /// `bolton_data` row store into a served table.
+    CreateTableFromStore {
+        /// Table name.
+        name: String,
+        /// Row-store path.
+        path: String,
         /// Disk-backed (temp file) vs in-memory.
         disk: bool,
     },
@@ -116,6 +192,61 @@ pub enum Statement {
     },
     /// `SHOW TABLES`
     ShowTables,
+    /// `TRAIN model ON table [ALGO a] [EPS e] [DELTA d] [LAMBDA l]
+    /// [PASSES k] [BATCH b] [SEED s]`
+    Train(TrainStmt),
+    /// `EVAL model ON table` — score a session-memory model.
+    Eval {
+        /// Model name (in Db memory).
+        model: String,
+        /// Table to score.
+        table: String,
+    },
+    /// `EVAL MODEL m [VERSION n] ON table` — batch-score a registry model
+    /// (latest version when omitted).
+    EvalModel {
+        /// Registry model name.
+        model: String,
+        /// Registry version; `None` = latest.
+        version: Option<u64>,
+        /// Table to score.
+        table: String,
+    },
+    /// `SAVE MODEL m [VERSION n]` — commit a session-memory model to the
+    /// registry (next version when omitted).
+    SaveModel {
+        /// Model name.
+        model: String,
+        /// Version to commit as; `None` auto-assigns.
+        version: Option<u64>,
+    },
+    /// `LOAD MODEL m [VERSION n]` — load a registry model into Db memory.
+    LoadModel {
+        /// Model name.
+        model: String,
+        /// Registry version; `None` = latest.
+        version: Option<u64>,
+    },
+    /// `LIST MODELS` — committed registry versions.
+    ListModels,
+    /// `PREPARE name AS <statement template with $1…$n placeholders>`
+    Prepare {
+        /// Statement name (per session).
+        name: String,
+        /// Raw template text after `AS`.
+        template: String,
+        /// Number of `$k` placeholders (contiguous from `$1`).
+        params: usize,
+    },
+    /// `EXECUTE name [(v1, …, vn)]`
+    Execute {
+        /// Prepared-statement name.
+        name: String,
+        /// Values substituted for `$1…$n`.
+        args: Vec<String>,
+    },
+    /// `SHUTDOWN` — stop the serving process (server connections only).
+    Shutdown,
 }
 
 /// The result of executing a statement.
@@ -133,53 +264,94 @@ pub enum QueryResult {
     Histogram(Vec<(i64, u64)>),
     /// Per-column summaries (from ANALYZE); the last entry is the label.
     Stats(Vec<crate::uda::ColumnSummary>),
+    /// TRAIN output: the model name and its training accuracy.
+    Trained {
+        /// Model name (now in Db memory).
+        model: String,
+        /// Training accuracy on the source table.
+        accuracy: f64,
+    },
+    /// EVAL / EVAL MODEL output.
+    Scores {
+        /// Rows scored.
+        rows: usize,
+        /// Zero-one accuracy.
+        accuracy: f64,
+        /// Area under the ROC curve.
+        auc: f64,
+    },
+    /// SAVE MODEL / LOAD MODEL output.
+    ModelVersioned {
+        /// Model name.
+        model: String,
+        /// Registry version.
+        version: u64,
+        /// Weight dimensionality.
+        dim: usize,
+    },
+    /// LIST MODELS output.
+    Models(Vec<crate::registry::ModelVersion>),
 }
 
 fn parse_err(msg: impl Into<String>) -> DbError {
     DbError::Parse(msg.into())
 }
 
+/// A parse error anchored at a byte offset of the input statement.
+fn err_at(off: usize, msg: impl Into<String>) -> DbError {
+    DbError::Parse(format!("at byte {off}: {}", msg.into()))
+}
+
+/// One token plus the byte offset where it starts in the input.
+#[derive(Clone, Debug)]
+struct Tok {
+    text: String,
+    off: usize,
+}
+
 /// Tokenizes on whitespace, commas and parens (which become tokens).
-/// Single-quoted strings become one token with the quotes retained.
-fn tokenize(input: &str) -> Vec<String> {
+/// Single-quoted strings become one token with the quotes retained. Every
+/// token remembers its byte offset for error spans.
+fn tokenize(input: &str) -> Vec<Tok> {
     let mut tokens = Vec::new();
     let mut cur = String::new();
-    let mut chars = input.chars().peekable();
-    while let Some(ch) = chars.next() {
+    let mut cur_off = 0usize;
+    let mut chars = input.char_indices().peekable();
+    let flush = |cur: &mut String, cur_off: usize, tokens: &mut Vec<Tok>| {
+        if !cur.is_empty() {
+            tokens.push(Tok { text: std::mem::take(cur), off: cur_off });
+        }
+    };
+    while let Some((i, ch)) = chars.next() {
         if ch == '\'' {
-            if !cur.is_empty() {
-                tokens.push(std::mem::take(&mut cur));
-            }
+            flush(&mut cur, cur_off, &mut tokens);
             let mut quoted = String::from("'");
-            for qc in chars.by_ref() {
+            for (_, qc) in chars.by_ref() {
                 quoted.push(qc);
                 if qc == '\'' {
                     break;
                 }
             }
-            tokens.push(quoted);
+            tokens.push(Tok { text: quoted, off: i });
             continue;
         }
         match ch {
             '(' | ')' | ',' | ';' => {
-                if !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
-                }
+                flush(&mut cur, cur_off, &mut tokens);
                 if ch != ';' {
-                    tokens.push(ch.to_string());
+                    tokens.push(Tok { text: ch.to_string(), off: i });
                 }
             }
-            c if c.is_whitespace() => {
-                if !cur.is_empty() {
-                    tokens.push(std::mem::take(&mut cur));
+            c if c.is_whitespace() => flush(&mut cur, cur_off, &mut tokens),
+            c => {
+                if cur.is_empty() {
+                    cur_off = i;
                 }
+                cur.push(c);
             }
-            c => cur.push(c),
         }
     }
-    if !cur.is_empty() {
-        tokens.push(cur);
-    }
+    flush(&mut cur, cur_off, &mut tokens);
     tokens
 }
 
@@ -189,29 +361,38 @@ fn unquote(token: &str) -> Option<String> {
     Some(inner.to_string())
 }
 
-struct Parser {
-    tokens: Vec<String>,
+struct Parser<'a> {
+    tokens: Vec<Tok>,
     pos: usize,
+    input: &'a str,
 }
 
-impl Parser {
-    fn peek(&self) -> Option<&str> {
-        self.tokens.get(self.pos).map(String::as_str)
+impl Parser<'_> {
+    /// Byte offset of the next token (input length at end of statement).
+    fn off(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.input.len(), |t| t.off)
     }
 
-    fn next(&mut self) -> DbResult<&str> {
-        let tok =
-            self.tokens.get(self.pos).ok_or_else(|| parse_err("unexpected end of statement"))?;
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(|t| t.text.as_str())
+    }
+
+    fn next(&mut self) -> DbResult<Tok> {
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| err_at(self.input.len(), "unexpected end of statement"))?;
         self.pos += 1;
         Ok(tok)
     }
 
     fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
         let tok = self.next()?;
-        if tok.eq_ignore_ascii_case(kw) {
+        if tok.text.eq_ignore_ascii_case(kw) {
             Ok(())
         } else {
-            Err(parse_err(format!("expected '{kw}', found '{tok}'")))
+            Err(err_at(tok.off, format!("expected '{kw}', found '{}'", tok.text)))
         }
     }
 
@@ -226,33 +407,46 @@ impl Parser {
 
     fn ident(&mut self) -> DbResult<String> {
         let tok = self.next()?;
-        if tok.chars().all(|c| c.is_alphanumeric() || c == '_') && !tok.is_empty() {
-            Ok(tok.to_string())
+        if tok.text.chars().all(|c| c.is_alphanumeric() || c == '_') && !tok.text.is_empty() {
+            Ok(tok.text)
         } else {
-            Err(parse_err(format!("invalid identifier '{tok}'")))
+            Err(err_at(tok.off, format!("invalid identifier '{}'", tok.text)))
         }
     }
 
     fn number_usize(&mut self) -> DbResult<usize> {
         let tok = self.next()?;
-        tok.parse().map_err(|_| parse_err(format!("expected an integer, found '{tok}'")))
+        tok.text
+            .parse()
+            .map_err(|_| err_at(tok.off, format!("expected an integer, found '{}'", tok.text)))
     }
 
     fn number_u64(&mut self) -> DbResult<u64> {
         let tok = self.next()?;
-        tok.parse().map_err(|_| parse_err(format!("expected an integer, found '{tok}'")))
+        tok.text
+            .parse()
+            .map_err(|_| err_at(tok.off, format!("expected an integer, found '{}'", tok.text)))
     }
 
     fn number_f64(&mut self) -> DbResult<f64> {
         let tok = self.next()?;
-        tok.parse().map_err(|_| parse_err(format!("expected a number, found '{tok}'")))
+        tok.text
+            .parse()
+            .map_err(|_| err_at(tok.off, format!("expected a number, found '{}'", tok.text)))
+    }
+
+    fn quoted_path(&mut self) -> DbResult<String> {
+        let tok = self.next()?;
+        unquote(&tok.text)
+            .ok_or_else(|| err_at(tok.off, format!("expected a quoted path, found '{}'", tok.text)))
     }
 
     fn done(&self) -> DbResult<()> {
-        if self.pos == self.tokens.len() {
-            Ok(())
-        } else {
-            Err(parse_err(format!("trailing tokens starting at '{}'", self.tokens[self.pos])))
+        match self.tokens.get(self.pos) {
+            None => Ok(()),
+            Some(tok) => {
+                Err(err_at(tok.off, format!("trailing tokens starting at '{}'", tok.text)))
+            }
         }
     }
 }
@@ -260,25 +454,39 @@ impl Parser {
 /// Parses one statement.
 ///
 /// # Errors
-/// [`DbError::Parse`] with a description of the first problem found.
+/// [`DbError::Parse`] describing the first problem found, with the byte
+/// offset of the offending token (`at byte N: …`).
 pub fn parse(input: &str) -> DbResult<Statement> {
-    let mut p = Parser { tokens: tokenize(input), pos: 0 };
-    let head = p.next()?.to_ascii_uppercase();
+    let mut p = Parser { tokens: tokenize(input), pos: 0, input };
+    let head_tok = p.next()?;
+    let head = head_tok.text.to_ascii_uppercase();
     let stmt = match head.as_str() {
         "CREATE" => {
             p.expect_kw("TABLE")?;
             let name = p.ident()?;
-            p.expect_kw("(")?;
-            p.expect_kw("DIM")?;
-            let dim = p.number_usize()?;
-            p.expect_kw(")")?;
-            let disk = if p.accept_kw("DISK") {
-                true
+            if p.accept_kw("FROM") {
+                p.expect_kw("STORE")?;
+                let path = p.quoted_path()?;
+                let disk = if p.accept_kw("DISK") {
+                    true
+                } else {
+                    p.accept_kw("MEMORY");
+                    false
+                };
+                Statement::CreateTableFromStore { name, path, disk }
             } else {
-                p.accept_kw("MEMORY");
-                false
-            };
-            Statement::CreateTable { name, dim, disk }
+                p.expect_kw("(")?;
+                p.expect_kw("DIM")?;
+                let dim = p.number_usize()?;
+                p.expect_kw(")")?;
+                let disk = if p.accept_kw("DISK") {
+                    true
+                } else {
+                    p.accept_kw("MEMORY");
+                    false
+                };
+                Statement::CreateTable { name, dim, disk }
+            }
         }
         "SYNTH" => {
             let name = p.ident()?;
@@ -305,11 +513,15 @@ pub fn parse(input: &str) -> DbResult<Statement> {
             let mut values = Vec::new();
             loop {
                 values.push(p.number_f64()?);
-                match p.next()? {
+                let tok = p.next()?;
+                match tok.text.as_str() {
                     "," => continue,
                     ")" => break,
                     other => {
-                        return Err(parse_err(format!("expected ',' or ')', found '{other}'")))
+                        return Err(err_at(
+                            tok.off,
+                            format!("expected ',' or ')', found '{other}'"),
+                        ))
                     }
                 }
             }
@@ -317,7 +529,8 @@ pub fn parse(input: &str) -> DbResult<Statement> {
         }
         "SELECT" => {
             if p.accept_kw("PRIVATE") {
-                let func = p.next()?.to_ascii_uppercase();
+                let func_tok = p.next()?;
+                let func = func_tok.text.to_ascii_uppercase();
                 let stmt = match func.as_str() {
                     "COUNT" => {
                         p.expect_kw("(")?;
@@ -342,13 +555,17 @@ pub fn parse(input: &str) -> DbResult<Statement> {
                         Statement::PrivateHistogram { name, eps, seed }
                     }
                     other => {
-                        return Err(parse_err(format!("unsupported private aggregate '{other}'")))
+                        return Err(err_at(
+                            func_tok.off,
+                            format!("unsupported private aggregate '{other}'"),
+                        ))
                     }
                 };
                 p.done()?;
                 return Ok(stmt);
             }
-            let func = p.next()?.to_ascii_uppercase();
+            let func_tok = p.next()?;
+            let func = func_tok.text.to_ascii_uppercase();
             match func.as_str() {
                 "COUNT" => {
                     p.expect_kw("(")?;
@@ -366,7 +583,9 @@ pub fn parse(input: &str) -> DbResult<Statement> {
                     let name = p.ident()?;
                     Statement::Avg { name, column }
                 }
-                other => return Err(parse_err(format!("unsupported aggregate '{other}'"))),
+                other => {
+                    return Err(err_at(func_tok.off, format!("unsupported aggregate '{other}'")))
+                }
             }
         }
         "SHUFFLE" => {
@@ -381,14 +600,18 @@ pub fn parse(input: &str) -> DbResult<Statement> {
         }
         "COPY" => {
             let name = p.ident()?;
-            let direction = p.next()?.to_ascii_uppercase();
-            let path_tok = p.next()?.to_string();
-            let path = unquote(&path_tok)
-                .ok_or_else(|| parse_err(format!("expected a quoted path, found '{path_tok}'")))?;
+            let direction_tok = p.next()?;
+            let direction = direction_tok.text.to_ascii_uppercase();
+            let path = p.quoted_path()?;
             match direction.as_str() {
                 "FROM" => Statement::CopyFrom { name, path },
                 "TO" => Statement::CopyTo { name, path },
-                other => return Err(parse_err(format!("expected FROM or TO, found '{other}'"))),
+                other => {
+                    return Err(err_at(
+                        direction_tok.off,
+                        format!("expected FROM or TO, found '{other}'"),
+                    ))
+                }
             }
         }
         "ANALYZE" => {
@@ -399,13 +622,235 @@ pub fn parse(input: &str) -> DbResult<Statement> {
             p.expect_kw("TABLES")?;
             Statement::ShowTables
         }
-        other => return Err(parse_err(format!("unknown statement '{other}'"))),
+        "TRAIN" => {
+            let model = p.ident()?;
+            p.expect_kw("ON")?;
+            let table = p.ident()?;
+            let mut stmt = TrainStmt {
+                model,
+                table,
+                algo: TrainAlgo::BoltOn,
+                eps: None,
+                delta: None,
+                lambda: 0.0,
+                passes: 10,
+                batch: 50,
+                seed: 0,
+            };
+            while let Some(key) = p.peek().map(str::to_ascii_uppercase) {
+                match key.as_str() {
+                    "ALGO" => {
+                        p.pos += 1;
+                        let tok = p.next()?;
+                        stmt.algo = TrainAlgo::parse(&tok.text).ok_or_else(|| {
+                            err_at(tok.off, format!("unknown ALGO '{}'", tok.text))
+                        })?;
+                    }
+                    "EPS" => {
+                        p.pos += 1;
+                        stmt.eps = Some(p.number_f64()?);
+                    }
+                    "DELTA" => {
+                        p.pos += 1;
+                        stmt.delta = Some(p.number_f64()?);
+                    }
+                    "LAMBDA" => {
+                        p.pos += 1;
+                        stmt.lambda = p.number_f64()?;
+                    }
+                    "PASSES" => {
+                        p.pos += 1;
+                        stmt.passes = p.number_usize()?;
+                    }
+                    "BATCH" => {
+                        p.pos += 1;
+                        stmt.batch = p.number_usize()?;
+                    }
+                    "SEED" => {
+                        p.pos += 1;
+                        stmt.seed = p.number_u64()?;
+                    }
+                    _ => break,
+                }
+            }
+            Statement::Train(stmt)
+        }
+        "EVAL" => {
+            if p.accept_kw("MODEL") {
+                let model = p.ident()?;
+                let version = if p.accept_kw("VERSION") { Some(p.number_u64()?) } else { None };
+                p.expect_kw("ON")?;
+                let table = p.ident()?;
+                Statement::EvalModel { model, version, table }
+            } else {
+                let model = p.ident()?;
+                p.expect_kw("ON")?;
+                let table = p.ident()?;
+                Statement::Eval { model, table }
+            }
+        }
+        "SAVE" => {
+            p.expect_kw("MODEL")?;
+            let model = p.ident()?;
+            let version = if p.accept_kw("VERSION") { Some(p.number_u64()?) } else { None };
+            Statement::SaveModel { model, version }
+        }
+        "LOAD" => {
+            p.expect_kw("MODEL")?;
+            let model = p.ident()?;
+            let version = if p.accept_kw("VERSION") { Some(p.number_u64()?) } else { None };
+            Statement::LoadModel { model, version }
+        }
+        "LIST" => {
+            p.expect_kw("MODELS")?;
+            Statement::ListModels
+        }
+        "PREPARE" => {
+            let name = p.ident()?;
+            p.expect_kw("AS")?;
+            let template_off = p.off();
+            if template_off >= input.len() {
+                return Err(err_at(input.len(), "PREPARE needs a statement after AS"));
+            }
+            let template = input[template_off..].trim().to_string();
+            let params = count_placeholders(&template, template_off)?;
+            if params == 0 {
+                // No placeholders: the template must parse outright so
+                // malformed statements fail at PREPARE time, not EXECUTE.
+                let inner = parse(&template)?;
+                if matches!(
+                    inner,
+                    Statement::Prepare { .. } | Statement::Execute { .. } | Statement::Shutdown
+                ) {
+                    return Err(err_at(template_off, "cannot PREPARE that statement kind"));
+                }
+            }
+            return Ok(Statement::Prepare { name, template, params });
+        }
+        "EXECUTE" => {
+            let name = p.ident()?;
+            let mut args = Vec::new();
+            if p.accept_kw("(") && !p.accept_kw(")") {
+                loop {
+                    let tok = p.next()?;
+                    if matches!(tok.text.as_str(), "," | "(" | ")") {
+                        return Err(err_at(
+                            tok.off,
+                            format!("expected a value, found '{}'", tok.text),
+                        ));
+                    }
+                    args.push(tok.text);
+                    let tok = p.next()?;
+                    match tok.text.as_str() {
+                        "," => continue,
+                        ")" => break,
+                        other => {
+                            return Err(err_at(
+                                tok.off,
+                                format!("expected ',' or ')', found '{other}'"),
+                            ))
+                        }
+                    }
+                }
+            }
+            Statement::Execute { name, args }
+        }
+        "SHUTDOWN" => Statement::Shutdown,
+        _ => return Err(err_at(head_tok.off, format!("unknown statement '{head}'"))),
     };
     p.done()?;
     Ok(stmt)
 }
 
-/// Executes one parsed statement against a catalog.
+/// Counts `$k` placeholders in a PREPARE template, requiring them to be
+/// contiguous from `$1`. `base_off` anchors error spans in the original
+/// statement.
+fn count_placeholders(template: &str, base_off: usize) -> DbResult<usize> {
+    let mut seen = std::collections::BTreeSet::new();
+    for tok in tokenize(template) {
+        if let Some(rest) = tok.text.strip_prefix('$') {
+            let k: usize = rest.parse().map_err(|_| {
+                err_at(base_off + tok.off, format!("bad placeholder '{}'", tok.text))
+            })?;
+            if k == 0 {
+                return Err(err_at(base_off + tok.off, "placeholders start at $1"));
+            }
+            seen.insert(k);
+        }
+    }
+    let params = seen.len();
+    if seen.iter().next_back().is_some_and(|&max| max != params) {
+        return Err(err_at(
+            base_off,
+            format!("placeholders must be contiguous $1..${}", seen.iter().next_back().unwrap()),
+        ));
+    }
+    Ok(params)
+}
+
+/// Substitutes `$1…$n` placeholder tokens in a prepared template with the
+/// given argument texts, returning the concrete statement text.
+///
+/// # Errors
+/// [`DbError::Parse`] when the argument count does not match `params`.
+pub(crate) fn substitute_placeholders(
+    template: &str,
+    params: usize,
+    args: &[String],
+) -> DbResult<String> {
+    if args.len() != params {
+        return Err(parse_err(format!(
+            "prepared statement takes {params} argument(s), got {}",
+            args.len()
+        )));
+    }
+    let mut out = String::with_capacity(template.len() + 16);
+    for tok in tokenize(template) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match tok.text.strip_prefix('$').and_then(|rest| rest.parse::<usize>().ok()) {
+            Some(k) if k >= 1 && k <= args.len() => out.push_str(&args[k - 1]),
+            _ => out.push_str(&tok.text),
+        }
+    }
+    Ok(out)
+}
+
+/// Streams a `bolton_data` row store into a fresh [`Table`] (the
+/// `CREATE TABLE … FROM STORE` loader, shared by the catalog and Db
+/// executors).
+pub(crate) fn table_from_store(
+    name: &str,
+    path: &str,
+    disk: bool,
+    pool_pages: usize,
+) -> DbResult<Table> {
+    use bolton_sgd::TrainSet;
+    let store = bolton_data::row_store::StoredDataset::open(path)
+        .map_err(|e| DbError::Corrupt(format!("row store '{path}': {e}")))?;
+    if store.is_empty() {
+        return Err(DbError::Corrupt(format!("row store '{path}' holds no rows")));
+    }
+    let backing = if disk { Backing::TempFile } else { Backing::Memory };
+    let mut table = Table::create(name, store.dim(), backing, pool_pages)?;
+    let mut io_error = None;
+    store.scan(&mut |_, x, y| {
+        if io_error.is_none() {
+            if let Err(e) = table.insert(x, y) {
+                io_error = Some(e);
+            }
+        }
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    table.flush()?;
+    Ok(table)
+}
+
+/// Executes one parsed statement against a catalog (the single-session
+/// path; serving statements need a [`crate::session::Session`]).
 ///
 /// # Errors
 /// Propagates catalog/storage errors.
@@ -415,6 +860,15 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult>
             let backing = if *disk { Backing::TempFile } else { Backing::Memory };
             catalog.create_table(name, *dim, backing, DEFAULT_POOL_PAGES)?;
             Ok(QueryResult::Ok)
+        }
+        Statement::CreateTableFromStore { name, path, disk } => {
+            if catalog.get(name).is_ok() {
+                return Err(DbError::TableExists(name.clone()));
+            }
+            let table = table_from_store(name, path, *disk, DEFAULT_POOL_PAGES)?;
+            let rows = table.row_count();
+            catalog.register(table)?;
+            Ok(QueryResult::Count(rows))
         }
         Statement::Synth { name, rows, seed, noise } => {
             let (dim, backing) = {
@@ -433,53 +887,16 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult>
         }
         Statement::Insert { name, values } => {
             let table = catalog.get_mut(name)?;
-            if values.len() != table.dim() + 1 {
-                return Err(DbError::SchemaMismatch {
-                    expected: table.dim() + 1,
-                    got: values.len(),
-                });
-            }
-            let (features, label) = values.split_at(values.len() - 1);
-            table.insert(features, label[0])?;
-            Ok(QueryResult::Ok)
+            insert_values(table, values)
         }
         Statement::Count { name } => Ok(QueryResult::Count(catalog.get(name)?.row_count())),
         Statement::PrivateCount { name, eps, seed } => {
-            let count = catalog.get(name)?.row_count() as u64;
-            let mech = bolton_privacy::GeometricMechanism::new(*eps, 1)
-                .map_err(|e| parse_err(e.to_string()))?;
-            let mut rng = bolton_rng::seeded(*seed);
-            Ok(QueryResult::Count(mech.privatize_count(&mut rng, count) as usize))
+            private_count(catalog.get(name)?, *eps, *seed)
         }
         Statement::PrivateHistogram { name, eps, seed } => {
-            let table = catalog.get(name)?;
-            // Exact per-label counts (labels are small integers in this
-            // engine: ±1 binary or class indices).
-            let mut counts: std::collections::BTreeMap<i64, u64> =
-                std::collections::BTreeMap::new();
-            table.scan_rows(&mut |_, _, y| {
-                *counts.entry(y as i64).or_insert(0) += 1;
-            })?;
-            let mech = bolton_privacy::GeometricMechanism::new(*eps, 1)
-                .map_err(|e| parse_err(e.to_string()))?;
-            let mut rng = bolton_rng::seeded(*seed);
-            let released: Vec<(i64, u64)> = counts
-                .into_iter()
-                .map(|(label, count)| (label, mech.privatize_count(&mut rng, count)))
-                .collect();
-            Ok(QueryResult::Histogram(released))
+            private_histogram(catalog.get(name)?, *eps, *seed)
         }
-        Statement::Avg { name, column } => {
-            let table = catalog.get(name)?;
-            if *column >= table.dim() {
-                return Err(parse_err(format!(
-                    "column {column} out of range (table has {} features)",
-                    table.dim()
-                )));
-            }
-            let mut agg = AvgAggregate::over_column(*column);
-            Ok(QueryResult::Scalar(run_aggregate(table, &mut agg)?))
-        }
+        Statement::Avg { name, column } => avg_column(catalog.get(name)?, *column),
         Statement::Shuffle { name, seed } => {
             let mut rng = bolton_rng::seeded(*seed);
             catalog.get_mut(name)?.shuffle(&mut rng)?;
@@ -489,67 +906,132 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult>
             catalog.drop_table(name)?;
             Ok(QueryResult::Ok)
         }
-        Statement::CopyFrom { name, path } => {
-            use std::io::BufRead;
-            let table = catalog.get_mut(name)?;
-            let dim = table.dim();
-            let file = std::fs::File::open(path)?;
-            let reader = std::io::BufReader::new(file);
-            let mut loaded = 0usize;
-            for (idx, line) in reader.lines().enumerate() {
-                let line = line?;
-                let trimmed = line.trim();
-                if trimmed.is_empty() || trimmed.starts_with('#') {
-                    continue;
-                }
-                let values: Result<Vec<f64>, _> =
-                    trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
-                let values = values
-                    .map_err(|e| parse_err(format!("COPY line {}: bad number: {e}", idx + 1)))?;
-                if values.len() != dim + 1 {
-                    return Err(DbError::SchemaMismatch { expected: dim + 1, got: values.len() });
-                }
-                let (features, label) = values.split_at(dim);
-                table.insert(features, label[0])?;
-                loaded += 1;
-            }
-            table.flush()?;
-            Ok(QueryResult::Count(loaded))
-        }
-        Statement::CopyTo { name, path } => {
-            use std::io::Write;
-            let table = catalog.get(name)?;
-            let file = std::fs::File::create(path)?;
-            let mut out = std::io::BufWriter::new(file);
-            let mut error: Option<std::io::Error> = None;
-            table.scan_rows(&mut |_, x, y| {
-                if error.is_some() {
-                    return;
-                }
-                let mut line = String::with_capacity(x.len() * 12);
-                for v in x {
-                    line.push_str(&format!("{v},"));
-                }
-                line.push_str(&format!("{y}\n"));
-                if let Err(e) = out.write_all(line.as_bytes()) {
-                    error = Some(e);
-                }
-            })?;
-            if let Some(e) = error {
-                return Err(DbError::Io(e));
-            }
-            out.flush()?;
-            Ok(QueryResult::Count(table.row_count()))
-        }
-        Statement::Analyze { name } => {
-            let table = catalog.get(name)?;
-            let mut agg = crate::uda::ColumnStatsAggregate::new(table.dim());
-            Ok(QueryResult::Stats(run_aggregate(table, &mut agg)?))
-        }
+        Statement::CopyFrom { name, path } => copy_from(catalog.get_mut(name)?, path),
+        Statement::CopyTo { name, path } => copy_to(catalog.get(name)?, path),
+        Statement::Analyze { name } => analyze(catalog.get(name)?),
         Statement::ShowTables => {
             Ok(QueryResult::Names(catalog.table_names().into_iter().map(String::from).collect()))
         }
+        Statement::Train(_)
+        | Statement::Eval { .. }
+        | Statement::EvalModel { .. }
+        | Statement::SaveModel { .. }
+        | Statement::LoadModel { .. }
+        | Statement::ListModels
+        | Statement::Prepare { .. }
+        | Statement::Execute { .. }
+        | Statement::Shutdown => Err(parse_err(
+            "this statement needs a serving session (bolton_bismarck::Session over a Db)",
+        )),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Shared statement bodies: each takes a `&Table` / `&mut Table`, so the
+// single-session catalog executor above and the concurrent Db session
+// executor share one implementation per statement.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn insert_values(table: &mut Table, values: &[f64]) -> DbResult<QueryResult> {
+    if values.len() != table.dim() + 1 {
+        return Err(DbError::SchemaMismatch { expected: table.dim() + 1, got: values.len() });
+    }
+    let (features, label) = values.split_at(values.len() - 1);
+    table.insert(features, label[0])?;
+    Ok(QueryResult::Ok)
+}
+
+pub(crate) fn private_count(table: &Table, eps: f64, seed: u64) -> DbResult<QueryResult> {
+    let count = table.row_count() as u64;
+    let mech =
+        bolton_privacy::GeometricMechanism::new(eps, 1).map_err(|e| parse_err(e.to_string()))?;
+    let mut rng = bolton_rng::seeded(seed);
+    Ok(QueryResult::Count(mech.privatize_count(&mut rng, count) as usize))
+}
+
+pub(crate) fn private_histogram(table: &Table, eps: f64, seed: u64) -> DbResult<QueryResult> {
+    // Exact per-label counts (labels are small integers in this engine:
+    // ±1 binary or class indices).
+    let mut counts: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
+    table.scan_rows(&mut |_, _, y| {
+        *counts.entry(y as i64).or_insert(0) += 1;
+    })?;
+    let mech =
+        bolton_privacy::GeometricMechanism::new(eps, 1).map_err(|e| parse_err(e.to_string()))?;
+    let mut rng = bolton_rng::seeded(seed);
+    let released: Vec<(i64, u64)> = counts
+        .into_iter()
+        .map(|(label, count)| (label, mech.privatize_count(&mut rng, count)))
+        .collect();
+    Ok(QueryResult::Histogram(released))
+}
+
+pub(crate) fn avg_column(table: &Table, column: usize) -> DbResult<QueryResult> {
+    if column >= table.dim() {
+        return Err(parse_err(format!(
+            "column {column} out of range (table has {} features)",
+            table.dim()
+        )));
+    }
+    let mut agg = AvgAggregate::over_column(column);
+    Ok(QueryResult::Scalar(run_aggregate(table, &mut agg)?))
+}
+
+pub(crate) fn copy_from(table: &mut Table, path: &str) -> DbResult<QueryResult> {
+    use std::io::BufRead;
+    let dim = table.dim();
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut loaded = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let values: Result<Vec<f64>, _> =
+            trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
+        let values =
+            values.map_err(|e| parse_err(format!("COPY line {}: bad number: {e}", idx + 1)))?;
+        if values.len() != dim + 1 {
+            return Err(DbError::SchemaMismatch { expected: dim + 1, got: values.len() });
+        }
+        let (features, label) = values.split_at(dim);
+        table.insert(features, label[0])?;
+        loaded += 1;
+    }
+    table.flush()?;
+    Ok(QueryResult::Count(loaded))
+}
+
+pub(crate) fn copy_to(table: &Table, path: &str) -> DbResult<QueryResult> {
+    use std::io::Write;
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    let mut error: Option<std::io::Error> = None;
+    table.scan_rows(&mut |_, x, y| {
+        if error.is_some() {
+            return;
+        }
+        let mut line = String::with_capacity(x.len() * 12);
+        for v in x {
+            line.push_str(&format!("{v},"));
+        }
+        line.push_str(&format!("{y}\n"));
+        if let Err(e) = out.write_all(line.as_bytes()) {
+            error = Some(e);
+        }
+    })?;
+    if let Some(e) = error {
+        return Err(DbError::Io(e));
+    }
+    out.flush()?;
+    Ok(QueryResult::Count(table.row_count()))
+}
+
+pub(crate) fn analyze(table: &Table) -> DbResult<QueryResult> {
+    let mut agg = crate::uda::ColumnStatsAggregate::new(table.dim());
+    Ok(QueryResult::Stats(run_aggregate(table, &mut agg)?))
 }
 
 /// Parses and executes in one call.
@@ -574,6 +1056,18 @@ mod tests {
         assert_eq!(
             parse("create table t2 ( dim 3 );").unwrap(),
             Statement::CreateTable { name: "t2".into(), dim: 3, disk: false }
+        );
+    }
+
+    #[test]
+    fn parse_create_from_store() {
+        assert_eq!(
+            parse("CREATE TABLE t FROM STORE '/tmp/x.rowstore' DISK").unwrap(),
+            Statement::CreateTableFromStore {
+                name: "t".into(),
+                path: "/tmp/x.rowstore".into(),
+                disk: true
+            }
         );
     }
 
@@ -607,11 +1101,174 @@ mod tests {
     }
 
     #[test]
+    fn parse_train_defaults_and_options() {
+        assert_eq!(
+            parse("TRAIN m ON t").unwrap(),
+            Statement::Train(TrainStmt {
+                model: "m".into(),
+                table: "t".into(),
+                algo: TrainAlgo::BoltOn,
+                eps: None,
+                delta: None,
+                lambda: 0.0,
+                passes: 10,
+                batch: 50,
+                seed: 0,
+            })
+        );
+        assert_eq!(
+            parse(
+                "TRAIN m ON t ALGO scs13 EPS 0.5 DELTA 1e-6 LAMBDA 0.01 PASSES 3 BATCH 10 SEED 9"
+            )
+            .unwrap(),
+            Statement::Train(TrainStmt {
+                model: "m".into(),
+                table: "t".into(),
+                algo: TrainAlgo::Scs13,
+                eps: Some(0.5),
+                delta: Some(1e-6),
+                lambda: 0.01,
+                passes: 3,
+                batch: 10,
+                seed: 9,
+            })
+        );
+    }
+
+    #[test]
+    fn parse_model_statements() {
+        assert_eq!(
+            parse("EVAL m ON t").unwrap(),
+            Statement::Eval { model: "m".into(), table: "t".into() }
+        );
+        assert_eq!(
+            parse("EVAL MODEL m VERSION 3 ON t").unwrap(),
+            Statement::EvalModel { model: "m".into(), version: Some(3), table: "t".into() }
+        );
+        assert_eq!(
+            parse("EVAL MODEL m ON t").unwrap(),
+            Statement::EvalModel { model: "m".into(), version: None, table: "t".into() }
+        );
+        assert_eq!(
+            parse("SAVE MODEL m VERSION 2").unwrap(),
+            Statement::SaveModel { model: "m".into(), version: Some(2) }
+        );
+        assert_eq!(
+            parse("LOAD MODEL m").unwrap(),
+            Statement::LoadModel { model: "m".into(), version: None }
+        );
+        assert_eq!(parse("LIST MODELS").unwrap(), Statement::ListModels);
+        assert_eq!(parse("SHUTDOWN").unwrap(), Statement::Shutdown);
+    }
+
+    #[test]
+    fn parse_prepare_and_execute() {
+        assert_eq!(
+            parse("PREPARE q AS SELECT AVG($1) FROM t").unwrap(),
+            Statement::Prepare {
+                name: "q".into(),
+                template: "SELECT AVG($1) FROM t".into(),
+                params: 1
+            }
+        );
+        assert_eq!(
+            parse("PREPARE q AS SELECT COUNT(*) FROM t").unwrap(),
+            Statement::Prepare {
+                name: "q".into(),
+                template: "SELECT COUNT(*) FROM t".into(),
+                params: 0
+            }
+        );
+        assert_eq!(
+            parse("EXECUTE q (3, 'x')").unwrap(),
+            Statement::Execute { name: "q".into(), args: vec!["3".into(), "'x'".into()] }
+        );
+        assert_eq!(
+            parse("EXECUTE q").unwrap(),
+            Statement::Execute { name: "q".into(), args: vec![] }
+        );
+        // Placeholders must be contiguous from $1.
+        assert!(parse("PREPARE q AS SELECT AVG($2) FROM t").is_err());
+        // A parameterless template must itself parse.
+        assert!(parse("PREPARE q AS SELEC COUNT(*) FROM t").is_err());
+        // Prepared statements cannot nest.
+        assert!(parse("PREPARE q AS EXECUTE r").is_err());
+    }
+
+    #[test]
+    fn substitution_is_token_exact() {
+        let out = substitute_placeholders(
+            "SELECT AVG ( $1 ) FROM $2",
+            2,
+            &["3".to_string(), "t".to_string()],
+        )
+        .unwrap();
+        assert_eq!(parse(&out).unwrap(), Statement::Avg { name: "t".into(), column: 3 });
+        assert!(substitute_placeholders("SELECT AVG($1) FROM t", 1, &[]).is_err());
+    }
+
+    #[test]
     fn parse_errors_are_descriptive() {
         assert!(matches!(parse("SELEC COUNT(*) FROM t"), Err(DbError::Parse(_))));
         assert!(matches!(parse("CREATE TABLE t"), Err(DbError::Parse(_))));
         assert!(matches!(parse("SELECT COUNT(*) FROM t extra"), Err(DbError::Parse(_))));
         assert!(matches!(parse(""), Err(DbError::Parse(_))));
+    }
+
+    /// The satellite contract: every statement kind reports the byte
+    /// offset of the offending token plus the token itself.
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        let cases: &[(&str, usize, &str)] = &[
+            // (input, expected offset, expected offending token)
+            ("SELEC COUNT(*) FROM t", 0, "SELEC"),
+            ("CREATE TABLE t [DIM 3)", 15, "["),
+            ("CREATE TABLE t (DIM x)", 20, "x"),
+            ("SYNTH t ROWS many", 13, "many"),
+            ("INSERT INTO t VALUES (1.0; 2.0)", 27, "2.0"),
+            ("SELECT MAX(0) FROM t", 7, "MAX"),
+            ("SELECT PRIVATE MEDIAN(*) FROM t", 15, "MEDIAN"),
+            ("SELECT COUNT(*) FROM t extra", 23, "extra"),
+            ("SHUFFLE t SEED soon", 15, "soon"),
+            ("DROP VIEW v", 5, "VIEW"),
+            ("COPY t SIDEWAYS 'x.csv'", 7, "SIDEWAYS"),
+            ("COPY t FROM unquoted.csv", 12, "unquoted.csv"),
+            ("ANALYZE ''", 8, "''"),
+            ("SHOW COLUMNS", 5, "COLUMNS"),
+            ("TRAIN m ON t ALGO sgd", 18, "sgd"),
+            ("TRAIN m ON t EPS much", 17, "much"),
+            ("EVAL MODEL m VERSION one ON t", 21, "one"),
+            ("SAVE MODEL m VERSION 1.5", 21, "1.5"),
+            ("LOAD TABLE m", 5, "TABLE"),
+            ("LIST TABLES", 5, "TABLES"),
+            ("EXECUTE q (1,", 13, "end of statement"),
+        ];
+        for (input, off, token) in cases {
+            let err = parse(input).unwrap_err();
+            let DbError::Parse(msg) = &err else {
+                panic!("expected a parse error for {input:?}, got {err:?}");
+            };
+            assert!(
+                msg.contains(&format!("at byte {off}")),
+                "{input:?}: expected offset {off} in {msg:?}"
+            );
+            assert!(msg.contains(token), "{input:?}: expected token {token:?} in {msg:?}");
+        }
+    }
+
+    /// End-of-statement errors anchor at the input length.
+    #[test]
+    fn truncated_statements_point_past_the_end() {
+        for input in ["CREATE TABLE t (DIM", "TRAIN m ON", "SAVE MODEL", "INSERT INTO t VALUES (1"]
+        {
+            let DbError::Parse(msg) = parse(input).unwrap_err() else {
+                panic!("expected parse error for {input:?}");
+            };
+            assert!(
+                msg.contains(&format!("at byte {}", input.len())),
+                "{input:?}: wrong anchor in {msg:?}"
+            );
+        }
     }
 
     #[test]
@@ -630,6 +1287,17 @@ mod tests {
         assert_eq!(run(&mut cat, "SELECT COUNT(*) FROM train").unwrap(), QueryResult::Count(2));
         run(&mut cat, "DROP TABLE train").unwrap();
         assert!(run(&mut cat, "SELECT COUNT(*) FROM train").is_err());
+    }
+
+    #[test]
+    fn serving_statements_need_a_session() {
+        let mut cat = Catalog::new();
+        for sql in ["TRAIN m ON t", "EVAL m ON t", "SAVE MODEL m", "LIST MODELS", "SHUTDOWN"] {
+            assert!(
+                matches!(run(&mut cat, sql), Err(DbError::Parse(_))),
+                "{sql} should be rejected on the catalog path"
+            );
+        }
     }
 
     #[test]
@@ -657,6 +1325,35 @@ mod tests {
         let mut cat = Catalog::new();
         run(&mut cat, "CREATE TABLE t (DIM 2)").unwrap();
         assert!(run(&mut cat, "SELECT AVG(5) FROM t").is_err());
+    }
+
+    #[test]
+    fn create_from_store_loads_rows() {
+        let dir = std::env::temp_dir().join(format!(
+            "bolton-sql-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rowstore");
+        let flat: Vec<f64> = (0..37).flat_map(|i| [i as f64, -(i as f64)]).collect();
+        let labels: Vec<f64> = (0..37).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let data = bolton_sgd::InMemoryDataset::from_flat(flat, labels, 2);
+        bolton_data::row_store::write_dense_dataset(&data, &path, 8).unwrap();
+
+        let mut cat = Catalog::new();
+        let sql = format!("CREATE TABLE t FROM STORE '{}'", path.display());
+        assert_eq!(run(&mut cat, &sql).unwrap(), QueryResult::Count(37));
+        let table = cat.get("t").unwrap();
+        assert_eq!(table.dim(), 2);
+        let mut buf = vec![0.0; 2];
+        assert_eq!(table.read_row(5, &mut buf).unwrap(), -1.0);
+        assert_eq!(buf, vec![5.0, -5.0]);
+        // Name collisions and bad paths error cleanly.
+        assert!(matches!(run(&mut cat, &sql), Err(DbError::TableExists(_))));
+        assert!(run(&mut cat, "CREATE TABLE u FROM STORE '/nonexistent.rowstore'").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 
@@ -695,6 +1392,22 @@ mod proptests {
             } else {
                 let is_schema_err = matches!(result, Err(DbError::SchemaMismatch { .. }));
                 prop_assert!(is_schema_err, "expected schema mismatch");
+            }
+        }
+
+        /// Parse errors always carry a byte offset within the input (or
+        /// just past it, for truncated statements).
+        #[test]
+        fn parse_error_offsets_stay_in_bounds(input in "\\PC{0,80}") {
+            if let Err(DbError::Parse(msg)) = parse(&input) {
+                if let Some(rest) = msg.strip_prefix("at byte ") {
+                    let off: usize = rest
+                        .split(':')
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                        .expect("offset parses");
+                    prop_assert!(off <= input.len(), "offset {off} beyond input {input:?}");
+                }
             }
         }
     }

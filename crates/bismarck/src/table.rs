@@ -13,7 +13,7 @@ use crate::page::Page;
 use bolton_rng::Rng;
 use bolton_sgd::chunked::ChunkedRows;
 use bolton_sgd::TrainSet;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Default number of buffer-pool frames for new tables (256 × 8 KiB = 2 MiB).
 pub const DEFAULT_POOL_PAGES: usize = 256;
@@ -24,10 +24,13 @@ pub struct Table {
     dim: usize,
     rows: usize,
     backing: Backing,
-    // RefCell so that read paths (scans) work through &Table: the pool
-    // mutates internally on every fetch. Single-threaded by design, like a
-    // Bismarck UDA invocation; a reentrant scan panics loudly.
-    pool: RefCell<BufferPool>,
+    // A mutex (page latch) so that read paths (scans) work through &Table
+    // even when the table is shared across server sessions: the pool
+    // mutates internally on every fetch. The latch is held only for the
+    // duration of a single page access — never across a visit callback —
+    // so concurrent readers interleave at page granularity and a frame is
+    // effectively pinned (unevictable) exactly while its bytes are read.
+    pool: Mutex<BufferPool>,
     tail_pid: Option<usize>,
 }
 
@@ -53,7 +56,7 @@ impl Table {
             dim,
             rows: 0,
             backing,
-            pool: RefCell::new(BufferPool::new(storage, pool_pages)),
+            pool: Mutex::new(BufferPool::new(storage, pool_pages)),
             tail_pid: None,
         })
     }
@@ -86,12 +89,12 @@ impl Table {
 
     /// Buffer-pool statistics.
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.borrow().stats()
+        self.pool.lock().expect("pool latch").stats()
     }
 
     /// Resets buffer-pool statistics.
     pub fn reset_pool_stats(&self) {
-        self.pool.borrow_mut().reset_stats();
+        self.pool.lock().expect("pool latch").reset_stats();
     }
 
     /// Storage description (backing + pool).
@@ -101,7 +104,7 @@ impl Table {
             self.name,
             self.dim,
             self.rows,
-            self.pool.borrow().describe()
+            self.pool.lock().expect("pool latch").describe()
         )
     }
 
@@ -113,7 +116,7 @@ impl Table {
         if features.len() != self.dim {
             return Err(DbError::SchemaMismatch { expected: self.dim, got: features.len() });
         }
-        let mut pool = self.pool.borrow_mut();
+        let mut pool = self.pool.lock().expect("pool latch");
         let need_new_page = match self.tail_pid {
             None => true,
             Some(pid) => !pool.with_page(pid, |p| p.has_room(self.dim))?,
@@ -157,7 +160,7 @@ impl Table {
     pub fn read_row(&self, rid: usize, features_out: &mut [f64]) -> DbResult<f64> {
         assert_eq!(features_out.len(), self.dim, "output buffer dimension mismatch");
         let (pid, slot) = self.locate(rid)?;
-        self.pool.borrow_mut().with_page(pid, |p| p.read_row(slot, features_out))?
+        self.pool.lock().expect("pool latch").with_page(pid, |p| p.read_row(slot, features_out))?
     }
 
     /// Sequential full scan: `visit(rid, features, label)` per row.
@@ -165,22 +168,51 @@ impl Table {
     /// This is the access path of one Bismarck epoch: pages stream through
     /// the pool in order, so a pool far smaller than the table still scans
     /// at full speed.
+    ///
+    /// Each page is snapshotted into a local frame under a short-lived
+    /// latch, then its rows are visited with no lock held — so visit
+    /// callbacks may themselves scan the table (reentrant metric scans) and
+    /// concurrent sessions interleave at page granularity without ever
+    /// observing a torn page.
     pub fn scan_rows(&self, visit: &mut dyn FnMut(usize, &[f64], f64)) -> DbResult<()> {
+        self.scan_range(0, self.rows, visit)
+    }
+
+    /// [`Table::scan_rows`] over the row range `[lo, hi)` — the shard
+    /// shape parallel batch scoring fans out, with one latch acquisition
+    /// and one page snapshot per page instead of per row.
+    ///
+    /// # Errors
+    /// Propagates storage errors.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > row_count()`.
+    pub fn scan_range(
+        &self,
+        lo: usize,
+        hi: usize,
+        visit: &mut dyn FnMut(usize, &[f64], f64),
+    ) -> DbResult<()> {
+        assert!(lo <= hi && hi <= self.rows, "range [{lo}, {hi}) out of {} rows", self.rows);
+        if lo == hi {
+            return Ok(());
+        }
         let rpp = Page::rows_per_page(self.dim);
         let mut buf = vec![0.0; self.dim];
-        let mut pool = self.pool.borrow_mut();
-        let pages = pool.page_count();
-        let mut rid = 0usize;
-        for pid in 0..pages {
-            let rows_here = pool.with_page(pid, |p| p.row_count())?;
-            for slot in 0..rows_here {
-                let label = pool.with_page(pid, |p| p.read_row(slot, &mut buf))??;
-                visit(rid, &buf, label);
-                rid += 1;
+        let mut snapshot = Page::new();
+        for pid in (lo / rpp)..=((hi - 1) / rpp) {
+            self.pool
+                .lock()
+                .expect("pool latch")
+                .with_page(pid, |p| snapshot.bytes_mut().copy_from_slice(p.bytes()))?;
+            let page_base = pid * rpp;
+            let slot_lo = lo.saturating_sub(page_base);
+            let slot_hi = (hi - page_base).min(snapshot.row_count());
+            for slot in slot_lo..slot_hi {
+                let label = snapshot.read_row(slot, &mut buf)?;
+                visit(page_base + slot, &buf, label);
             }
         }
-        debug_assert_eq!(rid, self.rows, "scan visited {rid} of {} rows", self.rows);
-        let _ = rpp;
         Ok(())
     }
 
@@ -198,14 +230,14 @@ impl Table {
             // keeps the pre-shuffle data (mirrors CREATE TABLE AS SELECT).
             Backing::TempFile | Backing::File(_) => Backing::TempFile,
         };
-        let pool_pages = self.pool.borrow().capacity();
+        let pool_pages = self.pool.lock().expect("pool latch").capacity();
         let mut shuffled = Table::create(self.name.clone(), self.dim, backing, pool_pages)?;
         let mut buf = vec![0.0; self.dim];
         for &rid in &order {
             let label = self.read_row(rid, &mut buf)?;
             shuffled.insert(&buf, label)?;
         }
-        shuffled.pool.borrow_mut().flush()?;
+        shuffled.pool.lock().expect("pool latch").flush()?;
         let moved = shuffled.rows;
         *self = shuffled;
         Ok(moved)
@@ -213,7 +245,7 @@ impl Table {
 
     /// Flushes dirty pages to storage.
     pub fn flush(&self) -> DbResult<()> {
-        self.pool.borrow_mut().flush()
+        self.pool.lock().expect("pool latch").flush()
     }
 }
 
@@ -416,6 +448,29 @@ mod tests {
         assert_eq!(count, 500);
         let stats = t.pool_stats();
         assert_eq!(stats.misses, 50, "one fetch per page expected: {stats:?}");
+    }
+
+    /// scan_range visits exactly `[lo, hi)` for ranges that start/end
+    /// mid-page, cover whole pages, or are empty — and agrees with the
+    /// full scan.
+    #[test]
+    fn scan_range_matches_full_scan() {
+        // dim=100 ⇒ 10 rows/page; 47 rows = 4 full pages + a 7-row tail.
+        let t = filled(Backing::TempFile, 3, 47, 100);
+        let mut full = Vec::new();
+        t.scan_rows(&mut |rid, x, y| full.push((rid, x[0], y))).unwrap();
+        for (lo, hi) in [(0, 47), (3, 17), (10, 20), (9, 11), (40, 47), (46, 47), (5, 5)] {
+            let mut got = Vec::new();
+            t.scan_range(lo, hi, &mut |rid, x, y| got.push((rid, x[0], y))).unwrap();
+            assert_eq!(got, full[lo..hi], "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 10 rows")]
+    fn scan_range_bounds_checked() {
+        let t = filled(Backing::Memory, 4, 10, 2);
+        let _ = t.scan_range(0, 11, &mut |_, _, _| {});
     }
 
     #[test]

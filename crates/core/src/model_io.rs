@@ -90,6 +90,30 @@ pub fn save_linear<W: Write>(w: &[f64], writer: W) -> Result<(), ModelIoError> {
     Ok(())
 }
 
+/// Serializes a binary linear model to bytes (the in-memory counterpart of
+/// [`save_linear`], for registries that checksum and store the artifact).
+pub fn save_linear_to_vec(w: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(64 + w.len() * 17);
+    save_linear(w, &mut bytes).expect("writing a model to memory cannot fail");
+    bytes
+}
+
+/// A 64-bit FNV-1a checksum over a serialized model artifact.
+///
+/// Not cryptographic — it detects torn writes and bit rot in a model
+/// registry, where an adversarial collision is not part of the threat
+/// model (the registry directory is trusted storage).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
 /// Saves a one-vs-all multiclass model.
 ///
 /// # Errors
@@ -198,7 +222,7 @@ mod tests {
 
     #[test]
     fn linear_roundtrip_is_bit_exact() {
-        let w = vec![1.0, -2.5, f64::MIN_POSITIVE, 1e300, -0.0, 3.141592653589793];
+        let w = vec![1.0, -2.5, f64::MIN_POSITIVE, 1e300, -0.0, std::f64::consts::PI];
         let mut bytes = Vec::new();
         save_linear(&w, &mut bytes).unwrap();
         let back = load_linear(&bytes[..]).unwrap();
@@ -245,6 +269,24 @@ mod tests {
                 "should reject: {text:?}"
             );
         }
+    }
+
+    #[test]
+    fn to_vec_matches_writer_and_checksum_is_stable() {
+        let w = vec![0.5, -1.25, 1e-300];
+        let mut via_writer = Vec::new();
+        save_linear(&w, &mut via_writer).unwrap();
+        let via_vec = save_linear_to_vec(&w);
+        assert_eq!(via_writer, via_vec);
+        assert_eq!(load_linear(&via_vec[..]).unwrap(), w);
+        // FNV-1a reference values.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Any single-bit flip changes the checksum.
+        let base = checksum64(&via_vec);
+        let mut flipped = via_vec.clone();
+        flipped[10] ^= 1;
+        assert_ne!(base, checksum64(&flipped));
     }
 
     #[test]

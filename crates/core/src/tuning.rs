@@ -161,6 +161,7 @@ fn candidate_rng(training_seed: u64, i: usize) -> impl Rng {
 ///
 /// # Errors
 /// Rejects an empty grid or a dataset too small to split `l + 1` ways.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's parameter list
 pub fn private_tune_models_parallel<M: Send, D: TuningData>(
     runner: &ParallelRunner<'_>,
     data: &D,

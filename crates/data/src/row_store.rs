@@ -1121,7 +1121,7 @@ mod tests {
         let stored = StoredDataset::open_with_budget(&path, 1 << 20).unwrap();
         let parts = stored.split(4);
         assert_eq!(parts.len(), 4);
-        assert_eq!(parts.iter().map(|p| TrainSet::len(p)).sum::<usize>(), 103);
+        assert_eq!(parts.iter().map(TrainSet::len).sum::<usize>(), 103);
         assert_eq!(TrainSet::len(&parts[0]), 26);
         // Portion boundaries land mid-chunk; every row resolves correctly.
         let mut offset = 0usize;
@@ -1134,7 +1134,7 @@ mod tests {
         // TuningData goes through the same split.
         let portions = TuningData::split_portions(&stored, 5);
         assert_eq!(portions.len(), 5);
-        assert_eq!(portions.iter().map(|p| TrainSet::len(p)).sum::<usize>(), 103);
+        assert_eq!(portions.iter().map(TrainSet::len).sum::<usize>(), 103);
         std::fs::remove_file(&path).unwrap();
     }
 

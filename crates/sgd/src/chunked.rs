@@ -34,6 +34,11 @@ pub trait ChunkedRows {
     /// Number of rows.
     fn len(&self) -> usize;
 
+    /// Whether the dataset holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Feature dimensionality `d`.
     fn dim(&self) -> usize;
 

@@ -933,7 +933,7 @@ mod proptests {
                 "m={}, b={}: min {} < ceil({}/2)", m, b, plan.min_size(), b_eff
             );
             if b_eff % 2 == 1 {
-                prop_assert!(plan.min_size() >= b_eff / 2 + 1);
+                prop_assert!(plan.min_size() > b_eff / 2);
             }
         }
 

@@ -211,6 +211,39 @@ mod tests {
 pub fn auc<D: TrainSet + ?Sized>(w: &[f64], data: &D) -> f64 {
     let mut scored: Vec<(f64, bool)> = Vec::with_capacity(data.len());
     data.scan(&mut |_, x, y| scored.push((score(w, x), y > 0.0)));
+    auc_from_scored(scored)
+}
+
+/// Accuracy from precomputed scores and labels (the batch-scoring path:
+/// score once in parallel, derive every metric from the score vector).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn accuracy_from_scores(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let errors = scores
+        .iter()
+        .zip(labels.iter())
+        .filter(|(&s, &y)| (if s >= 0.0 { 1.0 } else { -1.0 }) != y)
+        .count();
+    1.0 - errors as f64 / scores.len() as f64
+}
+
+/// [`auc`] from precomputed scores and labels (labels positive iff > 0).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn auc_from_scores(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+    let scored: Vec<(f64, bool)> =
+        scores.iter().zip(labels.iter()).map(|(&s, &y)| (s, y > 0.0)).collect();
+    auc_from_scored(scored)
+}
+
+fn auc_from_scored(mut scored: Vec<(f64, bool)>) -> f64 {
     let positives = scored.iter().filter(|(_, p)| *p).count();
     let negatives = scored.len() - positives;
     if positives == 0 || negatives == 0 {
@@ -277,6 +310,22 @@ mod auc_tests {
     fn single_class_degenerates_to_half() {
         let data = labeled(&[(0.9, 1.0), (0.8, 1.0)]);
         assert_eq!(auc(&[1.0], &data), 0.5);
+    }
+
+    /// The score-based entry points agree exactly with the scan-based
+    /// metrics on the same data (batch scoring must not change results).
+    #[test]
+    fn from_scores_agrees_with_scans() {
+        let points = [(0.9, 1.0), (-0.4, -1.0), (0.2, 1.0), (-0.1, -1.0), (0.2, -1.0)];
+        let data = labeled(&points);
+        for w in [[1.0], [-0.5], [0.0]] {
+            let scores: Vec<f64> = points.iter().map(|(x, _)| w[0] * x).collect();
+            let labels: Vec<f64> = points.iter().map(|(_, y)| *y).collect();
+            assert_eq!(accuracy_from_scores(&scores, &labels), accuracy(&w, &data), "{w:?}");
+            assert_eq!(auc_from_scores(&scores, &labels), auc(&w, &data), "{w:?}");
+        }
+        assert_eq!(accuracy_from_scores(&[], &[]), 0.0);
+        assert_eq!(auc_from_scores(&[], &[]), 0.5);
     }
 
     #[test]

@@ -317,6 +317,39 @@ impl WorkerPool {
             })
             .collect()
     }
+
+    /// Splits `[0, n)` into up to `parts` near-equal contiguous ranges and
+    /// runs `f(lo, hi)` for each on the pool, returning the results in
+    /// range order (so concatenating them reconstructs item order).
+    ///
+    /// This is the data-parallel shape the serving layer's batch scorer
+    /// uses: range `r` covers `[r·⌈n/parts⌉ … )` with the remainder spread
+    /// over the leading ranges, the same split as `StoredDataset::split`.
+    /// Empty inputs return no ranges; `parts` is clamped to `n`.
+    pub fn run_ranges<T, F>(&self, n: usize, parts: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let parts = parts.clamp(1, n);
+        let base = n / parts;
+        let extra = n % parts;
+        let f = &f;
+        let mut lo = 0usize;
+        let tasks: Vec<_> = (0..parts)
+            .map(|p| {
+                let size = base + usize::from(p < extra);
+                let range = (lo, lo + size);
+                lo += size;
+                move || f(range.0, range.1)
+            })
+            .collect();
+        debug_assert_eq!(lo, n, "ranges must cover [0, n)");
+        self.run(tasks)
+    }
 }
 
 impl Drop for WorkerPool {
@@ -371,6 +404,15 @@ impl ParallelRunner<'_> {
     pub fn threads(&self) -> usize {
         self.pool.threads()
     }
+
+    /// Range fan-out on the pool. See [`WorkerPool::run_ranges`].
+    pub fn run_ranges<T, F>(&self, n: usize, parts: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        self.pool.run_ranges(n, parts, f)
+    }
 }
 
 /// Thread count for the process-global pool: `BOLTON_THREADS` if set to a
@@ -399,6 +441,21 @@ pub fn runner() -> ParallelRunner<'static> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_ranges_covers_in_order() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(
+            pool.run_ranges(10, 4, |lo, hi| (lo, hi)),
+            vec![(0, 3), (3, 6), (6, 8), (8, 10)]
+        );
+        let flat: Vec<usize> =
+            pool.run_ranges(100, 7, |lo, hi| (lo..hi).collect::<Vec<_>>()).concat();
+        assert_eq!(flat, (0..100).collect::<Vec<_>>());
+        assert!(pool.run_ranges(0, 4, |_, _| ()).is_empty());
+        // parts > n clamps to one item per range.
+        assert_eq!(pool.run_ranges(3, 16, |lo, hi| hi - lo), vec![1, 1, 1]);
+    }
 
     #[test]
     fn results_come_back_in_task_order() {

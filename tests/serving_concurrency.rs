@@ -1,0 +1,272 @@
+//! Cross-crate serving-layer tests: concurrent sessions over one shared
+//! `Db` (readers scanning / batch-scoring while a trainer runs), torn-read
+//! freedom under buffer-pool eviction, registry crash safety, and
+//! bit-identical model serving across a process "restart" (registry
+//! reopen).
+
+use bolton_bismarck::server::{serve, Client};
+use bolton_bismarck::sql::QueryResult;
+use bolton_bismarck::{Backing, Db, DbError, ModelRegistry, ServerConfig, Session, Table};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bolton-servetest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic separable table: disk-backed with a tiny pool when
+/// `pool_pages` is small, so scans cross the eviction path.
+fn build_table(db: &Db, name: &str, rows: usize, dim: usize, pool_pages: usize) {
+    let mut table = Table::create(name, dim, Backing::TempFile, pool_pages).unwrap();
+    for i in 0..rows {
+        let x: Vec<f64> = (0..dim).map(|j| ((i * dim + j) % 97) as f64 / 97.0 - 0.5).collect();
+        let label = if x[0] >= 0.0 { 1.0 } else { -1.0 };
+        table.insert(&x, label).unwrap();
+    }
+    table.flush().unwrap();
+    db.register_table(table).unwrap();
+}
+
+/// N reader sessions (COUNT/AVG/EVAL MODEL over a tiny-pool disk table)
+/// run concurrently with one trainer session; every read must return the
+/// same deterministic answer it returns single-threaded, and both sides
+/// must finish cleanly. This is the torn-read / pinned-page stress: the
+/// 2-frame pool evicts constantly under 4 concurrent scanners, and a page
+/// evicted mid-read (a dropped "pin") would corrupt a feature vector and
+/// change COUNT/AVG/score results.
+#[test]
+fn concurrent_readers_and_trainer_over_shared_db() {
+    let dir = temp_dir("stress");
+    let db = Arc::new(Db::with_registry(dir.join("models")).unwrap());
+    // dim=100 ⇒ 10 rows/page; 300 rows = 30 pages through 2 frames.
+    build_table(&db, "t", 300, 100, 2);
+
+    // Commit a baseline model for the readers to serve.
+    let mut setup = Session::new(Arc::clone(&db));
+    setup.run("TRAIN base ON t ALGO noiseless PASSES 1 BATCH 10 SEED 5").unwrap();
+    setup.run("SAVE MODEL base").unwrap();
+
+    // Single-threaded reference answers.
+    let expect_count = setup.run("SELECT COUNT(*) FROM t").unwrap();
+    let expect_avg = setup.run("SELECT AVG(3) FROM t").unwrap();
+    let expect_eval = setup.run("EVAL MODEL base VERSION 1 ON t").unwrap();
+
+    let trainer_done = Arc::new(AtomicBool::new(false));
+    let trainer = {
+        let db = Arc::clone(&db);
+        let done = Arc::clone(&trainer_done);
+        std::thread::spawn(move || {
+            let mut s = Session::new(db);
+            let result =
+                s.run("TRAIN heavy ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 8 BATCH 5 SEED 9");
+            done.store(true, Ordering::SeqCst);
+            result.map(|r| {
+                s.run("SAVE MODEL heavy").unwrap();
+                r
+            })
+        })
+    };
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let expect_count = expect_count.clone();
+            let expect_avg = expect_avg.clone();
+            let expect_eval = expect_eval.clone();
+            let done = Arc::clone(&trainer_done);
+            std::thread::spawn(move || {
+                let mut s = Session::new(db);
+                let mut rounds = 0usize;
+                // Keep reading at least until the trainer finishes, so the
+                // scans genuinely overlap the training scan.
+                while rounds < 10 || !done.load(Ordering::SeqCst) {
+                    assert_eq!(s.run("SELECT COUNT(*) FROM t").unwrap(), expect_count);
+                    assert_eq!(s.run("SELECT AVG(3) FROM t").unwrap(), expect_avg);
+                    assert_eq!(s.run("EVAL MODEL base VERSION 1 ON t").unwrap(), expect_eval);
+                    rounds += 1;
+                    if rounds > 10_000 {
+                        panic!("trainer never finished");
+                    }
+                }
+                rounds
+            })
+        })
+        .collect();
+
+    let trained = trainer.join().expect("trainer thread").expect("training succeeded");
+    assert!(matches!(trained, QueryResult::Trained { .. }));
+    for reader in readers {
+        let rounds = reader.join().expect("reader thread");
+        assert!(rounds >= 10);
+    }
+    // The trainer's model was committed while readers ran.
+    assert!(db.registry().unwrap().contains("heavy", 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Raw-table variant of the stress: many threads scanning one tiny-pool
+/// disk table concurrently each see exactly the rows that were written —
+/// eviction is invisible (a frame is never reclaimed while its bytes are
+/// being read) and no page is ever torn.
+#[test]
+fn concurrent_scans_never_see_torn_pages() {
+    // dim=100 ⇒ 10 rows/page; 200 rows = 20 pages through 2 frames.
+    let mut table = Table::create("t", 100, Backing::TempFile, 2).unwrap();
+    for i in 0..200 {
+        // Every cell of row i carries i, so any torn page (bytes from two
+        // different rows/pages) is detected by a within-row mismatch.
+        table.insert(&vec![i as f64; 100], 1.0).unwrap();
+    }
+    table.flush().unwrap();
+    let table = Arc::new(table);
+    let threads: Vec<_> = (0..6)
+        .map(|_| {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let mut rows = 0usize;
+                    table
+                        .scan_rows(&mut |rid, x, _| {
+                            assert!(
+                                x.iter().all(|&v| v == rid as f64),
+                                "torn read at row {rid}: {:?}",
+                                &x[..4]
+                            );
+                            rows += 1;
+                        })
+                        .unwrap();
+                    assert_eq!(rows, 200);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("scanner thread");
+    }
+    assert!(table.pool_stats().evictions > 0, "the stress must actually evict");
+}
+
+/// A model committed to the registry, reloaded after a full registry
+/// reopen (process restart), scores bit-identically to the freshly
+/// trained model — the acceptance criterion of the serving layer.
+#[test]
+fn saved_model_scores_bit_identically_after_restart() {
+    let dir = temp_dir("restart");
+    let fresh_model;
+    let fresh_eval;
+    {
+        let db = Arc::new(Db::with_registry(&dir).unwrap());
+        build_table(&db, "t", 500, 10, 64);
+        let mut s = Session::new(Arc::clone(&db));
+        s.run("TRAIN m ON t ALGO bolton EPS 0.5 LAMBDA 0.01 PASSES 3 BATCH 10 SEED 12").unwrap();
+        fresh_model = db.model("m").unwrap().to_vec();
+        fresh_eval = s.run("EVAL m ON t").unwrap();
+        s.run("SAVE MODEL m VERSION 4").unwrap();
+    }
+    // "Restart": a brand-new Db over the same registry directory.
+    let db = Arc::new(Db::with_registry(&dir).unwrap());
+    build_table(&db, "t", 500, 10, 64);
+    let mut s = Session::new(Arc::clone(&db));
+    s.run("LOAD MODEL m VERSION 4").unwrap();
+    let reloaded = db.model("m").unwrap();
+    assert_eq!(fresh_model.len(), reloaded.len());
+    for (a, b) in fresh_model.iter().zip(reloaded.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "reloaded weights must be bit-identical");
+    }
+    assert_eq!(s.run("EVAL m ON t").unwrap(), fresh_eval);
+    assert_eq!(s.run("EVAL MODEL m VERSION 4 ON t").unwrap(), fresh_eval);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash-safety: killing the process between the artifact write and the
+/// rename (or between the rename and the manifest append) must leave
+/// every previously committed version intact and loadable.
+#[test]
+fn registry_crash_windows_preserve_committed_versions() {
+    let dir = temp_dir("crash");
+    {
+        let reg = ModelRegistry::open(&dir).unwrap();
+        reg.save("m", None, &[1.0, -2.0, 3.0]).unwrap();
+        reg.save("m", None, &[4.0, 5.0, 6.0]).unwrap();
+    }
+    // Crash window 1: tmp written, never renamed.
+    std::fs::write(dir.join("m.v3.model.tmp"), b"partial bytes").unwrap();
+    // Crash window 2: artifact renamed, manifest never appended.
+    std::fs::write(dir.join("m.v4.model"), bolton::model_io::save_linear_to_vec(&[9.9])).unwrap();
+    let reg = ModelRegistry::open(&dir).unwrap();
+    assert_eq!(reg.latest("m"), Some(2));
+    assert_eq!(reg.load("m", Some(1)).unwrap(), vec![1.0, -2.0, 3.0]);
+    assert_eq!(reg.load("m", Some(2)).unwrap(), vec![4.0, 5.0, 6.0]);
+    assert!(matches!(reg.load("m", Some(3)), Err(DbError::ModelNotFound(_))));
+    assert!(matches!(reg.load("m", Some(4)), Err(DbError::ModelNotFound(_))));
+    // The interrupted commits can be retried under their version numbers.
+    assert_eq!(reg.save("m", Some(3), &[7.0]).unwrap(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent SAVE MODEL commits from many sessions serialize cleanly:
+/// every auto-assigned version is unique and every committed artifact
+/// loads back exactly.
+#[test]
+fn concurrent_registry_commits_serialize() {
+    let dir = temp_dir("commits");
+    let reg = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || reg.save("m", None, &[i as f64]).unwrap())
+        })
+        .collect();
+    let mut versions: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    versions.sort_unstable();
+    assert_eq!(versions, (1..=8).collect::<Vec<u64>>());
+    // Reopen and verify every artifact.
+    let reg = ModelRegistry::open(&dir).unwrap();
+    assert_eq!(reg.list().len(), 8);
+    for v in 1..=8 {
+        assert_eq!(reg.load("m", Some(v)).unwrap().len(), 1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The server end of the same story: two concurrent socket sessions — a
+/// TRAIN writer and an EVAL reader — both succeed against one server.
+#[test]
+fn server_reader_evals_while_writer_trains() {
+    let dir = temp_dir("server");
+    let db = Arc::new(Db::with_registry(dir.join("models")).unwrap());
+    let server = serve(Arc::clone(&db), &ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut setup = Client::connect(&addr).unwrap();
+    setup.expect_ok("CREATE TABLE t (DIM 6)").unwrap();
+    setup.expect_ok("SYNTH t ROWS 1500 SEED 21 NOISE 0.05").unwrap();
+    setup.expect_ok("TRAIN base ON t ALGO noiseless PASSES 1 SEED 2").unwrap();
+    setup.expect_ok("SAVE MODEL base").unwrap();
+
+    let writer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut w = Client::connect(&addr).unwrap();
+            w.expect_ok("TRAIN heavy ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 5 BATCH 5 SEED 8")
+                .unwrap()
+        })
+    };
+    let reader = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut r = Client::connect(&addr).unwrap();
+            let first = r.expect_ok("EVAL MODEL base VERSION 1 ON t").unwrap();
+            for _ in 0..9 {
+                assert_eq!(r.expect_ok("EVAL MODEL base VERSION 1 ON t").unwrap(), first);
+            }
+            first
+        })
+    };
+    assert!(writer.join().unwrap().starts_with("ok trained=heavy"));
+    assert!(reader.join().unwrap().starts_with("ok rows=1500"));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
