@@ -158,7 +158,8 @@ impl Shell {
                     QueryResult::Trained { .. }
                     | QueryResult::Scores { .. }
                     | QueryResult::ModelVersioned { .. }
-                    | QueryResult::Models(_),
+                    | QueryResult::Models(_)
+                    | QueryResult::Checkpointed { .. },
                 ) => Ok("ok".into()),
                 Err(e) => Err(e.to_string()),
             },

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! # serve (env knobs below; flags override env)
-//! $ bismarck_serve [--addr 127.0.0.1:5433] [--registry DIR] [--max-conn N]
+//! $ bismarck_serve [--addr 127.0.0.1:5433] [--registry DIR] [--data DIR] [--max-conn N]
 //! listening on 127.0.0.1:5433
 //!
 //! # line-protocol client: statements from stdin, responses to stdout
@@ -18,11 +18,18 @@
 //!   default `127.0.0.1:5433`.
 //! * `BOLTON_SERVE_REGISTRY` — model-registry directory; unset ⇒ no
 //!   registry (SAVE/LOAD MODEL error).
+//! * `BOLTON_SERVE_DATA` — durable table data directory (write-ahead log +
+//!   checkpoints); unset ⇒ tables are in-process only and `CHECKPOINT`
+//!   errors. On start the server replays the log and recovers every table.
+//! * `BOLTON_WAL_SYNC` — `always` (default; fsync before every ack) or
+//!   `off` (fsync only at CHECKPOINT — crash may lose the unsynced tail).
+//! * `BOLTON_WAL_CHECKPOINT_EVERY` — auto-CHECKPOINT after this many
+//!   logged records; `0` (default) = manual `CHECKPOINT` only.
 //! * `BOLTON_SERVE_MAX_CONN` — connection limit; default 64.
 //! * `BOLTON_THREADS` — worker-pool width for TRAIN / batch scoring.
 
 use bolton_bismarck::server::{serve, Client};
-use bolton_bismarck::{Db, ServerConfig};
+use bolton_bismarck::{Db, DurabilityOptions, ServerConfig};
 use std::io::BufRead;
 use std::sync::Arc;
 
@@ -34,6 +41,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = env_or("BOLTON_SERVE_ADDR", "127.0.0.1:5433");
     let mut registry = std::env::var("BOLTON_SERVE_REGISTRY").ok().filter(|v| !v.is_empty());
+    let mut data = std::env::var("BOLTON_SERVE_DATA").ok().filter(|v| !v.is_empty());
+    let sync_wal = match env_or("BOLTON_WAL_SYNC", "always").as_str() {
+        "always" => true,
+        "off" => false,
+        other => panic!("BOLTON_WAL_SYNC: 'always' or 'off', got '{other}'"),
+    };
+    let checkpoint_every: u64 = env_or("BOLTON_WAL_CHECKPOINT_EVERY", "0")
+        .parse()
+        .expect("BOLTON_WAL_CHECKPOINT_EVERY: integer");
     let mut max_conn: usize =
         env_or("BOLTON_SERVE_MAX_CONN", "64").parse().expect("BOLTON_SERVE_MAX_CONN: integer");
     let mut client_addr: Option<String> = None;
@@ -44,6 +60,7 @@ fn main() {
         match arg.as_str() {
             "--addr" => addr = it.next().expect("--addr needs a value"),
             "--registry" => registry = Some(it.next().expect("--registry needs a value")),
+            "--data" => data = Some(it.next().expect("--data needs a value")),
             "--max-conn" => {
                 max_conn = it
                     .next()
@@ -69,15 +86,27 @@ fn main() {
         std::process::exit(run_client(&addr));
     }
 
-    let db = match &registry {
-        Some(dir) => Db::with_registry(dir).expect("open model registry"),
-        None => Db::new(),
+    let db = match (&data, &registry) {
+        (Some(data_dir), registry) => {
+            let mut opts = DurabilityOptions::new(data_dir)
+                .sync_wal(sync_wal)
+                .checkpoint_every(checkpoint_every);
+            if let Some(dir) = registry {
+                opts = opts.registry(dir);
+            }
+            Db::open_with(opts).expect("open durable data directory")
+        }
+        (None, Some(dir)) => Db::with_registry(dir).expect("open model registry"),
+        (None, None) => Db::new(),
     };
     let config = ServerConfig { addr, max_connections: max_conn };
     let server = serve(Arc::new(db), &config).expect("bind server address");
     println!("listening on {}", server.addr());
     if let Some(dir) = &registry {
         println!("registry at {dir}");
+    }
+    if let Some(dir) = &data {
+        println!("data at {dir}");
     }
     // Serve until a client issues SHUTDOWN.
     server.wait();

@@ -76,7 +76,8 @@ fn main() {
                 QueryResult::Trained { .. }
                 | QueryResult::Scores { .. }
                 | QueryResult::ModelVersioned { .. }
-                | QueryResult::Models(_),
+                | QueryResult::Models(_)
+                | QueryResult::Checkpointed { .. },
             ) => println!("ok"),
             Ok(QueryResult::Stats(columns)) => {
                 println!("#column\tmin\tmax\tmean\tstd");

@@ -32,6 +32,12 @@ struct Frame {
     page: Page,
     dirty: bool,
     referenced: bool,
+    /// Highest WAL LSN whose change this frame holds (0 = none recorded).
+    /// Purely bookkeeping for the durability layer: the WAL is synced per
+    /// statement before acknowledgement, so any LSN found on a dirty frame
+    /// is already durable in the log by the time the frame could be
+    /// written back.
+    lsn: u64,
 }
 
 /// A buffer pool over a heap file.
@@ -52,7 +58,13 @@ impl BufferPool {
     pub fn new(storage: Box<dyn HeapStorage>, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let frames = (0..capacity)
-            .map(|_| Frame { pid: None, page: Page::new(), dirty: false, referenced: false })
+            .map(|_| Frame {
+                pid: None,
+                page: Page::new(),
+                dirty: false,
+                referenced: false,
+                lsn: 0,
+            })
             .collect();
         Self { frames, resident: HashMap::new(), hand: 0, storage, stats: PoolStats::default() }
     }
@@ -113,9 +125,33 @@ impl BufferPool {
                 let pid = self.frames[i].pid.expect("dirty frame must hold a page");
                 self.storage.write_page(pid, &self.frames[i].page)?;
                 self.frames[i].dirty = false;
+                self.frames[i].lsn = 0;
             }
         }
         Ok(())
+    }
+
+    /// Flushes every dirty frame and fsyncs the underlying heap, so a
+    /// file-backed table is bytewise complete on disk. Checkpoints call
+    /// this on named-file tables before snapshotting them.
+    pub fn flush_and_sync(&mut self) -> DbResult<()> {
+        self.flush()?;
+        self.storage.sync()
+    }
+
+    /// Tags page `pid`'s resident frame with WAL position `lsn` (a no-op
+    /// if the page is not resident — its change is already on storage,
+    /// written back when the frame was reclaimed).
+    pub fn stamp_lsn(&mut self, pid: usize, lsn: u64) {
+        if let Some(&frame) = self.resident.get(&pid) {
+            self.frames[frame].lsn = self.frames[frame].lsn.max(lsn);
+        }
+    }
+
+    /// Highest LSN stamped on any dirty frame (0 = none): the WAL position
+    /// the log must be durable through before these frames may hit disk.
+    pub fn max_dirty_lsn(&self) -> u64 {
+        self.frames.iter().filter(|f| f.dirty).map(|f| f.lsn).max().unwrap_or(0)
     }
 
     fn fetch(&mut self, pid: usize) -> DbResult<usize> {
@@ -141,6 +177,7 @@ impl BufferPool {
         f.pid = Some(pid);
         f.dirty = dirty;
         f.referenced = true;
+        f.lsn = 0;
         self.resident.insert(pid, frame);
     }
 
@@ -168,6 +205,7 @@ impl BufferPool {
             self.resident.remove(&pid);
             self.frames[i].pid = None;
             self.frames[i].dirty = false;
+            self.frames[i].lsn = 0;
             return Ok(i);
         }
     }
@@ -278,6 +316,39 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_panics() {
         BufferPool::new(Box::new(MemHeap::new()), 0);
+    }
+
+    #[test]
+    fn lsn_stamps_track_dirty_frames() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 2);
+        pool.append_page(&page_with(1.0)).unwrap();
+        pool.append_page(&page_with(2.0)).unwrap();
+        assert_eq!(pool.max_dirty_lsn(), 0);
+        pool.with_page_mut(0, |_| ()).unwrap();
+        pool.stamp_lsn(0, 7);
+        pool.with_page_mut(1, |_| ()).unwrap();
+        pool.stamp_lsn(1, 9);
+        // A lower stamp never regresses the frame.
+        pool.stamp_lsn(1, 3);
+        assert_eq!(pool.max_dirty_lsn(), 9);
+        // Flushing clears dirty bits and stamps together.
+        pool.flush_and_sync().unwrap();
+        assert_eq!(pool.max_dirty_lsn(), 0);
+        // Stamping a non-resident page is a quiet no-op.
+        pool.stamp_lsn(99, 1);
+        assert_eq!(pool.max_dirty_lsn(), 0);
+    }
+
+    #[test]
+    fn eviction_clears_the_frame_stamp() {
+        let mut pool = BufferPool::new(Box::new(MemHeap::new()), 1);
+        pool.append_page(&page_with(1.0)).unwrap();
+        pool.append_page(&page_with(2.0)).unwrap(); // evicts page 0's frame
+        pool.with_page_mut(1, |_| ()).unwrap();
+        pool.stamp_lsn(1, 5);
+        assert_eq!(pool.max_dirty_lsn(), 5);
+        pool.with_page(0, read_value).unwrap(); // evicts page 1, writes it back
+        assert_eq!(pool.max_dirty_lsn(), 0);
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub enum DbError {
     ModelNotFound(String),
     /// A model registry operation failed (versioning, format, manifest).
     Model(String),
+    /// A write-ahead-log / durability operation failed (logging, sync,
+    /// checkpoint, recovery).
+    Wal(String),
 }
 
 impl fmt::Display for DbError {
@@ -80,6 +83,7 @@ impl fmt::Display for DbError {
             DbError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
             DbError::ModelNotFound(name) => write!(f, "model '{name}' not found"),
             DbError::Model(msg) => write!(f, "model registry error: {msg}"),
+            DbError::Wal(msg) => write!(f, "write-ahead log error: {msg}"),
         }
     }
 }

@@ -1,0 +1,419 @@
+//! Deterministic fault injection for durability code paths.
+//!
+//! Every write-side filesystem operation the durability layer performs —
+//! creating files, appending, fsync, rename, directory sync — goes through
+//! the [`Vfs`] trait. Production code uses [`StdVfs`], a thin veneer over
+//! `std::fs`. Crash tests use [`FaultVfs`], which counts operations on one
+//! global counter and injects a crash at the N-th one: the operation fails
+//! (optionally after writing a torn prefix), and every later operation
+//! fails too, exactly as if the process had died mid-call.
+//!
+//! [`FaultVfs`] also models the page cache: bytes written through it are
+//! buffered and only reach the real file on a successful `sync`. A crash
+//! therefore *loses* unsynced writes — which is what makes "acknowledged
+//! writes survive, unacknowledged ones vanish" a testable property in a
+//! single process, without actually killing anything.
+//!
+//! The test recipe is two-phase: run the workload once with
+//! [`FaultVfs::counting`] to learn the total operation count `T`, then for
+//! every `k in 0..T` rerun it on a fresh directory with
+//! [`FaultVfs::crash_at`]`(k)`, reopen with [`StdVfs`], and assert the
+//! recovery invariants. That loop *is* the systematic crash matrix.
+
+use crate::error::{DbError, DbResult};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A writable file handle vended by a [`Vfs`].
+///
+/// Handles are `&self` so they can be shared behind an `Arc` (the WAL's
+/// group commit syncs the same handle from many sessions).
+pub trait VfsFile: Send + Sync {
+    /// Appends `buf` to the file.
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn write_all(&self, buf: &[u8]) -> DbResult<()>;
+
+    /// Makes every byte written so far durable (`fsync`).
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn sync(&self) -> DbResult<()>;
+}
+
+/// The write-side filesystem surface of the durability layer.
+///
+/// Reads deliberately stay on `std::fs`: recovery always reopens with a
+/// fresh [`StdVfs`], so only the writing process is subject to faults.
+pub trait Vfs: Send + Sync {
+    /// Creates (truncating) `path` for writing.
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn create(&self, path: &Path) -> DbResult<Arc<dyn VfsFile>>;
+
+    /// Opens `path` for appending, creating it if missing.
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn open_append(&self, path: &Path) -> DbResult<Arc<dyn VfsFile>>;
+
+    /// Atomically renames `from` to `to`.
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn rename(&self, from: &Path, to: &Path) -> DbResult<()>;
+
+    /// Truncates `path` to `len` bytes and syncs it (used to drop a torn
+    /// WAL tail before appending past it).
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn truncate(&self, path: &Path, len: u64) -> DbResult<()>;
+
+    /// Opens `path` and fsyncs it (for files written by code that does not
+    /// go through the vfs, e.g. the row-store writer).
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn sync_file(&self, path: &Path) -> DbResult<()>;
+
+    /// Fsyncs the directory itself, making renames and creations in it
+    /// durable.
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn sync_dir(&self, dir: &Path) -> DbResult<()>;
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs
+// ---------------------------------------------------------------------------
+
+/// The production [`Vfs`]: straight `std::fs`, no buffering, no faults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdVfs;
+
+struct StdVfsFile {
+    file: File,
+}
+
+impl VfsFile for StdVfsFile {
+    fn write_all(&self, buf: &[u8]) -> DbResult<()> {
+        (&self.file).write_all(buf)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> DbResult<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create(&self, path: &Path) -> DbResult<Arc<dyn VfsFile>> {
+        Ok(Arc::new(StdVfsFile { file: File::create(path)? }))
+    }
+
+    fn open_append(&self, path: &Path) -> DbResult<Arc<dyn VfsFile>> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Arc::new(StdVfsFile { file }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> DbResult<()> {
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> DbResult<()> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> DbResult<()> {
+        File::open(path)?.sync_all()?;
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> DbResult<()> {
+        // Directory fsync is a no-op on some platforms; opening read-only
+        // and syncing is the portable idiom (same as the model registry).
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+// ---------------------------------------------------------------------------
+
+/// The message carried by every injected failure. Tests should prefer
+/// [`FaultVfs::crashed`] over string matching.
+pub const INJECTED_CRASH: &str = "injected crash (fault harness)";
+
+fn injected() -> DbError {
+    DbError::Io(std::io::Error::other(INJECTED_CRASH))
+}
+
+struct FaultState {
+    ops: AtomicU64,
+    /// Operation index that crashes; `u64::MAX` = count only.
+    crash_at: u64,
+    /// On a crashing `write_all`, how many bytes of it still reach the
+    /// file (a torn write). Zero = the write is lost entirely.
+    torn_bytes: usize,
+    crashed: AtomicBool,
+}
+
+impl FaultState {
+    /// Gates one operation: errors if already crashed, else claims the next
+    /// op index and reports whether this op is the crash point.
+    fn step(&self) -> DbResult<bool> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(injected());
+        }
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        if n == self.crash_at {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}
+
+/// A fault-injecting [`Vfs`] with one global, deterministic op counter.
+///
+/// Writes are buffered per file and only flushed to disk by a successful
+/// `sync`, so a crash drops everything unsynced — see the module docs for
+/// the crash-matrix recipe.
+#[derive(Clone)]
+pub struct FaultVfs {
+    state: Arc<FaultState>,
+}
+
+impl FaultVfs {
+    /// Counts operations without ever crashing (the probe phase).
+    pub fn counting() -> Self {
+        Self::with(u64::MAX, 0)
+    }
+
+    /// Crashes at op `n` (0-based); the crashing op performs nothing.
+    pub fn crash_at(n: u64) -> Self {
+        Self::with(n, 0)
+    }
+
+    /// Crashes at op `n`; if that op is a `write_all`, its first
+    /// `keep_bytes` bytes still reach the file (a torn write).
+    pub fn crash_torn(n: u64, keep_bytes: usize) -> Self {
+        Self::with(n, keep_bytes)
+    }
+
+    fn with(crash_at: u64, torn_bytes: usize) -> Self {
+        FaultVfs {
+            state: Arc::new(FaultState {
+                ops: AtomicU64::new(0),
+                crash_at,
+                torn_bytes,
+                crashed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Operations gated so far (valid crash indices are `0..ops()`).
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the crash point was reached.
+    pub fn crashed(&self) -> bool {
+        self.state.crashed.load(Ordering::SeqCst)
+    }
+}
+
+struct FaultVfsFile {
+    path: PathBuf,
+    file: Mutex<File>,
+    /// Bytes written but not yet synced — the modelled page cache.
+    pending: Mutex<Vec<u8>>,
+    state: Arc<FaultState>,
+}
+
+impl VfsFile for FaultVfsFile {
+    fn write_all(&self, buf: &[u8]) -> DbResult<()> {
+        // Lock order: pending before the step gate, so a concurrent sync
+        // that flushes cannot interleave with a torn-write spill.
+        let mut pending = self.pending.lock().expect("fault pending lock");
+        if self.state.step()? {
+            if self.state.torn_bytes > 0 {
+                // A torn write: the OS flushed everything buffered so far
+                // plus a prefix of this write, then the machine died.
+                let keep = self.state.torn_bytes.min(buf.len());
+                let file = self.file.lock().expect("fault file lock");
+                (&*file).write_all(&pending)?;
+                (&*file).write_all(&buf[..keep])?;
+                pending.clear();
+            }
+            return Err(injected());
+        }
+        pending.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&self) -> DbResult<()> {
+        let mut pending = self.pending.lock().expect("fault pending lock");
+        if self.state.step()? {
+            // Crash during fsync: the buffered bytes never hit the platter.
+            return Err(injected());
+        }
+        let file = self.file.lock().expect("fault file lock");
+        if !pending.is_empty() {
+            (&*file).write_all(&pending)?;
+            pending.clear();
+        }
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create(&self, path: &Path) -> DbResult<Arc<dyn VfsFile>> {
+        if self.state.step()? {
+            return Err(injected());
+        }
+        let file = File::create(path)?;
+        Ok(Arc::new(FaultVfsFile {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            pending: Mutex::new(Vec::new()),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> DbResult<Arc<dyn VfsFile>> {
+        if self.state.step()? {
+            return Err(injected());
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Arc::new(FaultVfsFile {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            pending: Mutex::new(Vec::new()),
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> DbResult<()> {
+        if self.state.step()? {
+            return Err(injected());
+        }
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> DbResult<()> {
+        if self.state.step()? {
+            return Err(injected());
+        }
+        StdVfs.truncate(path, len)
+    }
+
+    fn sync_file(&self, path: &Path) -> DbResult<()> {
+        if self.state.step()? {
+            return Err(injected());
+        }
+        StdVfs.sync_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> DbResult<()> {
+        if self.state.step()? {
+            return Err(injected());
+        }
+        StdVfs.sync_dir(dir)
+    }
+}
+
+impl std::fmt::Debug for FaultVfsFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultVfsFile({})", self.path.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bolton-fault-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn std_vfs_appends_and_syncs() {
+        let path = temp_path("std");
+        let _ = fs::remove_file(&path);
+        let f = StdVfs.open_append(&path).unwrap();
+        f.write_all(b"hello ").unwrap();
+        f.write_all(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello world");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsynced_writes_are_lost_on_crash() {
+        let path = temp_path("lost");
+        let _ = fs::remove_file(&path);
+        let vfs = FaultVfs::crash_at(3); // create, write, sync, <crash on write>
+        let f = vfs.create(&path).unwrap();
+        f.write_all(b"durable").unwrap();
+        f.sync().unwrap();
+        assert!(f.write_all(b" volatile").is_err());
+        assert!(vfs.crashed());
+        // Only the synced prefix is on disk.
+        assert_eq!(fs::read(&path).unwrap(), b"durable");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let path = temp_path("torn");
+        let _ = fs::remove_file(&path);
+        let vfs = FaultVfs::crash_torn(1, 3); // create, <torn write>
+        let f = vfs.create(&path).unwrap();
+        assert!(f.write_all(b"abcdef").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"abc");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_op_after_the_crash_fails() {
+        let path = temp_path("after");
+        let _ = fs::remove_file(&path);
+        let vfs = FaultVfs::crash_at(0);
+        assert!(vfs.create(&path).is_err());
+        assert!(vfs.open_append(&path).is_err());
+        assert!(vfs.sync_dir(&std::env::temp_dir()).is_err());
+        assert!(vfs.crashed());
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn counting_mode_never_crashes_and_reports_ops() {
+        let path = temp_path("count");
+        let _ = fs::remove_file(&path);
+        let vfs = FaultVfs::counting();
+        let f = vfs.create(&path).unwrap();
+        f.write_all(b"x").unwrap();
+        f.sync().unwrap();
+        vfs.sync_dir(&std::env::temp_dir()).unwrap();
+        assert_eq!(vfs.ops(), 4);
+        assert!(!vfs.crashed());
+        let _ = fs::remove_file(&path);
+    }
+}

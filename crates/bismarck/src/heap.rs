@@ -29,6 +29,14 @@ pub trait HeapStorage: Send {
     /// Appends a page, returning its id.
     fn append_page(&mut self, page: &Page) -> DbResult<usize>;
 
+    /// Makes every written page durable (fsync for file-backed heaps;
+    /// a no-op in memory). Checkpoints call this through
+    /// [`BufferPool::flush_and_sync`](crate::buffer::BufferPool::flush_and_sync)
+    /// so a named heap file is never left behind a snapshot it feeds.
+    fn sync(&mut self) -> DbResult<()> {
+        Ok(())
+    }
+
     /// Human-readable backing description (for EXPLAIN-style output).
     fn describe(&self) -> String;
 }
@@ -161,6 +169,11 @@ impl HeapStorage for FileHeap {
         Ok(self.pages - 1)
     }
 
+    fn sync(&mut self) -> DbResult<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
     fn describe(&self) -> String {
         format!("disk {} ({} pages)", self.path.display(), self.pages)
     }
@@ -274,5 +287,16 @@ mod tests {
     fn backing_open_variants() {
         assert!(Backing::Memory.open().is_ok());
         assert!(Backing::TempFile.open().is_ok());
+    }
+
+    #[test]
+    fn sync_succeeds_on_both_backings() {
+        let mut mem = MemHeap::new();
+        mem.sync().unwrap();
+        let mut file = FileHeap::temp().unwrap();
+        let mut page = Page::new();
+        page.push_row(&[1.0], 1.0).unwrap();
+        file.append_page(&page).unwrap();
+        file.sync().unwrap();
     }
 }

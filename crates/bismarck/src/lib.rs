@@ -34,12 +34,25 @@
 //! * [`registry`] — the versioned, crash-safe on-disk [`ModelRegistry`].
 //! * [`server`] — the `bismarck_serve` line-protocol server loop
 //!   (TCP/Unix socket, thread-per-connection) and its [`server::Client`].
+//!
+//! Tables themselves are durable when the [`Db`] is opened on a data
+//! directory ([`Db::open`]):
+//!
+//! * [`wal`] — the checksummed, length-prefixed write-ahead log with
+//!   group commit; every mutation is logged and fsynced before it is
+//!   acknowledged, and `CHECKPOINT` snapshots tables into the
+//!   `bolton_data` row-store format then truncates the log.
+//! * [`fault`] — the deterministic fault-injection [`Vfs`]
+//!   the crash-recovery tests (and the model registry) use to prove every
+//!   crash window: fail, short-write, or torn-write at the N-th
+//!   filesystem operation.
 
 pub mod buffer;
 pub mod catalog;
 pub mod db;
 pub mod driver;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod registry;
@@ -49,12 +62,14 @@ pub mod sql;
 pub mod synth;
 pub mod table;
 pub mod uda;
+pub mod wal;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use catalog::Catalog;
-pub use db::Db;
+pub use db::{Db, DurabilityOptions};
 pub use driver::{train, DriverConfig, TrainedModel};
 pub use error::{DbError, DbResult};
+pub use fault::{FaultVfs, StdVfs, Vfs, VfsFile};
 pub use heap::Backing;
 pub use page::{Page, PAGE_SIZE};
 pub use registry::{ModelRegistry, ModelVersion};
@@ -63,3 +78,4 @@ pub use session::{score_batch, Session};
 pub use synth::{synthesize, SynthSpec};
 pub use table::Table;
 pub use uda::{run_aggregate, Aggregate, AvgAggregate, SgdEpochAggregate};
+pub use wal::{Wal, WalRecord};

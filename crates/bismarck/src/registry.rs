@@ -31,10 +31,10 @@
 //! immutable version, so the serving hot path never re-reads disk.
 
 use crate::error::{DbError, DbResult};
+use crate::fault::{StdVfs, Vfs};
 use bolton::model_io;
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -68,6 +68,10 @@ struct Entry {
 /// registry can be shared by every session of a [`crate::db::Db`].
 pub struct ModelRegistry {
     dir: PathBuf,
+    /// The I/O layer commits run through. [`StdVfs`] in production; the
+    /// crash-window tests inject a [`crate::fault::FaultVfs`] to fail,
+    /// short-write, or tear any single filesystem operation.
+    vfs: Arc<dyn Vfs>,
     state: Mutex<BTreeMap<String, BTreeMap<u64, Entry>>>,
     /// Versions reserved by in-flight commits. Reserving under a short
     /// lock and then releasing `state` for the artifact I/O keeps the
@@ -103,6 +107,16 @@ impl ModelRegistry {
     /// # Errors
     /// I/O failures creating or reading the directory.
     pub fn open(dir: impl Into<PathBuf>) -> DbResult<Self> {
+        Self::open_with_vfs(dir, Arc::new(StdVfs))
+    }
+
+    /// [`ModelRegistry::open`] with an explicit I/O layer — the hook the
+    /// fault-injection tests use to crash a commit at any single
+    /// filesystem operation.
+    ///
+    /// # Errors
+    /// See [`ModelRegistry::open`].
+    pub fn open_with_vfs(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> DbResult<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         for entry in fs::read_dir(&dir)? {
@@ -126,6 +140,7 @@ impl ModelRegistry {
         }
         Ok(Self {
             dir,
+            vfs,
             state: Mutex::new(state),
             reserved: Mutex::default(),
             cache: Mutex::default(),
@@ -198,37 +213,30 @@ impl ModelRegistry {
         let tmp = self.dir.join(format!("{file}.tmp"));
         let path = self.dir.join(&file);
         {
-            let mut out = File::create(&tmp)?;
+            let out = self.vfs.create(&tmp)?;
             out.write_all(&bytes)?;
-            out.sync_all()?;
+            out.sync()?;
         }
         // The commit point: rename is atomic, so a crash before here leaves
         // only an ignorable .tmp; a crash after here but before the
         // manifest append leaves an unreferenced artifact (also ignored).
-        fs::rename(&tmp, &path)?;
+        self.vfs.rename(&tmp, &path)?;
         // Durability of the rename (a directory-metadata update) needs the
         // directory itself synced, or a power loss could roll the commit
         // back after save() already acknowledged it.
-        self.sync_dir()?;
+        self.vfs.sync_dir(&self.dir)?;
         {
-            let mut log =
-                OpenOptions::new().create(true).append(true).open(self.manifest_path())?;
+            let log = self.vfs.open_append(&self.manifest_path())?;
             // One write_all per line: concurrent commits append whole
             // lines, never interleaved fragments.
             let line = format!("v1 {name} {version} {} {checksum:016x} {file}\n", w.len());
             log.write_all(line.as_bytes())?;
-            log.sync_all()?;
+            log.sync()?;
         }
         // And once more for the manifest's own directory entry, in case
         // this save created the MANIFEST file.
-        self.sync_dir()?;
+        self.vfs.sync_dir(&self.dir)?;
         Ok(Entry { dim: w.len(), checksum, file })
-    }
-
-    /// Fsyncs the registry directory so renames/creations are durable.
-    fn sync_dir(&self) -> DbResult<()> {
-        File::open(&self.dir)?.sync_all()?;
-        Ok(())
     }
 
     /// Loads `(name, version)`; `version: None` loads the latest. The
@@ -415,16 +423,34 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The fault harness numbers a commit's vfs operations 0..9:
+    /// create tmp, artifact write, artifact fsync, rename, dir fsync,
+    /// manifest open, manifest write, manifest fsync, dir fsync.
+    fn probe_commit_ops() -> u64 {
+        let dir = temp_registry("probe");
+        let vfs = crate::fault::FaultVfs::counting();
+        let reg = ModelRegistry::open_with_vfs(&dir, Arc::new(vfs.clone())).unwrap();
+        reg.save("m", None, &[1.0]).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        vfs.ops()
+    }
+
     #[test]
-    fn crash_between_write_and_rename_leaves_old_version_intact() {
+    fn crash_before_rename_leaves_old_version_intact() {
         let dir = temp_registry("crash-tmp");
         {
             let reg = ModelRegistry::open(&dir).unwrap();
             reg.save("m", None, &[1.0, 2.0]).unwrap();
         }
-        // Simulate a crash mid-commit of v2: the temp artifact was written
-        // but never renamed, and no manifest line was appended.
-        fs::write(dir.join("m.v2.model.tmp"), b"half-written artifact").unwrap();
+        // Crash mid-commit of v2 at op 3, the rename: the temp artifact
+        // was written and synced but never renamed, and no manifest line
+        // was appended.
+        let vfs = crate::fault::FaultVfs::crash_at(3);
+        {
+            let reg = ModelRegistry::open_with_vfs(&dir, Arc::new(vfs.clone())).unwrap();
+            assert!(reg.save("m", None, &[9.0]).is_err());
+            assert!(vfs.crashed());
+        }
         let reg = ModelRegistry::open(&dir).unwrap();
         assert_eq!(reg.latest("m"), Some(1));
         assert_eq!(reg.load("m", None).unwrap(), vec![1.0, 2.0]);
@@ -440,9 +466,16 @@ mod tests {
             let reg = ModelRegistry::open(&dir).unwrap();
             reg.save("m", None, &[1.0]).unwrap();
         }
-        // Artifact renamed into place, but the commit (manifest append)
-        // never happened — the registry must not serve it.
-        fs::write(dir.join("m.v2.model"), bolton::model_io::save_linear_to_vec(&[9.0])).unwrap();
+        // Crash at op 5 (the manifest open): the artifact was renamed into
+        // place, but the commit (manifest append) never happened — the
+        // registry must not serve it.
+        let vfs = crate::fault::FaultVfs::crash_at(5);
+        {
+            let reg = ModelRegistry::open_with_vfs(&dir, Arc::new(vfs.clone())).unwrap();
+            assert!(reg.save("m", None, &[9.0]).is_err());
+            assert!(vfs.crashed());
+        }
+        assert!(dir.join("m.v2.model").exists(), "crash landed after the rename");
         let reg = ModelRegistry::open(&dir).unwrap();
         assert_eq!(reg.latest("m"), Some(1));
         assert!(matches!(reg.load("m", Some(2)), Err(DbError::ModelNotFound(_))));
@@ -456,13 +489,53 @@ mod tests {
             let reg = ModelRegistry::open(&dir).unwrap();
             reg.save("m", None, &[1.0]).unwrap();
         }
-        // A crash mid-append leaves a truncated final line.
-        let mut log = OpenOptions::new().append(true).open(dir.join(MANIFEST_FILE)).unwrap();
-        write!(log, "v1 m 2 1 deadbeef").unwrap(); // no file column, no newline
-        drop(log);
+        // A torn write at op 6 (the manifest append) leaves a truncated
+        // final line on disk — no newline, no file column.
+        let vfs = crate::fault::FaultVfs::crash_torn(6, 10);
+        {
+            let reg = ModelRegistry::open_with_vfs(&dir, Arc::new(vfs.clone())).unwrap();
+            assert!(reg.save("m", None, &[9.0]).is_err());
+            assert!(vfs.crashed());
+        }
+        let manifest = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert!(!manifest.ends_with('\n'), "tail line is torn: {manifest:?}");
         let reg = ModelRegistry::open(&dir).unwrap();
         assert_eq!(reg.latest("m"), Some(1));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_commit_crash_point_recovers_cleanly() {
+        let total = probe_commit_ops();
+        assert_eq!(total, 9, "the commit path changed; update the op map above");
+        for k in 0..total {
+            let dir = temp_registry(&format!("matrix-{k}"));
+            {
+                let reg = ModelRegistry::open(&dir).unwrap();
+                reg.save("m", None, &[1.0, 2.0]).unwrap();
+            }
+            let vfs = crate::fault::FaultVfs::crash_at(k);
+            {
+                let reg = ModelRegistry::open_with_vfs(&dir, Arc::new(vfs.clone())).unwrap();
+                assert!(reg.save("m", None, &[3.0, 4.0]).is_err(), "op {k} should crash");
+                assert!(vfs.crashed(), "op {k} was never reached");
+            }
+            // Reopen with the real filesystem: v1 always survives, and v2
+            // is either fully committed or cleanly absent (and then
+            // assignable again) — never half-visible.
+            let reg = ModelRegistry::open(&dir).unwrap();
+            assert_eq!(reg.load("m", Some(1)).unwrap(), vec![1.0, 2.0], "op {k} damaged v1");
+            match reg.latest("m") {
+                Some(2) => {
+                    assert_eq!(reg.load("m", Some(2)).unwrap(), vec![3.0, 4.0], "op {k}");
+                }
+                Some(1) => {
+                    assert_eq!(reg.save("m", None, &[3.0, 4.0]).unwrap(), 2, "op {k}");
+                }
+                other => panic!("op {k}: unexpected latest {other:?}"),
+            }
+            fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

@@ -419,6 +419,9 @@ fn write_result(w: &mut impl Write, result: &QueryResult) -> std::io::Result<()>
             }
             writeln!(w, "ok count={}", models.len())
         }
+        QueryResult::Checkpointed { tables, lsn } => {
+            writeln!(w, "ok tables={tables} lsn={lsn}")
+        }
     }
 }
 

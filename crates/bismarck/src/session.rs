@@ -17,6 +17,7 @@ use crate::heap::Backing;
 use crate::sql::{self, QueryResult, Statement, TrainAlgo, TrainStmt};
 use crate::synth::{synthesize, SynthSpec};
 use crate::table::{Table, DEFAULT_POOL_PAGES};
+use crate::wal::WalRecord;
 use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
 use bolton::Budget;
 use bolton_sgd::metrics;
@@ -120,22 +121,22 @@ impl Session {
             Statement::CreateTable { name, dim, disk } => {
                 let backing = if *disk { Backing::TempFile } else { Backing::Memory };
                 self.db.create_table(name, *dim, backing, DEFAULT_POOL_PAGES)?;
+                self.db.maybe_checkpoint()?;
                 Ok(QueryResult::Ok)
             }
             Statement::CreateTableFromStore { name, path, disk } => {
-                if self.db.table(name).is_ok() {
-                    return Err(DbError::TableExists(name.clone()));
-                }
-                let table = sql::table_from_store(name, path, *disk, DEFAULT_POOL_PAGES)?;
-                let rows = table.row_count();
-                self.db.register_table(table)?;
+                let rows =
+                    self.db.create_table_from_store(name, path, *disk, DEFAULT_POOL_PAGES)?;
+                self.db.maybe_checkpoint()?;
                 Ok(QueryResult::Count(rows))
             }
             Statement::Synth { name, rows, seed, noise } => {
                 // Hold the table's write lock for the whole rebuild: the
                 // emptiness check, synthesis, and swap are one atomic
                 // write, so no concurrent INSERT/DROP can interleave
-                // (check-then-act through the same guard).
+                // (check-then-act through the same guard). The WAL record
+                // carries the seed spec, so recovery re-synthesizes
+                // bit-identically instead of replaying rows.
                 let handle = self.db.table(name)?;
                 let mut table = handle.write().expect("table lock");
                 if table.row_count() != 0 {
@@ -149,13 +150,40 @@ impl Session {
                 };
                 let backing = table.backing().clone();
                 let mut rng = bolton_rng::seeded(*seed);
-                *table = synthesize(name, &spec, backing, DEFAULT_POOL_PAGES, &mut rng)?;
+                // Synthesize first (fallible), log only once the swap is
+                // certain — the table write lock keeps log order equal to
+                // apply order.
+                let rebuilt = synthesize(name, &spec, backing, DEFAULT_POOL_PAGES, &mut rng)?;
+                let lsn = self.db.log_record(&WalRecord::Synth {
+                    name: name.clone(),
+                    rows: *rows as u64,
+                    seed: *seed,
+                    noise: *noise,
+                })?;
+                *table = rebuilt;
+                if let Some(l) = lsn {
+                    table.note_lsn(l);
+                }
+                drop(table);
+                self.db.sync_lsn(lsn)?;
+                self.db.maybe_checkpoint()?;
                 Ok(QueryResult::Ok)
             }
             Statement::Insert { name, values } => {
                 let handle = self.db.table(name)?;
                 let mut table = handle.write().expect("table lock");
-                sql::insert_values(&mut table, values)
+                if values.len() != table.dim() + 1 {
+                    return Err(DbError::SchemaMismatch {
+                        expected: table.dim() + 1,
+                        got: values.len(),
+                    });
+                }
+                let (features, label) = values.split_at(values.len() - 1);
+                let lsn = self.db.log_apply_insert(&mut table, name, features, label[0])?;
+                drop(table);
+                self.db.sync_lsn(lsn)?;
+                self.db.maybe_checkpoint()?;
+                Ok(QueryResult::Ok)
             }
             Statement::Count { name } => {
                 let handle = self.db.table(name)?;
@@ -182,16 +210,37 @@ impl Session {
                 let mut table = handle.write().expect("table lock");
                 let mut rng = bolton_rng::seeded(*seed);
                 table.shuffle(&mut rng)?;
+                let lsn =
+                    self.db.log_record(&WalRecord::Shuffle { name: name.clone(), seed: *seed })?;
+                if let Some(l) = lsn {
+                    table.note_lsn(l);
+                }
+                drop(table);
+                self.db.sync_lsn(lsn)?;
+                self.db.maybe_checkpoint()?;
                 Ok(QueryResult::Ok)
             }
             Statement::DropTable { name } => {
                 self.db.drop_table(name)?;
+                self.db.maybe_checkpoint()?;
                 Ok(QueryResult::Ok)
             }
             Statement::CopyFrom { name, path } => {
                 let handle = self.db.table(name)?;
                 let mut table = handle.write().expect("table lock");
-                sql::copy_from(&mut table, path)
+                // Parse (and width-check) the whole file before touching the
+                // table, then log+apply each row under the one write lock
+                // with a single group-commit fsync at the end.
+                let rows = sql::read_csv_rows(path, table.dim())?;
+                let mut last_lsn = None;
+                for (features, label) in &rows {
+                    last_lsn = self.db.log_apply_insert(&mut table, name, features, *label)?;
+                }
+                table.flush()?;
+                drop(table);
+                self.db.sync_lsn(last_lsn)?;
+                self.db.maybe_checkpoint()?;
+                Ok(QueryResult::Count(rows.len()))
             }
             Statement::CopyTo { name, path } => {
                 let handle = self.db.table(name)?;
@@ -254,6 +303,10 @@ impl Session {
             Statement::Shutdown => Err(DbError::Parse(
                 "SHUTDOWN is only available over a server connection".to_string(),
             )),
+            Statement::Checkpoint => {
+                let (tables, lsn) = self.db.checkpoint()?;
+                Ok(QueryResult::Checkpointed { tables, lsn })
+            }
         }
     }
 
@@ -452,5 +505,44 @@ mod tests {
     fn shutdown_is_server_only() {
         let mut s = session_with_data();
         assert!(matches!(s.run("SHUTDOWN"), Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn checkpoint_needs_a_durable_db() {
+        let mut s = session_with_data();
+        assert!(matches!(s.run("CHECKPOINT"), Err(DbError::Wal(_))));
+    }
+
+    #[test]
+    fn durable_session_statements_survive_reopen() {
+        let dir = temp_dir("durable");
+        let csv = dir.join("rows.csv");
+        let reference;
+        {
+            let db = Arc::new(Db::open(&dir).unwrap());
+            let mut s = Session::new(Arc::clone(&db));
+            s.run("CREATE TABLE t (DIM 3)").unwrap();
+            s.run("SYNTH t ROWS 100 SEED 4 NOISE 0.1").unwrap();
+            s.run("SHUFFLE t SEED 8").unwrap();
+            s.run("INSERT INTO t VALUES (0.5, -0.25, 0.125, 1)").unwrap();
+            std::fs::write(&csv, "1,2,3,1\n4,5,6,-1\n").unwrap();
+            assert_eq!(
+                s.run(&format!("COPY t FROM '{}'", csv.display())).unwrap(),
+                QueryResult::Count(2)
+            );
+            let QueryResult::Checkpointed { tables, .. } = s.run("CHECKPOINT").unwrap() else {
+                panic!("expected Checkpointed");
+            };
+            assert_eq!(tables, 1);
+            // A post-checkpoint tail exercises replay-past-snapshot.
+            s.run("INSERT INTO t VALUES (9, 9, 9, -1)").unwrap();
+            reference = s.run("SELECT AVG(0) FROM t").unwrap();
+            assert_eq!(s.run("SELECT COUNT(*) FROM t").unwrap(), QueryResult::Count(104));
+        }
+        let db = Arc::new(Db::open(&dir).unwrap());
+        let mut s = Session::new(db);
+        assert_eq!(s.run("SELECT COUNT(*) FROM t").unwrap(), QueryResult::Count(104));
+        assert_eq!(s.run("SELECT AVG(0) FROM t").unwrap(), reference, "recovery is bit-exact");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -247,6 +247,10 @@ pub enum Statement {
     },
     /// `SHUTDOWN` — stop the serving process (server connections only).
     Shutdown,
+    /// `CHECKPOINT` — snapshot every table into the data directory's
+    /// row-store checkpoint and truncate the write-ahead log (durable
+    /// serving sessions only).
+    Checkpoint,
 }
 
 /// The result of executing a statement.
@@ -291,6 +295,13 @@ pub enum QueryResult {
     },
     /// LIST MODELS output.
     Models(Vec<crate::registry::ModelVersion>),
+    /// CHECKPOINT output.
+    Checkpointed {
+        /// Tables snapshotted.
+        tables: usize,
+        /// WAL position the snapshot covers (replay resumes past it).
+        lsn: u64,
+    },
 }
 
 fn parse_err(msg: impl Into<String>) -> DbError {
@@ -756,6 +767,7 @@ pub fn parse(input: &str) -> DbResult<Statement> {
             Statement::Execute { name, args }
         }
         "SHUTDOWN" => Statement::Shutdown,
+        "CHECKPOINT" => Statement::Checkpoint,
         _ => return Err(err_at(head_tok.off, format!("unknown statement '{head}'"))),
     };
     p.done()?;
@@ -920,7 +932,8 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult>
         | Statement::ListModels
         | Statement::Prepare { .. }
         | Statement::Execute { .. }
-        | Statement::Shutdown => Err(parse_err(
+        | Statement::Shutdown
+        | Statement::Checkpoint => Err(parse_err(
             "this statement needs a serving session (bolton_bismarck::Session over a Db)",
         )),
     }
@@ -977,12 +990,14 @@ pub(crate) fn avg_column(table: &Table, column: usize) -> DbResult<QueryResult> 
     Ok(QueryResult::Scalar(run_aggregate(table, &mut agg)?))
 }
 
-pub(crate) fn copy_from(table: &mut Table, path: &str) -> DbResult<QueryResult> {
+/// Parses a `COPY FROM` CSV file into `(features, label)` rows, validating
+/// every line's width against `dim` before anything is inserted (so a logged
+/// COPY never half-applies on a malformed file).
+pub(crate) fn read_csv_rows(path: &str, dim: usize) -> DbResult<Vec<(Vec<f64>, f64)>> {
     use std::io::BufRead;
-    let dim = table.dim();
     let file = std::fs::File::open(path)?;
     let reader = std::io::BufReader::new(file);
-    let mut loaded = 0usize;
+    let mut rows = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -991,17 +1006,24 @@ pub(crate) fn copy_from(table: &mut Table, path: &str) -> DbResult<QueryResult> 
         }
         let values: Result<Vec<f64>, _> =
             trimmed.split(',').map(|tok| tok.trim().parse::<f64>()).collect();
-        let values =
+        let mut values =
             values.map_err(|e| parse_err(format!("COPY line {}: bad number: {e}", idx + 1)))?;
         if values.len() != dim + 1 {
             return Err(DbError::SchemaMismatch { expected: dim + 1, got: values.len() });
         }
-        let (features, label) = values.split_at(dim);
-        table.insert(features, label[0])?;
-        loaded += 1;
+        let label = values.pop().expect("width checked above");
+        rows.push((values, label));
+    }
+    Ok(rows)
+}
+
+pub(crate) fn copy_from(table: &mut Table, path: &str) -> DbResult<QueryResult> {
+    let rows = read_csv_rows(path, table.dim())?;
+    for (features, label) in &rows {
+        table.insert(features, *label)?;
     }
     table.flush()?;
-    Ok(QueryResult::Count(loaded))
+    Ok(QueryResult::Count(rows.len()))
 }
 
 pub(crate) fn copy_to(table: &Table, path: &str) -> DbResult<QueryResult> {
@@ -1159,6 +1181,9 @@ mod tests {
         );
         assert_eq!(parse("LIST MODELS").unwrap(), Statement::ListModels);
         assert_eq!(parse("SHUTDOWN").unwrap(), Statement::Shutdown);
+        assert_eq!(parse("CHECKPOINT").unwrap(), Statement::Checkpoint);
+        assert_eq!(parse("checkpoint;").unwrap(), Statement::Checkpoint);
+        assert!(parse("CHECKPOINT now").is_err(), "trailing tokens rejected");
     }
 
     #[test]
@@ -1292,7 +1317,9 @@ mod tests {
     #[test]
     fn serving_statements_need_a_session() {
         let mut cat = Catalog::new();
-        for sql in ["TRAIN m ON t", "EVAL m ON t", "SAVE MODEL m", "LIST MODELS", "SHUTDOWN"] {
+        for sql in
+            ["TRAIN m ON t", "EVAL m ON t", "SAVE MODEL m", "LIST MODELS", "SHUTDOWN", "CHECKPOINT"]
+        {
             assert!(
                 matches!(run(&mut cat, sql), Err(DbError::Parse(_))),
                 "{sql} should be rejected on the catalog path"

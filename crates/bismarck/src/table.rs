@@ -32,6 +32,10 @@ pub struct Table {
     // effectively pinned (unevictable) exactly while its bytes are read.
     pool: Mutex<BufferPool>,
     tail_pid: Option<usize>,
+    /// Highest WAL LSN applied to this table (0 = none / not durable).
+    /// Maintained by the durability layer in `db.rs`; recovery uses it to
+    /// know where replay left the table.
+    last_lsn: u64,
 }
 
 impl Table {
@@ -58,6 +62,7 @@ impl Table {
             backing,
             pool: Mutex::new(BufferPool::new(storage, pool_pages)),
             tail_pid: None,
+            last_lsn: 0,
         })
     }
 
@@ -129,6 +134,33 @@ impl Table {
         pool.with_page_mut(pid, |p| p.push_row(features, label))??;
         self.rows += 1;
         Ok(())
+    }
+
+    /// Inserts one row and stamps it with the WAL position `lsn` — both
+    /// the table-level watermark and the touched page's frame. The
+    /// durability layer calls this so every applied change carries the
+    /// log position that justifies it.
+    ///
+    /// # Errors
+    /// [`DbError::SchemaMismatch`] if `features.len() != dim`.
+    pub fn insert_at_lsn(&mut self, features: &[f64], label: f64, lsn: u64) -> DbResult<()> {
+        self.insert(features, label)?;
+        self.note_lsn(lsn);
+        Ok(())
+    }
+
+    /// Records that this table's state now reflects WAL position `lsn`,
+    /// stamping the tail page's frame for the dirty-page bookkeeping.
+    pub fn note_lsn(&mut self, lsn: u64) {
+        self.last_lsn = self.last_lsn.max(lsn);
+        if let Some(pid) = self.tail_pid {
+            self.pool.lock().expect("pool latch").stamp_lsn(pid, lsn);
+        }
+    }
+
+    /// Highest WAL LSN applied to this table (0 = none recorded).
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
     }
 
     /// Bulk insert from an iterator of `(features, label)` rows.
@@ -239,6 +271,9 @@ impl Table {
         }
         shuffled.pool.lock().expect("pool latch").flush()?;
         let moved = shuffled.rows;
+        // The rebuilt table holds the same logical state: keep the LSN
+        // watermark rather than resetting it to "never logged".
+        shuffled.last_lsn = self.last_lsn;
         *self = shuffled;
         Ok(moved)
     }
@@ -246,6 +281,18 @@ impl Table {
     /// Flushes dirty pages to storage.
     pub fn flush(&self) -> DbResult<()> {
         self.pool.lock().expect("pool latch").flush()
+    }
+
+    /// Flushes dirty pages and fsyncs the heap — used by checkpoints on
+    /// named-file tables so the heap file itself is never behind the
+    /// snapshot taken from it.
+    pub fn flush_durable(&self) -> DbResult<()> {
+        self.pool.lock().expect("pool latch").flush_and_sync()
+    }
+
+    /// Highest LSN still sitting on a dirty (unflushed) page frame.
+    pub fn max_dirty_lsn(&self) -> u64 {
+        self.pool.lock().expect("pool latch").max_dirty_lsn()
     }
 }
 
@@ -471,6 +518,25 @@ mod tests {
     fn scan_range_bounds_checked() {
         let t = filled(Backing::Memory, 4, 10, 2);
         let _ = t.scan_range(0, 11, &mut |_, _, _| {});
+    }
+
+    #[test]
+    fn lsn_watermark_tracks_inserts_and_survives_shuffle() {
+        let mut t = Table::in_memory("t", 2);
+        assert_eq!(t.last_lsn(), 0);
+        t.insert_at_lsn(&[1.0, 2.0], 1.0, 5).unwrap();
+        t.insert_at_lsn(&[3.0, 4.0], -1.0, 9).unwrap();
+        assert_eq!(t.last_lsn(), 9);
+        assert_eq!(t.max_dirty_lsn(), 9);
+        t.flush_durable().unwrap();
+        assert_eq!(t.max_dirty_lsn(), 0, "flushed frames carry no dirty LSN");
+        assert_eq!(t.last_lsn(), 9, "the table watermark is not reset by a flush");
+        let mut rng = bolton_rng::seeded(7);
+        t.shuffle(&mut rng).unwrap();
+        assert_eq!(t.last_lsn(), 9, "shuffle preserves the watermark");
+        // A stale stamp never regresses the watermark.
+        t.note_lsn(3);
+        assert_eq!(t.last_lsn(), 9);
     }
 
     #[test]
