@@ -25,13 +25,65 @@
 //!   `off` (fsync only at CHECKPOINT — crash may lose the unsynced tail).
 //! * `BOLTON_WAL_CHECKPOINT_EVERY` — auto-CHECKPOINT after this many
 //!   logged records; `0` (default) = manual `CHECKPOINT` only.
+//! * `BOLTON_WAL_SYNC_WINDOW_US` — group-commit window in µs: a syncing
+//!   committer waits this long so concurrent acks share one fsync;
+//!   `0` (default) = sync immediately. Never weakens acked durability.
+//! * `BOLTON_WAL_SEGMENT_BYTES` — WAL segment rotation threshold;
+//!   default 4 MiB.
 //! * `BOLTON_SERVE_MAX_CONN` — connection limit; default 64.
 //! * `BOLTON_THREADS` — worker-pool width for TRAIN / batch scoring.
+//!
+//! Resilience knobs (see `SHOW LIMITS` and docs/REPRODUCING.md; all
+//! default off except the drain window):
+//!
+//! * `BOLTON_STMT_TIMEOUT_MS` — per-statement deadline (`err timeout …`).
+//! * `BOLTON_RATE_LIMIT` / `BOLTON_GLOBAL_RATE_LIMIT` — statements/sec
+//!   per connection / server-wide (`err busy retry_after_ms=N`).
+//! * `BOLTON_MAX_CONN_PER_IP` — connections per client address.
+//! * `BOLTON_MAX_ACTIVE_STMTS` — admission cap on concurrently executing
+//!   statements; excess sheds with `err busy retry_after_ms=N`.
+//! * `BOLTON_IDLE_TIMEOUT_MS` — reap idle connections.
+//! * `BOLTON_READ_TIMEOUT_MS` — cut slow-loris partial statement lines.
+//! * `BOLTON_DRAIN_TIMEOUT_MS` — graceful-drain window (default 5000):
+//!   on `SHUTDOWN`, SIGTERM, or SIGINT the server stops accepting, lets
+//!   in-flight statements finish within the window, fsyncs the WAL, and
+//!   attempts a final best-effort CHECKPOINT.
 
 use bolton_bismarck::server::{serve, Client};
-use bolton_bismarck::{Db, DurabilityOptions, ServerConfig};
+use bolton_bismarck::{Db, DurabilityOptions, Limits, ServerConfig};
 use std::io::BufRead;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Minimal SIGTERM/SIGINT latch over the libc `signal()` entry point (no
+/// crates): the handler only flips an atomic; a watcher thread does the
+/// actual drain.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn latch(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the latch for SIGTERM (15) and SIGINT (2).
+    pub fn install() {
+        unsafe {
+            signal(15, latch as extern "C" fn(i32) as usize);
+            signal(2, latch as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
 
 fn env_or(name: &str, default: &str) -> String {
     std::env::var(name).ok().filter(|v| !v.trim().is_empty()).unwrap_or_else(|| default.to_string())
@@ -86,11 +138,22 @@ fn main() {
         std::process::exit(run_client(&addr));
     }
 
+    let sync_window_us: u64 = env_or("BOLTON_WAL_SYNC_WINDOW_US", "0")
+        .parse()
+        .expect("BOLTON_WAL_SYNC_WINDOW_US: integer");
+    let segment_bytes: u64 = env_or(
+        "BOLTON_WAL_SEGMENT_BYTES",
+        &bolton_bismarck::wal::DEFAULT_SEGMENT_BYTES.to_string(),
+    )
+    .parse()
+    .expect("BOLTON_WAL_SEGMENT_BYTES: integer");
     let db = match (&data, &registry) {
         (Some(data_dir), registry) => {
             let mut opts = DurabilityOptions::new(data_dir)
                 .sync_wal(sync_wal)
-                .checkpoint_every(checkpoint_every);
+                .checkpoint_every(checkpoint_every)
+                .sync_window(Duration::from_micros(sync_window_us))
+                .segment_bytes(segment_bytes);
             if let Some(dir) = registry {
                 opts = opts.registry(dir);
             }
@@ -99,7 +162,7 @@ fn main() {
         (None, Some(dir)) => Db::with_registry(dir).expect("open model registry"),
         (None, None) => Db::new(),
     };
-    let config = ServerConfig { addr, max_connections: max_conn };
+    let config = ServerConfig { addr, max_connections: max_conn, limits: Limits::from_env() };
     let server = serve(Arc::new(db), &config).expect("bind server address");
     println!("listening on {}", server.addr());
     if let Some(dir) = &registry {
@@ -108,7 +171,23 @@ fn main() {
     if let Some(dir) = &data {
         println!("data at {dir}");
     }
-    // Serve until a client issues SHUTDOWN.
+    // SIGTERM/SIGINT start the graceful drain that `wait` completes.
+    #[cfg(unix)]
+    {
+        sig::install();
+        let drain = server.drainer();
+        std::thread::Builder::new()
+            .name("bismarck-signal".to_string())
+            .spawn(move || loop {
+                if sig::triggered() {
+                    drain();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            })
+            .expect("spawn signal watcher");
+    }
+    // Serve until a client issues SHUTDOWN or a signal starts the drain.
     server.wait();
     println!("server stopped");
 }

@@ -41,7 +41,8 @@
 //!   checkpoint-3/
 //!     CATALOG          lsn + one line per table
 //!     <table>.rowstore PR-4 chunked row store, one per non-empty table
-//!   wal.log            records since the checkpoint
+//!   wal-000004.log     log segments; checkpoints delete covered ones
+//!   wal-000005.log     (the highest segment is the one being appended)
 //! ```
 //!
 //! All write-side I/O goes through the [`Vfs`], so the
@@ -56,13 +57,14 @@ use crate::page::Page;
 use crate::registry::ModelRegistry;
 use crate::synth::SynthSpec;
 use crate::table::{Table, DEFAULT_POOL_PAGES};
-use crate::wal::{Wal, WalRecord, WAL_TMP_FILE};
+use crate::wal::{Wal, WalConfig, WalRecord, WAL_TMP_FILE};
 use bolton_data::row_store::{RowStoreWriter, StoredDataset};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Pointer file naming the committed checkpoint directory.
 pub const CURRENT_FILE: &str = "CURRENT";
@@ -79,11 +81,14 @@ pub struct DurabilityOptions {
     sync_wal: bool,
     checkpoint_every: u64,
     registry: Option<PathBuf>,
+    segment_bytes: u64,
+    sync_window: Duration,
 }
 
 impl DurabilityOptions {
     /// Options for `dir` with production defaults: [`StdVfs`], fsync on
-    /// every commit, no automatic checkpoints, no model registry.
+    /// every commit, no automatic checkpoints, no model registry, default
+    /// WAL segment size, no fsync batching window.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityOptions {
             dir: dir.into(),
@@ -91,6 +96,8 @@ impl DurabilityOptions {
             sync_wal: true,
             checkpoint_every: 0,
             registry: None,
+            segment_bytes: crate::wal::DEFAULT_SEGMENT_BYTES,
+            sync_window: Duration::ZERO,
         }
     }
 
@@ -121,6 +128,22 @@ impl DurabilityOptions {
     #[must_use]
     pub fn registry(mut self, dir: impl Into<PathBuf>) -> Self {
         self.registry = Some(dir.into());
+        self
+    }
+
+    /// WAL segment size before rotation ([`crate::wal::WalConfig::segment_bytes`]).
+    #[must_use]
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Group-commit fsync batching window
+    /// ([`crate::wal::WalConfig::sync_window`] — the
+    /// `BOLTON_WAL_SYNC_WINDOW_US` knob).
+    #[must_use]
+    pub fn sync_window(mut self, window: Duration) -> Self {
+        self.sync_window = window;
         self
     }
 }
@@ -233,8 +256,16 @@ impl Db {
             None => (BTreeMap::new(), 0, 1),
         };
 
-        let (wal, records) =
-            Wal::open(&dir, Arc::clone(&opts.vfs), opts.sync_wal, checkpoint_lsn + 1)?;
+        let (wal, records) = Wal::open_with(
+            &dir,
+            Arc::clone(&opts.vfs),
+            WalConfig {
+                sync_on_commit: opts.sync_wal,
+                min_next_lsn: checkpoint_lsn + 1,
+                segment_bytes: opts.segment_bytes,
+                sync_window: opts.sync_window,
+            },
+        )?;
         for (lsn, record) in &records {
             // Records the checkpoint already covers replay as no-ops by
             // being skipped — this is what makes recovery idempotent when
@@ -945,7 +976,18 @@ mod tests {
             assert_eq!(n_tables, 1);
             assert_eq!(lsn, 31);
             assert_eq!(db.wal().unwrap().records_since_checkpoint(), 0);
-            assert_eq!(fs::metadata(dir.join(crate::wal::WAL_FILE)).unwrap().len(), 0);
+            // Every covered segment was deleted; what remains is empty.
+            let live_wal_bytes: u64 = fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| {
+                    let e = e.unwrap();
+                    e.file_name()
+                        .to_str()
+                        .and_then(crate::wal::parse_segment_seq)
+                        .map(|_| e.metadata().unwrap().len())
+                })
+                .sum();
+            assert_eq!(live_wal_bytes, 0);
             // Post-checkpoint tail: three more rows in the log only.
             for i in 30..33 {
                 db.insert_row("t", &[i as f64, -(i as f64)], -1.0).unwrap();

@@ -56,6 +56,10 @@ pub enum DbError {
     /// A write-ahead-log / durability operation failed (logging, sync,
     /// checkpoint, recovery).
     Wal(String),
+    /// The statement was cancelled cooperatively (deadline expired, client
+    /// disconnected, or server draining); locks were released and no table
+    /// or registry state changed.
+    Cancelled(crate::limits::CancelCause),
 }
 
 impl fmt::Display for DbError {
@@ -84,6 +88,14 @@ impl fmt::Display for DbError {
             DbError::ModelNotFound(name) => write!(f, "model '{name}' not found"),
             DbError::Model(msg) => write!(f, "model registry error: {msg}"),
             DbError::Wal(msg) => write!(f, "write-ahead log error: {msg}"),
+            // The first word is the wire-protocol error code (`err timeout
+            // ...` / `err cancelled ...`), so clients can match on it.
+            DbError::Cancelled(crate::limits::CancelCause::Deadline) => {
+                write!(f, "timeout statement exceeded its deadline")
+            }
+            DbError::Cancelled(crate::limits::CancelCause::Disconnect) => {
+                write!(f, "cancelled client disconnected or server draining")
+            }
         }
     }
 }

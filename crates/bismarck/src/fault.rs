@@ -19,6 +19,13 @@
 //! every `k in 0..T` rerun it on a fresh directory with
 //! [`FaultVfs::crash_at`]`(k)`, reopen with [`StdVfs`], and assert the
 //! recovery invariants. That loop *is* the systematic crash matrix.
+//!
+//! [`FaultStream`] replays the same trick against the wire protocol: it
+//! wraps a client socket, counts every `read`/`write`/`flush`, and injects
+//! short segments, stalls, or a mid-frame disconnect at the N-th op. The
+//! matching matrix — disconnect at every op of a scripted workload, then
+//! assert the server never wedges a thread or leaks a slot or lock — lives
+//! in the serving resilience tests.
 
 use crate::error::{DbError, DbResult};
 use std::fs::{File, OpenOptions};
@@ -88,6 +95,12 @@ pub trait Vfs: Send + Sync {
     /// # Errors
     /// I/O failures, including injected crashes.
     fn sync_dir(&self, dir: &Path) -> DbResult<()>;
+
+    /// Deletes `path` (used to drop WAL segments a checkpoint covered).
+    ///
+    /// # Errors
+    /// I/O failures, including injected crashes.
+    fn remove_file(&self, path: &Path) -> DbResult<()>;
 }
 
 // ---------------------------------------------------------------------------
@@ -145,6 +158,11 @@ impl Vfs for StdVfs {
         // Directory fsync is a no-op on some platforms; opening read-only
         // and syncing is the portable idiom (same as the model registry).
         File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> DbResult<()> {
+        std::fs::remove_file(path)?;
         Ok(())
     }
 }
@@ -336,11 +354,155 @@ impl Vfs for FaultVfs {
         }
         StdVfs.sync_dir(dir)
     }
+
+    fn remove_file(&self, path: &Path) -> DbResult<()> {
+        if self.state.step()? {
+            return Err(injected());
+        }
+        StdVfs.remove_file(path)
+    }
 }
 
 impl std::fmt::Debug for FaultVfsFile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "FaultVfsFile({})", self.path.display())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultStream — network fault injection
+// ---------------------------------------------------------------------------
+
+/// How a [`FaultStream`] misbehaves. The same two-phase recipe as
+/// [`FaultVfs`] applies on the wire: probe a scripted client workload with
+/// [`StreamFault::Counting`] to learn the op count `T`, then replay it
+/// once per `k in 0..T` with [`StreamFault::DisconnectAt`] and assert the
+/// server's invariants after every cut.
+#[derive(Clone, Copy, Debug)]
+pub enum StreamFault {
+    /// Pass everything through, counting operations (the probe phase).
+    Counting,
+    /// Drop the connection at op `op` (0-based). If `torn_prefix` is
+    /// `Some(k)` and the fatal op is a write, its first `k` bytes still
+    /// go out first — a mid-frame disconnect.
+    DisconnectAt {
+        /// The 0-based operation index that dies.
+        op: u64,
+        /// Bytes of a fatal write that escape before the cut.
+        torn_prefix: Option<usize>,
+    },
+    /// Split every read and write into chunks of at most `max` bytes —
+    /// a client whose segments arrive one byte at a time.
+    Short {
+        /// Maximum bytes moved per operation (≥ 1).
+        max: usize,
+    },
+    /// Sleep `stall` before performing op `op`, then continue normally —
+    /// a client that freezes mid-conversation.
+    StallAt {
+        /// The 0-based operation index that stalls.
+        op: u64,
+        /// How long the stall lasts.
+        stall: std::time::Duration,
+    },
+}
+
+/// A deterministic fault-injecting wrapper around any byte stream
+/// (typically the client side of a server connection). Every `read`,
+/// `write`, and `flush` counts as one operation on a per-stream counter;
+/// the configured [`StreamFault`] decides what happens at each index.
+/// An injected disconnect *drops* the inner stream — for a `TcpStream`
+/// that closes the socket, so the server sees a real hang-up.
+#[derive(Debug)]
+pub struct FaultStream<S> {
+    inner: Option<S>,
+    fault: StreamFault,
+    ops: u64,
+}
+
+fn stream_gone() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::NotConnected, "injected disconnect (fault harness)")
+}
+
+impl<S> FaultStream<S> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: S, fault: StreamFault) -> Self {
+        FaultStream { inner: Some(inner), fault, ops: 0 }
+    }
+
+    /// Operations performed so far (valid disconnect indices are
+    /// `0..ops()` of a [`StreamFault::Counting`] probe run).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Whether the injected disconnect has happened.
+    pub fn disconnected(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Claims the next op index; applies a stall; reports whether this op
+    /// is the fatal one.
+    fn step(&mut self) -> std::io::Result<bool> {
+        if self.inner.is_none() {
+            return Err(stream_gone());
+        }
+        let n = self.ops;
+        self.ops += 1;
+        match self.fault {
+            StreamFault::DisconnectAt { op, .. } if n == op => Ok(true),
+            StreamFault::StallAt { op, stall } if n == op => {
+                std::thread::sleep(stall);
+                Ok(false)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn chunk(&self, len: usize) -> usize {
+        match self.fault {
+            StreamFault::Short { max } => len.min(max.max(1)),
+            _ => len,
+        }
+    }
+}
+
+impl<S: std::io::Read + std::io::Write> std::io::Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.step()? {
+            self.inner = None;
+            return Err(stream_gone());
+        }
+        let limit = self.chunk(buf.len());
+        self.inner.as_mut().expect("stream alive").read(&mut buf[..limit])
+    }
+}
+
+impl<S: std::io::Read + std::io::Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.step()? {
+            // A mid-frame disconnect: part of the frame escapes, then the
+            // socket dies under the server's reader.
+            if let (StreamFault::DisconnectAt { torn_prefix: Some(keep), .. }, Some(inner)) =
+                (self.fault, self.inner.as_mut())
+            {
+                let keep = keep.min(buf.len());
+                let _ = inner.write(&buf[..keep]);
+                let _ = inner.flush();
+            }
+            self.inner = None;
+            return Err(stream_gone());
+        }
+        let limit = self.chunk(buf.len());
+        self.inner.as_mut().expect("stream alive").write(&buf[..limit])
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.step()? {
+            self.inner = None;
+            return Err(stream_gone());
+        }
+        self.inner.as_mut().expect("stream alive").flush()
     }
 }
 
@@ -415,5 +577,92 @@ mod tests {
         assert_eq!(vfs.ops(), 4);
         assert!(!vfs.crashed());
         let _ = fs::remove_file(&path);
+    }
+
+    /// An in-memory duplex stand-in for a socket: reads drain `input`,
+    /// writes land in `output`.
+    struct Duplex {
+        input: std::io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Duplex {
+        fn new(input: &[u8]) -> Self {
+            Duplex { input: std::io::Cursor::new(input.to_vec()), output: Vec::new() }
+        }
+    }
+
+    impl std::io::Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::io::Read::read(&mut self.input, buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn counting_stream_passes_through_and_counts_every_op() {
+        use std::io::Read;
+        let mut s = FaultStream::new(Duplex::new(b"hello"), StreamFault::Counting);
+        s.write_all(b"ping\n").unwrap();
+        s.flush().unwrap();
+        let mut buf = [0u8; 5];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        // write_all + flush + read_exact = 1 + 1 + 1 ops on a roomy buffer.
+        assert_eq!(s.ops(), 3);
+        assert!(!s.disconnected());
+    }
+
+    #[test]
+    fn short_stream_fragments_reads_and_writes() {
+        use std::io::Read;
+        let mut s = FaultStream::new(Duplex::new(b"abcdef"), StreamFault::Short { max: 2 });
+        assert_eq!(s.write(b"wxyz").unwrap(), 2);
+        let mut buf = [0u8; 6];
+        assert_eq!(s.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"ab");
+        // write_all still completes, just in more ops.
+        s.write_all(b"0123456789").unwrap();
+        assert!(s.ops() >= 2 + 5);
+    }
+
+    #[test]
+    fn disconnect_at_write_keeps_torn_prefix_then_everything_fails() {
+        use std::io::Read;
+        let mut s = FaultStream::new(
+            Duplex::new(b""),
+            StreamFault::DisconnectAt { op: 1, torn_prefix: Some(3) },
+        );
+        s.write_all(b"ok ").unwrap(); // op 0 survives
+        let err = s.write(b"SELECT 1\n").unwrap_err(); // op 1 dies mid-frame
+        assert_eq!(err.kind(), std::io::ErrorKind::NotConnected);
+        assert!(s.disconnected());
+        // The torn prefix escaped before the cut, nothing after it.
+        assert!(s.write(b"more").is_err());
+        assert!(s.flush().is_err());
+        assert!(s.read(&mut [0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn stall_at_delays_one_op_then_continues() {
+        let mut s = FaultStream::new(
+            Duplex::new(b""),
+            StreamFault::StallAt { op: 0, stall: std::time::Duration::from_millis(30) },
+        );
+        let t0 = std::time::Instant::now();
+        s.write_all(b"x").unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        s.write_all(b"y").unwrap();
+        assert!(!s.disconnected());
     }
 }

@@ -45,7 +45,17 @@
 //! * [`fault`] — the deterministic fault-injection [`Vfs`]
 //!   the crash-recovery tests (and the model registry) use to prove every
 //!   crash window: fail, short-write, or torn-write at the N-th
-//!   filesystem operation.
+//!   filesystem operation — plus the [`fault::FaultStream`] network
+//!   wrapper that replays the same trick against the wire protocol.
+//!
+//! The serving layer is hardened against overload and misbehaving
+//! clients:
+//!
+//! * [`limits`] — token-bucket rate limiting (per connection and global),
+//!   per-address connection quotas, a shedding admission controller
+//!   (`err busy retry_after_ms=N`), and the [`CancelToken`] that gives
+//!   every statement a deadline (`err timeout …`) and aborts work for
+//!   disconnected clients, releasing locks with state unchanged.
 
 pub mod buffer;
 pub mod catalog;
@@ -54,6 +64,7 @@ pub mod driver;
 pub mod error;
 pub mod fault;
 pub mod heap;
+pub mod limits;
 pub mod page;
 pub mod registry;
 pub mod server;
@@ -69,8 +80,9 @@ pub use catalog::Catalog;
 pub use db::{Db, DurabilityOptions};
 pub use driver::{train, DriverConfig, TrainedModel};
 pub use error::{DbError, DbResult};
-pub use fault::{FaultVfs, StdVfs, Vfs, VfsFile};
+pub use fault::{FaultStream, FaultVfs, StdVfs, StreamFault, Vfs, VfsFile};
 pub use heap::Backing;
+pub use limits::{Admission, CancelCause, CancelToken, IpQuota, Limits, TokenBucket};
 pub use page::{Page, PAGE_SIZE};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use server::{RunningServer, ServerConfig};

@@ -1,0 +1,705 @@
+//! Overload protection and cooperative cancellation for the serving layer.
+//!
+//! Three independent mechanisms, composed by [`crate::server`]:
+//!
+//! * **Rate limiting** — a [`TokenBucket`] per connection plus an optional
+//!   global bucket cap statements/second. The deterministic arithmetic
+//!   lives in [`TokenBucketCore`] (pure, microsecond timestamps in,
+//!   micro-tokens inside), so the property tests drive it without a clock.
+//! * **Admission control** — [`Admission`] bounds the statements executing
+//!   concurrently across all sessions and [`IpQuota`] bounds connections
+//!   per client address. Both *shed* (the caller answers
+//!   `err busy retry_after_ms=N`) instead of queueing unboundedly.
+//! * **Cancellation** — a [`CancelToken`] is armed with the statement
+//!   deadline (`BOLTON_STMT_TIMEOUT_MS`) and flipped by the connection's
+//!   reader thread on disconnect or by a draining server. Long read-side
+//!   loops (TRAIN passes, table scans, batch scoring) poll it and bail by
+//!   unwinding with a private marker that [`crate::session::Session`]
+//!   catches at the statement boundary — locks release on the way out and
+//!   no table or registry state has changed, because only read-only code
+//!   paths carry cancellation points.
+
+use crate::error::{DbError, DbResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// Why a statement was cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The statement ran past its armed deadline
+    /// (`BOLTON_STMT_TIMEOUT_MS`, or the drain deadline capping it).
+    Deadline,
+    /// The client disconnected or the server is shutting down.
+    Disconnect,
+}
+
+/// The panic payload cancellation points unwind with. Private to the
+/// crate: [`crate::session::Session::execute`] catches it at the statement
+/// boundary and turns it into [`DbError::Cancelled`]; anything else that
+/// catches panics (the worker pool) re-raises payloads verbatim, so the
+/// marker survives a parallel fan-out.
+pub(crate) struct CancelUnwind(pub(crate) CancelCause);
+
+/// Suppresses the default "thread panicked" stderr noise for the
+/// cancellation marker — it is control flow, not a bug. Installed once,
+/// chaining to the previous hook for every real panic.
+fn install_quiet_cancel_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CancelUnwind>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct CancelState {
+    epoch: Instant,
+    cancelled: AtomicBool,
+    /// Deadline in microseconds since `epoch`; `u64::MAX` = unarmed.
+    deadline_us: AtomicU64,
+}
+
+/// A shared, cloneable cancellation flag with an optional deadline.
+///
+/// One token lives per connection: the server arms it with the statement
+/// timeout before each execute and disarms it after; the reader thread
+/// [`CancelToken::cancel`]s it when the client hangs up; a draining server
+/// [`CancelToken::cap_deadline`]s every live token so in-flight statements
+/// finish within the drain window or abort.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelState>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    pub fn new() -> Self {
+        install_quiet_cancel_hook();
+        CancelToken {
+            inner: Arc::new(CancelState {
+                epoch: Instant::now(),
+                cancelled: AtomicBool::new(false),
+                deadline_us: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX - 1)
+    }
+
+    /// Flags the token cancelled ([`CancelCause::Disconnect`]). Sticky.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Arms (or clears, with `None`) the statement deadline.
+    pub fn arm(&self, timeout: Option<Duration>) {
+        let deadline = match timeout {
+            Some(t) => self.now_us().saturating_add(saturating_us(t)),
+            None => u64::MAX,
+        };
+        self.inner.deadline_us.store(deadline, Ordering::Release);
+    }
+
+    /// Clears the deadline (statement finished).
+    pub fn disarm(&self) {
+        self.inner.deadline_us.store(u64::MAX, Ordering::Release);
+    }
+
+    /// Tightens the deadline to at most `remaining` from now (never
+    /// loosens) — how a draining server bounds in-flight statements.
+    pub fn cap_deadline(&self, remaining: Duration) {
+        let cap = self.now_us().saturating_add(saturating_us(remaining));
+        self.inner.deadline_us.fetch_min(cap, Ordering::AcqRel);
+    }
+
+    /// Why this token is triggered, if it is.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(CancelCause::Disconnect);
+        }
+        if self.now_us() >= self.inner.deadline_us.load(Ordering::Acquire) {
+            return Some(CancelCause::Deadline);
+        }
+        None
+    }
+
+    /// Errors with [`DbError::Cancelled`] when triggered — the check used
+    /// at statement boundaries, where an `Err` return is available.
+    ///
+    /// # Errors
+    /// [`DbError::Cancelled`] when cancelled or past the deadline.
+    pub fn check(&self) -> DbResult<()> {
+        match self.cause() {
+            Some(cause) => Err(DbError::Cancelled(cause)),
+            None => Ok(()),
+        }
+    }
+
+    /// A cancellation point for visitor callbacks and pool closures that
+    /// cannot return an error: unwinds with the crate-private marker when
+    /// triggered. Only reachable under [`crate::session::Session::execute`],
+    /// which catches the marker and releases locks on the way out.
+    pub(crate) fn bail_point(&self) {
+        if let Some(cause) = self.cause() {
+            std::panic::panic_any(CancelUnwind(cause));
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CancelToken(cause={:?})", self.cause())
+    }
+}
+
+fn saturating_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+// ---------------------------------------------------------------------------
+// Token bucket
+// ---------------------------------------------------------------------------
+
+/// Micro-tokens per token: the bucket does integer arithmetic at 1e-6
+/// token granularity so sub-second refill never rounds to zero.
+const MICRO: u64 = 1_000_000;
+
+/// The pure token-bucket arithmetic: timestamps in, verdicts out. No
+/// clock, no locks — the property tests replay arbitrary timelines
+/// through it deterministically.
+#[derive(Clone, Debug)]
+pub struct TokenBucketCore {
+    /// Refill rate in tokens/second (= micro-tokens per microsecond).
+    rate: u64,
+    /// Capacity in micro-tokens.
+    burst_micro: u64,
+    /// Currently available micro-tokens.
+    available_micro: u64,
+    /// Timestamp of the last refill, µs on the caller's clock.
+    last_us: u64,
+}
+
+impl TokenBucketCore {
+    /// A bucket refilling at `rate_per_sec` tokens/second, holding at most
+    /// `burst` tokens, starting full. Both are clamped to ≥ 1.
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        let burst_micro = burst.max(1).saturating_mul(MICRO);
+        TokenBucketCore {
+            rate: rate_per_sec.max(1),
+            burst_micro,
+            available_micro: burst_micro,
+            last_us: 0,
+        }
+    }
+
+    /// Advances the bucket to `now_us`, crediting elapsed-time refill.
+    /// Time never runs backwards: a stale `now_us` is clamped forward.
+    fn refill(&mut self, now_us: u64) {
+        let now = now_us.max(self.last_us);
+        let elapsed = now - self.last_us;
+        let add = u64::try_from(u128::from(elapsed) * u128::from(self.rate)).unwrap_or(u64::MAX);
+        self.available_micro = self.available_micro.saturating_add(add).min(self.burst_micro);
+        self.last_us = now;
+    }
+
+    /// Takes one token at time `now_us`.
+    ///
+    /// # Errors
+    /// When the bucket is empty, returns the µs until one token refills —
+    /// the `retry_after` the server puts on the wire.
+    pub fn try_acquire(&mut self, now_us: u64) -> Result<(), u64> {
+        self.refill(now_us);
+        if self.available_micro >= MICRO {
+            self.available_micro -= MICRO;
+            Ok(())
+        } else {
+            Err((MICRO - self.available_micro).div_ceil(self.rate))
+        }
+    }
+
+    /// Available micro-tokens after refilling to `now_us` (tests).
+    pub fn available_micro_at(&mut self, now_us: u64) -> u64 {
+        self.refill(now_us);
+        self.available_micro
+    }
+}
+
+/// A thread-safe token bucket on the real clock.
+pub struct TokenBucket {
+    core: Mutex<TokenBucketCore>,
+    epoch: Instant,
+}
+
+impl TokenBucket {
+    /// See [`TokenBucketCore::new`].
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        TokenBucket {
+            core: Mutex::new(TokenBucketCore::new(rate_per_sec, burst)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Takes one token now.
+    ///
+    /// # Errors
+    /// When empty, returns how long until one token refills.
+    pub fn try_acquire(&self) -> Result<(), Duration> {
+        let now_us = u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX - 1);
+        self.core
+            .lock()
+            .expect("token bucket lock")
+            .try_acquire(now_us)
+            .map_err(Duration::from_micros)
+    }
+}
+
+impl std::fmt::Debug for TokenBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TokenBucket({:?})", self.core.lock().expect("token bucket lock"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+/// A shedding semaphore over the statements executing concurrently.
+/// `try_acquire` never blocks: either a permit is free or the caller sheds
+/// the request — the queue an overloaded server would otherwise grow lives
+/// in the clients' retry loops, bounded by their `retry_after_ms`.
+pub struct Admission {
+    max: usize,
+    active: AtomicUsize,
+}
+
+impl Admission {
+    /// A controller admitting at most `max` concurrent statements (≥ 1).
+    pub fn new(max: usize) -> Arc<Self> {
+        Arc::new(Admission { max: max.max(1), active: AtomicUsize::new(0) })
+    }
+
+    /// Claims a permit, or `None` when the server is saturated.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<AdmissionPermit> {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(AdmissionPermit(Arc::clone(self))),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Statements currently holding a permit.
+    pub fn in_flight(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// The permit cap.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+}
+
+/// One admitted statement; dropping it (normal return or unwind) releases
+/// the permit, so a cancelled or panicking statement can never leak one.
+pub struct AdmissionPermit(Arc<Admission>);
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-address connection quota
+// ---------------------------------------------------------------------------
+
+/// Bounds live connections per client address (`BOLTON_MAX_CONN_PER_IP`),
+/// so one greedy host cannot monopolize the global connection budget.
+/// Keys are strings: an IP for TCP, `"local"` for Unix sockets.
+pub struct IpQuota {
+    max_per_key: usize,
+    counts: Mutex<HashMap<String, usize>>,
+}
+
+impl IpQuota {
+    /// A quota of `max_per_key` connections per address (≥ 1).
+    pub fn new(max_per_key: usize) -> Arc<Self> {
+        Arc::new(IpQuota { max_per_key: max_per_key.max(1), counts: Mutex::new(HashMap::new()) })
+    }
+
+    /// Claims a slot for `key`, or `None` when the address is at its cap.
+    pub fn try_acquire(self: &Arc<Self>, key: &str) -> Option<IpPermit> {
+        let mut counts = self.counts.lock().expect("ip quota lock");
+        let count = counts.entry(key.to_string()).or_insert(0);
+        if *count >= self.max_per_key {
+            return None;
+        }
+        *count += 1;
+        Some(IpPermit { quota: Arc::clone(self), key: key.to_string() })
+    }
+
+    /// Live connections for `key`.
+    pub fn count(&self, key: &str) -> usize {
+        self.counts.lock().expect("ip quota lock").get(key).copied().unwrap_or(0)
+    }
+}
+
+/// One connection's slot under its address quota; dropped on disconnect.
+pub struct IpPermit {
+    quota: Arc<IpQuota>,
+    key: String,
+}
+
+impl Drop for IpPermit {
+    fn drop(&mut self) {
+        let mut counts = self.quota.counts.lock().expect("ip quota lock");
+        if let Some(count) = counts.get_mut(&self.key) {
+            *count -= 1;
+            if *count == 0 {
+                counts.remove(&self.key);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limits configuration
+// ---------------------------------------------------------------------------
+
+/// The resilience knobs, all off by default (zero = disabled) except the
+/// drain window. [`Limits::from_env`] reads the `BOLTON_*` environment the
+/// `bismarck_serve` binary documents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Per-statement deadline in ms (`BOLTON_STMT_TIMEOUT_MS`; 0 = none).
+    pub stmt_timeout_ms: u64,
+    /// Per-connection statements/sec (`BOLTON_RATE_LIMIT`; 0 = unlimited).
+    pub rate_limit: u64,
+    /// Whole-server statements/sec (`BOLTON_GLOBAL_RATE_LIMIT`; 0 = unlimited).
+    pub global_rate_limit: u64,
+    /// Connections per client address (`BOLTON_MAX_CONN_PER_IP`; 0 = unlimited).
+    pub max_conn_per_ip: usize,
+    /// Concurrently executing statements (`BOLTON_MAX_ACTIVE_STMTS`;
+    /// 0 = unlimited) — the admission-control semaphore.
+    pub max_active_statements: usize,
+    /// Close connections idle longer than this, in ms
+    /// (`BOLTON_IDLE_TIMEOUT_MS`; 0 = never reap).
+    pub idle_timeout_ms: u64,
+    /// Slow-loris defense: a started statement line must complete within
+    /// this many ms, and blocked response writes time out after it too
+    /// (`BOLTON_READ_TIMEOUT_MS`; 0 = no deadline).
+    pub read_timeout_ms: u64,
+    /// Graceful-drain window for in-flight statements on SHUTDOWN/SIGTERM,
+    /// in ms (`BOLTON_DRAIN_TIMEOUT_MS`).
+    pub drain_timeout_ms: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            stmt_timeout_ms: 0,
+            rate_limit: 0,
+            global_rate_limit: 0,
+            max_conn_per_ip: 0,
+            max_active_statements: 0,
+            idle_timeout_ms: 0,
+            read_timeout_ms: 0,
+            drain_timeout_ms: 5_000,
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) if !v.trim().is_empty() => {
+            v.trim().parse().unwrap_or_else(|_| panic!("{name}: expected an integer, got '{v}'"))
+        }
+        _ => default,
+    }
+}
+
+impl Limits {
+    /// Reads every knob from the environment, defaulting as
+    /// [`Limits::default`].
+    ///
+    /// # Panics
+    /// On unparseable values, like the rest of the `BOLTON_*` knobs.
+    pub fn from_env() -> Self {
+        let d = Limits::default();
+        Limits {
+            stmt_timeout_ms: env_u64("BOLTON_STMT_TIMEOUT_MS", d.stmt_timeout_ms),
+            rate_limit: env_u64("BOLTON_RATE_LIMIT", d.rate_limit),
+            global_rate_limit: env_u64("BOLTON_GLOBAL_RATE_LIMIT", d.global_rate_limit),
+            max_conn_per_ip: env_u64("BOLTON_MAX_CONN_PER_IP", d.max_conn_per_ip as u64) as usize,
+            max_active_statements: env_u64(
+                "BOLTON_MAX_ACTIVE_STMTS",
+                d.max_active_statements as u64,
+            ) as usize,
+            idle_timeout_ms: env_u64("BOLTON_IDLE_TIMEOUT_MS", d.idle_timeout_ms),
+            read_timeout_ms: env_u64("BOLTON_READ_TIMEOUT_MS", d.read_timeout_ms),
+            drain_timeout_ms: env_u64("BOLTON_DRAIN_TIMEOUT_MS", d.drain_timeout_ms),
+        }
+    }
+
+    /// The statement deadline, if any.
+    pub fn stmt_timeout(&self) -> Option<Duration> {
+        (self.stmt_timeout_ms > 0).then(|| Duration::from_millis(self.stmt_timeout_ms))
+    }
+
+    /// The idle-connection reap threshold, if any.
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        (self.idle_timeout_ms > 0).then(|| Duration::from_millis(self.idle_timeout_ms))
+    }
+
+    /// The per-line read (and response write) deadline, if any.
+    pub fn read_timeout(&self) -> Option<Duration> {
+        (self.read_timeout_ms > 0).then(|| Duration::from_millis(self.read_timeout_ms))
+    }
+
+    /// The graceful-drain window.
+    pub fn drain_timeout(&self) -> Duration {
+        Duration::from_millis(self.drain_timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_grants_burst_then_refills_at_rate() {
+        // 10 tokens/sec, burst 2: two immediate grants, then a 100 ms cadence.
+        let mut b = TokenBucketCore::new(10, 2);
+        assert_eq!(b.try_acquire(0), Ok(()));
+        assert_eq!(b.try_acquire(0), Ok(()));
+        let retry = b.try_acquire(0).unwrap_err();
+        assert_eq!(retry, 100_000, "one token refills in 1/rate seconds");
+        // 99 ms later: still short.
+        assert!(b.try_acquire(99_000).is_err());
+        // At exactly 100 ms the token is back.
+        assert_eq!(b.try_acquire(100_000), Ok(()));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst_after_idle() {
+        let mut b = TokenBucketCore::new(1_000, 3);
+        // A long idle period must not bank more than the burst.
+        assert_eq!(b.available_micro_at(3_600_000_000), 3 * MICRO);
+        for _ in 0..3 {
+            assert!(b.try_acquire(3_600_000_000).is_ok());
+        }
+        assert!(b.try_acquire(3_600_000_000).is_err());
+    }
+
+    #[test]
+    fn bucket_clamps_backwards_time() {
+        let mut b = TokenBucketCore::new(1, 1);
+        assert!(b.try_acquire(5_000_000).is_ok());
+        // A stale timestamp neither panics nor double-credits refill.
+        let avail_then = b.available_micro_at(1_000_000);
+        assert!(avail_then < MICRO, "no token from going backwards, got {avail_then}");
+    }
+
+    #[test]
+    fn token_bucket_real_clock_sheds_with_retry_after() {
+        let b = TokenBucket::new(5, 1);
+        assert!(b.try_acquire().is_ok());
+        let retry = b.try_acquire().unwrap_err();
+        assert!(retry <= Duration::from_millis(200), "retry_after bounded by 1/rate: {retry:?}");
+    }
+
+    #[test]
+    fn admission_sheds_at_the_cap_and_permits_release_on_drop() {
+        let a = Admission::new(2);
+        let p1 = a.try_acquire().unwrap();
+        let _p2 = a.try_acquire().unwrap();
+        assert!(a.try_acquire().is_none(), "cap reached");
+        assert_eq!(a.in_flight(), 2);
+        drop(p1);
+        assert_eq!(a.in_flight(), 1);
+        assert!(a.try_acquire().is_some(), "released permit is reusable");
+    }
+
+    #[test]
+    fn ip_quota_caps_per_key_and_cleans_up() {
+        let q = IpQuota::new(2);
+        let a1 = q.try_acquire("10.0.0.1").unwrap();
+        let _a2 = q.try_acquire("10.0.0.1").unwrap();
+        assert!(q.try_acquire("10.0.0.1").is_none(), "per-address cap");
+        let _b1 = q.try_acquire("10.0.0.2").unwrap();
+        assert_eq!(q.count("10.0.0.1"), 2);
+        drop(a1);
+        assert_eq!(q.count("10.0.0.1"), 1);
+        assert!(q.try_acquire("10.0.0.1").is_some());
+    }
+
+    #[test]
+    fn cancel_token_deadline_and_disconnect_report_their_cause() {
+        let t = CancelToken::new();
+        assert_eq!(t.cause(), None);
+        t.arm(Some(Duration::ZERO));
+        assert_eq!(t.cause(), Some(CancelCause::Deadline));
+        assert!(matches!(t.check(), Err(DbError::Cancelled(CancelCause::Deadline))));
+        t.disarm();
+        assert_eq!(t.cause(), None);
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Disconnect), "disconnect wins over no deadline");
+    }
+
+    #[test]
+    fn cap_deadline_only_tightens() {
+        let t = CancelToken::new();
+        t.arm(Some(Duration::from_secs(3600)));
+        t.cap_deadline(Duration::ZERO);
+        assert_eq!(t.cause(), Some(CancelCause::Deadline), "cap tightened the deadline");
+        let t2 = CancelToken::new();
+        t2.arm(Some(Duration::ZERO));
+        t2.cap_deadline(Duration::from_secs(3600));
+        assert_eq!(t2.cause(), Some(CancelCause::Deadline), "cap never loosens");
+    }
+
+    #[test]
+    fn bail_point_unwinds_with_the_private_marker() {
+        let t = CancelToken::new();
+        t.cancel();
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.bail_point())).unwrap_err();
+        let marker = caught.downcast::<CancelUnwind>().expect("marker payload");
+        assert_eq!(marker.0, CancelCause::Disconnect);
+    }
+
+    #[test]
+    fn limits_default_is_all_off_except_drain() {
+        let l = Limits::default();
+        assert_eq!(l.stmt_timeout(), None);
+        assert_eq!(l.idle_timeout(), None);
+        assert_eq!(l.read_timeout(), None);
+        assert_eq!(l.drain_timeout(), Duration::from_millis(5_000));
+        assert_eq!(l.rate_limit, 0);
+        assert_eq!(l.max_conn_per_ip, 0);
+        assert_eq!(l.max_active_statements, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The defining token-bucket property: over *any* window of the
+        /// acquisition history, the number of granted tokens never exceeds
+        /// `burst + rate · window` — one grant can spend stored burst, the
+        /// rest must be paid for by elapsed time.
+        #[test]
+        fn grants_never_exceed_rate_over_any_window(
+            rate in 1u64..50,
+            burst in 1u64..20,
+            steps in proptest::collection::vec((0u64..200_000, 1u64..4), 1..120),
+        ) {
+            let mut bucket = TokenBucketCore::new(rate, burst);
+            let mut now_us = 0u64;
+            let mut grants: Vec<u64> = Vec::new();
+            for (advance_us, attempts) in steps {
+                now_us += advance_us;
+                for _ in 0..attempts {
+                    if bucket.try_acquire(now_us).is_ok() {
+                        grants.push(now_us);
+                    }
+                }
+            }
+            // Check every window [grants[i], grants[j]].
+            for i in 0..grants.len() {
+                for j in i..grants.len() {
+                    let window_us = grants[j] - grants[i];
+                    let granted = (j - i + 1) as u128;
+                    // granted tokens ≤ burst + rate·window (in µ-tokens,
+                    // so the comparison is exact integer arithmetic).
+                    prop_assert!(
+                        granted * u128::from(MICRO)
+                            <= u128::from(burst) * u128::from(MICRO)
+                                + u128::from(window_us) * u128::from(rate),
+                        "{granted} grants in a {window_us}µs window at rate {rate}/s burst {burst}"
+                    );
+                }
+            }
+        }
+
+        /// Refill is monotone in time and capped at the burst: observing
+        /// the bucket at any ascending timestamps (without acquiring)
+        /// never decreases the balance and never exceeds the burst.
+        #[test]
+        fn refill_is_monotone_and_capped(
+            rate in 1u64..1_000,
+            burst in 1u64..50,
+            drains in 0u64..30,
+            advances in proptest::collection::vec(0u64..100_000, 1..60),
+        ) {
+            let mut bucket = TokenBucketCore::new(rate, burst);
+            // Start from an arbitrary partially-drained state.
+            for _ in 0..drains {
+                let _ = bucket.try_acquire(0);
+            }
+            let mut now_us = 0u64;
+            let mut prev = bucket.available_micro_at(0);
+            for advance_us in advances {
+                now_us += advance_us;
+                let avail = bucket.available_micro_at(now_us);
+                prop_assert!(avail >= prev, "refill went backwards: {prev} -> {avail}");
+                prop_assert!(avail <= burst * MICRO, "refill overshot the burst");
+                prev = avail;
+            }
+        }
+
+        /// The `retry_after` hint is honest: a denied acquisition at time
+        /// `t` succeeds at `t + retry` (and the hint is never zero).
+        #[test]
+        fn retry_after_hint_is_sufficient(
+            rate in 1u64..1_000,
+            burst in 1u64..20,
+            spend in proptest::collection::vec(0u64..50_000, 1..40),
+        ) {
+            let mut bucket = TokenBucketCore::new(rate, burst);
+            let mut now_us = 0u64;
+            for advance_us in spend {
+                now_us += advance_us;
+                if let Err(retry_us) = bucket.try_acquire(now_us) {
+                    prop_assert!(retry_us > 0, "empty bucket promised instant retry");
+                    now_us += retry_us;
+                    prop_assert!(
+                        bucket.try_acquire(now_us).is_ok(),
+                        "retry_after={retry_us}µs was not enough at rate {rate}/s"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -14,6 +14,7 @@
 use crate::db::Db;
 use crate::error::{DbError, DbResult};
 use crate::heap::Backing;
+use crate::limits::{CancelToken, CancelUnwind};
 use crate::sql::{self, QueryResult, Statement, TrainAlgo, TrainStmt};
 use crate::synth::{synthesize, SynthSpec};
 use crate::table::{Table, DEFAULT_POOL_PAGES};
@@ -21,8 +22,13 @@ use crate::wal::WalRecord;
 use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
 use bolton::Budget;
 use bolton_sgd::metrics;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Rows between cancellation checks inside the hot scan loops — cheap
+/// enough to be invisible, frequent enough that a deadline or disconnect
+/// aborts within microseconds of work.
+const CANCEL_STRIDE: usize = 512;
 
 /// Scores every row of `table` against a linear model, in parallel on the
 /// process-global worker pool ([`bolton_sgd::pool`]). Returns the margin
@@ -42,6 +48,19 @@ pub fn score_batch(model: &[f64], table: &Table) -> Vec<f64> {
 /// # Panics
 /// See [`score_batch`].
 pub fn score_batch_with_labels(model: &[f64], table: &Table) -> (Vec<f64>, Vec<f64>) {
+    score_batch_cancellable(model, table, None)
+}
+
+/// The cancellation-aware scoring pass behind both public entry points and
+/// the TRAIN/EVAL statements. With a token, every worker polls it each
+/// [`CANCEL_STRIDE`] rows and bails by unwinding with the crate-private
+/// marker; the pool re-raises the payload on the calling thread, where
+/// [`Session::execute`] turns it into [`DbError::Cancelled`].
+pub(crate) fn score_batch_cancellable(
+    model: &[f64],
+    table: &Table,
+    cancel: Option<&CancelToken>,
+) -> (Vec<f64>, Vec<f64>) {
     assert_eq!(
         model.len(),
         table.dim(),
@@ -58,8 +77,16 @@ pub fn score_batch_with_labels(model: &[f64], table: &Table) -> (Vec<f64>, Vec<f
     let chunks = runner.run_ranges(n, runner.threads() + 1, |lo, hi| {
         let mut scores = Vec::with_capacity(hi - lo);
         let mut labels = Vec::with_capacity(hi - lo);
+        let mut countdown = CANCEL_STRIDE;
         table
             .scan_range(lo, hi, &mut |_, x, y| {
+                if let Some(token) = cancel {
+                    countdown -= 1;
+                    if countdown == 0 {
+                        countdown = CANCEL_STRIDE;
+                        token.bail_point();
+                    }
+                }
                 scores.push(metrics::score(model, x));
                 labels.push(y);
             })
@@ -75,6 +102,52 @@ pub fn score_batch_with_labels(model: &[f64], table: &Table) -> (Vec<f64>, Vec<f
     (scores, labels)
 }
 
+/// A [`bolton_sgd::TrainSet`] view of a table that plants a cancellation
+/// point every [`CANCEL_STRIDE`] rows of every training scan. The epoch
+/// loop in `bolton_sgd` needs no changes: it already drives training
+/// through `scan_order`, so wrapping the dataset is enough to make a
+/// multi-pass TRAIN abort within a stride of its deadline.
+struct CancelScan<'a> {
+    inner: &'a Table,
+    cancel: &'a CancelToken,
+}
+
+impl bolton_sgd::TrainSet for CancelScan<'_> {
+    fn len(&self) -> usize {
+        bolton_sgd::TrainSet::len(self.inner)
+    }
+
+    fn dim(&self) -> usize {
+        bolton_sgd::TrainSet::dim(self.inner)
+    }
+
+    fn scan_order(&self, order: &[usize], visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        self.cancel.bail_point();
+        let mut countdown = CANCEL_STRIDE;
+        bolton_sgd::TrainSet::scan_order(self.inner, order, &mut |i, x, y| {
+            countdown -= 1;
+            if countdown == 0 {
+                countdown = CANCEL_STRIDE;
+                self.cancel.bail_point();
+            }
+            visit(i, x, y);
+        });
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(usize, &[f64], f64)) {
+        self.cancel.bail_point();
+        let mut countdown = CANCEL_STRIDE;
+        bolton_sgd::TrainSet::scan(self.inner, &mut |i, x, y| {
+            countdown -= 1;
+            if countdown == 0 {
+                countdown = CANCEL_STRIDE;
+                self.cancel.bail_point();
+            }
+            visit(i, x, y);
+        });
+    }
+}
+
 fn algorithm_kind(algo: TrainAlgo) -> AlgorithmKind {
     match algo {
         TrainAlgo::Noiseless => AlgorithmKind::Noiseless,
@@ -85,22 +158,46 @@ fn algorithm_kind(algo: TrainAlgo) -> AlgorithmKind {
     }
 }
 
-/// One client's connection state: a handle on the shared [`Db`] plus the
-/// session-local prepared statements.
+/// One client's connection state: a handle on the shared [`Db`], the
+/// session-local prepared statements, a [`CancelToken`] every statement
+/// polls, and the set of trained-but-never-saved model names (used by the
+/// server to warn when a disconnect would lose work — the TRAIN→SAVE
+/// crash window documented in REPRODUCING.md).
 pub struct Session {
     db: Arc<Db>,
     prepared: BTreeMap<String, (String, usize)>,
+    cancel: CancelToken,
+    unsaved: BTreeSet<String>,
 }
 
 impl Session {
-    /// Opens a session over `db`.
+    /// Opens a session over `db` with a private cancellation token.
     pub fn new(db: Arc<Db>) -> Self {
-        Self { db, prepared: BTreeMap::new() }
+        Self::with_cancel(db, CancelToken::new())
+    }
+
+    /// Opens a session whose statements poll `cancel` — the server hands
+    /// every connection a shared token so its reader thread (disconnect)
+    /// and the drain logic can abort in-flight work.
+    pub fn with_cancel(db: Arc<Db>, cancel: CancelToken) -> Self {
+        Self { db, prepared: BTreeMap::new(), cancel, unsaved: BTreeSet::new() }
     }
 
     /// The shared database.
     pub fn db(&self) -> &Arc<Db> {
         &self.db
+    }
+
+    /// This session's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Models trained in this session and never saved to the registry —
+    /// they live only in the shared in-memory model map and are lost on
+    /// server exit.
+    pub fn unsaved_models(&self) -> Vec<String> {
+        self.unsaved.iter().cloned().collect()
     }
 
     /// Parses and executes one statement.
@@ -114,9 +211,29 @@ impl Session {
 
     /// Executes one parsed statement.
     ///
+    /// A statement past its deadline (or on a cancelled token) fails
+    /// up-front; mid-statement, the read-side cancellation points unwind
+    /// with a crate-private marker that is caught here — table locks
+    /// release on the way out (read guards do not poison), and no table or
+    /// registry state has changed because write statements carry no
+    /// mid-write cancellation points: they check the deadline only before
+    /// starting.
+    ///
     /// # Errors
-    /// Catalog/storage/model errors.
+    /// Catalog/storage/model errors; [`DbError::Cancelled`] on deadline
+    /// expiry or disconnect.
     pub fn execute(&mut self, stmt: &Statement) -> DbResult<QueryResult> {
+        self.cancel.check()?;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute_inner(stmt))) {
+            Ok(result) => result,
+            Err(payload) => match payload.downcast::<CancelUnwind>() {
+                Ok(marker) => Err(DbError::Cancelled(marker.0)),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+
+    fn execute_inner(&mut self, stmt: &Statement) -> DbResult<QueryResult> {
         match stmt {
             Statement::CreateTable { name, dim, disk } => {
                 let backing = if *disk { Backing::TempFile } else { Backing::Memory };
@@ -265,6 +382,7 @@ impl Session {
             Statement::SaveModel { model, version } => {
                 let w = self.db.model(model)?;
                 let version = self.db.registry_required()?.save(model, *version, &w)?;
+                self.unsaved.remove(model);
                 Ok(QueryResult::ModelVersioned { model: model.clone(), version, dim: w.len() })
             }
             Statement::LoadModel { model, version } => {
@@ -275,6 +393,9 @@ impl Session {
                 let (version, w) = self.db.registry_required()?.load_versioned(model, *version)?;
                 let dim = w.len();
                 self.db.put_model(model, w.as_ref().clone());
+                // The registry copy now matches the in-memory copy, so the
+                // name is no longer at risk of being lost on exit.
+                self.unsaved.remove(model);
                 Ok(QueryResult::ModelVersioned { model: model.clone(), version, dim })
             }
             Statement::ListModels => Ok(QueryResult::Models(self.db.registry_required()?.list())),
@@ -292,16 +413,23 @@ impl Session {
                 let inner = sql::parse(&concrete)?;
                 if matches!(
                     inner,
-                    Statement::Prepare { .. } | Statement::Execute { .. } | Statement::Shutdown
+                    Statement::Prepare { .. }
+                        | Statement::Execute { .. }
+                        | Statement::Shutdown
+                        | Statement::ShowLimits
                 ) {
                     return Err(DbError::Parse(
-                        "prepared statements cannot nest PREPARE/EXECUTE/SHUTDOWN".to_string(),
+                        "prepared statements cannot nest PREPARE/EXECUTE/SHUTDOWN/SHOW LIMITS"
+                            .to_string(),
                     ));
                 }
                 self.execute(&inner)
             }
             Statement::Shutdown => Err(DbError::Parse(
                 "SHUTDOWN is only available over a server connection".to_string(),
+            )),
+            Statement::ShowLimits => Err(DbError::Parse(
+                "SHOW LIMITS is only available over a server connection".to_string(),
             )),
             Statement::Checkpoint => {
                 let (tables, lsn) = self.db.checkpoint()?;
@@ -338,13 +466,18 @@ impl Session {
         let plan = TrainPlan::new(LossKind::Logistic { lambda: stmt.lambda }, algo, budget)
             .with_passes(stmt.passes)
             .with_batch_size(stmt.batch);
+        // The CancelScan wrapper threads this session's token through every
+        // epoch scan, so a deadline or disconnect aborts the loop with the
+        // table untouched (TRAIN holds only the read lock).
+        let scan = CancelScan { inner: &table, cancel: &self.cancel };
         let model = plan
-            .train(&*table, &mut bolton_rng::seeded(stmt.seed))
+            .train(&scan, &mut bolton_rng::seeded(stmt.seed))
             .map_err(|e| DbError::Model(e.to_string()))?;
-        let (scores, labels) = score_batch_with_labels(&model, &table);
+        let (scores, labels) = score_batch_cancellable(&model, &table, Some(&self.cancel));
         let accuracy = metrics::accuracy_from_scores(&scores, &labels);
         drop(table);
         self.db.put_model(&stmt.model, model);
+        self.unsaved.insert(stmt.model.clone());
         Ok(QueryResult::Trained { model: stmt.model.clone(), accuracy })
     }
 
@@ -355,7 +488,7 @@ impl Session {
         if w.len() != table.dim() {
             return Err(DbError::SchemaMismatch { expected: table.dim(), got: w.len() });
         }
-        let (scores, labels) = score_batch_with_labels(w, &table);
+        let (scores, labels) = score_batch_cancellable(w, &table, Some(&self.cancel));
         Ok(QueryResult::Scores {
             rows: scores.len(),
             accuracy: metrics::accuracy_from_scores(&scores, &labels),
@@ -499,6 +632,74 @@ mod tests {
             table.read_row(rid, &mut buf).unwrap();
             assert_eq!(scores[rid], metrics::score(&w, &buf), "row {rid}");
         }
+    }
+
+    #[test]
+    fn a_deadline_cancelled_train_releases_locks_with_state_unchanged() {
+        use crate::limits::CancelCause;
+        let db = Arc::new(Db::new());
+        let token = CancelToken::new();
+        let mut s = Session::with_cancel(Arc::clone(&db), token.clone());
+        s.run("CREATE TABLE t (DIM 4)").unwrap();
+        s.run("SYNTH t ROWS 600 SEED 7 NOISE 0.05").unwrap();
+        // A deadline far shorter than a 100k-pass TRAIN (which would take
+        // minutes if cancellation failed): the statement starts, then the
+        // first cancellation point past the deadline unwinds it.
+        token.arm(Some(std::time::Duration::from_millis(20)));
+        let err = s.run("TRAIN m ON t ALGO noiseless PASSES 100000 BATCH 10 SEED 1").unwrap_err();
+        assert!(matches!(err, DbError::Cancelled(CancelCause::Deadline)), "got {err}");
+        token.disarm();
+        // The table read lock is released: a writer gets in immediately.
+        let handle = db.table("t").unwrap();
+        assert!(handle.try_write().is_ok(), "cancelled TRAIN leaked the table lock");
+        // State unchanged: no model published, rows intact, the session
+        // keeps working.
+        assert!(matches!(db.model("m"), Err(DbError::ModelNotFound(_))));
+        assert!(s.unsaved_models().is_empty());
+        assert_eq!(s.run("SELECT COUNT(*) FROM t").unwrap(), QueryResult::Count(600));
+        assert!(matches!(
+            s.run("TRAIN m ON t ALGO noiseless PASSES 2 SEED 1").unwrap(),
+            QueryResult::Trained { .. }
+        ));
+    }
+
+    #[test]
+    fn a_cancelled_token_rejects_statements_before_any_work() {
+        use crate::limits::CancelCause;
+        let db = Arc::new(Db::new());
+        let token = CancelToken::new();
+        let mut s = Session::with_cancel(Arc::clone(&db), token.clone());
+        s.run("CREATE TABLE t (DIM 2)").unwrap();
+        token.cancel();
+        // Reads and writes alike fail up-front with the disconnect cause.
+        for stmt in ["SELECT COUNT(*) FROM t", "INSERT INTO t VALUES (1, 2, 1)"] {
+            let err = s.run(stmt).unwrap_err();
+            assert!(matches!(err, DbError::Cancelled(CancelCause::Disconnect)), "{stmt}: {err}");
+        }
+        // Nothing was applied.
+        let handle = db.table("t").unwrap();
+        assert_eq!(handle.read().unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn unsaved_models_track_train_save_and_load() {
+        let dir = temp_dir("unsaved");
+        let db = Arc::new(Db::with_registry(&dir).unwrap());
+        let mut s = Session::new(db);
+        s.run("CREATE TABLE t (DIM 3)").unwrap();
+        s.run("SYNTH t ROWS 200 SEED 9 NOISE 0.05").unwrap();
+        s.run("TRAIN m ON t ALGO noiseless PASSES 1").unwrap();
+        s.run("TRAIN m2 ON t ALGO noiseless PASSES 1").unwrap();
+        assert_eq!(s.unsaved_models(), vec!["m".to_string(), "m2".to_string()]);
+        s.run("SAVE MODEL m").unwrap();
+        assert_eq!(s.unsaved_models(), vec!["m2".to_string()]);
+        // LOAD also clears the flag: the in-memory copy now equals a
+        // registry artifact.
+        s.run("TRAIN m2 ON t ALGO noiseless PASSES 2").unwrap();
+        s.run("SAVE MODEL m2").unwrap();
+        s.run("LOAD MODEL m2").unwrap();
+        assert!(s.unsaved_models().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -192,6 +192,9 @@ pub enum Statement {
     },
     /// `SHOW TABLES`
     ShowTables,
+    /// `SHOW LIMITS` — the server's resilience knobs and live admission
+    /// counters (server connections only; answered by the server itself).
+    ShowLimits,
     /// `TRAIN model ON table [ALGO a] [EPS e] [DELTA d] [LAMBDA l]
     /// [PASSES k] [BATCH b] [SEED s]`
     Train(TrainStmt),
@@ -630,8 +633,17 @@ pub fn parse(input: &str) -> DbResult<Statement> {
             Statement::Analyze { name }
         }
         "SHOW" => {
-            p.expect_kw("TABLES")?;
-            Statement::ShowTables
+            let tok = p.next()?;
+            match tok.text.to_ascii_uppercase().as_str() {
+                "TABLES" => Statement::ShowTables,
+                "LIMITS" => Statement::ShowLimits,
+                other => {
+                    return Err(err_at(
+                        tok.off,
+                        format!("expected TABLES or LIMITS, found '{other}'"),
+                    ))
+                }
+            }
         }
         "TRAIN" => {
             let model = p.ident()?;
@@ -731,7 +743,10 @@ pub fn parse(input: &str) -> DbResult<Statement> {
                 let inner = parse(&template)?;
                 if matches!(
                     inner,
-                    Statement::Prepare { .. } | Statement::Execute { .. } | Statement::Shutdown
+                    Statement::Prepare { .. }
+                        | Statement::Execute { .. }
+                        | Statement::Shutdown
+                        | Statement::ShowLimits
                 ) {
                     return Err(err_at(template_off, "cannot PREPARE that statement kind"));
                 }
@@ -933,6 +948,7 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement) -> DbResult<QueryResult>
         | Statement::Prepare { .. }
         | Statement::Execute { .. }
         | Statement::Shutdown
+        | Statement::ShowLimits
         | Statement::Checkpoint => Err(parse_err(
             "this statement needs a serving session (bolton_bismarck::Session over a Db)",
         )),

@@ -22,7 +22,20 @@
 //! fsync covers every record appended before it started. Concurrent
 //! sessions therefore coalesce onto a single fsync instead of paying one
 //! each — the `durable_lsn` fast path lets the latecomers skip the syscall
-//! entirely.
+//! entirely. An optional batching window ([`WalConfig::sync_window`], the
+//! `BOLTON_WAL_SYNC_WINDOW_US` knob) makes the syncing thread linger
+//! briefly before issuing the fsync so even more committers pile onto it;
+//! the durability contract is unchanged because the covered LSN is
+//! captured *after* the wait.
+//!
+//! The log is split into **segments** — `wal-000001.log`,
+//! `wal-000002.log`, … — sealed once they exceed
+//! [`WalConfig::segment_bytes`]. Recovery replays segments in sequence
+//! order with the same torn-tail rules (a tear in one segment discards it
+//! and every later segment), and [`Wal::reset`] after a checkpoint simply
+//! *deletes* covered segments instead of rewriting an unbounded tail. A
+//! surviving segment may still hold records at or below the checkpoint
+//! LSN; [`Db::open`](crate::db::Db::open) skips those during replay.
 //!
 //! Floats are encoded as their IEEE-754 bit patterns, so replayed rows are
 //! bit-identical to what was logged.
@@ -33,11 +46,30 @@ use bolton::model_io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-/// WAL file name inside a durable data directory.
+/// Legacy single-file WAL name; migrated to segment 1 on open.
 pub const WAL_FILE: &str = "wal.log";
-/// Temp name used while truncating the log after a checkpoint.
+/// Temp name the pre-segment layout used while truncating the log; only
+/// referenced by debris collection now.
 pub const WAL_TMP_FILE: &str = "wal.log.tmp";
+/// Segment size (bytes) at which the active segment is sealed and a new
+/// one started, unless overridden via [`WalConfig::segment_bytes`].
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+/// The file name of WAL segment `seq` (`wal-000001.log`, …).
+pub fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq:06}.log")
+}
+
+/// Parses a segment sequence number back out of a file name.
+pub fn parse_segment_seq(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
 
 /// Upper bound on one record's payload; anything larger is treated as a
 /// torn length prefix rather than an attempt to allocate gigabytes.
@@ -241,9 +273,16 @@ fn decode_payload(payload: &[u8]) -> Option<(u64, WalRecord)> {
 /// tail a crash mid-append leaves behind, and the log is truncated back to
 /// the valid prefix before new appends go in.
 pub fn decode_frames(bytes: &[u8]) -> (Vec<(u64, WalRecord)>, usize) {
+    decode_frames_after(bytes, 0)
+}
+
+/// [`decode_frames`] with LSN monotonicity continuing from `after_lsn` —
+/// how recovery chains the check across segment boundaries (the first
+/// record of segment N+1 must exceed the last record of segment N).
+pub fn decode_frames_after(bytes: &[u8], after_lsn: u64) -> (Vec<(u64, WalRecord)>, usize) {
     let mut records = Vec::new();
     let mut at = 0usize;
-    let mut last_lsn = 0u64;
+    let mut last_lsn = after_lsn;
     while let Some(header) = bytes.get(at..at + FRAME_HEADER) {
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
         if len > MAX_PAYLOAD_BYTES {
@@ -271,23 +310,71 @@ pub fn decode_frames(bytes: &[u8]) -> (Vec<(u64, WalRecord)>, usize) {
 // The log
 // ---------------------------------------------------------------------------
 
+/// How to open a [`Wal`]; see the field docs for the knobs.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// `false` ⇒ `sync_to` is a no-op (the `BOLTON_WAL_SYNC=off` knob):
+    /// faster, but acknowledged writes may be lost on a crash.
+    pub sync_on_commit: bool,
+    /// Lets the caller account for a checkpoint taken after the last
+    /// surviving record (covered segments may have been deleted since).
+    pub min_next_lsn: u64,
+    /// Seal the active segment and start a new one past this size
+    /// (clamped to ≥ 1); checkpoints delete sealed segments they cover.
+    pub segment_bytes: u64,
+    /// Group-commit batching window (`BOLTON_WAL_SYNC_WINDOW_US`): the
+    /// thread that wins the sync lock waits this long before fsyncing so
+    /// concurrent committers coalesce onto its fsync. Zero = sync
+    /// immediately.
+    pub sync_window: Duration,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            sync_on_commit: true,
+            min_next_lsn: 0,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            sync_window: Duration::ZERO,
+        }
+    }
+}
+
+/// A sealed (no longer written) segment and the range it holds.
+#[derive(Clone, Debug)]
+struct Segment {
+    seq: u64,
+    /// Highest LSN in the segment; a checkpoint at or past it makes the
+    /// whole file redundant.
+    last_lsn: u64,
+}
+
 struct AppendState {
+    /// Handle to the active (highest-sequence) segment.
     file: Arc<dyn VfsFile>,
+    /// Sequence number of the active segment.
+    seq: u64,
+    /// Bytes appended to the active segment so far.
+    segment_len: u64,
+    /// Sealed segments still on disk, ascending sequence order.
+    sealed: Vec<Segment>,
     /// LSN the next append gets. LSNs start at 1 and never reset, even
-    /// across checkpoints that truncate the file.
+    /// across checkpoints that delete covered segments.
     next_lsn: u64,
-    /// Highest LSN written into the file (0 = none).
+    /// Highest LSN written into the log (0 = none).
     appended_lsn: u64,
 }
 
 /// The write-ahead log of one durable data directory.
 pub struct Wal {
-    path: PathBuf,
     dir: PathBuf,
     vfs: Arc<dyn Vfs>,
-    /// `false` ⇒ `sync_to` is a no-op (the `BOLTON_WAL_SYNC=off` knob):
-    /// faster, but acknowledged writes may be lost on a crash.
+    /// See [`WalConfig::sync_on_commit`].
     sync_on_commit: bool,
+    /// See [`WalConfig::segment_bytes`].
+    segment_bytes: u64,
+    /// See [`WalConfig::sync_window`].
+    sync_window: Duration,
     append: Mutex<AppendState>,
     /// Serializes fsyncs so concurrent committers coalesce onto one.
     sync: Mutex<()>,
@@ -298,11 +385,8 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Opens (creating if missing) the log in `dir`, returning it together
-    /// with the intact records found. A torn tail is truncated away so
-    /// future appends extend the valid prefix. `min_next_lsn` lets the
-    /// caller account for a checkpoint taken after the last surviving
-    /// record (the log may have been truncated since).
+    /// [`Wal::open_with`] under default segmenting and no sync window —
+    /// the signature most tests and the non-durable paths use.
     ///
     /// # Errors
     /// I/O failures.
@@ -312,36 +396,111 @@ impl Wal {
         sync_on_commit: bool,
         min_next_lsn: u64,
     ) -> DbResult<(Self, Vec<(u64, WalRecord)>)> {
-        let path = dir.join(WAL_FILE);
-        let bytes = match std::fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e.into()),
-        };
-        let (records, valid_len) = decode_frames(&bytes);
-        if valid_len < bytes.len() {
-            // Drop the torn tail before appending past it; otherwise replay
-            // would stop at the tear and never see the new records.
-            vfs.truncate(&path, valid_len as u64)?;
+        Self::open_with(
+            dir,
+            vfs,
+            WalConfig { sync_on_commit, min_next_lsn, ..WalConfig::default() },
+        )
+    }
+
+    /// Opens (creating if missing) the segmented log in `dir`, returning
+    /// it together with the intact records found, in LSN order. Segments
+    /// replay in sequence order under one global monotonicity check; the
+    /// first short, torn, corrupt, or out-of-order frame truncates its
+    /// segment back to the valid prefix and discards every later segment —
+    /// that is the crash signature, and everything past it is garbage by
+    /// definition. A legacy single-file `wal.log` is migrated to segment 1
+    /// in place.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn open_with(
+        dir: &Path,
+        vfs: Arc<dyn Vfs>,
+        config: WalConfig,
+    ) -> DbResult<(Self, Vec<(u64, WalRecord)>)> {
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            if let Some(seq) = name.to_str().and_then(parse_segment_seq) {
+                seqs.push(seq);
+            }
         }
-        let last_lsn = records.last().map_or(0, |(lsn, _)| *lsn);
-        let next_lsn = last_lsn.max(min_next_lsn.saturating_sub(1)) + 1;
+        seqs.sort_unstable();
+        let legacy = dir.join(WAL_FILE);
+        if legacy.exists() && seqs.is_empty() {
+            // Pre-segment layout: the whole log becomes segment 1.
+            vfs.rename(&legacy, &dir.join(segment_file_name(1)))?;
+            vfs.sync_dir(dir)?;
+            seqs.push(1);
+        }
+
+        let mut records: Vec<(u64, WalRecord)> = Vec::new();
+        let mut sealed: Vec<Segment> = Vec::new();
+        let mut torn_from: Option<usize> = None;
+        for (i, &seq) in seqs.iter().enumerate() {
+            // A gap in the sequence means segments vanished out from under
+            // us; nothing after the gap can be trusted to be contiguous.
+            if i > 0 && seq != seqs[i - 1] + 1 {
+                torn_from = Some(i);
+                break;
+            }
+            let path = dir.join(segment_file_name(seq));
+            let bytes = std::fs::read(&path)?;
+            let last_lsn = records.last().map_or(0, |(lsn, _)| *lsn);
+            let (found, valid_len) = decode_frames_after(&bytes, last_lsn);
+            records.extend(found);
+            sealed.push(Segment { seq, last_lsn: records.last().map_or(0, |(lsn, _)| *lsn) });
+            if valid_len < bytes.len() {
+                // Drop the torn tail before appending past it; otherwise
+                // replay would stop at the tear and never see new records.
+                // The truncated segment stays (and becomes the active one)
+                // so its surviving records keep their place in the log.
+                vfs.truncate(&path, valid_len as u64)?;
+                torn_from = Some(i + 1);
+                break;
+            }
+        }
+        if let Some(from) = torn_from {
+            for &seq in &seqs[from..] {
+                vfs.remove_file(&dir.join(segment_file_name(seq)))?;
+            }
+        }
+
+        // The highest surviving segment stays active; appends extend it.
+        let active = sealed.pop().unwrap_or(Segment { seq: 1, last_lsn: 0 });
+        let path = dir.join(segment_file_name(active.seq));
+        let segment_len = std::fs::metadata(&path).map_or(0, |m| m.len());
         let file = vfs.open_append(&path)?;
+        let last_lsn = records.last().map_or(0, |(lsn, _)| *lsn);
+        let next_lsn = last_lsn.max(config.min_next_lsn.saturating_sub(1)) + 1;
+        let covered = config.min_next_lsn.saturating_sub(1);
+        let fresh = records.iter().filter(|(lsn, _)| *lsn > covered).count() as u64;
         let wal = Wal {
-            path,
             dir: dir.to_path_buf(),
             vfs,
-            sync_on_commit,
-            append: Mutex::new(AppendState { file, next_lsn, appended_lsn: last_lsn }),
+            sync_on_commit: config.sync_on_commit,
+            segment_bytes: config.segment_bytes.max(1),
+            sync_window: config.sync_window,
+            append: Mutex::new(AppendState {
+                file,
+                seq: active.seq,
+                segment_len,
+                sealed,
+                next_lsn,
+                appended_lsn: last_lsn,
+            }),
             sync: Mutex::new(()),
             durable_lsn: AtomicU64::new(last_lsn),
-            records_since_checkpoint: AtomicU64::new(records.len() as u64),
+            records_since_checkpoint: AtomicU64::new(fresh),
         };
         Ok((wal, records))
     }
 
     /// Appends `record`, assigning and returning its LSN. The record is
-    /// *not* durable until a later [`Wal::sync_to`] covers it.
+    /// *not* durable until a later [`Wal::sync_to`] covers it. Crossing
+    /// the segment-size threshold seals the active segment (fsyncing it,
+    /// so sealed segments are never torn) and starts the next one.
     ///
     /// # Errors
     /// I/O failures (a failed append leaves the log usable: replay stops
@@ -353,8 +512,29 @@ impl Wal {
         state.file.write_all(&frame)?;
         state.next_lsn += 1;
         state.appended_lsn = lsn;
+        state.segment_len += frame.len() as u64;
         self.records_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+        if state.segment_len >= self.segment_bytes {
+            self.rotate(&mut state)?;
+        }
         Ok(lsn)
+    }
+
+    /// Seals the active segment and opens the next one. The seal fsync
+    /// runs *before* the new file exists, so recovery can only ever find a
+    /// tear in the highest segment; the directory fsync makes the new
+    /// file's entry durable before any record in it can be acknowledged.
+    fn rotate(&self, state: &mut AppendState) -> DbResult<()> {
+        state.file.sync()?;
+        self.durable_lsn.fetch_max(state.appended_lsn, Ordering::AcqRel);
+        let next_seq = state.seq + 1;
+        let file = self.vfs.create(&self.dir.join(segment_file_name(next_seq)))?;
+        self.vfs.sync_dir(&self.dir)?;
+        state.sealed.push(Segment { seq: state.seq, last_lsn: state.appended_lsn });
+        state.seq = next_seq;
+        state.segment_len = 0;
+        state.file = file;
+        Ok(())
     }
 
     /// Makes every record up to `lsn` durable (group commit). Returns
@@ -383,12 +563,22 @@ impl Wal {
         if self.durable_lsn.load(Ordering::Acquire) >= lsn {
             return Ok(()); // a committer we queued behind covered us
         }
+        if !self.sync_window.is_zero() {
+            // Batching window: linger so concurrent committers land their
+            // appends before the fsync. Durability is unaffected — the
+            // covered LSN is captured after the wait, and `lsn` itself was
+            // appended before we were called.
+            std::thread::sleep(self.sync_window);
+        }
         let (file, covered) = {
             let state = self.append.lock().expect("wal append lock");
             (Arc::clone(&state.file), state.appended_lsn)
         };
+        // `file` is the active segment; anything older was fsynced when
+        // its segment was sealed, so syncing the active one covers
+        // everything up to `covered`.
         file.sync()?;
-        self.durable_lsn.store(covered, Ordering::Release);
+        self.durable_lsn.fetch_max(covered, Ordering::AcqRel);
         Ok(())
     }
 
@@ -402,47 +592,52 @@ impl Wal {
         Ok(appended)
     }
 
-    /// Truncates log records a checkpoint at `covered_lsn` made redundant.
-    /// Records with a higher LSN — appended (and possibly acknowledged!)
-    /// after the snapshot was cut but before this truncation — are carried
-    /// into the fresh log, so group commit never loses an acked write to a
-    /// concurrent checkpoint. The swap is atomic (write-temp → fsync →
-    /// rename → dir-fsync) and LSNs keep counting from where they were.
+    /// Deletes log segments a checkpoint at `covered_lsn` made redundant:
+    /// every sealed segment whose highest LSN the checkpoint covers, plus
+    /// the active segment when it is fully covered (a fresh one is created
+    /// — durably — before the old one goes). Records with a higher LSN —
+    /// appended (and possibly acknowledged!) after the snapshot was cut
+    /// but before this reset — stay in place, so group commit never loses
+    /// an acked write to a concurrent checkpoint; recovery skips the
+    /// covered records that share their segments. LSNs keep counting from
+    /// where they were.
     ///
     /// # Errors
-    /// I/O failures — the old log is untouched until the atomic rename.
+    /// I/O failures — deletion is idempotent, so a crash mid-reset just
+    /// leaves some covered segments for the next checkpoint to reap.
     pub fn reset(&self, covered_lsn: u64) -> DbResult<()> {
         // Lock order matches `sync_to_force` (sync before append) — the
         // reverse order deadlocks against a concurrent group commit.
         let _sync = self.sync.lock().expect("wal sync lock");
         let mut state = self.append.lock().expect("wal append lock");
-        // Flush buffered appends so the on-disk file holds every frame
-        // (making the unacked tail durable early is harmless), then carry
-        // the post-checkpoint tail into the fresh log.
+        // Flush buffered appends first (making the unacked tail durable
+        // early is harmless) so nothing in a doomed page cache is lost.
         state.file.sync()?;
-        self.durable_lsn.store(state.appended_lsn, Ordering::Release);
-        let bytes = std::fs::read(&self.path)?;
-        let (frames, _) = decode_frames(&bytes);
+        self.durable_lsn.fetch_max(state.appended_lsn, Ordering::AcqRel);
         let mut kept = Vec::new();
-        let mut kept_records = 0u64;
-        for (lsn, record) in &frames {
-            if *lsn > covered_lsn {
-                kept.extend_from_slice(&encode_frame(*lsn, record));
-                kept_records += 1;
+        for seg in state.sealed.drain(..) {
+            if seg.last_lsn <= covered_lsn {
+                self.vfs.remove_file(&self.dir.join(segment_file_name(seg.seq)))?;
+            } else {
+                kept.push(seg);
             }
         }
-        let tmp = self.dir.join(WAL_TMP_FILE);
-        let fresh = self.vfs.create(&tmp)?;
-        if !kept.is_empty() {
-            fresh.write_all(&kept)?;
+        state.sealed = kept;
+        if state.appended_lsn <= covered_lsn && state.segment_len > 0 {
+            // The active segment holds only covered records: swap in an
+            // empty successor (created and made durable before the old
+            // file goes, so there is always an active segment on disk).
+            let old = self.dir.join(segment_file_name(state.seq));
+            let next_seq = state.seq + 1;
+            let file = self.vfs.create(&self.dir.join(segment_file_name(next_seq)))?;
+            self.vfs.sync_dir(&self.dir)?;
+            self.vfs.remove_file(&old)?;
+            state.seq = next_seq;
+            state.segment_len = 0;
+            state.file = file;
         }
-        fresh.sync()?;
-        drop(fresh);
-        self.vfs.rename(&tmp, &self.path)?;
-        self.vfs.sync_dir(&self.dir)?;
-        // The old handle points at the unlinked inode; reopen the new file.
-        state.file = self.vfs.open_append(&self.path)?;
-        self.records_since_checkpoint.store(kept_records, Ordering::Relaxed);
+        self.records_since_checkpoint
+            .store(state.appended_lsn.saturating_sub(covered_lsn), Ordering::Relaxed);
         Ok(())
     }
 
@@ -464,10 +659,12 @@ impl Wal {
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let seq = self.append.lock().expect("wal append lock").seq;
         write!(
             f,
-            "Wal({}, appended={}, durable={})",
-            self.path.display(),
+            "Wal({}, segment={}, appended={}, durable={})",
+            self.dir.display(),
+            seq,
             self.appended_lsn(),
             self.durable_lsn()
         )
@@ -660,7 +857,9 @@ mod tests {
         let covered = wal.sync_all().unwrap();
         wal.reset(covered).unwrap();
         assert_eq!(wal.records_since_checkpoint(), 0);
-        assert_eq!(fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        // The fully-covered active segment was swapped for an empty one.
+        assert!(!dir.join(segment_file_name(1)).exists());
+        assert_eq!(fs::metadata(dir.join(segment_file_name(2))).unwrap().len(), 0);
         let lsn = wal.append(&WalRecord::DropTable { name: "d".into() }).unwrap();
         assert_eq!(lsn, 4, "LSNs never reset");
         wal.sync_to(lsn).unwrap();
@@ -690,8 +889,13 @@ mod tests {
         assert_eq!(wal.records_since_checkpoint(), 1);
         assert_eq!(wal.durable_lsn(), l3, "reset syncs the carried tail");
         drop(wal);
-        let (_, replayed) = Wal::open(&dir, vfs, true, covered + 1).unwrap();
-        assert_eq!(replayed, vec![(l3, tail)]);
+        // The active segment survives whole (covered records and all);
+        // replay hands everything back and the caller skips ≤ covered,
+        // exactly as Db::open does against its checkpoint LSN.
+        let (wal2, replayed) = Wal::open(&dir, vfs, true, covered + 1).unwrap();
+        let fresh: Vec<_> = replayed.into_iter().filter(|(lsn, _)| *lsn > covered).collect();
+        assert_eq!(fresh, vec![(l3, tail)]);
+        assert_eq!(wal2.records_since_checkpoint(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -716,6 +920,163 @@ mod tests {
         assert_eq!(wal.durable_lsn(), 0);
         wal.sync_to_force(lsn).unwrap();
         assert_eq!(wal.durable_lsn(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn segment_seqs(dir: &Path) -> Vec<u64> {
+        let mut seqs: Vec<u64> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().to_str().and_then(parse_segment_seq))
+            .collect();
+        seqs.sort_unstable();
+        seqs
+    }
+
+    fn tiny_config() -> WalConfig {
+        // Every record overflows 1 byte, so each append seals a segment.
+        WalConfig { segment_bytes: 1, ..WalConfig::default() }
+    }
+
+    #[test]
+    fn appends_rotate_into_numbered_segments_and_replay_in_order() {
+        let dir = temp_dir("segments");
+        let vfs: Arc<dyn Vfs> = Arc::new(StdVfs);
+        let (wal, _) = Wal::open_with(&dir, Arc::clone(&vfs), tiny_config()).unwrap();
+        for name in ["a", "b", "c", "d"] {
+            wal.append(&WalRecord::DropTable { name: name.into() }).unwrap();
+        }
+        wal.sync_all().unwrap();
+        // Four appends, each rotating: segments 1–4 sealed, 5 active/empty.
+        assert_eq!(segment_seqs(&dir), vec![1, 2, 3, 4, 5]);
+        drop(wal);
+        let (wal2, replayed) = Wal::open_with(&dir, vfs, tiny_config()).unwrap();
+        assert_eq!(
+            replayed.iter().map(|(l, r)| (*l, r.table().to_string())).collect::<Vec<_>>(),
+            vec![(1, "a".into()), (2, "b".into()), (3, "c".into()), (4, "d".into())]
+        );
+        assert_eq!(wal2.append(&WalRecord::DropTable { name: "e".into() }).unwrap(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_torn_segment_discards_every_later_segment() {
+        let dir = temp_dir("torn-middle");
+        let vfs: Arc<dyn Vfs> = Arc::new(StdVfs);
+        let (wal, _) = Wal::open_with(&dir, Arc::clone(&vfs), tiny_config()).unwrap();
+        for name in ["a", "b", "c"] {
+            wal.append(&WalRecord::DropTable { name: name.into() }).unwrap();
+        }
+        wal.sync_all().unwrap();
+        drop(wal);
+        // Corrupt segment 2 mid-frame: replay keeps "a", truncates the
+        // tear, and deletes segments 3 and 4 wholesale.
+        let seg2 = dir.join(segment_file_name(2));
+        let mut bytes = fs::read(&seg2).unwrap();
+        let cut = bytes.len() - 3;
+        bytes.truncate(cut);
+        fs::write(&seg2, &bytes).unwrap();
+        let (wal2, replayed) = Wal::open_with(&dir, Arc::clone(&vfs), tiny_config()).unwrap();
+        assert_eq!(
+            replayed.iter().map(|(_, r)| r.table().to_string()).collect::<Vec<_>>(),
+            vec!["a"]
+        );
+        assert_eq!(segment_seqs(&dir), vec![1, 2], "later segments deleted");
+        // Appends continue from the surviving prefix.
+        assert_eq!(wal2.append(&WalRecord::DropTable { name: "x".into() }).unwrap(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_single_file_log_migrates_to_segment_one() {
+        let dir = temp_dir("legacy");
+        let mut bytes = Vec::new();
+        for (i, record) in sample_records().into_iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame((i + 1) as u64, &record));
+        }
+        fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+        let (wal, replayed) = Wal::open(&dir, Arc::new(StdVfs) as Arc<dyn Vfs>, true, 0).unwrap();
+        assert_eq!(replayed.len(), 6);
+        assert!(!dir.join(WAL_FILE).exists(), "legacy file renamed away");
+        assert_eq!(segment_seqs(&dir), vec![1]);
+        assert_eq!(wal.append(&WalRecord::DropTable { name: "t".into() }).unwrap(), 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_deletes_covered_segments_and_keeps_the_rest() {
+        let dir = temp_dir("reset-segments");
+        let vfs: Arc<dyn Vfs> = Arc::new(StdVfs);
+        let (wal, _) = Wal::open_with(&dir, Arc::clone(&vfs), tiny_config()).unwrap();
+        for name in ["a", "b", "c", "d"] {
+            wal.append(&WalRecord::DropTable { name: name.into() }).unwrap();
+        }
+        wal.sync_all().unwrap();
+        // Checkpoint at LSN 2: segments 1 and 2 are covered and deleted;
+        // 3 and 4 hold live records and stay.
+        wal.reset(2).unwrap();
+        assert_eq!(segment_seqs(&dir), vec![3, 4, 5]);
+        assert_eq!(wal.records_since_checkpoint(), 2);
+        drop(wal);
+        let (_, replayed) = Wal::open_with(&dir, vfs, tiny_config()).unwrap();
+        assert_eq!(
+            replayed.iter().map(|(_, r)| r.table().to_string()).collect::<Vec<_>>(),
+            vec!["c", "d"]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_window_preserves_acked_durability_at_every_setting() {
+        for window_us in [0u64, 200, 2_000] {
+            let dir = temp_dir(&format!("window-{window_us}"));
+            let vfs = FaultVfs::counting();
+            let config =
+                WalConfig { sync_window: Duration::from_micros(window_us), ..WalConfig::default() };
+            let (wal, _) =
+                Wal::open_with(&dir, Arc::new(vfs.clone()) as Arc<dyn Vfs>, config).unwrap();
+            let lsn = wal.append(&WalRecord::DropTable { name: "a".into() }).unwrap();
+            wal.sync_to(lsn).unwrap();
+            assert!(wal.durable_lsn() >= lsn, "sync_to returned ⇒ lsn durable");
+            wal.append(&WalRecord::DropTable { name: "b".into() }).unwrap();
+            // Crash (drop without sync): the unacked append must vanish,
+            // the acked one must survive — at every window setting.
+            drop(wal);
+            let (_, replayed) = Wal::open(&dir, Arc::new(StdVfs) as Arc<dyn Vfs>, true, 0).unwrap();
+            assert_eq!(
+                replayed.iter().map(|(_, r)| r.table().to_string()).collect::<Vec<_>>(),
+                vec!["a"],
+                "window={window_us}µs"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn sync_window_coalesces_concurrent_committers() {
+        let dir = temp_dir("window-group");
+        let vfs = FaultVfs::counting();
+        let config = WalConfig { sync_window: Duration::from_millis(20), ..WalConfig::default() };
+        let (wal, _) = Wal::open_with(&dir, Arc::new(vfs.clone()) as Arc<dyn Vfs>, config).unwrap();
+        let wal = Arc::new(wal);
+        let ops_before = vfs.ops();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    let lsn = wal.append(&WalRecord::DropTable { name: format!("t{i}") }).unwrap();
+                    wal.sync_to(lsn).unwrap();
+                    lsn
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(wal.durable_lsn(), 4);
+        // 4 appends + fsyncs: without coalescing that is 8 ops; the window
+        // lets late committers ride the first fsync (and its 20 ms linger
+        // dwarfs thread-spawn skew, so at least one rides along).
+        assert!(vfs.ops() - ops_before < 8, "expected coalescing, got {}", vfs.ops() - ops_before);
         let _ = fs::remove_dir_all(&dir);
     }
 }
