@@ -9,16 +9,31 @@
 //! all four scale linearly; SCS13/BST14 pay a per-example noise cost in
 //! memory; I/O dominates (and equalizes everyone) on disk.
 //!
-//! Output: TSV rows `mode, rows, algorithm, seconds_per_epoch`.
+//! Output: TSV rows `mode, rows, algorithm, seconds_per_epoch`, then a
+//! worker-sweep section (`workers, rows, seconds_per_epoch, speedup`)
+//! through [`run_parallel_psgd`] — the paper's multi-core Figure 2 axis.
+//! The sweep defaults to `1..=hardware_threads` (so a single-core box
+//! honestly sweeps only 1) and is overridable with `BOLTON_FIG2_WORKERS`,
+//! a comma-separated worker-count list. A JSON summary recording the
+//! machine's true `hardware_threads` is written to
+//! `BENCH_fig2_scalability.json` (override with `BOLTON_BENCH_OUT`).
 
-use bolton_bench::{header, row, BisAlg};
+use bolton_bench::{header, row, time_it, BisAlg};
 use bolton_bismarck::{synthesize, Backing, SynthSpec};
+use bolton_sgd::{run_parallel_psgd, Logistic, SgdConfig, StepSize};
 
 fn sizes() -> Vec<usize> {
     if let Ok(spec) = std::env::var("BOLTON_FIG2_SIZES") {
         return spec.split(',').filter_map(|tok| tok.trim().parse().ok()).collect();
     }
     vec![10_000, 20_000, 40_000]
+}
+
+fn worker_sweep(hardware: usize) -> Vec<usize> {
+    if let Ok(spec) = std::env::var("BOLTON_FIG2_WORKERS") {
+        return spec.split(',').filter_map(|tok| tok.trim().parse().ok()).collect();
+    }
+    (1..=hardware).collect()
 }
 
 fn main() {
@@ -49,4 +64,66 @@ fn main() {
             }
         }
     }
+
+    // Worker sweep: the paper's multi-core axis via pool-parallel PSGD with
+    // parameter mixing. `hardware_threads` is the machine's real capacity —
+    // never inflated, so a 1-core runner reports a 1-point sweep.
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep = worker_sweep(hardware);
+    let sweep_rows = *sizes().last().expect("at least one size");
+    let sweep_passes = 2usize;
+    let data = bolton_data::generator::linear_binary(
+        &mut bolton_rng::seeded(0xF162_50AA),
+        sweep_rows,
+        50,
+        0.05,
+    );
+    let loss = Logistic::regularized(1e-4, 1.0);
+    let config = SgdConfig::new(StepSize::Constant(0.5)).with_passes(sweep_passes);
+
+    header(&["workers", "rows", "seconds_per_epoch", "speedup_vs_1"]);
+    let mut cells: Vec<(usize, f64)> = Vec::new();
+    let mut base_secs = f64::NAN;
+    for &workers in &sweep {
+        let (_, elapsed) = time_it(|| {
+            let out =
+                run_parallel_psgd(&data, &loss, &config, workers, &mut bolton_rng::seeded(0xF162));
+            std::hint::black_box(out.model.len());
+        });
+        let secs = elapsed.as_secs_f64() / sweep_passes as f64;
+        if base_secs.is_nan() {
+            base_secs = secs;
+        }
+        cells.push((workers, secs));
+        row(&[
+            workers.to_string(),
+            sweep_rows.to_string(),
+            format!("{secs:.4}"),
+            format!("{:.2}", base_secs / secs),
+        ]);
+    }
+
+    let out_path =
+        std::env::var("BOLTON_BENCH_OUT").unwrap_or_else(|_| "BENCH_fig2_scalability.json".into());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"fig2_scalability_worker_sweep\",\n");
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!("  \"rows\": {sweep_rows},\n"));
+    json.push_str("  \"dim\": 50,\n");
+    json.push_str(&format!("  \"passes\": {sweep_passes},\n"));
+    json.push_str(&format!(
+        "  \"worker_sweep\": [{}]\n",
+        cells
+            .iter()
+            .map(|(w, s)| format!(
+                "{{\"workers\": {w}, \"seconds_per_epoch\": {s:.6}, \"speedup_vs_1\": {:.4}}}",
+                base_secs / s
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
 }

@@ -102,6 +102,16 @@ fn main() {
         noiseless_stats.evictions > 0,
         "budget must force evictions (run was not out-of-core): {noiseless_stats:?}"
     );
+    if stored.mmap_backed() {
+        assert_eq!(
+            noiseless_stats.copied_hits, 0,
+            "a mapped dense store must serve borrowed views only: {noiseless_stats:?}"
+        );
+        assert!(
+            noiseless_stats.borrowed_mmap_hits > 0,
+            "mapped store served no borrowed views: {noiseless_stats:?}"
+        );
+    }
 
     let mem_secs = median_secs(repeats, || {
         let out = run_psgd(&data, &loss, &config, &mut bolton_rng::seeded(42));
@@ -212,21 +222,26 @@ fn main() {
         "  \"budget_fraction_of_dataset\": {:.4},\n",
         budget as f64 / dataset_bytes as f64
     ));
+    json.push_str(&format!("  \"mmap_backed\": {},\n", stored.mmap_backed()));
     json.push_str(&format!(
         "  \"noiseless_scan\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \
-         \"peak_resident_bytes\": {}}},\n",
+         \"peak_resident_bytes\": {}, \"borrowed_mmap_hits\": {}, \"copied_hits\": {}}},\n",
         noiseless_stats.hits,
         noiseless_stats.misses,
         noiseless_stats.evictions,
-        noiseless_stats.peak_resident_bytes
+        noiseless_stats.peak_resident_bytes,
+        noiseless_stats.borrowed_mmap_hits,
+        noiseless_stats.copied_hits
     ));
     json.push_str(&format!(
         "  \"final_cache\": {{\"cache_hits\": {}, \"cache_misses\": {}, \"evictions\": {}, \
-         \"peak_resident_bytes\": {}}},\n",
+         \"peak_resident_bytes\": {}, \"borrowed_mmap_hits\": {}, \"copied_hits\": {}}},\n",
         final_stats.hits,
         final_stats.misses,
         final_stats.evictions,
-        final_stats.peak_resident_bytes
+        final_stats.peak_resident_bytes,
+        final_stats.borrowed_mmap_hits,
+        final_stats.copied_hits
     ));
     json.push_str("  \"bit_identical_to_memory\": {\"noiseless\": true, \"private_eps1\": true, \"parallel\": true},\n");
     json.push_str(&format!(

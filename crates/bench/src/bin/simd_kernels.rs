@@ -1,0 +1,263 @@
+//! SIMD kernel microbenchmark — dispatched hot-path kernels vs. the
+//! 4-wide scalar reference.
+//!
+//! Times every supported [`simd::Mode`] over the five hot kernels
+//! (`dot`, `norm_sq`, `axpy`, `scale`, `axpy_project_l2`) at
+//! d ∈ {256, 512, 1024, 2048}, asserting the reproducibility contract
+//! before trusting any timing:
+//! * each reduction kernel is bit-identical to the fixed-width reference
+//!   at its own lane width (scalar/AVX2 → width 4, AVX-512 → width 16);
+//! * element-wise kernels (`axpy`, `scale`) are bit-identical across
+//!   *all* modes;
+//! * the fused `axpy_project_l2` equals the unfused sequence per mode.
+//!
+//! Acceptance gate: when the machine supports a SIMD mode, the dispatched
+//! kernel must reach ≥1.5× the scalar reference on `dot` and
+//! `axpy_project_l2` at d ≥ 1024.
+//!
+//! Prints TSV to stdout and writes `BENCH_simd_kernels.json` (override
+//! with `BOLTON_BENCH_OUT`). Knobs: `BOLTON_SIMD_REPEATS` (default 9),
+//! `BOLTON_SIMD_TARGET_OPS` (inner-loop op count per sample, default
+//! 8_000_000).
+
+use bolton_bench::{header, row};
+use bolton_linalg::simd::{self, Mode};
+use bolton_rng::Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+// Sizes stay in the L1-resident, compute-bound regime: once the working
+// set spills past L1 (~d=4096: two 32 KB vectors) every implementation is
+// load-bandwidth-bound and lane width stops mattering.
+const DIMS: [usize; 4] = [256, 512, 1024, 2048];
+const KERNELS: [&str; 5] = ["dot", "norm_sq", "axpy", "scale", "axpy_project_l2"];
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn random_vec(rng: &mut impl Rng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+}
+
+/// Best (minimum) wall-clock nanoseconds per kernel call: each sample runs
+/// the kernel `iters` times back-to-back so short dims stay measurable, and
+/// the minimum over samples is kept — scheduler/VM noise only ever *adds*
+/// time, so the min is the honest throughput-capability estimate.
+fn best_ns_per_call(repeats: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 4 {
+        f(); // warm caches and the dispatch OnceLock before sampling
+    }
+    (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Verifies the bit-level contract for one mode at one dim before timing.
+fn assert_contract(mode: Mode, x: &[f64], y: &[f64]) {
+    let w = mode.lane_width();
+    assert_eq!(
+        simd::dot(mode, x, y).to_bits(),
+        simd::reference_dot(w, x, y).to_bits(),
+        "{} dot must match the width-{w} reference bitwise",
+        mode.name()
+    );
+    assert_eq!(
+        simd::norm_sq(mode, x).to_bits(),
+        simd::reference_norm_sq(w, x).to_bits(),
+        "{} norm_sq must match the width-{w} reference bitwise",
+        mode.name()
+    );
+    // Element-wise kernels: identical across every mode.
+    let mut via_mode = y.to_vec();
+    let mut via_scalar = y.to_vec();
+    simd::axpy(mode, 0.37, x, &mut via_mode);
+    simd::axpy(Mode::Scalar, 0.37, x, &mut via_scalar);
+    assert_eq!(via_mode, via_scalar, "{} axpy must be bit-identical to scalar", mode.name());
+    simd::scale(mode, -1.25, &mut via_mode);
+    simd::scale(Mode::Scalar, -1.25, &mut via_scalar);
+    assert_eq!(via_mode, via_scalar, "{} scale must be bit-identical to scalar", mode.name());
+    // Fused == unfused under the same mode.
+    let mut fused = y.to_vec();
+    let norm = simd::axpy_project_l2(mode, 0.37, x, &mut fused, 1.0);
+    let mut unfused = y.to_vec();
+    simd::axpy(mode, 0.37, x, &mut unfused);
+    let n = simd::norm_sq(mode, &unfused).sqrt();
+    if n > 1.0 {
+        simd::scale(mode, 1.0 / n, &mut unfused);
+    }
+    assert_eq!(fused, unfused, "{} fused axpy_project_l2 must equal unfused", mode.name());
+    assert_eq!(norm.to_bits(), n.to_bits(), "{} fused norm must match unfused", mode.name());
+}
+
+fn time_kernel(kernel: &str, mode: Mode, dim: usize, repeats: usize, target_ops: usize) -> f64 {
+    let mut rng = bolton_rng::seeded(0x51D0 + dim as u64);
+    let x = random_vec(&mut rng, dim);
+    let y = random_vec(&mut rng, dim);
+    let mut buf = y.clone();
+    let iters = (target_ops / dim).max(1);
+    match kernel {
+        "dot" => best_ns_per_call(repeats, iters, || {
+            black_box(simd::dot(mode, black_box(&x), black_box(&y)));
+        }),
+        "norm_sq" => best_ns_per_call(repeats, iters, || {
+            black_box(simd::norm_sq(mode, black_box(&x)));
+        }),
+        "axpy" => best_ns_per_call(repeats, iters, || {
+            simd::axpy(mode, black_box(1e-9), black_box(&x), &mut buf);
+            black_box(buf.len());
+        }),
+        "scale" => best_ns_per_call(repeats, iters, || {
+            simd::scale(mode, black_box(1.0 + 1e-12), &mut buf);
+            black_box(buf.len());
+        }),
+        "axpy_project_l2" => best_ns_per_call(repeats, iters, || {
+            black_box(simd::axpy_project_l2(mode, black_box(1e-9), black_box(&x), &mut buf, 1e9));
+            black_box(buf.len());
+        }),
+        _ => unreachable!("unknown kernel {kernel}"),
+    }
+}
+
+fn main() {
+    let repeats = env_usize("BOLTON_SIMD_REPEATS", 9);
+    let target_ops = env_usize("BOLTON_SIMD_TARGET_OPS", 8_000_000);
+    let modes = simd::supported_modes();
+    let dispatched = simd::active();
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Contract first: no timing is reported for a kernel that fails the
+    // reproducibility asserts.
+    let mut rng = bolton_rng::seeded(0xC0_117AC7);
+    for &dim in &DIMS {
+        // Include a ragged tail so the masked/tail path is covered too.
+        for d in [dim, dim + 3] {
+            let x = random_vec(&mut rng, d);
+            let y = random_vec(&mut rng, d);
+            for &mode in &modes {
+                assert_contract(mode, &x, &y);
+            }
+        }
+    }
+
+    header(&["kernel", "dim", "mode", "ns_per_call", "speedup_vs_scalar"]);
+    // timings[kernel][dim] -> Vec<(mode, ns)>
+    let mut timings: Vec<Vec<Vec<(Mode, f64)>>> = vec![vec![Vec::new(); DIMS.len()]; KERNELS.len()];
+    for (ki, &kernel) in KERNELS.iter().enumerate() {
+        for (di, &dim) in DIMS.iter().enumerate() {
+            let scalar_ns = time_kernel(kernel, Mode::Scalar, dim, repeats, target_ops);
+            for &mode in &modes {
+                let ns = if mode == Mode::Scalar {
+                    scalar_ns
+                } else {
+                    time_kernel(kernel, mode, dim, repeats, target_ops)
+                };
+                timings[ki][di].push((mode, ns));
+                row(&[
+                    kernel.into(),
+                    dim.to_string(),
+                    mode.name().into(),
+                    format!("{ns:.1}"),
+                    format!("{:.3}", scalar_ns / ns),
+                ]);
+            }
+        }
+    }
+
+    // Acceptance gate: the *dispatched* mode must beat scalar by ≥1.5× on
+    // dot and axpy_project_l2 at every d ≥ 1024 — only meaningful when the
+    // hardware actually has a SIMD mode (scalar-only machines record parity).
+    let simd_available = simd::detected() != Mode::Scalar;
+    let mut gate_results = Vec::new();
+    for (ki, &kernel) in KERNELS.iter().enumerate() {
+        if kernel != "dot" && kernel != "axpy_project_l2" {
+            continue;
+        }
+        for (di, &dim) in DIMS.iter().enumerate() {
+            if dim < 1024 {
+                continue;
+            }
+            let cells = &timings[ki][di];
+            let scalar_ns = cells.iter().find(|(m, _)| *m == Mode::Scalar).unwrap().1;
+            let disp_ns = cells.iter().find(|(m, _)| *m == dispatched).unwrap().1;
+            let speedup = scalar_ns / disp_ns;
+            gate_results.push((kernel, dim, speedup));
+            if simd_available && dispatched != Mode::Scalar {
+                assert!(
+                    speedup >= 1.5,
+                    "dispatched {} must be >=1.5x scalar on {kernel} at d={dim}, got {speedup:.3}x",
+                    dispatched.name()
+                );
+            }
+        }
+    }
+
+    let out_path =
+        std::env::var("BOLTON_BENCH_OUT").unwrap_or_else(|_| "BENCH_simd_kernels.json".into());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"simd_kernels\",\n");
+    json.push_str(&format!("  \"hardware_threads\": {hardware},\n"));
+    json.push_str(&format!(
+        "  \"capabilities\": {{\"avx2\": {}, \"avx512f\": {}}},\n",
+        simd::supported(Mode::Avx2),
+        simd::supported(Mode::Avx512)
+    ));
+    json.push_str(&format!("  \"detected_mode\": \"{}\",\n", simd::detected().name()));
+    json.push_str(&format!("  \"dispatched_mode\": \"{}\",\n", dispatched.name()));
+    json.push_str(&format!(
+        "  \"lane_widths\": {{{}}},\n",
+        modes
+            .iter()
+            .map(|m| format!("\"{}\": {}", m.name(), m.lane_width()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"inner_loop_target_ops\": {target_ops},\n"));
+    json.push_str("  \"bit_identity_asserts_passed\": true,\n");
+    json.push_str("  \"kernels\": {\n");
+    for (ki, &kernel) in KERNELS.iter().enumerate() {
+        json.push_str(&format!("    \"{kernel}\": {{\n"));
+        for (di, &dim) in DIMS.iter().enumerate() {
+            let cells = &timings[ki][di];
+            let scalar_ns = cells.iter().find(|(m, _)| *m == Mode::Scalar).unwrap().1;
+            let body = cells
+                .iter()
+                .map(|(m, ns)| {
+                    format!(
+                        "\"{}\": {{\"ns_per_call\": {ns:.1}, \"speedup_vs_scalar\": {:.4}}}",
+                        m.name(),
+                        scalar_ns / ns
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let comma = if di + 1 < DIMS.len() { "," } else { "" };
+            json.push_str(&format!("      \"d{dim}\": {{{body}}}{comma}\n"));
+        }
+        let comma = if ki + 1 < KERNELS.len() { "," } else { "" };
+        json.push_str(&format!("    }}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"simd_available\": {simd_available}, \"required_speedup\": 1.5, \
+         \"gates\": [{}]}}\n",
+        gate_results
+            .iter()
+            .map(|(k, d, s)| format!(
+                "{{\"kernel\": \"{k}\", \"dim\": {d}, \"dispatched_speedup\": {s:.4}}}"
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -250,7 +250,7 @@ impl Db {
                     name.strip_prefix("checkpoint-").and_then(|s| s.parse().ok()).ok_or_else(
                         || DbError::Corrupt(format!("CURRENT names invalid checkpoint '{name}'")),
                     )?;
-                let (tables, lsn) = load_checkpoint(&dir.join(name))?;
+                let (tables, lsn) = load_checkpoint(&dir.join(name), opts.vfs.injects_faults())?;
                 (tables, lsn, seq + 1)
             }
             None => (BTreeMap::new(), 0, 1),
@@ -712,7 +712,11 @@ fn checkpoint_err(e: impl std::fmt::Display) -> DbError {
 
 /// Loads a committed checkpoint directory: parses `CATALOG`, streams each
 /// non-empty table's row store back into a fresh [`Table`].
-fn load_checkpoint(ckpt_dir: &Path) -> DbResult<(TableMap, u64)> {
+///
+/// `copy_mode` forces [`StoredDataset::open_copying`] so recovery reads stay
+/// on the plain-`read` path when the active [`Vfs`](crate::fault::Vfs)
+/// injects faults — mmap would bypass the vfs and hide injected errors.
+fn load_checkpoint(ckpt_dir: &Path, copy_mode: bool) -> DbResult<(TableMap, u64)> {
     use bolton_sgd::TrainSet;
     let corrupt =
         |msg: String| DbError::Corrupt(format!("checkpoint {}: {msg}", ckpt_dir.display()));
@@ -747,8 +751,12 @@ fn load_checkpoint(ckpt_dir: &Path) -> DbResult<(TableMap, u64)> {
         let mut table = Table::create(name, dim, backing, DEFAULT_POOL_PAGES)?;
         if rows > 0 {
             let store_path = ckpt_dir.join(format!("{name}.rowstore"));
-            let store = StoredDataset::open(&store_path)
-                .map_err(|e| corrupt(format!("row store for '{name}': {e}")))?;
+            let store = if copy_mode {
+                StoredDataset::open_copying(&store_path)
+            } else {
+                StoredDataset::open(&store_path)
+            }
+            .map_err(|e| corrupt(format!("row store for '{name}': {e}")))?;
             if TrainSet::dim(&store) != dim {
                 return Err(corrupt(format!(
                     "row store for '{name}' has dim {}, CATALOG says {dim}",

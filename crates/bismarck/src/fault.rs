@@ -101,6 +101,14 @@ pub trait Vfs: Send + Sync {
     /// # Errors
     /// I/O failures, including injected crashes.
     fn remove_file(&self, path: &Path) -> DbResult<()>;
+
+    /// Whether this vfs injects faults. Fault-modeling vfses return `true`
+    /// so recovery reads opt out of mmap-backed row-store access: a shared
+    /// mapping reads pages behind the syscall layer the harness models, so
+    /// fault runs stick to explicit, observable file I/O.
+    fn injects_faults(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +308,10 @@ impl VfsFile for FaultVfsFile {
 }
 
 impl Vfs for FaultVfs {
+    fn injects_faults(&self) -> bool {
+        true
+    }
+
     fn create(&self, path: &Path) -> DbResult<Arc<dyn VfsFile>> {
         if self.state.step()? {
             return Err(injected());

@@ -26,6 +26,7 @@
 pub mod datasets;
 pub mod generator;
 pub mod loader;
+pub mod mmap;
 pub mod preprocess;
 pub mod projection;
 pub mod row_store;

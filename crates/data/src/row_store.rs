@@ -33,7 +33,32 @@
 //!
 //! Feature and label bits round-trip exactly, so a model trained from disk
 //! is *bit-identical* to one trained from the same rows in memory.
+//!
+//! ## mmap-backed reads
+//!
+//! Dense-encoded stores are memory-mapped at open time when the platform
+//! supports it (see [`crate::mmap`]): chunk "decodes" then hand out
+//! borrowed `&[f64]` row views straight into the mapped file — no
+//! read+copy, no byte-by-byte float decoding — and the little-endian
+//! on-disk floats are the in-memory floats, so bit-identity to the copy
+//! path is structural. The cache still charges a mapped chunk its full
+//! decoded size, so budgets, evictions, and peak-residency behave exactly
+//! as they do for copied chunks (the win is CPU and real memory traffic,
+//! not accounting). Fallback to the decode-copy path happens when:
+//!
+//! * the encoding is sparse (rows have unaligned `u32` fields and must be
+//!   materialized anyway),
+//! * any directory offset is not 8-aligned (cannot view `f64`s in place),
+//! * the platform has no mapping path (non-unix, big-endian),
+//! * `BOLTON_MMAP=off`, or
+//! * the store was opened with [`StoredDataset::open_copying`] (used by
+//!   the Bismarck fault-injection harness, which models I/O faults at the
+//!   syscall layer that a shared mapping would bypass).
+//!
+//! [`CacheStats::borrowed_mmap_hits`] vs [`CacheStats::copied_hits`] make
+//! the distinction observable per serve.
 
+use crate::mmap::MmapRegion;
 use bolton_linalg::SparseVec;
 use bolton_sgd::chunked::{ChunkedRows, SparseChunkedRows};
 use bolton_sgd::dataset::TuningData;
@@ -56,6 +81,10 @@ pub const DEFAULT_MEM_BUDGET: usize = 64 * 1024 * 1024;
 
 /// Environment variable naming the chunk-cache byte budget.
 pub const MEM_BUDGET_ENV: &str = "BOLTON_MEM_BUDGET";
+
+/// Environment variable disabling mmap-backed chunk reads (`off` forces
+/// the decode-copy path; anything else, or unset, allows mapping).
+pub const MMAP_ENV: &str = "BOLTON_MMAP";
 
 /// How rows are encoded on disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -326,6 +355,15 @@ pub struct CacheStats {
     pub peak_resident_bytes: usize,
     /// The configured byte budget.
     pub budget_bytes: usize,
+    /// Chunk serves whose row views borrow the memory-mapped file (no
+    /// decode copy happened for this chunk). Every cache serve — hit or
+    /// miss — counts as exactly one of `borrowed_mmap_hits` or
+    /// [`CacheStats::copied_hits`], so
+    /// `borrowed_mmap_hits + copied_hits == hits + misses`.
+    pub borrowed_mmap_hits: u64,
+    /// Chunk serves backed by a decode-copied buffer (sparse encoding,
+    /// mmap unavailable/disabled, or a copy-mode open).
+    pub copied_hits: u64,
 }
 
 /// One decoded chunk, shared between the cache and per-thread pins.
@@ -334,14 +372,44 @@ struct DecodedChunk {
     first_row: usize,
     labels: Vec<f64>,
     data: ChunkData,
-    /// Decoded footprint charged against the budget.
+    /// Decoded footprint charged against the budget. Mapped chunks charge
+    /// the same figure as their copied equivalent, so budget/eviction/peak
+    /// behavior is identical either way.
     bytes: usize,
 }
 
 enum ChunkData {
-    /// Row-major `rows × dim` features.
+    /// Row-major `rows × dim` features, decode-copied from disk.
     Dense(Vec<f64>),
+    /// Borrowed view into the store's memory mapping: rows are
+    /// `(dim + 1)`-strided `f64` runs (features then label) starting at
+    /// `float_offset` f64s into the region. Labels are still copied into
+    /// `DecodedChunk::labels` (rows × 8 bytes) so label access never
+    /// depends on the stride.
+    DenseMapped {
+        region: Arc<MmapRegion>,
+        /// Chunk start, in f64s from the beginning of the mapping.
+        float_offset: usize,
+    },
     Sparse(Vec<SparseVec>),
+}
+
+impl DecodedChunk {
+    /// Row `r`'s feature slice of a dense-content chunk.
+    fn dense_features(&self, r: usize, dim: usize) -> &[f64] {
+        match &self.data {
+            ChunkData::Dense(features) => &features[r * dim..(r + 1) * dim],
+            ChunkData::DenseMapped { region, float_offset } => {
+                region.f64s((float_offset + r * (dim + 1)) * 8, dim)
+            }
+            ChunkData::Sparse(_) => unreachable!("dense row access on a sparse chunk"),
+        }
+    }
+
+    /// Whether serves of this chunk borrow the mapping (vs a copied buffer).
+    fn is_mapped(&self) -> bool {
+        matches!(self.data, ChunkData::DenseMapped { .. })
+    }
 }
 
 /// The byte-budgeted LRU chunk cache inside a [`StoredDataset`].
@@ -380,6 +448,17 @@ impl ChunkCache {
         None
     }
 
+    /// Attributes one serve (hit or miss) to the mapped-borrow or
+    /// decode-copy counter, keeping
+    /// `borrowed_mmap_hits + copied_hits == hits + misses`.
+    fn note_serve(&mut self, chunk: &DecodedChunk) {
+        if chunk.is_mapped() {
+            self.stats.borrowed_mmap_hits += 1;
+        } else {
+            self.stats.copied_hits += 1;
+        }
+    }
+
     fn admit(&mut self, chunk: usize, decoded: Arc<DecodedChunk>) {
         while self.stats.resident_bytes + decoded.bytes > self.budget && !self.resident.is_empty() {
             let (&victim, _) = self
@@ -414,6 +493,10 @@ struct StoreInner {
     encoding: Encoding,
     dir: Vec<ChunkMeta>,
     cache: Mutex<ChunkCache>,
+    /// The whole-file read-only mapping, when chunk reads can borrow from
+    /// it (dense encoding, 8-aligned chunks, platform support, not
+    /// disabled). `None` means every read takes the decode-copy path.
+    mapping: Option<Arc<MmapRegion>>,
 }
 
 thread_local! {
@@ -470,9 +553,16 @@ fn env_budget() -> usize {
         .unwrap_or(DEFAULT_MEM_BUDGET)
 }
 
+/// `BOLTON_MMAP=off` disables mapping (checked per open, not cached, so
+/// tests and benches can toggle it between opens).
+fn mmap_disabled_by_env() -> bool {
+    std::env::var(MMAP_ENV).is_ok_and(|v| v.trim().eq_ignore_ascii_case("off"))
+}
+
 impl StoredDataset {
     /// Opens a store with the cache budget taken from `BOLTON_MEM_BUDGET`
-    /// (bytes; default 64 MiB).
+    /// (bytes; default 64 MiB). Dense stores are mmap-backed when possible
+    /// (see the module docs for the fallback rules).
     ///
     /// # Errors
     /// I/O failures and malformed files.
@@ -487,6 +577,37 @@ impl StoredDataset {
     pub fn open_with_budget(
         path: impl AsRef<Path>,
         budget_bytes: usize,
+    ) -> Result<Self, StoreError> {
+        Self::open_impl(path, budget_bytes, true)
+    }
+
+    /// Opens a store with mmap-backed reads disabled: every chunk takes
+    /// the decode-copy path regardless of platform or `BOLTON_MMAP`. The
+    /// Bismarck fault-injection harness uses this so recovery reads stay
+    /// observable as explicit file I/O; it is also the behavioral twin the
+    /// mmap parity tests compare against.
+    ///
+    /// # Errors
+    /// I/O failures and malformed files.
+    pub fn open_copying(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_impl(path, env_budget(), false)
+    }
+
+    /// [`StoredDataset::open_copying`] with an explicit cache budget.
+    ///
+    /// # Errors
+    /// I/O failures and malformed files.
+    pub fn open_copying_with_budget(
+        path: impl AsRef<Path>,
+        budget_bytes: usize,
+    ) -> Result<Self, StoreError> {
+        Self::open_impl(path, budget_bytes, false)
+    }
+
+    fn open_impl(
+        path: impl AsRef<Path>,
+        budget_bytes: usize,
+        allow_mmap: bool,
     ) -> Result<Self, StoreError> {
         let mut file = File::open(path.as_ref())?;
         let mut header = [0u8; HEADER_BYTES];
@@ -538,6 +659,21 @@ impl StoredDataset {
             return Err(corrupt("directory row total disagrees with header"));
         }
 
+        // Dense chunks are raw little-endian f64 runs, so when every chunk
+        // sits on an 8-byte boundary the file itself can serve as the
+        // decoded representation. (Writer-produced files always qualify:
+        // 64-byte header, then chunks of rows×(dim+1)×8 bytes each.)
+        let mapping = if allow_mmap
+            && encoding == Encoding::Dense
+            && !mmap_disabled_by_env()
+            && dir.iter().all(|m| m.offset % 8 == 0)
+        {
+            let map_len = dir.last().map(|m| (m.offset + m.bytes) as usize).unwrap_or(0);
+            MmapRegion::map(&file, map_len).map(Arc::new)
+        } else {
+            None
+        };
+
         Ok(Self {
             inner: Arc::new(StoreInner {
                 id: STORE_IDS.fetch_add(1, Ordering::Relaxed),
@@ -547,10 +683,17 @@ impl StoredDataset {
                 encoding,
                 dir,
                 cache: Mutex::new(ChunkCache::new(budget_bytes)),
+                mapping,
             }),
             lo: 0,
             hi: rows,
         })
+    }
+
+    /// Whether chunk reads borrow from a memory mapping (false on the
+    /// decode-copy fallback in any of its forms).
+    pub fn mmap_backed(&self) -> bool {
+        self.inner.mapping.is_some()
     }
 
     /// Number of rows in this view.
@@ -662,6 +805,7 @@ impl StoredDataset {
         {
             let mut cache = self.inner.cache.lock().expect("cache lock");
             if let Some(arc) = cache.get(chunk) {
+                cache.note_serve(&arc);
                 return arc;
             }
             cache.stats.misses += 1;
@@ -677,9 +821,12 @@ impl StoredDataset {
         );
         let mut cache = self.inner.cache.lock().expect("cache lock");
         if let Some((arc, _)) = cache.resident.get(&chunk) {
-            return arc.clone();
+            let arc = arc.clone();
+            cache.note_serve(&arc);
+            return arc;
         }
         cache.admit(chunk, decoded.clone());
+        cache.note_serve(&decoded);
         decoded
     }
 }
@@ -690,6 +837,9 @@ impl StoreInner {
             .dir
             .get(chunk)
             .unwrap_or_else(|| panic!("chunk {chunk} out of range ({} chunks)", self.dir.len()));
+        if let Some(region) = &self.mapping {
+            return self.map_chunk(chunk, meta, region);
+        }
         let mut raw = vec![0u8; meta.bytes as usize];
         {
             let mut file = self.file.lock().expect("file lock");
@@ -753,6 +903,33 @@ impl StoreInner {
             }
         }
     }
+
+    /// The mmap "decode": validate the chunk's shape, copy out the labels
+    /// (rows × 8 bytes), and borrow the features in place. Charged bytes
+    /// equal the copied chunk's decoded size so the cache behaves
+    /// identically in both modes.
+    fn map_chunk(
+        &self,
+        chunk: usize,
+        meta: ChunkMeta,
+        region: &Arc<MmapRegion>,
+    ) -> Result<DecodedChunk, StoreError> {
+        debug_assert_eq!(self.encoding, Encoding::Dense, "only dense stores are mapped");
+        let rows = meta.rows as usize;
+        let stride = self.dim + 1;
+        if meta.bytes as usize != rows * stride * 8 {
+            return Err(corrupt(format!("dense chunk {chunk} has wrong byte count")));
+        }
+        let float_offset = meta.offset as usize / 8;
+        let floats = region.f64s(meta.offset as usize, rows * stride);
+        let labels = (0..rows).map(|r| floats[r * stride + self.dim]).collect::<Vec<f64>>();
+        Ok(DecodedChunk {
+            first_row: chunk * self.chunk_rows,
+            labels,
+            data: ChunkData::DenseMapped { region: Arc::clone(region), float_offset },
+            bytes: rows * stride * 8,
+        })
+    }
 }
 
 impl ChunkedRows for StoredDataset {
@@ -784,7 +961,7 @@ impl ChunkedRows for StoredDataset {
         let cl = self.inner.chunk_rows;
         let base = chunk * cl;
         let dim = self.inner.dim;
-        let aligned = self.lo % cl == 0;
+        let aligned = self.lo.is_multiple_of(cl);
         thread_local! {
             static ROW_BUF: std::cell::RefCell<Vec<f64>> =
                 const { std::cell::RefCell::new(Vec::new()) };
@@ -793,13 +970,10 @@ impl ChunkedRows for StoredDataset {
             Encoding::Dense => {
                 if aligned {
                     let decoded = self.chunk_arc(self.lo / cl + chunk);
-                    let ChunkData::Dense(features) = &decoded.data else {
-                        unreachable!("dense store decodes dense chunks")
-                    };
                     for (k, &l) in locals.iter().enumerate() {
                         let view_row = base + l;
                         assert!(view_row < self.len(), "row {view_row} out of range");
-                        visit(k, &features[l * dim..(l + 1) * dim], decoded.labels[l]);
+                        visit(k, decoded.dense_features(l, dim), decoded.labels[l]);
                     }
                     return;
                 }
@@ -809,10 +983,7 @@ impl ChunkedRows for StoredDataset {
                     let inner_row = self.lo + view_row;
                     let decoded = self.chunk_arc(inner_row / cl);
                     let r = inner_row - decoded.first_row;
-                    let ChunkData::Dense(features) = &decoded.data else {
-                        unreachable!("dense store decodes dense chunks")
-                    };
-                    visit(k, &features[r * dim..(r + 1) * dim], decoded.labels[r]);
+                    visit(k, decoded.dense_features(r, dim), decoded.labels[r]);
                 }
             }
             Encoding::Sparse => {
@@ -864,7 +1035,7 @@ impl SparseChunkedRows for StoredDataset {
         let cl = self.inner.chunk_rows;
         let base = chunk * cl;
         // One fetch per call for chunk-aligned views, as in the dense scan.
-        if self.lo % cl == 0 {
+        if self.lo.is_multiple_of(cl) {
             let decoded = self.chunk_arc(self.lo / cl + chunk);
             for (k, &l) in locals.iter().enumerate() {
                 let view_row = base + l;
@@ -894,11 +1065,11 @@ fn visit_decoded_sparse(
 ) {
     match &decoded.data {
         ChunkData::Sparse(rows) => visit(k, &rows[r], decoded.labels[r]),
-        // Correctness fallback for dense-encoded stores: build the sparse
-        // row on the fly (allocates per row — prefer a sparse-encoded
-        // store for the O(nnz) path).
-        ChunkData::Dense(features) => {
-            let row = SparseVec::from_dense(&features[r * dim..(r + 1) * dim]);
+        // Correctness fallback for dense-encoded stores (copied or
+        // mapped): build the sparse row on the fly (allocates per row —
+        // prefer a sparse-encoded store for the O(nnz) path).
+        ChunkData::Dense(_) | ChunkData::DenseMapped { .. } => {
+            let row = SparseVec::from_dense(decoded.dense_features(r, dim));
             visit(k, &row, decoded.labels[r]);
         }
     }
@@ -1242,6 +1413,80 @@ mod tests {
         assert_eq!(reset.hits, 0);
         assert_eq!(reset.evictions, 0);
         assert_eq!(reset.peak_resident_bytes, reset.resident_bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Mapped and copy-mode opens of the same dense store serve identical
+    /// rows, and the serve counters make the path taken observable:
+    /// every serve is exactly one of borrowed-from-mmap or decode-copied.
+    #[test]
+    fn mmap_and_copy_paths_agree_and_are_observable() {
+        let data = linear(120, 4, 620);
+        let path = tmp("mmap-parity");
+        write_dense_dataset(&data, &path, 16).unwrap();
+        let mapped = StoredDataset::open_with_budget(&path, 1 << 20).unwrap();
+        let copied = StoredDataset::open_copying_with_budget(&path, 1 << 20).unwrap();
+        // `BOLTON_MMAP=off` in the environment legitimately disables the
+        // mapping (the CI matrix runs the suite that way), so only require
+        // it when the knob permits and the platform supports it.
+        assert_eq!(mapped.mmap_backed(), crate::mmap::MMAP_SUPPORTED && !mmap_disabled_by_env());
+        assert!(!copied.mmap_backed(), "copy-mode open must never map");
+        for i in 0..120 {
+            assert_eq!(mapped.get(i), copied.get(i), "row {i}");
+            assert_eq!(mapped.label_of(i), copied.label_of(i), "label {i}");
+        }
+        let ms = mapped.cache_stats();
+        let cs = copied.cache_stats();
+        assert_eq!(ms.borrowed_mmap_hits + ms.copied_hits, ms.hits + ms.misses, "{ms:?}");
+        assert_eq!(cs.borrowed_mmap_hits + cs.copied_hits, cs.hits + cs.misses, "{cs:?}");
+        if mapped.mmap_backed() {
+            assert!(ms.borrowed_mmap_hits > 0, "{ms:?}");
+            assert_eq!(ms.copied_hits, 0, "{ms:?}");
+        }
+        assert_eq!(cs.borrowed_mmap_hits, 0, "{cs:?}");
+        assert!(cs.copied_hits > 0, "{cs:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Sparse stores always fall back to decode copies (their rows hold
+    /// unaligned u32 fields and must be materialized anyway).
+    #[test]
+    fn sparse_stores_are_never_mapped() {
+        let (_, sparse) = bolton_sgd::dataset::sparse_pair_fixture(40, 8, 0.2, 621);
+        let path = tmp("sparse-no-mmap");
+        write_sparse_dataset(&sparse, &path, 16).unwrap();
+        let stored = StoredDataset::open_with_budget(&path, 1 << 16).unwrap();
+        assert!(!stored.mmap_backed());
+        stored.scan(&mut |_, _, _| {});
+        let stats = stored.cache_stats();
+        assert_eq!(stats.borrowed_mmap_hits, 0);
+        assert!(stats.copied_hits > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Training from a mapped store is bit-identical to training from a
+    /// copy-mode open of the same file (which is in turn bit-identical to
+    /// memory, per `training_from_disk_is_bit_identical_to_memory`) —
+    /// under eviction pressure, so mapped chunks cycle through the cache.
+    #[test]
+    fn mmap_training_is_bit_identical_to_copy_mode() {
+        let data = linear(700, 6, 622);
+        let path = tmp("mmap-train-parity");
+        write_dense_dataset(&data, &path, 64).unwrap();
+        let chunk_bytes = 64 * 7 * 8;
+        let mapped = StoredDataset::open_with_budget(&path, 2 * chunk_bytes).unwrap();
+        let copied = StoredDataset::open_copying_with_budget(&path, 2 * chunk_bytes).unwrap();
+        let loss = Logistic::plain();
+        let config = SgdConfig::new(StepSize::Constant(0.3))
+            .with_passes(2)
+            .with_batch_size(3)
+            .with_sampling(SamplingScheme::chunked(64));
+        let from_map = run_psgd(&mapped, &loss, &config, &mut seeded(623));
+        let from_copy = run_psgd(&copied, &loss, &config, &mut seeded(623));
+        assert_eq!(from_map.model, from_copy.model);
+        let stats = mapped.cache_stats();
+        assert!(stats.evictions > 0, "budget must force evictions: {stats:?}");
+        assert!(stats.peak_resident_bytes <= 2 * chunk_bytes, "{stats:?}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -10,6 +10,7 @@
 pub mod matrix;
 pub mod projection;
 pub mod random;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 pub mod vector;

@@ -101,14 +101,15 @@ impl SparseVec {
     /// Sparse-dense dot product `⟨self, w⟩`, accumulated 4-wide over the
     /// *stored* entries.
     ///
-    /// The accumulation shape is the same as [`vector::dot`] — four
-    /// independent lanes reduced as `(a₀+a₁)+(a₂+a₃)+tail` — but the lanes
-    /// stride over the nonzeros rather than over all `d` coordinates, so
-    /// the result matches the dense kernel on the densified row bit-for-bit
-    /// only when the nonzeros occupy a prefix-aligned pattern (e.g. a fully
-    /// dense row). In general the dropped zeros shift surviving terms
-    /// across lanes and the two kernels agree only up to reassociation of
-    /// exact zero additions — equality tests should be exact where the
+    /// The accumulation shape is the 4-wide reference reduction
+    /// (`(a₀+a₁)+(a₂+a₃)+tail`, i.e. [`crate::simd::reference_dot`] at lane
+    /// width 4) — but the lanes stride over the nonzeros rather than over
+    /// all `d` coordinates, so the result matches the 4-wide dense kernel
+    /// on the densified row bit-for-bit only when the nonzeros occupy a
+    /// prefix-aligned pattern (e.g. a fully dense row). In general the
+    /// dropped zeros shift surviving terms across lanes, and the dispatched
+    /// dense kernel may run at a different lane width entirely — equality
+    /// tests should be exact against the width-4 reference where the
     /// pattern allows and approximate (`1e-9`-style) otherwise.
     ///
     /// # Panics
@@ -259,16 +260,19 @@ mod tests {
         }
     }
 
-    /// On a fully dense row the 4-wide sparse lanes line up with the dense
-    /// kernel's lanes, so the dot products are bit-identical.
+    /// On a fully dense row the 4-wide sparse lanes line up with the
+    /// width-4 dense reference's lanes, so the dot products are
+    /// bit-identical (the *dispatched* dense kernel may use a wider
+    /// reduction — compare against the fixed-width reference).
     #[test]
     fn dot_is_bit_identical_on_dense_rows() {
+        use crate::simd;
         for len in [4usize, 8, 11] {
             let x: Vec<f64> = (0..len).map(|i| (i as f64 * 0.7).cos() + 1.5).collect();
             let w: Vec<f64> = (0..len).map(|i| (i as f64 * 1.1).sin() - 0.4).collect();
             let v = SparseVec::from_dense(&x);
             assert_eq!(v.nnz(), len);
-            assert_eq!(v.dot_dense(&w), vector::dot(&x, &w), "len {len}");
+            assert_eq!(v.dot_dense(&w), simd::reference_dot(4, &x, &w), "len {len}");
         }
     }
 }

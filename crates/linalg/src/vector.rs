@@ -1,51 +1,40 @@
 //! BLAS-1 style kernels on `f64` slices.
 //!
-//! All functions assert matching lengths in debug builds and are branch-free
-//! in the hot path; the SGD inner loop is built entirely from these.
+//! All functions assert matching lengths and are branch-free in the hot
+//! path; the SGD inner loop is built entirely from these. The five hot
+//! kernels ([`dot`], [`norm_sq`], [`axpy`], [`scale`], [`axpy_project_l2`])
+//! dispatch once per process to the widest SIMD implementation the CPU
+//! supports (see [`crate::simd`]); `BOLTON_SIMD=off` pins the scalar
+//! 4-wide reference, which is bit-identical to the pre-SIMD kernels.
+//!
+//! Reproducibility: results are bit-identical across runs for a fixed lane
+//! width. `scalar` and `avx2` share a 4-lane reduction and agree bit for
+//! bit; `avx512` keeps 16 partial sums (two interleaved 8-lane vectors)
+//! and reassociates low-order bits of the reductions (element-wise kernels
+//! agree at every width).
 
-/// Dot product `⟨x, y⟩`, accumulated 4-wide.
+use crate::simd;
+
+/// Dot product `⟨x, y⟩`, accumulated lane-parallel.
 ///
-/// Four independent accumulators break the sequential-add dependency chain
-/// so the loop can keep multiple FMAs in flight; the reduction order
-/// `(a₀+a₁)+(a₂+a₃)+tail` is fixed, so results stay bit-reproducible.
+/// Independent per-lane accumulators break the sequential-add dependency
+/// chain; the pairwise reduction order per lane width is fixed, so results
+/// stay bit-reproducible at a given width (`(a₀+a₁)+(a₂+a₃)+tail` for the
+/// 4-wide modes).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    let split = x.len() - x.len() % 4;
-    let mut acc = [0.0f64; 4];
-    for (cx, cy) in x[..split].chunks_exact(4).zip(y[..split].chunks_exact(4)) {
-        acc[0] += cx[0] * cy[0];
-        acc[1] += cx[1] * cy[1];
-        acc[2] += cx[2] * cy[2];
-        acc[3] += cx[3] * cy[3];
-    }
-    let mut tail = 0.0;
-    for (a, b) in x[split..].iter().zip(y[split..].iter()) {
-        tail += a * b;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    simd::dot(simd::active(), x, y)
 }
 
-/// Squared Euclidean norm `‖x‖²` (same 4-wide accumulation as [`dot`], so
-/// `norm_sq(x) == dot(x, x)` bit-for-bit).
+/// Squared Euclidean norm `‖x‖²` (same lane-parallel accumulation as
+/// [`dot`], so `norm_sq(x) == dot(x, x)` bit-for-bit under every dispatch
+/// mode).
 #[inline]
 pub fn norm_sq(x: &[f64]) -> f64 {
-    let split = x.len() - x.len() % 4;
-    let mut acc = [0.0f64; 4];
-    for c in x[..split].chunks_exact(4) {
-        acc[0] += c[0] * c[0];
-        acc[1] += c[1] * c[1];
-        acc[2] += c[2] * c[2];
-        acc[3] += c[3] * c[3];
-    }
-    let mut tail = 0.0;
-    for a in &x[split..] {
-        tail += a * a;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    simd::norm_sq(simd::active(), x)
 }
 
 /// Euclidean norm `‖x‖`.
@@ -54,24 +43,20 @@ pub fn norm(x: &[f64]) -> f64 {
     norm_sq(x).sqrt()
 }
 
-/// `y ← y + alpha·x` (the classic `axpy`).
+/// `y ← y + alpha·x` (the classic `axpy`). Element-wise, so bit-identical
+/// under every dispatch mode.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(simd::active(), alpha, x, y)
 }
 
-/// `x ← alpha·x`.
+/// `x ← alpha·x`. Element-wise, so bit-identical under every dispatch mode.
 #[inline]
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for v in x.iter_mut() {
-        *v *= alpha;
-    }
+    simd::scale(simd::active(), alpha, x)
 }
 
 /// Element-wise `out ← x − y`.
@@ -124,39 +109,17 @@ pub fn project_l2_ball(w: &mut [f64], radius: f64) -> f64 {
 ///
 /// Applies the axpy and accumulates the squared norm of the updated vector
 /// in the same sweep (the separate `axpy` + `norm` + conditional `scale`
-/// sequence reads `w` twice). The accumulation uses the same 4-wide order
-/// as [`norm_sq`], so the result is bit-identical to
-/// `axpy(alpha, x, w); project_l2_ball(w, radius)`.
+/// sequence reads `w` twice). The accumulation uses the same lane-parallel
+/// order as [`norm_sq`] within each dispatch mode, so the result is
+/// bit-identical to `axpy(alpha, x, w); project_l2_ball(w, radius)` under
+/// every mode.
 ///
 /// Returns the pre-projection norm `‖w + alpha·x‖`.
 ///
 /// # Panics
 /// Panics if lengths differ or `radius` is negative or NaN.
 pub fn axpy_project_l2(alpha: f64, x: &[f64], w: &mut [f64], radius: f64) -> f64 {
-    assert_eq!(x.len(), w.len(), "axpy_project_l2: length mismatch");
-    assert!(radius >= 0.0, "radius must be >= 0");
-    let split = w.len() - w.len() % 4;
-    let mut acc = [0.0f64; 4];
-    for (cw, cx) in w[..split].chunks_exact_mut(4).zip(x[..split].chunks_exact(4)) {
-        cw[0] += alpha * cx[0];
-        cw[1] += alpha * cx[1];
-        cw[2] += alpha * cx[2];
-        cw[3] += alpha * cx[3];
-        acc[0] += cw[0] * cw[0];
-        acc[1] += cw[1] * cw[1];
-        acc[2] += cw[2] * cw[2];
-        acc[3] += cw[3] * cw[3];
-    }
-    let mut tail = 0.0;
-    for (wi, xi) in w[split..].iter_mut().zip(x[split..].iter()) {
-        *wi += alpha * xi;
-        tail += *wi * *wi;
-    }
-    let n = ((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail).sqrt();
-    if n > radius {
-        scale(radius / n, w);
-    }
-    n
+    simd::axpy_project_l2(simd::active(), alpha, x, w, radius)
 }
 
 /// Rescales `x` to unit L2 norm in place. Zero vectors are left unchanged

@@ -17,6 +17,12 @@
 //! a two-level "shuffle chunks, shuffle within each chunk" order whose
 //! same-chunk runs are whole chunks, so each pass touches every chunk
 //! exactly once.
+//!
+//! Because every backend scans through this one implementation, a row's
+//! features reach the gradient kernels as the same `&[f64]` slice whether
+//! they live in a `Vec`, a buffer-pool page, or an mmap-backed chunk view —
+//! so training from any backend is bit-identical at a fixed seed and SIMD
+//! dispatch mode (see `bolton_linalg::simd` for the lane-width contract).
 
 use bolton_linalg::SparseVec;
 
@@ -213,7 +219,7 @@ mod tests {
                 let i = chunk * self.cl + l;
                 assert!(l < self.rows_in_chunk(chunk), "local out of range");
                 let x = [i as f64, 2.0 * i as f64];
-                visit(k, &x, if i % 2 == 0 { 1.0 } else { -1.0 });
+                visit(k, &x, if i.is_multiple_of(2) { 1.0 } else { -1.0 });
             }
         }
     }
@@ -228,7 +234,7 @@ mod tests {
         for (pos, &(seen_pos, x0, y)) in seen.iter().enumerate() {
             assert_eq!(pos, seen_pos);
             assert_eq!(x0, order[pos] as f64);
-            assert_eq!(y, if order[pos] % 2 == 0 { 1.0 } else { -1.0 });
+            assert_eq!(y, if order[pos].is_multiple_of(2) { 1.0 } else { -1.0 });
         }
     }
 

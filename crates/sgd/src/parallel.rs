@@ -26,6 +26,12 @@
 //! fraction of the data, and the average dilutes a differing example by
 //! 1/w), so this module is offered for the noiseless/scalability use case;
 //! private training should use the sequential engine.
+//!
+//! **SIMD reproducibility:** every worker runs the same dispatched kernels
+//! (`bolton_linalg::simd`), so mixed models inherit the per-lane-width
+//! contract — bit-identical across thread counts and schedules at a fixed
+//! dispatch mode, reassociated low-order bits across modes of different
+//! lane width (pin `BOLTON_SIMD` to compare across machines).
 
 use crate::dataset::{SparseTrainSet, TrainSet};
 use crate::engine::{run_with_pass_orders, PassOrders, Scratch, SgdConfig, SgdOutcome};

@@ -1,0 +1,113 @@
+//! Golden-bit regression for the SIMD dispatch layer.
+//!
+//! The exact bit patterns below were captured from the pre-SIMD scalar
+//! kernels (the 4-wide unrolls that now live behind `BOLTON_SIMD=off`).
+//! Under any 4-lane dispatch mode (`scalar`, `avx2`) training must
+//! reproduce them bit for bit; the 8-lane `avx512` mode reassociates
+//! reduction low-order bits and must stay within 1e-9 — which is also the
+//! documented cross-width reproducibility contract.
+//!
+//! The CI `BOLTON_SIMD=off` matrix leg runs this test with the exact
+//! branch active, so "off reproduces today's models bit-for-bit at the
+//! same seed" is continuously enforced.
+
+use bolton_linalg::simd;
+use bolton_rng::seeded;
+use bolton_sgd::dataset::sparse_pair_fixture;
+use bolton_sgd::{run_psgd, run_sparse_psgd, Averaging, Logistic, SgdConfig, StepSize};
+
+/// Pre-SIMD golden bits: dense PSGD, final iterate.
+const DENSE_FINAL: [u64; 12] = [
+    0xbfcc68eda0be309e,
+    0xbf73944009b6f805,
+    0xbfb3f4ec36b609fc,
+    0x3f998c4ec5d68822,
+    0xbfc018ce984b1e15,
+    0xbfac9d65a58cb82b,
+    0x3f4e308b8c9a94ce,
+    0xbfc75d97b18e8ef7,
+    0x3f67901ba413907e,
+    0xbfbba2b0425235bc,
+    0xbfa4027792ea54e0,
+    0x3fc02f7e1d2ce645,
+];
+
+/// Pre-SIMD golden bits: dense PSGD, uniform averaging.
+const DENSE_UNIFORM: [u64; 12] = [
+    0xbfc203041cea7357,
+    0xbf7fcf83b66476be,
+    0xbf9cbd600bed4555,
+    0xbf8b092d89eec3f2,
+    0xbfb21b90d54da3a3,
+    0xbf9565a568401acc,
+    0x3f9140855041dca7,
+    0xbfb67d6076b90b7e,
+    0xbf991b8354206b25,
+    0xbfa31cbc7e1c5196,
+    0xbfa598b66eda8138,
+    0x3fafe65aeba0e156,
+];
+
+/// Pre-SIMD golden bits: sparse-engine PSGD, final iterate.
+const SPARSE_FINAL: [u64; 12] = [
+    0xbfcc68eda0be30bb,
+    0xbf73944009b6f839,
+    0xbfb3f4ec36b60a08,
+    0x3f998c4ec5d6881d,
+    0xbfc018ce984b1e22,
+    0xbfac9d65a58cb83c,
+    0x3f4e308b8c9a98b0,
+    0xbfc75d97b18e8f09,
+    0x3f67901ba4138eff,
+    0xbfbba2b0425235cd,
+    0xbfa4027792ea54fd,
+    0x3fc02f7e1d2ce652,
+];
+
+fn config() -> SgdConfig {
+    SgdConfig::new(StepSize::Constant(0.35)).with_passes(3).with_batch_size(4).with_projection(2.0)
+}
+
+fn check(model: &[f64], golden: &[u64; 12], what: &str) {
+    assert_eq!(model.len(), golden.len());
+    if simd::active().lane_width() <= 4 {
+        // Same lane width as the capture: the contract is exact bits.
+        let bits: Vec<u64> = model.iter().map(|w| w.to_bits()).collect();
+        assert_eq!(bits, golden, "{what}: bit drift under {} dispatch", simd::active().name());
+    } else {
+        // Wider reduction: reassociated low-order bits, 1e-9 closeness.
+        for (j, (&w, &g)) in model.iter().zip(golden.iter()).enumerate() {
+            let gf = f64::from_bits(g);
+            assert!(
+                (w - gf).abs() < 1e-9,
+                "{what}: coord {j} drifted {w} vs {gf} under {}",
+                simd::active().name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_final_iterate_reproduces_golden_bits() {
+    let data = sparse_pair_fixture(160, 12, 0.3, 777).0;
+    let loss = Logistic::regularized(0.01, 2.0);
+    let out = run_psgd(&data, &loss, &config(), &mut seeded(778));
+    check(&out.model, &DENSE_FINAL, "dense FinalIterate");
+}
+
+#[test]
+fn dense_uniform_average_reproduces_golden_bits() {
+    let data = sparse_pair_fixture(160, 12, 0.3, 777).0;
+    let loss = Logistic::regularized(0.01, 2.0);
+    let cfg = config().with_averaging(Averaging::Uniform);
+    let out = run_psgd(&data, &loss, &cfg, &mut seeded(778));
+    check(&out.model, &DENSE_UNIFORM, "dense Uniform average");
+}
+
+#[test]
+fn sparse_final_iterate_reproduces_golden_bits() {
+    let sparse = sparse_pair_fixture(160, 12, 0.3, 777).1;
+    let loss = Logistic::regularized(0.01, 2.0);
+    let out = run_sparse_psgd(&sparse, &loss, &config(), &mut seeded(778));
+    check(&out.model, &SPARSE_FINAL, "sparse FinalIterate");
+}

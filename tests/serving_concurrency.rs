@@ -62,9 +62,8 @@ fn concurrent_readers_and_trainer_over_shared_db() {
             let result =
                 s.run("TRAIN heavy ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 8 BATCH 5 SEED 9");
             done.store(true, Ordering::SeqCst);
-            result.map(|r| {
+            result.inspect(|_| {
                 s.run("SAVE MODEL heavy").unwrap();
-                r
             })
         })
     };

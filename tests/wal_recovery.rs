@@ -204,7 +204,7 @@ fn torn_tail_record_is_dropped_and_log_stays_usable() {
 fn concurrent_writers_and_readers_crash_cleanly() {
     fn row_for(writer: usize, seq: u64) -> (Vec<f64>, f64) {
         let x = vec![writer as f64, seq as f64, (seq as f64) * 0.0625 - writer as f64 / 3.0];
-        (x, if seq % 2 == 0 { 1.0 } else { -1.0 })
+        (x, if seq.is_multiple_of(2) { 1.0 } else { -1.0 })
     }
 
     let dir = temp_dir("race");
