@@ -1,0 +1,194 @@
+//! Serving-layer throughput: the v1 line protocol (one statement per
+//! round trip) versus the v2 binary protocol pipelining a fixed window of
+//! in-flight statements per connection, over the same in-process server
+//! and the same mixed COUNT / EVAL / prepared-EXECUTE workload.
+//!
+//! Each client thread opens its own connection, PREPAREs a statement, then
+//! issues `stmts` statements: v1 sequentially (`request` round trips), v2
+//! keeping `depth` requests in flight (`send_request` / `recv_response`
+//! window). Pipelining wins by amortizing round-trip latency and per-wake
+//! scheduling across the window — so the speedup holds even on a
+//! single-core runner, where parallel execution alone could only tie.
+//!
+//! Prints TSV to stdout and writes `BENCH_serve_throughput.json` (override
+//! with `BOLTON_BENCH_OUT`). The JSON records the honest
+//! `hardware_threads` and the shared engine pool's parse-cache hit rate
+//! over the run.
+//!
+//! Knobs: `BOLTON_ST_CLIENTS` (default 64), `BOLTON_ST_DEPTH` (window,
+//! default 8), `BOLTON_ST_STMTS` (statements per client per phase, default
+//! 192), `BOLTON_ST_ROWS` (table rows, default 1000). At 8+ clients the
+//! binary asserts the acceptance floor: v2 ≥ 2× v1 and parse-cache hit
+//! rate > 90%.
+
+use bolton_bismarck::server::{serve, Client};
+use bolton_bismarck::{Db, Limits, ServerConfig};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// The statement mix, cycled per request index: a cheap aggregate, a
+/// model evaluation, and a prepared-statement execution.
+fn statement(i: usize) -> &'static str {
+    match i % 3 {
+        0 => "SELECT COUNT(*) FROM t",
+        1 => "EVAL m ON t",
+        _ => "EXECUTE q",
+    }
+}
+
+/// One v1 client: sequential request/response round trips.
+fn v1_client(addr: &str, stmts: usize) {
+    let mut c = Client::connect(addr).expect("v1 connect");
+    c.expect_ok("PREPARE q AS SELECT AVG($1) FROM t").expect("PREPARE");
+    for i in 0..stmts {
+        let lines = c.request(&full_statement(i)).expect("v1 request");
+        assert!(lines.last().is_some_and(|l| l.starts_with("ok")), "{lines:?}");
+    }
+}
+
+/// One v2 client: a sliding window of `depth` in-flight request IDs.
+fn v2_client(addr: &str, stmts: usize, depth: usize) {
+    let mut c = Client::connect_v2(addr).expect("v2 connect");
+    c.expect_ok("PREPARE q AS SELECT AVG($1) FROM t").expect("PREPARE");
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    while received < stmts {
+        while sent < stmts && sent - received < depth {
+            c.send_request(&full_statement(sent)).expect("v2 send");
+            sent += 1;
+        }
+        let (_, response) = c.recv_response().expect("v2 recv");
+        assert!(response.is_ok(), "{response:?}");
+        received += 1;
+    }
+}
+
+/// `EXECUTE q` needs its placeholder argument appended.
+fn full_statement(i: usize) -> String {
+    let stmt = statement(i);
+    if stmt == "EXECUTE q" {
+        "EXECUTE q (1)".to_string()
+    } else {
+        stmt.to_string()
+    }
+}
+
+/// Runs one phase: `clients` threads, each issuing `stmts` statements.
+/// Returns aggregate statements/second.
+fn run_phase(addr: &str, clients: usize, per_client: impl Fn(&str) + Sync) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let per_client = &per_client;
+        for _ in 0..clients {
+            scope.spawn(move || per_client(addr));
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Reads the engine pool's parse-cache counters out of `SHOW LIMITS`.
+fn cache_counters(addr: &str) -> (u64, u64) {
+    let mut c = Client::connect_v2(addr).expect("stats connect");
+    let limits = c.query("SHOW LIMITS").expect("SHOW LIMITS");
+    let field = |key: &str| -> u64 {
+        limits
+            .rows()
+            .iter()
+            .find_map(|row| row.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{key} missing from SHOW LIMITS: {limits:?}"))
+    };
+    (field("parse_cache_hits="), field("parse_cache_misses="))
+}
+
+fn main() {
+    let clients = env_usize("BOLTON_ST_CLIENTS", 64);
+    let depth = env_usize("BOLTON_ST_DEPTH", 8);
+    let stmts = env_usize("BOLTON_ST_STMTS", 192);
+    let rows = env_usize("BOLTON_ST_ROWS", 1000);
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let db = Arc::new(Db::new());
+    let limits = Limits::default();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_connections: clients + 8,
+        limits: limits.clone(),
+    };
+    let server = serve(Arc::clone(&db), &config).expect("bind");
+    let addr = server.addr().to_string();
+
+    let mut setup = Client::connect(&addr).expect("setup connect");
+    setup.expect_ok("CREATE TABLE t (DIM 8)").unwrap();
+    setup.expect_ok(&format!("SYNTH t ROWS {rows} SEED 7 NOISE 0.05")).unwrap();
+    setup.expect_ok("TRAIN m ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 1 BATCH 10 SEED 3").unwrap();
+
+    // Warm both paths once so thread-pool and page-cache effects don't
+    // land inside either timed phase.
+    v1_client(&addr, 6);
+    v2_client(&addr, 6, depth.max(1));
+
+    bolton_bench::header(&["protocol", "clients", "depth", "stmts_per_sec", "speedup_vs_v1"]);
+
+    let v1_secs = run_phase(&addr, clients, |a| v1_client(a, stmts));
+    let v1_rate = (clients * stmts) as f64 / v1_secs;
+    bolton_bench::row(&[
+        "v1-line".into(),
+        clients.to_string(),
+        "1".into(),
+        format!("{v1_rate:.0}"),
+        "1.00".into(),
+    ]);
+
+    let (hits_before, misses_before) = cache_counters(&addr);
+    let v2_secs = run_phase(&addr, clients, |a| v2_client(a, stmts, depth.max(1)));
+    let (hits_after, misses_after) = cache_counters(&addr);
+    let v2_rate = (clients * stmts) as f64 / v2_secs;
+    let speedup = v2_rate / v1_rate;
+    bolton_bench::row(&[
+        "v2-pipelined".into(),
+        clients.to_string(),
+        depth.to_string(),
+        format!("{v2_rate:.0}"),
+        format!("{speedup:.2}"),
+    ]);
+
+    let d_hits = hits_after - hits_before;
+    let d_misses = misses_after - misses_before;
+    let hit_rate =
+        if d_hits + d_misses == 0 { 1.0 } else { d_hits as f64 / (d_hits + d_misses) as f64 };
+    println!(
+        "# parse cache over the v2 phase: {d_hits} hits, {d_misses} misses ({:.1}%)",
+        hit_rate * 100.0
+    );
+
+    let mut stop = Client::connect(&addr).expect("stop connect");
+    stop.expect_ok("SHUTDOWN").unwrap();
+    server.wait();
+
+    let out_path = std::env::var("BOLTON_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_serve_throughput.json".to_string());
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_throughput\",\n  \"workload\": \"mixed count/eval/prepared-execute over one in-process server\",\n  \"clients\": {clients},\n  \"pipeline_depth\": {depth},\n  \"stmts_per_client\": {stmts},\n  \"rows\": {rows},\n  \"hardware_threads\": {hardware},\n  \"pipeline_executors\": {execs},\n  \"parse_engines\": {engines},\n  \"v1_stmts_per_sec\": {v1_rate:.1},\n  \"v2_stmts_per_sec\": {v2_rate:.1},\n  \"v2_speedup_vs_v1\": {speedup:.3},\n  \"parse_cache_hits\": {d_hits},\n  \"parse_cache_misses\": {d_misses},\n  \"parse_cache_hit_rate\": {hit_rate:.4}\n}}\n",
+        execs = limits.pipeline_executors,
+        engines = limits.parse_engines,
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create bench json");
+    f.write_all(json.as_bytes()).expect("write bench json");
+    println!("# wrote {out_path}");
+
+    // Acceptance floor — only meaningful at real concurrency (the CI
+    // micro-run uses 2 clients and just checks the harness runs).
+    if clients >= 8 {
+        assert!(
+            speedup >= 2.0,
+            "pipelined v2 must be >= 2x v1 at {clients} clients: got {speedup:.2}x"
+        );
+        assert!(hit_rate > 0.9, "parse-cache hit rate must exceed 90%: got {hit_rate:.3}");
+    }
+}

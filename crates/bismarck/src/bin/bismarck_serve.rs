@@ -5,11 +5,19 @@
 //! $ bismarck_serve [--addr 127.0.0.1:5433] [--registry DIR] [--data DIR] [--max-conn N]
 //! listening on 127.0.0.1:5433
 //!
-//! # line-protocol client: statements from stdin, responses to stdout
+//! # client: statements from stdin, responses to stdout. --client speaks
+//! # the v1 line protocol, --client-v2 the binary v2 framing (same
+//! # listener; the server auto-detects). Both classify errors through the
+//! # typed Response API and retry `err busy` with the server's backoff.
 //! $ echo "SELECT COUNT(*) FROM t" | bismarck_serve --client 127.0.0.1:5433
+//! $ echo "SELECT COUNT(*) FROM t" | bismarck_serve --client-v2 127.0.0.1:5433
 //!
 //! # self-contained concurrency + registry smoke (exits non-zero on failure)
 //! $ bismarck_serve --smoke
+//!
+//! # wire-protocol smoke: v1 and v2 answers bit-identical on one listener,
+//! # pipelined responses matched to their request IDs
+//! $ bismarck_serve --smoke-wire
 //! ```
 //!
 //! Environment knobs:
@@ -18,6 +26,9 @@
 //!   default `127.0.0.1:5433`.
 //! * `BOLTON_SERVE_REGISTRY` — model-registry directory; unset ⇒ no
 //!   registry (SAVE/LOAD MODEL error).
+//! * `BOLTON_REGISTRY_KEEP` — keep at most this many newest versions per
+//!   model name, GCing superseded artifacts at commit time; `0`
+//!   (default) keeps every version forever.
 //! * `BOLTON_SERVE_DATA` — durable table data directory (write-ahead log +
 //!   checkpoints); unset ⇒ tables are in-process only and `CHECKPOINT`
 //!   errors. On start the server replays the log and recovers every table.
@@ -48,7 +59,21 @@
 //!   on `SHUTDOWN`, SIGTERM, or SIGINT the server stops accepting, lets
 //!   in-flight statements finish within the window, fsyncs the WAL, and
 //!   attempts a final best-effort CHECKPOINT.
+//!
+//! Protocol-v2 pipelining knobs (defaults on; see docs/REPRODUCING.md):
+//!
+//! * `BOLTON_PIPELINE_EXECUTORS` — executor threads per v2 connection
+//!   (default 4): how many pipelined statements one connection runs
+//!   concurrently, answering out of order on their request IDs.
+//! * `BOLTON_PIPELINE_DEPTH` — decoded frames buffered per v2 connection
+//!   (default 64); a client pushing deeper blocks in TCP.
+//! * `BOLTON_PARSE_ENGINES` — shards of the server-wide parse/plan engine
+//!   pool (default 4), checked out round-robin by both protocols.
+//! * `BOLTON_PARSE_CACHE` — parsed statements cached per engine (default
+//!   256; `0` disables): hot statements skip the tokenizer. Live hit/miss
+//!   counters surface in `SHOW LIMITS`.
 
+use bolton_bismarck::protocol::{ErrKind, Response};
 use bolton_bismarck::server::{serve, Client};
 use bolton_bismarck::{Db, DurabilityOptions, Limits, ServerConfig};
 use std::io::BufRead;
@@ -104,8 +129,11 @@ fn main() {
         .expect("BOLTON_WAL_CHECKPOINT_EVERY: integer");
     let mut max_conn: usize =
         env_or("BOLTON_SERVE_MAX_CONN", "64").parse().expect("BOLTON_SERVE_MAX_CONN: integer");
-    let mut client_addr: Option<String> = None;
+    let registry_keep: usize =
+        env_or("BOLTON_REGISTRY_KEEP", "0").parse().expect("BOLTON_REGISTRY_KEEP: integer");
+    let mut client_addr: Option<(String, bool)> = None;
     let mut smoke = false;
+    let mut smoke_wire = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -120,8 +148,14 @@ fn main() {
                     .parse()
                     .expect("--max-conn: integer")
             }
-            "--client" => client_addr = Some(it.next().expect("--client needs an address")),
+            "--client" => {
+                client_addr = Some((it.next().expect("--client needs an address"), false))
+            }
+            "--client-v2" => {
+                client_addr = Some((it.next().expect("--client-v2 needs an address"), true))
+            }
             "--smoke" => smoke = true,
+            "--smoke-wire" => smoke_wire = true,
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -134,8 +168,13 @@ fn main() {
         println!("smoke ok");
         return;
     }
-    if let Some(addr) = client_addr {
-        std::process::exit(run_client(&addr));
+    if smoke_wire {
+        run_smoke_wire();
+        println!("smoke-wire ok");
+        return;
+    }
+    if let Some((addr, v2)) = client_addr {
+        std::process::exit(run_client(&addr, v2));
     }
 
     let sync_window_us: u64 = env_or("BOLTON_WAL_SYNC_WINDOW_US", "0")
@@ -153,13 +192,16 @@ fn main() {
                 .sync_wal(sync_wal)
                 .checkpoint_every(checkpoint_every)
                 .sync_window(Duration::from_micros(sync_window_us))
-                .segment_bytes(segment_bytes);
+                .segment_bytes(segment_bytes)
+                .registry_keep(registry_keep);
             if let Some(dir) = registry {
                 opts = opts.registry(dir);
             }
             Db::open_with(opts).expect("open durable data directory")
         }
-        (None, Some(dir)) => Db::with_registry(dir).expect("open model registry"),
+        (None, Some(dir)) => {
+            Db::with_registry_keep(dir, registry_keep).expect("open model registry")
+        }
         (None, None) => Db::new(),
     };
     let config = ServerConfig { addr, max_connections: max_conn, limits: Limits::from_env() };
@@ -192,10 +234,13 @@ fn main() {
     println!("server stopped");
 }
 
-/// Forwards stdin statements, printing each full response. Exit code 1 if
-/// any statement came back `err`.
-fn run_client(addr: &str) -> i32 {
-    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+/// Forwards stdin statements, printing each full response. `v2` selects
+/// the binary framing. Classifies errors through the typed [`Response`]
+/// API: `err busy` retries with the server's `retry_after_ms` backoff (a
+/// few times), anything else prints and sets exit code 1.
+fn run_client(addr: &str, v2: bool) -> i32 {
+    let connect = if v2 { Client::connect_v2 } else { Client::connect };
+    let mut client = connect(addr).unwrap_or_else(|e| {
         eprintln!("connect {addr}: {e}");
         std::process::exit(1);
     });
@@ -212,23 +257,36 @@ fn run_client(addr: &str) -> i32 {
             // forward it and then misread the hang-up as a failure.
             break;
         }
-        match client.request(statement) {
-            Ok(lines) => {
-                saw_err |= lines.last().is_some_and(|l| l.starts_with("err"));
-                for l in lines {
-                    println!("{l}");
+        let mut retries = 3u32;
+        loop {
+            match client.request(statement) {
+                Ok(lines) => {
+                    let response = Response::from_lines(&lines);
+                    if response.err_kind() == Some(ErrKind::Busy) && retries > 0 {
+                        // The structured shed: back off exactly as long as
+                        // the server asked, then retry.
+                        retries -= 1;
+                        let ms = response.retry_after_ms().unwrap_or(10);
+                        std::thread::sleep(Duration::from_millis(ms));
+                        continue;
+                    }
+                    saw_err |= !response.is_ok();
+                    for l in lines {
+                        println!("{l}");
+                    }
+                }
+                Err(e) => {
+                    // SHUTDOWN may race the connection teardown; anything
+                    // else is a real failure.
+                    if statement.eq_ignore_ascii_case("shutdown") {
+                        println!("ok bye");
+                        return i32::from(saw_err);
+                    }
+                    eprintln!("request failed: {e}");
+                    return 1;
                 }
             }
-            Err(e) => {
-                // SHUTDOWN may race the connection teardown; anything else
-                // is a real failure.
-                if statement.eq_ignore_ascii_case("shutdown") {
-                    println!("ok bye");
-                    break;
-                }
-                eprintln!("request failed: {e}");
-                return 1;
-            }
+            break;
         }
     }
     i32::from(saw_err)
@@ -287,8 +345,8 @@ fn run_smoke() {
     assert!(base_eval.starts_with("ok rows=3000 acc="), "{base_eval}");
 
     let listed = setup.request("LIST MODELS").expect("LIST MODELS");
-    assert!(listed.contains(&"* base v1 dim=8".to_string()), "{listed:?}");
-    assert!(listed.contains(&"* heavy v1 dim=8".to_string()), "{listed:?}");
+    assert!(listed.iter().any(|l| l.starts_with("* base v1 dim=8 checksum=")), "{listed:?}");
+    assert!(listed.iter().any(|l| l.starts_with("* heavy v1 dim=8 checksum=")), "{listed:?}");
 
     // Clean shutdown via the protocol.
     setup.expect_ok("SHUTDOWN").unwrap();
@@ -307,4 +365,73 @@ fn run_smoke() {
     client2.expect_ok("SHUTDOWN").unwrap();
     server.wait();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The mixed-protocol smoke CI gates on: a v1 line client and a v2 binary
+/// client on the *same* listener must get bit-identical answers for every
+/// statement, and a pipelined v2 batch must come back matched to its
+/// request IDs in request order. Panics (⇒ non-zero exit) on any
+/// violation.
+fn run_smoke_wire() {
+    let db = Arc::new(Db::new());
+    let server = serve(Arc::clone(&db), &ServerConfig::default()).expect("bind");
+    let addr = server.addr().to_string();
+
+    // Set up deterministic state over v1, train a model so every statement
+    // family (COUNT / EVAL / SHOW / LIST) has something to answer about.
+    let mut setup = Client::connect(&addr).expect("connect v1 setup");
+    setup.expect_ok("CREATE TABLE t (DIM 6)").unwrap();
+    setup.expect_ok("SYNTH t ROWS 2000 SEED 11 NOISE 0.05").unwrap();
+    setup.expect_ok("TRAIN m ON t ALGO bolton EPS 1 LAMBDA 0.01 PASSES 2 BATCH 10 SEED 5").unwrap();
+
+    // Bit-identity: both protocols carry the same textual response block,
+    // so the raw line vectors must match exactly — including errors.
+    let mut v1 = Client::connect(&addr).expect("connect v1");
+    let mut v2 = Client::connect_v2(&addr).expect("connect v2");
+    assert!(!v1.is_v2() && v2.is_v2(), "transport selection");
+    let statements = [
+        "SELECT COUNT(*) FROM t",
+        "SHOW TABLES",
+        "EVAL m ON t",
+        "SELECT AVG(label) FROM t",
+        "SELECT COUNT(*) FROM missing",
+        "this is not sql",
+    ];
+    for stmt in statements {
+        let a = v1.request(stmt).expect("v1 request");
+        let b = v2.request(stmt).expect("v2 request");
+        assert_eq!(a, b, "protocol answers diverged for {stmt:?}");
+    }
+
+    // Pipelining: distinguishable answers must land at their own index.
+    v2.expect_ok("CREATE TABLE small (DIM 4)").unwrap();
+    v2.expect_ok("SYNTH small ROWS 500 SEED 2 NOISE 0.05").unwrap();
+    let batch = v2
+        .pipeline(&[
+            "SELECT COUNT(*) FROM t",
+            "SELECT COUNT(*) FROM small",
+            "SELECT COUNT(*) FROM missing",
+            "SELECT COUNT(*) FROM t",
+        ])
+        .expect("pipeline");
+    assert_eq!(batch.len(), 4);
+    assert_eq!(batch[0].get("count"), Some("2000"), "{:?}", batch[0]);
+    assert_eq!(batch[1].get("count"), Some("500"), "{:?}", batch[1]);
+    assert_eq!(batch[2].err_kind(), Some(ErrKind::Other), "{:?}", batch[2]);
+    assert_eq!(batch[3].get("count"), Some("2000"), "{:?}", batch[3]);
+
+    // The shared engine pool served every repeated statement from cache by
+    // now; the live counters must show it.
+    let limits = v2.query("SHOW LIMITS").expect("SHOW LIMITS");
+    let hits: u64 = limits
+        .rows()
+        .iter()
+        .find_map(|row| row.strip_prefix("parse_cache_hits="))
+        .and_then(|v| v.parse().ok())
+        .expect("parse_cache_hits in SHOW LIMITS");
+    assert!(hits > 0, "parse cache saw no hits: {limits:?}");
+
+    // Clean shutdown over the binary protocol.
+    v2.expect_ok("SHUTDOWN").unwrap();
+    server.wait();
 }

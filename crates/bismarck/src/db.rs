@@ -81,6 +81,7 @@ pub struct DurabilityOptions {
     sync_wal: bool,
     checkpoint_every: u64,
     registry: Option<PathBuf>,
+    registry_keep: usize,
     segment_bytes: u64,
     sync_window: Duration,
 }
@@ -96,6 +97,7 @@ impl DurabilityOptions {
             sync_wal: true,
             checkpoint_every: 0,
             registry: None,
+            registry_keep: 0,
             segment_bytes: crate::wal::DEFAULT_SEGMENT_BYTES,
             sync_window: Duration::ZERO,
         }
@@ -128,6 +130,15 @@ impl DurabilityOptions {
     #[must_use]
     pub fn registry(mut self, dir: impl Into<PathBuf>) -> Self {
         self.registry = Some(dir.into());
+        self
+    }
+
+    /// Registry retention: keep at most this many newest versions per
+    /// model name, GCing superseded artifacts at commit time (0 = keep
+    /// everything — the `BOLTON_REGISTRY_KEEP` knob).
+    #[must_use]
+    pub fn registry_keep(mut self, keep: usize) -> Self {
+        self.registry_keep = keep;
         self
     }
 
@@ -189,10 +200,21 @@ impl Db {
     /// # Errors
     /// Registry open failures.
     pub fn with_registry(dir: impl AsRef<Path>) -> DbResult<Self> {
+        Self::with_registry_keep(dir, 0)
+    }
+
+    /// [`Db::with_registry`] with a retention policy: keep at most `keep`
+    /// newest versions per model name (0 = keep everything).
+    ///
+    /// # Errors
+    /// Registry open failures.
+    pub fn with_registry_keep(dir: impl AsRef<Path>, keep: usize) -> DbResult<Self> {
+        let registry = ModelRegistry::open(dir.as_ref())?;
+        registry.set_keep(keep);
         Ok(Self {
             tables: RwLock::default(),
             models: RwLock::default(),
-            registry: Some(ModelRegistry::open(dir.as_ref())?),
+            registry: Some(registry),
             durable: None,
         })
     }
@@ -277,7 +299,11 @@ impl Db {
         }
 
         let registry = match &opts.registry {
-            Some(reg_dir) => Some(ModelRegistry::open(reg_dir)?),
+            Some(reg_dir) => {
+                let registry = ModelRegistry::open(reg_dir)?;
+                registry.set_keep(opts.registry_keep);
+                Some(registry)
+            }
             None => None,
         };
         Ok(Self {

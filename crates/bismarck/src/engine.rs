@@ -1,0 +1,241 @@
+//! The shared parse/plan engine pool behind the server's statement paths.
+//!
+//! Before protocol v2, every connection parsed its own statements from
+//! scratch: per-connection parser work, zero reuse across the hot,
+//! repetitive serving workload (the same `EVAL MODEL … ON t` thousands of
+//! times a second). An [`EnginePool`] replaces that with a small fixed set
+//! of *engines*, each owning one shard of an LRU parse cache keyed on the
+//! exact statement text. Requests check out an engine round-robin (an
+//! atomic counter — no coordination beyond the engine's own mutex), so
+//! concurrent parses spread across shards instead of convoying on one
+//! lock, and per-connection parser state is gone entirely: connections
+//! hold no parse structures, only the shared pool handle.
+//!
+//! A hot statement therefore skips the tokenizer: the engine returns the
+//! cached [`Arc<Statement>`] — the AST is immutable and shared, never
+//! re-parsed or cloned per request. Parse *errors* are never cached (they
+//! are cold-path by definition and caching them would pin garbage).
+//!
+//! Heavy statement *execution* (TRAIN, batch scoring) still fans out on
+//! the process-global [`bolton_sgd::pool`] worker pool; the engine pool
+//! only covers the parse/plan step in front of it.
+//!
+//! Knobs: `BOLTON_PARSE_ENGINES` (shard count) and `BOLTON_PARSE_CACHE`
+//! (entries per engine; `0` disables caching). Live counters surface in
+//! `SHOW LIMITS` as `parse_cache_hits` / `parse_cache_misses`.
+
+use crate::error::DbResult;
+use crate::sql::{self, Statement};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One engine's LRU shard: statement text → shared AST, with a logical
+/// clock for eviction. Capacity is small (hundreds), so the O(capacity)
+/// min-stamp eviction scan is cheaper than a linked-list LRU's churn.
+struct ParseCache {
+    map: HashMap<String, (Arc<Statement>, u64)>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl ParseCache {
+    fn get(&mut self, text: &str) -> Option<Arc<Statement>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(text).map(|(stmt, stamp)| {
+            *stamp = clock;
+            Arc::clone(stmt)
+        })
+    }
+
+    fn insert(&mut self, text: String, stmt: Arc<Statement>) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&text) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.clock += 1;
+        self.map.insert(text, (stmt, self.clock));
+    }
+}
+
+/// Live pool counters, as reported by [`EnginePool::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Statements served from the parse cache.
+    pub hits: u64,
+    /// Statements that went through the tokenizer.
+    pub misses: u64,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]`; 0 when nothing was parsed yet.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shared round-robin parse/plan pool. One per server, shared by every
+/// connection on both protocol versions.
+pub struct EnginePool {
+    engines: Vec<Mutex<ParseCache>>,
+    next: AtomicUsize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EnginePool {
+    /// A pool of `engines` shards, each caching up to `capacity` parsed
+    /// statements. `capacity == 0` disables caching (every statement
+    /// parses fresh); `engines` is clamped to ≥ 1.
+    #[must_use]
+    pub fn new(engines: usize, capacity: usize) -> Self {
+        let engines = engines.max(1);
+        EnginePool {
+            engines: (0..engines)
+                .map(|_| Mutex::new(ParseCache { map: HashMap::new(), clock: 0, capacity }))
+                .collect(),
+            next: AtomicUsize::new(0),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses `text`, serving hot statements from the checked-out engine's
+    /// cache. Each engine caches independently, so a statement hot across
+    /// the whole workload costs at most one miss per engine.
+    ///
+    /// # Errors
+    /// Parse errors (never cached).
+    pub fn parse(&self, text: &str) -> DbResult<Arc<Statement>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return sql::parse(text).map(Arc::new);
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.engines.len();
+        let mut cache = self.engines[idx].lock().expect("engine lock");
+        if let Some(stmt) = cache.get(text) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(stmt);
+        }
+        // Parse under the engine's lock: the engine is "busy" for the
+        // duration, and the round-robin counter routes concurrent misses
+        // to other engines.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let stmt = Arc::new(sql::parse(text)?);
+        cache.insert(text.to_string(), Arc::clone(&stmt));
+        Ok(stmt)
+    }
+
+    /// Number of engines (cache shards).
+    #[must_use]
+    pub fn engines(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Per-engine cache capacity (0 = caching disabled).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_statements_hit_after_one_miss_per_engine() {
+        let pool = EnginePool::new(3, 8);
+        for _ in 0..30 {
+            let stmt = pool.parse("SELECT COUNT(*) FROM t").unwrap();
+            assert!(matches!(*stmt, Statement::Count { .. }));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 3, "one cold parse per engine");
+        assert_eq!(stats.hits, 27);
+        assert!(stats.hit_rate() > 0.89, "{:?}", stats);
+    }
+
+    #[test]
+    fn cached_asts_are_shared_not_reparsed() {
+        let pool = EnginePool::new(1, 4);
+        let a = pool.parse("SHOW TABLES").unwrap();
+        let b = pool.parse("SHOW TABLES").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same AST");
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let pool = EnginePool::new(1, 4);
+        assert!(pool.parse("DEFINITELY NOT SQL").is_err());
+        assert!(pool.parse("DEFINITELY NOT SQL").is_err());
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2, "errors always re-parse");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let pool = EnginePool::new(1, 2);
+        pool.parse("SHOW TABLES").unwrap(); // A
+        pool.parse("SELECT COUNT(*) FROM t").unwrap(); // B
+        pool.parse("SHOW TABLES").unwrap(); // A again: A is now hotter
+        pool.parse("LIST MODELS").unwrap(); // C evicts B
+        let before = pool.stats();
+        pool.parse("SHOW TABLES").unwrap(); // still cached
+        assert_eq!(pool.stats().hits, before.hits + 1, "A survived eviction");
+        pool.parse("SELECT COUNT(*) FROM t").unwrap(); // B was evicted
+        assert_eq!(pool.stats().misses, before.misses + 1, "B re-parses");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let pool = EnginePool::new(2, 0);
+        pool.parse("SHOW TABLES").unwrap();
+        pool.parse("SHOW TABLES").unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn round_robin_spreads_misses_across_engines() {
+        let pool = EnginePool::new(4, 8);
+        // 4 distinct statements land on 4 distinct engines in one cycle.
+        for text in
+            ["SHOW TABLES", "LIST MODELS", "SELECT COUNT(*) FROM a", "SELECT COUNT(*) FROM b"]
+        {
+            pool.parse(text).unwrap();
+        }
+        assert_eq!(pool.stats().misses, 4);
+        // A second identical cycle hits every engine's cache.
+        for text in
+            ["SHOW TABLES", "LIST MODELS", "SELECT COUNT(*) FROM a", "SELECT COUNT(*) FROM b"]
+        {
+            pool.parse(text).unwrap();
+        }
+        assert_eq!(pool.stats().hits, 4);
+    }
+}

@@ -56,16 +56,27 @@
 //!   (`err busy retry_after_ms=N`), and the [`CancelToken`] that gives
 //!   every statement a deadline (`err timeout …`) and aborts work for
 //!   disconnected clients, releasing locks with state unchanged.
+//! * [`protocol`] — wire protocol v2: length-prefixed, FNV-checksummed
+//!   binary frames with request IDs, so one connection pipelines many
+//!   statements with out-of-order completion. Auto-detected from the
+//!   first byte, with the v1 line protocol still served on the same
+//!   listener; [`protocol::Response`] is the typed client-side view of
+//!   both.
+//! * [`engine`] — the shared round-robin parse/plan [`engine::EnginePool`]
+//!   with an LRU parse cache, so hot statements skip the tokenizer and
+//!   per-connection parser state is gone.
 
 pub mod buffer;
 pub mod catalog;
 pub mod db;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod heap;
 pub mod limits;
 pub mod page;
+pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session;
@@ -79,11 +90,13 @@ pub use buffer::{BufferPool, PoolStats};
 pub use catalog::Catalog;
 pub use db::{Db, DurabilityOptions};
 pub use driver::{train, DriverConfig, TrainedModel};
+pub use engine::{EnginePool, EngineStats};
 pub use error::{DbError, DbResult};
 pub use fault::{FaultStream, FaultVfs, StdVfs, StreamFault, Vfs, VfsFile};
 pub use heap::Backing;
 pub use limits::{Admission, CancelCause, CancelToken, IpQuota, Limits, TokenBucket};
 pub use page::{Page, PAGE_SIZE};
+pub use protocol::{ErrKind, Frame, FrameError, Response};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use server::{RunningServer, ServerConfig};
 pub use session::{score_batch, Session};

@@ -418,6 +418,21 @@ pub struct Limits {
     /// Graceful-drain window for in-flight statements on SHUTDOWN/SIGTERM,
     /// in ms (`BOLTON_DRAIN_TIMEOUT_MS`).
     pub drain_timeout_ms: u64,
+    /// Executor threads per v2 (pipelined) connection — the concurrency of
+    /// one connection's in-flight statements (`BOLTON_PIPELINE_EXECUTORS`;
+    /// clamped to ≥ 1).
+    pub pipeline_executors: usize,
+    /// Maximum queued-but-unstarted pipelined requests per v2 connection;
+    /// beyond it the connection's reader stops pulling frames, so
+    /// backpressure lands on the client's socket
+    /// (`BOLTON_PIPELINE_DEPTH`; clamped to ≥ 1).
+    pub pipeline_depth: usize,
+    /// Engines (cache shards) in the shared parse/plan pool
+    /// (`BOLTON_PARSE_ENGINES`; clamped to ≥ 1).
+    pub parse_engines: usize,
+    /// Parsed statements cached per engine (`BOLTON_PARSE_CACHE`;
+    /// 0 disables the parse cache).
+    pub parse_cache: usize,
 }
 
 impl Default for Limits {
@@ -431,6 +446,10 @@ impl Default for Limits {
             idle_timeout_ms: 0,
             read_timeout_ms: 0,
             drain_timeout_ms: 5_000,
+            pipeline_executors: 4,
+            pipeline_depth: 64,
+            parse_engines: 4,
+            parse_cache: 256,
         }
     }
 }
@@ -464,6 +483,11 @@ impl Limits {
             idle_timeout_ms: env_u64("BOLTON_IDLE_TIMEOUT_MS", d.idle_timeout_ms),
             read_timeout_ms: env_u64("BOLTON_READ_TIMEOUT_MS", d.read_timeout_ms),
             drain_timeout_ms: env_u64("BOLTON_DRAIN_TIMEOUT_MS", d.drain_timeout_ms),
+            pipeline_executors: env_u64("BOLTON_PIPELINE_EXECUTORS", d.pipeline_executors as u64)
+                as usize,
+            pipeline_depth: env_u64("BOLTON_PIPELINE_DEPTH", d.pipeline_depth as u64) as usize,
+            parse_engines: env_u64("BOLTON_PARSE_ENGINES", d.parse_engines as u64) as usize,
+            parse_cache: env_u64("BOLTON_PARSE_CACHE", d.parse_cache as u64) as usize,
         }
     }
 
@@ -604,6 +628,12 @@ mod tests {
         assert_eq!(l.rate_limit, 0);
         assert_eq!(l.max_conn_per_ip, 0);
         assert_eq!(l.max_active_statements, 0);
+        // The protocol-v2 machinery defaults *on*: shedding stays opt-in,
+        // but pipelining and the parse cache are core serving behavior.
+        assert_eq!(l.pipeline_executors, 4);
+        assert_eq!(l.pipeline_depth, 64);
+        assert_eq!(l.parse_engines, 4);
+        assert_eq!(l.parse_cache, 256);
     }
 }
 

@@ -1,0 +1,597 @@
+//! Wire protocol v2: length-prefixed binary frames with request IDs, and
+//! the typed response surface shared by both protocol versions.
+//!
+//! ## Frame layout
+//!
+//! Every v2 message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic       0xB2 (never a valid first byte of UTF-8 SQL,
+//!                           so the server auto-detects v2 on byte one)
+//! 1       1     flags       must be 0 in requests; reserved
+//! 2       4     request_id  u32 LE, chosen by the client, echoed verbatim
+//!                           on the matching response
+//! 6       4     len         u32 LE payload length in bytes
+//! 10      8     checksum    u64 LE FNV-1a over the payload (the same
+//!                           [`bolton::model_io::checksum64`] the WAL uses)
+//! 18      len   payload
+//! ```
+//!
+//! A request payload is one UTF-8 SQL statement (no trailing newline
+//! required). A response payload is byte-for-byte the v1 textual response
+//! block for that statement — zero or more `* …` data lines then exactly
+//! one `ok …`/`err …` terminator line, each `\n`-terminated — so v1 and v2
+//! answers to the same statement are bit-identical by construction, and
+//! one [`Response`] parser serves both transports.
+//!
+//! ## Request IDs and pipelining
+//!
+//! A client may have many requests in flight on one connection; the server
+//! executes them on a small per-connection executor pool and writes each
+//! response frame as its statement finishes, tagged with the request's ID —
+//! responses can arrive **out of order**, and two pipelined statements may
+//! execute concurrently (order between them is not guaranteed; pipeline
+//! dependent statements on separate round trips). Shedding (`err busy
+//! retry_after_ms=N`) and deadlines (`err timeout …`) are likewise
+//! per-request: a shed or timed-out statement answers on its own ID while
+//! its neighbours proceed.
+//!
+//! ## Auto-detection
+//!
+//! [`MAGIC`] is `>= 0x80`, which can never start a UTF-8 text line, so the
+//! server peeks one byte on a fresh connection: `0xB2` ⇒ v2 frames,
+//! anything else ⇒ the v1 line protocol. Legacy clients need no changes.
+
+use crate::error::{DbError, DbResult};
+use bolton::model_io::checksum64;
+use std::io::{BufRead, Read, Write};
+
+/// First byte of every v2 frame. `>= 0x80` guarantees it is never the
+/// first byte of a UTF-8 statement line, which is what makes first-byte
+/// protocol auto-detection sound.
+pub const MAGIC: u8 = 0xB2;
+
+/// Bytes in a frame header (`magic | flags | request_id | len | checksum`).
+pub const HEADER_LEN: usize = 18;
+
+/// Hard cap on a single frame payload, bounding per-connection memory
+/// against a hostile `len` field. Requests are further capped by the
+/// server's per-statement byte limit.
+pub const MAX_FRAME_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// One decoded v2 frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Reserved; must be 0 in requests.
+    pub flags: u8,
+    /// Client-chosen ID, echoed on the matching response.
+    pub request_id: u32,
+    /// Statement text (requests) or response block (responses).
+    pub payload: Vec<u8>,
+}
+
+/// Why a byte sequence is not a valid frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// First byte is not [`MAGIC`] — the stream is not (or no longer)
+    /// speaking v2 frames.
+    BadMagic(u8),
+    /// The header's `len` exceeds the decoder's payload cap.
+    Oversize {
+        /// The request ID from the (still readable) header.
+        request_id: u32,
+        /// The claimed payload length.
+        len: u64,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// The payload does not match the header checksum.
+    BadChecksum {
+        /// The request ID from the header.
+        request_id: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(b) => write!(f, "bad frame magic 0x{b:02x}"),
+            FrameError::Oversize { request_id, len, max } => {
+                write!(f, "frame payload {len} exceeds {max} bytes (request {request_id})")
+            }
+            FrameError::BadChecksum { request_id } => {
+                write!(f, "frame payload fails its checksum (request {request_id})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for std::io::Error {
+    fn from(e: FrameError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// A parsed frame header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// Reserved flag bits.
+    pub flags: u8,
+    /// The request ID.
+    pub request_id: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// FNV-1a checksum of the payload.
+    pub checksum: u64,
+}
+
+/// Parses the first [`HEADER_LEN`] bytes of `buf` as a frame header,
+/// validating the magic and the payload cap (but not the checksum, which
+/// needs the payload).
+///
+/// # Errors
+/// [`FrameError::BadMagic`] / [`FrameError::Oversize`].
+///
+/// # Panics
+/// If `buf` is shorter than [`HEADER_LEN`].
+pub fn parse_header(buf: &[u8], max_payload: usize) -> Result<Header, FrameError> {
+    assert!(buf.len() >= HEADER_LEN, "parse_header needs a full header");
+    if buf[0] != MAGIC {
+        return Err(FrameError::BadMagic(buf[0]));
+    }
+    let flags = buf[1];
+    let request_id = u32::from_le_bytes(buf[2..6].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
+    let checksum = u64::from_le_bytes(buf[10..18].try_into().expect("8 bytes"));
+    if len as u64 > max_payload as u64 {
+        return Err(FrameError::Oversize { request_id, len: len as u64, max: max_payload });
+    }
+    Ok(Header { flags, request_id, len, checksum })
+}
+
+/// Appends the encoding of one frame to `out`.
+pub fn encode_into(out: &mut Vec<u8>, flags: u8, request_id: u32, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame payload fits u32");
+    out.reserve(HEADER_LEN + payload.len());
+    out.push(MAGIC);
+    out.push(flags);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&checksum64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes one frame.
+#[must_use]
+pub fn encode(flags: u8, request_id: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_into(&mut out, flags, request_id, payload);
+    out
+}
+
+/// Decodes one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` is a (possibly empty) torn prefix — more
+/// bytes are needed — and `Ok(Some((frame, consumed)))` on success.
+///
+/// # Errors
+/// [`FrameError`] when the bytes can never become a valid frame: wrong
+/// magic, oversize `len`, or a payload failing its checksum.
+pub fn decode(buf: &[u8], max_payload: usize) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        if let Some(&first) = buf.first() {
+            if first != MAGIC {
+                return Err(FrameError::BadMagic(first));
+            }
+        }
+        return Ok(None);
+    }
+    let header = parse_header(buf, max_payload)?;
+    let total = HEADER_LEN + header.len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[HEADER_LEN..total];
+    if checksum64(payload) != header.checksum {
+        return Err(FrameError::BadChecksum { request_id: header.request_id });
+    }
+    Ok(Some((
+        Frame { flags: header.flags, request_id: header.request_id, payload: payload.to_vec() },
+        total,
+    )))
+}
+
+/// Writes one frame as a single `write_all` (header and payload in one
+/// buffer, so a torn network write tears *inside* a frame, never between
+/// cleanly framed messages). Does not flush.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_frame(
+    w: &mut impl Write,
+    flags: u8,
+    request_id: u32,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    w.write_all(&encode(flags, request_id, payload))
+}
+
+/// Reads one frame from a blocking stream. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary.
+///
+/// # Errors
+/// `UnexpectedEof` mid-frame, `InvalidData` wrapping a [`FrameError`], or
+/// transport failures.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> std::io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame-header",
+            ));
+        }
+        filled += n;
+    }
+    let header = parse_header(&header, max_payload)?;
+    let mut payload = vec![0u8; header.len as usize];
+    r.read_exact(&mut payload)?;
+    if checksum64(&payload) != header.checksum {
+        return Err(FrameError::BadChecksum { request_id: header.request_id }.into());
+    }
+    Ok(Some(Frame { flags: header.flags, request_id: header.request_id, payload }))
+}
+
+// ---------------------------------------------------------------------------
+// Typed responses
+// ---------------------------------------------------------------------------
+
+/// Structured error classes, replacing ad-hoc `err …` prefix matching in
+/// clients. Parsed from the terminator line; [`ErrKind::Other`] covers
+/// parse/execution errors that carry no retry semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrKind {
+    /// Shed by rate limiting, admission control, or a connection quota —
+    /// back off for [`Response::retry_after_ms`] and retry.
+    Busy,
+    /// The statement ran past its deadline.
+    Timeout,
+    /// The connection was reaped idle.
+    Idle,
+    /// The server is at its connection limit.
+    ConnLimit,
+    /// The statement exceeded the per-statement byte cap.
+    TooLarge,
+    /// A started statement did not complete within the read deadline.
+    ReadTimeout,
+    /// A v2 framing violation (bad magic, flags, or checksum).
+    Protocol,
+    /// Any other parse or execution error.
+    Other,
+}
+
+/// One statement's full response, parsed from the wire text (identical on
+/// both protocol versions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// `ok …` with no data lines; `kv` holds the terminator's
+    /// `key=value` summary tokens (a bare token parses as `(token, "")`).
+    Ok {
+        /// Terminator summary tokens in wire order.
+        kv: Vec<(String, String)>,
+    },
+    /// `ok …` preceded by `* ` data lines (SHOW TABLES, LIST MODELS, …).
+    Rows {
+        /// Data lines, `* ` prefix stripped, in wire order.
+        rows: Vec<String>,
+        /// Terminator summary tokens in wire order.
+        kv: Vec<(String, String)>,
+    },
+    /// `err …`.
+    Err {
+        /// The structured class.
+        kind: ErrKind,
+        /// From `retry_after_ms=N` when present (busy sheds).
+        retry_after_ms: Option<u64>,
+        /// The full message after `err `.
+        message: String,
+    },
+}
+
+fn parse_kv(rest: &str) -> Vec<(String, String)> {
+    rest.split_whitespace()
+        .map(|tok| match tok.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (tok.to_string(), String::new()),
+        })
+        .collect()
+}
+
+fn classify_err(message: &str) -> (ErrKind, Option<u64>) {
+    let retry = message
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("retry_after_ms="))
+        .and_then(|v| v.parse().ok());
+    let kind = if message.starts_with("busy") {
+        ErrKind::Busy
+    } else if message.starts_with("timeout") {
+        ErrKind::Timeout
+    } else if message.starts_with("idle") {
+        ErrKind::Idle
+    } else if message.starts_with("server at connection limit") {
+        ErrKind::ConnLimit
+    } else if message.starts_with("statement exceeds") {
+        ErrKind::TooLarge
+    } else if message.starts_with("read timeout") {
+        ErrKind::ReadTimeout
+    } else if message.starts_with("protocol") {
+        ErrKind::Protocol
+    } else {
+        ErrKind::Other
+    };
+    (kind, retry)
+}
+
+impl Response {
+    /// Parses a response from its wire lines (data lines first, the
+    /// `ok`/`err` terminator last), as returned by the line client.
+    #[must_use]
+    pub fn from_lines(lines: &[String]) -> Response {
+        let (terminator, data) = match lines.split_last() {
+            Some(split) => split,
+            None => {
+                return Response::Err {
+                    kind: ErrKind::Protocol,
+                    retry_after_ms: None,
+                    message: "protocol empty response".to_string(),
+                }
+            }
+        };
+        let rows: Vec<String> =
+            data.iter().map(|l| l.strip_prefix("* ").unwrap_or(l).to_string()).collect();
+        if let Some(rest) = terminator.strip_prefix("err") {
+            let message = rest.trim_start().to_string();
+            let (kind, retry_after_ms) = classify_err(&message);
+            return Response::Err { kind, retry_after_ms, message };
+        }
+        let kv = parse_kv(terminator.strip_prefix("ok").unwrap_or(terminator));
+        if rows.is_empty() {
+            Response::Ok { kv }
+        } else {
+            Response::Rows { rows, kv }
+        }
+    }
+
+    /// Parses a v2 response frame payload (the `\n`-terminated block).
+    #[must_use]
+    pub fn from_payload(payload: &[u8]) -> Response {
+        let text = String::from_utf8_lossy(payload);
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        Response::from_lines(&lines)
+    }
+
+    /// Whether this is an `ok` response.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Err { .. })
+    }
+
+    /// The error class, if this is an error.
+    #[must_use]
+    pub fn err_kind(&self) -> Option<ErrKind> {
+        match self {
+            Response::Err { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+
+    /// The `retry_after_ms` hint of a busy shed, if any.
+    #[must_use]
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Response::Err { retry_after_ms, .. } => *retry_after_ms,
+            _ => None,
+        }
+    }
+
+    /// Looks up a terminator summary value by key (`count`, `acc`, …).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        let kv = match self {
+            Response::Ok { kv } | Response::Rows { kv, .. } => kv,
+            Response::Err { .. } => return None,
+        };
+        kv.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The data rows (empty unless [`Response::Rows`]).
+    #[must_use]
+    pub fn rows(&self) -> &[String] {
+        match self {
+            Response::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// Errors with the server's message on [`Response::Err`] — the typed
+    /// replacement for scraping `err ` prefixes off terminator lines.
+    ///
+    /// # Errors
+    /// [`DbError::Parse`] carrying the server message.
+    pub fn into_result(self) -> DbResult<Response> {
+        match self {
+            Response::Err { message, .. } => Err(DbError::Parse(format!("server: err {message}"))),
+            ok => Ok(ok),
+        }
+    }
+}
+
+/// Reads one v1 textual response block (data lines + terminator) from a
+/// buffered reader, returning the trimmed lines. Shared by the line client
+/// and the pipelined line path.
+///
+/// # Errors
+/// `UnexpectedEof` when the server hangs up mid-response; I/O failures.
+pub fn read_response_block(reader: &mut impl BufRead) -> std::io::Result<Vec<String>> {
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-response",
+            ));
+        }
+        let line = line.trim_end().to_string();
+        let done = line.starts_with("ok") || line.starts_with("err");
+        lines.push(line);
+        if done {
+            return Ok(lines);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let payload = b"SELECT COUNT(*) FROM t";
+        let bytes = encode(0, 7, payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        assert_eq!(bytes[0], MAGIC);
+        let (frame, used) = decode(&bytes, MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame, Frame { flags: 0, request_id: 7, payload: payload.to_vec() });
+    }
+
+    #[test]
+    fn empty_payload_frames_are_valid() {
+        let bytes = encode(0, 0, b"");
+        let (frame, used) = decode(&bytes, MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn torn_prefixes_need_more_bytes() {
+        let bytes = encode(1, 42, b"EVAL m ON t");
+        for cut in 0..bytes.len() {
+            assert_eq!(decode(&bytes[..cut], MAX_FRAME_PAYLOAD), Ok(None), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_unconsumed() {
+        let mut bytes = encode(0, 1, b"a");
+        let second = encode(0, 2, b"bb");
+        bytes.extend_from_slice(&second);
+        let (frame, used) = decode(&bytes, MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        assert_eq!(frame.request_id, 1);
+        let (frame2, used2) = decode(&bytes[used..], MAX_FRAME_PAYLOAD).unwrap().unwrap();
+        assert_eq!(frame2.request_id, 2);
+        assert_eq!(used + used2, bytes.len());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let good = encode(0, 9, b"SHOW TABLES");
+        // Magic flip: instantly not-a-frame.
+        let mut bad = good.clone();
+        bad[0] ^= 0x01;
+        assert!(matches!(decode(&bad, MAX_FRAME_PAYLOAD), Err(FrameError::BadMagic(_))));
+        // Any checksum byte flip: BadChecksum with the right request id.
+        for i in 10..HEADER_LEN {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                decode(&bad, MAX_FRAME_PAYLOAD),
+                Err(FrameError::BadChecksum { request_id: 9 }),
+                "checksum byte {i}"
+            );
+        }
+        // Any payload byte flip too.
+        for i in HEADER_LEN..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(
+                decode(&bad, MAX_FRAME_PAYLOAD),
+                Err(FrameError::BadChecksum { request_id: 9 }),
+                "payload byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_len_is_rejected_with_the_request_id() {
+        let bytes = encode(0, 3, &[0u8; 100]);
+        let err = decode(&bytes, 64).unwrap_err();
+        assert_eq!(err, FrameError::Oversize { request_id: 3, len: 100, max: 64 });
+    }
+
+    #[test]
+    fn stream_read_frame_roundtrips_and_reports_clean_eof() {
+        let mut bytes = encode(0, 5, b"one");
+        bytes.extend_from_slice(&encode(0, 6, b"two"));
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap().request_id, 5);
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().unwrap().request_id, 6);
+        assert!(read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap().is_none(), "clean EOF");
+        // A torn frame is an UnexpectedEof, not a silent None.
+        let torn = encode(0, 7, b"torn")[..HEADER_LEN + 2].to_vec();
+        let mut cursor = std::io::Cursor::new(torn);
+        let err = read_frame(&mut cursor, MAX_FRAME_PAYLOAD).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn responses_parse_ok_rows_and_err() {
+        let ok = Response::from_lines(&["ok count=200".to_string()]);
+        assert_eq!(ok, Response::Ok { kv: vec![("count".into(), "200".into())] });
+        assert_eq!(ok.get("count"), Some("200"));
+
+        let bare = Response::from_lines(&["ok null".to_string()]);
+        assert_eq!(bare.get("null"), Some(""));
+
+        let rows =
+            Response::from_lines(&["* t".to_string(), "* u".to_string(), "ok count=2".to_string()]);
+        assert_eq!(rows.rows(), &["t".to_string(), "u".to_string()]);
+        assert_eq!(rows.get("count"), Some("2"));
+
+        let busy = Response::from_lines(&["err busy retry_after_ms=40".to_string()]);
+        assert_eq!(busy.err_kind(), Some(ErrKind::Busy));
+        assert_eq!(busy.retry_after_ms(), Some(40));
+        assert!(busy.clone().into_result().is_err());
+
+        for (line, kind) in [
+            ("err timeout statement ran past its deadline", ErrKind::Timeout),
+            ("err idle connection reaped after 60ms", ErrKind::Idle),
+            ("err server at connection limit (64)", ErrKind::ConnLimit),
+            ("err statement exceeds 65536 bytes", ErrKind::TooLarge),
+            ("err read timeout: statement line incomplete after 60ms", ErrKind::ReadTimeout),
+            ("err protocol unsupported frame flags 0x01", ErrKind::Protocol),
+            ("err no table 'ghost'", ErrKind::Other),
+        ] {
+            let parsed = Response::from_lines(&[line.to_string()]);
+            assert_eq!(parsed.err_kind(), Some(kind), "{line}");
+        }
+    }
+
+    #[test]
+    fn response_payload_parse_matches_line_parse() {
+        let payload = b"* t\n* u\nok count=2\n";
+        let from_payload = Response::from_payload(payload);
+        let from_lines =
+            Response::from_lines(&["* t".to_string(), "* u".to_string(), "ok count=2".to_string()]);
+        assert_eq!(from_payload, from_lines);
+    }
+}

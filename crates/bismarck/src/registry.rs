@@ -29,6 +29,15 @@
 //! bit rot and torn writes surface as [`DbError::Corrupt`] instead of
 //! silently serving a wrong model; decoded weights are then cached per
 //! immutable version, so the serving hot path never re-reads disk.
+//!
+//! ## Retention
+//!
+//! By default every version is kept forever. [`ModelRegistry::set_keep`]
+//! (the `BOLTON_REGISTRY_KEEP` knob) bounds that: after each commit, all
+//! but the newest N versions of that name are dropped from the in-memory
+//! state and their artifacts unlinked. The manifest stays append-only —
+//! a GC'd version's line is skipped on reopen because its artifact is
+//! missing, the same path that already handles bit rot.
 
 use crate::error::{DbError, DbResult};
 use crate::fault::{StdVfs, Vfs};
@@ -36,6 +45,7 @@ use bolton::model_io;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Name of the append-only commit log inside a registry directory.
@@ -50,6 +60,11 @@ pub struct ModelVersion {
     pub version: u64,
     /// Weight dimensionality.
     pub dim: usize,
+    /// FNV-1a checksum of the committed artifact (the manifest column),
+    /// so clients can verify a downloaded model end-to-end.
+    pub checksum: u64,
+    /// Whether this is the newest committed version of its name.
+    pub latest: bool,
 }
 
 /// Decoded-artifact cache key/value: `(name, version)` → shared weights.
@@ -85,6 +100,10 @@ pub struct ModelRegistry {
     /// `dim`-sized, so the cache stays small at any realistic version
     /// count.
     cache: Mutex<ArtifactCache>,
+    /// Retention: keep at most this many newest versions per model name
+    /// (`0` = keep everything). Superseded artifacts are garbage-collected
+    /// at commit time (`BOLTON_REGISTRY_KEEP`).
+    keep: AtomicUsize,
 }
 
 fn model_err(msg: impl Into<String>) -> DbError {
@@ -144,7 +163,22 @@ impl ModelRegistry {
             state: Mutex::new(state),
             reserved: Mutex::default(),
             cache: Mutex::default(),
+            keep: AtomicUsize::new(0),
         })
+    }
+
+    /// Sets the retention policy: keep at most `keep` newest versions per
+    /// model name, garbage-collecting superseded artifacts at commit time
+    /// (`0`, the default, keeps everything). The manifest stays
+    /// append-only — a GC'd version's manifest line is simply skipped on
+    /// reopen because its artifact is gone.
+    pub fn set_keep(&self, keep: usize) {
+        self.keep.store(keep, Ordering::Relaxed);
+    }
+
+    /// The current retention policy (`0` = keep everything).
+    pub fn keep(&self) -> usize {
+        self.keep.load(Ordering::Relaxed)
     }
 
     /// The registry's root directory.
@@ -198,8 +232,34 @@ impl ModelRegistry {
         let result = self.commit_artifact(name, version, w);
         self.reserved.lock().expect("reservation lock").remove(&(name.to_string(), version));
         let entry = result?;
-        let mut state = self.state.lock().expect("registry lock");
-        state.entry(name.to_string()).or_default().insert(version, entry);
+        let evicted = {
+            let mut state = self.state.lock().expect("registry lock");
+            let versions = state.entry(name.to_string()).or_default();
+            versions.insert(version, entry);
+            // Retention GC, after the new version is committed and
+            // visible: drop everything older than the newest `keep`.
+            let keep = self.keep.load(Ordering::Relaxed);
+            if keep > 0 && versions.len() > keep {
+                let stale: Vec<u64> = versions.keys().rev().skip(keep).copied().collect();
+                stale
+                    .into_iter()
+                    .filter_map(|v| versions.remove(&v).map(|entry| (v, entry)))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        };
+        if !evicted.is_empty() {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (v, entry) in &evicted {
+                cache.remove(&(name.to_string(), *v));
+                // Best-effort: once the file is gone, reopen skips the
+                // version's manifest line (missing artifact). If the
+                // unlink fails the version merely resurrects on reopen,
+                // to be collected again by the next retained commit.
+                let _ = self.vfs.remove_file(&self.dir.join(&entry.file));
+            }
+        }
         Ok(version)
     }
 
@@ -314,16 +374,20 @@ impl ModelRegistry {
         state.get(name).is_some_and(|versions| versions.contains_key(&version))
     }
 
-    /// Every committed version, sorted by name then version.
+    /// Every committed version, sorted by name then version, with its
+    /// artifact checksum and a `latest` marker on each name's newest.
     pub fn list(&self) -> Vec<ModelVersion> {
         let state = self.state.lock().expect("registry lock");
         state
             .iter()
             .flat_map(|(name, versions)| {
-                versions.iter().map(|(&version, entry)| ModelVersion {
+                let newest = *versions.keys().next_back().expect("no empty version maps");
+                versions.iter().map(move |(&version, entry)| ModelVersion {
                     name: name.clone(),
                     version,
                     dim: entry.dim,
+                    checksum: entry.checksum,
+                    latest: version == newest,
                 })
             })
             .collect()
@@ -413,12 +477,77 @@ mod tests {
         let reg = ModelRegistry::open(&dir).unwrap();
         assert_eq!(reg.load("a", None).unwrap(), vec![0.25, -0.75]);
         assert_eq!(reg.load("b", Some(3)).unwrap(), vec![1.5]);
+        let listed = reg.list();
+        assert_eq!(listed.len(), 2);
+        assert_eq!((listed[0].name.as_str(), listed[0].version, listed[0].dim), ("a", 1, 2));
+        assert_eq!((listed[1].name.as_str(), listed[1].version, listed[1].dim), ("b", 3, 1));
+        assert!(listed.iter().all(|m| m.latest), "single versions are each name's latest");
+        assert!(listed.iter().all(|m| m.checksum != 0), "checksums surface in the listing");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_marks_only_the_newest_version_latest() {
+        let dir = temp_registry("latest-marker");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        reg.save("m", None, &[1.0]).unwrap();
+        reg.save("m", None, &[2.0]).unwrap();
+        reg.save("m", None, &[3.0]).unwrap();
+        let listed = reg.list();
         assert_eq!(
-            reg.list(),
-            vec![
-                ModelVersion { name: "a".into(), version: 1, dim: 2 },
-                ModelVersion { name: "b".into(), version: 3, dim: 1 },
-            ]
+            listed.iter().map(|m| (m.version, m.latest)).collect::<Vec<_>>(),
+            vec![(1, false), (2, false), (3, true)]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_gcs_superseded_versions_at_commit_time() {
+        let dir = temp_registry("retention");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        reg.set_keep(2);
+        assert_eq!(reg.keep(), 2);
+        for i in 1..=5u64 {
+            reg.save("m", None, &[i as f64]).unwrap();
+        }
+        // Only the newest two survive, in memory and on disk.
+        let listed = reg.list();
+        assert_eq!(listed.iter().map(|m| m.version).collect::<Vec<_>>(), vec![4, 5]);
+        assert!(matches!(reg.load("m", Some(2)), Err(DbError::ModelNotFound(_))));
+        assert_eq!(reg.load("m", Some(4)).unwrap(), vec![4.0]);
+        assert_eq!(reg.load("m", None).unwrap(), vec![5.0]);
+        for v in 1..=3 {
+            assert!(!dir.join(format!("m.v{v}.model")).exists(), "v{v} artifact not unlinked");
+        }
+        // The manifest is still append-only — all five commit lines.
+        let manifest = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(manifest.lines().count(), 5);
+        // Reopen: GC'd lines are skipped (missing artifact), kept ones load.
+        drop(reg);
+        let reg = ModelRegistry::open(&dir).unwrap();
+        assert_eq!(
+            reg.list().iter().map(|m| m.version).collect::<Vec<_>>(),
+            vec![4, 5],
+            "GC survives reopen via the missing-artifact skip"
+        );
+        // Version numbering continues past GC'd versions.
+        assert_eq!(reg.save("m", None, &[6.0]).unwrap(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_is_per_name() {
+        let dir = temp_registry("retention-per-name");
+        let reg = ModelRegistry::open(&dir).unwrap();
+        reg.set_keep(1);
+        reg.save("a", None, &[1.0]).unwrap();
+        reg.save("a", None, &[2.0]).unwrap();
+        reg.save("b", None, &[3.0]).unwrap();
+        // `b`'s commit must not collect `a`'s latest.
+        let listed = reg.list();
+        assert_eq!(
+            listed.iter().map(|m| (m.name.as_str(), m.version)).collect::<Vec<_>>(),
+            vec![("a", 2), ("b", 1)]
         );
         fs::remove_dir_all(&dir).unwrap();
     }

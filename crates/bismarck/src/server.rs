@@ -25,6 +25,20 @@
 //! err timeout …                the statement ran past BOLTON_STMT_TIMEOUT_MS
 //! ```
 //!
+//! ## Protocol v2 (binary, pipelined)
+//!
+//! The same listener also speaks the [`crate::protocol`] binary framing,
+//! auto-detected from the first byte of the connection (`0xB2` can never
+//! start a UTF-8 statement line, so legacy v1 clients need no changes).
+//! A v2 connection carries many statements in flight at once: a reader
+//! thread decodes frames, a dispatcher runs the shedding gates and parses
+//! through the server-wide [`EnginePool`] (hot statements skip the
+//! tokenizer), and `BOLTON_PIPELINE_EXECUTORS` executor threads run
+//! statements concurrently, answering each on its own request ID — out of
+//! order when a fast statement overtakes a slow one. Response payloads
+//! are byte-for-byte the v1 response block, so the two protocols answer
+//! identically. `busy`/`timeout` shedding is per request ID.
+//!
 //! ## Concurrency
 //!
 //! Thread-per-connection: each accepted connection gets a
@@ -57,18 +71,22 @@
 //! Unix domain socket.
 
 use crate::db::Db;
+use crate::engine::EnginePool;
 use crate::error::{DbError, DbResult};
-use crate::limits::{Admission, CancelCause, CancelToken, IpQuota, Limits, TokenBucket};
+use crate::limits::{
+    Admission, AdmissionPermit, CancelCause, CancelToken, IpQuota, Limits, TokenBucket,
+};
+use crate::protocol::{self, Frame, Response};
 use crate::session::Session;
-use crate::sql::{self, QueryResult, Statement};
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use crate::sql::{QueryResult, Statement};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -203,6 +221,9 @@ struct ServerShared {
     ip_quota: Option<Arc<IpQuota>>,
     tokens: Mutex<HashMap<u64, CancelToken>>,
     next_token: AtomicU64,
+    /// The server-wide parse/plan pool, shared by every connection on
+    /// both protocol versions.
+    engines: EnginePool,
 }
 
 impl ServerShared {
@@ -383,6 +404,7 @@ pub fn serve(db: Arc<Db>, config: &ServerConfig) -> DbResult<RunningServer> {
         ip_quota: (limits.max_conn_per_ip > 0).then(|| IpQuota::new(limits.max_conn_per_ip)),
         tokens: Mutex::new(HashMap::new()),
         next_token: AtomicU64::new(0),
+        engines: EnginePool::new(limits.parse_engines, limits.parse_cache),
         limits,
     });
     let accept = {
@@ -538,19 +560,69 @@ enum ConnEvent {
     Stalled,
 }
 
-fn handle_connection(conn: Conn, shared: &Arc<ServerShared>) {
+fn handle_connection(mut conn: Conn, shared: &Arc<ServerShared>) {
     let Ok(read_half) = conn.try_clone() else { return };
     let Ok(ctrl) = conn.try_clone() else { return };
     let read_deadline = shared.limits.read_timeout();
+    // The kernel receive timeout is every blocked read's polling tick —
+    // the protocol sniff, the v1 line reader, and the v2 frame reader all
+    // need it to notice shutdown/idle while waiting for bytes.
+    let _ = conn.set_read_timeout(Some(TICK));
     if read_deadline.is_some() {
-        // The kernel receive timeout is the reader's polling tick; the
-        // send timeout bounds writes to a client that stopped reading.
-        let _ = conn.set_read_timeout(Some(TICK));
+        // The send timeout bounds writes to a client that stopped reading.
         let _ = conn.set_write_timeout(read_deadline);
     }
+    let mut reader = BufReader::new(read_half);
+    // Sniff the first byte to pick the protocol: [`protocol::MAGIC`] is
+    // `>= 0x80` and therefore never starts a UTF-8 statement line, so one
+    // peeked byte decides — v2 binary frames or the v1 line protocol.
+    let started = Instant::now();
+    let first = loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF before the first byte
+            Ok(buf) => break buf[0],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if let Some(limit) = shared.limits.idle_timeout() {
+                    if started.elapsed() >= limit {
+                        let _ = writeln!(
+                            conn,
+                            "err idle connection reaped after {}ms",
+                            shared.limits.idle_timeout_ms
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    if first == protocol::MAGIC {
+        handle_v2_connection(conn, reader, &ctrl, shared);
+    } else {
+        handle_line_connection(conn, reader, &ctrl, shared);
+    }
+}
+
+fn handle_line_connection(
+    conn: Conn,
+    line_reader: BufReader<Conn>,
+    ctrl: &Conn,
+    shared: &Arc<ServerShared>,
+) {
+    let read_deadline = shared.limits.read_timeout();
     // Buffer the write half: a multi-line response (SHOW TABLES, LIST
     // MODELS, ANALYZE) flushes once per statement, not once per line.
-    let mut writer = std::io::BufWriter::new(conn);
+    let mut writer = BufWriter::new(conn);
     let token = CancelToken::new();
     let token_id = shared.register_token(&token);
     let mut session = Session::with_cancel(Arc::clone(&shared.db), token.clone());
@@ -561,7 +633,7 @@ fn handle_connection(conn: Conn, shared: &Arc<ServerShared>) {
     let reader_handle = {
         let token = token.clone();
         std::thread::Builder::new().name("bismarck-read".to_string()).spawn(move || {
-            let mut reader = BufReader::new(read_half);
+            let mut reader = line_reader;
             loop {
                 match read_line_capped(&mut reader, MAX_STATEMENT_BYTES, read_deadline) {
                     Ok(LineRead::Line(line)) => {
@@ -643,7 +715,7 @@ fn handle_connection(conn: Conn, shared: &Arc<ServerShared>) {
         if statement == "\\q" || statement.eq_ignore_ascii_case("quit") {
             break;
         }
-        let stmt = match sql::parse(statement) {
+        let stmt = match shared.engines.parse(statement) {
             Ok(stmt) => stmt,
             Err(e) => {
                 if writeln!(writer, "err {e}").and_then(|()| writer.flush()).is_err() {
@@ -652,7 +724,7 @@ fn handle_connection(conn: Conn, shared: &Arc<ServerShared>) {
                 continue;
             }
         };
-        match stmt {
+        match &*stmt {
             Statement::Shutdown => {
                 // Answer, then drain: the accept loop stops and stop()/
                 // wait() finish in-flight work and the final WAL fsync.
@@ -702,7 +774,7 @@ fn handle_connection(conn: Conn, shared: &Arc<ServerShared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     token.cap_deadline(shared.limits.drain_timeout());
                 }
-                let outcome = session.execute(&stmt);
+                let outcome = session.execute(stmt);
                 token.disarm();
                 drop(permit);
                 let io = match outcome {
@@ -735,6 +807,440 @@ fn handle_connection(conn: Conn, shared: &Arc<ServerShared>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Protocol v2: pipelined binary frames
+// ---------------------------------------------------------------------------
+
+/// One admitted statement on its way to an executor.
+struct Work {
+    request_id: u32,
+    stmt: Arc<Statement>,
+    /// Held until the statement finishes, so pipelined work counts
+    /// against `max_active_statements` exactly like v1 statements.
+    permit: Option<AdmissionPermit>,
+}
+
+/// The dispatcher→executor queue: a closable condvar deque. Depth is
+/// bounded upstream by the reader channel (`pipeline_depth`), so the
+/// deque itself never grows past the frames already admitted.
+struct WorkQueue {
+    state: Mutex<(VecDeque<Work>, bool)>,
+    cond: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue { state: Mutex::new((VecDeque::new(), false)), cond: Condvar::new() }
+    }
+
+    fn push(&self, work: Work) {
+        let mut state = self.state.lock().expect("work queue lock");
+        if state.1 {
+            return; // closing: the connection is tearing down
+        }
+        state.0.push_back(work);
+        self.cond.notify_one();
+    }
+
+    /// Wakes every executor; they drain the remaining work, then exit.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("work queue lock");
+        state.1 = true;
+        self.cond.notify_all();
+    }
+
+    fn pop(&self) -> Option<Work> {
+        let mut state = self.state.lock().expect("work queue lock");
+        loop {
+            if let Some(work) = state.0.pop_front() {
+                return Some(work);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.cond.wait(state).expect("work queue lock");
+        }
+    }
+}
+
+/// One bounded v2 frame read (the binary analogue of [`LineRead`]).
+enum FrameRead {
+    Frame(Frame),
+    /// Clean EOF at a frame boundary — or a torn frame cut by a
+    /// disconnect; either way the client is gone.
+    Eof,
+    /// The header's `len` exceeds the statement cap.
+    TooLong {
+        request_id: u32,
+        len: u64,
+    },
+    /// A started frame did not complete within the read deadline.
+    Stalled,
+    /// Bytes that can never become a valid frame (bad magic/checksum).
+    Corrupt(String),
+}
+
+/// Reads one frame, never buffering more than `max_payload` + header
+/// bytes; the socket's receive timeout is the polling tick, and a frame
+/// whose first byte arrived more than `frame_deadline` ago is cut as
+/// [`FrameRead::Stalled`] — the slow-loris defense, per frame.
+fn read_frame_capped(
+    reader: &mut impl BufRead,
+    max_payload: usize,
+    frame_deadline: Option<Duration>,
+) -> std::io::Result<FrameRead> {
+    let mut buf = Vec::new();
+    let mut frame_started: Option<Instant> = None;
+    loop {
+        match protocol::decode(&buf, max_payload) {
+            Ok(Some((frame, _consumed))) => return Ok(FrameRead::Frame(frame)),
+            Ok(None) => {} // torn prefix: need more bytes
+            Err(protocol::FrameError::Oversize { request_id, len, .. }) => {
+                return Ok(FrameRead::TooLong { request_id, len })
+            }
+            Err(e) => return Ok(FrameRead::Corrupt(e.to_string())),
+        }
+        // Take only the bytes this frame still needs, so the next frame's
+        // bytes stay in the BufReader for the next call.
+        let needed = if buf.len() < protocol::HEADER_LEN {
+            protocol::HEADER_LEN - buf.len()
+        } else {
+            let header =
+                protocol::parse_header(&buf, max_payload).expect("decode validated the header");
+            protocol::HEADER_LEN + header.len as usize - buf.len()
+        };
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if let (Some(limit), Some(started)) = (frame_deadline, frame_started) {
+                    if started.elapsed() >= limit {
+                        return Ok(FrameRead::Stalled);
+                    }
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(FrameRead::Eof);
+        }
+        if frame_started.is_none() {
+            frame_started = Some(Instant::now());
+        }
+        let take = needed.min(available.len());
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+    }
+}
+
+/// What the v2 reader thread hands the dispatcher.
+enum V2Event {
+    Frame(Frame),
+    TooLong { request_id: u32, len: u64 },
+    Stalled,
+    Corrupt(String),
+}
+
+/// Writes one response frame (payload = the v1 response block) and
+/// flushes, under the connection's shared writer lock.
+fn write_response_frame(
+    writer: &Mutex<BufWriter<Conn>>,
+    request_id: u32,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut w = writer.lock().expect("connection writer lock");
+    protocol::write_frame(&mut *w, 0, request_id, payload)?;
+    w.flush()
+}
+
+/// The v2 shed response: `err busy retry_after_ms=N` on the shed
+/// request's own ID, while its pipelined neighbours proceed.
+fn shed_busy_frame(
+    writer: &Mutex<BufWriter<Conn>>,
+    request_id: u32,
+    retry: Duration,
+) -> std::io::Result<()> {
+    let ms = u64::try_from(retry.as_millis()).unwrap_or(u64::MAX).max(1);
+    write_response_frame(writer, request_id, format!("err busy retry_after_ms={ms}\n").as_bytes())
+}
+
+/// One executor: pops admitted statements, runs them on its forked
+/// session (own [`CancelToken`], shared prepared statements), and writes
+/// each response frame as its statement finishes — this is what lets a
+/// fast pipelined statement overtake a slow one.
+fn executor_loop(
+    session: &mut Session,
+    token: &CancelToken,
+    queue: &WorkQueue,
+    writer: &Mutex<BufWriter<Conn>>,
+    in_flight: &AtomicUsize,
+    shared: &ServerShared,
+) {
+    while let Some(work) = queue.pop() {
+        let Work { request_id, stmt, permit } = work;
+        token.arm(shared.limits.stmt_timeout());
+        if shared.shutdown.load(Ordering::SeqCst) {
+            token.cap_deadline(shared.limits.drain_timeout());
+        }
+        let outcome = session.execute(&stmt);
+        token.disarm();
+        drop(permit);
+        let mut payload = Vec::new();
+        let _ = match outcome {
+            Ok(result) => write_result(&mut payload, &result),
+            Err(e) => writeln!(payload, "err {e}"),
+        };
+        // A failed write means the client is gone; keep draining so every
+        // queued permit is released and the queue empties for join.
+        let _ = write_response_frame(writer, request_id, &payload);
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_v2_connection(
+    conn: Conn,
+    frame_reader: BufReader<Conn>,
+    ctrl: &Conn,
+    shared: &Arc<ServerShared>,
+) {
+    let read_deadline = shared.limits.read_timeout();
+    let depth = shared.limits.pipeline_depth.max(1);
+    let executors = shared.limits.pipeline_executors.max(1);
+    // Executors interleave response frames, so the write half is shared
+    // and each frame goes out as one locked write.
+    let writer = Arc::new(Mutex::new(BufWriter::new(conn)));
+    // The base session holds the connection's prepared statements and
+    // unsaved-model set; executors fork it, each with its own token.
+    let base_token = CancelToken::new();
+    let base_session = Session::with_cancel(Arc::clone(&shared.db), base_token.clone());
+    let queue = Arc::new(WorkQueue::new());
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let mut exec_tokens = Vec::with_capacity(executors);
+    let mut token_ids = Vec::with_capacity(executors);
+    let mut exec_handles = Vec::with_capacity(executors);
+    for i in 0..executors {
+        let token = CancelToken::new();
+        token_ids.push(shared.register_token(&token));
+        exec_tokens.push(token.clone());
+        let mut session = base_session.fork(token.clone());
+        let queue = Arc::clone(&queue);
+        let writer = Arc::clone(&writer);
+        let in_flight = Arc::clone(&in_flight);
+        let shared = Arc::clone(shared);
+        let handle =
+            std::thread::Builder::new().name(format!("bismarck-exec-{i}")).spawn(move || {
+                executor_loop(&mut session, &token, &queue, &writer, &in_flight, &shared);
+            });
+        if let Ok(handle) = handle {
+            exec_handles.push(handle);
+        }
+    }
+    // The reader thread: decodes frames into a channel whose capacity is
+    // the pipeline depth — a client pushing more frames than that blocks
+    // in TCP, which is the backpressure. On disconnect it flips every
+    // executor's token so in-flight statements abort and release locks.
+    let (frame_tx, frame_rx) = mpsc::sync_channel::<V2Event>(depth);
+    let reader_tokens = exec_tokens.clone();
+    let reader_handle =
+        std::thread::Builder::new().name("bismarck-read".to_string()).spawn(move || {
+            let mut reader = frame_reader;
+            loop {
+                match read_frame_capped(&mut reader, MAX_STATEMENT_BYTES, read_deadline) {
+                    Ok(FrameRead::Frame(frame)) => {
+                        if frame_tx.send(V2Event::Frame(frame)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(FrameRead::TooLong { request_id, len }) => {
+                        let _ = frame_tx.send(V2Event::TooLong { request_id, len });
+                        return;
+                    }
+                    Ok(FrameRead::Stalled) => {
+                        let _ = frame_tx.send(V2Event::Stalled);
+                        return;
+                    }
+                    Ok(FrameRead::Corrupt(detail)) => {
+                        let _ = frame_tx.send(V2Event::Corrupt(detail));
+                        return;
+                    }
+                    Ok(FrameRead::Eof) | Err(_) => {
+                        for token in &reader_tokens {
+                            token.cancel();
+                        }
+                        return;
+                    }
+                }
+            }
+        });
+    let conn_bucket = (shared.limits.rate_limit > 0)
+        .then(|| TokenBucket::new(shared.limits.rate_limit, shared.limits.rate_limit));
+    let mut last_activity = Instant::now();
+    'conn: loop {
+        let event = loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break 'conn;
+            }
+            match frame_rx.recv_timeout(TICK) {
+                Ok(event) => break event,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if exec_tokens[0].cause() == Some(CancelCause::Disconnect) {
+                        break 'conn;
+                    }
+                    if let Some(limit) = shared.limits.idle_timeout() {
+                        // Only reap a connection with nothing in flight: a
+                        // client silently awaiting a long TRAIN is not idle.
+                        if in_flight.load(Ordering::SeqCst) == 0 && last_activity.elapsed() >= limit
+                        {
+                            let msg = format!(
+                                "err idle connection reaped after {}ms\n",
+                                shared.limits.idle_timeout_ms
+                            );
+                            let _ = write_response_frame(&writer, 0, msg.as_bytes());
+                            break 'conn;
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break 'conn,
+            }
+        };
+        last_activity = Instant::now();
+        let frame = match event {
+            V2Event::Frame(frame) => frame,
+            V2Event::TooLong { request_id, len } => {
+                let msg = format!(
+                    "err statement exceeds {MAX_STATEMENT_BYTES} bytes (frame len {len})\n"
+                );
+                let _ = write_response_frame(&writer, request_id, msg.as_bytes());
+                break;
+            }
+            V2Event::Stalled => {
+                let msg = format!(
+                    "err read timeout: frame incomplete after {}ms\n",
+                    shared.limits.read_timeout_ms
+                );
+                let _ = write_response_frame(&writer, 0, msg.as_bytes());
+                break;
+            }
+            V2Event::Corrupt(detail) => {
+                // The stream is desynchronized; answering on ID 0 then
+                // closing is the only bounded response.
+                let msg = format!("err protocol {detail}\n");
+                let _ = write_response_frame(&writer, 0, msg.as_bytes());
+                break;
+            }
+        };
+        let id = frame.request_id;
+        if frame.flags != 0 {
+            let msg = format!("err protocol reserved flags 0x{:02x} must be 0\n", frame.flags);
+            if write_response_frame(&writer, id, msg.as_bytes()).is_err() {
+                break;
+            }
+            continue;
+        }
+        let text = String::from_utf8_lossy(&frame.payload);
+        let statement = text.trim();
+        if statement.is_empty() {
+            if write_response_frame(&writer, id, b"err empty statement\n").is_err() {
+                break;
+            }
+            continue;
+        }
+        if statement == "\\q" || statement.eq_ignore_ascii_case("quit") {
+            let _ = write_response_frame(&writer, id, b"ok bye\n");
+            break;
+        }
+        let stmt = match shared.engines.parse(statement) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                let msg = format!("err {e}\n");
+                if write_response_frame(&writer, id, msg.as_bytes()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        match &*stmt {
+            Statement::Shutdown => {
+                let _ = write_response_frame(&writer, id, b"ok bye\n");
+                shared.begin_drain();
+                break;
+            }
+            Statement::ShowLimits => {
+                // Cheap and session-free: answered inline, never queued.
+                let mut payload = Vec::new();
+                let _ = write_limits(&mut payload, shared);
+                if write_response_frame(&writer, id, &payload).is_err() {
+                    break;
+                }
+            }
+            _ => {
+                // The same shedding gates as v1, cheapest first — but each
+                // rejection answers on the shed request's own ID.
+                if let Some(bucket) = &conn_bucket {
+                    if let Err(retry) = bucket.try_acquire() {
+                        if shed_busy_frame(&writer, id, retry).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                if let Some(bucket) = &shared.global_bucket {
+                    if let Err(retry) = bucket.try_acquire() {
+                        if shed_busy_frame(&writer, id, retry).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                let permit = match &shared.admission {
+                    Some(admission) => match admission.try_acquire() {
+                        Some(permit) => Some(permit),
+                        None => {
+                            if shed_busy_frame(&writer, id, Duration::from_millis(10)).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    },
+                    None => None,
+                };
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                queue.push(Work { request_id: id, stmt, permit });
+            }
+        }
+    }
+    // Teardown: stop feeding the executors and let them drain — every
+    // queued response still reaches a connected client — then unblock
+    // and join the reader so no thread outlives the accounting.
+    queue.close();
+    for handle in exec_handles {
+        let _ = handle.join();
+    }
+    let _ = ctrl.shutdown();
+    drop(writer);
+    if let Ok(handle) = reader_handle {
+        let _ = handle.join();
+    }
+    for id in token_ids {
+        shared.unregister_token(id);
+    }
+    let unsaved = base_session.unsaved_models();
+    if !unsaved.is_empty() {
+        eprintln!(
+            "warning: session closed with unsaved model(s) {} — \
+             run SAVE MODEL <name> to persist them to the registry",
+            unsaved.join(", ")
+        );
+    }
+}
+
 /// The structured shed response: clients parse `retry_after_ms` and back
 /// off. Rounds sub-millisecond waits up so a client never retries hot.
 fn shed_busy(w: &mut impl Write, retry: Duration) -> std::io::Result<()> {
@@ -748,6 +1254,7 @@ fn shed_busy(w: &mut impl Write, retry: Duration) -> std::io::Result<()> {
 fn write_limits(w: &mut impl Write, shared: &ServerShared) -> std::io::Result<()> {
     let l = &shared.limits;
     let in_flight = shared.admission.as_ref().map_or(0, |a| a.in_flight());
+    let parse_stats = shared.engines.stats();
     let entries: &[(&str, u64)] = &[
         ("stmt_timeout_ms", l.stmt_timeout_ms),
         ("rate_limit", l.rate_limit),
@@ -760,6 +1267,12 @@ fn write_limits(w: &mut impl Write, shared: &ServerShared) -> std::io::Result<()
         ("max_connections", shared.max_connections as u64),
         ("active_connections", shared.active.load(Ordering::SeqCst) as u64),
         ("in_flight_statements", in_flight as u64),
+        ("pipeline_executors", l.pipeline_executors as u64),
+        ("pipeline_depth", l.pipeline_depth as u64),
+        ("parse_engines", l.parse_engines as u64),
+        ("parse_cache_capacity", l.parse_cache as u64),
+        ("parse_cache_hits", parse_stats.hits),
+        ("parse_cache_misses", parse_stats.misses),
     ];
     for (key, value) in entries {
         writeln!(w, "* {key}={value}")?;
@@ -808,7 +1321,15 @@ fn write_result(w: &mut impl Write, result: &QueryResult) -> std::io::Result<()>
         }
         QueryResult::Models(models) => {
             for m in models {
-                writeln!(w, "* {} v{} dim={}", m.name, m.version, m.dim)?;
+                writeln!(
+                    w,
+                    "* {} v{} dim={} checksum={:016x}{}",
+                    m.name,
+                    m.version,
+                    m.dim,
+                    m.checksum,
+                    if m.latest { " latest" } else { "" }
+                )?;
             }
             writeln!(w, "ok count={}", models.len())
         }
@@ -818,47 +1339,130 @@ fn write_result(w: &mut impl Write, result: &QueryResult) -> std::io::Result<()>
     }
 }
 
-/// A line-protocol client: sends one statement, reads data lines until
-/// the `ok`/`err` terminator. Used by the `bismarck_serve --client` mode,
-/// the CI smoke, and the tests.
+/// Which wire format a [`Client`] speaks.
+enum Transport {
+    /// v1: one statement per line, responses read to the terminator.
+    Line,
+    /// v2: binary frames with client-assigned request IDs.
+    Binary { next_id: u32 },
+}
+
+/// A client for either protocol version: [`Client::connect`] speaks the
+/// v1 line protocol, [`Client::connect_v2`] the binary framing — same
+/// typed surface ([`Client::query`], [`Client::pipeline`]) over both,
+/// because v2 response payloads are byte-for-byte the v1 response block.
+/// Used by the `bismarck_serve --client` mode, the CI smokes, the
+/// benches, and the tests.
 pub struct Client {
     reader: BufReader<Conn>,
     writer: Conn,
+    transport: Transport,
 }
 
 impl Client {
-    /// Connects to a serving address (`host:port` or `unix:/path`).
+    /// Connects with the v1 line protocol (`host:port` or `unix:/path`).
     ///
     /// # Errors
     /// Connection failures.
     pub fn connect(addr: &str) -> DbResult<Self> {
         let conn = connect(addr)?;
         let read_half = conn.try_clone()?;
-        Ok(Self { reader: BufReader::new(read_half), writer: conn })
+        Ok(Self { reader: BufReader::new(read_half), writer: conn, transport: Transport::Line })
     }
 
-    /// Sends one statement and collects the full response: data lines
-    /// first, terminator (`ok …` / `err …`) last.
+    /// Connects with the v2 binary framing on the same listener (the
+    /// server auto-detects from the first frame's magic byte).
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect_v2(addr: &str) -> DbResult<Self> {
+        let conn = connect(addr)?;
+        let read_half = conn.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: conn,
+            transport: Transport::Binary { next_id: 1 },
+        })
+    }
+
+    /// Whether this client speaks the v2 binary framing.
+    #[must_use]
+    pub fn is_v2(&self) -> bool {
+        matches!(self.transport, Transport::Binary { .. })
+    }
+
+    /// Sends one statement without waiting for its response, returning
+    /// the request ID to match against [`Client::recv_response`]. This is
+    /// the raw pipelining primitive ([`Client::pipeline`] is the batch
+    /// convenience on top).
+    ///
+    /// # Errors
+    /// I/O failures, or [`DbError::Parse`] on a v1 connection — the line
+    /// protocol has no request IDs to match responses by.
+    pub fn send_request(&mut self, statement: &str) -> DbResult<u32> {
+        let Transport::Binary { next_id } = &mut self.transport else {
+            return Err(DbError::Parse(
+                "send_request needs a v2 connection (Client::connect_v2)".to_string(),
+            ));
+        };
+        let id = *next_id;
+        *next_id = next_id.wrapping_add(1);
+        protocol::write_frame(&mut self.writer, 0, id, statement.as_bytes())?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame — whichever request finished
+    /// first — as `(request_id, response)`.
+    ///
+    /// # Errors
+    /// I/O failures (including EOF), a corrupt frame, or a v1 connection.
+    pub fn recv_response(&mut self) -> DbResult<(u32, Response)> {
+        if !self.is_v2() {
+            return Err(DbError::Parse(
+                "recv_response needs a v2 connection (Client::connect_v2)".to_string(),
+            ));
+        }
+        let frame = protocol::read_frame(&mut self.reader, protocol::MAX_FRAME_PAYLOAD)?
+            .ok_or_else(|| {
+                DbError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ))
+            })?;
+        Ok((frame.request_id, Response::from_payload(&frame.payload)))
+    }
+
+    /// Sends one statement and collects the full response block: data
+    /// lines first, terminator (`ok …` / `err …`) last. Identical lines
+    /// on both transports.
     ///
     /// # Errors
     /// I/O failures or a server that hangs up mid-response.
     pub fn request(&mut self, statement: &str) -> DbResult<Vec<String>> {
-        writeln!(self.writer, "{statement}")?;
-        self.writer.flush()?;
-        let mut lines = Vec::new();
-        loop {
-            let mut line = String::new();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(DbError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-response",
-                )));
+        match &mut self.transport {
+            Transport::Line => {
+                writeln!(self.writer, "{statement}")?;
+                self.writer.flush()?;
+                Ok(protocol::read_response_block(&mut self.reader)?)
             }
-            let line = line.trim_end().to_string();
-            let done = line.starts_with("ok") || line.starts_with("err");
-            lines.push(line);
-            if done {
-                return Ok(lines);
+            Transport::Binary { .. } => {
+                let id = self.send_request(statement)?;
+                let frame = protocol::read_frame(&mut self.reader, protocol::MAX_FRAME_PAYLOAD)?
+                    .ok_or_else(|| {
+                        DbError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-response",
+                        ))
+                    })?;
+                if frame.request_id != id {
+                    return Err(DbError::Parse(format!(
+                        "response for request {} while awaiting {id} — \
+                         use pipeline()/recv_response() for pipelined statements",
+                        frame.request_id
+                    )));
+                }
+                Ok(String::from_utf8_lossy(&frame.payload).lines().map(str::to_string).collect())
             }
         }
     }
@@ -876,6 +1480,66 @@ impl Client {
             return Err(DbError::Parse(format!("server: {last}")));
         }
         Ok(last)
+    }
+
+    /// Sends one statement and parses the response into the typed
+    /// [`Response`] — `Ok`/`Rows` with key=value fields, or a structured
+    /// `Err` with an [`crate::protocol::ErrKind`] and `retry_after_ms`.
+    ///
+    /// # Errors
+    /// Transport failures only; a server-side `err` is `Ok(Response::Err
+    /// {…})`, so retry logic can match on the kind.
+    pub fn query(&mut self, statement: &str) -> DbResult<Response> {
+        let lines = self.request(statement)?;
+        Ok(Response::from_lines(&lines))
+    }
+
+    /// Sends every statement before reading any response, then returns
+    /// the responses **in request order** (on v2 the server may complete
+    /// them out of order; the request IDs put them back). One round trip
+    /// for the whole batch on both transports.
+    ///
+    /// # Errors
+    /// Transport failures; server-side `err`s come back as
+    /// [`Response::Err`] entries.
+    pub fn pipeline(&mut self, statements: &[&str]) -> DbResult<Vec<Response>> {
+        match &mut self.transport {
+            Transport::Line => {
+                for statement in statements {
+                    writeln!(self.writer, "{statement}")?;
+                }
+                self.writer.flush()?;
+                let mut responses = Vec::with_capacity(statements.len());
+                for _ in statements {
+                    let lines = protocol::read_response_block(&mut self.reader)?;
+                    responses.push(Response::from_lines(&lines));
+                }
+                Ok(responses)
+            }
+            Transport::Binary { .. } => {
+                let mut ids = Vec::with_capacity(statements.len());
+                for statement in statements {
+                    let Transport::Binary { next_id } = &mut self.transport else { unreachable!() };
+                    let id = *next_id;
+                    *next_id = next_id.wrapping_add(1);
+                    protocol::write_frame(&mut self.writer, 0, id, statement.as_bytes())?;
+                    ids.push(id);
+                }
+                self.writer.flush()?;
+                let mut by_id = BTreeMap::new();
+                while by_id.len() < ids.len() {
+                    let (id, response) = self.recv_response()?;
+                    by_id.insert(id, response);
+                }
+                ids.iter()
+                    .map(|id| {
+                        by_id
+                            .remove(id)
+                            .ok_or_else(|| DbError::Parse(format!("no response for request {id}")))
+                    })
+                    .collect()
+            }
+        }
     }
 }
 
@@ -1011,7 +1675,9 @@ mod tests {
         assert!(lines.contains(&"* drain_timeout_ms=5000".to_string()), "{lines:?}");
         assert!(lines.contains(&"* max_connections=64".to_string()), "{lines:?}");
         assert!(lines.contains(&"* active_connections=1".to_string()), "{lines:?}");
-        assert_eq!(lines.last().unwrap(), "ok count=11");
+        assert!(lines.contains(&"* pipeline_executors=4".to_string()), "{lines:?}");
+        assert!(lines.contains(&"* parse_cache_capacity=256".to_string()), "{lines:?}");
+        assert_eq!(lines.last().unwrap(), "ok count=17");
         // SHOW LIMITS cannot hide inside a prepared statement.
         let nested = client.request("PREPARE q AS SHOW LIMITS").unwrap();
         assert!(nested.last().unwrap().starts_with("err"), "{nested:?}");
@@ -1215,5 +1881,113 @@ mod tests {
             "drain must let the in-flight TRAIN finish: {lines:?}"
         );
         assert!(db.model("m").is_ok(), "the drained TRAIN's result was published");
+    }
+
+    #[test]
+    fn v2_client_session_end_to_end() {
+        let (server, _db) = spawn_server();
+        let mut client = Client::connect_v2(server.addr()).unwrap();
+        assert!(client.is_v2());
+        assert_eq!(client.expect_ok("CREATE TABLE t (DIM 3)").unwrap(), "ok");
+        assert_eq!(client.expect_ok("SYNTH t ROWS 200 SEED 5 NOISE 0.1").unwrap(), "ok");
+        assert_eq!(client.expect_ok("SELECT COUNT(*) FROM t").unwrap(), "ok count=200");
+        // The typed surface.
+        let response = client.query("SELECT COUNT(*) FROM t").unwrap();
+        assert!(response.is_ok());
+        assert_eq!(response.get("count"), Some("200"));
+        // Errors keep the connection usable and carry a structured kind.
+        let response = client.query("SELECT COUNT(*) FROM ghost").unwrap();
+        assert_eq!(response.err_kind(), Some(protocol::ErrKind::Other));
+        assert_eq!(client.expect_ok("SELECT COUNT(*) FROM t").unwrap(), "ok count=200");
+        // Multi-line responses come through frame payloads unchanged.
+        let lines = client.request("SHOW TABLES").unwrap();
+        assert_eq!(lines, vec!["* t".to_string(), "ok count=1".to_string()]);
+        server.stop();
+    }
+
+    #[test]
+    fn v1_and_v2_answers_are_bit_identical_on_one_listener() {
+        let (server, _db) = spawn_server();
+        let mut v1 = Client::connect(server.addr()).unwrap();
+        let mut v2 = Client::connect_v2(server.addr()).unwrap();
+        v1.expect_ok("CREATE TABLE t (DIM 3)").unwrap();
+        v1.expect_ok("SYNTH t ROWS 64 SEED 9 NOISE 0.1").unwrap();
+        v1.expect_ok("TRAIN m ON t ALGO noiseless PASSES 2 SEED 1").unwrap();
+        for stmt in ["SELECT COUNT(*) FROM t", "SHOW TABLES", "EVAL m ON t"] {
+            assert_eq!(v1.request(stmt).unwrap(), v2.request(stmt).unwrap(), "{stmt}");
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn v2_pipeline_answers_every_request_in_order() {
+        let (server, _db) = spawn_server();
+        let mut setup = Client::connect(server.addr()).unwrap();
+        setup.expect_ok("CREATE TABLE a (DIM 2)").unwrap();
+        setup.expect_ok("SYNTH a ROWS 10 SEED 1 NOISE 0.1").unwrap();
+        setup.expect_ok("CREATE TABLE b (DIM 2)").unwrap();
+        setup.expect_ok("SYNTH b ROWS 20 SEED 1 NOISE 0.1").unwrap();
+        let mut client = Client::connect_v2(server.addr()).unwrap();
+        let responses = client
+            .pipeline(&[
+                "SELECT COUNT(*) FROM a",
+                "SELECT COUNT(*) FROM b",
+                "SELECT COUNT(*) FROM ghost",
+                "SELECT COUNT(*) FROM a",
+            ])
+            .unwrap();
+        assert_eq!(responses[0].get("count"), Some("10"));
+        assert_eq!(responses[1].get("count"), Some("20"));
+        assert!(!responses[2].is_ok(), "{:?}", responses[2]);
+        assert_eq!(responses[3].get("count"), Some("10"));
+        server.stop();
+    }
+
+    #[test]
+    fn v2_fast_statement_overtakes_a_slow_one() {
+        let (server, _db) = spawn_server();
+        let mut setup = Client::connect(server.addr()).unwrap();
+        setup.expect_ok("CREATE TABLE big (DIM 4)").unwrap();
+        setup.expect_ok("SYNTH big ROWS 600 SEED 7 NOISE 0.05").unwrap();
+        setup.expect_ok("CREATE TABLE small (DIM 2)").unwrap();
+        setup.expect_ok("SYNTH small ROWS 5 SEED 1 NOISE 0.1").unwrap();
+        let mut client = Client::connect_v2(server.addr()).unwrap();
+        // A long TRAIN on one table, then a fast COUNT on another (no
+        // lock conflict): with ≥2 executors the COUNT answers first.
+        let train = client
+            .send_request("TRAIN m ON big ALGO noiseless PASSES 300 BATCH 10 SEED 1")
+            .unwrap();
+        let count = client.send_request("SELECT COUNT(*) FROM small").unwrap();
+        let (first_id, first) = client.recv_response().unwrap();
+        assert_eq!(first_id, count, "the fast COUNT must overtake the TRAIN");
+        assert_eq!(first.get("count"), Some("5"));
+        let (second_id, second) = client.recv_response().unwrap();
+        assert_eq!(second_id, train);
+        assert!(second.is_ok(), "{second:?}");
+        server.stop();
+    }
+
+    #[test]
+    fn v2_prepared_statements_are_shared_across_executors() {
+        let (server, _db) = spawn_server();
+        let mut setup = Client::connect(server.addr()).unwrap();
+        setup.expect_ok("CREATE TABLE t (DIM 2)").unwrap();
+        setup.expect_ok("SYNTH t ROWS 12 SEED 1 NOISE 0.1").unwrap();
+        let mut client = Client::connect_v2(server.addr()).unwrap();
+        client.expect_ok("PREPARE q AS SELECT COUNT(*) FROM t").unwrap();
+        // Whichever executor picks each EXECUTE up must see the PREPARE.
+        let responses = client.pipeline(&["EXECUTE q"; 12]).unwrap();
+        for response in &responses {
+            assert_eq!(response.get("count"), Some("12"), "{response:?}");
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn v2_shutdown_answers_then_drains() {
+        let (server, _db) = spawn_server();
+        let mut client = Client::connect_v2(server.addr()).unwrap();
+        assert_eq!(client.expect_ok("SHUTDOWN").unwrap(), "ok bye");
+        server.wait();
     }
 }

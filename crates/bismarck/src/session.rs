@@ -23,7 +23,7 @@ use bolton::api::{AlgorithmKind, LossKind, TrainPlan};
 use bolton::Budget;
 use bolton_sgd::metrics;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Rows between cancellation checks inside the hot scan loops — cheap
 /// enough to be invisible, frequent enough that a deadline or disconnect
@@ -158,16 +158,29 @@ fn algorithm_kind(algo: TrainAlgo) -> AlgorithmKind {
     }
 }
 
+/// The connection-scoped state forks of one session share: the prepared
+/// statements and the trained-but-never-saved model names. Behind a mutex
+/// because a pipelined (v2) connection executes statements concurrently on
+/// several executor threads, all of which must see one `PREPARE`.
+struct SessionShared {
+    prepared: BTreeMap<String, (String, usize)>,
+    unsaved: BTreeSet<String>,
+}
+
 /// One client's connection state: a handle on the shared [`Db`], the
 /// session-local prepared statements, a [`CancelToken`] every statement
 /// polls, and the set of trained-but-never-saved model names (used by the
 /// server to warn when a disconnect would lose work — the TRAIN→SAVE
 /// crash window documented in REPRODUCING.md).
+///
+/// A pipelined connection runs several [`Session::fork`]s concurrently:
+/// forks share the prepared-statement and unsaved-model state (they are
+/// *one* client session) but each carries its own cancellation token, so
+/// one request's deadline never aborts its pipelined neighbours.
 pub struct Session {
     db: Arc<Db>,
-    prepared: BTreeMap<String, (String, usize)>,
+    shared: Arc<Mutex<SessionShared>>,
     cancel: CancelToken,
-    unsaved: BTreeSet<String>,
 }
 
 impl Session {
@@ -180,7 +193,22 @@ impl Session {
     /// every connection a shared token so its reader thread (disconnect)
     /// and the drain logic can abort in-flight work.
     pub fn with_cancel(db: Arc<Db>, cancel: CancelToken) -> Self {
-        Self { db, prepared: BTreeMap::new(), cancel, unsaved: BTreeSet::new() }
+        Self {
+            db,
+            shared: Arc::new(Mutex::new(SessionShared {
+                prepared: BTreeMap::new(),
+                unsaved: BTreeSet::new(),
+            })),
+            cancel,
+        }
+    }
+
+    /// A concurrent view of the *same* client session: shares the prepared
+    /// statements and unsaved-model set, executes under its own `cancel`
+    /// token. The v2 server gives each per-connection executor thread one
+    /// fork.
+    pub fn fork(&self, cancel: CancelToken) -> Session {
+        Session { db: Arc::clone(&self.db), shared: Arc::clone(&self.shared), cancel }
     }
 
     /// The shared database.
@@ -197,7 +225,7 @@ impl Session {
     /// they live only in the shared in-memory model map and are lost on
     /// server exit.
     pub fn unsaved_models(&self) -> Vec<String> {
-        self.unsaved.iter().cloned().collect()
+        self.shared.lock().expect("session state").unsaved.iter().cloned().collect()
     }
 
     /// Parses and executes one statement.
@@ -382,7 +410,7 @@ impl Session {
             Statement::SaveModel { model, version } => {
                 let w = self.db.model(model)?;
                 let version = self.db.registry_required()?.save(model, *version, &w)?;
-                self.unsaved.remove(model);
+                self.shared.lock().expect("session state").unsaved.remove(model);
                 Ok(QueryResult::ModelVersioned { model: model.clone(), version, dim: w.len() })
             }
             Statement::LoadModel { model, version } => {
@@ -395,16 +423,23 @@ impl Session {
                 self.db.put_model(model, w.as_ref().clone());
                 // The registry copy now matches the in-memory copy, so the
                 // name is no longer at risk of being lost on exit.
-                self.unsaved.remove(model);
+                self.shared.lock().expect("session state").unsaved.remove(model);
                 Ok(QueryResult::ModelVersioned { model: model.clone(), version, dim })
             }
             Statement::ListModels => Ok(QueryResult::Models(self.db.registry_required()?.list())),
             Statement::Prepare { name, template, params } => {
-                self.prepared.insert(name.clone(), (template.clone(), *params));
+                self.shared
+                    .lock()
+                    .expect("session state")
+                    .prepared
+                    .insert(name.clone(), (template.clone(), *params));
                 Ok(QueryResult::Ok)
             }
             Statement::Execute { name, args } => {
                 let (template, params) = self
+                    .shared
+                    .lock()
+                    .expect("session state")
                     .prepared
                     .get(name)
                     .cloned()
@@ -477,7 +512,7 @@ impl Session {
         let accuracy = metrics::accuracy_from_scores(&scores, &labels);
         drop(table);
         self.db.put_model(&stmt.model, model);
-        self.unsaved.insert(stmt.model.clone());
+        self.shared.lock().expect("session state").unsaved.insert(stmt.model.clone());
         Ok(QueryResult::Trained { model: stmt.model.clone(), accuracy })
     }
 
